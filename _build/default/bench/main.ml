@@ -1,0 +1,289 @@
+(** Benchmark harness: regenerates every figure of the paper's evaluation
+    (Figs. 3–11) plus the ablations of DESIGN.md §5.
+
+    Usage:
+    {v
+    dune exec bench/main.exe                 # all figures + ablations
+    dune exec bench/main.exe -- --figure 3   # one figure
+    dune exec bench/main.exe -- --ablation schedules
+    dune exec bench/main.exe -- --quick      # small problem sizes
+    dune exec bench/main.exe -- --micro      # bechamel microbenchmarks
+    v}
+
+    Shapes to compare against the paper are recorded in EXPERIMENTS.md. *)
+
+let pf fmt = Format.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Figures *)
+
+let run_figures scale which =
+  let module F = Toolchain.Figures in
+  let wants id = match which with None -> true | Some w -> w = id in
+  let matmul = lazy (F.matmul_dataset scale) in
+  let heat = lazy (F.heat_dataset scale) in
+  let satellite = lazy (F.satellite_dataset scale) in
+  let lama = lazy (F.lama_dataset scale) in
+  let figures =
+    [
+      (3, fun () -> F.fig3 ~scale ~matmul:(Lazy.force matmul) ());
+      (4, fun () -> F.fig4 ~scale ~matmul:(Lazy.force matmul) ());
+      (5, fun () -> F.fig5 ~scale ~matmul:(Lazy.force matmul) ());
+      (6, fun () -> F.fig6 ~scale ~heat:(Lazy.force heat) ());
+      (7, fun () -> F.fig7 ~scale ~heat:(Lazy.force heat) ());
+      (8, fun () -> F.fig8 ~scale ~satellite:(Lazy.force satellite) ());
+      (9, fun () -> F.fig9 ~scale ~satellite:(Lazy.force satellite) ());
+      (10, fun () -> F.fig10 ~scale ~lama:(Lazy.force lama) ());
+      (11, fun () -> F.fig11 ~scale ~lama:(Lazy.force lama) ());
+    ]
+  in
+  List.iter
+    (fun (id, mk) ->
+      if wants id then begin
+        let fig = mk () in
+        pf "%a@." (fun ppf f -> F.render_figure ppf f) fig
+      end)
+    figures;
+  (* correctness cross-check printed alongside the data *)
+  let check name d =
+    pf "checksums %s: all variants agree = %b@." name (F.checksums_agree d)
+  in
+  if Lazy.is_val matmul then check "matmul" (Lazy.force matmul);
+  if Lazy.is_val heat then check "heat" (Lazy.force heat);
+  if Lazy.is_val satellite then check "satellite" (Lazy.force satellite);
+  if Lazy.is_val lama then check "lama" (Lazy.force lama)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md §5) *)
+
+let cores = Toolchain.Figures.paper_cores
+
+let sweep_str profile backend =
+  String.concat " "
+    (List.map
+       (fun n ->
+         Printf.sprintf "%8.4f"
+           (Machine.Model.simulate ~backend ~n profile).Machine.Model.r_seconds)
+       cores)
+
+let gcc = Machine.Config.gcc
+
+(* PC-PrePro + GCC-E before handing source to the parser *)
+let preprocess src =
+  let stripped = Cpp.Pc_prepro.strip src in
+  Cpp.Preproc.run (Cpp.Preproc.create ()) stripped.Cpp.Pc_prepro.source
+
+(* no-pure: how many scops does PluTo alone parallelize across the four
+   pure-annotated codes when the purity stage is skipped? *)
+let ablation_no_pure scale =
+  pf "== ablation no-pure: PluTo without the purity stage ==@.";
+  let sources =
+    [
+      ("matmul", Workloads.Matmul.pure_source ~n:scale.Toolchain.Figures.matmul_n ());
+      ( "heat",
+        Workloads.Heat.pure_source ~n:scale.Toolchain.Figures.heat_n
+          ~t:scale.Toolchain.Figures.heat_t () );
+      ( "satellite",
+        Workloads.Satellite.pure_source ~w:scale.Toolchain.Figures.sat_w
+          ~h:scale.Toolchain.Figures.sat_h ~bands:scale.Toolchain.Figures.sat_bands () );
+      ( "lama",
+        Workloads.Lama_app.pure_source ~rows:scale.Toolchain.Figures.lama_rows
+          ~maxnnz:scale.Toolchain.Figures.lama_maxnnz
+          ~reps:scale.Toolchain.Figures.lama_reps () );
+    ]
+  in
+  List.iter
+    (fun (name, src) ->
+      (* mark scops with the purity info, then run PluTo with and without
+         the pure-call substitution: every region that needs it must be
+         rejected in the second run *)
+      let reporter = Support.Diag.create_reporter () in
+      let prog = Cfront.Parser.program_of_string (preprocess src) in
+      let registry = Purity.Purity_check.check_program ~reporter prog in
+      let marked = Purity.Scop_marker.mark ~registry ~reporter prog in
+      let with_hiding =
+        Pluto.run ~config:{ Pluto.default_config with hide_pure_calls = Some registry } marked
+      in
+      let without_hiding = Pluto.run ~config:Pluto.default_config marked in
+      let count (_, outcomes) = Pluto.summarize outcomes in
+      let p_with, r_with = count with_hiding in
+      let p_without, r_without = count without_hiding in
+      pf "  %-10s with pure: %d parallelized / %d rejected; without: %d / %d@." name
+        p_with r_with p_without r_without)
+    sources
+
+(* no-malloc-pure: remove malloc/free from the whitelist *)
+let ablation_no_malloc scale =
+  pf "== ablation no-malloc-pure: malloc removed from the pure whitelist ==@.";
+  let src = Workloads.Matmul.pure_source ~n:scale.Toolchain.Figures.matmul_n () in
+  let run_with_registry allow_malloc =
+    let reporter = Support.Diag.create_reporter () in
+    let prog = Cfront.Parser.program_of_string (preprocess src) in
+    let registry = Purity.Registry.create ~allow_malloc () in
+    let registry = Purity.Purity_check.check_program ~registry ~reporter prog in
+    let marked = Purity.Scop_marker.mark ~registry ~reporter prog in
+    let transformed, outcomes =
+      Pluto.run ~config:{ Pluto.default_config with hide_pure_calls = Some registry } marked
+    in
+    let profile =
+      Interp.Exec.run ~l1_bytes:Toolchain.Chain.scaled_l1_bytes
+        ~l2_bytes:Toolchain.Chain.scaled_l2_bytes transformed
+    in
+    let par, rej = Pluto.summarize outcomes in
+    (profile, par, rej)
+  in
+  let with_malloc, p1, r1 = run_with_registry true in
+  let without_malloc, p2, r2 = run_with_registry false in
+  pf "  whitelist with malloc:    %d parallelized / %d rejected, time@cores: %s@." p1 r1
+    (sweep_str with_malloc gcc);
+  pf "  whitelist without malloc: %d parallelized / %d rejected, time@cores: %s@." p2 r2
+    (sweep_str without_malloc gcc)
+
+(* schedules: static vs dynamic on the imbalanced satellite *)
+let ablation_schedules scale =
+  pf "== ablation schedules: static vs dynamic on the imbalanced filter ==@.";
+  let src =
+    Workloads.Satellite.pure_source ~w:scale.Toolchain.Figures.sat_w
+      ~h:scale.Toolchain.Figures.sat_h ~bands:scale.Toolchain.Figures.sat_bands ()
+  in
+  List.iter
+    (fun (label, clause) ->
+      let mode =
+        Toolchain.Chain.Pure_chain (fun c -> { c with Pluto.schedule_clause = clause })
+      in
+      let _, profile = Toolchain.Chain.run ~mode src in
+      pf "  %-16s %s@." label (sweep_str profile gcc))
+    [
+      ("static", None);
+      ("static,1", Some "static,1");
+      ("dynamic,1", Some "dynamic,1");
+      ("dynamic,4", Some "dynamic,4");
+    ]
+
+(* sica-tiles: cache-aware tile sizes vs fixed sizes on the inlined matmul *)
+let ablation_sica_tiles scale =
+  pf "== ablation sica-tiles: tile-size choice on the inlined matmul ==@.";
+  let src = Workloads.Matmul.inlined_source ~n:scale.Toolchain.Figures.matmul_n () in
+  List.iter
+    (fun (label, adjust) ->
+      let _, profile = Toolchain.Chain.run ~mode:(Toolchain.Chain.Plain_pluto adjust) src in
+      pf "  %-20s %s@." label (sweep_str profile gcc))
+    [
+      ("untiled", fun (c : Pluto.config) -> c);
+      ("fixed 8", fun c -> { c with Pluto.tile = true; tile_sizes = [ 8 ] });
+      ("fixed 16", fun c -> { c with Pluto.tile = true; tile_sizes = [ 16 ] });
+      ("fixed 64", fun c -> { c with Pluto.tile = true; tile_sizes = [ 64 ] });
+      ( "sica cache-aware",
+        fun c -> { c with Pluto.sica = true; sica_cache = Toolchain.Chain.scaled_sica_cache }
+      );
+    ]
+
+(* inline: the paper's §4.3.2 instruction-count comparison *)
+let ablation_inline scale =
+  pf "== ablation inline: pure call vs inlined stencil (paper 4.3.2) ==@.";
+  let n = scale.Toolchain.Figures.heat_n and t = scale.Toolchain.Figures.heat_t in
+  let run mode src = snd (Toolchain.Chain.run ~mode src) in
+  let pure_p =
+    run (Toolchain.Chain.Pure_chain (fun c -> c)) (Workloads.Heat.pure_source ~n ~t ())
+  in
+  let inl_p =
+    run (Toolchain.Chain.Plain_pluto (fun c -> c)) (Workloads.Heat.inlined_source ~n ~t ())
+  in
+  let ops p = Interp.Cost.total_ops (Interp.Trace.total_cost p) in
+  let op_pure = ops pure_p and op_inl = ops inl_p in
+  pf "  dynamic ops: pure-call %d, inlined %d, ratio %.2f (paper: 87.8G vs 47.5G = 1.85)@."
+    op_pure op_inl
+    (float_of_int op_pure /. float_of_int op_inl)
+
+let run_ablations scale which =
+  let all = which = None in
+  let wants name = all || which = Some name in
+  if wants "no-pure" then ablation_no_pure scale;
+  if wants "no-malloc-pure" then ablation_no_malloc scale;
+  if wants "schedules" then ablation_schedules scale;
+  if wants "sica-tiles" then ablation_sica_tiles scale;
+  if wants "inline" then ablation_inline scale
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the toolchain itself *)
+
+let run_micro () =
+  let open Bechamel in
+  let src = Workloads.Matmul.pure_source ~n:24 () in
+  let prog = lazy (Cfront.Parser.program_of_string src) in
+  let tests =
+    Test.make_grouped ~name:"toolchain"
+      [
+        Test.make ~name:"parse-matmul"
+          (Staged.stage (fun () -> ignore (Cfront.Parser.program_of_string src)));
+        Test.make ~name:"purity-check"
+          (Staged.stage (fun () ->
+               let reporter = Support.Diag.create_reporter () in
+               ignore (Purity.Purity_check.check_program ~reporter (Lazy.force prog))));
+        Test.make ~name:"full-chain-compile"
+          (Staged.stage (fun () ->
+               ignore
+                 (Toolchain.Chain.compile ~mode:(Toolchain.Chain.Pure_chain (fun c -> c))
+                    src)));
+        Test.make ~name:"interp-run-n24"
+          (Staged.stage (fun () ->
+               ignore (Toolchain.Chain.run ~mode:Toolchain.Chain.Sequential src)));
+      ]
+  in
+  let benchmark () =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    let raw = Benchmark.all cfg instances tests in
+    let results =
+      Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+        Toolkit.Instance.monotonic_clock raw
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> pf "  micro %-32s %12.1f ns/run@." name est
+        | _ -> pf "  micro %-32s (no estimate)@." name)
+      results
+  in
+  benchmark ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let figure = ref None in
+  let ablation = ref None in
+  let quick = ref false in
+  let micro = ref false in
+  let only_ablations = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--figure" :: v :: rest ->
+      figure := Some (int_of_string v);
+      parse rest
+    | "--ablation" :: v :: rest ->
+      ablation := Some v;
+      only_ablations := true;
+      parse rest
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--micro" :: rest ->
+      micro := true;
+      parse rest
+    | arg :: rest ->
+      Printf.eprintf "unknown argument %s\n" arg;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let scale =
+    if !quick then Toolchain.Figures.test_scale else Toolchain.Figures.default_scale
+  in
+  if !micro then run_micro ()
+  else if !only_ablations then run_ablations scale !ablation
+  else begin
+    pf "Pure Functions in C — evaluation reproduction (scaled sizes, simulated %s)@."
+      Machine.Config.opteron64.Machine.Config.m_name;
+    pf "@.";
+    run_figures scale !figure;
+    match !figure with None -> run_ablations scale None | Some _ -> ()
+  end

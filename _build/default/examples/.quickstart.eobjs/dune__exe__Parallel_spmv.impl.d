@@ -1,0 +1,1 @@
+examples/parallel_spmv.ml: Array Domain Float Fmt Fun Lama List Runtime Unix

@@ -1,0 +1,1 @@
+examples/polyhedral_demo.ml: Cfront Codegen Dependence Fmt Linalg List Poly Scop_ir Transform

@@ -1,0 +1,1 @@
+examples/polyhedral_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cfront Cpp Fmt Interp List Machine Pluto Printf Purity String Support Toolchain

@@ -1,0 +1,1 @@
+examples/schedule_tuning.ml: Array Fmt List Machine Pluto Toolchain Workloads

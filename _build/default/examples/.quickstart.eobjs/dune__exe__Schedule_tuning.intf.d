@@ -1,0 +1,1 @@
+examples/schedule_tuning.mli:

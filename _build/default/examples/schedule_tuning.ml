@@ -1,0 +1,75 @@
+(** Schedule tuning on an imbalanced workload — the §4.3.3 story as an API
+    walk-through: take the satellite filter, let the chain parallelize it,
+    then compare OpenMP schedules on the simulated machine the way the
+    paper's authors hand-tuned theirs.
+
+    Run with: [dune exec examples/schedule_tuning.exe] *)
+
+let () =
+  let w = 48 and h = 48 and bands = 12 in
+  let src = Workloads.Satellite.pure_source ~w ~h ~bands () in
+
+  Fmt.pr "=== the workload: per-pixel AOD retrieval, heavier toward later rows ===@.";
+  let iters = Workloads.Reference.satellite_row_iters w h bands in
+  Fmt.pr "retrieval iterations, first rows vs last rows:@.";
+  Fmt.pr "  rows 0..3:   %d %d %d %d@." iters.(0) iters.(1) iters.(2) iters.(3);
+  Fmt.pr "  rows %d..%d: %d %d %d %d@." (h - 4) (h - 1) iters.(h - 4) iters.(h - 3)
+    iters.(h - 2)
+    iters.(h - 1);
+  Fmt.pr "imbalance factor (last/first): %.2f@.@."
+    (float_of_int iters.(h - 1) /. float_of_int iters.(0));
+
+  Fmt.pr "=== compile once per schedule clause, execute, simulate ===@.";
+  let cores = [ 1; 8; 16; 32; 64 ] in
+  Fmt.pr "%-18s" "schedule";
+  List.iter (fun n -> Fmt.pr " %9d" n) cores;
+  Fmt.pr "@.";
+  let results =
+    List.map
+      (fun (label, clause) ->
+        let mode =
+          Toolchain.Chain.Pure_chain
+            (fun c -> { c with Pluto.schedule_clause = clause })
+        in
+        let _, profile = Toolchain.Chain.run ~mode src in
+        let times =
+          List.map
+            (fun n ->
+              (Machine.Model.simulate ~backend:Machine.Config.gcc ~n profile)
+                .Machine.Model.r_seconds)
+            cores
+        in
+        (label, times))
+      [
+        ("static", None);
+        ("static,1", Some "static,1");
+        ("static,4", Some "static,4");
+        ("dynamic,1", Some "dynamic,1");
+        ("dynamic,4", Some "dynamic,4");
+      ]
+  in
+  List.iter
+    (fun (label, times) ->
+      Fmt.pr "%-18s" label;
+      List.iter (fun t -> Fmt.pr " %9.5f" t) times;
+      Fmt.pr "@.")
+    results;
+
+  (* who wins at each core count? *)
+  Fmt.pr "@.best schedule per core count:@.";
+  List.iteri
+    (fun i n ->
+      let best, _ =
+        List.fold_left
+          (fun (bl, bt) (label, times) ->
+            let t = List.nth times i in
+            if t < bt then (label, t) else (bl, bt))
+          ("", infinity) results
+      in
+      Fmt.pr "  %2d cores: %s@." n best)
+    cores;
+  Fmt.pr
+    "@.the default contiguous static blocks leave the last cores with the@.\
+     heavy rows; the paper's manual fix (schedule(dynamic,1), 4.3.3) and@.\
+     interleaved static,1 both spread them.  with one row per core all@.\
+     schedules converge again, as Fig. 8 shows at 64 cores.@."

@@ -1,0 +1,1 @@
+lib/cfront/ast.ml: List Loc Option String Support

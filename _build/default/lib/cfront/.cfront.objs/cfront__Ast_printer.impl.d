@@ -1,0 +1,1 @@
+lib/cfront/ast_printer.ml: Ast Char Float List Printf String

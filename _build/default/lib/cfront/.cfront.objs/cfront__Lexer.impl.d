@@ -1,0 +1,1 @@
+lib/cfront/lexer.ml: Buffer Diag List Loc Option String Support Token

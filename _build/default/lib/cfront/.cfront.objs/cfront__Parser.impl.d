@@ -1,0 +1,1 @@
+lib/cfront/parser.ml: Array Ast Diag Lexer List Support Token

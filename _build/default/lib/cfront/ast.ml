@@ -1,0 +1,253 @@
+(** Abstract syntax of the C subset extended with [pure].
+
+    The tree deliberately keeps a source-to-source shape: [#pragma] lines are
+    statements/globals, and casts, qualifiers and declarations print back to
+    compilable C (see {!Ast_printer}). *)
+
+open Support
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+type ctype =
+  | Void
+  | Int
+  | Float
+  | Double
+  | Char
+  | Ptr of ptr
+  | Array of ctype * int option  (** element type, optional static size *)
+  | Struct of string
+  | Named of string  (** typedef name, resolved during semantic analysis *)
+
+and ptr = {
+  elt : ctype;
+  ptr_pure : bool;  (** [pure T*]: pointee is read-only, single assignment *)
+  ptr_const : bool;  (** [const T*]: pointee is read-only (lowered form) *)
+}
+
+let ptr ?(pure = false) ?(const = false) elt =
+  Ptr { elt; ptr_pure = pure; ptr_const = const }
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | LAnd
+  | LOr
+  | BAnd
+  | BOr
+  | BXor
+  | Shl
+  | Shr
+
+type unop = Neg | LNot | BNot
+
+type assign_op = OpAssign | OpAddAssign | OpSubAssign | OpMulAssign | OpDivAssign | OpModAssign
+
+type expr = { edesc : edesc; eloc : Loc.t }
+
+and edesc =
+  | IntLit of int
+  | FloatLit of float * bool  (** value, single precision *)
+  | StrLit of string
+  | CharLit of char
+  | Ident of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Assign of assign_op * expr * expr  (** lvalue, rvalue *)
+  | Call of string * expr list
+  | Index of expr * expr
+  | Deref of expr
+  | AddrOf of expr
+  | Member of expr * string  (** [s.f] *)
+  | Arrow of expr * string  (** [p->f] *)
+  | Cast of ctype * expr
+  | Cond of expr * expr * expr
+  | SizeofType of ctype
+  | SizeofExpr of expr
+  | IncDec of { pre : bool; inc : bool; arg : expr }
+  | Comma of expr * expr
+
+let mk_expr ?(loc = Loc.dummy) edesc = { edesc; eloc = loc }
+
+let int_lit ?(loc = Loc.dummy) i = mk_expr ~loc (IntLit i)
+
+let ident ?(loc = Loc.dummy) s = mk_expr ~loc (Ident s)
+
+(* ------------------------------------------------------------------ *)
+(* Statements and declarations *)
+
+type storage = Auto | Static | Register
+
+type decl = {
+  d_type : ctype;
+  d_name : string;
+  d_storage : storage;
+  d_init : expr option;
+  d_loc : Loc.t;
+}
+
+type stmt = { sdesc : sdesc; sloc : Loc.t }
+
+and sdesc =
+  | SExpr of expr
+  | SDecl of decl
+  | SIf of expr * stmt * stmt option
+  | SWhile of expr * stmt
+  | SDoWhile of stmt * expr
+  | SFor of for_init option * expr option * expr option * stmt
+  | SReturn of expr option
+  | SBlock of stmt list
+  | SBreak
+  | SContinue
+  | SPragma of string
+
+and for_init = FInitDecl of decl | FInitExpr of expr
+
+let mk_stmt ?(loc = Loc.dummy) sdesc = { sdesc; sloc = loc }
+
+(* ------------------------------------------------------------------ *)
+(* Top level *)
+
+type param = { p_type : ctype; p_name : string; p_loc : Loc.t }
+
+type func = {
+  f_name : string;
+  f_ret : ctype;
+  f_pure : bool;  (** declared with the [pure] function prefix *)
+  f_static : bool;
+  f_params : param list;
+  f_body : stmt list option;  (** [None] for a declaration (prototype) *)
+  f_loc : Loc.t;
+}
+
+type struct_def = { s_name : string; s_fields : (ctype * string) list; s_loc : Loc.t }
+
+type global =
+  | GFunc of func
+  | GVar of decl
+  | GStruct of struct_def
+  | GTypedef of string * ctype * Loc.t
+  | GPragma of string * Loc.t
+  | GInclude of string * Loc.t
+      (** a system include reinserted by PC-PosPro, e.g. [<stdio.h>] *)
+
+type program = global list
+
+(* ------------------------------------------------------------------ *)
+(* Helpers *)
+
+let rec type_equal a b =
+  match (a, b) with
+  | Void, Void | Int, Int | Float, Float | Double, Double | Char, Char -> true
+  | Ptr p, Ptr q ->
+    type_equal p.elt q.elt && p.ptr_pure = q.ptr_pure && p.ptr_const = q.ptr_const
+  | Array (t, n), Array (u, m) -> type_equal t u && n = m
+  | Struct a, Struct b | Named a, Named b -> String.equal a b
+  | (Void | Int | Float | Double | Char | Ptr _ | Array _ | Struct _ | Named _), _ ->
+    false
+
+(** Same representation ignoring purity/constness qualifiers. *)
+let rec type_compatible a b =
+  match (a, b) with
+  | Ptr p, Ptr q -> type_compatible p.elt q.elt
+  | Array (t, _), Array (u, _) -> type_compatible t u
+  | Array (t, _), Ptr q | Ptr q, Array (t, _) -> type_compatible t q.elt
+  | _ -> type_equal a b
+
+let is_pointer = function Ptr _ -> true | _ -> false
+
+let is_arith = function Int | Float | Double | Char -> true | _ -> false
+
+let is_float_type = function Float | Double -> true | _ -> false
+
+(** Fold over all sub-expressions of [e] including [e] itself. *)
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e.edesc with
+  | IntLit _ | FloatLit _ | StrLit _ | CharLit _ | Ident _ | SizeofType _ -> acc
+  | Binop (_, a, b) | Assign (_, a, b) | Index (a, b) | Comma (a, b) ->
+    fold_expr f (fold_expr f acc a) b
+  | Unop (_, a)
+  | Deref a
+  | AddrOf a
+  | Member (a, _)
+  | Arrow (a, _)
+  | Cast (_, a)
+  | SizeofExpr a
+  | IncDec { arg = a; _ } ->
+    fold_expr f acc a
+  | Call (_, args) -> List.fold_left (fold_expr f) acc args
+  | Cond (a, b, c) -> fold_expr f (fold_expr f (fold_expr f acc a) b) c
+
+(** Fold over all statements (pre-order) and expressions within. *)
+let rec fold_stmt ~stmt ~expr acc s =
+  let acc = stmt acc s in
+  let fe = fold_expr expr in
+  let fopt acc = function Some e -> fe acc e | None -> acc in
+  match s.sdesc with
+  | SExpr e -> fe acc e
+  | SDecl d -> fopt acc d.d_init
+  | SIf (c, t, e) ->
+    let acc = fe acc c in
+    let acc = fold_stmt ~stmt ~expr acc t in
+    (match e with Some e -> fold_stmt ~stmt ~expr acc e | None -> acc)
+  | SWhile (c, b) -> fold_stmt ~stmt ~expr (fe acc c) b
+  | SDoWhile (b, c) -> fe (fold_stmt ~stmt ~expr acc b) c
+  | SFor (init, cond, step, b) ->
+    let acc =
+      match init with
+      | Some (FInitDecl d) -> fopt acc d.d_init
+      | Some (FInitExpr e) -> fe acc e
+      | None -> acc
+    in
+    let acc = fopt acc cond in
+    let acc = fopt acc step in
+    fold_stmt ~stmt ~expr acc b
+  | SReturn e -> fopt acc e
+  | SBlock ss -> List.fold_left (fold_stmt ~stmt ~expr) acc ss
+  | SBreak | SContinue | SPragma _ -> acc
+
+(** All function names called anywhere under [s]. *)
+let calls_in_stmt s =
+  fold_stmt ~stmt:(fun acc _ -> acc)
+    ~expr:(fun acc e -> match e.edesc with Call (f, _) -> f :: acc | _ -> acc)
+    [] s
+
+let calls_in_expr e =
+  fold_expr (fun acc e -> match e.edesc with Call (f, _) -> f :: acc | _ -> acc) [] e
+
+(** Map over every statement in a function body (bottom-up). *)
+let rec map_stmt f s =
+  let remap sdesc = f { s with sdesc } in
+  match s.sdesc with
+  | SExpr _ | SDecl _ | SReturn _ | SBreak | SContinue | SPragma _ -> f s
+  | SIf (c, t, e) -> remap (SIf (c, map_stmt f t, Option.map (map_stmt f) e))
+  | SWhile (c, b) -> remap (SWhile (c, map_stmt f b))
+  | SDoWhile (b, c) -> remap (SDoWhile (map_stmt f b, c))
+  | SFor (i, c, st, b) -> remap (SFor (i, c, st, map_stmt f b))
+  | SBlock ss -> remap (SBlock (List.map (map_stmt f) ss))
+
+(** Find a function by name in a program. *)
+let find_func program name =
+  List.find_map
+    (function GFunc f when f.f_name = name -> Some f | _ -> None)
+    program
+
+(** All function definitions (with bodies). *)
+let definitions program =
+  List.filter_map
+    (function GFunc f when f.f_body <> None -> Some f | _ -> None)
+    program

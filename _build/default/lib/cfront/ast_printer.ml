@@ -1,0 +1,237 @@
+(** Printing the AST back to C source.
+
+    The tool chain is source-to-source (paper Fig. 1), so the printer must
+    emit compilable C: qualifiers, pragmas and casts all round-trip through
+    {!Parser}. *)
+
+open Ast
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | LAnd -> "&&"
+  | LOr -> "||"
+  | BAnd -> "&"
+  | BOr -> "|"
+  | BXor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+let assign_op_str = function
+  | OpAssign -> "="
+  | OpAddAssign -> "+="
+  | OpSubAssign -> "-="
+  | OpMulAssign -> "*="
+  | OpDivAssign -> "/="
+  | OpModAssign -> "%="
+
+(* Precedence levels, higher binds tighter. *)
+let binop_prec = function
+  | Mul | Div | Mod -> 12
+  | Add | Sub -> 11
+  | Shl | Shr -> 10
+  | Lt | Le | Gt | Ge -> 9
+  | Eq | Ne -> 8
+  | BAnd -> 7
+  | BXor -> 6
+  | BOr -> 5
+  | LAnd -> 4
+  | LOr -> 3
+
+(* ------------------------------------------------------------------ *)
+(* Types.  C declarators wrap inside-out; we support the subset where the
+   base type is printed, then stars, then the declarator name, then array
+   suffixes. *)
+
+let rec base_and_suffix ty =
+  (* Returns (prefix string including stars, array-suffix string). *)
+  match ty with
+  | Void -> ("void", "")
+  | Int -> ("int", "")
+  | Float -> ("float", "")
+  | Double -> ("double", "")
+  | Char -> ("char", "")
+  | Struct s -> ("struct " ^ s, "")
+  | Named s -> (s, "")
+  | Ptr { elt; ptr_pure; ptr_const } ->
+    let pre, suf = base_and_suffix elt in
+    let quald =
+      if ptr_pure then "pure " ^ pre else if ptr_const then "const " ^ pre else pre
+    in
+    (quald ^ "*", suf)
+  | Array (elt, n) ->
+    let pre, suf = base_and_suffix elt in
+    let dim = match n with Some n -> Printf.sprintf "[%d]" n | None -> "[]" in
+    (pre, dim ^ suf)
+
+let type_to_string ty =
+  let pre, suf = base_and_suffix ty in
+  pre ^ suf
+
+(** Declaration of [name] with type [ty], e.g. [float a[10]]. *)
+let declarator ty name =
+  let pre, suf = base_and_suffix ty in
+  if suf = "" then Printf.sprintf "%s %s" pre name
+  else Printf.sprintf "%s %s%s" pre name suf
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let float_lit_to_string v single =
+  let s =
+    if Float.is_integer v && Float.abs v < 1e16 then Printf.sprintf "%.1f" v
+    else Printf.sprintf "%.17g" v
+  in
+  if single then s ^ "f" else s
+
+let rec expr_str ?(prec = 0) e =
+  let s, my_prec =
+    match e.edesc with
+    | IntLit i -> (string_of_int i, 100)
+    | FloatLit (v, single) -> (float_lit_to_string v single, 100)
+    | StrLit s -> (Printf.sprintf "%S" s, 100)
+    | CharLit c -> (Printf.sprintf "'%s'" (Char.escaped c), 100)
+    | Ident x -> (x, 100)
+    | Binop (op, a, b) ->
+      let p = binop_prec op in
+      ( Printf.sprintf "%s %s %s"
+          (expr_str ~prec:p a)
+          (binop_str op)
+          (expr_str ~prec:(p + 1) b),
+        p )
+    | Unop (op, a) ->
+      let op_s = match op with Neg -> "-" | LNot -> "!" | BNot -> "~" in
+      (op_s ^ expr_str ~prec:14 a, 14)
+    | Assign (op, l, r) ->
+      ( Printf.sprintf "%s %s %s" (expr_str ~prec:2 l) (assign_op_str op)
+          (expr_str ~prec:1 r),
+        1 )
+    | Call (f, args) ->
+      (Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_str args)), 100)
+    | Index (a, i) -> (Printf.sprintf "%s[%s]" (expr_str ~prec:15 a) (expr_str i), 15)
+    | Deref a -> ("*" ^ expr_str ~prec:14 a, 14)
+    | AddrOf a -> ("&" ^ expr_str ~prec:14 a, 14)
+    | Member (a, f) -> (Printf.sprintf "%s.%s" (expr_str ~prec:15 a) f, 15)
+    | Arrow (a, f) -> (Printf.sprintf "%s->%s" (expr_str ~prec:15 a) f, 15)
+    | Cast (ty, a) ->
+      (Printf.sprintf "(%s)%s" (type_to_string ty) (expr_str ~prec:14 a), 13)
+    | Cond (c, t, f) ->
+      ( Printf.sprintf "%s ? %s : %s" (expr_str ~prec:3 c) (expr_str t)
+          (expr_str ~prec:2 f),
+        2 )
+    | SizeofType ty -> (Printf.sprintf "sizeof(%s)" (type_to_string ty), 100)
+    | SizeofExpr a -> (Printf.sprintf "sizeof(%s)" (expr_str a), 100)
+    | IncDec { pre; inc; arg } ->
+      let op_s = if inc then "++" else "--" in
+      if pre then (op_s ^ expr_str ~prec:14 arg, 14)
+      else (expr_str ~prec:15 arg ^ op_s, 15)
+    | Comma (a, b) -> (Printf.sprintf "%s, %s" (expr_str a) (expr_str ~prec:0 b), 0)
+  in
+  if my_prec < prec then "(" ^ s ^ ")" else s
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let storage_prefix = function Auto -> "" | Static -> "static " | Register -> "register "
+
+let decl_str d =
+  let init = match d.d_init with Some e -> " = " ^ expr_str e | None -> "" in
+  Printf.sprintf "%s%s%s;" (storage_prefix d.d_storage) (declarator d.d_type d.d_name) init
+
+let indent n = String.make (2 * n) ' '
+
+let rec stmt_lines lvl s =
+  let pad = indent lvl in
+  match s.sdesc with
+  | SExpr e -> [ pad ^ expr_str e ^ ";" ]
+  | SDecl d -> [ pad ^ decl_str d ]
+  | SIf (c, t, e) -> (
+    let head = Printf.sprintf "%sif (%s)" pad (expr_str c) in
+    let then_lines = block_lines lvl t in
+    match e with
+    | None -> (head ^ " {") :: (then_lines @ [ pad ^ "}" ])
+    | Some e ->
+      (head ^ " {")
+      :: (then_lines @ [ pad ^ "} else {" ] @ block_lines lvl e @ [ pad ^ "}" ]))
+  | SWhile (c, b) ->
+    (Printf.sprintf "%swhile (%s) {" pad (expr_str c) :: block_lines lvl b)
+    @ [ pad ^ "}" ]
+  | SDoWhile (b, c) ->
+    ((pad ^ "do {") :: block_lines lvl b)
+    @ [ Printf.sprintf "%s} while (%s);" pad (expr_str c) ]
+  | SFor (init, cond, step, b) ->
+    let init_s =
+      match init with
+      | None -> ""
+      | Some (FInitExpr e) -> expr_str e
+      | Some (FInitDecl d) ->
+        let init = match d.d_init with Some e -> " = " ^ expr_str e | None -> "" in
+        declarator d.d_type d.d_name ^ init
+    in
+    let cond_s = match cond with Some e -> expr_str e | None -> "" in
+    let step_s = match step with Some e -> expr_str e | None -> "" in
+    (Printf.sprintf "%sfor (%s; %s; %s) {" pad init_s cond_s step_s
+    :: block_lines lvl b)
+    @ [ pad ^ "}" ]
+  | SReturn None -> [ pad ^ "return;" ]
+  | SReturn (Some e) -> [ pad ^ "return " ^ expr_str e ^ ";" ]
+  | SBlock ss -> ((pad ^ "{") :: List.concat_map (stmt_lines (lvl + 1)) ss) @ [ pad ^ "}" ]
+  | SBreak -> [ pad ^ "break;" ]
+  | SContinue -> [ pad ^ "continue;" ]
+  | SPragma p -> [ "#pragma " ^ p ]
+
+and block_lines lvl s =
+  match s.sdesc with
+  | SBlock ss -> List.concat_map (stmt_lines (lvl + 1)) ss
+  | _ -> stmt_lines (lvl + 1) s
+
+(* ------------------------------------------------------------------ *)
+(* Top level *)
+
+let param_str p = declarator p.p_type p.p_name
+
+let func_header f =
+  let pure_s = if f.f_pure then "pure " else "" in
+  let static_s = if f.f_static then "static " else "" in
+  let params =
+    match f.f_params with
+    | [] -> "void"
+    | ps -> String.concat ", " (List.map param_str ps)
+  in
+  let pre, suf = base_and_suffix f.f_ret in
+  (* Function return types in the subset never carry array suffixes. *)
+  assert (suf = "");
+  Printf.sprintf "%s%s%s %s(%s)" static_s pure_s pre f.f_name params
+
+let func_lines f =
+  match f.f_body with
+  | None -> [ func_header f ^ ";" ]
+  | Some body ->
+    ((func_header f ^ " {") :: List.concat_map (stmt_lines 1) body) @ [ "}" ]
+
+let global_lines = function
+  | GFunc f -> func_lines f @ [ "" ]
+  | GVar d -> [ decl_str d ]
+  | GStruct s ->
+    (Printf.sprintf "struct %s {" s.s_name
+    :: List.map (fun (ty, name) -> "  " ^ declarator ty name ^ ";") s.s_fields)
+    @ [ "};"; "" ]
+  | GTypedef (name, ty, _) -> [ Printf.sprintf "typedef %s;" (declarator ty name) ]
+  | GPragma (p, _) -> [ "#pragma " ^ p ]
+  | GInclude (h, _) -> [ Printf.sprintf "#include %s" h ]
+
+let program_to_string (p : program) =
+  String.concat "\n" (List.concat_map global_lines p) ^ "\n"
+
+let stmt_to_string s = String.concat "\n" (stmt_lines 0 s)
+
+let expr_to_string e = expr_str e

@@ -1,0 +1,307 @@
+(** Hand-written lexer for the C subset.
+
+    Input is expected to be already preprocessed (no [#include]/[#define]
+    remain) except that [#pragma] lines are kept and lexed into single
+    [PRAGMA] tokens, and [# <line> "<file>"] markers are skipped. *)
+
+open Support
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of beginning of current line *)
+}
+
+let create ?(file = "<input>") src = { src; file; pos = 0; line = 1; bol = 0 }
+
+let loc st = Loc.make ~file:st.file ~line:st.line ~col:(st.pos - st.bol + 1)
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let error st fmt = Diag.fatal ~loc:(loc st) ~code:"lex" fmt
+
+(* Skip whitespace and comments; returns unit. Raises on unterminated
+   comment. *)
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do
+      advance st
+    done;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+    advance st;
+    advance st;
+    let rec go () =
+      match peek st with
+      | None -> error st "unterminated comment"
+      | Some '*' when peek2 st = Some '/' ->
+        advance st;
+        advance st
+      | Some _ ->
+        advance st;
+        go ()
+    in
+    go ();
+    skip_trivia st
+  | _ -> ()
+
+let read_while st pred =
+  let start = st.pos in
+  while match peek st with Some c when pred c -> true | _ -> false do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_number st =
+  let intpart = read_while st is_digit in
+  let is_float =
+    match (peek st, peek2 st) with
+    | Some '.', _ -> true
+    | Some ('e' | 'E'), Some (('0' .. '9' | '+' | '-') as _c) -> true
+    | _ -> false
+  in
+  if is_float then begin
+    let frac =
+      if peek st = Some '.' then begin
+        advance st;
+        "." ^ read_while st is_digit
+      end
+      else ""
+    in
+    let exp =
+      match peek st with
+      | Some ('e' | 'E') ->
+        advance st;
+        let sign =
+          match peek st with
+          | Some (('+' | '-') as c) ->
+            advance st;
+            String.make 1 c
+          | _ -> ""
+        in
+        "e" ^ sign ^ read_while st is_digit
+      | _ -> ""
+    in
+    let single =
+      match peek st with
+      | Some ('f' | 'F') ->
+        advance st;
+        true
+      | _ -> false
+    in
+    Token.FLOAT_LIT (float_of_string (intpart ^ frac ^ exp), single)
+  end
+  else begin
+    (* consume integer suffixes silently: u, l, ul, ll... *)
+    let _ = read_while st (fun c -> c = 'u' || c = 'U' || c = 'l' || c = 'L') in
+    Token.INT_LIT (int_of_string intpart)
+  end
+
+let lex_escape st =
+  match peek st with
+  | Some 'n' ->
+    advance st;
+    '\n'
+  | Some 't' ->
+    advance st;
+    '\t'
+  | Some 'r' ->
+    advance st;
+    '\r'
+  | Some '0' ->
+    advance st;
+    '\000'
+  | Some '\\' ->
+    advance st;
+    '\\'
+  | Some '\'' ->
+    advance st;
+    '\''
+  | Some '"' ->
+    advance st;
+    '"'
+  | Some c ->
+    advance st;
+    c
+  | None -> error st "unterminated escape sequence"
+
+let lex_string st =
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      Buffer.add_char buf (lex_escape st);
+      go ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Token.STR_LIT (Buffer.contents buf)
+
+let lex_char st =
+  advance st;
+  (* opening quote *)
+  let c =
+    match peek st with
+    | Some '\\' ->
+      advance st;
+      lex_escape st
+    | Some c ->
+      advance st;
+      c
+    | None -> error st "unterminated character literal"
+  in
+  (match peek st with
+  | Some '\'' -> advance st
+  | _ -> error st "unterminated character literal");
+  Token.CHAR_LIT c
+
+(* A '#' directive. Preprocessed input may still contain '#pragma' lines
+   (kept) and '# <line>' markers (skipped). *)
+let lex_hash st =
+  advance st;
+  (* '#' *)
+  let _ = read_while st (fun c -> c = ' ' || c = '\t') in
+  let word = read_while st is_ident_char in
+  let rest_of_line () =
+    let s = read_while st (fun c -> c <> '\n') in
+    String.trim s
+  in
+  if word = "pragma" then Some (Token.PRAGMA (rest_of_line ()))
+  else begin
+    (* line marker or unknown directive: skip the line *)
+    let _ = rest_of_line () in
+    None
+  end
+
+let next_token st =
+  skip_trivia st;
+  let l = loc st in
+  let mk tok = { Token.tok; loc = l } in
+  match peek st with
+  | None -> mk Token.EOF
+  | Some c -> (
+    match c with
+    | '#' ->
+      (* Directives are handled by [next]; reaching here means a stray '#'. *)
+      error st "unexpected '#'"
+    | '0' .. '9' -> mk (lex_number st)
+    | '"' -> mk (lex_string st)
+    | '\'' -> mk (lex_char st)
+    | c when is_ident_start c ->
+      let word = read_while st is_ident_char in
+      mk
+        (match List.assoc_opt word Token.keyword_table with
+        | Some kw -> kw
+        | None -> Token.IDENT word)
+    | _ ->
+      let two a b tok =
+        if peek st = Some a && peek2 st = Some b then begin
+          advance st;
+          advance st;
+          Some tok
+        end
+        else None
+      in
+      let candidates =
+        [
+          two '-' '>' Token.ARROW;
+          two '<' '=' Token.LE;
+          two '>' '=' Token.GE;
+          two '=' '=' Token.EQEQ;
+          two '!' '=' Token.NEQ;
+          two '&' '&' Token.ANDAND;
+          two '|' '|' Token.OROR;
+          two '<' '<' Token.SHL;
+          two '>' '>' Token.SHR;
+          two '+' '=' Token.PLUS_ASSIGN;
+          two '-' '=' Token.MINUS_ASSIGN;
+          two '*' '=' Token.STAR_ASSIGN;
+          two '/' '=' Token.SLASH_ASSIGN;
+          two '%' '=' Token.PERCENT_ASSIGN;
+          two '+' '+' Token.PLUSPLUS;
+          two '-' '-' Token.MINUSMINUS;
+        ]
+      in
+      (match List.find_opt Option.is_some candidates with
+      | Some (Some tok) -> mk tok
+      | _ ->
+        advance st;
+        mk
+          (match c with
+          | '(' -> Token.LPAREN
+          | ')' -> Token.RPAREN
+          | '{' -> Token.LBRACE
+          | '}' -> Token.RBRACE
+          | '[' -> Token.LBRACKET
+          | ']' -> Token.RBRACKET
+          | ';' -> Token.SEMI
+          | ',' -> Token.COMMA
+          | '.' -> Token.DOT
+          | '?' -> Token.QUESTION
+          | ':' -> Token.COLON
+          | '+' -> Token.PLUS
+          | '-' -> Token.MINUS
+          | '*' -> Token.STAR
+          | '/' -> Token.SLASH
+          | '%' -> Token.PERCENT
+          | '&' -> Token.AMP
+          | '|' -> Token.PIPE
+          | '^' -> Token.CARET
+          | '~' -> Token.TILDE
+          | '!' -> Token.BANG
+          | '<' -> Token.LT
+          | '>' -> Token.GT
+          | '=' -> Token.ASSIGN
+          | c -> error st "unexpected character %C" c)))
+
+(* The '#'-skipping path in [next_token] is awkward recursively; wrap it so a
+   skipped directive simply yields the following token. *)
+let rec next st =
+  skip_trivia st;
+  match peek st with
+  | Some '#' -> (
+    let l = loc st in
+    match lex_hash st with
+    | Some tok -> { Token.tok; loc = l }
+    | None -> next st)
+  | _ -> next_token st
+
+(** Lex the whole input into a token list ending with EOF. *)
+let tokenize ?file src =
+  let st = create ?file src in
+  let rec go acc =
+    let t = next st in
+    match t.Token.tok with Token.EOF -> List.rev (t :: acc) | _ -> go (t :: acc)
+  in
+  go []

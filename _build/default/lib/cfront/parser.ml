@@ -1,0 +1,713 @@
+(** Recursive-descent parser for the C subset with [pure].
+
+    Declarations follow the simplified grammar
+
+    {v
+      decl      ::= storage? qual* base-type '*'* name dims? ('=' init)? ';'
+      qual      ::= 'pure' | 'const'
+      base-type ::= 'void' | 'int' | 'float' | 'double' | 'char'
+                  | 'struct' IDENT | typedef-name
+    v}
+
+    where a [pure]/[const] qualifier written before the base type attaches to
+    the outermost pointer (the paper's [pure int* p] syntax), and a [pure]
+    before a function declarator marks the function itself pure (Listing 1). *)
+
+open Support
+
+type state = {
+  toks : Token.spanned array;
+  mutable pos : int;
+  mutable typedefs : string list;
+  reporter : Diag.reporter;
+}
+
+let create ?(reporter = Diag.create_reporter ()) toks =
+  { toks = Array.of_list toks; pos = 0; typedefs = []; reporter }
+
+let peek st = st.toks.(st.pos).Token.tok
+
+let peek_at st n =
+  let i = st.pos + n in
+  if i < Array.length st.toks then st.toks.(i).Token.tok else Token.EOF
+
+let cur_loc st = st.toks.(st.pos).Token.loc
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let err st fmt = Diag.fatal ~loc:(cur_loc st) ~code:"parse" fmt
+
+let expect st tok =
+  if peek st = tok then advance st
+  else err st "expected %s but found %s" (Token.to_string tok) (Token.to_string (peek st))
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT s ->
+    advance st;
+    s
+  | t -> err st "expected identifier but found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Type parsing *)
+
+let is_base_type_token st = function
+  | Token.KW_INT | Token.KW_FLOAT | Token.KW_DOUBLE | Token.KW_CHAR | Token.KW_VOID
+  | Token.KW_STRUCT | Token.KW_LONG | Token.KW_UNSIGNED | Token.KW_SHORT ->
+    true
+  | Token.IDENT s -> List.mem s st.typedefs
+  | _ -> false
+
+let starts_type st = function
+  | Token.KW_PURE | Token.KW_CONST | Token.KW_STATIC | Token.KW_REGISTER -> true
+  | t -> is_base_type_token st t
+
+(* Parse the base type (no stars). *)
+let rec parse_base_type st =
+  match peek st with
+  | Token.KW_VOID ->
+    advance st;
+    Ast.Void
+  | Token.KW_INT ->
+    advance st;
+    Ast.Int
+  | Token.KW_FLOAT ->
+    advance st;
+    Ast.Float
+  | Token.KW_DOUBLE ->
+    advance st;
+    Ast.Double
+  | Token.KW_CHAR ->
+    advance st;
+    Ast.Char
+  | Token.KW_LONG ->
+    (* 'long', 'long long', 'long int' all collapse to Int in the subset. *)
+    advance st;
+    if peek st = Token.KW_LONG then advance st;
+    if peek st = Token.KW_INT then advance st;
+    Ast.Int
+  | Token.KW_SHORT ->
+    advance st;
+    if peek st = Token.KW_INT then advance st;
+    Ast.Int
+  | Token.KW_UNSIGNED ->
+    advance st;
+    if is_base_type_token st (peek st) then parse_base_type st
+    else Ast.Int
+  | Token.KW_STRUCT ->
+    advance st;
+    Ast.Struct (expect_ident st)
+  | Token.IDENT s when List.mem s st.typedefs ->
+    advance st;
+    Ast.Named s
+  | t -> err st "expected a type but found %s" (Token.to_string t)
+
+(* Leading qualifiers before the base type: (pure?, const?). *)
+let parse_prequals st =
+  let saw_pure = ref false and saw_const = ref false in
+  let rec quals () =
+    match peek st with
+    | Token.KW_PURE ->
+      saw_pure := true;
+      advance st;
+      quals ()
+    | Token.KW_CONST ->
+      saw_const := true;
+      advance st;
+      quals ()
+    | _ -> ()
+  in
+  quals ();
+  (!saw_pure, !saw_const)
+
+(* Stars belonging to one declarator.  Qualifiers written before the base
+   type attach to the outermost star (the paper's [pure int* p] syntax). *)
+let parse_stars st ~pure ~const base =
+  let rec stars acc depth =
+    if peek st = Token.STAR then begin
+      advance st;
+      (* const may also appear after a star: 'int * const p' *)
+      let post_const = ref false in
+      while peek st = Token.KW_CONST do
+        post_const := true;
+        advance st
+      done;
+      stars (Ast.ptr acc ~const:!post_const) (depth + 1)
+    end
+    else (acc, depth)
+  in
+  let ty, depth = stars base 0 in
+  if depth = 0 then ty
+    (* Qualified scalar: a read-only plain value; nothing to attach to. *)
+  else
+    match ty with
+    | Ast.Ptr p ->
+      Ast.Ptr { p with ptr_pure = p.ptr_pure || pure; ptr_const = p.ptr_const || const }
+    | _ -> assert false
+
+(* Parse qualifiers + base type + stars as one type (casts, params,
+   typedefs: contexts with exactly one declarator). *)
+let parse_type st =
+  let pure, const = parse_prequals st in
+  let base = parse_base_type st in
+  parse_stars st ~pure ~const base
+
+(* Lookahead: does a '(' open a cast?  True iff the token after '(' starts a
+   type and the matching ')' directly follows a type-ish token sequence.  We
+   use the simpler decision: next token is a qualifier or base-type token. *)
+let is_cast_ahead st =
+  peek st = Token.LPAREN
+  &&
+  match peek_at st 1 with
+  | Token.KW_PURE | Token.KW_CONST -> true
+  | t -> is_base_type_token st t
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let binop_of_token = function
+  | Token.PLUS -> Some (Ast.Add, 11)
+  | Token.MINUS -> Some (Ast.Sub, 11)
+  | Token.STAR -> Some (Ast.Mul, 12)
+  | Token.SLASH -> Some (Ast.Div, 12)
+  | Token.PERCENT -> Some (Ast.Mod, 12)
+  | Token.SHL -> Some (Ast.Shl, 10)
+  | Token.SHR -> Some (Ast.Shr, 10)
+  | Token.LT -> Some (Ast.Lt, 9)
+  | Token.LE -> Some (Ast.Le, 9)
+  | Token.GT -> Some (Ast.Gt, 9)
+  | Token.GE -> Some (Ast.Ge, 9)
+  | Token.EQEQ -> Some (Ast.Eq, 8)
+  | Token.NEQ -> Some (Ast.Ne, 8)
+  | Token.AMP -> Some (Ast.BAnd, 7)
+  | Token.CARET -> Some (Ast.BXor, 6)
+  | Token.PIPE -> Some (Ast.BOr, 5)
+  | Token.ANDAND -> Some (Ast.LAnd, 4)
+  | Token.OROR -> Some (Ast.LOr, 3)
+  | _ -> None
+
+let assign_op_of_token = function
+  | Token.ASSIGN -> Some Ast.OpAssign
+  | Token.PLUS_ASSIGN -> Some Ast.OpAddAssign
+  | Token.MINUS_ASSIGN -> Some Ast.OpSubAssign
+  | Token.STAR_ASSIGN -> Some Ast.OpMulAssign
+  | Token.SLASH_ASSIGN -> Some Ast.OpDivAssign
+  | Token.PERCENT_ASSIGN -> Some Ast.OpModAssign
+  | _ -> None
+
+let rec parse_expr st = parse_comma st
+
+and parse_comma st =
+  let e = parse_assign st in
+  if peek st = Token.COMMA then begin
+    let loc = cur_loc st in
+    advance st;
+    let rest = parse_comma st in
+    Ast.mk_expr ~loc (Ast.Comma (e, rest))
+  end
+  else e
+
+and parse_assign st =
+  let lhs = parse_cond st in
+  match assign_op_of_token (peek st) with
+  | Some op ->
+    let loc = cur_loc st in
+    advance st;
+    let rhs = parse_assign st in
+    Ast.mk_expr ~loc (Ast.Assign (op, lhs, rhs))
+  | None -> lhs
+
+and parse_cond st =
+  let c = parse_binary st 0 in
+  if peek st = Token.QUESTION then begin
+    let loc = cur_loc st in
+    advance st;
+    let t = parse_assign st in
+    expect st Token.COLON;
+    let f = parse_cond st in
+    Ast.mk_expr ~loc (Ast.Cond (c, t, f))
+  end
+  else c
+
+and parse_binary st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match binop_of_token (peek st) with
+    | Some (op, prec) when prec >= min_prec ->
+      let loc = cur_loc st in
+      advance st;
+      let rhs = parse_binary st (prec + 1) in
+      loop (Ast.mk_expr ~loc (Ast.Binop (op, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  let loc = cur_loc st in
+  match peek st with
+  | Token.MINUS ->
+    advance st;
+    Ast.mk_expr ~loc (Ast.Unop (Ast.Neg, parse_unary st))
+  | Token.BANG ->
+    advance st;
+    Ast.mk_expr ~loc (Ast.Unop (Ast.LNot, parse_unary st))
+  | Token.TILDE ->
+    advance st;
+    Ast.mk_expr ~loc (Ast.Unop (Ast.BNot, parse_unary st))
+  | Token.STAR ->
+    advance st;
+    Ast.mk_expr ~loc (Ast.Deref (parse_unary st))
+  | Token.AMP ->
+    advance st;
+    Ast.mk_expr ~loc (Ast.AddrOf (parse_unary st))
+  | Token.PLUSPLUS ->
+    advance st;
+    Ast.mk_expr ~loc (Ast.IncDec { pre = true; inc = true; arg = parse_unary st })
+  | Token.MINUSMINUS ->
+    advance st;
+    Ast.mk_expr ~loc (Ast.IncDec { pre = true; inc = false; arg = parse_unary st })
+  | Token.KW_SIZEOF ->
+    advance st;
+    expect st Token.LPAREN;
+    let e =
+      if starts_type st (peek st) then begin
+        let ty = parse_type st in
+        Ast.mk_expr ~loc (Ast.SizeofType ty)
+      end
+      else Ast.mk_expr ~loc (Ast.SizeofExpr (parse_expr st))
+    in
+    expect st Token.RPAREN;
+    e
+  | Token.LPAREN when is_cast_ahead st ->
+    advance st;
+    let ty = parse_type st in
+    expect st Token.RPAREN;
+    Ast.mk_expr ~loc (Ast.Cast (ty, parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = parse_primary st in
+  let rec loop e =
+    let loc = cur_loc st in
+    match peek st with
+    | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.RBRACKET;
+      loop (Ast.mk_expr ~loc (Ast.Index (e, idx)))
+    | Token.DOT ->
+      advance st;
+      loop (Ast.mk_expr ~loc (Ast.Member (e, expect_ident st)))
+    | Token.ARROW ->
+      advance st;
+      loop (Ast.mk_expr ~loc (Ast.Arrow (e, expect_ident st)))
+    | Token.PLUSPLUS ->
+      advance st;
+      loop (Ast.mk_expr ~loc (Ast.IncDec { pre = false; inc = true; arg = e }))
+    | Token.MINUSMINUS ->
+      advance st;
+      loop (Ast.mk_expr ~loc (Ast.IncDec { pre = false; inc = false; arg = e }))
+    | _ -> e
+  in
+  loop e
+
+and parse_primary st =
+  let loc = cur_loc st in
+  match peek st with
+  | Token.INT_LIT i ->
+    advance st;
+    Ast.mk_expr ~loc (Ast.IntLit i)
+  | Token.FLOAT_LIT (f, single) ->
+    advance st;
+    Ast.mk_expr ~loc (Ast.FloatLit (f, single))
+  | Token.STR_LIT s ->
+    advance st;
+    Ast.mk_expr ~loc (Ast.StrLit s)
+  | Token.CHAR_LIT c ->
+    advance st;
+    Ast.mk_expr ~loc (Ast.CharLit c)
+  | Token.IDENT name ->
+    advance st;
+    if peek st = Token.LPAREN then begin
+      advance st;
+      let args =
+        if peek st = Token.RPAREN then []
+        else
+          let rec go acc =
+            let e = parse_assign st in
+            if peek st = Token.COMMA then begin
+              advance st;
+              go (e :: acc)
+            end
+            else List.rev (e :: acc)
+          in
+          go []
+      in
+      expect st Token.RPAREN;
+      Ast.mk_expr ~loc (Ast.Call (name, args))
+    end
+    else Ast.mk_expr ~loc (Ast.Ident name)
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    e
+  | t -> err st "expected expression but found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations (local and global share this shape) *)
+
+let parse_storage st =
+  match peek st with
+  | Token.KW_STATIC ->
+    advance st;
+    Ast.Static
+  | Token.KW_REGISTER ->
+    advance st;
+    Ast.Register
+  | _ -> Ast.Auto
+
+(* Array dimension suffixes after a declarator name: a[10][20]. *)
+let rec parse_dims st ty =
+  if peek st = Token.LBRACKET then begin
+    advance st;
+    let n =
+      match peek st with
+      | Token.INT_LIT i ->
+        advance st;
+        Some i
+      | Token.RBRACKET -> None
+      | t -> err st "expected array size but found %s" (Token.to_string t)
+    in
+    expect st Token.RBRACKET;
+    let inner = parse_dims st ty in
+    Ast.Array (inner, n)
+  end
+  else ty
+
+(* One declarator (stars, name, dims, init) given leading qualifiers and the
+   base type, which are shared across a comma-separated declarator group. *)
+let parse_one_declarator st ~pure ~const ~storage base =
+  let loc = cur_loc st in
+  let ty = parse_stars st ~pure ~const base in
+  let name = expect_ident st in
+  let ty = parse_dims st ty in
+  let init =
+    if peek st = Token.ASSIGN then begin
+      advance st;
+      Some (parse_assign st)
+    end
+    else None
+  in
+  { Ast.d_type = ty; d_name = name; d_storage = storage; d_init = init; d_loc = loc }
+
+(* A declaration group: 'int t1, *p, lb = 0;' → one decl per declarator. *)
+let parse_decl_group st storage =
+  let pure, const = parse_prequals st in
+  let base = parse_base_type st in
+  let rec go acc =
+    let d = parse_one_declarator st ~pure ~const ~storage base in
+    if peek st = Token.COMMA then begin
+      advance st;
+      go (d :: acc)
+    end
+    else List.rev (d :: acc)
+  in
+  go []
+
+(* One declaration after storage class; used in for-init where C allows a
+   group but our polyhedral front end only meets single declarators. *)
+let parse_decl_after_storage st storage =
+  match parse_decl_group st storage with
+  | [ d ] -> d
+  | d :: _ as ds ->
+    Diag.error st.reporter ~loc:d.Ast.d_loc ~code:"parse.for-init-group"
+      "multiple declarators in a for-initializer are not supported; using the \
+       first of %d" (List.length ds);
+    d
+  | [] -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+(* [parse_stmt] yields one statement; a declaration group like
+   'int a, b = 1;' yields several, so blocks use [parse_stmt_many]. *)
+let rec parse_stmt st =
+  match parse_stmt_many st with
+  | [ s ] -> s
+  | ss -> Ast.mk_stmt ~loc:(cur_loc st) (Ast.SBlock ss)
+
+and parse_stmt_many st : Ast.stmt list =
+  match peek st with
+  | t when starts_type st t ->
+    let storage = parse_storage st in
+    let ds = parse_decl_group st storage in
+    expect st Token.SEMI;
+    List.map (fun d -> Ast.mk_stmt ~loc:d.Ast.d_loc (Ast.SDecl d)) ds
+  | _ -> [ parse_stmt_single st ]
+
+and parse_stmt_single st =
+  let loc = cur_loc st in
+  match peek st with
+  | Token.LBRACE ->
+    advance st;
+    let rec go acc =
+      if peek st = Token.RBRACE then begin
+        advance st;
+        List.rev acc
+      end
+      else go (List.rev_append (parse_stmt_many st) acc)
+    in
+    Ast.mk_stmt ~loc (Ast.SBlock (go []))
+  | Token.SEMI ->
+    advance st;
+    Ast.mk_stmt ~loc (Ast.SBlock [])
+  | Token.PRAGMA p ->
+    advance st;
+    Ast.mk_stmt ~loc (Ast.SPragma p)
+  | Token.KW_IF ->
+    advance st;
+    expect st Token.LPAREN;
+    let c = parse_expr st in
+    expect st Token.RPAREN;
+    let t = parse_stmt st in
+    let e =
+      if peek st = Token.KW_ELSE then begin
+        advance st;
+        Some (parse_stmt st)
+      end
+      else None
+    in
+    Ast.mk_stmt ~loc (Ast.SIf (c, t, e))
+  | Token.KW_WHILE ->
+    advance st;
+    expect st Token.LPAREN;
+    let c = parse_expr st in
+    expect st Token.RPAREN;
+    Ast.mk_stmt ~loc (Ast.SWhile (c, parse_stmt st))
+  | Token.KW_DO ->
+    advance st;
+    let b = parse_stmt st in
+    expect st Token.KW_WHILE;
+    expect st Token.LPAREN;
+    let c = parse_expr st in
+    expect st Token.RPAREN;
+    expect st Token.SEMI;
+    Ast.mk_stmt ~loc (Ast.SDoWhile (b, c))
+  | Token.KW_FOR ->
+    advance st;
+    expect st Token.LPAREN;
+    let init =
+      if peek st = Token.SEMI then None
+      else if starts_type st (peek st) then begin
+        let storage = parse_storage st in
+        Some (Ast.FInitDecl (parse_decl_after_storage st storage))
+      end
+      else Some (Ast.FInitExpr (parse_expr st))
+    in
+    expect st Token.SEMI;
+    let cond = if peek st = Token.SEMI then None else Some (parse_expr st) in
+    expect st Token.SEMI;
+    let step = if peek st = Token.RPAREN then None else Some (parse_expr st) in
+    expect st Token.RPAREN;
+    Ast.mk_stmt ~loc (Ast.SFor (init, cond, step, parse_stmt st))
+  | Token.KW_RETURN ->
+    advance st;
+    let e = if peek st = Token.SEMI then None else Some (parse_expr st) in
+    expect st Token.SEMI;
+    Ast.mk_stmt ~loc (Ast.SReturn e)
+  | Token.KW_BREAK ->
+    advance st;
+    expect st Token.SEMI;
+    Ast.mk_stmt ~loc Ast.SBreak
+  | Token.KW_CONTINUE ->
+    advance st;
+    expect st Token.SEMI;
+    Ast.mk_stmt ~loc Ast.SContinue
+  | _ ->
+    let e = parse_expr st in
+    expect st Token.SEMI;
+    Ast.mk_stmt ~loc (Ast.SExpr e)
+
+(* ------------------------------------------------------------------ *)
+(* Top level *)
+
+let parse_params st =
+  expect st Token.LPAREN;
+  if peek st = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else if peek st = Token.KW_VOID && peek_at st 1 = Token.RPAREN then begin
+    advance st;
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let loc = cur_loc st in
+      let ty = parse_type st in
+      let name = expect_ident st in
+      let ty = parse_dims st ty in
+      let p = { Ast.p_type = ty; p_name = name; p_loc = loc } in
+      if peek st = Token.COMMA then begin
+        advance st;
+        go (p :: acc)
+      end
+      else begin
+        expect st Token.RPAREN;
+        List.rev (p :: acc)
+      end
+    in
+    go []
+  end
+
+(* A top-level item may expand to several globals ('float **A, **Bt, **C;'). *)
+let parse_global_many st : Ast.global list =
+  let loc = cur_loc st in
+  match peek st with
+  | Token.PRAGMA p ->
+    advance st;
+    [ Ast.GPragma (p, loc) ]
+  | Token.KW_TYPEDEF ->
+    advance st;
+    let ty = parse_type st in
+    let name = expect_ident st in
+    let ty = parse_dims st ty in
+    expect st Token.SEMI;
+    st.typedefs <- name :: st.typedefs;
+    [ Ast.GTypedef (name, ty, loc) ]
+  | Token.KW_STRUCT when peek_at st 2 = Token.LBRACE ->
+    advance st;
+    let name = expect_ident st in
+    expect st Token.LBRACE;
+    let rec fields acc =
+      if peek st = Token.RBRACE then begin
+        advance st;
+        List.rev acc
+      end
+      else begin
+        let ty = parse_type st in
+        let fname = expect_ident st in
+        let ty = parse_dims st ty in
+        expect st Token.SEMI;
+        fields ((ty, fname) :: acc)
+      end
+    in
+    let fs = fields [] in
+    expect st Token.SEMI;
+    [ Ast.GStruct { s_name = name; s_fields = fs; s_loc = loc } ]
+  | _ ->
+    (* function or global variable group *)
+    let storage = parse_storage st in
+    let f_static = storage = Ast.Static in
+    let f_pure =
+      if peek st = Token.KW_PURE then begin
+        advance st;
+        true
+      end
+      else false
+    in
+    let pure, const = parse_prequals st in
+    let base = parse_base_type st in
+    let first_ty = parse_stars st ~pure ~const base in
+    let name = expect_ident st in
+    if peek st = Token.LPAREN then begin
+      let params = parse_params st in
+      let mk body =
+        Ast.GFunc
+          {
+            f_name = name;
+            f_ret = first_ty;
+            f_pure;
+            f_static;
+            f_params = params;
+            f_body = body;
+            f_loc = loc;
+          }
+      in
+      match peek st with
+      | Token.SEMI ->
+        advance st;
+        [ mk None ]
+      | Token.LBRACE -> (
+        let body = parse_stmt st in
+        match body.Ast.sdesc with
+        | Ast.SBlock ss -> [ mk (Some ss) ]
+        | _ -> assert false)
+      | t -> err st "expected ';' or '{' after function header, found %s" (Token.to_string t)
+    end
+    else begin
+      if f_pure then
+        Diag.error st.reporter ~loc ~code:"parse.pure-var"
+          "the 'pure' function prefix cannot qualify a variable declaration";
+      let finish_decl ty =
+        let ty = parse_dims st ty in
+        let init =
+          if peek st = Token.ASSIGN then begin
+            advance st;
+            Some (parse_assign st)
+          end
+          else None
+        in
+        {
+          Ast.d_type = ty;
+          d_name = name;
+          d_storage = storage;
+          d_init = init;
+          d_loc = loc;
+        }
+      in
+      let first = finish_decl first_ty in
+      let rec more acc =
+        if peek st = Token.COMMA then begin
+          advance st;
+          let ty = parse_stars st ~pure ~const base in
+          let dname = expect_ident st in
+          let ty = parse_dims st ty in
+          let init =
+            if peek st = Token.ASSIGN then begin
+              advance st;
+              Some (parse_assign st)
+            end
+            else None
+          in
+          more
+            ({ Ast.d_type = ty; d_name = dname; d_storage = storage; d_init = init; d_loc = loc }
+            :: acc)
+        end
+        else List.rev acc
+      in
+      let decls = first :: more [] in
+      expect st Token.SEMI;
+      List.map (fun d -> Ast.GVar d) decls
+    end
+
+let parse_program st =
+  let rec go acc =
+    if peek st = Token.EOF then List.rev acc
+    else go (List.rev_append (parse_global_many st) acc)
+  in
+  go []
+
+(** Parse a complete translation unit from source text. *)
+let program_of_string ?file ?reporter src =
+  let toks = Lexer.tokenize ?file src in
+  let st = create ?reporter toks in
+  parse_program st
+
+(** Parse a single expression (used by tests and the SCoP tooling). *)
+let expr_of_string ?file src =
+  let toks = Lexer.tokenize ?file src in
+  let st = create toks in
+  let e = parse_expr st in
+  expect st Token.EOF;
+  e
+
+(** Parse a single statement. *)
+let stmt_of_string ?file src =
+  let toks = Lexer.tokenize ?file src in
+  let st = create toks in
+  let s = parse_stmt st in
+  expect st Token.EOF;
+  s

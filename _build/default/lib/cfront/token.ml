@@ -1,0 +1,182 @@
+(** Tokens of the C subset, extended with the [pure] keyword.
+
+    [#pragma] lines survive lexing as single [PRAGMA] tokens because the
+    tool chain is source-to-source: PluTo's output re-enters the parser with
+    [#pragma omp ...] lines that must round-trip. *)
+
+type t =
+  (* literals and identifiers *)
+  | INT_LIT of int
+  | FLOAT_LIT of float * bool  (** value, is_single_precision ('f' suffix) *)
+  | STR_LIT of string
+  | CHAR_LIT of char
+  | IDENT of string
+  (* keywords *)
+  | KW_INT
+  | KW_FLOAT
+  | KW_DOUBLE
+  | KW_CHAR
+  | KW_VOID
+  | KW_LONG
+  | KW_UNSIGNED
+  | KW_SHORT
+  | KW_IF
+  | KW_ELSE
+  | KW_FOR
+  | KW_WHILE
+  | KW_DO
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_STRUCT
+  | KW_SIZEOF
+  | KW_PURE
+  | KW_CONST
+  | KW_STATIC
+  | KW_REGISTER
+  | KW_TYPEDEF
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  | ARROW
+  | QUESTION
+  | COLON
+  (* operators *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | LT
+  | GT
+  | LE
+  | GE
+  | EQEQ
+  | NEQ
+  | ANDAND
+  | OROR
+  | SHL
+  | SHR
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | PERCENT_ASSIGN
+  | PLUSPLUS
+  | MINUSMINUS
+  | PRAGMA of string  (** text after [#pragma], trimmed *)
+  | EOF
+
+let to_string = function
+  | INT_LIT i -> string_of_int i
+  | FLOAT_LIT (f, single) -> string_of_float f ^ (if single then "f" else "")
+  | STR_LIT s -> Printf.sprintf "%S" s
+  | CHAR_LIT c -> Printf.sprintf "'%c'" c
+  | IDENT s -> s
+  | KW_INT -> "int"
+  | KW_FLOAT -> "float"
+  | KW_DOUBLE -> "double"
+  | KW_CHAR -> "char"
+  | KW_VOID -> "void"
+  | KW_LONG -> "long"
+  | KW_UNSIGNED -> "unsigned"
+  | KW_SHORT -> "short"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_FOR -> "for"
+  | KW_WHILE -> "while"
+  | KW_DO -> "do"
+  | KW_RETURN -> "return"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | KW_STRUCT -> "struct"
+  | KW_SIZEOF -> "sizeof"
+  | KW_PURE -> "pure"
+  | KW_CONST -> "const"
+  | KW_STATIC -> "static"
+  | KW_REGISTER -> "register"
+  | KW_TYPEDEF -> "typedef"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | DOT -> "."
+  | ARROW -> "->"
+  | QUESTION -> "?"
+  | COLON -> ":"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | BANG -> "!"
+  | LT -> "<"
+  | GT -> ">"
+  | LE -> "<="
+  | GE -> ">="
+  | EQEQ -> "=="
+  | NEQ -> "!="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+="
+  | MINUS_ASSIGN -> "-="
+  | STAR_ASSIGN -> "*="
+  | SLASH_ASSIGN -> "/="
+  | PERCENT_ASSIGN -> "%="
+  | PLUSPLUS -> "++"
+  | MINUSMINUS -> "--"
+  | PRAGMA s -> "#pragma " ^ s
+  | EOF -> "<eof>"
+
+let keyword_table : (string * t) list =
+  [
+    ("int", KW_INT);
+    ("float", KW_FLOAT);
+    ("double", KW_DOUBLE);
+    ("char", KW_CHAR);
+    ("void", KW_VOID);
+    ("long", KW_LONG);
+    ("unsigned", KW_UNSIGNED);
+    ("short", KW_SHORT);
+    ("if", KW_IF);
+    ("else", KW_ELSE);
+    ("for", KW_FOR);
+    ("while", KW_WHILE);
+    ("do", KW_DO);
+    ("return", KW_RETURN);
+    ("break", KW_BREAK);
+    ("continue", KW_CONTINUE);
+    ("struct", KW_STRUCT);
+    ("sizeof", KW_SIZEOF);
+    ("pure", KW_PURE);
+    ("const", KW_CONST);
+    ("static", KW_STATIC);
+    ("register", KW_REGISTER);
+    ("typedef", KW_TYPEDEF);
+  ]
+
+type spanned = { tok : t; loc : Support.Loc.t }

@@ -1,0 +1,1 @@
+lib/cpp/pc_prepro.ml: List String

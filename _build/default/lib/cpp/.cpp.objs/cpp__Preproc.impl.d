@@ -1,0 +1,1 @@
+lib/cpp/preproc.ml: Buffer Diag List Loc String Support

@@ -1,0 +1,44 @@
+(** PC-PrePro and PC-PosPro (paper Fig. 1).
+
+    The paper's chain removes system includes before GCC's preprocessor runs
+    (so that the purity pass sees only the program's own code plus quoted
+    includes) and reinserts them verbatim after the polyhedral stage. *)
+
+type stripped = {
+  source : string;  (** the program with system-include lines removed *)
+  system_includes : string list;  (** e.g. [["<stdio.h>"; "<stdlib.h>"]] in order *)
+}
+
+let is_system_include line =
+  let l = String.trim line in
+  if String.length l = 0 || l.[0] <> '#' then None
+  else
+    let rest = String.trim (String.sub l 1 (String.length l - 1)) in
+    if String.length rest >= 7 && String.sub rest 0 7 = "include" then
+      let arg = String.trim (String.sub rest 7 (String.length rest - 7)) in
+      if String.length arg > 0 && arg.[0] = '<' then Some arg else None
+    else None
+
+(** Remove [#include <...>] lines, recording them in order. *)
+let strip source =
+  let lines = String.split_on_char '\n' source in
+  let includes = ref [] in
+  let kept =
+    List.filter
+      (fun line ->
+        match is_system_include line with
+        | Some inc ->
+          includes := inc :: !includes;
+          false
+        | None -> true)
+      lines
+  in
+  { source = String.concat "\n" kept; system_includes = List.rev !includes }
+
+(** PC-PosPro: reinsert the system includes at the top of the final source. *)
+let reinsert stripped final_source =
+  let header =
+    String.concat "\n"
+      (List.map (fun inc -> "#include " ^ inc) stripped.system_includes)
+  in
+  if header = "" then final_source else header ^ "\n" ^ final_source

@@ -1,0 +1,274 @@
+(** A small C preprocessor standing in for GCC-E (paper Fig. 1).
+
+    Supported directives: [#include "file"] resolved from a virtual header
+    store, object-like and function-like [#define], [#undef],
+    [#ifdef]/[#ifndef]/[#else]/[#endif], and [#pragma] (passed through).
+    System includes are expected to have been stripped by {!Pc_prepro}
+    beforehand; if one is met it is passed through untouched.
+
+    Macro expansion is token-based with word boundaries, recursive with a
+    depth cap (self-referential macros stop expanding, like real cpp). *)
+
+open Support
+
+type macro =
+  | Object of string
+  | Function of string list * string  (** parameter names, body *)
+
+type env = {
+  mutable macros : (string * macro) list;
+  headers : (string * string) list;  (** virtual filesystem: name -> content *)
+  reporter : Diag.reporter;
+}
+
+let create ?(headers = []) ?(reporter = Diag.create_reporter ()) () =
+  { macros = [ ("__PURE_C__", Object "1") ]; headers; reporter }
+
+let define env name macro = env.macros <- (name, macro) :: List.remove_assoc name env.macros
+
+let undef env name = env.macros <- List.remove_assoc name env.macros
+
+let is_defined env name = List.mem_assoc name env.macros
+
+(* ------------------------------------------------------------------ *)
+(* Tokenish scanning used for macro substitution *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let is_ident_start c = is_ident_char c && not (c >= '0' && c <= '9')
+
+(* Split [s] into a sequence of chunks: Ident or Other (single char), keeping
+   string literals opaque so macros never expand inside them. *)
+type chunk = CIdent of string | COther of string
+
+let chunks_of_string s =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      out := CIdent (String.sub s start (!i - start)) :: !out
+    end
+    else if c = '"' then begin
+      let start = !i in
+      incr i;
+      while !i < n && s.[!i] <> '"' do
+        if s.[!i] = '\\' then incr i;
+        incr i
+      done;
+      if !i < n then incr i;
+      out := COther (String.sub s start (!i - start)) :: !out
+    end
+    else if c = '\'' then begin
+      let start = !i in
+      incr i;
+      while !i < n && s.[!i] <> '\'' do
+        if s.[!i] = '\\' then incr i;
+        incr i
+      done;
+      if !i < n then incr i;
+      out := COther (String.sub s start (!i - start)) :: !out
+    end
+    else begin
+      out := COther (String.make 1 c) :: !out;
+      incr i
+    end
+  done;
+  List.rev !out
+
+(* Scan a macro argument list starting right after the macro name; returns
+   (args, rest-of-string).  [s] starts at the '(' or has leading spaces. *)
+let scan_args s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && (s.[!i] = ' ' || s.[!i] = '\t') do
+    incr i
+  done;
+  if !i >= n || s.[!i] <> '(' then None
+  else begin
+    incr i;
+    let args = ref [] in
+    let buf = Buffer.create 16 in
+    let depth = ref 0 in
+    let finished = ref false in
+    while not !finished && !i < n do
+      let c = s.[!i] in
+      (if c = '(' then begin
+         incr depth;
+         Buffer.add_char buf c
+       end
+       else if c = ')' then
+         if !depth = 0 then begin
+           args := Buffer.contents buf :: !args;
+           finished := true
+         end
+         else begin
+           decr depth;
+           Buffer.add_char buf c
+         end
+       else if c = ',' && !depth = 0 then begin
+         args := Buffer.contents buf :: !args;
+         Buffer.clear buf
+       end
+       else Buffer.add_char buf c);
+      incr i
+    done;
+    if not !finished then None
+    else
+      let rest = String.sub s !i (n - !i) in
+      let args = List.rev_map String.trim !args in
+      (* f() has zero args, not one empty arg *)
+      let args = match args with [ "" ] -> [] | a -> a in
+      Some (args, rest)
+  end
+
+let max_expansion_depth = 64
+
+(* Substitute parameters in a function-like macro body (word-boundary). *)
+let substitute_params params args body =
+  let assoc = List.combine params args in
+  chunks_of_string body
+  |> List.map (function
+       | CIdent id -> ( match List.assoc_opt id assoc with Some a -> a | None -> id)
+       | COther s -> s)
+  |> String.concat ""
+
+let rec expand_string env depth s =
+  if depth > max_expansion_depth then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let rec go chunks =
+      match chunks with
+      | [] -> ()
+      | CIdent id :: rest -> (
+        match List.assoc_opt id env.macros with
+        | Some (Object body) ->
+          Buffer.add_string buf (expand_string env (depth + 1) body);
+          go rest
+        | Some (Function (params, body)) -> (
+          (* need the argument list from the remaining raw text *)
+          let rest_str =
+            String.concat ""
+              (List.map (function CIdent i -> i | COther o -> o) rest)
+          in
+          match scan_args rest_str with
+          | Some (args, tail) when List.length args = List.length params ->
+            let expanded_args = List.map (expand_string env (depth + 1)) args in
+            let body' = substitute_params params expanded_args body in
+            Buffer.add_string buf (expand_string env (depth + 1) body');
+            go (chunks_of_string tail)
+          | _ ->
+            Buffer.add_string buf id;
+            go rest)
+        | None ->
+          Buffer.add_string buf id;
+          go rest)
+      | COther o :: rest ->
+        Buffer.add_string buf o;
+        go rest
+    in
+    go (chunks_of_string s);
+    Buffer.contents buf
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Directive parsing *)
+
+let directive_of_line line =
+  let l = String.trim line in
+  if String.length l = 0 || l.[0] <> '#' then None
+  else
+    let rest = String.trim (String.sub l 1 (String.length l - 1)) in
+    let word, arg =
+      match String.index_opt rest ' ' with
+      | Some i ->
+        (String.sub rest 0 i, String.trim (String.sub rest i (String.length rest - i)))
+      | None -> (rest, "")
+    in
+    Some (word, arg)
+
+let parse_define env arg loc =
+  (* NAME, NAME value, NAME(a,b) body *)
+  let n = String.length arg in
+  let i = ref 0 in
+  while !i < n && is_ident_char arg.[!i] do
+    incr i
+  done;
+  let name = String.sub arg 0 !i in
+  if name = "" then Diag.error env.reporter ~loc ~code:"cpp.define" "malformed #define"
+  else if !i < n && arg.[!i] = '(' then begin
+    match String.index_from_opt arg !i ')' with
+    | None -> Diag.error env.reporter ~loc ~code:"cpp.define" "unterminated macro parameter list"
+    | Some close ->
+      let params =
+        String.sub arg (!i + 1) (close - !i - 1)
+        |> String.split_on_char ','
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      let body = String.trim (String.sub arg (close + 1) (n - close - 1)) in
+      define env name (Function (params, body))
+  end
+  else begin
+    let body = String.trim (String.sub arg !i (n - !i)) in
+    define env name (Object body)
+  end
+
+(** Run the preprocessor over [source].  [#include "x"] is resolved from the
+    virtual header store; unknown quoted headers are an error. *)
+let run env ?(file = "<input>") source =
+  let out = Buffer.create (String.length source) in
+  (* conditional stack: each entry = currently-active? *)
+  let cond_stack = ref [] in
+  let active () = List.for_all (fun b -> b) !cond_stack in
+  let rec process_lines ~file lines lineno =
+    match lines with
+    | [] -> ()
+    | line :: rest ->
+      let loc = Loc.make ~file ~line:lineno ~col:1 in
+      (match directive_of_line line with
+      | Some ("define", arg) -> if active () then parse_define env arg loc
+      | Some ("undef", arg) -> if active () then undef env (String.trim arg)
+      | Some ("ifdef", arg) -> cond_stack := is_defined env (String.trim arg) :: !cond_stack
+      | Some ("ifndef", arg) ->
+        cond_stack := not (is_defined env (String.trim arg)) :: !cond_stack
+      | Some ("else", _) -> (
+        match !cond_stack with
+        | b :: tl -> cond_stack := not b :: tl
+        | [] -> Diag.error env.reporter ~loc ~code:"cpp.else" "#else without #if")
+      | Some ("endif", _) -> (
+        match !cond_stack with
+        | _ :: tl -> cond_stack := tl
+        | [] -> Diag.error env.reporter ~loc ~code:"cpp.endif" "#endif without #if")
+      | Some ("include", arg) when active () ->
+        let arg = String.trim arg in
+        if String.length arg >= 2 && arg.[0] = '"' then begin
+          let name = String.sub arg 1 (String.length arg - 2) in
+          match List.assoc_opt name env.headers with
+          | Some content ->
+            process_lines ~file:name (String.split_on_char '\n' content) 1
+          | None ->
+            Diag.error env.reporter ~loc ~code:"cpp.include" "header %S not found" name
+        end
+        else
+          (* a system include that survived PC-PrePro: pass through *)
+          Buffer.add_string out (line ^ "\n")
+      | Some ("include", _) -> ()
+      | Some ("pragma", _) -> if active () then Buffer.add_string out (line ^ "\n")
+      | Some _ ->
+        if active () then
+          Diag.warning env.reporter ~loc ~code:"cpp.unknown"
+            "ignoring unknown directive: %s" (String.trim line)
+      | None -> if active () then Buffer.add_string out (expand_string env 0 line ^ "\n"));
+      process_lines ~file rest (lineno + 1)
+  in
+  process_lines ~file (String.split_on_char '\n' source) 1;
+  if !cond_stack <> [] then
+    Diag.error env.reporter ~code:"cpp.unterminated" "unterminated #if block at end of %s" file;
+  Buffer.contents out

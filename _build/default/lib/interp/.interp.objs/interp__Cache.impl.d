@@ -1,0 +1,1 @@
+lib/interp/cache.ml: Array Cost

@@ -1,0 +1,1 @@
+lib/interp/compile.ml: Array Ast Ast_printer Buffer Cache Cfront Char Cost Float Fmt Hashtbl List Loc Mem Printf Scanf Sema Seq String Support Trace

@@ -1,0 +1,1 @@
+lib/interp/cost.ml: Fmt

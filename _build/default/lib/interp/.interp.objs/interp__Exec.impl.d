@@ -1,0 +1,1 @@
+lib/interp/exec.ml: Array Ast Buffer Cache Cfront Compile Cost Hashtbl List Mem Option Sema Trace

@@ -1,0 +1,1 @@
+lib/interp/mem.ml: Array Cache Fmt

@@ -1,0 +1,1 @@
+lib/interp/trace.ml: Array Buffer Cost List String

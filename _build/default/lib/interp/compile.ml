@@ -1,0 +1,1447 @@
+(** Closure-compiling interpreter for the C subset.
+
+    Each expression compiles to a [frame -> value] closure with slot-resolved
+    variable access and type-specialized arithmetic, fast enough to execute
+    the evaluation workloads at realistic (scaled) sizes.  Every operation
+    bumps the {!Cost} counters; memory accesses go through the {!Cache}
+    simulator; [#pragma omp parallel for] loops record one cost snapshot per
+    iteration into the {!Trace} profile. *)
+
+open Cfront
+open Support
+
+exception Unsupported of string
+
+let unsupported fmt = Fmt.kstr (fun m -> raise (Unsupported m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Runtime state *)
+
+type vec_mode = Scalar | Auto_vec | Pragma_vec
+
+type rt = {
+  counters : Cost.t;
+  cache : Cache.t;
+  alloc : Mem.allocator;
+  out : Buffer.t;
+  mutable segments : Trace.segment list;  (** reversed *)
+  mutable seg_start : Cost.t;
+  mutable in_parallel : bool;
+  mutable vec_mode : vec_mode;
+}
+
+let create_rt ?l1_bytes ?l2_bytes () =
+  let counters = Cost.create () in
+  {
+    counters;
+    cache = Cache.create ?l1_bytes ?l2_bytes counters;
+    alloc = Mem.create_allocator ();
+    out = Buffer.create 256;
+    segments = [];
+    seg_start = Cost.create ();
+    in_parallel = false;
+    vec_mode = Scalar;
+  }
+
+type frame = Mem.value array
+
+exception Return_v of Mem.value
+
+exception Break_e
+
+exception Continue_e
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time environment *)
+
+type global_cell =
+  | GScalar of { cell : Mem.value ref; addr : int }
+  | GArray of { view : Mem.ptr }
+
+type func_entry = {
+  fe_def : Ast.func;
+  mutable fe_run : (Mem.value array -> Mem.value) option;
+}
+
+type cenv = {
+  tenv : Sema.Env.t;
+  funcs : (string, func_entry) Hashtbl.t;
+  globals : (string, global_cell * Ast.ctype) Hashtbl.t;
+  rt : rt;
+  mutable scope : (string * (int * Ast.ctype)) list;  (** name -> slot, type *)
+  mutable nslots : int;
+}
+
+let fresh_slot cenv name ty =
+  let slot = cenv.nslots in
+  cenv.nslots <- cenv.nslots + 1;
+  cenv.scope <- (name, (slot, ty)) :: cenv.scope;
+  slot
+
+let lookup_local cenv name = List.assoc_opt name cenv.scope
+
+(* ------------------------------------------------------------------ *)
+(* Type plumbing *)
+
+let rec resolve cenv ty = Sema.Env.resolve cenv.tenv ty |> strip_quals cenv
+
+and strip_quals _cenv ty = ty
+
+let scalar_bytes = function
+  | Ast.Char -> 1
+  | Ast.Int -> 4
+  | Ast.Float -> 4
+  | Ast.Double -> 8
+  | Ast.Ptr _ -> 8
+  | Ast.Void -> 1
+  | Ast.Array _ | Ast.Struct _ | Ast.Named _ -> 8
+
+let rec type_bytes cenv ty =
+  match resolve cenv ty with
+  | Ast.Array (elt, Some n) -> n * type_bytes cenv elt
+  | t -> scalar_bytes t
+
+let is_floaty = function Ast.Float | Ast.Double -> true | _ -> false
+
+(* Arithmetic result type *)
+let promote a b =
+  match (a, b) with
+  | Ast.Double, _ | _, Ast.Double -> Ast.Double
+  | Ast.Float, _ | _, Ast.Float -> Ast.Float
+  | _ -> Ast.Int
+
+(* Subscript typing: one subscript on T[N][M] yields a T[M] view that skips
+   M flat elements per index; one subscript on T* / T[N] yields a T value. *)
+let subscript_info cenv ty =
+  (* returns (result_type, elements_per_index, result_is_view) *)
+  match resolve cenv ty with
+  | Ast.Array (elt, _) | Ast.Ptr { elt; _ } -> (
+    let elt = resolve cenv elt in
+    match elt with
+    | Ast.Array _ ->
+      let rec flat t =
+        match resolve cenv t with Ast.Array (e, Some n) -> n * flat e | _ -> 1
+      in
+      (elt, flat elt, true)
+    | _ -> (elt, 1, false))
+  | t -> unsupported "subscript on non-array type %s" (Ast_printer.type_to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Cost helpers (inlined into closures) *)
+
+let[@inline] bump_int c = c.Cost.int_ops <- c.Cost.int_ops + 1
+
+let[@inline] bump_branch c = c.Cost.branches <- c.Cost.branches + 1
+
+let[@inline] bump_load c = c.Cost.loads <- c.Cost.loads + 1
+
+let[@inline] bump_store c = c.Cost.stores <- c.Cost.stores + 1
+
+let[@inline] bump_vec rt n =
+  match rt.vec_mode with
+  | Scalar -> ()
+  | Auto_vec -> rt.counters.Cost.flops_autovec <- rt.counters.Cost.flops_autovec + n
+  | Pragma_vec -> rt.counters.Cost.flops_pragma_vec <- rt.counters.Cost.flops_pragma_vec + n
+
+let[@inline] bump_fadd rt =
+  rt.counters.Cost.float_adds <- rt.counters.Cost.float_adds + 1;
+  bump_vec rt 1
+
+let[@inline] bump_fmul rt =
+  rt.counters.Cost.float_muls <- rt.counters.Cost.float_muls + 1;
+  bump_vec rt 1
+
+let[@inline] bump_fdiv rt =
+  rt.counters.Cost.float_divs <- rt.counters.Cost.float_divs + 1;
+  bump_vec rt 1
+
+(* Per-site register-promotion memos: a repeated access at the same site and
+   the same address is a register hit under an optimizing backend (loop
+   invariant code motion / scalar replacement), so it costs nothing and does
+   not reach the cache. *)
+let memo_load rt =
+  let last = ref min_int in
+  fun (p : Mem.ptr) ->
+    let a = Mem.addr_of p in
+    if a = !last then Mem.peek p
+    else begin
+      last := a;
+      bump_load rt.counters;
+      Mem.load rt.cache p
+    end
+
+let memo_store rt =
+  let last = ref min_int in
+  fun (p : Mem.ptr) v ->
+    let a = Mem.addr_of p in
+    if a = !last then Mem.poke p v
+    else begin
+      last := a;
+      bump_store rt.counters;
+      Mem.store rt.cache p v
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Builtin math functions *)
+
+let builtin_math : (string * (float -> float) * int) list =
+  [
+    ("sin", sin, 40); ("cos", cos, 40); ("tan", tan, 60);
+    ("asin", asin, 60); ("acos", acos, 60); ("atan", atan, 50);
+    ("sinh", sinh, 60); ("cosh", cosh, 60); ("tanh", tanh, 60);
+    ("exp", exp, 40); ("log", log, 40); ("log2", (fun x -> log x /. log 2.0), 45);
+    ("log10", log10, 45); ("sqrt", sqrt, 20); ("fabs", abs_float, 2);
+    ("floor", floor, 4); ("ceil", ceil, 4); ("round", Float.round, 4);
+    ("sinf", sin, 30); ("cosf", cos, 30); ("sqrtf", sqrt, 14);
+    ("expf", exp, 30); ("logf", log, 30); ("fabsf", abs_float, 2);
+  ]
+
+let builtin_math2 : (string * (float -> float -> float) * int) list =
+  [
+    ("pow", ( ** ), 60); ("powf", ( ** ), 50);
+    ("fmin", Float.min, 3); ("fmax", Float.max, 3);
+    ("atan2", atan2, 70); ("fmod", Float.rem, 25);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* printf *)
+
+let string_of_value = function
+  | Mem.VInt i -> string_of_int i
+  | Mem.VFloat f -> Printf.sprintf "%g" f
+  | Mem.VPtr _ -> "<ptr>"
+  | Mem.VNull -> "<null>"
+
+let decode_c_string (p : Mem.ptr) =
+  match p.Mem.p_obj with
+  | Mem.OInts a ->
+    let buf = Buffer.create 16 in
+    let rec go i =
+      if i < Array.length a && a.(i) <> 0 then begin
+        Buffer.add_char buf (Char.chr (a.(i) land 0xff));
+        go (i + 1)
+      end
+    in
+    go p.Mem.p_off;
+    Buffer.contents buf
+  | _ -> "<str>"
+
+let remove_char s c = String.to_seq s |> Seq.filter (( <> ) c) |> String.of_seq
+
+(* integer floor/ceil division, PluTo's floord/ceild *)
+let floord a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let ceild a b = -floord (-a) b
+
+let run_printf out fmt args =
+  let n = String.length fmt in
+  let args = ref args in
+  let next_arg () =
+    match !args with
+    | [] -> Mem.VInt 0
+    | a :: rest ->
+      args := rest;
+      a
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = fmt.[!i] in
+    if c = '%' && !i + 1 < n then begin
+      (* scan flags/width/precision *)
+      let j = ref (!i + 1) in
+      while
+        !j < n
+        && (match fmt.[!j] with
+           | '0' .. '9' | '.' | '-' | '+' | ' ' | '#' | 'l' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      if !j < n then begin
+        let spec = String.sub fmt !i (!j - !i + 1) in
+        let conv = fmt.[!j] in
+        (match conv with
+        | 'd' | 'i' ->
+          let s = String.map (fun c -> if c = 'i' then 'd' else c) spec in
+          let s = remove_char s 'l' in
+          Buffer.add_string out
+            (Printf.sprintf (Scanf.format_from_string s "%d") (Mem.to_int (next_arg ())))
+        | 'f' | 'g' | 'e' ->
+          let s = remove_char spec 'l' in
+          Buffer.add_string out
+            (Printf.sprintf (Scanf.format_from_string s "%f") (Mem.to_float (next_arg ())))
+        | 'c' ->
+          Buffer.add_char out (Char.chr (Mem.to_int (next_arg ()) land 0xff))
+        | 's' -> (
+          match next_arg () with
+          | Mem.VPtr p -> Buffer.add_string out (decode_c_string p)
+          | v -> Buffer.add_string out (string_of_value v))
+        | '%' -> Buffer.add_char out '%'
+        | _ -> Buffer.add_string out spec);
+        i := !j + 1
+      end
+      else begin
+        Buffer.add_char out c;
+        incr i
+      end
+    end
+    else begin
+      Buffer.add_char out c;
+      incr i
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Value coercion to a declared type (C assignment semantics) *)
+
+let coerce ty (v : Mem.value) : Mem.value =
+  match ty with
+  | Ast.Int | Ast.Char -> (
+    match v with
+    | Mem.VInt _ -> v
+    | Mem.VFloat f -> Mem.VInt (int_of_float f)
+    | Mem.VNull -> Mem.VInt 0
+    | Mem.VPtr _ -> v)
+  | Ast.Float | Ast.Double -> (
+    match v with
+    | Mem.VFloat _ -> v
+    | Mem.VInt i -> Mem.VFloat (float_of_int i)
+    | v -> v)
+  | _ -> v
+
+(* ------------------------------------------------------------------ *)
+(* Call-overhead model: -O2 inlines small leaf functions. *)
+
+(* rough static operation count of an expression *)
+let expr_size (e : Ast.expr) = Ast.fold_expr (fun acc _ -> acc + 1) 0 e
+
+let stmt_size (s : Ast.stmt) =
+  Ast.fold_stmt ~stmt:(fun acc _ -> acc + 1) ~expr:(fun acc _ -> acc + 1) 0 s
+
+let body_size (f : Ast.func) =
+  match f.Ast.f_body with
+  | None -> max_int
+  | Some ss -> List.fold_left (fun acc s -> acc + stmt_size s) 0 ss
+
+let has_control (f : Ast.func) =
+  match f.Ast.f_body with
+  | None -> true
+  | Some ss ->
+    List.exists
+      (fun s ->
+        Ast.fold_stmt
+          ~stmt:(fun acc s ->
+            acc
+            ||
+            match s.Ast.sdesc with
+            | Ast.SFor _ | Ast.SWhile _ | Ast.SDoWhile _ | Ast.SIf _ -> true
+            | _ -> false)
+          ~expr:(fun acc _ -> acc)
+          false s)
+      ss
+
+(** Cycles charged per call: tiny straight-line callees are treated as
+    inlined by the optimizing backend; anything with loops or branches (or a
+    big body) pays the real call overhead. *)
+let call_overhead_cycles (f : Ast.func) =
+  if (not (has_control f)) && body_size f <= 10 then 2 else 26
+
+let _ = expr_size
+
+(* ------------------------------------------------------------------ *)
+(* Lvalues *)
+
+type lval =
+  | LSlot of int * Ast.ctype
+  | LGlobal of Mem.value ref * int * Ast.ctype  (** cell, address, type *)
+  | LMem of (frame -> Mem.ptr) * Ast.ctype
+
+let lval_type = function LSlot (_, t) | LGlobal (_, _, t) | LMem (_, t) -> t
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation *)
+
+let rec compile_expr cenv (e : Ast.expr) : (frame -> Mem.value) * Ast.ctype =
+  let rt = cenv.rt in
+  let c = rt.counters in
+  match e.Ast.edesc with
+  | Ast.IntLit n ->
+    let v = Mem.VInt n in
+    ((fun _ -> v), Ast.Int)
+  | Ast.FloatLit (f, single) ->
+    let v = Mem.VFloat f in
+    ((fun _ -> v), if single then Ast.Float else Ast.Double)
+  | Ast.CharLit ch ->
+    let v = Mem.VInt (Char.code ch) in
+    ((fun _ -> v), Ast.Char)
+  | Ast.StrLit s ->
+    (* C string: int cells with a NUL terminator *)
+    let p = Mem.alloc_ints rt.alloc (String.length s + 1) in
+    (match p.Mem.p_obj with
+    | Mem.OInts a -> String.iteri (fun i ch -> a.(i) <- Char.code ch) s
+    | _ -> ());
+    let p = { p with Mem.p_elem_bytes = 1 } in
+    let v = Mem.VPtr p in
+    ((fun _ -> v), Ast.ptr Ast.Char ~const:true)
+  | Ast.Ident name -> (
+    match lookup_local cenv name with
+    | Some (slot, ty) -> ((fun fr -> fr.(slot)), ty)
+    | None -> (
+      match Hashtbl.find_opt cenv.globals name with
+      | Some (GScalar { cell; addr }, ty) ->
+        (* the first read charges a load; afterwards the global lives in a
+           register for this site *)
+        let fresh = ref true in
+        ( (fun _ ->
+            if !fresh then begin
+              fresh := false;
+              bump_load c;
+              Cache.access rt.cache addr
+            end;
+            !cell),
+          ty )
+      | Some (GArray { view }, ty) ->
+        let v = Mem.VPtr view in
+        ((fun _ -> v), ty)
+      | None -> unsupported "unbound identifier %s" name))
+  | Ast.Binop (op, a, b) -> compile_binop cenv e op a b
+  | Ast.Unop (op, a) -> (
+    let fa, ta = compile_expr cenv a in
+    let ta = resolve cenv ta in
+    match op with
+    | Ast.Neg ->
+      if is_floaty ta then
+        ( (fun fr ->
+            bump_fadd rt;
+            Mem.VFloat (-.Mem.to_float (fa fr))),
+          ta )
+      else
+        ( (fun fr ->
+            bump_int c;
+            Mem.VInt (-Mem.to_int (fa fr))),
+          Ast.Int )
+    | Ast.LNot ->
+      ( (fun fr ->
+          bump_int c;
+          Mem.VInt (if Mem.truthy (fa fr) then 0 else 1)),
+        Ast.Int )
+    | Ast.BNot ->
+      ( (fun fr ->
+          bump_int c;
+          Mem.VInt (lnot (Mem.to_int (fa fr)))),
+        Ast.Int ))
+  | Ast.Assign (op, lhs, rhs) ->
+    let run, ty = compile_assign cenv op lhs rhs in
+    (run, ty)
+  | Ast.Call (fname, args) -> compile_call cenv e.Ast.eloc fname args
+  | Ast.Index _ | Ast.Deref _ -> (
+    (* rvalue load through the lvalue path *)
+    let lv = compile_lval cenv e in
+    let ty = resolve cenv (lval_type lv) in
+    match (lv, ty) with
+    | LMem (addr, _), Ast.Array _ ->
+      (* a view: no load, just the address *)
+      ((fun fr -> Mem.VPtr (addr fr)), ty)
+    | LMem (addr, _), _ ->
+      let do_load = memo_load rt in
+      ((fun fr -> do_load (addr fr)), ty)
+    | (LSlot _ | LGlobal _), _ -> assert false)
+  | Ast.AddrOf inner -> (
+    let lv = compile_lval cenv inner in
+    match lv with
+    | LMem (addr, ty) -> ((fun fr -> Mem.VPtr (addr fr)), Ast.ptr ty)
+    | LSlot _ | LGlobal _ -> unsupported "address-of a register variable")
+  | Ast.Cast (ty, inner) -> (
+    let ty = resolve cenv ty in
+    (* allocation idiom: (T* ) malloc(n) *)
+    match (ty, strip_casts inner) with
+    | Ast.Ptr { elt; _ }, { Ast.edesc = Ast.Call (("malloc" | "calloc") as fn, args); _ }
+      ->
+      compile_malloc cenv fn elt args
+    | _ ->
+      let fi, _ti = compile_expr cenv inner in
+      (match ty with
+      | Ast.Int | Ast.Char ->
+        ( (fun fr ->
+            match fi fr with
+            | Mem.VInt i -> Mem.VInt i
+            | Mem.VFloat f -> Mem.VInt (int_of_float f)
+            | v -> v),
+          ty )
+      | Ast.Float | Ast.Double ->
+        ( (fun fr ->
+            match fi fr with
+            | Mem.VFloat f -> Mem.VFloat f
+            | Mem.VInt i -> Mem.VFloat (float_of_int i)
+            | v -> v),
+          ty )
+      | Ast.Ptr _ ->
+        ( (fun fr -> match fi fr with Mem.VInt 0 -> Mem.VNull | v -> v),
+          ty )
+      | _ -> (fi, ty)))
+  | Ast.Cond (cond, t, f) ->
+    let fc, _ = compile_expr cenv cond in
+    let ft, tt = compile_expr cenv t in
+    let ff, _tf = compile_expr cenv f in
+    ( (fun fr ->
+        bump_branch c;
+        if Mem.truthy (fc fr) then ft fr else ff fr),
+      tt )
+  | Ast.SizeofType ty ->
+    let v = Mem.VInt (type_bytes cenv ty) in
+    ((fun _ -> v), Ast.Int)
+  | Ast.SizeofExpr inner ->
+    (* typeof only: no evaluation *)
+    let _, ti = compile_expr cenv inner in
+    let v = Mem.VInt (type_bytes cenv ti) in
+    ((fun _ -> v), Ast.Int)
+  | Ast.IncDec { pre; inc; arg } ->
+    let lv = compile_lval cenv arg in
+    let ty = resolve cenv (lval_type lv) in
+    let delta = if inc then 1 else -1 in
+    let apply old =
+      match (ty, old) with
+      | (Ast.Float | Ast.Double), v ->
+        bump_fadd rt;
+        Mem.VFloat (Mem.to_float v +. float_of_int delta)
+      | Ast.Ptr _, Mem.VPtr p ->
+        bump_int c;
+        Mem.VPtr (Mem.ptr_add p delta)
+      | _, v ->
+        bump_int c;
+        Mem.VInt (Mem.to_int v + delta)
+    in
+    let run =
+      match lv with
+      | LSlot (slot, _) ->
+        fun fr ->
+          let old = fr.(slot) in
+          let nv = apply old in
+          fr.(slot) <- nv;
+          if pre then nv else old
+      | LGlobal (cell, addr, _) ->
+        fun fr ->
+          ignore fr;
+          bump_load c;
+          bump_store c;
+          Cache.access rt.cache addr;
+          let old = !cell in
+          let nv = apply old in
+          cell := nv;
+          if pre then nv else old
+      | LMem (faddr, _) ->
+        let do_load = memo_load rt and do_store = memo_store rt in
+        fun fr ->
+          let p = faddr fr in
+          let old = do_load p in
+          let nv = apply old in
+          do_store p nv;
+          if pre then nv else old
+    in
+    (run, ty)
+  | Ast.Comma (a, b) ->
+    let fa, _ = compile_expr cenv a in
+    let fb, tb = compile_expr cenv b in
+    ( (fun fr ->
+        ignore (fa fr);
+        fb fr),
+      tb )
+  | Ast.Member _ | Ast.Arrow _ ->
+    unsupported "struct member access is not executable in this build"
+
+and strip_casts (e : Ast.expr) =
+  match e.Ast.edesc with Ast.Cast (_, inner) -> strip_casts inner | _ -> e
+
+(* ------------------------------------------------------------------ *)
+
+and compile_binop cenv e op a b =
+  let rt = cenv.rt in
+  let c = rt.counters in
+  let fa, ta = compile_expr cenv a in
+  let fb, tb = compile_expr cenv b in
+  let ta = resolve cenv ta and tb = resolve cenv tb in
+  let arith = promote ta tb in
+  let is_ptr t = match t with Ast.Ptr _ | Ast.Array _ -> true | _ -> false in
+  match op with
+  | Ast.Add when is_ptr ta || is_ptr tb ->
+    let fp, fi, pty = if is_ptr ta then (fa, fb, ta) else (fb, fa, tb) in
+    let _, stride, _ = subscript_info cenv pty in
+    ( (fun fr ->
+        bump_int c;
+        Mem.VPtr (Mem.ptr_add (Mem.to_ptr (fp fr)) (stride * Mem.to_int (fi fr)))),
+      pty )
+  | Ast.Sub when is_ptr ta && is_ptr tb ->
+    ( (fun fr ->
+        bump_int c;
+        Mem.VInt ((Mem.to_ptr (fa fr)).Mem.p_off - (Mem.to_ptr (fb fr)).Mem.p_off)),
+      Ast.Int )
+  | Ast.Sub when is_ptr ta ->
+    let _, stride, _ = subscript_info cenv ta in
+    ( (fun fr ->
+        bump_int c;
+        Mem.VPtr (Mem.ptr_add (Mem.to_ptr (fa fr)) (-stride * Mem.to_int (fb fr)))),
+      ta )
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
+    if is_floaty arith then begin
+      let run =
+        match op with
+        | Ast.Add ->
+          fun fr ->
+            bump_fadd rt;
+            Mem.VFloat (Mem.to_float (fa fr) +. Mem.to_float (fb fr))
+        | Ast.Sub ->
+          fun fr ->
+            bump_fadd rt;
+            Mem.VFloat (Mem.to_float (fa fr) -. Mem.to_float (fb fr))
+        | Ast.Mul ->
+          fun fr ->
+            bump_fmul rt;
+            Mem.VFloat (Mem.to_float (fa fr) *. Mem.to_float (fb fr))
+        | Ast.Div ->
+          fun fr ->
+            bump_fdiv rt;
+            Mem.VFloat (Mem.to_float (fa fr) /. Mem.to_float (fb fr))
+        | _ -> assert false
+      in
+      (run, arith)
+    end
+    else begin
+      let run =
+        match op with
+        | Ast.Add ->
+          fun fr ->
+            bump_int c;
+            Mem.VInt (Mem.to_int (fa fr) + Mem.to_int (fb fr))
+        | Ast.Sub ->
+          fun fr ->
+            bump_int c;
+            Mem.VInt (Mem.to_int (fa fr) - Mem.to_int (fb fr))
+        | Ast.Mul ->
+          fun fr ->
+            bump_int c;
+            Mem.VInt (Mem.to_int (fa fr) * Mem.to_int (fb fr))
+        | Ast.Div ->
+          fun fr ->
+            c.Cost.int_ops <- c.Cost.int_ops + 20;
+            let d = Mem.to_int (fb fr) in
+            if d = 0 then Mem.fault "integer division by zero at %s" (Loc.to_string e.Ast.eloc)
+            else Mem.VInt (Mem.to_int (fa fr) / d)
+        | _ -> assert false
+      in
+      (run, Ast.Int)
+    end
+  | Ast.Mod ->
+    ( (fun fr ->
+        c.Cost.int_ops <- c.Cost.int_ops + 20;
+        let d = Mem.to_int (fb fr) in
+        if d = 0 then Mem.fault "integer modulo by zero at %s" (Loc.to_string e.Ast.eloc)
+        else Mem.VInt (Mem.to_int (fa fr) mod d)),
+      Ast.Int )
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+    let cmp_float f =
+      fun fr ->
+        bump_int c;
+        Mem.VInt (if f (Mem.to_float (fa fr)) (Mem.to_float (fb fr)) then 1 else 0)
+    in
+    let cmp_int f =
+      fun fr ->
+        bump_int c;
+        Mem.VInt (if f (Mem.to_int (fa fr)) (Mem.to_int (fb fr)) then 1 else 0)
+    in
+    let run =
+      if is_floaty arith && not (is_ptr ta || is_ptr tb) then
+        match op with
+        | Ast.Lt -> cmp_float ( < )
+        | Ast.Le -> cmp_float ( <= )
+        | Ast.Gt -> cmp_float ( > )
+        | Ast.Ge -> cmp_float ( >= )
+        | Ast.Eq -> cmp_float ( = )
+        | Ast.Ne -> cmp_float ( <> )
+        | _ -> assert false
+      else if is_ptr ta || is_ptr tb then
+        (* pointer comparisons: by synthetic address; null compares as 0 *)
+        let addr v =
+          match v with
+          | Mem.VPtr p -> Mem.addr_of p
+          | Mem.VNull -> 0
+          | v -> Mem.to_int v
+        in
+        let f =
+          match op with
+          | Ast.Lt -> ( < )
+          | Ast.Le -> ( <= )
+          | Ast.Gt -> ( > )
+          | Ast.Ge -> ( >= )
+          | Ast.Eq -> ( = )
+          | Ast.Ne -> ( <> )
+          | _ -> assert false
+        in
+        fun fr ->
+          bump_int c;
+          Mem.VInt (if f (addr (fa fr)) (addr (fb fr)) then 1 else 0)
+      else
+        match op with
+        | Ast.Lt -> cmp_int ( < )
+        | Ast.Le -> cmp_int ( <= )
+        | Ast.Gt -> cmp_int ( > )
+        | Ast.Ge -> cmp_int ( >= )
+        | Ast.Eq -> cmp_int ( = )
+        | Ast.Ne -> cmp_int ( <> )
+        | _ -> assert false
+    in
+    (run, Ast.Int)
+  | Ast.LAnd ->
+    ( (fun fr ->
+        bump_branch c;
+        if Mem.truthy (fa fr) then Mem.VInt (if Mem.truthy (fb fr) then 1 else 0)
+        else Mem.VInt 0),
+      Ast.Int )
+  | Ast.LOr ->
+    ( (fun fr ->
+        bump_branch c;
+        if Mem.truthy (fa fr) then Mem.VInt 1
+        else Mem.VInt (if Mem.truthy (fb fr) then 1 else 0)),
+      Ast.Int )
+  | Ast.BAnd | Ast.BOr | Ast.BXor | Ast.Shl | Ast.Shr ->
+    let f =
+      match op with
+      | Ast.BAnd -> ( land )
+      | Ast.BOr -> ( lor )
+      | Ast.BXor -> ( lxor )
+      | Ast.Shl -> ( lsl )
+      | Ast.Shr -> ( asr )
+      | _ -> assert false
+    in
+    ( (fun fr ->
+        bump_int c;
+        Mem.VInt (f (Mem.to_int (fa fr)) (Mem.to_int (fb fr)))),
+      Ast.Int )
+
+(* ------------------------------------------------------------------ *)
+
+and compile_lval cenv (e : Ast.expr) : lval =
+  let rt = cenv.rt in
+  let c = rt.counters in
+  match e.Ast.edesc with
+  | Ast.Ident name -> (
+    match lookup_local cenv name with
+    | Some (slot, ty) -> LSlot (slot, ty)
+    | None -> (
+      match Hashtbl.find_opt cenv.globals name with
+      | Some (GScalar { cell; addr }, ty) -> LGlobal (cell, addr, ty)
+      | Some (GArray { view }, ty) ->
+        LMem ((fun _ -> view), ty)
+      | None -> unsupported "unbound identifier %s" name))
+  | Ast.Index (base, idx) -> (
+    let fb, tb = compile_expr cenv base in
+    let fi, _ = compile_expr cenv idx in
+    let elt, stride, is_view = subscript_info cenv tb in
+    if is_view then
+      LMem
+        ( (fun fr ->
+            bump_int c;
+            Mem.ptr_add (Mem.to_ptr (fb fr)) (stride * Mem.to_int (fi fr))),
+          elt )
+    else
+      LMem
+        ( (fun fr ->
+            bump_int c;
+            Mem.ptr_add (Mem.to_ptr (fb fr)) (Mem.to_int (fi fr))),
+          elt ))
+  | Ast.Deref inner -> (
+    let fi, ti = compile_expr cenv inner in
+    let elt, _, _ = subscript_info cenv ti in
+    LMem ((fun fr -> Mem.to_ptr (fi fr)), elt))
+  | Ast.Cast (_, inner) -> compile_lval cenv inner
+  | _ -> unsupported "unsupported lvalue: %s" (Ast_printer.expr_to_string e)
+
+(* ------------------------------------------------------------------ *)
+
+and compile_assign cenv op lhs rhs =
+  let rt = cenv.rt in
+  let c = rt.counters in
+  let lv = compile_lval cenv lhs in
+  let ty = resolve cenv (lval_type lv) in
+  let frhs, _trhs = compile_expr cenv rhs in
+  let combine old rv =
+    match op with
+    | Ast.OpAssign -> coerce ty rv
+    | Ast.OpAddAssign | Ast.OpSubAssign | Ast.OpMulAssign | Ast.OpDivAssign ->
+      if is_floaty ty then begin
+        (match op with
+        | Ast.OpMulAssign | Ast.OpDivAssign -> bump_fmul rt
+        | _ -> bump_fadd rt);
+        let a = Mem.to_float old and b = Mem.to_float rv in
+        Mem.VFloat
+          (match op with
+          | Ast.OpAddAssign -> a +. b
+          | Ast.OpSubAssign -> a -. b
+          | Ast.OpMulAssign -> a *. b
+          | Ast.OpDivAssign -> a /. b
+          | _ -> assert false)
+      end
+      else begin
+        bump_int c;
+        let a = Mem.to_int old and b = Mem.to_int rv in
+        Mem.VInt
+          (match op with
+          | Ast.OpAddAssign -> (
+            match (ty, old) with
+            | Ast.Ptr _, Mem.VPtr p ->
+              ignore a;
+              ignore p;
+              0 (* handled below *)
+            | _ -> a + b)
+          | Ast.OpSubAssign -> a - b
+          | Ast.OpMulAssign -> a * b
+          | Ast.OpDivAssign -> if b = 0 then Mem.fault "division by zero" else a / b
+          | _ -> assert false)
+      end
+    | Ast.OpModAssign ->
+      bump_int c;
+      let b = Mem.to_int rv in
+      if b = 0 then Mem.fault "modulo by zero"
+      else Mem.VInt (Mem.to_int old mod b)
+  in
+  (* pointer += int needs special handling *)
+  let combine old rv =
+    match (ty, old, op) with
+    | Ast.Ptr _, Mem.VPtr p, Ast.OpAddAssign ->
+      bump_int c;
+      Mem.VPtr (Mem.ptr_add p (Mem.to_int rv))
+    | Ast.Ptr _, Mem.VPtr p, Ast.OpSubAssign ->
+      bump_int c;
+      Mem.VPtr (Mem.ptr_add p (-Mem.to_int rv))
+    | _ -> combine old rv
+  in
+  let run =
+    match lv with
+    | LSlot (slot, _) ->
+      if op = Ast.OpAssign then fun fr ->
+        let v = coerce ty (frhs fr) in
+        fr.(slot) <- v;
+        v
+      else fun fr ->
+        let v = combine fr.(slot) (frhs fr) in
+        fr.(slot) <- v;
+        v
+    | LGlobal (cell, addr, _) ->
+      if op = Ast.OpAssign then fun fr ->
+        bump_store c;
+        Cache.access rt.cache addr;
+        let v = coerce ty (frhs fr) in
+        cell := v;
+        v
+      else fun fr ->
+        bump_load c;
+        bump_store c;
+        Cache.access rt.cache addr;
+        let v = combine !cell (frhs fr) in
+        cell := v;
+        v
+    | LMem (faddr, _) ->
+      if op = Ast.OpAssign then begin
+        let do_store = memo_store rt in
+        fun fr ->
+          let p = faddr fr in
+          let v = coerce ty (frhs fr) in
+          do_store p v;
+          v
+      end
+      else begin
+        let do_load = memo_load rt and do_store = memo_store rt in
+        fun fr ->
+          let p = faddr fr in
+          let old = do_load p in
+          let v = combine old (frhs fr) in
+          do_store p v;
+          v
+      end
+  in
+  (run, ty)
+
+(* ------------------------------------------------------------------ *)
+
+and compile_malloc cenv fn elt args =
+  let rt = cenv.rt in
+  let elt = resolve cenv elt in
+  let size_expr =
+    match (fn, args) with
+    | "malloc", [ sz ] -> compile_expr cenv sz |> fst
+    | "calloc", [ n; sz ] ->
+      let fn_, _ = compile_expr cenv n and fs, _ = compile_expr cenv sz in
+      fun fr -> Mem.VInt (Mem.to_int (fn_ fr) * Mem.to_int (fs fr))
+    | _ -> unsupported "bad allocation call"
+  in
+  let run fr =
+    let bytes = Mem.to_int (size_expr fr) in
+    let counters = rt.counters in
+    counters.Cost.builtin_calls <- counters.Cost.builtin_calls + 1;
+    counters.Cost.malloc_bytes <- counters.Cost.malloc_bytes + bytes;
+    (* allocator + first-touch/page-zeroing cost, the effect behind the
+       paper's parallelized initialization loop (Fig. 3) *)
+    counters.Cost.extra_cycles <- counters.Cost.extra_cycles + 150 + (bytes / 8);
+    let p =
+      match elt with
+      | Ast.Float -> Mem.alloc_floats rt.alloc ~elem_bytes:4 (max 1 (bytes / 4))
+      | Ast.Double -> Mem.alloc_floats rt.alloc ~elem_bytes:8 (max 1 (bytes / 8))
+      | Ast.Int -> Mem.alloc_ints rt.alloc (max 1 (bytes / 4))
+      | Ast.Char -> { (Mem.alloc_ints rt.alloc (max 1 bytes)) with Mem.p_elem_bytes = 1 }
+      | Ast.Ptr _ -> Mem.alloc_ptrs rt.alloc (max 1 (bytes / 8))
+      | _ -> Mem.alloc_floats rt.alloc ~elem_bytes:8 (max 1 (bytes / 8))
+    in
+    Mem.VPtr p
+  in
+  (run, Ast.ptr elt)
+
+and compile_call cenv loc fname args =
+  let rt = cenv.rt in
+  let c = rt.counters in
+  match fname with
+  | "malloc" | "calloc" ->
+    (* uncast allocation: treat as bytes of doubles *)
+    compile_malloc cenv fname Ast.Double args
+  | "free" ->
+    let fargs = List.map (fun a -> fst (compile_expr cenv a)) args in
+    ( (fun fr ->
+        List.iter (fun f -> ignore (f fr)) fargs;
+        c.Cost.builtin_calls <- c.Cost.builtin_calls + 1;
+        c.Cost.extra_cycles <- c.Cost.extra_cycles + 60;
+        Mem.VNull),
+      Ast.Void )
+  | "printf" -> (
+    match args with
+    | fmt_e :: rest ->
+      let frest = List.map (fun a -> fst (compile_expr cenv a)) rest in
+      let ffmt, _ = compile_expr cenv fmt_e in
+      ( (fun fr ->
+          c.Cost.builtin_calls <- c.Cost.builtin_calls + 1;
+          c.Cost.extra_cycles <- c.Cost.extra_cycles + 400;
+          let fmt =
+            match ffmt fr with Mem.VPtr p -> decode_c_string p | v -> string_of_value v
+          in
+          run_printf rt.out fmt (List.map (fun f -> f fr) frest);
+          Mem.VInt 0),
+        Ast.Int )
+    | [] -> unsupported "printf with no arguments")
+  | "exit" ->
+    let fargs = List.map (fun a -> fst (compile_expr cenv a)) args in
+    ( (fun fr ->
+        let code = match fargs with f :: _ -> Mem.to_int (f fr) | [] -> 0 in
+        raise (Return_v (Mem.VInt code))),
+      Ast.Void )
+  | "__max" | "__min" -> (
+    match List.map (fun a -> compile_expr cenv a) args with
+    | [ (fa, _); (fb, _) ] ->
+      let pick_max = fname = "__max" in
+      ( (fun fr ->
+          bump_int c;
+          let a = Mem.to_int (fa fr) and b = Mem.to_int (fb fr) in
+          Mem.VInt (if pick_max then max a b else min a b)),
+        Ast.Int )
+    | _ -> unsupported "%s expects two arguments" fname)
+  | "__ceild" | "__floord" -> (
+    match List.map (fun a -> compile_expr cenv a) args with
+    | [ (fa, _); (fb, _) ] ->
+      let ceil_mode = fname = "__ceild" in
+      ( (fun fr ->
+          c.Cost.int_ops <- c.Cost.int_ops + 20;
+          let a = Mem.to_int (fa fr) and b = Mem.to_int (fb fr) in
+          if b = 0 then Mem.fault "division by zero in %s" fname
+          else Mem.VInt (if ceil_mode then ceild a b else floord a b)),
+        Ast.Int )
+    | _ -> unsupported "%s expects two arguments" fname)
+  | "abs" -> (
+    match List.map (fun a -> fst (compile_expr cenv a)) args with
+    | [ fa ] ->
+      ( (fun fr ->
+          bump_int c;
+          Mem.VInt (abs (Mem.to_int (fa fr)))),
+        Ast.Int )
+    | _ -> unsupported "abs expects one argument")
+  | _ -> (
+    match List.find_opt (fun (n, _, _) -> n = fname) builtin_math with
+    | Some (_, f, weight) -> (
+      match List.map (fun a -> fst (compile_expr cenv a)) args with
+      | [ fa ] ->
+        let single = String.length fname > 0 && fname.[String.length fname - 1] = 'f' in
+        ( (fun fr ->
+            c.Cost.builtin_calls <- c.Cost.builtin_calls + 1;
+            c.Cost.extra_cycles <- c.Cost.extra_cycles + weight;
+            Mem.VFloat (f (Mem.to_float (fa fr)))),
+          if single then Ast.Float else Ast.Double )
+      | _ -> unsupported "%s expects one argument" fname)
+    | None -> (
+      match List.find_opt (fun (n, _, _) -> n = fname) builtin_math2 with
+      | Some (_, f, weight) -> (
+        match List.map (fun a -> fst (compile_expr cenv a)) args with
+        | [ fa; fb ] ->
+          ( (fun fr ->
+              c.Cost.builtin_calls <- c.Cost.builtin_calls + 1;
+              c.Cost.extra_cycles <- c.Cost.extra_cycles + weight;
+              Mem.VFloat (f (Mem.to_float (fa fr)) (Mem.to_float (fb fr)))),
+            Ast.Double )
+        | _ -> unsupported "%s expects two arguments" fname)
+      | None -> (
+        (* user function *)
+        match Hashtbl.find_opt cenv.funcs fname with
+        | Some entry ->
+          let fargs = Array.of_list (List.map (fun a -> fst (compile_expr cenv a)) args) in
+          let n = Array.length fargs in
+          (* a -O2-style backend inlines tiny leaf callees; such calls cost
+             almost nothing, while calls to functions with control flow keep
+             the full frame set-up cost (cf. the perf comparison in paper
+             §4.3.2, where the out-of-line stencil doubles the dynamic
+             instruction count) *)
+          let overhead = call_overhead_cycles entry.fe_def in
+          ( (fun fr ->
+              c.Cost.calls <- c.Cost.calls + 1;
+              c.Cost.extra_cycles <- c.Cost.extra_cycles + overhead;
+              let argv = Array.make (max n 1) Mem.VNull in
+              for i = 0 to n - 1 do
+                argv.(i) <- fargs.(i) fr
+              done;
+              match entry.fe_run with
+              | Some run -> run argv
+              | None -> Mem.fault "call to undefined function %s" fname),
+            resolve cenv entry.fe_def.Ast.f_ret )
+        | None ->
+          unsupported "call to unknown function %s at %s" fname (Loc.to_string loc))))
+
+(* ------------------------------------------------------------------ *)
+(* Auto-vectorization eligibility (ICC model)
+
+   A loop is considered auto-vectorizable when it is innermost, its body is
+   straight-line arithmetic over array elements (no branches, no stores
+   through unanalyzable lvalues), its bounds contain no __min/__max/__ceild
+   helper calls (complex PluTo-generated bounds inhibit the vectorizer), and
+   any user calls target leaf functions whose body is a single return of
+   call-free arithmetic (which the backend trivially inlines, e.g. [mult] in
+   the paper's dot product). *)
+
+(* a callee the vectorizer handles after inlining: single return of
+   call-free, memory-free arithmetic (scalar params only); functions that
+   read arrays (like the heat stencil) leave strided/unaligned accesses the
+   vectorizer does not profit from (paper Â§4.3.2) *)
+let is_vectorizable_leaf (funcs : (string, func_entry) Hashtbl.t) name =
+  match Hashtbl.find_opt funcs name with
+  | Some { fe_def = { f_body = Some [ { Ast.sdesc = Ast.SReturn (Some e); _ } ]; _ }; _ }
+    ->
+    Ast.calls_in_expr e = []
+    && not
+         (Ast.fold_expr
+            (fun acc x ->
+              acc
+              || match x.Ast.edesc with Ast.Index _ | Ast.Deref _ -> true | _ -> false)
+            false e)
+  | _ -> false
+
+(* indirect addressing (a gather like x[cols[k]]) defeats vectorization on
+   the modeled hardware *)
+let expr_has_gather (e : Ast.expr) =
+  Ast.fold_expr
+    (fun acc x ->
+      acc
+      ||
+      match x.Ast.edesc with
+      | Ast.Index (_, idx) ->
+        Ast.fold_expr
+          (fun a y ->
+            a || match y.Ast.edesc with Ast.Index _ | Ast.Deref _ -> true | _ -> false)
+          false idx
+      | _ -> false)
+    false e
+
+let rec stmt_has_control (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.SIf _ | Ast.SWhile _ | Ast.SDoWhile _ | Ast.SFor _ | Ast.SBreak | Ast.SContinue ->
+    true
+  | Ast.SBlock ss -> List.exists stmt_has_control ss
+  | Ast.SExpr _ | Ast.SDecl _ | Ast.SReturn _ | Ast.SPragma _ -> false
+
+let expr_has_cond (e : Ast.expr) =
+  Ast.fold_expr
+    (fun acc e ->
+      acc
+      || match e.Ast.edesc with Ast.Cond _ | Ast.Binop ((Ast.LAnd | Ast.LOr), _, _) -> true | _ -> false)
+    false e
+
+let bounds_simple cond =
+  match cond with
+  | None -> true
+  | Some e ->
+    not
+      (List.exists
+         (fun f -> List.mem f [ "__min"; "__max"; "__ceild"; "__floord" ])
+         (Ast.calls_in_expr e))
+
+let autovec_eligible funcs (init : Ast.for_init option) cond (body : Ast.stmt) =
+  let body_stmts = match body.Ast.sdesc with Ast.SBlock ss -> ss | _ -> [ body ] in
+  ignore init;
+  bounds_simple cond
+  && (not (stmt_has_control body))
+  && List.for_all
+       (fun st ->
+         match st.Ast.sdesc with
+         | Ast.SExpr e ->
+           (not (expr_has_cond e))
+           && (not (expr_has_gather e))
+           && List.for_all
+                (fun f ->
+                  is_vectorizable_leaf funcs f
+                  || List.exists (fun (n, _, _) -> n = f) builtin_math
+                  || List.exists (fun (n, _, _) -> n = f) builtin_math2)
+                (Ast.calls_in_expr e)
+         | Ast.SPragma _ -> true
+         | _ -> false)
+       body_stmts
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation *)
+
+type stmt_code = frame -> unit
+
+let nop_stmt : stmt_code = fun _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Loop-bound hoisting: an optimizing backend evaluates a loop-invariant
+   bound expression once, not per iteration.  A bound like
+   [__min(ub, t1t + 31)] is invariant when none of its variables is
+   assigned in the loop body or step and it calls only the pure bound
+   helpers. *)
+
+let idents_of_expr e =
+  Ast.fold_expr
+    (fun acc x -> match x.Ast.edesc with Ast.Ident n -> n :: acc | _ -> acc)
+    [] e
+
+let bound_helpers = [ "__min"; "__max"; "__ceild"; "__floord" ]
+
+let mutated_in_stmt s =
+  Ast.fold_stmt
+    ~stmt:(fun acc _ -> acc)
+    ~expr:(fun acc e ->
+      match e.Ast.edesc with
+      | Ast.Assign (_, { edesc = Ast.Ident n; _ }, _) -> n :: acc
+      | Ast.IncDec { arg = { edesc = Ast.Ident n; _ }; _ } -> n :: acc
+      | _ -> acc)
+    [] s
+
+let mutated_in_expr e =
+  Ast.fold_expr
+    (fun acc x ->
+      match x.Ast.edesc with
+      | Ast.Assign (_, { edesc = Ast.Ident n; _ }, _) -> n :: acc
+      | Ast.IncDec { arg = { edesc = Ast.Ident n; _ }; _ } -> n :: acc
+      | _ -> acc)
+    [] e
+
+(* [Some (iter_expr, bound_expr, strict)] when the condition is
+   [iter < bound] / [iter <= bound] with a bound invariant in the loop. *)
+let hoistable_bound cond step body =
+  match cond with
+  | Some { Ast.edesc = Ast.Binop ((Ast.Lt | Ast.Le) as op, lhs, bound); _ } ->
+    let mutated =
+      mutated_in_stmt body
+      @ (match step with Some e -> mutated_in_expr e | None -> [])
+      @ idents_of_expr lhs
+    in
+    let invariant =
+      List.for_all (fun v -> not (List.mem v mutated)) (idents_of_expr bound)
+      && List.for_all (fun f -> List.mem f bound_helpers) (Ast.calls_in_expr bound)
+    in
+    if invariant then Some (lhs, bound, op = Ast.Lt) else None
+  | _ -> None
+
+let rec compile_stmt cenv (s : Ast.stmt) : stmt_code =
+  let rt = cenv.rt in
+  let c = rt.counters in
+  match s.Ast.sdesc with
+  | Ast.SExpr e ->
+    let f, _ = compile_expr cenv e in
+    fun fr -> ignore (f fr)
+  | Ast.SDecl d -> compile_decl cenv d
+  | Ast.SIf (cond, th, el) -> (
+    let fc, _ = compile_expr cenv cond in
+    let fth = compile_in_scope cenv th in
+    match el with
+    | None ->
+      fun fr ->
+        bump_branch c;
+        if Mem.truthy (fc fr) then fth fr
+    | Some el ->
+      let fel = compile_in_scope cenv el in
+      fun fr ->
+        bump_branch c;
+        if Mem.truthy (fc fr) then fth fr else fel fr)
+  | Ast.SWhile (cond, body) ->
+    let fc, _ = compile_expr cenv cond in
+    let fb = compile_in_scope cenv body in
+    fun fr ->
+      (try
+         bump_branch c;
+         while Mem.truthy (fc fr) do
+           (try fb fr with Continue_e -> ());
+           bump_branch c
+         done
+       with Break_e -> ())
+  | Ast.SDoWhile (body, cond) ->
+    let fb = compile_in_scope cenv body in
+    let fc, _ = compile_expr cenv cond in
+    fun fr ->
+      (try
+         let continue_loop = ref true in
+         while !continue_loop do
+           (try fb fr with Continue_e -> ());
+           bump_branch c;
+           continue_loop := Mem.truthy (fc fr)
+         done
+       with Break_e -> ())
+  | Ast.SFor (init, cond, step, body) -> compile_for cenv ~vec:None init cond step body
+  | Ast.SReturn None -> fun _ -> raise (Return_v (Mem.VInt 0))
+  | Ast.SReturn (Some e) ->
+    let f, _ = compile_expr cenv e in
+    fun fr -> raise (Return_v (f fr))
+  | Ast.SBlock ss -> compile_block cenv ss
+  | Ast.SBreak -> fun _ -> raise Break_e
+  | Ast.SContinue -> fun _ -> raise Continue_e
+  | Ast.SPragma _ -> nop_stmt
+
+(* a statement in its own scope (if/while bodies) *)
+and compile_in_scope cenv s =
+  let saved_scope = cenv.scope in
+  let code = compile_stmt cenv s in
+  cenv.scope <- saved_scope;
+  code
+
+(* Build (entry, cond) for a loop: [entry] runs once when the loop is
+   entered, [cond] per iteration.  Hoistable bounds are evaluated into a
+   hidden frame slot at entry (re-entrant across calls, unlike a shared
+   ref). *)
+and compile_loop_cond cenv cond step body =
+  let rt = cenv.rt in
+  let c = rt.counters in
+  let fallback () =
+    match cond with
+    | None -> (nop_stmt, fun _ -> true)
+    | Some e ->
+      let f, _ = compile_expr cenv e in
+      (nop_stmt, fun fr -> Mem.truthy (f fr))
+  in
+  match hoistable_bound cond step body with
+  | Some (lhs, bound, strict) -> (
+    let flhs, tl = compile_expr cenv lhs in
+    let fbound, tb = compile_expr cenv bound in
+    match (tl, tb) with
+    | (Ast.Int | Ast.Char), (Ast.Int | Ast.Char) ->
+      let slot = cenv.nslots in
+      cenv.nslots <- cenv.nslots + 1;
+      let entry fr = fr.(slot) <- Mem.VInt (Mem.to_int (fbound fr)) in
+      let cond fr =
+        bump_int c;
+        let v = Mem.to_int (flhs fr) in
+        let b = Mem.to_int fr.(slot) in
+        if strict then v < b else v <= b
+      in
+      (entry, cond)
+    | _ -> fallback ())
+  | None -> fallback ()
+
+and compile_decl cenv (d : Ast.decl) : stmt_code =
+  let rt = cenv.rt in
+  let ty = resolve cenv d.Ast.d_type in
+  match ty with
+  | Ast.Array (_, _) ->
+    (* local array: fresh storage at each execution of the declaration *)
+    let slot = fresh_slot cenv d.Ast.d_name ty in
+    let rec base_and_len t =
+      match resolve cenv t with
+      | Ast.Array (e, Some n) ->
+        let b, l = base_and_len e in
+        (b, n * l)
+      | t -> (t, 1)
+    in
+    let base, len = base_and_len ty in
+    let mk () =
+      match base with
+      | Ast.Float -> Mem.alloc_floats rt.alloc ~elem_bytes:4 len
+      | Ast.Double -> Mem.alloc_floats rt.alloc ~elem_bytes:8 len
+      | Ast.Int | Ast.Char -> Mem.alloc_ints rt.alloc len
+      | Ast.Ptr _ -> Mem.alloc_ptrs rt.alloc len
+      | _ -> unsupported "unsupported local array type"
+    in
+    fun fr ->
+      rt.counters.Cost.extra_cycles <- rt.counters.Cost.extra_cycles + 4;
+      fr.(slot) <- Mem.VPtr (mk ())
+  | Ast.Struct _ -> unsupported "struct values are not executable in this build"
+  | _ -> (
+    match d.Ast.d_init with
+    | None ->
+      let slot = fresh_slot cenv d.Ast.d_name ty in
+      let zero =
+        if is_floaty ty then Mem.VFloat 0.0
+        else match ty with Ast.Ptr _ -> Mem.VNull | _ -> Mem.VInt 0
+      in
+      fun fr -> fr.(slot) <- zero
+    | Some init ->
+      (* compile the initializer BEFORE binding the name (C scoping) *)
+      let finit, _ = compile_expr cenv init in
+      let slot = fresh_slot cenv d.Ast.d_name ty in
+      fun fr -> fr.(slot) <- coerce ty (finit fr))
+
+and compile_block cenv (ss : Ast.stmt list) : stmt_code =
+  let saved_scope = cenv.scope in
+  (* pragma-aware sequencing: omp/vector pragmas bind to the next for-loop *)
+  let rec go acc = function
+    | [] -> List.rev acc
+    | { Ast.sdesc = Ast.SPragma p; _ } :: ({ Ast.sdesc = Ast.SFor (i, c, st, b); _ })
+      :: rest
+      when is_omp_for p ->
+      let code = compile_omp_for cenv p i c st b in
+      go (code :: acc) rest
+    | { Ast.sdesc = Ast.SPragma p; _ } :: rest when is_vector_pragma p ->
+      (* consume consecutive vector pragmas, then the loop *)
+      let rest = drop_vector_pragmas rest in
+      (match rest with
+      | ({ Ast.sdesc = Ast.SFor (i, c, st, b); _ }) :: rest' ->
+        let code = compile_for cenv ~vec:(Some Pragma_vec) i c st b in
+        go (code :: acc) rest'
+      | _ -> go acc rest)
+    | s :: rest -> go (compile_stmt cenv s :: acc) rest
+  in
+  let codes = Array.of_list (go [] ss) in
+  cenv.scope <- saved_scope;
+  fun fr ->
+    for i = 0 to Array.length codes - 1 do
+      codes.(i) fr
+    done
+
+and is_omp_for p =
+  String.length p >= 16 && String.sub p 0 16 = "omp parallel for"
+
+and is_vector_pragma p = p = "ivdep" || p = "vector always" || p = "simd"
+
+and drop_vector_pragmas = function
+  | { Ast.sdesc = Ast.SPragma p; _ } :: rest when is_vector_pragma p ->
+    drop_vector_pragmas rest
+  | l -> l
+
+and compile_for cenv ~vec init cond step body : stmt_code =
+  let rt = cenv.rt in
+  let c = rt.counters in
+  let saved_scope = cenv.scope in
+  let finit =
+    match init with
+    | None -> nop_stmt
+    | Some (Ast.FInitExpr e) ->
+      let f, _ = compile_expr cenv e in
+      fun fr -> ignore (f fr)
+    | Some (Ast.FInitDecl d) -> compile_decl cenv d
+  in
+  let fentry, fcond = compile_loop_cond cenv cond step body in
+  let fstep =
+    match step with
+    | None -> nop_stmt
+    | Some e ->
+      let f, _ = compile_expr cenv e in
+      fun fr -> ignore (f fr)
+  in
+  (* vectorization classification *)
+  let vec_flag =
+    match vec with
+    | Some v -> Some v
+    | None -> if autovec_eligible cenv.funcs init cond body then Some Auto_vec else None
+  in
+  let fbody = compile_stmt cenv body in
+  cenv.scope <- saved_scope;
+  match vec_flag with
+  | None ->
+    fun fr ->
+      finit fr;
+      fentry fr;
+      (try
+         bump_branch c;
+         while fcond fr do
+           (try fbody fr with Continue_e -> ());
+           fstep fr;
+           bump_branch c
+         done
+       with Break_e -> ())
+  | Some mode ->
+    fun fr ->
+      let saved = rt.vec_mode in
+      (* pragma beats auto; never downgrade an enclosing pragma *)
+      rt.vec_mode <- (if saved = Pragma_vec then saved else mode);
+      finit fr;
+      fentry fr;
+      (try
+         bump_branch c;
+         while fcond fr do
+           (try fbody fr with Continue_e -> ());
+           fstep fr;
+           bump_branch c
+         done
+       with Break_e -> ());
+      rt.vec_mode <- saved
+
+(* #pragma omp parallel for: execute sequentially, recording one cost
+   snapshot per iteration of the annotated loop. *)
+and compile_omp_for cenv pragma init cond step body : stmt_code =
+  let rt = cenv.rt in
+  let c = rt.counters in
+  let sched = Trace.sched_of_pragma pragma in
+  let saved_scope = cenv.scope in
+  let finit =
+    match init with
+    | None -> nop_stmt
+    | Some (Ast.FInitExpr e) ->
+      let f, _ = compile_expr cenv e in
+      fun fr -> ignore (f fr)
+    | Some (Ast.FInitDecl d) -> compile_decl cenv d
+  in
+  let fentry, fcond = compile_loop_cond cenv cond step body in
+  let fstep =
+    match step with
+    | None -> nop_stmt
+    | Some e ->
+      let f, _ = compile_expr cenv e in
+      fun fr -> ignore (f fr)
+  in
+  let fbody = compile_stmt cenv body in
+  cenv.scope <- saved_scope;
+  fun fr ->
+    if rt.in_parallel then begin
+      (* nested parallel regions execute sequentially (OpenMP default) *)
+      finit fr;
+      fentry fr;
+      try
+        bump_branch c;
+        while fcond fr do
+          (try fbody fr with Continue_e -> ());
+          fstep fr;
+          bump_branch c
+        done
+      with Break_e -> ()
+    end
+    else begin
+      (* close the running sequential segment *)
+      rt.segments <- Trace.Seq (Cost.diff rt.counters rt.seg_start) :: rt.segments;
+      rt.in_parallel <- true;
+      let iters = ref [] in
+      finit fr;
+      fentry fr;
+      (try
+         bump_branch c;
+         while fcond fr do
+           let snap = Cost.copy rt.counters in
+           (try fbody fr with Continue_e -> ());
+           fstep fr;
+           bump_branch c;
+           iters := Cost.diff rt.counters snap :: !iters
+         done
+       with Break_e -> ());
+      rt.in_parallel <- false;
+      rt.segments <-
+        Trace.Par { sched; iters = Array.of_list (List.rev !iters) } :: rt.segments;
+      rt.seg_start <- Cost.copy rt.counters
+    end

@@ -1,0 +1,124 @@
+(** Abstract cost counters maintained by the instrumented interpreter.
+
+    The interpreter executes the *transformed* program and counts operations
+    by class; the {!Machine} library later maps classes to cycles for a
+    concrete core and backend.  Floating-point work is split into three
+    buckets so one execution can serve several compiler backends:
+
+    - [flops_pragma_vec]: inside loops carrying SICA [ivdep]/[vector]
+      pragmas — vectorized by any backend that honors the pragmas;
+    - [flops_autovec]: inside loops our eligibility analysis says a
+      vectorizing compiler (ICC-like) auto-vectorizes;
+    - scalar flops: everything else. *)
+
+type t = {
+  mutable int_ops : int;
+  mutable float_adds : int;
+  mutable float_muls : int;
+  mutable float_divs : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable l1_misses : int;
+  mutable l2_misses : int;
+  mutable calls : int;
+  mutable builtin_calls : int;
+  mutable branches : int;
+  mutable flops_pragma_vec : int;
+  mutable flops_autovec : int;
+  mutable malloc_bytes : int;
+  mutable extra_cycles : int;  (** directly charged cycles (allocator, ...) *)
+}
+
+let create () =
+  {
+    int_ops = 0;
+    float_adds = 0;
+    float_muls = 0;
+    float_divs = 0;
+    loads = 0;
+    stores = 0;
+    l1_misses = 0;
+    l2_misses = 0;
+    calls = 0;
+    builtin_calls = 0;
+    branches = 0;
+    flops_pragma_vec = 0;
+    flops_autovec = 0;
+    malloc_bytes = 0;
+    extra_cycles = 0;
+  }
+
+let copy c = { c with int_ops = c.int_ops }
+
+let reset c =
+  c.int_ops <- 0;
+  c.float_adds <- 0;
+  c.float_muls <- 0;
+  c.float_divs <- 0;
+  c.loads <- 0;
+  c.stores <- 0;
+  c.l1_misses <- 0;
+  c.l2_misses <- 0;
+  c.calls <- 0;
+  c.builtin_calls <- 0;
+  c.branches <- 0;
+  c.flops_pragma_vec <- 0;
+  c.flops_autovec <- 0;
+  c.malloc_bytes <- 0;
+  c.extra_cycles <- 0
+
+(** [diff a b] = a - b, fieldwise (a is the later snapshot). *)
+let diff a b =
+  {
+    int_ops = a.int_ops - b.int_ops;
+    float_adds = a.float_adds - b.float_adds;
+    float_muls = a.float_muls - b.float_muls;
+    float_divs = a.float_divs - b.float_divs;
+    loads = a.loads - b.loads;
+    stores = a.stores - b.stores;
+    l1_misses = a.l1_misses - b.l1_misses;
+    l2_misses = a.l2_misses - b.l2_misses;
+    calls = a.calls - b.calls;
+    builtin_calls = a.builtin_calls - b.builtin_calls;
+    branches = a.branches - b.branches;
+    flops_pragma_vec = a.flops_pragma_vec - b.flops_pragma_vec;
+    flops_autovec = a.flops_autovec - b.flops_autovec;
+    malloc_bytes = a.malloc_bytes - b.malloc_bytes;
+    extra_cycles = a.extra_cycles - b.extra_cycles;
+  }
+
+let add_into ~(into : t) (d : t) =
+  into.int_ops <- into.int_ops + d.int_ops;
+  into.float_adds <- into.float_adds + d.float_adds;
+  into.float_muls <- into.float_muls + d.float_muls;
+  into.float_divs <- into.float_divs + d.float_divs;
+  into.loads <- into.loads + d.loads;
+  into.stores <- into.stores + d.stores;
+  into.l1_misses <- into.l1_misses + d.l1_misses;
+  into.l2_misses <- into.l2_misses + d.l2_misses;
+  into.calls <- into.calls + d.calls;
+  into.builtin_calls <- into.builtin_calls + d.builtin_calls;
+  into.branches <- into.branches + d.branches;
+  into.flops_pragma_vec <- into.flops_pragma_vec + d.flops_pragma_vec;
+  into.flops_autovec <- into.flops_autovec + d.flops_autovec;
+  into.malloc_bytes <- into.malloc_bytes + d.malloc_bytes;
+  into.extra_cycles <- into.extra_cycles + d.extra_cycles
+
+let total_flops c = c.float_adds + c.float_muls + c.float_divs
+
+(** Total dynamic operations (the perf "instructions" proxy used when
+    reproducing the paper's §4.3.2 instruction-count comparison).  A
+    non-inlined call costs roughly a dozen instructions on x86-64: call,
+    prologue/epilogue, argument and result moves, ret. *)
+let total_ops c =
+  c.int_ops + c.float_adds + c.float_muls + c.float_divs + c.loads + c.stores
+  + (c.calls * 12)
+  + c.builtin_calls + c.branches
+
+let pp ppf c =
+  Fmt.pf ppf
+    "int=%d fadd=%d fmul=%d fdiv=%d ld=%d st=%d l1m=%d l2m=%d call=%d bcall=%d br=%d \
+     vecp=%d veca=%d mall=%dB xc=%d"
+    c.int_ops c.float_adds c.float_muls c.float_divs c.loads c.stores c.l1_misses
+    c.l2_misses c.calls c.builtin_calls c.branches c.flops_pragma_vec c.flops_autovec
+    c.malloc_bytes c.extra_cycles

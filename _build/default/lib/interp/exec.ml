@@ -1,0 +1,152 @@
+(** Program loading and execution: compile every function, set up globals,
+    run [main], and assemble the {!Trace.profile}. *)
+
+open Cfront
+
+exception Runtime_error of string
+
+(* Allocate storage for a global declaration. *)
+let setup_global cenv (d : Ast.decl) =
+  let rt = cenv.Compile.rt in
+  let ty = Compile.resolve cenv d.Ast.d_type in
+  match ty with
+  | Ast.Array _ ->
+    let rec base_and_len t =
+      match Compile.resolve cenv t with
+      | Ast.Array (e, Some n) ->
+        let b, l = base_and_len e in
+        (b, n * l)
+      | Ast.Array (_, None) ->
+        Compile.unsupported "global array %s needs explicit dimensions" d.Ast.d_name
+      | t -> (t, 1)
+    in
+    let base, len = base_and_len ty in
+    let view =
+      match base with
+      | Ast.Float -> Mem.alloc_floats rt.Compile.alloc ~elem_bytes:4 len
+      | Ast.Double -> Mem.alloc_floats rt.Compile.alloc ~elem_bytes:8 len
+      | Ast.Int | Ast.Char -> Mem.alloc_ints rt.Compile.alloc len
+      | Ast.Ptr _ -> Mem.alloc_ptrs rt.Compile.alloc len
+      | _ -> Compile.unsupported "unsupported global array element type"
+    in
+    Hashtbl.replace cenv.Compile.globals d.Ast.d_name
+      (Compile.GArray { view }, ty)
+  | Ast.Struct _ -> Compile.unsupported "global struct values are not executable"
+  | _ ->
+    let zero =
+      if Compile.is_floaty ty then Mem.VFloat 0.0
+      else match ty with Ast.Ptr _ -> Mem.VNull | _ -> Mem.VInt 0
+    in
+    let addr = Mem.alloc_addr rt.Compile.alloc (Compile.scalar_bytes ty) in
+    Hashtbl.replace cenv.Compile.globals d.Ast.d_name
+      (Compile.GScalar { cell = ref zero; addr }, ty)
+
+(* Evaluate global initializers (in declaration order). *)
+let init_global cenv (d : Ast.decl) =
+  match d.Ast.d_init with
+  | None -> ()
+  | Some init -> (
+    let f, _ = Compile.compile_expr cenv init in
+    let v = f [||] in
+    match Hashtbl.find_opt cenv.Compile.globals d.Ast.d_name with
+    | Some (Compile.GScalar { cell; _ }, ty) -> cell := Compile.coerce ty v
+    | _ -> ())
+
+let compile_function cenv (f : Ast.func) =
+  match f.Ast.f_body with
+  | None -> ()
+  | Some body ->
+    let saved_scope = cenv.Compile.scope and saved_nslots = cenv.Compile.nslots in
+    cenv.Compile.scope <- [];
+    cenv.Compile.nslots <- 0;
+    let nparams = List.length f.Ast.f_params in
+    List.iter
+      (fun (p : Ast.param) ->
+        ignore
+          (Compile.fresh_slot cenv p.Ast.p_name (Compile.resolve cenv p.Ast.p_type)))
+      f.Ast.f_params;
+    (* compile as a block so pragma/loop pairing works at function level *)
+    let code = Compile.compile_block cenv body in
+    let nslots = cenv.Compile.nslots in
+    cenv.Compile.scope <- saved_scope;
+    cenv.Compile.nslots <- saved_nslots;
+    let run (args : Mem.value array) : Mem.value =
+      let fr = Array.make (max nslots 1) Mem.VNull in
+      Array.blit args 0 fr 0 (min (Array.length args) nparams);
+      try
+        code fr;
+        Mem.VInt 0
+      with Compile.Return_v v -> v
+    in
+    (match Hashtbl.find_opt cenv.Compile.funcs f.Ast.f_name with
+    | Some entry -> entry.Compile.fe_run <- Some run
+    | None -> ())
+
+(** Load a program: returns the compile environment, ready to run.
+    [l1_bytes]/[l2_bytes] configure the simulated cache hierarchy (scaled
+    problem sizes pair with scaled caches, cf. DESIGN.md). *)
+let load ?l1_bytes ?l2_bytes (program : Ast.program) : Compile.cenv =
+  let rt = Compile.create_rt ?l1_bytes ?l2_bytes () in
+  let tenv = Sema.Env.gather program in
+  let cenv =
+    {
+      Compile.tenv;
+      funcs = Hashtbl.create 16;
+      globals = Hashtbl.create 16;
+      rt;
+      scope = [];
+      nslots = 0;
+    }
+  in
+  (* register functions first (mutual recursion) *)
+  List.iter
+    (function
+      | Ast.GFunc f ->
+        if not (Hashtbl.mem cenv.Compile.funcs f.Ast.f_name) || f.Ast.f_body <> None
+        then
+          Hashtbl.replace cenv.Compile.funcs f.Ast.f_name
+            { Compile.fe_def = f; fe_run = None }
+      | _ -> ())
+    program;
+  List.iter (function Ast.GVar d -> setup_global cenv d | _ -> ()) program;
+  List.iter (function Ast.GFunc f -> compile_function cenv f | _ -> ()) program;
+  List.iter (function Ast.GVar d -> init_global cenv d | _ -> ()) program;
+  cenv
+
+(** Run a loaded program's [main] and assemble the profile. *)
+let run_main (cenv : Compile.cenv) : Trace.profile =
+  let rt = cenv.Compile.rt in
+  Cost.reset rt.Compile.counters;
+  Cache.reset_all rt.Compile.cache;
+  rt.Compile.segments <- [];
+  rt.Compile.seg_start <- Cost.create ();
+  Buffer.clear rt.Compile.out;
+  let entry =
+    match Hashtbl.find_opt cenv.Compile.funcs "main" with
+    | Some ({ Compile.fe_run = Some _; _ } as e) -> e
+    | _ -> raise (Runtime_error "no main function")
+  in
+  let run = Option.get entry.Compile.fe_run in
+  let nparams = List.length entry.Compile.fe_def.Ast.f_params in
+  let args =
+    if nparams >= 2 then [| Mem.VInt 1; Mem.VNull |]
+    else if nparams = 1 then [| Mem.VInt 1 |]
+    else [||]
+  in
+  let result =
+    try run args with
+    | Mem.Fault m -> raise (Runtime_error ("memory fault: " ^ m))
+    | Compile.Unsupported m -> raise (Runtime_error ("unsupported: " ^ m))
+  in
+  (* close the trailing sequential segment *)
+  rt.Compile.segments <-
+    Trace.Seq (Cost.diff rt.Compile.counters rt.Compile.seg_start) :: rt.Compile.segments;
+  {
+    Trace.segments = List.rev rt.Compile.segments;
+    output = Buffer.contents rt.Compile.out;
+    return_code = Mem.to_int result;
+  }
+
+(** One-shot: load and run. *)
+let run ?l1_bytes ?l2_bytes (program : Ast.program) : Trace.profile =
+  run_main (load ?l1_bytes ?l2_bytes program)

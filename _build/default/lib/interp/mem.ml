@@ -1,0 +1,126 @@
+(** The interpreter's memory: typed heap objects with synthetic addresses.
+
+    Objects carry a base address from a bump allocator so that the cache
+    simulator sees a realistic address stream (row-major layouts, distinct
+    arrays in distinct regions).  Pointers are (object, element offset)
+    pairs — out-of-bounds accesses fault like a real program would, which
+    doubles as a sanitizer for the compiler chain. *)
+
+type obj =
+  | OFloats of float array  (** also used for double; width tracked per obj *)
+  | OInts of int array
+  | OPtrs of ptr option array
+
+and ptr = { p_obj : obj; p_base : int;  (** synthetic byte address of element 0 *)
+            p_off : int;  (** element offset *)
+            p_elem_bytes : int }
+
+type value = VInt of int | VFloat of float | VPtr of ptr | VNull
+
+exception Fault of string
+
+let fault fmt = Fmt.kstr (fun m -> raise (Fault m)) fmt
+
+type allocator = { mutable next_addr : int; mutable live_bytes : int }
+
+let create_allocator () = { next_addr = 0x1000_0000; live_bytes = 0 }
+
+let align n a = (n + a - 1) / a * a
+
+let alloc_addr alloc bytes =
+  let addr = align alloc.next_addr 64 in
+  alloc.next_addr <- addr + bytes;
+  alloc.live_bytes <- alloc.live_bytes + bytes;
+  addr
+
+let alloc_floats alloc ~elem_bytes n =
+  let base = alloc_addr alloc (n * elem_bytes) in
+  { p_obj = OFloats (Array.make n 0.0); p_base = base; p_off = 0; p_elem_bytes = elem_bytes }
+
+let alloc_ints alloc n =
+  let base = alloc_addr alloc (n * 4) in
+  { p_obj = OInts (Array.make n 0); p_base = base; p_off = 0; p_elem_bytes = 4 }
+
+let alloc_ptrs alloc n =
+  let base = alloc_addr alloc (n * 8) in
+  { p_obj = OPtrs (Array.make n None); p_base = base; p_off = 0; p_elem_bytes = 8 }
+
+let ptr_add p k = { p with p_off = p.p_off + k }
+
+let addr_of p = p.p_base + (p.p_off * p.p_elem_bytes)
+
+let obj_length = function
+  | OFloats a -> Array.length a
+  | OInts a -> Array.length a
+  | OPtrs a -> Array.length a
+
+let check_bounds p what =
+  let n = obj_length p.p_obj in
+  if p.p_off < 0 || p.p_off >= n then
+    fault "%s out of bounds: offset %d not in [0,%d)" what p.p_off n
+
+(** Load without touching the cache or counters: used when the backend model
+    decides the value is register-resident (same site, same address). *)
+let peek (p : ptr) : value =
+  check_bounds p "load";
+  match p.p_obj with
+  | OFloats a -> VFloat a.(p.p_off)
+  | OInts a -> VInt a.(p.p_off)
+  | OPtrs a -> ( match a.(p.p_off) with Some q -> VPtr q | None -> VNull)
+
+(** Store without touching the cache (register-resident cell; the final
+    writeback is charged when the site moves to a new address). *)
+let poke (p : ptr) (v : value) : unit =
+  check_bounds p "store";
+  match (p.p_obj, v) with
+  | OFloats a, VFloat f -> a.(p.p_off) <- f
+  | OFloats a, VInt i -> a.(p.p_off) <- float_of_int i
+  | OInts a, VInt i -> a.(p.p_off) <- i
+  | OInts a, VFloat f -> a.(p.p_off) <- int_of_float f
+  | OPtrs a, VPtr q -> a.(p.p_off) <- Some q
+  | OPtrs a, VNull -> a.(p.p_off) <- None
+  | _ -> fault "type-incompatible store"
+
+(** Load the element [p] points at.  The [cache] sees the address. *)
+let load cache (p : ptr) : value =
+  check_bounds p "load";
+  Cache.access cache (addr_of p);
+  match p.p_obj with
+  | OFloats a -> VFloat a.(p.p_off)
+  | OInts a -> VInt a.(p.p_off)
+  | OPtrs a -> ( match a.(p.p_off) with Some q -> VPtr q | None -> VNull)
+
+let store cache (p : ptr) (v : value) : unit =
+  check_bounds p "store";
+  Cache.access cache (addr_of p);
+  match (p.p_obj, v) with
+  | OFloats a, VFloat f -> a.(p.p_off) <- f
+  | OFloats a, VInt i -> a.(p.p_off) <- float_of_int i
+  | OInts a, VInt i -> a.(p.p_off) <- i
+  | OInts a, VFloat f -> a.(p.p_off) <- int_of_float f
+  | OPtrs a, VPtr q -> a.(p.p_off) <- Some q
+  | OPtrs a, VNull -> a.(p.p_off) <- None
+  | _ -> fault "type-incompatible store"
+
+(* value coercions *)
+let to_int = function
+  | VInt i -> i
+  | VFloat f -> int_of_float f
+  | VNull -> 0
+  | VPtr _ -> fault "pointer used as integer"
+
+let to_float = function
+  | VFloat f -> f
+  | VInt i -> float_of_int i
+  | VNull | VPtr _ -> fault "pointer used as float"
+
+let to_ptr = function
+  | VPtr p -> p
+  | VNull -> fault "null pointer dereference"
+  | VInt _ | VFloat _ -> fault "scalar used as pointer"
+
+let truthy = function
+  | VInt i -> i <> 0
+  | VFloat f -> f <> 0.0
+  | VPtr _ -> true
+  | VNull -> false

@@ -1,0 +1,79 @@
+(** Execution profiles: the interface between the interpreter and the
+    multicore machine model.
+
+    The instrumented run slices execution into sequential segments and
+    parallel-loop segments; a parallel segment carries one {!Cost.t} per
+    iteration of the loop the [#pragma omp parallel for] covers, plus the
+    requested OpenMP schedule.  The machine model replays the segments for
+    any core count. *)
+
+type sched_kind =
+  | Static  (** contiguous blocks, the OpenMP default *)
+  | Static_chunk of int
+  | Dynamic of int
+
+type segment =
+  | Seq of Cost.t
+  | Par of { sched : sched_kind; iters : Cost.t array }
+
+type profile = {
+  segments : segment list;
+  output : string;  (** everything the program printed *)
+  return_code : int;
+}
+
+(* index of [needle] in [haystack], or raise Not_found *)
+let find_sub haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    if i + nl > hl then raise Not_found
+    else if String.sub haystack i nl = needle then i
+    else go (i + 1)
+  in
+  go 0
+
+(* the integer right after [prefix] in [text], or [default] *)
+let int_after text prefix default =
+  match find_sub text prefix with
+  | exception Not_found -> default
+  | start ->
+    let i = start + String.length prefix in
+    let buf = Buffer.create 4 in
+    let n = String.length text in
+    let rec go i =
+      if i < n && text.[i] >= '0' && text.[i] <= '9' then begin
+        Buffer.add_char buf text.[i];
+        go (i + 1)
+      end
+    in
+    go i;
+    let s = Buffer.contents buf in
+    if s = "" then default else int_of_string s
+
+(** Parse the schedule clause of an [omp parallel for] pragma. *)
+let sched_of_pragma text =
+  let contains needle =
+    match find_sub text needle with exception Not_found -> false | _ -> true
+  in
+  if contains "schedule(dynamic" then Dynamic (int_after text "schedule(dynamic," 1)
+  else if contains "schedule(static," then Static_chunk (int_after text "schedule(static," 1)
+  else Static
+
+(** Aggregate cost over all segments (the sequential execution cost). *)
+let total_cost profile =
+  let acc = Cost.create () in
+  List.iter
+    (function
+      | Seq c -> Cost.add_into ~into:acc c
+      | Par { iters; _ } -> Array.iter (fun c -> Cost.add_into ~into:acc c) iters)
+    profile.segments;
+  acc
+
+let n_parallel_segments profile =
+  List.length (List.filter (function Par _ -> true | Seq _ -> false) profile.segments)
+
+(** Total iterations across parallel segments (reporting helper). *)
+let n_parallel_iterations profile =
+  List.fold_left
+    (fun acc -> function Par { iters; _ } -> acc + Array.length iters | Seq _ -> acc)
+    0 profile.segments

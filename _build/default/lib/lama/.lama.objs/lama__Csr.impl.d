@@ -1,0 +1,1 @@
+lib/lama/csr.ml: Array Ell List

@@ -1,0 +1,1 @@
+lib/lama/ell.ml: Array List

@@ -1,0 +1,1 @@
+lib/lama/matrix_gen.ml: Array Ell Hashtbl List Rng Support

@@ -1,0 +1,1 @@
+lib/lama/spmv.ml: Array Csr Ell Runtime

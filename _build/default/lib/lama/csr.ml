@@ -1,0 +1,51 @@
+(** Compressed sparse row storage, used as a conversion partner and
+    reference for the ELL format (LAMA supports both). *)
+
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array;  (** length rows+1 *)
+  col_idx : int array;
+  values : float array;
+}
+
+let nnz t = Array.length t.values
+
+let of_rows ~cols (rows_data : (int * float) list array) : t =
+  let rows = Array.length rows_data in
+  let row_ptr = Array.make (rows + 1) 0 in
+  Array.iteri (fun r entries -> row_ptr.(r + 1) <- row_ptr.(r) + List.length entries) rows_data;
+  let total = row_ptr.(rows) in
+  let col_idx = Array.make (max 1 total) 0 in
+  let values = Array.make (max 1 total) 0.0 in
+  Array.iteri
+    (fun r entries ->
+      List.iteri
+        (fun k (c, v) ->
+          col_idx.(row_ptr.(r) + k) <- c;
+          values.(row_ptr.(r) + k) <- v)
+        entries)
+    rows_data;
+  { rows; cols; row_ptr; col_idx; values }
+
+let to_rows t : (int * float) list array =
+  Array.init t.rows (fun r ->
+      List.init
+        (t.row_ptr.(r + 1) - t.row_ptr.(r))
+        (fun k -> (t.col_idx.(t.row_ptr.(r) + k), t.values.(t.row_ptr.(r) + k))))
+
+let of_ell (e : Ell.t) : t =
+  of_rows ~cols:e.Ell.cols
+    (Array.init e.Ell.rows (fun r ->
+         let acc = ref [] in
+         Ell.iter_row e r (fun c v -> acc := (c, v) :: !acc);
+         List.rev !acc))
+
+let to_ell (t : t) : Ell.t = Ell.of_rows ~cols:t.cols (to_rows t)
+
+let get t r c =
+  let acc = ref 0.0 in
+  for k = t.row_ptr.(r) to t.row_ptr.(r + 1) - 1 do
+    if t.col_idx.(k) = c then acc := !acc +. t.values.(k)
+  done;
+  !acc

@@ -1,0 +1,68 @@
+(** ELLPACK (ELL) sparse matrix storage — the format of the LAMA kernel the
+    paper evaluates (§4.1, fourth application).
+
+    ELL stores a [rows x cols] sparse matrix as two dense [rows x max_nnz]
+    arrays (column indices and values) in column-major "jagged diagonal"
+    order; rows shorter than [max_nnz] are padded.  The padding and the
+    varying true row lengths are exactly what makes the SpMV loop
+    load-imbalanced at the tail — the effect §4.3.4 discusses. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  max_nnz : int;  (** entries per row including padding *)
+  row_nnz : int array;  (** true (unpadded) entries per row *)
+  col_idx : int array;  (** [rows * max_nnz], row-major: idx.(r*max_nnz+k) *)
+  values : float array;  (** same layout as [col_idx] *)
+}
+
+let rows t = t.rows
+
+let cols t = t.cols
+
+let nnz t = Array.fold_left ( + ) 0 t.row_nnz
+
+let padding t = (t.rows * t.max_nnz) - nnz t
+
+(** Build from a row-wise list of (column, value) lists. *)
+let of_rows ~cols (rows_data : (int * float) list array) : t =
+  let rows = Array.length rows_data in
+  let row_nnz = Array.map List.length rows_data in
+  let max_nnz = Array.fold_left max 0 row_nnz in
+  let max_nnz = max 1 max_nnz in
+  let col_idx = Array.make (rows * max_nnz) 0 in
+  let values = Array.make (rows * max_nnz) 0.0 in
+  Array.iteri
+    (fun r entries ->
+      List.iteri
+        (fun k (cidx, v) ->
+          if cidx < 0 || cidx >= cols then invalid_arg "Ell.of_rows: column out of range";
+          col_idx.((r * max_nnz) + k) <- cidx;
+          values.((r * max_nnz) + k) <- v)
+        entries)
+    rows_data;
+  { rows; cols; max_nnz; row_nnz; col_idx; values }
+
+(** Dense lookup (tests). *)
+let get t r c =
+  let acc = ref 0.0 in
+  for k = 0 to t.row_nnz.(r) - 1 do
+    if t.col_idx.((r * t.max_nnz) + k) = c then acc := !acc +. t.values.((r * t.max_nnz) + k)
+  done;
+  !acc
+
+let to_dense t =
+  let d = Array.make_matrix t.rows t.cols 0.0 in
+  for r = 0 to t.rows - 1 do
+    for k = 0 to t.row_nnz.(r) - 1 do
+      let c = t.col_idx.((r * t.max_nnz) + k) in
+      d.(r).(c) <- d.(r).(c) +. t.values.((r * t.max_nnz) + k)
+    done
+  done;
+  d
+
+(** Row-padded iteration (the kernel's access pattern). *)
+let iter_row t r f =
+  for k = 0 to t.row_nnz.(r) - 1 do
+    f t.col_idx.((r * t.max_nnz) + k) t.values.((r * t.max_nnz) + k)
+  done

@@ -1,0 +1,83 @@
+(** Synthetic sparse matrices with a pwtk-like profile.
+
+    The Boeing/pwtk pressurized-wind-tunnel matrix used in the paper (217k
+    rows, 11.5M nonzeros, symmetric, ~53 nnz/row on average) is not
+    redistributable here, so the generator produces a symmetric banded
+    matrix with clustered off-band entries and a long-tailed row-degree
+    distribution.  What the SpMV evaluation depends on — ELL padding ratio
+    and tail imbalance of row lengths — is matched by construction. *)
+
+open Support
+
+type spec = {
+  rows : int;
+  avg_nnz : int;  (** mean nonzeros per row *)
+  band : int;  (** half-width of the main band *)
+  heavy_row_fraction : float;  (** fraction of rows with ~3x the average *)
+  seed : int;
+}
+
+let pwtk_like ?(rows = 4096) () =
+  { rows; avg_nnz = 24; band = 16; heavy_row_fraction = 0.06; seed = 42 }
+
+(** Generate the matrix as row lists (symmetric, diagonally dominant). *)
+let generate (spec : spec) : (int * float) list array =
+  let rng = Rng.create spec.seed in
+  let n = spec.rows in
+  let tbl = Array.make n [] in
+  let add r c v =
+    if r >= 0 && r < n && c >= 0 && c < n then tbl.(r) <- (c, v) :: tbl.(r)
+  in
+  (* symmetric insertion *)
+  let add_sym r c v =
+    add r c v;
+    if r <> c then add c r v
+  in
+  for r = 0 to n - 1 do
+    (* diagonal *)
+    add r r (4.0 +. Rng.float rng);
+    let heavy = Rng.float rng < spec.heavy_row_fraction in
+    let target = if heavy then spec.avg_nnz * 3 else spec.avg_nnz in
+    (* banded entries: only place (r, c) with c > r to keep symmetry *)
+    let placed = ref 0 in
+    let attempts = ref 0 in
+    while !placed < target / 2 && !attempts < target * 4 do
+      incr attempts;
+      let off = 1 + Rng.int rng spec.band in
+      let c = if Rng.bool rng then r + off else r + off + Rng.int rng (spec.band * 4) in
+      if c > r && c < n then begin
+        add_sym r c (Rng.float_range rng (-1.0) 1.0 *. 0.25);
+        incr placed
+      end
+    done
+  done;
+  (* dedup columns per row, keep first occurrence, sort by column *)
+  Array.map
+    (fun entries ->
+      let seen = Hashtbl.create 16 in
+      List.rev entries
+      |> List.filter (fun (c, _) ->
+             if Hashtbl.mem seen c then false
+             else begin
+               Hashtbl.replace seen c ();
+               true
+             end)
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+    tbl
+
+let generate_ell spec : Ell.t =
+  let rows = generate spec in
+  Ell.of_rows ~cols:spec.rows rows
+
+(** A deterministic dense-ish vector to multiply with. *)
+let test_vector n =
+  Array.init n (fun i -> 1.0 +. (float_of_int (i mod 17) *. 0.125))
+
+(** Row-degree statistics: (min, max, mean, fraction of padding in ELL). *)
+let stats (e : Ell.t) =
+  let n = Ell.rows e in
+  let mn = Array.fold_left min max_int e.Ell.row_nnz in
+  let mx = Array.fold_left max 0 e.Ell.row_nnz in
+  let mean = float_of_int (Ell.nnz e) /. float_of_int n in
+  let pad = float_of_int (Ell.padding e) /. float_of_int (n * e.Ell.max_nnz) in
+  (mn, mx, mean, pad)

@@ -1,0 +1,1 @@
+lib/machine/mkl_model.ml: Config

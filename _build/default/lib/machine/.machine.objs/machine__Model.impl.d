@@ -1,0 +1,1 @@
+lib/machine/model.ml: Array Config Cost Float Interp List Support Trace

@@ -1,0 +1,184 @@
+(** Trace-driven multicore simulation.
+
+    Replays an interpreter {!Interp.Trace.profile} on an abstract machine at
+    a chosen core count: sequential segments run on one core; parallel
+    segments distribute their per-iteration costs over the cores according
+    to the recorded OpenMP schedule.  Per-segment time is a roofline
+    [max(compute makespan, DRAM traffic / bandwidth)] plus fork/join
+    overhead — which is what produces the paper's observed shapes
+    (bandwidth rolloff for the stencil, schedule-dependent imbalance for
+    the satellite and LAMA codes, Amdahl effects from serial sections). *)
+
+open Interp
+
+type seg_breakdown = {
+  sb_parallel : bool;
+  sb_compute_s : float;
+  sb_memory_s : float;
+  sb_overhead_s : float;
+  sb_time_s : float;
+}
+
+type result = {
+  r_seconds : float;
+  r_segments : seg_breakdown list;
+  r_cores : int;
+  r_backend : Config.backend;
+}
+
+(* Cycles of one cost record on one core (no DRAM bandwidth term). *)
+let cycles (machine : Config.machine) (backend : Config.backend) (c : Cost.t) : float =
+  let w = machine.Config.m_weights in
+  let flops = float_of_int (c.Cost.float_adds + c.Cost.float_muls) in
+  (* flops executed under a vector mode the backend exploits *)
+  let vec =
+    (if backend.Config.b_honors_vector_pragmas then c.Cost.flops_pragma_vec else 0)
+    + if backend.Config.b_auto_vectorize then c.Cost.flops_autovec else 0
+  in
+  let vec = Float.min (float_of_int vec) flops in
+  let scalar_flops = flops -. vec in
+  let speedup =
+    1.0
+    /. (1.0
+        -. backend.Config.b_vector_efficiency
+        +. (backend.Config.b_vector_efficiency /. float_of_int backend.Config.b_vector_width))
+  in
+  let flop_cycles =
+    (* weight flops by the fadd/fmul mix *)
+    let mix =
+      let fa = float_of_int c.Cost.float_adds and fm = float_of_int c.Cost.float_muls in
+      if fa +. fm = 0.0 then w.Config.w_fadd
+      else ((fa *. w.Config.w_fadd) +. (fm *. w.Config.w_fmul)) /. (fa +. fm)
+    in
+    ((scalar_flops *. mix) +. (vec *. mix /. speedup))
+    +. (float_of_int c.Cost.float_divs *. w.Config.w_fdiv)
+  in
+  (* Vectorized loops amortize loads, stores and address arithmetic across
+     lanes as well (vector loads, strength-reduced induction): discount the
+     bookkeeping ops by the fraction of flops executed under a vector mode,
+     at roughly half the flop lanes' efficiency. *)
+  let vec_frac = if flops > 0.0 then vec /. flops else 0.0 in
+  let other_speedup = 1.0 +. ((speedup -. 1.0) /. 2.0) in
+  let other_discount = 1.0 -. (vec_frac *. (1.0 -. (1.0 /. other_speedup))) in
+  let bookkeeping =
+    (float_of_int c.Cost.int_ops *. w.Config.w_int)
+    +. (float_of_int c.Cost.loads *. w.Config.w_load)
+    +. (float_of_int c.Cost.stores *. w.Config.w_store)
+    +. (float_of_int c.Cost.branches *. w.Config.w_branch)
+  in
+  let other =
+    (bookkeeping *. other_discount)
+    +. (float_of_int c.Cost.l1_misses *. w.Config.w_l1_miss)
+    +. (float_of_int c.Cost.calls *. w.Config.w_call)
+    +. float_of_int c.Cost.extra_cycles
+  in
+  backend.Config.b_scalar_factor *. (flop_cycles +. other)
+
+(* DRAM bytes of a cost record: L2 misses fetch whole lines. *)
+let dram_bytes machine (c : Cost.t) =
+  float_of_int (c.Cost.l2_misses * machine.Config.m_line_bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule simulation *)
+
+(* Assign per-iteration cycle costs to [n] cores; returns the compute
+   makespan in cycles plus scheduling overhead cycles. *)
+let makespan machine n (sched : Trace.sched_kind) (iter_cycles : float array) :
+    float * float =
+  let m = Array.length iter_cycles in
+  if m = 0 then (0.0, 0.0)
+  else if n = 1 then (Array.fold_left ( +. ) 0.0 iter_cycles, 0.0)
+  else begin
+    match sched with
+    | Trace.Static ->
+      (* contiguous blocks of ceil(m/n) *)
+      let block = (m + n - 1) / n in
+      let worst = ref 0.0 in
+      let i = ref 0 in
+      while !i < m do
+        let stop = min m (!i + block) in
+        let sum = ref 0.0 in
+        for k = !i to stop - 1 do
+          sum := !sum +. iter_cycles.(k)
+        done;
+        if !sum > !worst then worst := !sum;
+        i := stop
+      done;
+      (!worst, 0.0)
+    | Trace.Static_chunk chunk ->
+      (* round-robin chunks *)
+      let chunk = max 1 chunk in
+      let loads = Array.make n 0.0 in
+      let i = ref 0 and core = ref 0 in
+      while !i < m do
+        let stop = min m (!i + chunk) in
+        for k = !i to stop - 1 do
+          loads.(!core) <- loads.(!core) +. iter_cycles.(k)
+        done;
+        core := (!core + 1) mod n;
+        i := stop
+      done;
+      (Support.Util.float_array_max loads, 0.0)
+    | Trace.Dynamic chunk ->
+      (* online greedy: each free core takes the next chunk *)
+      let chunk = max 1 chunk in
+      let loads = Array.make n 0.0 in
+      let i = ref 0 in
+      let n_chunks = ref 0 in
+      while !i < m do
+        let stop = min m (!i + chunk) in
+        let core = Support.Util.argmin_array compare loads in
+        for k = !i to stop - 1 do
+          loads.(core) <- loads.(core) +. iter_cycles.(k)
+        done;
+        incr n_chunks;
+        i := stop
+      done;
+      ( Support.Util.float_array_max loads,
+        float_of_int !n_chunks /. float_of_int n *. machine.Config.m_dynamic_chunk_cycles
+      )
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let segment_time machine backend n (seg : Trace.segment) : seg_breakdown =
+  match seg with
+  | Trace.Seq c ->
+    let comp = Config.cycles_to_seconds machine (cycles machine backend c) in
+    let mem = dram_bytes machine c /. (Config.bandwidth machine 1 *. 1e9) in
+    let t = Float.max comp mem in
+    { sb_parallel = false; sb_compute_s = comp; sb_memory_s = mem; sb_overhead_s = 0.0; sb_time_s = t }
+  | Trace.Par { sched; iters } ->
+    let n = max 1 n in
+    let iter_cycles = Array.map (cycles machine backend) iters in
+    let span_cycles, sched_overhead = makespan machine n sched iter_cycles in
+    let comp = Config.cycles_to_seconds machine span_cycles in
+    let bytes = Array.fold_left (fun acc c -> acc +. dram_bytes machine c) 0.0 iters in
+    let mem = bytes /. (Config.bandwidth machine n *. 1e9) in
+    let overhead =
+      Config.cycles_to_seconds machine
+        (machine.Config.m_fork_base_cycles
+        +. (float_of_int n *. machine.Config.m_fork_per_core_cycles)
+        +. sched_overhead)
+    in
+    let t = Float.max comp mem +. overhead in
+    { sb_parallel = true; sb_compute_s = comp; sb_memory_s = mem; sb_overhead_s = overhead; sb_time_s = t }
+
+(** Simulated wall-clock seconds of [profile] on [n] cores. *)
+let simulate ?(machine = Config.opteron64) ~(backend : Config.backend) ~n
+    (profile : Trace.profile) : result =
+  let segs = List.map (segment_time machine backend n) profile.Trace.segments in
+  {
+    r_seconds = List.fold_left (fun acc s -> acc +. s.sb_time_s) 0.0 segs;
+    r_segments = segs;
+    r_cores = n;
+    r_backend = backend;
+  }
+
+(** Simulate a sweep over core counts. *)
+let sweep ?(machine = Config.opteron64) ~backend ~cores profile =
+  List.map (fun n -> (n, (simulate ~machine ~backend ~n profile).r_seconds)) cores
+
+(** The paper's speedup definition: sequential GCC runtime over parallel
+    runtime (§4.3). *)
+let speedup ~seq_seconds ~par_seconds = seq_seconds /. par_seconds

@@ -1,0 +1,1 @@
+lib/pluto/pluto.ml: Ast Cfront List Loc Option Poly Purity Sica Stdlib String Support

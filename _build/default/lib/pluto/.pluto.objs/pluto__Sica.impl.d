@@ -1,0 +1,1 @@
+lib/pluto/sica.ml: List Poly

@@ -1,0 +1,271 @@
+(** The polyhedral source-to-source pass (the [polycc] stage of Fig. 1).
+
+    Scans function bodies for regions marked [#pragma scop] / [#pragma
+    endscop], optionally substitutes pure calls by opaque constants (paper
+    §3.3), extracts the polyhedral representation, finds a legal schedule,
+    regenerates the nest with OpenMP (and optionally SICA/SIMD) pragmas, and
+    swaps the pure calls back in.
+
+    Exactly like the real PluTo, the pass {e rejects} a marked region that is
+    not a static control part — most importantly a region containing
+    function calls, which is what happens when the purity stage is skipped. *)
+
+open Cfront
+open Support
+
+(** Re-export: [pluto.ml] is the library's interface module, so [Sica] must
+    be reachable as [Pluto.Sica]. *)
+module Sica = Sica
+
+type config = {
+  hide_pure_calls : Purity.Registry.t option;
+      (** [Some registry]: the pure chain; [None]: plain PluTo on raw code *)
+  sica : bool;
+  tile : bool;
+  tile_sizes : int list;
+  parallelize : bool;
+  schedule_clause : string option;
+  skip_malloc_loops : bool;
+      (** ablation: leave allocation loops untouched (cf. DESIGN.md §5) *)
+  sica_cache : Sica.cache;  (** cache the SICA tile-size model targets *)
+  fn_summaries : (string * Purity.Fn_metadata.summary) list;
+      (** access metadata of pure functions (paper §3.3 future work): lets
+          the SICA tile model see the arrays a hidden call touches *)
+}
+
+let default_config =
+  {
+    hide_pure_calls = None;
+    sica = false;
+    tile = false;
+    tile_sizes = [ 32 ];
+    parallelize = true;
+    schedule_clause = None;
+    skip_malloc_loops = false;
+    sica_cache = Sica.opteron_6272;
+    fn_summaries = [];
+  }
+
+type outcome = {
+  o_loc : Loc.t;
+  o_result : result;
+}
+
+and result =
+  | Transformed of transformed_info
+  | Rejected of string
+
+and transformed_info = {
+  t_units : unit_info list;
+}
+
+and unit_info = {
+  ui_iters : string list;
+  ui_matrix : int array array;
+  ui_parallel : int option;
+  ui_tiled : int;
+  ui_identity : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+
+let elem_bytes_default = 4 (* float; conservative for tile sizing *)
+
+let codegen_options config ~depth ~arrays_touched ~elem_bytes : Poly.Codegen.options =
+  if config.sica then
+    let o =
+      Sica.options ~cache:config.sica_cache ~elem_bytes ~arrays_touched ~depth ()
+    in
+    { o with Poly.Codegen.parallelize = config.parallelize; schedule_clause = config.schedule_clause }
+  else
+    {
+      Poly.Codegen.tile = config.tile;
+      tile_sizes = config.tile_sizes;
+      vectorize = false;
+      parallelize = config.parallelize;
+      schedule_clause = config.schedule_clause;
+    }
+
+let contains_malloc stmt =
+  let prefixed pre s = String.length s >= String.length pre && String.sub s 0 (String.length pre) = pre in
+  List.exists (fun f -> f = "malloc" || f = "calloc") (Ast.calls_in_stmt stmt)
+  || Ast.fold_stmt
+       ~stmt:(fun acc _ -> acc)
+       ~expr:(fun acc e ->
+         acc
+         ||
+         match e.Ast.edesc with
+         | Ast.Ident x ->
+           (* the purity stage may already have hidden the allocation call *)
+           prefixed "tmpConst_malloc" x || prefixed "tmpConst_calloc" x
+         | _ -> false)
+       false stmt
+
+(* Transform one marked nest (recursive for imperfect nests).  [reveal]
+   swaps hidden pure calls back into body statements before code
+   generation, so the iterator substitution also reaches call arguments.
+   Returns the replacement statements and per-unit info. *)
+let rec transform_nest config ~reveal ~enclosing (s : Ast.stmt) :
+    Ast.stmt list * unit_info list =
+  match Poly.Scop_ir.recognize_loop s with
+  | None -> Poly.Scop_ir.fail s.Ast.sloc "not a recognizable for-loop"
+  | Some h ->
+    let body = Poly.Scop_ir.body_list h.Poly.Scop_ir.h_body in
+    let is_single_nest =
+      match body with
+      | [ st ] -> Option.is_some (Poly.Scop_ir.recognize_loop st)
+      | _ -> false
+    in
+    let all_loops =
+      body <> []
+      && List.for_all (fun st -> Option.is_some (Poly.Scop_ir.recognize_loop st)) body
+    in
+    if all_loops && not is_single_nest then begin
+      (* imperfect nest: keep this loop sequential, transform the sub-nests *)
+      let enclosing' = enclosing @ [ h.Poly.Scop_ir.h_iter ] in
+      let results = List.map (transform_nest config ~reveal ~enclosing:enclosing') body in
+      (* block-wrap each sub-nest so their generated declarations don't
+         collide in the shared loop body *)
+      let new_body = List.map (fun (stmts, _) -> Ast.mk_stmt (Ast.SBlock stmts)) results in
+      let infos = List.concat_map snd results in
+      let rebuilt =
+        {
+          s with
+          Ast.sdesc =
+            (match s.Ast.sdesc with
+            | Ast.SFor (i, c, st, _) -> Ast.SFor (i, c, st, Ast.mk_stmt (Ast.SBlock new_body))
+            | _ -> assert false);
+        }
+      in
+      ([ rebuilt ], infos)
+    end
+    else if config.skip_malloc_loops && contains_malloc s then
+      (* ablation: leave allocation loops untouched (paper Fig. 3, black
+         bars); hidden calls must still be revealed *)
+      ([ reveal s ], [])
+    else begin
+      let unit = Poly.Scop_ir.extract_unit ~enclosing s in
+      let unit =
+        {
+          unit with
+          Poly.Scop_ir.u_body =
+            List.map
+              (fun (b : Poly.Scop_ir.body_stmt) ->
+                { b with Poly.Scop_ir.b_ast = reveal b.Poly.Scop_ir.b_ast })
+              unit.Poly.Scop_ir.u_body;
+        }
+      in
+      let sched = Poly.Transform.find_schedule unit in
+      let depth = List.length unit.Poly.Scop_ir.u_iters in
+      let visible_arrays =
+        List.concat_map
+          (fun (b : Poly.Scop_ir.body_stmt) ->
+            List.map (fun a -> a.Poly.Scop_ir.a_array) (b.Poly.Scop_ir.b_writes @ b.Poly.Scop_ir.b_reads))
+          unit.Poly.Scop_ir.u_body
+        |> List.sort_uniq compare |> List.length
+      in
+      (* the paper's §3.3 coupling: hidden pure calls contribute the arrays
+         their metadata says they touch, so SICA can size tiles for them *)
+      let callees =
+        List.concat_map
+          (fun (b : Poly.Scop_ir.body_stmt) -> Ast.calls_in_stmt b.Poly.Scop_ir.b_ast)
+          unit.Poly.Scop_ir.u_body
+        |> List.sort_uniq compare
+      in
+      let call_arrays, elem_bytes =
+        Purity.Fn_metadata.sica_footprint config.fn_summaries callees
+      in
+      let arrays_touched = max 1 (visible_arrays + call_arrays) in
+      let elem_bytes = max elem_bytes_default elem_bytes in
+      let options = codegen_options config ~depth ~arrays_touched ~elem_bytes in
+      let gen = Poly.Codegen.generate ~options unit sched in
+      let info =
+        {
+          ui_iters = unit.Poly.Scop_ir.u_iters;
+          ui_matrix = sched.Poly.Transform.sched_matrix;
+          ui_parallel = gen.Poly.Codegen.g_parallel_level;
+          ui_tiled = gen.Poly.Codegen.g_tiled_levels;
+          ui_identity = sched.Poly.Transform.sched_is_identity;
+        }
+      in
+      (gen.Poly.Codegen.g_stmts, [ info ])
+    end
+
+(* Substitute pure calls, transform, reveal.  The replacement is wrapped in
+   a block so the generated iterator declarations stay region-local. *)
+let process_region config (s : Ast.stmt) : (Ast.stmt list * unit_info list, string) Stdlib.result =
+  let table = Purity.Substitute.create () in
+  let prepared, reveal =
+    match config.hide_pure_calls with
+    | Some _registry ->
+      (Purity.Substitute.hide_stmt table s, Purity.Substitute.reveal_stmt table)
+    | None -> (s, fun st -> st)
+  in
+  match transform_nest config ~reveal ~enclosing:[] prepared with
+  | stmts, infos -> Ok ([ Ast.mk_stmt (Ast.SBlock stmts) ], infos)
+  | exception Poly.Scop_ir.Not_affine (msg, _loc) -> Error msg
+
+(* Rewrite a statement list, replacing scop-delimited regions. *)
+let rec process_stmts config outcomes stmts =
+  match stmts with
+  | [] -> []
+  | { Ast.sdesc = Ast.SPragma p; sloc } :: nest :: { Ast.sdesc = Ast.SPragma p'; _ } :: rest
+    when p = Purity.Scop_marker.scop_begin && p' = Purity.Scop_marker.scop_end -> (
+    match process_region config nest with
+    | Ok (replacement, infos) ->
+      outcomes := { o_loc = sloc; o_result = Transformed { t_units = infos } } :: !outcomes;
+      replacement @ process_stmts config outcomes rest
+    | Error msg ->
+      outcomes := { o_loc = sloc; o_result = Rejected msg } :: !outcomes;
+      nest :: process_stmts config outcomes rest)
+  | s :: rest -> descend_stmt config outcomes s :: process_stmts config outcomes rest
+
+and descend_stmt config outcomes (s : Ast.stmt) : Ast.stmt =
+  let d =
+    match s.Ast.sdesc with
+    | Ast.SBlock ss -> Ast.SBlock (process_stmts config outcomes ss)
+    | Ast.SIf (c, t, e) ->
+      Ast.SIf
+        ( c,
+          descend_stmt config outcomes t,
+          Option.map (descend_stmt config outcomes) e )
+    | Ast.SWhile (c, b) -> Ast.SWhile (c, descend_stmt config outcomes b)
+    | Ast.SDoWhile (b, c) -> Ast.SDoWhile (descend_stmt config outcomes b, c)
+    | Ast.SFor (i, c, st, b) -> Ast.SFor (i, c, st, descend_stmt config outcomes b)
+    | d -> d
+  in
+  { s with Ast.sdesc = d }
+
+(** Run the polyhedral pass over every function with a body.  Returns the
+    rewritten program and the per-region outcomes. *)
+let run ?(config = default_config) (program : Ast.program) : Ast.program * outcome list
+    =
+  let outcomes = ref [] in
+  let program' =
+    List.map
+      (fun g ->
+        match g with
+        | Ast.GFunc ({ f_body = Some body; _ } as f) ->
+          Ast.GFunc { f with f_body = Some (process_stmts config outcomes body) }
+        | g -> g)
+      program
+  in
+  (program', List.rev !outcomes)
+
+(** Convenience: (regions with at least one parallel loop, rejected
+    regions).  A region transformed without any parallel loop (e.g. a pure
+    reduction) counts in neither number. *)
+let summarize (outcomes : outcome list) =
+  let parallel =
+    List.filter
+      (fun o ->
+        match o.o_result with
+        | Transformed { t_units } ->
+          List.exists (fun u -> u.ui_parallel <> None) t_units
+        | Rejected _ -> false)
+      outcomes
+  in
+  let rejected =
+    List.filter (fun o -> match o.o_result with Rejected _ -> true | _ -> false) outcomes
+  in
+  (List.length parallel, List.length rejected)

@@ -1,0 +1,38 @@
+(** The SICA extension: hardware-aware tile sizes and SIMD pragmas
+    (Feld et al., paper §2.2/§3.3).
+
+    PluTo-SICA augments PluTo with cache-conscious tiling and vectorization
+    hints.  We model the two knobs it turns: a tile-size choice derived from
+    the cache capacity, and ivdep/vector-always pragmas on the innermost
+    loop so the backend's vector units are used. *)
+
+type cache = { l1_bytes : int; l2_bytes : int; line_bytes : int }
+
+(** The paper's evaluation machine (AMD Opteron 6272): 16 KiB L1D per core,
+    2 MiB L2 per module. *)
+let opteron_6272 = { l1_bytes = 16 * 1024; l2_bytes = 2 * 1024 * 1024; line_bytes = 64 }
+
+(** Tile sizes for a band of [depth] loops so that the working set of one
+    tile (roughly [arrays_touched] arrays of [elem_bytes] elements) fits the
+    L1 cache, rounded down to a multiple of the vector width. *)
+let cache_aware_tile_sizes ?(cache = opteron_6272) ~elem_bytes ~arrays_touched ~depth ()
+    : int list =
+  if depth <= 0 then []
+  else begin
+    let budget = float_of_int cache.l1_bytes /. float_of_int (arrays_touched * elem_bytes) in
+    let per_dim = budget ** (1.0 /. float_of_int depth) in
+    let vector_width = max 1 (16 / elem_bytes) in
+    let ts = max vector_width (int_of_float per_dim / vector_width * vector_width) in
+    List.init depth (fun _ -> ts)
+  end
+
+(** Codegen options for a SICA run. *)
+let options ?(cache = opteron_6272) ~elem_bytes ~arrays_touched ~depth () :
+    Poly.Codegen.options =
+  {
+    Poly.Codegen.tile = true;
+    tile_sizes = cache_aware_tile_sizes ~cache ~elem_bytes ~arrays_touched ~depth ();
+    vectorize = true;
+    parallelize = true;
+    schedule_clause = None;
+  }

@@ -1,0 +1,1 @@
+lib/poly/affine.ml: Array List Printf String

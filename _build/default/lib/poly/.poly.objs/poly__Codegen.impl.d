@@ -1,0 +1,1 @@
+lib/poly/codegen.ml: Affine Array Ast Cfront Linalg List Loc Polyhedron Printf Scop_ir String Support Transform Util

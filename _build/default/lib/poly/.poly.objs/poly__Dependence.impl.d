@@ -1,0 +1,1 @@
+lib/poly/dependence.ml: Affine Array List Polyhedron Scop_ir Support

@@ -1,0 +1,1 @@
+lib/poly/linalg.ml: Array Printf String Support Util

@@ -1,0 +1,1 @@
+lib/poly/polyhedron.ml: Affine Array Hashtbl Linalg List Option Printf String Support

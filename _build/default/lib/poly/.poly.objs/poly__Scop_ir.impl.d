@@ -1,0 +1,1 @@
+lib/poly/scop_ir.ml: Affine Ast Ast_printer Cfront Fmt List Option Polyhedron String Support

@@ -1,0 +1,1 @@
+lib/poly/transform.ml: Array Dependence Hashtbl Linalg List Scop_ir Support Util

@@ -1,0 +1,127 @@
+(** Affine forms over a space of loop iterators and structural parameters.
+
+    An affine form is [sum_k it.(k) * i_k + sum_k par.(k) * p_k + const] with
+    integer coefficients.  Spaces are explicit so that dependence analysis
+    can build product spaces (source iterators × sink iterators). *)
+
+type space = { iters : string array; params : string array }
+
+let space ~iters ~params = { iters = Array.of_list iters; params = Array.of_list params }
+
+let space_dim s = Array.length s.iters
+
+let space_equal a b = a.iters = b.iters && a.params = b.params
+
+let iter_index s name =
+  let rec go i =
+    if i >= Array.length s.iters then None
+    else if s.iters.(i) = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let param_index s name =
+  let rec go i =
+    if i >= Array.length s.params then None
+    else if s.params.(i) = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+type t = { it : int array; par : int array; const : int }
+
+let zero s =
+  {
+    it = Array.make (Array.length s.iters) 0;
+    par = Array.make (Array.length s.params) 0;
+    const = 0;
+  }
+
+let const s c = { (zero s) with const = c }
+
+let of_iter s name =
+  match iter_index s name with
+  | Some i ->
+    let a = zero s in
+    a.it.(i) <- 1;
+    a
+  | None -> invalid_arg ("Affine.of_iter: unknown iterator " ^ name)
+
+let of_param s name =
+  match param_index s name with
+  | Some i ->
+    let a = zero s in
+    a.par.(i) <- 1;
+    a
+  | None -> invalid_arg ("Affine.of_param: unknown parameter " ^ name)
+
+let map2 f a b =
+  {
+    it = Array.map2 f a.it b.it;
+    par = Array.map2 f a.par b.par;
+    const = f a.const b.const;
+  }
+
+let add a b = map2 ( + ) a b
+
+let sub a b = map2 ( - ) a b
+
+let scale k a =
+  { it = Array.map (( * ) k) a.it; par = Array.map (( * ) k) a.par; const = k * a.const }
+
+let neg a = scale (-1) a
+
+let is_constant a =
+  Array.for_all (( = ) 0) a.it && Array.for_all (( = ) 0) a.par
+
+let is_zero a = is_constant a && a.const = 0
+
+let equal a b = a.it = b.it && a.par = b.par && a.const = b.const
+
+(** Evaluate with concrete iterator and parameter values. *)
+let eval a ~iters ~params =
+  let acc = ref a.const in
+  Array.iteri (fun k c -> acc := !acc + (c * iters.(k))) a.it;
+  Array.iteri (fun k c -> acc := !acc + (c * params.(k))) a.par;
+  !acc
+
+(** Coefficient of iterator [k]. *)
+let iter_coeff a k = a.it.(k)
+
+(** Substitute iterator [k] by the affine form [repl] (same space). *)
+let subst_iter a k repl =
+  let c = a.it.(k) in
+  if c = 0 then a
+  else begin
+    let a' = { a with it = Array.copy a.it } in
+    a'.it.(k) <- 0;
+    add a' (scale c repl)
+  end
+
+(** Apply an integer linear map [m] to the iterator coordinates: the result
+    in row [r] is the affine form for new-iterator r expressed... — more
+    precisely, given old-form [a] over iterators [x] and a substitution
+    [x = m * y] (rows of [m] give each old iterator in terms of the new
+    ones), produce the form over [y]. *)
+let apply_iter_subst a (m : int array array) =
+  let n = Array.length a.it in
+  if Array.length m <> n then invalid_arg "Affine.apply_iter_subst: dimension mismatch";
+  let it' = Array.make (if n = 0 then 0 else Array.length m.(0)) 0 in
+  Array.iteri
+    (fun old_k coeff ->
+      if coeff <> 0 then
+        Array.iteri (fun new_k c -> it'.(new_k) <- it'.(new_k) + (coeff * c)) m.(old_k))
+    a.it;
+  { a with it = it' }
+
+let to_string s a =
+  let terms = ref [] in
+  let push coeff name =
+    if coeff = 1 then terms := name :: !terms
+    else if coeff = -1 then terms := ("-" ^ name) :: !terms
+    else if coeff <> 0 then terms := Printf.sprintf "%d*%s" coeff name :: !terms
+  in
+  Array.iteri (fun k c -> push c s.iters.(k)) a.it;
+  Array.iteri (fun k c -> push c s.params.(k)) a.par;
+  if a.const <> 0 || !terms = [] then terms := string_of_int a.const :: !terms;
+  String.concat " + " (List.rev !terms)

@@ -1,0 +1,379 @@
+(** Loop-nest regeneration from a transformed polyhedral unit — the ClooG
+    role.
+
+    The generated code mirrors PluTo's output style (paper Listing 8): fresh
+    iterators [t1, t2, ...] declared before the nest, bounds from
+    Fourier–Motzkin projection with [__max]/[__min]/[__ceild]/[__floord]
+    helpers, an [#pragma omp parallel for private(...)] on the chosen
+    parallel loop, optional rectangular tiling of the permutable band, and
+    optional SICA-style vectorization pragmas on the innermost loop. *)
+
+open Cfront
+open Support
+
+type options = {
+  tile : bool;
+  tile_sizes : int list;  (** per-band-level tile sizes, cycled if short *)
+  vectorize : bool;  (** emit ivdep/vector pragmas on the innermost loop *)
+  parallelize : bool;
+  schedule_clause : string option;  (** e.g. [Some "dynamic,1"] *)
+}
+
+let default_options =
+  {
+    tile = false;
+    tile_sizes = [ 32 ];
+    vectorize = false;
+    parallelize = true;
+    schedule_clause = None;
+  }
+
+type generated = {
+  g_stmts : Ast.stmt list;  (** declarations + pragmas + the loop nest *)
+  g_parallel_level : int option;  (** 1-based new level carrying the omp pragma *)
+  g_tiled_levels : int;  (** number of tiled band levels (0 = untiled) *)
+  g_new_iters : string list;
+  g_schedule : Transform.schedule;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Expression helpers *)
+
+let map_expr_children f (e : Ast.expr) : Ast.expr =
+  let d =
+    match e.Ast.edesc with
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, f a, f b)
+    | Ast.Unop (op, a) -> Ast.Unop (op, f a)
+    | Ast.Assign (op, a, b) -> Ast.Assign (op, f a, f b)
+    | Ast.Call (g, args) -> Ast.Call (g, List.map f args)
+    | Ast.Index (a, b) -> Ast.Index (f a, f b)
+    | Ast.Deref a -> Ast.Deref (f a)
+    | Ast.AddrOf a -> Ast.AddrOf (f a)
+    | Ast.Member (a, fld) -> Ast.Member (f a, fld)
+    | Ast.Arrow (a, fld) -> Ast.Arrow (f a, fld)
+    | Ast.Cast (ty, a) -> Ast.Cast (ty, f a)
+    | Ast.Cond (a, b, c) -> Ast.Cond (f a, f b, f c)
+    | Ast.SizeofExpr a -> Ast.SizeofExpr (f a)
+    | Ast.IncDec r -> Ast.IncDec { r with arg = f r.arg }
+    | Ast.Comma (a, b) -> Ast.Comma (f a, f b)
+    | (Ast.IntLit _ | Ast.FloatLit _ | Ast.StrLit _ | Ast.CharLit _ | Ast.Ident _
+      | Ast.SizeofType _) as d ->
+      d
+  in
+  { e with Ast.edesc = d }
+
+let rec subst_idents map (e : Ast.expr) : Ast.expr =
+  match e.Ast.edesc with
+  | Ast.Ident x -> ( match List.assoc_opt x map with Some e' -> e' | None -> e)
+  | _ -> map_expr_children (subst_idents map) e
+
+let affine_to_expr (space : Affine.space) (a : Affine.t) : Ast.expr =
+  (* signed terms: (sign, |coeff|, name) *)
+  let terms = ref [] in
+  let add_term coeff name = if coeff <> 0 then terms := (coeff, name) :: !terms in
+  Array.iteri (fun k c -> add_term c space.Affine.iters.(k)) a.Affine.it;
+  Array.iteri (fun k c -> add_term c space.Affine.params.(k)) a.Affine.par;
+  let term_expr coeff name =
+    let base = Ast.ident name in
+    if abs coeff = 1 then base
+    else Ast.mk_expr (Ast.Binop (Ast.Mul, Ast.int_lit (abs coeff), base))
+  in
+  let combine acc (coeff, name) =
+    let op = if coeff >= 0 then Ast.Add else Ast.Sub in
+    Ast.mk_expr (Ast.Binop (op, acc, term_expr coeff name))
+  in
+  match List.rev !terms with
+  | [] -> Ast.int_lit a.Affine.const
+  | (c0, n0) :: rest ->
+    let first =
+      if c0 >= 0 then term_expr c0 n0
+      else Ast.mk_expr (Ast.Unop (Ast.Neg, term_expr c0 n0))
+    in
+    let sum = List.fold_left combine first rest in
+    if a.Affine.const = 0 then sum
+    else if a.Affine.const > 0 then
+      Ast.mk_expr (Ast.Binop (Ast.Add, sum, Ast.int_lit a.Affine.const))
+    else Ast.mk_expr (Ast.Binop (Ast.Sub, sum, Ast.int_lit (-a.Affine.const)))
+
+let max_expr a b = Ast.mk_expr (Ast.Call ("__max", [ a; b ]))
+
+let min_expr a b = Ast.mk_expr (Ast.Call ("__min", [ a; b ]))
+
+let lower_bound_expr space lowers =
+  let exprs =
+    List.map
+      (fun (c, form) ->
+        let e = affine_to_expr space form in
+        if c = 1 then e else Ast.mk_expr (Ast.Call ("__ceild", [ e; Ast.int_lit c ])))
+      lowers
+  in
+  match exprs with
+  | [] -> None
+  | e :: es -> Some (List.fold_left max_expr e es)
+
+let upper_bound_expr space uppers =
+  let exprs =
+    List.map
+      (fun (c, form) ->
+        let e = affine_to_expr space form in
+        if c = 1 then e else Ast.mk_expr (Ast.Call ("__floord", [ e; Ast.int_lit c ])))
+      uppers
+  in
+  match exprs with
+  | [] -> None
+  | e :: es -> Some (List.fold_left min_expr e es)
+
+(* ------------------------------------------------------------------ *)
+(* Nest construction *)
+
+let assign_init iter lb_expr =
+  Ast.FInitExpr (Ast.mk_expr (Ast.Assign (Ast.OpAssign, Ast.ident iter, lb_expr)))
+
+let for_loop_step iter lb_expr ub_expr step body =
+  let step_expr =
+    if step = 1 then Ast.mk_expr (Ast.IncDec { pre = false; inc = true; arg = Ast.ident iter })
+    else Ast.mk_expr (Ast.Assign (Ast.OpAddAssign, Ast.ident iter, Ast.int_lit step))
+  in
+  Ast.mk_stmt
+    (Ast.SFor
+       ( Some (assign_init iter lb_expr),
+         Some (Ast.mk_expr (Ast.Binop (Ast.Le, Ast.ident iter, ub_expr))),
+         Some step_expr,
+         body ))
+
+let for_loop iter lb_expr ub_expr body = for_loop_step iter lb_expr ub_expr 1 body
+
+let int_decl name =
+  Ast.mk_stmt
+    (Ast.SDecl
+       {
+         Ast.d_type = Ast.Int;
+         d_name = name;
+         d_storage = Ast.Auto;
+         d_init = None;
+         d_loc = Loc.dummy;
+       })
+
+(* Bounds for new level k: project out deeper iterators from the transformed
+   domain, then read the (coeff, form) bound pairs for k. *)
+let level_bounds new_space transformed_cstrs d k =
+  let p = { Polyhedron.space = new_space; cstrs = transformed_cstrs } in
+  let rec project p j = if j >= d then p else project (Polyhedron.project_out p j) (j + 1) in
+  let p = project p (k + 1) in
+  Polyhedron.bounds_for p k
+
+(* Do the bounds of levels 1..b depend only on parameters (rectangular)? *)
+let band_rectangular new_space transformed_cstrs d b =
+  let ok = ref true in
+  for k = 0 to b - 1 do
+    let lowers, uppers = level_bounds new_space transformed_cstrs d k in
+    List.iter
+      (fun (_, form) -> if not (Array.for_all (( = ) 0) form.Affine.it) then ok := false)
+      (lowers @ uppers)
+  done;
+  !ok
+
+(** Generate the transformed nest for [u] under [sched]. *)
+let generate ?(options = default_options) (u : Scop_ir.unit_nest)
+    (sched : Transform.schedule) : generated =
+  let d = List.length u.u_iters in
+  let t = sched.Transform.sched_matrix in
+  let m_inv =
+    match Linalg.Imat.inverse t with
+    | Some m -> m
+    | None -> invalid_arg "Codegen.generate: transform is not unimodular"
+  in
+  let new_iters = List.init d (fun i -> Printf.sprintf "t%d" (i + 1)) in
+  let new_space =
+    Affine.space ~iters:new_iters ~params:(Array.to_list u.u_space.Affine.params)
+  in
+  let transformed_cstrs =
+    List.map
+      (fun (c : Polyhedron.cstr) ->
+        { c with Polyhedron.aff = Affine.apply_iter_subst c.Polyhedron.aff m_inv })
+      u.u_domain.Polyhedron.cstrs
+  in
+  (* old iterator name -> expression over the new iterators (x = M y) *)
+  let subst_map =
+    List.mapi
+      (fun old_k old_name ->
+        let form =
+          {
+            Affine.it = Array.copy m_inv.(old_k);
+            par = Array.make (Array.length new_space.Affine.params) 0;
+            const = 0;
+          }
+        in
+        (old_name, affine_to_expr new_space form))
+      u.u_iters
+  in
+  let new_body =
+    List.map
+      (fun (b : Scop_ir.body_stmt) ->
+        match b.Scop_ir.b_ast.Ast.sdesc with
+        | Ast.SExpr e -> Ast.mk_stmt (Ast.SExpr (subst_idents subst_map e))
+        | _ -> b.Scop_ir.b_ast)
+      u.u_body
+  in
+  let innermost_body =
+    match new_body with [ s ] -> s | ss -> Ast.mk_stmt (Ast.SBlock ss)
+  in
+  let band = sched.Transform.sched_band in
+  let tiled_levels =
+    if options.tile && band >= 2 && band_rectangular new_space transformed_cstrs d band
+    then band
+    else 0
+  in
+  let tile_size k =
+    match options.tile_sizes with
+    | [] -> 32
+    | sizes -> List.nth sizes (k mod List.length sizes)
+  in
+  let bounds =
+    Array.init d (fun k ->
+        let lowers, uppers = level_bounds new_space transformed_cstrs d k in
+        let lb =
+          match lower_bound_expr new_space lowers with
+          | Some e -> e
+          | None -> invalid_arg "Codegen.generate: unbounded loop (no lower bound)"
+        in
+        let ub =
+          match upper_bound_expr new_space uppers with
+          | Some e -> e
+          | None -> invalid_arg "Codegen.generate: unbounded loop (no upper bound)"
+        in
+        (lb, ub))
+  in
+  (* Constant trip count of a new-space level, when both bounds are
+     parameter-free. *)
+  let level_extent k =
+    let lowers, uppers = level_bounds new_space transformed_cstrs d k in
+    let const_of forms ~pick =
+      List.fold_left
+        (fun acc (c, form) ->
+          if Affine.is_constant form && Array.for_all (( = ) 0) form.Affine.par then
+            let v =
+              if c = 1 then form.Affine.const
+              else form.Affine.const / c (* coarse; only used as a heuristic *)
+            in
+            match acc with None -> Some v | Some a -> Some (pick a v)
+          else acc)
+        None forms
+    in
+    match (const_of lowers ~pick:max, const_of uppers ~pick:min) with
+    | Some lb, Some ub
+      when List.for_all (fun (_, f) -> Affine.is_constant f) lowers
+           && List.for_all (fun (_, f) -> Affine.is_constant f) uppers ->
+      Some (ub - lb + 1)
+    | _ -> None
+  in
+  let parallel_level =
+    if not options.parallelize then None
+    else begin
+      (* prefer the outermost parallel loop that actually has iterations to
+         share; a degenerate loop (e.g. a single-trip repetition level) would
+         absorb the pragma and serialize everything below it *)
+      let worthwhile l =
+        match level_extent (l - 1) with None -> true | Some e -> e >= 8
+      in
+      match List.filter worthwhile sched.Transform.sched_parallel with
+      | l :: _ -> Some l
+      | [] -> ( match sched.Transform.sched_parallel with [] -> None | l :: _ -> Some l)
+    end
+  in
+  let omp_pragma level =
+    (* iterators of loops strictly inside the parallel loop must be private
+       (they are declared at function scope, PluTo-style); outer sequential
+       iterators stay shared, and OpenMP privatizes the parallel iterator
+       itself *)
+    let parallel_iter =
+      let base = List.nth new_iters (level - 1) in
+      if tiled_levels >= level then base ^ "t" else base
+    in
+    let loop_order =
+      List.map (fun n -> n ^ "t") (Util.take tiled_levels new_iters) @ new_iters
+    in
+    let rec after = function
+      | [] -> []
+      | x :: rest -> if x = parallel_iter then rest else after rest
+    in
+    let privates = after loop_order in
+    let private_clause =
+      if privates = [] then "" else Printf.sprintf " private(%s)" (String.concat "," privates)
+    in
+    let sched_clause =
+      match options.schedule_clause with
+      | Some c -> Printf.sprintf " schedule(%s)" c
+      | None -> ""
+    in
+    Ast.mk_stmt (Ast.SPragma (Printf.sprintf "omp parallel for%s%s" private_clause sched_clause))
+  in
+  (* point loops, built inner to outer; the innermost may carry SICA
+     vectorization pragmas, and the parallel level carries the omp pragma
+     when it is not the outermost construct *)
+  let rec build_point k =
+    let iter = List.nth new_iters k in
+    let lb, ub = bounds.(k) in
+    let lb, ub =
+      if k < tiled_levels then
+        let tile_iter = Ast.ident (iter ^ "t") in
+        ( max_expr lb tile_iter,
+          min_expr ub (Ast.mk_expr (Ast.Binop (Ast.Add, tile_iter, Ast.int_lit (tile_size k - 1))))
+        )
+      else (lb, ub)
+    in
+    let inner =
+      if k = d - 1 then
+        if options.vectorize then
+          Ast.mk_stmt
+            (Ast.SBlock
+               [
+                 Ast.mk_stmt (Ast.SPragma "ivdep");
+                 Ast.mk_stmt (Ast.SPragma "vector always");
+                 innermost_body;
+               ])
+        else innermost_body
+      else build_point (k + 1)
+    in
+    (* the vectorization pragmas must precede the innermost *loop*, not its
+       body; wrap when building level d-1's parent.  Simpler: pragmas inside
+       the loop body would change semantics of #pragma, so instead attach
+       them around the innermost loop statement here. *)
+    let loop = for_loop iter lb ub inner in
+    let loop =
+      if parallel_level = Some (k + 1) && (k + 1 > 1 || tiled_levels > 0) && k >= tiled_levels
+      then Ast.mk_stmt (Ast.SBlock [ omp_pragma (k + 1); loop ])
+      else loop
+    in
+    loop
+  in
+  let point_nest = build_point 0 in
+  let rec build_tile k inner =
+    if k < 0 then inner
+    else
+      let iter = List.nth new_iters k ^ "t" in
+      let lb, ub = bounds.(k) in
+      build_tile (k - 1) (for_loop_step iter lb ub (tile_size k) inner)
+  in
+  let nest =
+    if tiled_levels > 0 then build_tile (tiled_levels - 1) point_nest else point_nest
+  in
+  (* omp pragma before the whole nest when the parallel loop is the
+     outermost generated construct (tile loop t1t or point loop t1) *)
+  let top_pragma =
+    match parallel_level with
+    | Some 1 -> [ omp_pragma 1 ]
+    | Some _ when false -> []
+    | _ -> []
+  in
+  let decls =
+    let tiles = List.map (fun n -> n ^ "t") (Util.take tiled_levels new_iters) in
+    List.map int_decl (tiles @ new_iters)
+  in
+  {
+    g_stmts = decls @ top_pragma @ [ nest ];
+    g_parallel_level = parallel_level;
+    g_tiled_levels = tiled_levels;
+    g_new_iters = new_iters;
+    g_schedule = sched;
+  }

@@ -1,0 +1,266 @@
+(** Exact dependence analysis on a {!Scop_ir.unit_nest}.
+
+    For every pair of accesses to the same array with at least one write, a
+    dependence polyhedron is built over the product space (source iteration
+    vector × sink iteration vector) and queried for emptiness, per original
+    carrying level.  The same machinery answers three questions:
+
+    - which loops of the nest carry a dependence (a loop with no carried
+      dependence is parallel);
+    - whether a candidate unimodular schedule transformation is legal (no
+      dependence may point lexicographically backwards in the new order);
+    - whether a band of loops is fully permutable (tilable). *)
+
+type dep_kind = Flow  (** write → read *) | Anti  (** read → write *) | Output  (** write → write *)
+
+type dep = {
+  dep_kind : dep_kind;
+  dep_array : string;
+  dep_src : int;  (** body-statement index of the source *)
+  dep_dst : int;
+  dep_carried : int option;  (** 1-based original carrying level; None = loop-independent *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Product space plumbing *)
+
+type product = {
+  p_space : Affine.space;
+  p_dim : int;  (** dimensionality of the original nest *)
+}
+
+let product_space (u : Scop_ir.unit_nest) =
+  let d = List.length u.u_iters in
+  let src = List.map (fun n -> n ^ "$s") u.u_iters in
+  let dst = List.map (fun n -> n ^ "$t") u.u_iters in
+  let params = Array.to_list u.u_space.Affine.params in
+  { p_space = Affine.space ~iters:(src @ dst) ~params; p_dim = d }
+
+(* Embed a unit-space affine form into the product space on the source
+   (offset 0) or sink (offset d) half. *)
+let embed prod ~(sink : bool) (a : Affine.t) : Affine.t =
+  let d = prod.p_dim in
+  let it = Array.make (2 * d) 0 in
+  Array.iteri (fun k c -> it.((if sink then d else 0) + k) <- c) a.Affine.it;
+  { Affine.it; par = Array.copy a.Affine.par; const = a.Affine.const }
+
+(* The affine form of new-schedule row [row] of transform [t] applied to the
+   source or sink iteration vector: (T x)_row. *)
+let schedule_row prod (t : int array array) ~sink row : Affine.t =
+  let d = prod.p_dim in
+  let it = Array.make (2 * d) 0 in
+  Array.iteri (fun k c -> it.((if sink then d else 0) + k) <- c) t.(row);
+  { Affine.it; par = Array.make (Array.length prod.p_space.Affine.params) 0; const = 0 }
+
+(* Base dependence polyhedron for a pair of accesses: both domains + equal
+   subscripts.  Original execution-order constraints are added per carrying
+   scenario by the callers. *)
+let base_polyhedron (u : Scop_ir.unit_nest) prod (src : Scop_ir.access)
+    (dst : Scop_ir.access) : Polyhedron.t option =
+  if src.Scop_ir.a_array <> dst.Scop_ir.a_array then None
+  else if List.length src.a_indices <> List.length dst.a_indices then None
+  else begin
+    let p = ref (Polyhedron.universe prod.p_space) in
+    (* both iteration vectors lie in the domain *)
+    List.iter
+      (fun (c : Polyhedron.cstr) ->
+        let mk sink = { c with Polyhedron.aff = embed prod ~sink c.Polyhedron.aff } in
+        p := Polyhedron.add_cstr !p (mk false);
+        p := Polyhedron.add_cstr !p (mk true))
+      u.u_domain.Polyhedron.cstrs;
+    (* equal subscripts *)
+    List.iter2
+      (fun ia ib ->
+        p := Polyhedron.eq2 !p (embed prod ~sink:false ia) (embed prod ~sink:true ib))
+      src.a_indices dst.a_indices;
+    Some !p
+  end
+
+(* x_j = y_j for j < level (0-based exclusive bound), in the ORIGINAL space. *)
+let equal_below prod p level =
+  let rec go p j =
+    if j >= level then p
+    else
+      let xi = Affine.of_iter prod.p_space prod.p_space.Affine.iters.(j) in
+      let yi = Affine.of_iter prod.p_space prod.p_space.Affine.iters.(prod.p_dim + j) in
+      go (Polyhedron.eq2 p xi yi) (j + 1)
+  in
+  go p 0
+
+(* x_level < y_level in the original space (0-based level). *)
+let less_at prod p level =
+  let xi = Affine.of_iter prod.p_space prod.p_space.Affine.iters.(level) in
+  let yi = Affine.of_iter prod.p_space prod.p_space.Affine.iters.(prod.p_dim + level) in
+  Polyhedron.lt2 p xi yi
+
+(* (T x)_j = (T y)_j for new levels j < level. *)
+let sched_equal_below prod t p level =
+  let rec go p j =
+    if j >= level then p
+    else
+      go
+        (Polyhedron.eq2 p (schedule_row prod t ~sink:false j) (schedule_row prod t ~sink:true j))
+        (j + 1)
+  in
+  go p 0
+
+(* ------------------------------------------------------------------ *)
+(* Enumerating dependences *)
+
+let classify_kind src_is_write dst_is_write =
+  match (src_is_write, dst_is_write) with
+  | true, false -> Flow
+  | false, true -> Anti
+  | true, true -> Output
+  | false, false -> assert false
+
+(* All access pairs (with body indices and write flags) that can conflict. *)
+let conflicting_pairs (u : Scop_ir.unit_nest) =
+  let accesses_of i (b : Scop_ir.body_stmt) =
+    List.map (fun a -> (i, a, true)) b.Scop_ir.b_writes
+    @ List.map (fun a -> (i, a, false)) b.Scop_ir.b_reads
+  in
+  let all = List.concat (List.mapi accesses_of u.u_body) in
+  List.concat_map
+    (fun (i, a, wa) ->
+      List.filter_map
+        (fun (j, b, wb) ->
+          if (wa || wb) && a.Scop_ir.a_array = b.Scop_ir.a_array then Some ((i, a, wa), (j, b, wb))
+          else None)
+        all)
+    all
+
+(** All dependences of the unit with their original carrying levels.
+    [context] can add extra parameter constraints (e.g. N >= 2). *)
+let dependences ?(context = fun (p : Polyhedron.t) -> p) (u : Scop_ir.unit_nest) :
+    dep list =
+  let prod = product_space u in
+  let deps = ref [] in
+  List.iter
+    (fun ((i, src, wa), (j, dst, wb)) ->
+      match base_polyhedron u prod src dst with
+      | None -> ()
+      | Some base ->
+        let base = context base in
+        (* loop-carried at each level *)
+        for level = 0 to prod.p_dim - 1 do
+          let p = less_at prod (equal_below prod base level) level in
+          if not (Polyhedron.is_empty p) then
+            deps :=
+              {
+                dep_kind = classify_kind wa wb;
+                dep_array = src.Scop_ir.a_array;
+                dep_src = i;
+                dep_dst = j;
+                dep_carried = Some (level + 1);
+              }
+              :: !deps
+        done;
+        (* loop-independent: same iteration, source textually before sink
+           (or same statement with read-before-write giving no dependence
+           within the iteration) *)
+        if i < j then begin
+          let p = equal_below prod base prod.p_dim in
+          if not (Polyhedron.is_empty p) then
+            deps :=
+              {
+                dep_kind = classify_kind wa wb;
+                dep_array = src.Scop_ir.a_array;
+                dep_src = i;
+                dep_dst = j;
+                dep_carried = None;
+              }
+              :: !deps
+        end)
+    (conflicting_pairs u);
+  List.rev !deps
+
+(** The set of 1-based levels carrying at least one dependence.  A loop is
+    parallel iff its level is not in this set. *)
+let carried_levels (u : Scop_ir.unit_nest) : int list =
+  dependences u
+  |> List.filter_map (fun d -> d.dep_carried)
+  |> List.sort_uniq compare
+
+(** 1-based levels of parallel loops in the original nest order. *)
+let parallel_levels (u : Scop_ir.unit_nest) : int list =
+  let carried = carried_levels u in
+  let d = List.length u.u_iters in
+  List.filter (fun l -> not (List.mem l carried)) (Support.Util.range 1 (d + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Transformed-schedule queries *)
+
+(* For each dependence scenario (original carrying level or independent),
+   call [f] with its polyhedron. *)
+let iter_dep_polyhedra (u : Scop_ir.unit_nest) f =
+  let prod = product_space u in
+  List.iter
+    (fun ((i, src, _wa), (j, dst, _wb)) ->
+      match base_polyhedron u prod src dst with
+      | None -> ()
+      | Some base ->
+        for level = 0 to prod.p_dim - 1 do
+          let p = less_at prod (equal_below prod base level) level in
+          f prod p
+        done;
+        if i < j then f prod (equal_below prod base prod.p_dim))
+    (conflicting_pairs u)
+
+(** Is the unimodular transform [t] legal?  No dependence may run backwards
+    in the new lexicographic order. *)
+let transform_legal (u : Scop_ir.unit_nest) (t : int array array) : bool =
+  let legal = ref true in
+  iter_dep_polyhedra u (fun prod p ->
+      if !legal then
+        for nl = 0 to prod.p_dim - 1 do
+          if !legal then begin
+            let q = sched_equal_below prod t p nl in
+            let backward =
+              Polyhedron.gt2 q (schedule_row prod t ~sink:false nl)
+                (schedule_row prod t ~sink:true nl)
+            in
+            if not (Polyhedron.is_empty backward) then legal := false
+          end
+        done);
+  !legal
+
+(** 1-based levels of the NEW nest (after transform [t]) that carry a
+    dependence. *)
+let carried_levels_under (u : Scop_ir.unit_nest) (t : int array array) : int list =
+  let carried = Array.make (List.length u.u_iters) false in
+  iter_dep_polyhedra u (fun prod p ->
+      for nl = 0 to prod.p_dim - 1 do
+        if not carried.(nl) then begin
+          let q = sched_equal_below prod t p nl in
+          let forward =
+            Polyhedron.gt2 q (schedule_row prod t ~sink:true nl)
+              (schedule_row prod t ~sink:false nl)
+          in
+          if not (Polyhedron.is_empty forward) then carried.(nl) <- true
+        end
+      done);
+  List.filter_map
+    (fun i -> if carried.(i - 1) then Some i else None)
+    (Support.Util.range 1 (Array.length carried + 1))
+
+(** Are new-nest levels [l1..l2] (1-based, inclusive) fully permutable under
+    transform [t]?  True iff every dependence has non-negative components on
+    all band levels once the levels above the band are equal. *)
+let band_permutable (u : Scop_ir.unit_nest) (t : int array array) ~l1 ~l2 : bool =
+  let ok = ref true in
+  iter_dep_polyhedra u (fun prod p ->
+      if !ok then begin
+        let q = sched_equal_below prod t p (l1 - 1) in
+        for l = l1 to l2 do
+          if !ok then begin
+            let neg =
+              Polyhedron.gt2 q
+                (schedule_row prod t ~sink:false (l - 1))
+                (schedule_row prod t ~sink:true (l - 1))
+            in
+            if not (Polyhedron.is_empty neg) then ok := false
+          end
+        done
+      end);
+  !ok

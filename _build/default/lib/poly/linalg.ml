@@ -1,0 +1,232 @@
+(** Exact rational and integer linear algebra for the polyhedral model.
+
+    Stands in for the relevant corners of Polylib/Piplib: rational Gaussian
+    elimination, determinants, integer matrix inverses of unimodular
+    matrices. *)
+
+open Support
+
+(* ------------------------------------------------------------------ *)
+(* Rationals *)
+
+module Q = struct
+  type t = { num : int; den : int }  (** den > 0, gcd(num,den)=1 *)
+
+  let make num den =
+    if den = 0 then invalid_arg "Q.make: zero denominator";
+    let s = if den < 0 then -1 else 1 in
+    let num = s * num and den = s * den in
+    let g = max 1 (Util.gcd num den) in
+    { num = num / g; den = den / g }
+
+  let of_int n = { num = n; den = 1 }
+
+  let zero = of_int 0
+
+  let one = of_int 1
+
+  let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+
+  let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
+
+  let mul a b = make (a.num * b.num) (a.den * b.den)
+
+  let div a b =
+    if b.num = 0 then invalid_arg "Q.div: division by zero";
+    make (a.num * b.den) (a.den * b.num)
+
+  let neg a = { a with num = -a.num }
+
+  let equal a b = a.num = b.num && a.den = b.den
+
+  let compare a b = compare (a.num * b.den) (b.num * a.den)
+
+  let sign a = compare a zero
+
+  let is_zero a = a.num = 0
+
+  let is_integer a = a.den = 1
+
+  let to_float a = float_of_int a.num /. float_of_int a.den
+
+  let to_string a = if a.den = 1 then string_of_int a.num else Printf.sprintf "%d/%d" a.num a.den
+
+  let floor a = if a.num >= 0 then a.num / a.den else -(((-a.num) + a.den - 1) / a.den)
+
+  let ceil a = -floor (neg a)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Matrices over Q *)
+
+module Mat = struct
+  type t = Q.t array array  (** rows of equal length *)
+
+  let make rows cols f = Array.init rows (fun i -> Array.init cols (fun j -> f i j))
+
+  let of_int_matrix m = Array.map (Array.map Q.of_int) m
+
+  let rows (m : t) = Array.length m
+
+  let cols (m : t) = if rows m = 0 then 0 else Array.length m.(0)
+
+  let identity n = make n n (fun i j -> if i = j then Q.one else Q.zero)
+
+  let copy (m : t) = Array.map Array.copy m
+
+  let mul (a : t) (b : t) : t =
+    let n = rows a and k = cols a and p = cols b in
+    if k <> rows b then invalid_arg "Mat.mul: dimension mismatch";
+    make n p (fun i j ->
+        let acc = ref Q.zero in
+        for l = 0 to k - 1 do
+          acc := Q.add !acc (Q.mul a.(i).(l) b.(l).(j))
+        done;
+        !acc)
+
+  let mul_vec (a : t) (v : Q.t array) : Q.t array =
+    let n = rows a and k = cols a in
+    if k <> Array.length v then invalid_arg "Mat.mul_vec: dimension mismatch";
+    Array.init n (fun i ->
+        let acc = ref Q.zero in
+        for l = 0 to k - 1 do
+          acc := Q.add !acc (Q.mul a.(i).(l) v.(l))
+        done;
+        !acc)
+
+  (* Gauss-Jordan on [m | rhs]; returns None for a singular matrix. *)
+  let solve_gauss (m0 : t) (rhs0 : t) : t option =
+    let n = rows m0 in
+    if cols m0 <> n then invalid_arg "Mat.solve_gauss: matrix must be square";
+    let m = copy m0 and rhs = copy rhs0 in
+    let ok = ref true in
+    for col = 0 to n - 1 do
+      if !ok then begin
+        (* find pivot *)
+        let pivot = ref (-1) in
+        for r = col to n - 1 do
+          if !pivot = -1 && not (Q.is_zero m.(r).(col)) then pivot := r
+        done;
+        if !pivot = -1 then ok := false
+        else begin
+          let p = !pivot in
+          if p <> col then begin
+            let tmp = m.(p) in
+            m.(p) <- m.(col);
+            m.(col) <- tmp;
+            let tmp = rhs.(p) in
+            rhs.(p) <- rhs.(col);
+            rhs.(col) <- tmp
+          end;
+          let inv = Q.div Q.one m.(col).(col) in
+          for j = 0 to n - 1 do
+            m.(col).(j) <- Q.mul m.(col).(j) inv
+          done;
+          for j = 0 to cols rhs - 1 do
+            rhs.(col).(j) <- Q.mul rhs.(col).(j) inv
+          done;
+          for r = 0 to n - 1 do
+            if r <> col && not (Q.is_zero m.(r).(col)) then begin
+              let factor = m.(r).(col) in
+              for j = 0 to n - 1 do
+                m.(r).(j) <- Q.sub m.(r).(j) (Q.mul factor m.(col).(j))
+              done;
+              for j = 0 to cols rhs - 1 do
+                rhs.(r).(j) <- Q.sub rhs.(r).(j) (Q.mul factor rhs.(col).(j))
+              done
+            end
+          done
+        end
+      end
+    done;
+    if !ok then Some rhs else None
+
+  let inverse (m : t) : t option = solve_gauss m (identity (rows m))
+
+  let determinant (m0 : t) : Q.t =
+    let n = rows m0 in
+    if cols m0 <> n then invalid_arg "Mat.determinant: matrix must be square";
+    let m = copy m0 in
+    let det = ref Q.one in
+    (try
+       for col = 0 to n - 1 do
+         let pivot = ref (-1) in
+         for r = col to n - 1 do
+           if !pivot = -1 && not (Q.is_zero m.(r).(col)) then pivot := r
+         done;
+         if !pivot = -1 then begin
+           det := Q.zero;
+           raise Exit
+         end;
+         let p = !pivot in
+         if p <> col then begin
+           let tmp = m.(p) in
+           m.(p) <- m.(col);
+           m.(col) <- tmp;
+           det := Q.neg !det
+         end;
+         det := Q.mul !det m.(col).(col);
+         for r = col + 1 to n - 1 do
+           if not (Q.is_zero m.(r).(col)) then begin
+             let factor = Q.div m.(r).(col) m.(col).(col) in
+             for j = col to n - 1 do
+               m.(r).(j) <- Q.sub m.(r).(j) (Q.mul factor m.(col).(j))
+             done
+           end
+         done
+       done
+     with Exit -> ());
+    !det
+end
+
+(* ------------------------------------------------------------------ *)
+(* Integer matrices (loop transformation matrices) *)
+
+module Imat = struct
+  type t = int array array
+
+  let identity n = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0))
+
+  let mul (a : t) (b : t) : t =
+    let n = Array.length a and k = Array.length b in
+    if k = 0 || Array.length a.(0) <> k then invalid_arg "Imat.mul: dimension mismatch";
+    let p = Array.length b.(0) in
+    Array.init n (fun i ->
+        Array.init p (fun j ->
+            let acc = ref 0 in
+            for l = 0 to k - 1 do
+              acc := !acc + (a.(i).(l) * b.(l).(j))
+            done;
+            !acc))
+
+  let mul_vec (a : t) (v : int array) : int array =
+    Array.map
+      (fun row ->
+        let acc = ref 0 in
+        Array.iteri (fun l c -> acc := !acc + (c * v.(l))) row;
+        !acc)
+      a
+
+  let determinant (m : t) : Q.t = Mat.determinant (Mat.of_int_matrix m)
+
+  let is_unimodular (m : t) =
+    let d = determinant m in
+    Q.equal d Q.one || Q.equal d (Q.of_int (-1))
+
+  (** Integer inverse of a unimodular matrix. *)
+  let inverse (m : t) : t option =
+    match Mat.inverse (Mat.of_int_matrix m) with
+    | None -> None
+    | Some inv ->
+      if Array.for_all (Array.for_all Q.is_integer) inv then
+        Some (Array.map (Array.map (fun (q : Q.t) -> q.Q.num)) inv)
+      else None
+
+  let to_string (m : t) =
+    String.concat "\n"
+      (Array.to_list
+         (Array.map
+            (fun row ->
+              "[" ^ String.concat " " (Array.to_list (Array.map string_of_int row)) ^ "]")
+            m))
+end

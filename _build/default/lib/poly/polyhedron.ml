@@ -1,0 +1,285 @@
+(** Parameterized polyhedra and Fourier–Motzkin elimination.
+
+    A polyhedron is a conjunction of affine constraints [aff >= 0] /
+    [aff = 0] over a {!Affine.space}.  This is the slice of ISL the
+    reproduction needs: emptiness of dependence polyhedra, variable
+    elimination, and bound extraction for code generation.
+
+    Elimination is rational (classic FM).  For *emptiness* this is
+    conservative in the right direction: a rationally-empty set is
+    integrally empty, and a rationally-non-empty dependence polyhedron is
+    treated as a real dependence — never missing a dependence, exactly like
+    a production dependence tester that over-approximates. *)
+
+
+type kind = Ge  (** aff >= 0 *) | EqK  (** aff = 0 *)
+
+type cstr = { kind : kind; aff : Affine.t }
+
+type t = { space : Affine.space; cstrs : cstr list }
+
+let universe space = { space; cstrs = [] }
+
+let add_cstr p c = { p with cstrs = c :: p.cstrs }
+
+let ge p aff = add_cstr p { kind = Ge; aff }
+
+(** aff1 >= aff2 *)
+let ge2 p aff1 aff2 = ge p (Affine.sub aff1 aff2)
+
+(** aff1 <= aff2 *)
+let le2 p aff1 aff2 = ge p (Affine.sub aff2 aff1)
+
+let eq p aff = add_cstr p { kind = EqK; aff }
+
+let eq2 p aff1 aff2 = eq p (Affine.sub aff1 aff2)
+
+(** aff1 >= aff2 + 1, i.e. strict greater on integers *)
+let gt2 p aff1 aff2 = ge p (Affine.sub (Affine.sub aff1 aff2) (Affine.const p.space 1))
+
+(** aff1 <= aff2 - 1, i.e. strict less on integers *)
+let lt2 p aff1 aff2 = gt2 p aff2 aff1
+
+let conjunction a b =
+  if not (Affine.space_equal a.space b.space) then
+    invalid_arg "Polyhedron.conjunction: different spaces";
+  { a with cstrs = a.cstrs @ b.cstrs }
+
+(* Split equalities into two inequalities. *)
+let inequalities p =
+  List.concat_map
+    (fun c ->
+      match c.kind with
+      | Ge -> [ c.aff ]
+      | EqK -> [ c.aff; Affine.neg c.aff ])
+    p.cstrs
+
+(* A constraint with no iterator coefficients is a fact about parameters and
+   constants; if its constant part is negative and no parameters occur, the
+   polyhedron is empty.  Parameter-dependent facts are kept (context). *)
+let trivially_false aff =
+  Affine.is_constant aff && aff.Affine.const < 0
+
+(* Normalize an inequality [aff >= 0]: divide by the gcd of the variable
+   coefficients, flooring the constant — every integer solution is kept and
+   the integer relaxation gets tighter (safe for dependence testing: no
+   integer point is ever lost). *)
+let normalize_ineq (aff : Affine.t) : Affine.t =
+  let g =
+    Array.fold_left (fun acc c -> Support.Util.gcd acc c) 0 aff.Affine.it
+    |> fun g -> Array.fold_left (fun acc c -> Support.Util.gcd acc c) g aff.Affine.par
+  in
+  if g <= 1 then aff
+  else
+    {
+      Affine.it = Array.map (fun c -> c / g) aff.Affine.it;
+      par = Array.map (fun c -> c / g) aff.Affine.par;
+      const =
+        (if aff.Affine.const >= 0 then aff.Affine.const / g
+         else -((-aff.Affine.const + g - 1) / g));
+    }
+
+(* Trivially satisfied: no variables and a non-negative constant. *)
+let trivially_true aff = Affine.is_constant aff && aff.Affine.const >= 0
+
+let dedup_ineqs ineqs =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (aff : Affine.t) ->
+      if trivially_true aff then false
+      else begin
+        let key = (Array.to_list aff.Affine.it, Array.to_list aff.Affine.par, aff.Affine.const) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end
+      end)
+    ineqs
+
+(* Eliminate iterator [k] by Fourier–Motzkin.  All constraints are treated
+   as inequalities (equalities pre-split).  Results are gcd-normalized and
+   deduplicated to keep the constraint count under control. *)
+let eliminate_iter_ineqs space k ineqs =
+  let lower, upper, rest =
+    List.fold_left
+      (fun (lo, up, rest) aff ->
+        let c = Affine.iter_coeff aff k in
+        if c > 0 then (aff :: lo, up, rest)
+        else if c < 0 then (lo, aff :: up, rest)
+        else (lo, up, aff :: rest))
+      ([], [], []) ineqs
+  in
+  (* lower: c*x + r >= 0 with c>0  →  x >= -r/c
+     upper: -c*x + r >= 0 with c>0 →  x <= r/c
+     combination: for lower (c1, r1), upper with coeff -c2 (c2>0), r2:
+       c2*r1 + c1*r2 >= 0 *)
+  let combos =
+    List.concat_map
+      (fun lo ->
+        let c1 = Affine.iter_coeff lo k in
+        List.map
+          (fun up ->
+            let c2 = -Affine.iter_coeff up k in
+            let combined = Affine.add (Affine.scale c2 lo) (Affine.scale c1 up) in
+            (* zero out the eliminated coefficient explicitly *)
+            let it = Array.copy combined.Affine.it in
+            it.(k) <- 0;
+            normalize_ineq { combined with Affine.it })
+          upper)
+      lower
+  in
+  ignore space;
+  dedup_ineqs (combos @ rest)
+
+(** Is the polyhedron (rationally, integer-tightened) empty?  Variables are
+    eliminated cheapest-first (fewest lower×upper combinations), the classic
+    FM ordering heuristic. *)
+let is_empty p =
+  let n = Affine.space_dim p.space in
+  let rec go remaining ineqs =
+    if List.exists trivially_false ineqs then true
+    else
+      match remaining with
+      | [] ->
+        (* only parameters left: without parameter context we treat
+           parameter-dependent constraints as satisfiable *)
+        List.exists (fun aff -> Affine.is_constant aff && aff.Affine.const < 0) ineqs
+      | _ ->
+        let cost k =
+          let lo, up =
+            List.fold_left
+              (fun (lo, up) aff ->
+                let c = Affine.iter_coeff aff k in
+                if c > 0 then (lo + 1, up) else if c < 0 then (lo, up + 1) else (lo, up))
+              (0, 0) ineqs
+          in
+          (lo * up) - lo - up
+        in
+        let best =
+          List.fold_left
+            (fun acc k ->
+              match acc with
+              | None -> Some (k, cost k)
+              | Some (_, c) -> if cost k < c then Some (k, cost k) else acc)
+            None remaining
+        in
+        let k, _ = Option.get best in
+        go (List.filter (( <> ) k) remaining) (eliminate_iter_ineqs p.space k ineqs)
+  in
+  go (List.init n (fun i -> i)) (dedup_ineqs (inequalities p))
+
+(** Eliminate one iterator, keeping the space (coefficients of [k] are zero
+    afterwards). *)
+let project_out p k =
+  let ineqs = eliminate_iter_ineqs p.space k (inequalities p) in
+  { p with cstrs = List.map (fun aff -> { kind = Ge; aff }) ineqs }
+
+(** Eliminate all iterators except those in [keep]. *)
+let project_onto p keep =
+  let n = Affine.space_dim p.space in
+  let rec go k acc = if k >= n then acc else go (k + 1) (if List.mem k keep then acc else project_out acc k) in
+  go 0 p
+
+(** Lower and upper bound forms for iterator [k]:
+    [lowers] are affine forms L with x_k >= ceil(L) and [uppers] U with
+    x_k <= floor(U); returned as (coefficient, form-without-x_k) pairs so the
+    caller can emit ceil/floor divisions ([coefficient] is positive). *)
+let bounds_for p k =
+  let lowers = ref [] and uppers = ref [] in
+  List.iter
+    (fun aff ->
+      let c = Affine.iter_coeff aff k in
+      if c > 0 then begin
+        (* c*x + r >= 0 → x >= -r/c *)
+        let r = { aff with Affine.it = Array.copy aff.Affine.it } in
+        r.Affine.it.(k) <- 0;
+        lowers := (c, Affine.neg r) :: !lowers
+      end
+      else if c < 0 then begin
+        (* -c'*x + r >= 0 → x <= r/c' with c' = -c *)
+        let r = { aff with Affine.it = Array.copy aff.Affine.it } in
+        r.Affine.it.(k) <- 0;
+        uppers := (-c, r) :: !uppers
+      end)
+    (inequalities p);
+  (!lowers, !uppers)
+
+(** Enumerate all integer points (for tests; requires constant bounds once
+    outer values are fixed, parameters instantiated via [params]). *)
+let enumerate p ~params =
+  let n = Affine.space_dim p.space in
+  let ineqs = inequalities p in
+  (* bounds for dim k given outer values fixed *)
+  let rec go k prefix acc =
+    if k >= n then List.rev prefix :: acc
+    else begin
+      let fixed = Array.of_list (List.rev prefix) in
+      let value_of aff =
+        (* evaluates coefficients of dims < k with prefix; requires dims > k
+           to have zero coefficient *)
+        let ok = ref true in
+        let acc_v = ref aff.Affine.const in
+        Array.iteri
+          (fun j c ->
+            if c <> 0 then
+              if j < k then acc_v := !acc_v + (c * fixed.(j))
+              else if j > k then ok := false)
+          aff.Affine.it;
+        Array.iteri (fun j c -> acc_v := !acc_v + (c * params.(j))) aff.Affine.par;
+        if !ok then Some !acc_v else None
+      in
+      (* Project away dims > k to get bounds on dim k in terms of prefix. *)
+      let rec proj j ineqs =
+        if j >= n then ineqs else proj (j + 1) (eliminate_iter_ineqs p.space j ineqs)
+      in
+      let ineqs_k = proj (k + 1) ineqs in
+      let lo = ref min_int and hi = ref max_int in
+      let feasible = ref true in
+      List.iter
+        (fun aff ->
+          let c = aff.Affine.it.(k) in
+          let r = { aff with Affine.it = Array.copy aff.Affine.it } in
+          r.Affine.it.(k) <- 0;
+          match value_of r with
+          | None -> ()
+          | Some v ->
+            if c > 0 then begin
+              (* c*x + v >= 0 → x >= ceil(-v/c) *)
+              let b = Linalg.Q.ceil (Linalg.Q.make (-v) c) in
+              if b > !lo then lo := b
+            end
+            else if c < 0 then begin
+              let b = Linalg.Q.floor (Linalg.Q.make v (-c)) in
+              if b < !hi then hi := b
+            end
+            else if v < 0 then feasible := false)
+        ineqs_k;
+      if (not !feasible) || !lo > !hi then acc
+      else begin
+        let acc' = ref acc in
+        for v = !lo to !hi do
+          acc' := go (k + 1) (v :: prefix) !acc'
+        done;
+        !acc'
+      end
+    end
+  in
+  if n = 0 then []
+  else List.rev (go 0 [] [])
+
+(** Does the point satisfy all constraints? *)
+let contains p ~iters ~params =
+  List.for_all
+    (fun c ->
+      let v = Affine.eval c.aff ~iters ~params in
+      match c.kind with Ge -> v >= 0 | EqK -> v = 0)
+    p.cstrs
+
+let to_string p =
+  let cstr_to_string c =
+    Printf.sprintf "%s %s 0"
+      (Affine.to_string p.space c.aff)
+      (match c.kind with Ge -> ">=" | EqK -> "=")
+  in
+  "{ " ^ String.concat " and " (List.map cstr_to_string p.cstrs) ^ " }"

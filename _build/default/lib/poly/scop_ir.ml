@@ -1,0 +1,364 @@
+(** The polyhedral intermediate representation and its extraction from the
+    AST — the role Clan/OpenScop play for PluTo.
+
+    A {e unit} is a perfect loop nest whose body is a list of assignment
+    statements with affine accesses.  Imperfect nests decompose into several
+    units under enclosing sequential loops (the enclosing iterators behave
+    as parameters for the unit's analysis, because the unit is only
+    transformed, never moved across the enclosing loops).
+
+    Extraction {e fails} on anything non-affine — in particular on function
+    calls.  That failure is the paper's central premise: PluTo alone cannot
+    handle loops with calls, and only after the purity pass substitutes pure
+    calls with opaque constants does extraction succeed. *)
+
+open Cfront
+
+type access = {
+  a_array : string;
+  a_indices : Affine.t list;  (** outermost subscript first; [] for scalars *)
+}
+
+type body_stmt = {
+  b_ast : Ast.stmt;
+  b_writes : access list;
+  b_reads : access list;
+}
+
+type unit_nest = {
+  u_iters : string list;  (** outer-to-inner iterator names *)
+  u_space : Affine.space;
+  u_domain : Polyhedron.t;
+  u_body : body_stmt list;
+  u_enclosing : string list;  (** enclosing sequential loop iterators *)
+  u_decls : (string * Ast.ctype) list;  (** iterator declarations to re-emit *)
+}
+
+(** Extraction failure: the nest is not a static control part. *)
+exception Not_affine of string * Support.Loc.t
+
+let fail loc fmt = Fmt.kstr (fun m -> raise (Not_affine (m, loc))) fmt
+
+let is_tmp_const name =
+  String.length name >= 9 && String.sub name 0 9 = "tmpConst_"
+
+(* ------------------------------------------------------------------ *)
+(* Loop header recognition: for (i = lb; i </<= ub; i++/i+=1) *)
+
+type loop_header = {
+  h_iter : string;
+  h_decl : Ast.ctype option;  (** Some ty if the iterator is declared here *)
+  h_lb : Ast.expr;
+  h_ub : Ast.expr;  (** inclusive upper bound is [h_ub_incl] *)
+  h_ub_incl : bool;
+  h_body : Ast.stmt;
+  h_loc : Support.Loc.t;
+}
+
+let recognize_loop (s : Ast.stmt) : loop_header option =
+  match s.sdesc with
+  | Ast.SFor (Some init, Some cond, Some step, body) -> (
+    let iter_decl =
+      match init with
+      | Ast.FInitDecl { d_name; d_init = Some lb; d_type; _ } -> Some (d_name, Some d_type, lb)
+      | Ast.FInitExpr { edesc = Ast.Assign (Ast.OpAssign, { edesc = Ast.Ident n; _ }, lb); _ } ->
+        Some (n, None, lb)
+      | _ -> None
+    in
+    match iter_decl with
+    | None -> None
+    | Some (name, decl, lb) -> (
+      let ub =
+        match cond.edesc with
+        | Ast.Binop (Ast.Lt, { edesc = Ast.Ident n; _ }, ub) when n = name -> Some (ub, false)
+        | Ast.Binop (Ast.Le, { edesc = Ast.Ident n; _ }, ub) when n = name -> Some (ub, true)
+        | _ -> None
+      in
+      let step_ok =
+        match step.edesc with
+        | Ast.IncDec { inc = true; arg = { edesc = Ast.Ident n; _ }; _ } -> n = name
+        | Ast.Assign (Ast.OpAddAssign, { edesc = Ast.Ident n; _ }, { edesc = Ast.IntLit 1; _ })
+          ->
+          n = name
+        | Ast.Assign
+            ( Ast.OpAssign,
+              { edesc = Ast.Ident n; _ },
+              {
+                edesc = Ast.Binop (Ast.Add, { edesc = Ast.Ident n2; _ }, { edesc = Ast.IntLit 1; _ });
+                _;
+              } ) ->
+          n = name && n2 = name
+        | _ -> false
+      in
+      match ub with
+      | Some (ub, incl) when step_ok ->
+        Some
+          {
+            h_iter = name;
+            h_decl = (match decl with Some ty -> Some ty | None -> None);
+            h_lb = lb;
+            h_ub = ub;
+            h_ub_incl = incl;
+            h_body = body;
+            h_loc = s.sloc;
+          }
+      | _ -> None))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expression → affine form *)
+
+(* Names assigned anywhere in a statement (used to refuse treating a mutated
+   scalar as a parameter). *)
+let mutated_names stmt =
+  Ast.fold_stmt ~stmt:(fun acc _ -> acc)
+    ~expr:(fun acc e ->
+      match e.Ast.edesc with
+      | Ast.Assign (_, { edesc = Ast.Ident n; _ }, _) -> n :: acc
+      | Ast.IncDec { arg = { edesc = Ast.Ident n; _ }; _ } -> n :: acc
+      | _ -> acc)
+    [] stmt
+
+type affine_env = {
+  iters : string list;
+  mutable params : string list;  (** discovered loop-invariant scalars *)
+  forbidden : string list;  (** mutated in the nest: not loop-invariant *)
+}
+
+let rec to_affine env space (e : Ast.expr) : Affine.t =
+  match e.Ast.edesc with
+  | Ast.IntLit n -> Affine.const space n
+  | Ast.Ident x ->
+    if List.mem x env.iters then Affine.of_iter space x
+    else if List.mem x env.forbidden then
+      fail e.eloc "scalar %s is modified in the nest and cannot be used affinely" x
+    else Affine.of_param space x
+  | Ast.Binop (Ast.Add, a, b) -> Affine.add (to_affine env space a) (to_affine env space b)
+  | Ast.Binop (Ast.Sub, a, b) -> Affine.sub (to_affine env space a) (to_affine env space b)
+  | Ast.Binop (Ast.Mul, a, b) -> (
+    let fa = to_affine env space a and fb = to_affine env space b in
+    if Affine.is_constant fa then Affine.scale fa.Affine.const fb
+    else if Affine.is_constant fb then Affine.scale fb.Affine.const fa
+    else fail e.eloc "non-affine multiplication")
+  | Ast.Unop (Ast.Neg, a) -> Affine.neg (to_affine env space a)
+  | Ast.Cast (_, a) -> to_affine env space a
+  | _ -> fail e.eloc "non-affine expression: %s" (Ast_printer.expr_to_string e)
+
+(* Pre-scan an expression for parameter names so the space can be built
+   before affine conversion. *)
+let rec scan_params env (e : Ast.expr) =
+  match e.Ast.edesc with
+  | Ast.IntLit _ -> ()
+  | Ast.Ident x ->
+    if
+      (not (List.mem x env.iters))
+      && (not (List.mem x env.forbidden))
+      && (not (List.mem x env.params))
+      && not (is_tmp_const x)
+    then env.params <- x :: env.params
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul), a, b) ->
+    scan_params env a;
+    scan_params env b
+  | Ast.Unop (Ast.Neg, a) | Ast.Cast (_, a) -> scan_params env a
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Access extraction *)
+
+(* Base array name and subscripts of an lvalue-ish expression:
+   A[i][j] → ("A", [i; j]); *p → ("p", [0]). *)
+let rec array_base (e : Ast.expr) (subs : Ast.expr list) =
+  match e.Ast.edesc with
+  | Ast.Ident x -> Some (x, subs)
+  | Ast.Index (b, i) -> array_base b (i :: subs)
+  | Ast.Deref b -> array_base b (Ast.int_lit 0 :: subs)
+  | Ast.Cast (_, b) -> array_base b subs
+  | _ -> None
+
+type acc_collector = { mutable reads : access list; mutable writes : access list }
+
+let rec collect_expr env space col ~(is_read : bool) (e : Ast.expr) =
+  match e.Ast.edesc with
+  | Ast.IntLit _ | Ast.FloatLit _ | Ast.StrLit _ | Ast.CharLit _ | Ast.SizeofType _ -> ()
+  | Ast.Ident x ->
+    if List.mem x env.iters || is_tmp_const x then ()
+    else if is_read && not (List.mem x env.forbidden) then
+      (* loop-invariant scalar read: a parameter, no access *)
+      ()
+    else begin
+      (* mutated scalar: a 0-dimensional access *)
+      let acc = { a_array = x; a_indices = [] } in
+      if is_read then col.reads <- acc :: col.reads else col.writes <- acc :: col.writes
+    end
+  | Ast.Index _ | Ast.Deref _ -> (
+    match array_base e [] with
+    | Some (base, subs) ->
+      let indices = List.map (to_affine env space) subs in
+      let acc = { a_array = base; a_indices = indices } in
+      if is_read then col.reads <- acc :: col.reads else col.writes <- acc :: col.writes;
+      (* subscripts are themselves reads of iterators/params only; checked by
+         to_affine above *)
+      ()
+    | None -> fail e.eloc "unanalyzable memory access")
+  | Ast.Binop (_, a, b) ->
+    collect_expr env space col ~is_read:true a;
+    collect_expr env space col ~is_read:true b
+  | Ast.Unop (_, a) | Ast.Cast (_, a) -> collect_expr env space col ~is_read:true a
+  | Ast.Cond (c, t, f) ->
+    collect_expr env space col ~is_read:true c;
+    collect_expr env space col ~is_read:true t;
+    collect_expr env space col ~is_read:true f
+  | Ast.Assign (op, lhs, rhs) ->
+    collect_expr env space col ~is_read:false lhs;
+    if op <> Ast.OpAssign then collect_expr env space col ~is_read:true lhs;
+    collect_expr env space col ~is_read:true rhs
+  | Ast.Call (f, _) -> fail e.eloc "function call to %s inside a static control part" f
+  | Ast.Member _ | Ast.Arrow _ -> fail e.eloc "struct access inside a static control part"
+  | Ast.AddrOf _ -> fail e.eloc "address-of inside a static control part"
+  | Ast.SizeofExpr _ -> ()
+  | Ast.IncDec { arg; _ } ->
+    collect_expr env space col ~is_read:false arg;
+    collect_expr env space col ~is_read:true arg
+  | Ast.Comma (a, b) ->
+    collect_expr env space col ~is_read:true a;
+    collect_expr env space col ~is_read:true b
+
+(* Pre-scan of an expression for parameter discovery in subscripts/rhs.
+   Identifiers in array-base position are array names, not parameters. *)
+let rec scan_expr env (e : Ast.expr) =
+  match e.Ast.edesc with
+  | Ast.Index (a, b) ->
+    scan_base env a;
+    scan_expr env b
+  | Ast.Deref a -> scan_base env a
+  | Ast.Binop (_, a, b) | Ast.Assign (_, a, b) | Ast.Comma (a, b) ->
+    scan_expr env a;
+    scan_expr env b
+  | Ast.Unop (_, a)
+  | Ast.Cast (_, a)
+  | Ast.AddrOf a
+  | Ast.Member (a, _)
+  | Ast.Arrow (a, _)
+  | Ast.SizeofExpr a
+  | Ast.IncDec { arg = a; _ } ->
+    scan_expr env a
+  | Ast.Cond (a, b, c) ->
+    scan_expr env a;
+    scan_expr env b;
+    scan_expr env c
+  | Ast.Call (_, args) -> List.iter (scan_expr env) args
+  | Ast.Ident _ -> scan_params env e
+  | Ast.IntLit _ | Ast.FloatLit _ | Ast.StrLit _ | Ast.CharLit _ | Ast.SizeofType _ -> ()
+
+and scan_base env (e : Ast.expr) =
+  match e.Ast.edesc with
+  | Ast.Ident _ -> ()
+  | Ast.Index (a, b) ->
+    scan_base env a;
+    scan_expr env b
+  | Ast.Cast (_, a) | Ast.Deref a -> scan_base env a
+  | _ -> scan_expr env e
+
+(* ------------------------------------------------------------------ *)
+(* Unit extraction *)
+
+(* Statements of a loop body: unwrap blocks. *)
+let body_list (s : Ast.stmt) =
+  match s.Ast.sdesc with Ast.SBlock ss -> ss | _ -> [ s ]
+
+(* Recognize a maximal perfect nest starting at [s]; returns headers
+   outer→inner and the list of body statements. *)
+let rec perfect_nest (s : Ast.stmt) : loop_header list * Ast.stmt list =
+  match recognize_loop s with
+  | None -> ([], body_list s)
+  | Some h -> (
+    match body_list h.h_body with
+    | [ inner ] when Option.is_some (recognize_loop inner) ->
+      let hs, body = perfect_nest inner in
+      (h :: hs, body)
+    | body -> ([ h ], body))
+
+(** Extract one unit from a loop-nest statement.  Every body statement must
+    be an affine assignment; anything else raises {!Not_affine}. *)
+let extract_unit ?(enclosing = []) ?(enclosing_params = []) (s : Ast.stmt) : unit_nest =
+  let headers, body = perfect_nest s in
+  if headers = [] then fail s.Ast.sloc "not a recognizable for-loop";
+  let iters = List.map (fun h -> h.h_iter) headers in
+  (* parameter discovery: scan bounds and body *)
+  let forbidden =
+    List.filter (fun n -> not (List.mem n iters)) (mutated_names s)
+  in
+  let env = { iters; params = enclosing_params @ enclosing; forbidden } in
+  List.iter
+    (fun h ->
+      scan_expr env h.h_lb;
+      scan_expr env h.h_ub)
+    headers;
+  List.iter
+    (fun st ->
+      match st.Ast.sdesc with
+      | Ast.SExpr e -> scan_expr env e
+      | _ -> fail st.Ast.sloc "unsupported statement in a static control part")
+    body;
+  let space = Affine.space ~iters ~params:(List.rev env.params) in
+  (* domain *)
+  let domain =
+    List.fold_left
+      (fun p h ->
+        let lb = to_affine env space h.h_lb in
+        let ub = to_affine env space h.h_ub in
+        let iter = Affine.of_iter space h.h_iter in
+        let p = Polyhedron.ge2 p iter lb in
+        if h.h_ub_incl then Polyhedron.le2 p iter ub else Polyhedron.lt2 p iter ub)
+      (Polyhedron.universe space) headers
+  in
+  let body_stmts =
+    List.map
+      (fun st ->
+        match st.Ast.sdesc with
+        | Ast.SExpr e ->
+          let col = { reads = []; writes = [] } in
+          collect_expr env space col ~is_read:true e;
+          { b_ast = st; b_writes = List.rev col.writes; b_reads = List.rev col.reads }
+        | _ -> fail st.Ast.sloc "unsupported statement in a static control part")
+      body
+  in
+  let decls =
+    List.filter_map
+      (fun h -> match h.h_decl with Some ty -> Some (h.h_iter, ty) | None -> None)
+      headers
+  in
+  {
+    u_iters = iters;
+    u_space = space;
+    u_domain = domain;
+    u_body = body_stmts;
+    u_enclosing = enclosing;
+    u_decls = decls;
+  }
+
+(** Decompose a marked loop nest into units.  For a perfect nest this is one
+    unit; for an imperfect nest the outer loops stay sequential and each
+    maximal inner perfect nest becomes a unit (PluTo would handle these with
+    general schedules; the decomposition covers the evaluation codes). *)
+let rec extract_units ?(enclosing = []) ?(enclosing_params = []) (s : Ast.stmt) :
+    unit_nest list =
+  match recognize_loop s with
+  | None -> fail s.Ast.sloc "not a recognizable for-loop"
+  | Some h -> (
+    let body = body_list h.h_body in
+    let all_loops =
+      body <> [] && List.for_all (fun st -> Option.is_some (recognize_loop st)) body
+    in
+    let is_single_nest =
+      match body with [ st ] -> Option.is_some (recognize_loop st) | _ -> false
+    in
+    if is_single_nest || not all_loops then
+      (* perfect (or leaf-level) nest: one unit *)
+      [ extract_unit ~enclosing ~enclosing_params s ]
+    else
+      (* imperfect: this loop stays sequential; recurse into each sub-nest *)
+      let enclosing' = enclosing @ [ h.h_iter ] in
+      List.concat_map
+        (fun st -> extract_units ~enclosing:enclosing' ~enclosing_params st)
+        body)

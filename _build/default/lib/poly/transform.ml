@@ -1,0 +1,172 @@
+(** Schedule-transformation search over unimodular matrices.
+
+    PluTo finds affine schedules with an ILP over Farkas multipliers; for the
+    loop shapes in the paper's evaluation a search over a small family of
+    unimodular transforms (permutations, skews, their compositions) finds
+    the same schedules: identity for the already-parallel nests, a wavefront
+    skew for stencil-like nests (the shearing of paper Fig. 2).
+
+    Every candidate is checked for legality against the exact dependence
+    polyhedra, and scored by the outermost parallel level it exposes. *)
+
+open Support
+
+type schedule = {
+  sched_matrix : int array array;  (** new iteration vector = matrix × old *)
+  sched_parallel : int list;  (** 1-based parallel levels of the new nest *)
+  sched_carried : int list;  (** 1-based levels carrying a dependence *)
+  sched_band : int;  (** levels 1..band are fully permutable (0 = none) *)
+  sched_is_identity : bool;
+}
+
+let identity_matrix = Linalg.Imat.identity
+
+let is_identity m =
+  let n = Array.length m in
+  let ok = ref true in
+  Array.iteri
+    (fun i row -> Array.iteri (fun j v -> if v <> (if i = j then 1 else 0) then ok := false) row)
+    m;
+  ignore n;
+  !ok
+
+(* All permutation matrices of dimension d (d <= 4 in practice). *)
+let permutations d =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l -> List.concat_map (fun x -> List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) l))) l
+  in
+  perms (Util.range 0 d)
+  |> List.map (fun perm ->
+         let m = Array.make_matrix d d 0 in
+         List.iteri (fun row old -> m.(row).(old) <- 1) perm;
+         m)
+
+(* Single skews I + f*E_rc (r <> c). *)
+let skews d factors =
+  List.concat_map
+    (fun r ->
+      List.concat_map
+        (fun c ->
+          if r = c then []
+          else
+            List.map
+              (fun f ->
+                let m = identity_matrix d in
+                m.(r).(c) <- f;
+                m)
+              factors)
+        (Util.range 0 d))
+    (Util.range 0 d)
+
+(* Double skews sharing a source column (time-skewing patterns for 3-D
+   stencils: skew both space loops by the time loop). *)
+let double_skews d factors =
+  if d < 3 then []
+  else
+    List.concat_map
+      (fun c ->
+        List.concat_map
+          (fun r1 ->
+            List.concat_map
+              (fun r2 ->
+                if r1 = c || r2 = c || r1 >= r2 then []
+                else
+                  List.concat_map
+                    (fun f1 ->
+                      List.map
+                        (fun f2 ->
+                          let m = identity_matrix d in
+                          m.(r1).(c) <- f1;
+                          m.(r2).(c) <- f2;
+                          m)
+                        factors)
+                    factors)
+              (Util.range 0 d))
+          (Util.range 0 d))
+      (Util.range 0 d)
+
+(* Candidate transforms, cheapest first. *)
+let candidates d =
+  let factors = [ 1; -1; 2 ] in
+  let base =
+    (identity_matrix d :: permutations d)
+    @ skews d factors @ double_skews d [ 1 ]
+  in
+  (* compose permutations with skews for wavefront-then-interchange shapes *)
+  let composed =
+    List.concat_map
+      (fun p -> List.map (fun s -> Linalg.Imat.mul p s) (skews d [ 1; -1 ]))
+      (permutations d)
+  in
+  base @ composed
+
+let complexity m =
+  let c = ref 0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri (fun j v -> if i = j then c := !c + abs (v - 1) else c := !c + abs v) row)
+    m;
+  !c
+
+let dedup_matrices ms =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun m ->
+      let key = Linalg.Imat.to_string m in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    ms
+
+(* Largest b such that levels 1..b are fully permutable under [t]. *)
+let permutable_band u t d =
+  let rec go b =
+    if b >= d then d
+    else if Dependence.band_permutable u t ~l1:1 ~l2:(b + 1) then go (b + 1)
+    else b
+  in
+  (* a single loop is trivially a (degenerate) band if legal *)
+  go 0
+
+(** Analyze the unit under transform [t] (must be unimodular and legal). *)
+let analyze (u : Scop_ir.unit_nest) (t : int array array) : schedule =
+  let d = List.length u.u_iters in
+  let carried = Dependence.carried_levels_under u t in
+  let parallel = List.filter (fun l -> not (List.mem l carried)) (Util.range 1 (d + 1)) in
+  {
+    sched_matrix = t;
+    sched_parallel = parallel;
+    sched_carried = carried;
+    sched_band = permutable_band u t d;
+    sched_is_identity = is_identity t;
+  }
+
+(** Find the best legal schedule: minimize the outermost parallel level,
+    then transform complexity.  Always succeeds (identity is always legal —
+    it is the original execution order). *)
+let find_schedule (u : Scop_ir.unit_nest) : schedule =
+  let d = List.length u.u_iters in
+  let cands = dedup_matrices (candidates d) in
+  let best = ref None in
+  let score (s : schedule) =
+    let outer_par = match s.sched_parallel with [] -> d + 1 | l :: _ -> l in
+    (outer_par, complexity s.sched_matrix)
+  in
+  List.iter
+    (fun t ->
+      if Linalg.Imat.is_unimodular t && Dependence.transform_legal u t then begin
+        let s = analyze u t in
+        match !best with
+        | None -> best := Some s
+        | Some b -> if score s < score b then best := Some s
+      end)
+    cands;
+  match !best with
+  | Some s -> s
+  | None ->
+    (* identity must be legal; reaching here means no deps at all were found
+       and candidates were empty, which cannot happen for d >= 1 *)
+    analyze u (identity_matrix d)

@@ -1,0 +1,1 @@
+lib/purity/fn_metadata.ml: Ast Cfront Hashtbl List

@@ -1,0 +1,1 @@
+lib/purity/lowering.ml: Ast Cfront List Option

@@ -1,0 +1,1 @@
+lib/purity/purity_check.ml: Ast Cfront Diag Hashtbl List Option Registry Sema Support

@@ -1,0 +1,1 @@
+lib/purity/registry.ml: Hashtbl List

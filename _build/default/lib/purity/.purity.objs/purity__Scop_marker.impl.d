@@ -1,0 +1,1 @@
+lib/purity/scop_marker.ml: Ast Cfront Diag List Option Registry Support

@@ -1,0 +1,1 @@
+lib/purity/substitute.ml: Ast Cfront List Option Printf

@@ -1,0 +1,238 @@
+(** Access metadata for pure functions — the paper's future-work coupling
+    (§3.3): "our compiler pass could store metadata from pure functions
+    containing information about array accesses and iteration patterns and
+    use this information to conduct SICA cache-aware transformations."
+
+    For every pure function we summarize, per pointer parameter, how the
+    function walks the data (unit stride in its own loops, strided, or
+    irregular/indirect) and how much arithmetic one call performs.  The
+    polyhedral driver feeds these summaries to the SICA tile-size model, so
+    a loop whose body is an opaque [tmpConst_...] still tiles for the
+    arrays the hidden call actually touches. *)
+
+open Cfront
+
+type pattern =
+  | Unit_stride  (** innermost subscript advances by 1 per loop iteration *)
+  | Strided  (** affine but non-unit stride *)
+  | Irregular  (** indirect or non-affine subscripts *)
+
+type param_summary = {
+  ps_name : string;
+  ps_elem_bytes : int;
+  ps_pattern : pattern;
+  ps_access_sites : int;
+}
+
+type summary = {
+  fs_name : string;
+  fs_params : param_summary list;  (** pointer parameters only *)
+  fs_has_loop : bool;
+  fs_flops_estimate : int;  (** static count of float operations per call *)
+}
+
+let pattern_to_string = function
+  | Unit_stride -> "unit-stride"
+  | Strided -> "strided"
+  | Irregular -> "irregular"
+
+(* iterators declared by the function's own for loops *)
+let own_iterators (f : Ast.func) =
+  match f.Ast.f_body with
+  | None -> []
+  | Some body ->
+    List.concat_map
+      (fun s ->
+        Ast.fold_stmt
+          ~stmt:(fun acc s ->
+            match s.Ast.sdesc with
+            | Ast.SFor (Some (Ast.FInitDecl d), _, _, _) -> d.Ast.d_name :: acc
+            | _ -> acc)
+          ~expr:(fun acc _ -> acc)
+          [] s)
+      body
+
+(* all [Index]/[Deref] accesses rooted at [param] in the body *)
+let accesses_of_param (f : Ast.func) param =
+  match f.Ast.f_body with
+  | None -> []
+  | Some body ->
+    List.concat_map
+      (fun s ->
+        Ast.fold_stmt
+          ~stmt:(fun acc _ -> acc)
+          ~expr:(fun acc e ->
+            match e.Ast.edesc with
+            | Ast.Index ({ edesc = Ast.Ident base; _ }, idx) when base = param ->
+              idx :: acc
+            | Ast.Deref { edesc = Ast.Ident base; _ } when base = param ->
+              Ast.int_lit 0 :: acc
+            | _ -> acc)
+          [] s)
+      body
+
+(* classify one subscript with respect to the function's own iterators:
+   iterators may be scaled by literals (stride known) or by symbols such as
+   a row-length parameter (stride symbolic -> Strided); products of two
+   iterator-bearing expressions or nested accesses are Irregular *)
+exception Nonlinear
+
+let classify_subscript iters (idx : Ast.expr) =
+  let contains_iter e =
+    Ast.fold_expr
+      (fun acc x -> acc || match x.Ast.edesc with Ast.Ident n -> List.mem n iters | _ -> false)
+      false e
+  in
+  (* iterator -> Some literal-coefficient | None (symbolic scale) *)
+  let coeffs : (string, int option) Hashtbl.t = Hashtbl.create 4 in
+  let add name kind =
+    let merged =
+      match (Hashtbl.find_opt coeffs name, kind) with
+      | None, k -> k
+      | Some None, _ | Some _, None -> None
+      | Some (Some a), Some b -> Some (a + b)
+    in
+    Hashtbl.replace coeffs name merged
+  in
+  let rec go (e : Ast.expr) ~lit ~symbolic =
+    match e.Ast.edesc with
+    | Ast.IntLit _ | Ast.FloatLit _ | Ast.CharLit _ | Ast.SizeofType _ -> ()
+    | Ast.Ident x ->
+      if List.mem x iters then add x (if symbolic then None else Some lit)
+    | Ast.Binop (Ast.Add, a, b) ->
+      go a ~lit ~symbolic;
+      go b ~lit ~symbolic
+    | Ast.Binop (Ast.Sub, a, b) ->
+      go a ~lit ~symbolic;
+      go b ~lit:(-lit) ~symbolic
+    | Ast.Binop (Ast.Mul, a, b) -> (
+      match (contains_iter a, contains_iter b) with
+      | true, true -> raise Nonlinear
+      | false, false -> ()
+      | true, false -> (
+        match b.Ast.edesc with
+        | Ast.IntLit k -> go a ~lit:(lit * k) ~symbolic
+        | _ -> go a ~lit ~symbolic:true)
+      | false, true -> (
+        match a.Ast.edesc with
+        | Ast.IntLit k -> go b ~lit:(lit * k) ~symbolic
+        | _ -> go b ~lit ~symbolic:true))
+    | Ast.Unop (Ast.Neg, a) -> go a ~lit:(-lit) ~symbolic
+    | Ast.Cast (_, a) -> go a ~lit ~symbolic
+    | _ -> if contains_iter e then raise Nonlinear
+  in
+  match go idx ~lit:1 ~symbolic:false with
+  | () ->
+    let kinds = Hashtbl.fold (fun _ k acc -> k :: acc) coeffs [] in
+    let kinds = List.filter (fun k -> k <> Some 0) kinds in
+    if kinds = [] then Strided (* no iterator: constant subscript *)
+    else if List.exists (fun k -> k = Some 1 || k = Some (-1)) kinds then Unit_stride
+    else Strided
+  | exception Nonlinear -> Irregular
+
+let elem_bytes_of_type (ty : Ast.ctype) =
+  match ty with
+  | Ast.Ptr { elt = Ast.Double; _ } -> 8
+  | Ast.Ptr { elt = Ast.Float; _ } -> 4
+  | Ast.Ptr { elt = Ast.Int; _ } -> 4
+  | Ast.Ptr { elt = Ast.Char; _ } -> 1
+  | Ast.Ptr _ -> 8
+  | _ -> 4
+
+let count_flops (f : Ast.func) =
+  match f.Ast.f_body with
+  | None -> 0
+  | Some body ->
+    List.fold_left
+      (fun acc s ->
+        Ast.fold_stmt
+          ~stmt:(fun acc _ -> acc)
+          ~expr:(fun acc e ->
+            match e.Ast.edesc with
+            | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div), _, _) -> acc + 1
+            | _ -> acc)
+          acc s)
+      0 body
+
+let has_loop (f : Ast.func) =
+  match f.Ast.f_body with
+  | None -> false
+  | Some body ->
+    List.exists
+      (fun s ->
+        Ast.fold_stmt
+          ~stmt:(fun acc s ->
+            acc
+            ||
+            match s.Ast.sdesc with
+            | Ast.SFor _ | Ast.SWhile _ | Ast.SDoWhile _ -> true
+            | _ -> false)
+          ~expr:(fun acc _ -> acc)
+          false s)
+      body
+
+(** Summarize one pure function. *)
+let summarize (f : Ast.func) : summary =
+  let iters = own_iterators f in
+  let params =
+    List.filter_map
+      (fun (p : Ast.param) ->
+        match p.Ast.p_type with
+        | Ast.Ptr _ ->
+          let accesses = accesses_of_param f p.Ast.p_name in
+          if accesses = [] then
+            Some
+              {
+                ps_name = p.Ast.p_name;
+                ps_elem_bytes = elem_bytes_of_type p.Ast.p_type;
+                ps_pattern = Strided;
+                ps_access_sites = 0;
+              }
+          else begin
+            (* the weakest pattern over all sites wins *)
+            let patterns = List.map (classify_subscript iters) accesses in
+            let worst =
+              if List.mem Irregular patterns then Irregular
+              else if List.for_all (( = ) Unit_stride) patterns then Unit_stride
+              else Strided
+            in
+            Some
+              {
+                ps_name = p.Ast.p_name;
+                ps_elem_bytes = elem_bytes_of_type p.Ast.p_type;
+                ps_pattern = worst;
+                ps_access_sites = List.length accesses;
+              }
+          end
+        | _ -> None)
+      f.Ast.f_params
+  in
+  {
+    fs_name = f.Ast.f_name;
+    fs_params = params;
+    fs_has_loop = has_loop f;
+    fs_flops_estimate = count_flops f;
+  }
+
+(** Summaries for every defined pure function of the program. *)
+let summarize_program (program : Ast.program) : (string * summary) list =
+  List.filter_map
+    (function
+      | Ast.GFunc f when f.Ast.f_pure && f.Ast.f_body <> None ->
+        Some (f.Ast.f_name, summarize f)
+      | _ -> None)
+    program
+
+(** Aggregate view for the SICA tile model over a set of called pure
+    functions: (arrays touched inside the calls, widest element in bytes). *)
+let sica_footprint (summaries : (string * summary) list) (callees : string list) :
+    int * int =
+  List.fold_left
+    (fun (arrays, bytes) callee ->
+      match List.assoc_opt callee summaries with
+      | None -> (arrays, bytes)
+      | Some s ->
+        let touched = List.filter (fun p -> p.ps_access_sites > 0) s.fs_params in
+        ( arrays + List.length touched,
+          List.fold_left (fun b p -> max b p.ps_elem_bytes) bytes touched ))
+    (0, 4) callees

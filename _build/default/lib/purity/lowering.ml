@@ -1,0 +1,137 @@
+(** Lowering [pure] away for the classic tool chain (paper §3.2, last part).
+
+    "We must replace pure prefixes of pointers in argument lists of functions
+    and remove the prefixes from functions entirely.  The pointer prefixes
+    are replaced with the const keyword [...]; the function prefix is removed
+    completely."  After this pass the program is plain C. *)
+
+open Cfront
+
+let rec lower_type (ty : Ast.ctype) : Ast.ctype =
+  match ty with
+  | Ast.Ptr p ->
+    Ast.Ptr
+      {
+        elt = lower_type p.elt;
+        ptr_pure = false;
+        ptr_const = p.ptr_const || p.ptr_pure;
+      }
+  | Ast.Array (e, n) -> Ast.Array (lower_type e, n)
+  | Ast.Void | Ast.Int | Ast.Float | Ast.Double | Ast.Char | Ast.Struct _ | Ast.Named _
+    ->
+    ty
+
+let rec lower_expr (e : Ast.expr) : Ast.expr =
+  let d =
+    match e.edesc with
+    | Ast.Cast (ty, a) -> Ast.Cast (lower_type ty, lower_expr a)
+    | Ast.SizeofType ty -> Ast.SizeofType (lower_type ty)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, lower_expr a, lower_expr b)
+    | Ast.Unop (op, a) -> Ast.Unop (op, lower_expr a)
+    | Ast.Assign (op, a, b) -> Ast.Assign (op, lower_expr a, lower_expr b)
+    | Ast.Call (f, args) -> Ast.Call (f, List.map lower_expr args)
+    | Ast.Index (a, b) -> Ast.Index (lower_expr a, lower_expr b)
+    | Ast.Deref a -> Ast.Deref (lower_expr a)
+    | Ast.AddrOf a -> Ast.AddrOf (lower_expr a)
+    | Ast.Member (a, f) -> Ast.Member (lower_expr a, f)
+    | Ast.Arrow (a, f) -> Ast.Arrow (lower_expr a, f)
+    | Ast.Cond (a, b, c) -> Ast.Cond (lower_expr a, lower_expr b, lower_expr c)
+    | Ast.SizeofExpr a -> Ast.SizeofExpr (lower_expr a)
+    | Ast.IncDec r -> Ast.IncDec { r with arg = lower_expr r.arg }
+    | Ast.Comma (a, b) -> Ast.Comma (lower_expr a, lower_expr b)
+    | (Ast.IntLit _ | Ast.FloatLit _ | Ast.StrLit _ | Ast.CharLit _ | Ast.Ident _) as d
+      ->
+      d
+  in
+  { e with edesc = d }
+
+let lower_decl (d : Ast.decl) =
+  { d with d_type = lower_type d.d_type; d_init = Option.map lower_expr d.d_init }
+
+let rec lower_stmt (s : Ast.stmt) : Ast.stmt =
+  let d =
+    match s.sdesc with
+    | Ast.SExpr e -> Ast.SExpr (lower_expr e)
+    | Ast.SDecl d -> Ast.SDecl (lower_decl d)
+    | Ast.SIf (c, t, e) -> Ast.SIf (lower_expr c, lower_stmt t, Option.map lower_stmt e)
+    | Ast.SWhile (c, b) -> Ast.SWhile (lower_expr c, lower_stmt b)
+    | Ast.SDoWhile (b, c) -> Ast.SDoWhile (lower_stmt b, lower_expr c)
+    | Ast.SFor (init, cond, step, b) ->
+      let init =
+        Option.map
+          (function
+            | Ast.FInitDecl d -> Ast.FInitDecl (lower_decl d)
+            | Ast.FInitExpr e -> Ast.FInitExpr (lower_expr e))
+          init
+      in
+      Ast.SFor (init, Option.map lower_expr cond, Option.map lower_expr step, lower_stmt b)
+    | Ast.SReturn e -> Ast.SReturn (Option.map lower_expr e)
+    | Ast.SBlock ss -> Ast.SBlock (List.map lower_stmt ss)
+    | (Ast.SBreak | Ast.SContinue | Ast.SPragma _) as d -> d
+  in
+  { s with sdesc = d }
+
+let lower_func (f : Ast.func) =
+  {
+    f with
+    Ast.f_pure = false;
+    f_ret = lower_type f.f_ret;
+    f_params = List.map (fun p -> { p with Ast.p_type = lower_type p.Ast.p_type }) f.f_params;
+    f_body = Option.map (List.map lower_stmt) f.f_body;
+  }
+
+(** Remove every [pure] from the program: function prefixes disappear, pure
+    pointers become const pointers. *)
+let lower (program : Ast.program) : Ast.program =
+  List.map
+    (fun g ->
+      match g with
+      | Ast.GFunc f -> Ast.GFunc (lower_func f)
+      | Ast.GVar d -> Ast.GVar (lower_decl d)
+      | Ast.GStruct sd ->
+        Ast.GStruct
+          { sd with s_fields = List.map (fun (t, n) -> (lower_type t, n)) sd.s_fields }
+      | Ast.GTypedef (n, t, l) -> Ast.GTypedef (n, lower_type t, l)
+      | (Ast.GPragma _ | Ast.GInclude _) as g -> g)
+    program
+
+(** Does any [pure] remain? (test helper) *)
+let contains_pure (program : Ast.program) =
+  let rec ty_pure = function
+    | Ast.Ptr p -> p.ptr_pure || ty_pure p.elt
+    | Ast.Array (e, _) -> ty_pure e
+    | _ -> false
+  in
+  let expr_pure e =
+    Ast.fold_expr
+      (fun acc e ->
+        acc
+        ||
+        match e.Ast.edesc with
+        | Ast.Cast (ty, _) -> ty_pure ty
+        | Ast.SizeofType ty -> ty_pure ty
+        | _ -> false)
+      false e
+  in
+  let stmt_pure s =
+    Ast.fold_stmt
+      ~stmt:(fun acc s ->
+        acc
+        ||
+        match s.Ast.sdesc with
+        | Ast.SDecl d -> ty_pure d.Ast.d_type
+        | _ -> false)
+      ~expr:(fun acc e -> acc || expr_pure e)
+      false s
+  in
+  List.exists
+    (function
+      | Ast.GFunc f ->
+        f.Ast.f_pure || ty_pure f.f_ret
+        || List.exists (fun p -> ty_pure p.Ast.p_type) f.f_params
+        || (match f.f_body with
+           | Some body -> List.exists stmt_pure body
+           | None -> false)
+      | Ast.GVar d -> ty_pure d.Ast.d_type
+      | _ -> false)
+    program

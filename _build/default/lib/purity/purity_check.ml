@@ -1,0 +1,423 @@
+(** The purity verifier — the additional compiler pass of paper §3.2.
+
+    For every function marked [pure] it verifies that
+
+    - only pure functions are called (registry = pure stdlib + [malloc]/
+      [free] + user functions declared pure, including the function itself);
+    - no assignment modifies function-external data (globals, parameter
+      pointees), cf. Listing 2 and Listing 4;
+    - pointer parameters are declared [pure];
+    - [pure] pointers are assigned at most once and never written through;
+    - taking an external (global) pointer into a local requires the
+      [(pure T* )] cast discipline of Listing 3;
+    - [free] is applied only to memory allocated in the same function.
+
+    The check is deliberately *name-based* and syntactic, like the paper's:
+    the alias in Listing 6 is accepted — that documented limitation is
+    covered by a test. *)
+
+open Cfront
+open Support
+
+(* Where a pointer *value* may point. *)
+type taint =
+  | Fresh  (** locally allocated or address of a local *)
+  | External  (** reaches caller-visible memory (param pointee, global) *)
+  | Opaque  (** unknown, treated permissively (name-based checker) *)
+
+type vinfo = {
+  v_ty : Ast.ctype;
+  v_origin : Sema.Symbol.origin;
+  mutable v_taint : taint;
+  mutable v_assigned : bool;  (** a pure pointer already holds a value *)
+  mutable v_from_malloc : bool;
+}
+
+type ctx = {
+  env : Sema.Env.t;
+  registry : Registry.t;
+  reporter : Diag.reporter;
+  fname : string;
+  (* shadow-stacked flow info per name *)
+  flow : (string, vinfo list) Hashtbl.t;
+  mutable block_names : string list list;  (** names declared per open block *)
+  scope : Sema.Scope.t;  (** for type inference *)
+  tc : Sema.Typecheck.ctx;
+}
+
+let err ctx loc code fmt = Diag.error ctx.reporter ~loc ~code fmt
+
+let is_pure_ptr = function Ast.Ptr { ptr_pure = true; _ } -> true | _ -> false
+
+let vinfo_find ctx name =
+  match Hashtbl.find_opt ctx.flow name with Some (v :: _) -> Some v | _ -> None
+
+let vinfo_push ctx name v =
+  let stack = Option.value (Hashtbl.find_opt ctx.flow name) ~default:[] in
+  Hashtbl.replace ctx.flow name (v :: stack);
+  match ctx.block_names with
+  | names :: rest -> ctx.block_names <- (name :: names) :: rest
+  | [] -> invalid_arg "vinfo_push: no open block"
+
+let push_block ctx =
+  ctx.block_names <- [] :: ctx.block_names;
+  Sema.Scope.push ctx.scope
+
+let pop_block ctx =
+  (match ctx.block_names with
+  | names :: rest ->
+    List.iter
+      (fun name ->
+        match Hashtbl.find_opt ctx.flow name with
+        | Some (_ :: tl) -> Hashtbl.replace ctx.flow name tl
+        | _ -> ())
+      names;
+    ctx.block_names <- rest
+  | [] -> invalid_arg "pop_block: no open block");
+  Sema.Scope.pop ctx.scope
+
+let infer ctx e = Sema.Typecheck.infer ctx.tc ctx.scope e
+
+(* ------------------------------------------------------------------ *)
+(* Classifying where a pointer-valued expression can point. *)
+
+let rec classify_value ctx (e : Ast.expr) : taint =
+  match e.edesc with
+  | Ast.Cast (_, inner) -> classify_value ctx inner
+  | Ast.Ident x -> (
+    match vinfo_find ctx x with
+    | Some v -> (
+      match v.v_origin with
+      | Sema.Symbol.Param -> External
+      | Sema.Symbol.Global -> External
+      | Sema.Symbol.Local | Sema.Symbol.Enclosing -> v.v_taint)
+    | None -> (
+      (* not flow-tracked: must be a param or global *)
+      match Sema.Scope.lookup ctx.scope x with
+      | Some { origin = Sema.Symbol.Param | Sema.Symbol.Global; _ } -> External
+      | _ -> Opaque))
+  | Ast.Call (_, _) -> Fresh
+  | Ast.AddrOf inner -> classify_lvalue_base ctx inner
+  | Ast.Index (b, _) | Ast.Deref b -> classify_value ctx b
+  | Ast.Binop ((Ast.Add | Ast.Sub), a, b) -> (
+    (* pointer arithmetic: taint of the pointer side *)
+    match (infer ctx a, infer ctx b) with
+    | Ast.Ptr _, _ | Ast.Array _, _ -> classify_value ctx a
+    | _, (Ast.Ptr _ | Ast.Array _) -> classify_value ctx b
+    | _ -> Opaque)
+  | Ast.Cond (_, t, f) -> (
+    match (classify_value ctx t, classify_value ctx f) with
+    | External, _ | _, External -> External
+    | Fresh, Fresh -> Fresh
+    | _ -> Opaque)
+  | Ast.Comma (_, b) -> classify_value ctx b
+  | Ast.Member (b, _) | Ast.Arrow (b, _) -> classify_value ctx b
+  | _ -> Opaque
+
+(* The storage an lvalue lives in (for address-of and store checking). *)
+and classify_lvalue_base ctx (e : Ast.expr) : taint =
+  match e.edesc with
+  | Ast.Ident x -> (
+    match vinfo_find ctx x with
+    | Some v -> (
+      match v.v_origin with
+      | Sema.Symbol.Param -> Fresh (* the parameter slot itself is a local copy *)
+      | Sema.Symbol.Global -> External
+      | Sema.Symbol.Local | Sema.Symbol.Enclosing -> Fresh)
+    | None -> (
+      match Sema.Scope.lookup ctx.scope x with
+      | Some { origin = Sema.Symbol.Global; _ } -> External
+      | Some { origin = Sema.Symbol.Param; _ } -> Fresh
+      | _ -> Opaque))
+  | Ast.Index (b, _) | Ast.Deref b ->
+    (* element of *base: lives wherever base points *)
+    classify_value ctx b
+  | Ast.Member (b, _) -> classify_lvalue_base ctx b
+  | Ast.Arrow (b, _) -> classify_value ctx b
+  | Ast.Cast (_, inner) -> classify_lvalue_base ctx inner
+  | _ -> Opaque
+
+(* The flow-tracked variable at the root of an lvalue, with the pointer
+   depth between the root and the stored-to cell (0 = the variable itself). *)
+let rec lvalue_root (e : Ast.expr) depth =
+  match e.edesc with
+  | Ast.Ident x -> Some (x, depth)
+  | Ast.Index (b, _) | Ast.Deref b -> lvalue_root b (depth + 1)
+  | Ast.Member (b, _) -> lvalue_root b depth
+  | Ast.Arrow (b, _) -> lvalue_root b (depth + 1)
+  | Ast.Cast (_, inner) -> lvalue_root inner depth
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expression checking *)
+
+let is_malloc_call (e : Ast.expr) =
+  let rec strip e =
+    match e.Ast.edesc with Ast.Cast (_, inner) -> strip inner | _ -> e
+  in
+  match (strip e).Ast.edesc with
+  | Ast.Call (("malloc" | "calloc"), _) -> true
+  | _ -> false
+
+(* Check a value assigned into a pointer-typed target. *)
+let check_ptr_flow ctx loc ~target_pure ~(rhs : Ast.expr) =
+  let rhs_ty = infer ctx rhs in
+  let rhs_is_pure_typed = is_pure_ptr rhs_ty in
+  let taint = classify_value ctx rhs in
+  if target_pure then begin
+    (* pure target: fine from pure-typed values and from fresh memory;
+       external non-pure values need the explicit (pure T* ) cast, which
+       would have made the type pure. *)
+    if (not rhs_is_pure_typed) && taint = External then
+      err ctx loc "pure.external-ptr-no-cast"
+        "assigning external data to a pure pointer requires a (pure T*) cast"
+  end
+  else begin
+    (* non-pure target: external values must not be laundered into writable
+       pointers (Listing 2, line 11) *)
+    if rhs_is_pure_typed then
+      err ctx loc "pure.pure-to-impure"
+        "a pure pointer value cannot be assigned to a non-pure pointer"
+    else if taint = External then
+      err ctx loc "pure.external-ptr-no-cast"
+        "assigning external data to a non-pure pointer is invalid in a pure \
+         function; cast to (pure T*) and use a pure pointer"
+  end
+
+let rec check_expr ctx (e : Ast.expr) =
+  match e.edesc with
+  | Ast.IntLit _ | Ast.FloatLit _ | Ast.StrLit _ | Ast.CharLit _ | Ast.Ident _
+  | Ast.SizeofType _ ->
+    ()
+  | Ast.Call (fname, args) ->
+    List.iter (check_expr ctx) args;
+    if not (Registry.mem ctx.registry fname) then
+      err ctx e.eloc "pure.call-impure"
+        "pure function %s calls non-pure function %s" ctx.fname fname;
+    if fname = "free" then check_free ctx e.eloc args
+  | Ast.Assign (op, lhs, rhs) ->
+    check_expr ctx rhs;
+    check_store ctx e.eloc op lhs rhs
+  | Ast.IncDec { arg; _ } ->
+    (* x++ is a store of x+1 *)
+    check_store ctx e.eloc Ast.OpAddAssign arg (Ast.int_lit 1)
+  | Ast.Binop (_, a, b) | Ast.Comma (a, b) ->
+    check_expr ctx a;
+    check_expr ctx b
+  | Ast.Index (a, b) ->
+    check_expr ctx a;
+    check_expr ctx b
+  | Ast.Unop (_, a)
+  | Ast.Deref a
+  | Ast.AddrOf a
+  | Ast.Member (a, _)
+  | Ast.Arrow (a, _)
+  | Ast.Cast (_, a)
+  | Ast.SizeofExpr a ->
+    check_expr ctx a
+  | Ast.Cond (a, b, c) ->
+    check_expr ctx a;
+    check_expr ctx b;
+    check_expr ctx c
+
+and check_free ctx loc args =
+  match args with
+  | [ arg ] -> (
+    let rec strip e =
+      match e.Ast.edesc with Ast.Cast (_, inner) -> strip inner | _ -> e
+    in
+    match (strip arg).Ast.edesc with
+    | Ast.Ident x -> (
+      match vinfo_find ctx x with
+      | Some { v_from_malloc = true; _ } -> ()
+      | _ ->
+        err ctx loc "pure.free-external"
+          "free in pure function %s frees memory not allocated in its scope"
+          ctx.fname)
+    | _ ->
+      err ctx loc "pure.free-external"
+        "free in pure function %s frees memory not allocated in its scope" ctx.fname)
+  | _ -> ()
+
+(* A store [lhs op= rhs].  [depth] 0 means assigning the variable slot
+   itself; >0 means writing through pointers/arrays. *)
+and check_store ctx loc _op lhs rhs =
+  match lvalue_root lhs 0 with
+  | None ->
+    (* stores to exotic lvalues: check the pointee location *)
+    if classify_lvalue_base ctx lhs = External then
+      err ctx loc "pure.store-external" "store to function-external data"
+  | Some (root, depth) -> (
+    let entry = Sema.Scope.lookup ctx.scope root in
+    let origin =
+      match entry with Some s -> Some s.Sema.Symbol.origin | None -> None
+    in
+    match (origin, depth) with
+    | Some Sema.Symbol.Global, 0 ->
+      err ctx loc "pure.global-write" "pure function %s writes global %s" ctx.fname
+        root
+    | Some Sema.Symbol.Global, _ ->
+      err ctx loc "pure.store-external" "pure function %s writes through global %s"
+        ctx.fname root
+    | Some Sema.Symbol.Param, 0 ->
+      (* the parameter slot is a local copy; assigning it is fine unless it
+         is a pure pointer (single assignment, and it is already bound by
+         the call) *)
+      let ty = match entry with Some s -> s.Sema.Symbol.ty | None -> Ast.Int in
+      if is_pure_ptr ty then
+        err ctx loc "pure.pure-ptr-reassign" "pure pointer parameter %s reassigned"
+          root
+    | Some Sema.Symbol.Param, _ ->
+      err ctx loc "pure.pure-ptr-write"
+        "pure function %s writes through parameter %s" ctx.fname root
+    | Some (Sema.Symbol.Local | Sema.Symbol.Enclosing), 0 -> (
+      let ty = match entry with Some s -> s.Sema.Symbol.ty | None -> Ast.Int in
+      match vinfo_find ctx root with
+      | Some v ->
+        if is_pure_ptr ty then begin
+          if v.v_assigned then
+            err ctx loc "pure.pure-ptr-reassign"
+              "pure pointer %s can only be assigned once" root;
+          v.v_assigned <- true
+        end;
+        if Ast.is_pointer ty then begin
+          check_ptr_flow ctx loc ~target_pure:(is_pure_ptr ty) ~rhs;
+          v.v_taint <- classify_value ctx rhs;
+          v.v_from_malloc <- is_malloc_call rhs
+        end
+      | None -> ())
+    | Some (Sema.Symbol.Local | Sema.Symbol.Enclosing), _ -> (
+      (* writing through a local pointer: fine for fresh memory, an error if
+         the pointer (or array element) reaches external data or is pure *)
+      let ty = match entry with Some s -> s.Sema.Symbol.ty | None -> Ast.Int in
+      if is_pure_ptr ty then
+        err ctx loc "pure.pure-ptr-write"
+          "store through pure pointer %s in pure function %s" root ctx.fname
+      else
+        match vinfo_find ctx root with
+        | Some { v_taint = External; _ } ->
+          err ctx loc "pure.store-external"
+            "store through pointer %s which references external data" root
+        | _ -> ())
+    | None, _ ->
+      err ctx loc "pure.store-external" "store to undeclared name %s" root)
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let check_decl ctx (d : Ast.decl) =
+  let ty = Sema.Env.resolve ctx.env d.d_type in
+  Sema.Scope.add_local ctx.scope d.d_name ty d.d_loc;
+  let v =
+    {
+      v_ty = ty;
+      v_origin = Sema.Symbol.Local;
+      v_taint = (if Ast.is_pointer ty then Opaque else Fresh);
+      v_assigned = false;
+      v_from_malloc = false;
+    }
+  in
+  vinfo_push ctx d.d_name v;
+  match d.d_init with
+  | None ->
+    (* arrays/structs declared locally are fresh storage *)
+    (match ty with Ast.Array _ | Ast.Struct _ -> v.v_taint <- Fresh | _ -> ())
+  | Some init ->
+    check_expr ctx init;
+    if Ast.is_pointer ty then begin
+      check_ptr_flow ctx d.d_loc ~target_pure:(is_pure_ptr ty) ~rhs:init;
+      v.v_taint <- classify_value ctx init;
+      v.v_from_malloc <- is_malloc_call init;
+      if is_pure_ptr ty then v.v_assigned <- true
+    end
+
+let rec check_stmt ctx (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.SExpr e -> check_expr ctx e
+  | Ast.SDecl d -> check_decl ctx d
+  | Ast.SIf (c, t, e) ->
+    check_expr ctx c;
+    check_in_block ctx t;
+    Option.iter (check_in_block ctx) e
+  | Ast.SWhile (c, b) ->
+    check_expr ctx c;
+    check_in_block ctx b
+  | Ast.SDoWhile (b, c) ->
+    check_in_block ctx b;
+    check_expr ctx c
+  | Ast.SFor (init, cond, step, b) ->
+    push_block ctx;
+    (match init with
+    | Some (Ast.FInitDecl d) -> check_decl ctx d
+    | Some (Ast.FInitExpr e) -> check_expr ctx e
+    | None -> ());
+    Option.iter (check_expr ctx) cond;
+    Option.iter (check_expr ctx) step;
+    check_in_block ctx b;
+    pop_block ctx
+  | Ast.SReturn eo -> Option.iter (check_expr ctx) eo
+  | Ast.SBlock ss ->
+    push_block ctx;
+    List.iter (check_stmt ctx) ss;
+    pop_block ctx
+  | Ast.SBreak | Ast.SContinue | Ast.SPragma _ -> ()
+
+and check_in_block ctx s = check_stmt ctx s
+
+(* ------------------------------------------------------------------ *)
+(* Functions and programs *)
+
+let check_params ctx (f : Ast.func) =
+  List.iter
+    (fun (p : Ast.param) ->
+      let ty = Sema.Env.resolve ctx.env p.p_type in
+      match ty with
+      | Ast.Ptr { ptr_pure = false; _ } | Ast.Array _ ->
+        err ctx p.p_loc "pure.param-ptr-not-pure"
+          "pointer parameter %s of pure function %s must be declared pure"
+          p.p_name ctx.fname
+      | _ -> ())
+    f.f_params
+
+let check_function env registry reporter (f : Ast.func) =
+  match f.f_body with
+  | None -> ()
+  | Some body ->
+    let scope = Sema.Typecheck.scope_for_function env f in
+    let tc =
+      { Sema.Typecheck.env; reporter = Diag.create_reporter (); current_ret = f.f_ret }
+    in
+    (* the purity pass must not duplicate type errors; give infer a dummy
+       reporter *)
+    let ctx =
+      {
+        env;
+        registry;
+        reporter;
+        fname = f.f_name;
+        flow = Hashtbl.create 16;
+        block_names = [ [] ];
+        scope;
+        tc;
+      }
+    in
+    check_params ctx f;
+    List.iter (check_stmt ctx) body
+
+(** Verify every [pure] function of the program.  All [pure] declarations are
+    registered first so mutual recursion and forward references work; the
+    registry is extended in place. *)
+let check_program ?(registry = Registry.create ()) ~reporter (program : Ast.program) :
+    Registry.t =
+  let env = Sema.Env.gather ~reporter:(Diag.create_reporter ()) program in
+  List.iter
+    (function
+      | Ast.GFunc f when f.f_pure -> Registry.add registry f.f_name
+      | _ -> ())
+    program;
+  List.iter
+    (function
+      | Ast.GFunc f when f.f_pure -> check_function env registry reporter f
+      | _ -> ())
+    program;
+  registry

@@ -1,0 +1,36 @@
+(** The hashset of functions declared or considered pure (paper §3.2).
+
+    It starts out with the side-effect-free C standard functions, plus
+    [malloc] and [free]: "Although these functions are not strictly free of
+    side-effects, their side-effects do not affect other threads."  The
+    checker adds user functions as their [pure] declarations are met. *)
+
+type t = { set : (string, unit) Hashtbl.t; mutable allow_malloc : bool }
+
+let pure_stdlib =
+  [
+    "sin"; "cos"; "tan"; "asin"; "acos"; "atan"; "atan2";
+    "sinh"; "cosh"; "tanh";
+    "exp"; "log"; "log2"; "log10"; "sqrt"; "pow";
+    "fabs"; "floor"; "ceil"; "round"; "fmin"; "fmax"; "fmod"; "abs";
+    "sinf"; "cosf"; "sqrtf"; "expf"; "logf"; "fabsf"; "powf";
+  ]
+
+(** [allow_malloc:false] is the ablation of DESIGN.md §5 ("no-malloc-pure"):
+    without it the matmul initialization loop stops being parallelizable,
+    reproducing the black bars of the paper's Fig. 3. *)
+let create ?(allow_malloc = true) () =
+  let t = { set = Hashtbl.create 64; allow_malloc } in
+  List.iter (fun f -> Hashtbl.replace t.set f ()) pure_stdlib;
+  if allow_malloc then begin
+    Hashtbl.replace t.set "malloc" ();
+    Hashtbl.replace t.set "calloc" ();
+    Hashtbl.replace t.set "free" ()
+  end;
+  t
+
+let add t name = Hashtbl.replace t.set name ()
+
+let mem t name = Hashtbl.mem t.set name
+
+let names t = Hashtbl.fold (fun k () acc -> k :: acc) t.set [] |> List.sort compare

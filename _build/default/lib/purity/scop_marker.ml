@@ -1,0 +1,184 @@
+(** Marking parallelizable loop nests with [#pragma scop] (paper §3.2, §3.4).
+
+    Each outermost for-loop of a non-pure function is checked: if every call
+    inside the nest targets a registry-pure function, the loop is surrounded
+    by [#pragma scop] / [#pragma endscop] so the polyhedral stage picks it
+    up.  Additionally, the safety rule of §3.4 (Listing 5) is enforced: an
+    array passed as an argument to a pure call must not also appear on the
+    left-hand side of an assignment in the same nest — by *name*, which is
+    exactly why the alias of Listing 6 slips through. *)
+
+open Cfront
+open Support
+
+let scop_begin = "scop"
+
+let scop_end = "endscop"
+
+(* Root identifier of an lvalue or array argument (name-based, cf. §3.4). *)
+let rec root_name (e : Ast.expr) =
+  match e.edesc with
+  | Ast.Ident x -> Some x
+  | Ast.Index (b, _) | Ast.Deref b -> root_name b
+  | Ast.Member (b, _) | Ast.Arrow (b, _) -> root_name b
+  | Ast.Cast (_, b) -> root_name b
+  | Ast.Binop ((Ast.Add | Ast.Sub), a, _) -> root_name a
+  | _ -> None
+
+(* Is the store an *element* store (through [] or * or ->), as opposed to a
+   plain scalar assignment like the loop iterator's [i++]?  Only element
+   stores can conflict with an array passed to a pure call. *)
+let rec is_element_store (e : Ast.expr) =
+  match e.edesc with
+  | Ast.Index _ | Ast.Deref _ | Ast.Arrow _ -> true
+  | Ast.Member (b, _) | Ast.Cast (_, b) -> is_element_store b
+  | _ -> false
+
+(* Roots of element stores in a statement. *)
+let assigned_names stmt =
+  Ast.fold_stmt ~stmt:(fun acc _ -> acc)
+    ~expr:(fun acc e ->
+      match e.Ast.edesc with
+      | Ast.Assign (_, lhs, _) when is_element_store lhs -> (
+        match root_name lhs with Some n -> n :: acc | None -> acc)
+      | Ast.IncDec { arg; _ } when is_element_store arg -> (
+        match root_name arg with Some n -> n :: acc | None -> acc)
+      | _ -> acc)
+    [] stmt
+
+(* All (callee, argument root names) pairs in a statement. *)
+let call_args stmt =
+  Ast.fold_stmt ~stmt:(fun acc _ -> acc)
+    ~expr:(fun acc e ->
+      match e.Ast.edesc with
+      | Ast.Call (f, args) -> (f, List.filter_map root_name args) :: acc
+      | _ -> acc)
+    [] stmt
+
+let loop_only_calls_pure registry stmt =
+  List.for_all (Registry.mem registry) (Ast.calls_in_stmt stmt)
+
+(* §3.4: arguments of pure calls must not be assignment targets in the nest.
+   Returns the offending (array, callee) pairs. *)
+let param_lhs_violations stmt =
+  let written = assigned_names stmt in
+  List.concat_map
+    (fun (callee, arg_roots) ->
+      List.filter_map
+        (fun root -> if List.mem root written then Some (root, callee) else None)
+        arg_roots)
+    (call_args stmt)
+
+(* Recursively rewrite a statement list, wrapping eligible outermost
+   for-loops in scop pragmas.  [marked] counts emitted scop regions so a
+   failed outer loop whose inner nests also yield nothing reports the
+   Listing 5 error. *)
+let rec mark_stmts registry reporter marked stmts =
+  List.concat_map
+    (fun s ->
+      match s.Ast.sdesc with
+      | Ast.SFor (_, _, _, _) ->
+        if loop_only_calls_pure registry s then begin
+          match param_lhs_violations s with
+          | [] ->
+            incr marked;
+            [
+              Ast.mk_stmt ~loc:s.Ast.sloc (Ast.SPragma scop_begin);
+              s;
+              Ast.mk_stmt ~loc:s.Ast.sloc (Ast.SPragma scop_end);
+            ]
+          | violations ->
+            (* the outer nest mixes a pure call with a write to one of its
+               array arguments; inner nests may still be clean (e.g. the
+               stencil and copy nests under a time loop) *)
+            let before = !marked in
+            let s' = descend registry reporter marked s in
+            if !marked > before then begin
+              List.iter
+                (fun (root, callee) ->
+                  Diag.warning reporter ~loc:s.Ast.sloc ~code:"scop.arg-assigned-outer"
+                    "array %s is passed to pure function %s and assigned in the \
+                     outer nest; only inner loops were marked"
+                    root callee)
+                violations;
+              [ s' ]
+            end
+            else begin
+              List.iter
+                (fun (root, callee) ->
+                  Diag.error reporter ~loc:s.Ast.sloc ~code:"scop.arg-assigned"
+                    "array %s is passed to pure function %s and assigned in the \
+                     same loop nest; the iteration order would matter (cf. paper \
+                     Listing 5)"
+                    root callee)
+                violations;
+              [ s ]
+            end
+        end
+        else
+          (* an impure call somewhere in the nest: try inner loops *)
+          [ descend registry reporter marked s ]
+      | Ast.SBlock ss ->
+        [ { s with Ast.sdesc = Ast.SBlock (mark_stmts registry reporter marked ss) } ]
+      | Ast.SIf (c, t, e) ->
+        [
+          {
+            s with
+            Ast.sdesc =
+              Ast.SIf
+                ( c,
+                  block_of (mark_stmts registry reporter marked [ t ]),
+                  Option.map
+                    (fun e -> block_of (mark_stmts registry reporter marked [ e ]))
+                    e );
+          };
+        ]
+      | _ -> [ s ])
+    stmts
+
+and descend registry reporter marked s =
+  match s.Ast.sdesc with
+  | Ast.SFor (i, c, st, body) ->
+    {
+      s with
+      Ast.sdesc = Ast.SFor (i, c, st, block_of (mark_stmts registry reporter marked [ body ]));
+    }
+  | _ -> s
+
+and block_of = function
+  | [ s ] -> s
+  | ss -> Ast.mk_stmt (Ast.SBlock ss)
+
+(** Wrap eligible loops of all non-pure function bodies in scop pragmas. *)
+let mark ?(registry = Registry.create ()) ~reporter (program : Ast.program) :
+    Ast.program =
+  let marked = ref 0 in
+  List.map
+    (fun g ->
+      match g with
+      | Ast.GFunc f when (not f.f_pure) && f.f_body <> None ->
+        let body = Option.get f.f_body in
+        Ast.GFunc { f with f_body = Some (mark_stmts registry reporter marked body) }
+      | _ -> g)
+    program
+
+(** Number of scop regions in a program (for tests and reports). *)
+let count_scops (program : Ast.program) =
+  let count_in_stmts ss =
+    List.fold_left
+      (fun acc s ->
+        Ast.fold_stmt
+          ~stmt:(fun acc s ->
+            match s.Ast.sdesc with
+            | Ast.SPragma p when p = scop_begin -> acc + 1
+            | _ -> acc)
+          ~expr:(fun acc _ -> acc)
+          acc s)
+      0 ss
+  in
+  List.fold_left
+    (fun acc g ->
+      match g with
+      | Ast.GFunc { f_body = Some body; _ } -> acc + count_in_stmts body
+      | _ -> acc)
+    0 program

@@ -1,0 +1,112 @@
+(** Temporarily replacing pure calls by opaque constants (paper §3.3).
+
+    PluTo is unaware of pure functions, so inside a [#pragma scop] region
+    every call is substituted by a unique identifier ("to make the function
+    calls appear as if they were constants", e.g. [fnAB()] becomes
+    [tmpConst_fnAB]).  After the polyhedral transformation the identifiers
+    are swapped back for the original call expressions.
+
+    Hiding the call — including the array reads in its arguments — is sound
+    because the SCoP marker enforced the §3.4 rule: no array passed to a pure
+    call is written in the same nest, so the hidden reads cannot carry a
+    dependence. *)
+
+open Cfront
+
+type table = { mutable entries : (string * Ast.expr) list; mutable next : int }
+
+let create () = { entries = []; next = 0 }
+
+let fresh_name t fname =
+  let name = Printf.sprintf "tmpConst_%s_%d" fname t.next in
+  t.next <- t.next + 1;
+  name
+
+(* Replace every call expression in [e] by a fresh identifier. *)
+let rec hide_expr t (e : Ast.expr) : Ast.expr =
+  match e.edesc with
+  | Ast.Call (fname, _) ->
+    let name = fresh_name t fname in
+    t.entries <- (name, e) :: t.entries;
+    { e with edesc = Ast.Ident name }
+  | _ -> map_children (hide_expr t) e
+
+and map_children f (e : Ast.expr) : Ast.expr =
+  let d =
+    match e.edesc with
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, f a, f b)
+    | Ast.Unop (op, a) -> Ast.Unop (op, f a)
+    | Ast.Assign (op, a, b) -> Ast.Assign (op, f a, f b)
+    | Ast.Call (g, args) -> Ast.Call (g, List.map f args)
+    | Ast.Index (a, b) -> Ast.Index (f a, f b)
+    | Ast.Deref a -> Ast.Deref (f a)
+    | Ast.AddrOf a -> Ast.AddrOf (f a)
+    | Ast.Member (a, fld) -> Ast.Member (f a, fld)
+    | Ast.Arrow (a, fld) -> Ast.Arrow (f a, fld)
+    | Ast.Cast (ty, a) -> Ast.Cast (ty, f a)
+    | Ast.Cond (a, b, c) -> Ast.Cond (f a, f b, f c)
+    | Ast.SizeofExpr a -> Ast.SizeofExpr (f a)
+    | Ast.IncDec r -> Ast.IncDec { r with arg = f r.arg }
+    | Ast.Comma (a, b) -> Ast.Comma (f a, f b)
+    | (Ast.IntLit _ | Ast.FloatLit _ | Ast.StrLit _ | Ast.CharLit _ | Ast.Ident _
+      | Ast.SizeofType _) as d ->
+      d
+  in
+  { e with edesc = d }
+
+let rec hide_stmt t (s : Ast.stmt) : Ast.stmt =
+  let he = hide_expr t in
+  let d =
+    match s.sdesc with
+    | Ast.SExpr e -> Ast.SExpr (he e)
+    | Ast.SDecl d -> Ast.SDecl { d with d_init = Option.map he d.d_init }
+    | Ast.SIf (c, th, el) -> Ast.SIf (he c, hide_stmt t th, Option.map (hide_stmt t) el)
+    | Ast.SWhile (c, b) -> Ast.SWhile (he c, hide_stmt t b)
+    | Ast.SDoWhile (b, c) -> Ast.SDoWhile (hide_stmt t b, he c)
+    | Ast.SFor (init, cond, step, b) ->
+      let init =
+        Option.map
+          (function
+            | Ast.FInitDecl d -> Ast.FInitDecl { d with Ast.d_init = Option.map he d.Ast.d_init }
+            | Ast.FInitExpr e -> Ast.FInitExpr (he e))
+          init
+      in
+      Ast.SFor (init, Option.map he cond, Option.map he step, hide_stmt t b)
+    | Ast.SReturn e -> Ast.SReturn (Option.map he e)
+    | Ast.SBlock ss -> Ast.SBlock (List.map (hide_stmt t) ss)
+    | (Ast.SBreak | Ast.SContinue | Ast.SPragma _) as d -> d
+  in
+  { s with sdesc = d }
+
+(* Swap hidden identifiers back for the recorded call expressions. *)
+let rec reveal_expr t (e : Ast.expr) : Ast.expr =
+  match e.edesc with
+  | Ast.Ident x -> (
+    match List.assoc_opt x t.entries with Some call -> call | None -> e)
+  | _ -> map_children (reveal_expr t) e
+
+let rec reveal_stmt t (s : Ast.stmt) : Ast.stmt =
+  let re = reveal_expr t in
+  let d =
+    match s.sdesc with
+    | Ast.SExpr e -> Ast.SExpr (re e)
+    | Ast.SDecl d -> Ast.SDecl { d with d_init = Option.map re d.d_init }
+    | Ast.SIf (c, th, el) ->
+      Ast.SIf (re c, reveal_stmt t th, Option.map (reveal_stmt t) el)
+    | Ast.SWhile (c, b) -> Ast.SWhile (re c, reveal_stmt t b)
+    | Ast.SDoWhile (b, c) -> Ast.SDoWhile (reveal_stmt t b, re c)
+    | Ast.SFor (init, cond, step, b) ->
+      let init =
+        Option.map
+          (function
+            | Ast.FInitDecl d ->
+              Ast.FInitDecl { d with Ast.d_init = Option.map re d.Ast.d_init }
+            | Ast.FInitExpr e -> Ast.FInitExpr (re e))
+          init
+      in
+      Ast.SFor (init, Option.map re cond, Option.map re step, reveal_stmt t b)
+    | Ast.SReturn e -> Ast.SReturn (Option.map re e)
+    | Ast.SBlock ss -> Ast.SBlock (List.map (reveal_stmt t) ss)
+    | (Ast.SBreak | Ast.SContinue | Ast.SPragma _) as d -> d
+  in
+  { s with sdesc = d }

@@ -1,0 +1,1 @@
+lib/runtime/par_loop.ml: Atomic List Mutex Pool

@@ -1,0 +1,1 @@
+lib/runtime/pool.ml: Condition Domain List Mutex Queue

@@ -1,0 +1,98 @@
+(** OpenMP-style worksharing loops over a {!Pool}.
+
+    Implements the three schedules the evaluation codes use —
+    [schedule(static)] (contiguous blocks, the default), [schedule(static,c)]
+    (round-robin chunks) and [schedule(dynamic,c)] (first-come first-served
+    chunks off a shared counter) — with OpenMP's fork/join semantics. *)
+
+type schedule = Static | Static_chunk of int | Dynamic of int
+
+(** [parallel_for pool ~schedule ~lo ~hi body] runs [body i] for every
+    [lo <= i < hi], partitioned over the pool per [schedule].  Returns when
+    all iterations are done. *)
+let parallel_for pool ?(schedule = Static) ~lo ~hi (body : int -> unit) =
+  let n = hi - lo in
+  if n <= 0 then ()
+  else begin
+    let workers = Pool.size pool in
+    if workers = 1 then
+      for i = lo to hi - 1 do
+        body i
+      done
+    else begin
+      match schedule with
+      | Static ->
+        let block = (n + workers - 1) / workers in
+        let jobs =
+          List.init workers (fun w ->
+              let start = lo + (w * block) in
+              let stop = min hi (start + block) in
+              fun () ->
+                for i = start to stop - 1 do
+                  body i
+                done)
+        in
+        Pool.run pool jobs
+      | Static_chunk chunk ->
+        let chunk = max 1 chunk in
+        let jobs =
+          List.init workers (fun w ->
+              fun () ->
+                (* worker w takes chunks w, w+workers, w+2*workers, ... *)
+                let rec go c =
+                  let start = lo + (c * chunk) in
+                  if start < hi then begin
+                    let stop = min hi (start + chunk) in
+                    for i = start to stop - 1 do
+                      body i
+                    done;
+                    go (c + workers)
+                  end
+                in
+                go w)
+        in
+        Pool.run pool jobs
+      | Dynamic chunk ->
+        let chunk = max 1 chunk in
+        let next = Atomic.make lo in
+        let jobs =
+          List.init workers (fun _ ->
+              fun () ->
+                let rec go () =
+                  let start = Atomic.fetch_and_add next chunk in
+                  if start < hi then begin
+                    let stop = min hi (start + chunk) in
+                    for i = start to stop - 1 do
+                      body i
+                    done;
+                    go ()
+                  end
+                in
+                go ())
+        in
+        Pool.run pool jobs
+    end
+  end
+
+(** Parallel reduction: combines a per-iteration value with [combine]
+    (associative, commutative); used by tests and examples. *)
+let parallel_reduce pool ?(schedule = Static) ~lo ~hi ~init ~combine
+    (body : int -> 'a) : 'a =
+  let workers = Pool.size pool in
+  if workers = 1 || hi - lo <= 1 then begin
+    let acc = ref init in
+    for i = lo to hi - 1 do
+      acc := combine !acc (body i)
+    done;
+    !acc
+  end
+  else begin
+    let mutex = Mutex.create () in
+    let acc = ref init in
+    parallel_for pool ~schedule ~lo ~hi (fun i ->
+        let v = body i in
+        Mutex.lock mutex;
+        acc := combine !acc v;
+        Mutex.unlock mutex);
+    !acc
+  end

@@ -1,0 +1,107 @@
+(** A small domain pool: the execution substrate standing in for the OpenMP
+    runtime when generated code is run for real (as opposed to being
+    simulated by the {!Machine} model).
+
+    The pool spawns [size - 1] worker domains once; [run] distributes a
+    batch of thunks and waits for all of them (fork/join semantics of a
+    [#pragma omp parallel for]). *)
+
+type job = unit -> unit
+
+type t = {
+  size : int;
+  queue : job Queue.t;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  work_done : Condition.t;
+  mutable outstanding : int;
+  mutable shutdown : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let worker pool () =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.shutdown do
+      Condition.wait pool.work_available pool.mutex
+    done;
+    if pool.shutdown && Queue.is_empty pool.queue then begin
+      Mutex.unlock pool.mutex;
+      ()
+    end
+    else begin
+      let job = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      (try job () with _ -> ());
+      Mutex.lock pool.mutex;
+      pool.outstanding <- pool.outstanding - 1;
+      if pool.outstanding = 0 then Condition.broadcast pool.work_done;
+      Mutex.unlock pool.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+(** Create a pool that runs jobs on [size] execution streams ([size - 1]
+    worker domains plus the caller). *)
+let create size =
+  let size = max 1 size in
+  let pool =
+    {
+      size;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      work_done = Condition.create ();
+      outstanding = 0;
+      shutdown = false;
+      domains = [];
+    }
+  in
+  let workers = max 0 (min (size - 1) (Domain.recommended_domain_count () * 4)) in
+  pool.domains <- List.init workers (fun _ -> Domain.spawn (worker pool));
+  pool
+
+(** Run all jobs, returning when every one has finished.  The caller also
+    executes jobs, so a pool of size 1 degenerates to a plain loop. *)
+let run pool (jobs : job list) =
+  match jobs with
+  | [] -> ()
+  | [ j ] -> j ()
+  | jobs ->
+    Mutex.lock pool.mutex;
+    List.iter (fun j -> Queue.push j pool.queue) jobs;
+    pool.outstanding <- pool.outstanding + List.length jobs;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.mutex;
+    (* the caller helps *)
+    let rec help () =
+      Mutex.lock pool.mutex;
+      if Queue.is_empty pool.queue then begin
+        while pool.outstanding > 0 do
+          Condition.wait pool.work_done pool.mutex
+        done;
+        Mutex.unlock pool.mutex
+      end
+      else begin
+        let job = Queue.pop pool.queue in
+        Mutex.unlock pool.mutex;
+        (try job () with _ -> ());
+        Mutex.lock pool.mutex;
+        pool.outstanding <- pool.outstanding - 1;
+        if pool.outstanding = 0 then Condition.broadcast pool.work_done;
+        Mutex.unlock pool.mutex;
+        help ()
+      end
+    in
+    help ()
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.shutdown <- true;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let size pool = pool.size

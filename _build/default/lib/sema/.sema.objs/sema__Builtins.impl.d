@@ -1,0 +1,1 @@
+lib/sema/builtins.ml: Ast Cfront List Option

@@ -1,0 +1,1 @@
+lib/sema/env.ml: Ast Cfront Diag Hashtbl List Support Symbol

@@ -1,0 +1,1 @@
+lib/sema/scope.ml: Ast Cfront Hashtbl List Symbol

@@ -1,0 +1,1 @@
+lib/sema/symbol.ml: Ast Cfront Support

@@ -1,0 +1,1 @@
+lib/sema/typecheck.ml: Ast Ast_printer Builtins Cfront Diag Env Fmt Hashtbl List Option Scope Support Symbol

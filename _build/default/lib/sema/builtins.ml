@@ -1,0 +1,44 @@
+(** Signatures of the C standard-library functions the subset knows about.
+
+    The purity whitelist (paper §3.2) lives in [Purity.Registry]; here we
+    only provide types so calls check. *)
+
+open Cfront
+
+type t = {
+  name : string;
+  ret : Ast.ctype;
+  params : Ast.ctype list;
+  varargs : bool;
+}
+
+let d = Ast.Double
+let f1 name = { name; ret = d; params = [ d ]; varargs = false }
+let f2 name = { name; ret = d; params = [ d; d ]; varargs = false }
+
+let table : t list =
+  [
+    { name = "malloc"; ret = Ast.ptr Ast.Void; params = [ Ast.Int ]; varargs = false };
+    { name = "calloc"; ret = Ast.ptr Ast.Void; params = [ Ast.Int; Ast.Int ]; varargs = false };
+    { name = "free"; ret = Ast.Void; params = [ Ast.ptr Ast.Void ]; varargs = false };
+    { name = "printf"; ret = Ast.Int; params = [ Ast.ptr Ast.Char ]; varargs = true };
+    { name = "fprintf"; ret = Ast.Int; params = [ Ast.ptr Ast.Void; Ast.ptr Ast.Char ]; varargs = true };
+    { name = "exit"; ret = Ast.Void; params = [ Ast.Int ]; varargs = false };
+    { name = "abs"; ret = Ast.Int; params = [ Ast.Int ]; varargs = false };
+    f1 "sin"; f1 "cos"; f1 "tan"; f1 "asin"; f1 "acos"; f1 "atan";
+    f1 "sinh"; f1 "cosh"; f1 "tanh";
+    f1 "exp"; f1 "log"; f1 "log2"; f1 "log10"; f1 "sqrt"; f1 "fabs";
+    f1 "floor"; f1 "ceil"; f1 "round";
+    f2 "pow"; f2 "fmin"; f2 "fmax"; f2 "atan2"; f2 "fmod";
+    { name = "sinf"; ret = Ast.Float; params = [ Ast.Float ]; varargs = false };
+    { name = "cosf"; ret = Ast.Float; params = [ Ast.Float ]; varargs = false };
+    { name = "sqrtf"; ret = Ast.Float; params = [ Ast.Float ]; varargs = false };
+    { name = "expf"; ret = Ast.Float; params = [ Ast.Float ]; varargs = false };
+    { name = "logf"; ret = Ast.Float; params = [ Ast.Float ]; varargs = false };
+    { name = "fabsf"; ret = Ast.Float; params = [ Ast.Float ]; varargs = false };
+    { name = "powf"; ret = Ast.Float; params = [ Ast.Float; Ast.Float ]; varargs = false };
+  ]
+
+let find name = List.find_opt (fun b -> b.name = name) table
+
+let is_builtin name = Option.is_some (find name)

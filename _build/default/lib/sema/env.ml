@@ -1,0 +1,74 @@
+(** Translation-unit environment: structs, typedefs, globals, functions. *)
+
+open Cfront
+open Support
+
+type t = {
+  structs : (string, Ast.struct_def) Hashtbl.t;
+  typedefs : (string, Ast.ctype) Hashtbl.t;
+  globals : (string, Symbol.entry) Hashtbl.t;
+  funcs : (string, Symbol.func_sig) Hashtbl.t;
+}
+
+let create () =
+  {
+    structs = Hashtbl.create 16;
+    typedefs = Hashtbl.create 16;
+    globals = Hashtbl.create 16;
+    funcs = Hashtbl.create 16;
+  }
+
+(** Resolve typedef names down to a structural type. *)
+let rec resolve t (ty : Ast.ctype) : Ast.ctype =
+  match ty with
+  | Ast.Named n -> (
+    match Hashtbl.find_opt t.typedefs n with
+    | Some ty' -> resolve t ty'
+    | None -> ty)
+  | Ast.Ptr p -> Ast.Ptr { p with elt = resolve t p.elt }
+  | Ast.Array (e, n) -> Ast.Array (resolve t e, n)
+  | Ast.Void | Ast.Int | Ast.Float | Ast.Double | Ast.Char | Ast.Struct _ -> ty
+
+let find_struct t name = Hashtbl.find_opt t.structs name
+
+let find_func t name = Hashtbl.find_opt t.funcs name
+
+let find_global t name = Hashtbl.find_opt t.globals name
+
+let field_type t sname fname =
+  match find_struct t sname with
+  | None -> None
+  | Some sd -> List.assoc_opt fname (List.map (fun (ty, n) -> (n, ty)) sd.s_fields)
+
+(** Collect the environment from a parsed program.  A redefinition with a
+    different signature is reported through [reporter]. *)
+let gather ?(reporter = Diag.create_reporter ()) (program : Ast.program) : t =
+  let t = create () in
+  List.iter
+    (fun g ->
+      match g with
+      | Ast.GStruct sd -> Hashtbl.replace t.structs sd.s_name sd
+      | Ast.GTypedef (name, ty, _) -> Hashtbl.replace t.typedefs name ty
+      | Ast.GVar d ->
+        Hashtbl.replace t.globals d.d_name
+          { Symbol.ty = resolve t d.d_type; origin = Symbol.Global; loc = d.d_loc }
+      | Ast.GFunc f -> (
+        let s = Symbol.sig_of_func f in
+        match Hashtbl.find_opt t.funcs f.f_name with
+        | Some prev ->
+          if
+            (not (Ast.type_compatible prev.fs_ret s.fs_ret))
+            || List.length prev.fs_params <> List.length s.fs_params
+          then
+            Diag.error reporter ~loc:f.f_loc ~code:"sema.redef"
+              "conflicting declaration of function %s" f.f_name
+          else if prev.fs_pure <> s.fs_pure then
+            Diag.error reporter ~loc:f.f_loc ~code:"sema.pure-mismatch"
+              "function %s is declared both pure and impure" f.f_name
+          else
+            (* keep the definition if this one has a body *)
+            if s.fs_defined then Hashtbl.replace t.funcs f.f_name s
+        | None -> Hashtbl.replace t.funcs f.f_name s)
+      | Ast.GPragma _ | Ast.GInclude _ -> ())
+    program;
+  t

@@ -1,0 +1,50 @@
+(** Block-structured scopes for function bodies.
+
+    Lookups distinguish the innermost block from enclosing blocks of the same
+    function — the purity checker treats both as "function scope" but the
+    [free]-tracking needs block granularity. *)
+
+open Cfront
+
+type t = {
+  mutable blocks : (string, Symbol.entry) Hashtbl.t list;  (** innermost first *)
+  globals : (string, Symbol.entry) Hashtbl.t;
+  params : (string, Symbol.entry) Hashtbl.t;
+}
+
+let create ~globals ~params = { blocks = [ Hashtbl.create 16 ]; globals; params }
+
+let push t = t.blocks <- Hashtbl.create 16 :: t.blocks
+
+let pop t =
+  match t.blocks with
+  | [] | [ _ ] -> invalid_arg "Scope.pop: cannot pop function-level block"
+  | _ :: tl -> t.blocks <- tl
+
+let add_local t name (ty : Ast.ctype) loc =
+  match t.blocks with
+  | [] -> invalid_arg "Scope.add_local: no block"
+  | b :: _ -> Hashtbl.replace b name { Symbol.ty; origin = Symbol.Local; loc }
+
+(** Look a name up through blocks, then params, then globals.  Locals found
+    in an outer block come back with origin [Enclosing]. *)
+let lookup t name : Symbol.entry option =
+  let rec go innermost = function
+    | [] -> (
+      match Hashtbl.find_opt t.params name with
+      | Some e -> Some e
+      | None -> Hashtbl.find_opt t.globals name)
+    | b :: rest -> (
+      match Hashtbl.find_opt b name with
+      | Some e ->
+        if innermost then Some e else Some { e with origin = Symbol.Enclosing }
+      | None -> go false rest)
+  in
+  go true t.blocks
+
+(** Is [name] a local (any block) of the current function? *)
+let is_function_local t name =
+  List.exists (fun b -> Hashtbl.mem b name) t.blocks
+
+let in_current_block t name =
+  match t.blocks with [] -> false | b :: _ -> Hashtbl.mem b name

@@ -1,0 +1,33 @@
+(** Symbol information shared by the type checker and the purity pass. *)
+
+open Cfront
+
+(** Where a name was introduced.  The purity checker's core question is
+    whether a store can reach memory from outside the function scope, so the
+    origin of every identifier matters. *)
+type origin =
+  | Local  (** declared in the current function body *)
+  | Param  (** function parameter *)
+  | Global  (** file-scope variable *)
+  | Enclosing  (** declared in an enclosing block of the same function *)
+
+type entry = { ty : Ast.ctype; origin : origin; loc : Support.Loc.t }
+
+type func_sig = {
+  fs_name : string;
+  fs_ret : Ast.ctype;
+  fs_pure : bool;
+  fs_params : Ast.param list;
+  fs_defined : bool;
+  fs_loc : Support.Loc.t;
+}
+
+let sig_of_func (f : Ast.func) =
+  {
+    fs_name = f.f_name;
+    fs_ret = f.f_ret;
+    fs_pure = f.f_pure;
+    fs_params = f.f_params;
+    fs_defined = f.f_body <> None;
+    fs_loc = f.f_loc;
+  }

@@ -1,0 +1,291 @@
+(** Type checking for the C subset.
+
+    Deliberately permissive where C is permissive (implicit arithmetic
+    conversions, void*-to-T* assignment, 0-as-null-pointer), strict where
+    the later passes need guarantees: every identifier is declared, every
+    call resolves, lvalues are real lvalues.  Purity-qualifier enforcement
+    is NOT done here — that is the purity pass (paper §3.2). *)
+
+open Cfront
+open Support
+
+type ctx = {
+  env : Env.t;
+  reporter : Diag.reporter;
+  mutable current_ret : Ast.ctype;
+}
+
+let arith_rank = function
+  | Ast.Char -> 1
+  | Ast.Int -> 2
+  | Ast.Float -> 3
+  | Ast.Double -> 4
+  | _ -> 0
+
+let promote a b = if arith_rank a >= arith_rank b then a else b
+
+let is_zero_literal (e : Ast.expr) = match e.edesc with Ast.IntLit 0 -> true | _ -> false
+
+(* Can [src] be assigned to [dst] without an explicit cast? *)
+let assignable ~(dst : Ast.ctype) ~(src : Ast.ctype) ~(src_expr : Ast.expr option) =
+  match (dst, src) with
+  | a, b when Ast.is_arith a && Ast.is_arith b -> true
+  | Ast.Ptr _, Ast.Ptr { elt = Ast.Void; _ } | Ast.Ptr { elt = Ast.Void; _ }, Ast.Ptr _ ->
+    true
+  | Ast.Ptr _, Ast.Int -> (
+    match src_expr with Some e -> is_zero_literal e | None -> false)
+  | Ast.Ptr _, (Ast.Ptr _ | Ast.Array _) | Ast.Array _, Ast.Ptr _ ->
+    Ast.type_compatible dst src
+  | Ast.Struct a, Ast.Struct b -> a = b
+  | a, b -> Ast.type_equal a b
+
+let rec is_lvalue (e : Ast.expr) =
+  match e.edesc with
+  | Ast.Ident _ | Ast.Index _ | Ast.Deref _ | Ast.Member _ | Ast.Arrow _ -> true
+  | Ast.Cast (_, inner) -> is_lvalue inner
+  | _ -> false
+
+(* Array-to-pointer decay in rvalue contexts. *)
+let decay = function Ast.Array (elt, _) -> Ast.ptr elt | ty -> ty
+
+let rec infer ctx scope (e : Ast.expr) : Ast.ctype =
+  let err fmt =
+    Fmt.kstr
+      (fun m ->
+        Diag.error ctx.reporter ~loc:e.eloc ~code:"type" "%s" m;
+        Ast.Int (* recovery type *))
+      fmt
+  in
+  match e.edesc with
+  | Ast.IntLit _ -> Ast.Int
+  | Ast.FloatLit (_, single) -> if single then Ast.Float else Ast.Double
+  | Ast.CharLit _ -> Ast.Char
+  | Ast.StrLit _ -> Ast.ptr Ast.Char ~const:true
+  | Ast.Ident x -> (
+    match Scope.lookup scope x with
+    | Some entry -> Env.resolve ctx.env entry.ty
+    | None -> err "undeclared identifier %s" x)
+  | Ast.Binop (op, a, b) -> (
+    let ta = decay (infer ctx scope a) and tb = decay (infer ctx scope b) in
+    match op with
+    | Ast.Add | Ast.Sub -> (
+      match (ta, tb) with
+      | ta, tb when Ast.is_arith ta && Ast.is_arith tb -> promote ta tb
+      | (Ast.Ptr _ as p), t when Ast.is_arith t -> p
+      | t, (Ast.Ptr _ as p) when Ast.is_arith t && op = Ast.Add -> p
+      | Ast.Ptr _, Ast.Ptr _ when op = Ast.Sub -> Ast.Int
+      | _ -> err "invalid operands to %s" (Ast_printer.binop_str op))
+    | Ast.Mul | Ast.Div ->
+      if Ast.is_arith ta && Ast.is_arith tb then promote ta tb
+      else err "invalid operands to %s" (Ast_printer.binop_str op)
+    | Ast.Mod | Ast.BAnd | Ast.BOr | Ast.BXor | Ast.Shl | Ast.Shr ->
+      if arith_rank ta <= 2 && arith_rank tb <= 2 && arith_rank ta > 0 && arith_rank tb > 0
+      then Ast.Int
+      else err "integer operands required for %s" (Ast_printer.binop_str op)
+    | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+      let ok =
+        (Ast.is_arith ta && Ast.is_arith tb)
+        || (Ast.is_pointer ta && Ast.is_pointer tb)
+        || (Ast.is_pointer ta && is_zero_literal b)
+        || (Ast.is_pointer tb && is_zero_literal a)
+      in
+      if ok then Ast.Int else err "invalid comparison operands"
+    | Ast.LAnd | Ast.LOr -> Ast.Int)
+  | Ast.Unop (op, a) -> (
+    let ta = decay (infer ctx scope a) in
+    match op with
+    | Ast.Neg -> if Ast.is_arith ta then ta else err "negation of non-arithmetic value"
+    | Ast.LNot -> Ast.Int
+    | Ast.BNot ->
+      if arith_rank ta > 0 && arith_rank ta <= 2 then Ast.Int
+      else err "bitwise not of non-integer value")
+  | Ast.Assign (op, lhs, rhs) -> (
+    if not (is_lvalue lhs) then ignore (err "assignment target is not an lvalue");
+    let tl = infer ctx scope lhs in
+    let tr = decay (infer ctx scope rhs) in
+    match op with
+    | Ast.OpAssign ->
+      if not (assignable ~dst:(decay tl) ~src:tr ~src_expr:(Some rhs)) then
+        ignore
+          (err "cannot assign %s to %s"
+             (Ast_printer.type_to_string tr)
+             (Ast_printer.type_to_string tl));
+      tl
+    | Ast.OpAddAssign | Ast.OpSubAssign ->
+      (match (decay tl, tr) with
+      | tl', tr' when Ast.is_arith tl' && Ast.is_arith tr' -> ()
+      | Ast.Ptr _, t when Ast.is_arith t -> ()
+      | _ -> ignore (err "invalid compound assignment operands"));
+      tl
+    | Ast.OpMulAssign | Ast.OpDivAssign | Ast.OpModAssign ->
+      if not (Ast.is_arith (decay tl) && Ast.is_arith tr) then
+        ignore (err "invalid compound assignment operands");
+      tl)
+  | Ast.Call (fname, args) -> (
+    let targs = List.map (fun a -> decay (infer ctx scope a)) args in
+    match Env.find_func ctx.env fname with
+    | Some fs ->
+      let nformal = List.length fs.fs_params in
+      if List.length args <> nformal then
+        ignore
+          (err "function %s expects %d arguments, got %d" fname nformal
+             (List.length args))
+      else
+        List.iteri
+          (fun i (p : Ast.param) ->
+            let src = List.nth targs i in
+            let dst = decay (Env.resolve ctx.env p.p_type) in
+            if not (assignable ~dst ~src ~src_expr:(Some (List.nth args i))) then
+              ignore
+                (err "argument %d of %s: cannot pass %s as %s" (i + 1) fname
+                   (Ast_printer.type_to_string src)
+                   (Ast_printer.type_to_string dst)))
+          fs.fs_params;
+      Env.resolve ctx.env fs.fs_ret
+    | None -> (
+      match Builtins.find fname with
+      | Some b ->
+        let nformal = List.length b.params in
+        if List.length args < nformal || ((not b.varargs) && List.length args > nformal)
+        then ignore (err "wrong number of arguments to %s" fname);
+        b.ret
+      | None -> err "call to undeclared function %s" fname))
+  | Ast.Index (a, i) -> (
+    let ta = infer ctx scope a in
+    let ti = decay (infer ctx scope i) in
+    if not (Ast.is_arith ti) then ignore (err "array subscript is not an integer");
+    match decay ta with
+    | Ast.Ptr p -> Env.resolve ctx.env p.elt
+    | _ -> err "subscripted value is not an array or pointer")
+  | Ast.Deref a -> (
+    match decay (infer ctx scope a) with
+    | Ast.Ptr p -> Env.resolve ctx.env p.elt
+    | _ -> err "dereferencing a non-pointer")
+  | Ast.AddrOf a ->
+    if not (is_lvalue a) then ignore (err "address of a non-lvalue");
+    Ast.ptr (infer ctx scope a)
+  | Ast.Member (a, fld) -> (
+    match infer ctx scope a with
+    | Ast.Struct s -> (
+      match Env.field_type ctx.env s fld with
+      | Some ty -> Env.resolve ctx.env ty
+      | None -> err "struct %s has no field %s" s fld)
+    | _ -> err "member access on a non-struct value")
+  | Ast.Arrow (a, fld) -> (
+    match decay (infer ctx scope a) with
+    | Ast.Ptr { elt = Ast.Struct s; _ } -> (
+      match Env.field_type ctx.env s fld with
+      | Some ty -> Env.resolve ctx.env ty
+      | None -> err "struct %s has no field %s" s fld)
+    | _ -> err "-> applied to a non-struct-pointer value")
+  | Ast.Cast (ty, a) ->
+    ignore (infer ctx scope a);
+    Env.resolve ctx.env ty
+  | Ast.Cond (c, t, f) ->
+    ignore (infer ctx scope c);
+    let tt = decay (infer ctx scope t) and tf = decay (infer ctx scope f) in
+    if Ast.is_arith tt && Ast.is_arith tf then promote tt tf
+    else if Ast.type_compatible tt tf then tt
+    else err "mismatched branches of ?:"
+  | Ast.SizeofType _ | Ast.SizeofExpr _ -> Ast.Int
+  | Ast.IncDec { arg; _ } -> (
+    if not (is_lvalue arg) then ignore (err "++/-- target is not an lvalue");
+    match decay (infer ctx scope arg) with
+    | t when Ast.is_arith t -> t
+    | Ast.Ptr _ as t -> t
+    | _ -> err "++/-- on a non-scalar value")
+  | Ast.Comma (a, b) ->
+    ignore (infer ctx scope a);
+    infer ctx scope b
+
+(* ------------------------------------------------------------------ *)
+(* Statement checking *)
+
+let check_decl ctx scope (d : Ast.decl) =
+  if Scope.in_current_block scope d.d_name then
+    Diag.error ctx.reporter ~loc:d.d_loc ~code:"sema.shadow"
+      "redeclaration of %s in the same block" d.d_name;
+  let ty = Env.resolve ctx.env d.d_type in
+  (match d.d_init with
+  | Some init ->
+    let ti = decay (infer ctx scope init) in
+    if not (assignable ~dst:(decay ty) ~src:ti ~src_expr:(Some init)) then
+      Diag.error ctx.reporter ~loc:d.d_loc ~code:"type"
+        "cannot initialize %s (of type %s) from %s" d.d_name
+        (Ast_printer.type_to_string ty)
+        (Ast_printer.type_to_string ti)
+  | None -> ());
+  Scope.add_local scope d.d_name ty d.d_loc
+
+let rec check_stmt ctx scope (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.SExpr e -> ignore (infer ctx scope e)
+  | Ast.SDecl d -> check_decl ctx scope d
+  | Ast.SIf (c, t, e) ->
+    ignore (infer ctx scope c);
+    check_block ctx scope t;
+    Option.iter (check_block ctx scope) e
+  | Ast.SWhile (c, b) ->
+    ignore (infer ctx scope c);
+    check_block ctx scope b
+  | Ast.SDoWhile (b, c) ->
+    check_block ctx scope b;
+    ignore (infer ctx scope c)
+  | Ast.SFor (init, cond, step, b) ->
+    Scope.push scope;
+    (match init with
+    | Some (Ast.FInitDecl d) -> check_decl ctx scope d
+    | Some (Ast.FInitExpr e) -> ignore (infer ctx scope e)
+    | None -> ());
+    Option.iter (fun e -> ignore (infer ctx scope e)) cond;
+    Option.iter (fun e -> ignore (infer ctx scope e)) step;
+    check_block ctx scope b;
+    Scope.pop scope
+  | Ast.SReturn eo -> (
+    match (eo, ctx.current_ret) with
+    | None, Ast.Void -> ()
+    | None, _ ->
+      Diag.error ctx.reporter ~loc:s.sloc ~code:"type.return"
+        "non-void function must return a value"
+    | Some e, ret ->
+      let te = decay (infer ctx scope e) in
+      if ret = Ast.Void then
+        Diag.error ctx.reporter ~loc:s.sloc ~code:"type.return"
+          "void function returns a value"
+      else if not (assignable ~dst:(decay ret) ~src:te ~src_expr:(Some e)) then
+        Diag.error ctx.reporter ~loc:s.sloc ~code:"type.return"
+          "returning %s from a function returning %s"
+          (Ast_printer.type_to_string te)
+          (Ast_printer.type_to_string ret))
+  | Ast.SBlock ss ->
+    Scope.push scope;
+    List.iter (check_stmt ctx scope) ss;
+    Scope.pop scope
+  | Ast.SBreak | Ast.SContinue | Ast.SPragma _ -> ()
+
+(* A statement used as a loop/if body shares our handling of SBlock. *)
+and check_block ctx scope s = check_stmt ctx scope s
+
+let scope_for_function env (f : Ast.func) =
+  let params = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Ast.param) ->
+      Hashtbl.replace params p.p_name
+        { Symbol.ty = Env.resolve env p.p_type; origin = Symbol.Param; loc = p.p_loc })
+    f.f_params;
+  Scope.create ~globals:env.Env.globals ~params
+
+let check_func ctx (f : Ast.func) =
+  match f.f_body with
+  | None -> ()
+  | Some body ->
+    ctx.current_ret <- Env.resolve ctx.env f.f_ret;
+    let scope = scope_for_function ctx.env f in
+    List.iter (check_stmt ctx scope) body
+
+(** Check a whole program; returns the environment for later passes. *)
+let check_program ?(reporter = Diag.create_reporter ()) (program : Ast.program) : Env.t =
+  let env = Env.gather ~reporter program in
+  let ctx = { env; reporter; current_ret = Ast.Void } in
+  List.iter (function Ast.GFunc f -> check_func ctx f | _ -> ()) program;
+  env

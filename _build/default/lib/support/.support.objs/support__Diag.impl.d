@@ -1,0 +1,1 @@
+lib/support/diag.ml: Fmt List Loc

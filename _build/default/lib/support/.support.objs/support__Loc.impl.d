@@ -1,0 +1,1 @@
+lib/support/loc.ml: Fmt Int String

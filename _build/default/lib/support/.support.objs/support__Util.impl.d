@@ -1,0 +1,1 @@
+lib/support/util.ml: Array Float List String

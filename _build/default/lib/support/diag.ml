@@ -1,0 +1,52 @@
+(** Diagnostics: errors and warnings carrying a source location and a
+    machine-readable code, collected by the compiler passes.
+
+    Every pass reports through a [reporter] so tests can assert on the exact
+    error codes a listing must produce (e.g. the invalid lines of the paper's
+    Listing 2 and Listing 4). *)
+
+type severity = Error | Warning | Note
+
+type t = { severity : severity; code : string; loc : Loc.t; message : string }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let pp ppf d =
+  Fmt.pf ppf "%a: %s[%s]: %s" Loc.pp d.loc (severity_to_string d.severity)
+    d.code d.message
+
+let to_string d = Fmt.str "%a" pp d
+
+type reporter = { mutable diags : t list (* newest first *) }
+
+let create_reporter () = { diags = [] }
+
+let report r d = r.diags <- d :: r.diags
+
+let error r ?(loc = Loc.dummy) ~code fmt =
+  Fmt.kstr (fun message -> report r { severity = Error; code; loc; message }) fmt
+
+let warning r ?(loc = Loc.dummy) ~code fmt =
+  Fmt.kstr (fun message -> report r { severity = Warning; code; loc; message }) fmt
+
+let note r ?(loc = Loc.dummy) ~code fmt =
+  Fmt.kstr (fun message -> report r { severity = Note; code; loc; message }) fmt
+
+let diagnostics r = List.rev r.diags
+
+let errors r = List.filter (fun d -> d.severity = Error) (diagnostics r)
+
+let has_errors r = List.exists (fun d -> d.severity = Error) r.diags
+
+let error_codes r = List.map (fun d -> d.code) (errors r)
+
+(** Raised by passes that cannot continue past a malformed input. *)
+exception Fatal of t
+
+let fatal ?(loc = Loc.dummy) ~code fmt =
+  Fmt.kstr
+    (fun message -> raise (Fatal { severity = Error; code; loc; message }))
+    fmt

@@ -1,0 +1,22 @@
+(** Source locations for the C front end and diagnostics. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+}
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let pp ppf { file; line; col } = Fmt.pf ppf "%s:%d:%d" file line col
+
+let to_string t = Fmt.str "%a" pp t
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0

@@ -1,0 +1,63 @@
+(** Small shared helpers used across the compiler and simulator. *)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (a / gcd a b * b)
+
+(** [range a b] is [a; a+1; ...; b-1]. *)
+let range a b = List.init (max 0 (b - a)) (fun i -> a + i)
+
+let sum_list = List.fold_left ( + ) 0
+
+let sum_floats = List.fold_left ( +. ) 0.0
+
+let float_array_sum a = Array.fold_left ( +. ) 0.0 a
+
+let float_array_max a = Array.fold_left max neg_infinity a
+
+(** Index of the minimum element; [Not_found] on empty. *)
+let argmin_array cmp a =
+  if Array.length a = 0 then raise Not_found;
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if cmp a.(i) a.(!best) < 0 then best := i
+  done;
+  !best
+
+let string_contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  if nl = 0 then true
+  else
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+
+let split_lines s = String.split_on_char '\n' s
+
+(** Round [x] to [d] decimal digits (for stable printed reports). *)
+let round_to x d =
+  let f = 10.0 ** float_of_int d in
+  Float.round (x *. f) /. f
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let rec drop n = function
+  | l when n <= 0 -> l
+  | [] -> []
+  | _ :: tl -> drop (n - 1) tl
+
+(** Tabulate a float matrix. *)
+let matrix_init rows cols f = Array.init rows (fun i -> Array.init cols (fun j -> f i j))
+
+let clamp ~lo ~hi x = max lo (min hi x)
+
+let clampf ~lo ~hi x = Float.max lo (Float.min hi x)
+
+(** Geometric mean of positive values. *)
+let geomean = function
+  | [] -> invalid_arg "geomean: empty"
+  | xs ->
+    let logs = List.map log xs in
+    exp (sum_floats logs /. float_of_int (List.length xs))

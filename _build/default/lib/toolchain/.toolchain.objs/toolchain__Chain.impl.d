@@ -1,0 +1,1 @@
+lib/toolchain/chain.ml: Cfront Cpp Diag Interp List Pluto Purity Sema Support

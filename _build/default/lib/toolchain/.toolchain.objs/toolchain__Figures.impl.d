@@ -1,0 +1,1 @@
+lib/toolchain/figures.ml: Chain Float Fmt Interp List Machine Pluto Workloads

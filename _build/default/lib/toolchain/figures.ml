@@ -1,0 +1,338 @@
+(** Reproduction of every evaluation figure (paper Figs. 3–11).
+
+    Each figure is a set of (variant, backend) series over the paper's core
+    counts 1..64.  A workload executes once per compiled variant on the
+    instrumented interpreter; the machine model then replays the profile at
+    each core count.  Problem sizes are scaled down from the paper's (the
+    interpreter runs on one host core); the per-figure shape checks live in
+    EXPERIMENTS.md and in the test suite. *)
+
+
+type scale = {
+  matmul_n : int;
+  heat_n : int;
+  heat_t : int;
+  sat_w : int;
+  sat_h : int;
+  sat_bands : int;
+  lama_rows : int;
+  lama_maxnnz : int;
+  lama_reps : int;
+}
+
+let default_scale =
+  {
+    matmul_n = Workloads.Matmul.default_n;
+    heat_n = Workloads.Heat.default_n;
+    heat_t = Workloads.Heat.default_t;
+    sat_w = Workloads.Satellite.default_w;
+    sat_h = Workloads.Satellite.default_h;
+    sat_bands = Workloads.Satellite.default_bands;
+    lama_rows = Workloads.Lama_app.default_rows;
+    lama_maxnnz = Workloads.Lama_app.default_maxnnz;
+    lama_reps = Workloads.Lama_app.default_reps;
+  }
+
+(** A small scale for tests. *)
+let test_scale =
+  {
+    matmul_n = 24;
+    heat_n = 32;
+    heat_t = 4;
+    sat_w = 16;
+    sat_h = 16;
+    sat_bands = 6;
+    lama_rows = 512;
+    lama_maxnnz = 16;
+    lama_reps = 2;
+  }
+
+let paper_cores = [ 1; 2; 4; 8; 16; 32; 64 ]
+
+type series = {
+  s_label : string;
+  s_points : (int * float) list;  (** (cores, seconds) or (cores, speedup) *)
+}
+
+type figure = {
+  f_id : string;
+  f_title : string;
+  f_unit : string;  (** "s" or "speedup" *)
+  f_baselines : (string * float) list;  (** e.g. sequential runtimes *)
+  f_series : series list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Variant plumbing *)
+
+let sweep profile backend =
+  List.map
+    (fun n -> (n, (Machine.Model.simulate ~backend ~n profile).Machine.Model.r_seconds))
+    paper_cores
+
+let seq_seconds profile backend =
+  (Machine.Model.simulate ~backend ~n:1 profile).Machine.Model.r_seconds
+
+(* PluTo variant configs *)
+let pluto_plain (c : Pluto.config) = { c with Pluto.tile = true; tile_sizes = [ 16 ] }
+
+let pluto_sica (c : Pluto.config) =
+  { c with Pluto.sica = true; sica_cache = Chain.scaled_sica_cache }
+
+let pure_default (c : Pluto.config) = c
+
+let pure_no_init (c : Pluto.config) = { c with Pluto.skip_malloc_loops = true }
+
+let pure_dynamic (c : Pluto.config) =
+  { c with Pluto.schedule_clause = Some "dynamic,1" }
+
+(* ------------------------------------------------------------------ *)
+(* Per-workload datasets: compile + execute each variant once. *)
+
+type dataset = {
+  d_name : string;
+  d_profiles : (string * Interp.Trace.profile) list;
+  d_checksums : (string * float) list;
+}
+
+let profile_of mode source = snd (Chain.run ~mode source)
+
+let checksum name profile =
+  match Workloads.Reference.checksum_of_output profile.Interp.Trace.output with
+  | Some c -> c
+  | None -> Fmt.failwith "variant %s printed no checksum" name
+
+let make_dataset name variants =
+  let d_profiles = List.map (fun (label, mode, src) -> (label, profile_of mode src)) variants in
+  let d_checksums = List.map (fun (l, p) -> (l, checksum l p)) d_profiles in
+  { d_name = name; d_profiles; d_checksums }
+
+let matmul_dataset scale =
+  let n = scale.matmul_n in
+  let pure_src = Workloads.Matmul.pure_source ~n () in
+  let inl_src = Workloads.Matmul.inlined_source ~n () in
+  make_dataset "matmul"
+    [
+      ("seq", Chain.Sequential, pure_src);
+      ("pluto", Chain.Plain_pluto pluto_plain, inl_src);
+      ("pluto-sica", Chain.Plain_pluto pluto_sica, inl_src);
+      ("pure", Chain.Pure_chain pure_default, pure_src);
+      ("pure-noinit", Chain.Pure_chain pure_default, Workloads.Matmul.pure_noinit_source ~n ());
+    ]
+
+let heat_dataset scale =
+  let n = scale.heat_n and t = scale.heat_t in
+  let pure_src = Workloads.Heat.pure_source ~n ~t () in
+  let inl_src = Workloads.Heat.inlined_source ~n ~t () in
+  make_dataset "heat"
+    [
+      ("seq", Chain.Sequential, pure_src);
+      ("pluto-sica", Chain.Plain_pluto pluto_sica, inl_src);
+      ("pure", Chain.Pure_chain pure_default, pure_src);
+    ]
+
+let satellite_dataset scale =
+  let w = scale.sat_w and h = scale.sat_h and bands = scale.sat_bands in
+  let pure_src = Workloads.Satellite.pure_source ~w ~h ~bands () in
+  let man_src = Workloads.Satellite.manual_source ~w ~h ~bands () in
+  make_dataset "satellite"
+    [
+      ("seq", Chain.Sequential, pure_src);
+      ("pure", Chain.Pure_chain pure_default, pure_src);
+      ("manual-dyn", Chain.Manual_omp, man_src);
+    ]
+
+let lama_dataset scale =
+  let rows = scale.lama_rows and maxnnz = scale.lama_maxnnz and reps = scale.lama_reps in
+  let pure_src = Workloads.Lama_app.pure_source ~rows ~maxnnz ~reps () in
+  let man_src = Workloads.Lama_app.manual_source ~rows ~maxnnz ~reps () in
+  make_dataset "lama"
+    [
+      ("seq", Chain.Sequential, pure_src);
+      ("pure", Chain.Pure_chain pure_default, pure_src);
+      ("manual-static", Chain.Manual_omp, man_src);
+    ]
+
+let profile d label = List.assoc label d.d_profiles
+
+(** All variants of a dataset must agree bit-for-bit on the checksum. *)
+let checksums_agree d =
+  match d.d_checksums with
+  | [] -> true
+  | (_, first) :: rest -> List.for_all (fun (_, c) -> Float.equal c first) rest
+
+(* ------------------------------------------------------------------ *)
+(* Figures *)
+
+let gcc = Machine.Config.gcc
+
+let icc = Machine.Config.icc
+
+(** Fig. 3: matmul execution time, GCC backend. *)
+let fig3 ?(scale = default_scale) ?matmul () =
+  let d = match matmul with Some d -> d | None -> matmul_dataset scale in
+  let seq = seq_seconds (profile d "seq") gcc in
+  {
+    f_id = "fig3";
+    f_title = "Matrix-matrix multiplication, execution time (GCC)";
+    f_unit = "s";
+    f_baselines = [ ("seq-gcc", seq) ];
+    f_series =
+      [
+        { s_label = "PluTo (gcc)"; s_points = sweep (profile d "pluto") gcc };
+        { s_label = "pure (gcc)"; s_points = sweep (profile d "pure") gcc };
+        { s_label = "pure w/o init par (gcc)"; s_points = sweep (profile d "pure-noinit") gcc };
+      ];
+  }
+
+(** Fig. 4: matmul execution time, ICC backend (plus MKL). *)
+let fig4 ?(scale = default_scale) ?matmul () =
+  let d = match matmul with Some d -> d | None -> matmul_dataset scale in
+  let seq_icc = seq_seconds (profile d "seq") icc in
+  let mkl =
+    List.map
+      (fun n -> (n, Machine.Mkl_model.gemm_seconds ~n ~size:scale.matmul_n ()))
+      paper_cores
+  in
+  {
+    f_id = "fig4";
+    f_title = "Matrix-matrix multiplication, execution time (ICC)";
+    f_unit = "s";
+    f_baselines = [ ("seq-icc", seq_icc) ];
+    f_series =
+      [
+        { s_label = "PluTo (icc)"; s_points = sweep (profile d "pluto") icc };
+        { s_label = "PluTo-SICA (icc)"; s_points = sweep (profile d "pluto-sica") icc };
+        { s_label = "pure (icc)"; s_points = sweep (profile d "pure") icc };
+        { s_label = "MKL (icc)"; s_points = mkl };
+      ];
+  }
+
+let to_speedup ~seq series =
+  {
+    series with
+    s_points = List.map (fun (n, s) -> (n, Machine.Model.speedup ~seq_seconds:seq ~par_seconds:s)) series.s_points;
+  }
+
+(** Fig. 5: matmul speedups over the sequential GCC version. *)
+let fig5 ?(scale = default_scale) ?matmul () =
+  let d = match matmul with Some d -> d | None -> matmul_dataset scale in
+  let seq = seq_seconds (profile d "seq") gcc in
+  let f3 = fig3 ~scale ~matmul:d () and f4 = fig4 ~scale ~matmul:d () in
+  {
+    f_id = "fig5";
+    f_title = "Matrix-matrix multiplication, speedup vs sequential GCC";
+    f_unit = "speedup";
+    f_baselines = [ ("seq-gcc", seq) ];
+    f_series = List.map (to_speedup ~seq) (f3.f_series @ f4.f_series);
+  }
+
+(** Fig. 6: heat distribution execution time. *)
+let fig6 ?(scale = default_scale) ?heat () =
+  let d = match heat with Some d -> d | None -> heat_dataset scale in
+  let seq_gcc = seq_seconds (profile d "seq") gcc in
+  let seq_icc = seq_seconds (profile d "seq") icc in
+  {
+    f_id = "fig6";
+    f_title = "Heat distribution, execution time";
+    f_unit = "s";
+    f_baselines = [ ("seq-gcc", seq_gcc); ("seq-icc", seq_icc) ];
+    f_series =
+      [
+        { s_label = "PluTo-SICA (gcc)"; s_points = sweep (profile d "pluto-sica") gcc };
+        { s_label = "PluTo-SICA (icc)"; s_points = sweep (profile d "pluto-sica") icc };
+        { s_label = "pure (gcc)"; s_points = sweep (profile d "pure") gcc };
+        { s_label = "pure (icc)"; s_points = sweep (profile d "pure") icc };
+      ];
+  }
+
+(** Fig. 7: heat distribution speedups. *)
+let fig7 ?(scale = default_scale) ?heat () =
+  let d = match heat with Some d -> d | None -> heat_dataset scale in
+  let f6 = fig6 ~scale ~heat:d () in
+  let seq = List.assoc "seq-gcc" f6.f_baselines in
+  {
+    f_id = "fig7";
+    f_title = "Heat distribution, speedup vs sequential GCC";
+    f_unit = "speedup";
+    f_baselines = f6.f_baselines;
+    f_series = List.map (to_speedup ~seq) f6.f_series;
+  }
+
+(** Fig. 8: satellite image filter execution time. *)
+let fig8 ?(scale = default_scale) ?satellite () =
+  let d = match satellite with Some d -> d | None -> satellite_dataset scale in
+  let seq_gcc = seq_seconds (profile d "seq") gcc in
+  {
+    f_id = "fig8";
+    f_title = "Satellite image filter, execution time";
+    f_unit = "s";
+    f_baselines = [ ("seq-gcc", seq_gcc) ];
+    f_series =
+      [
+        { s_label = "auto (gcc)"; s_points = sweep (profile d "pure") gcc };
+        { s_label = "auto (icc)"; s_points = sweep (profile d "pure") icc };
+        { s_label = "manual dyn (gcc)"; s_points = sweep (profile d "manual-dyn") gcc };
+        { s_label = "manual dyn (icc)"; s_points = sweep (profile d "manual-dyn") icc };
+      ];
+  }
+
+(** Fig. 9: satellite speedups. *)
+let fig9 ?(scale = default_scale) ?satellite () =
+  let d = match satellite with Some d -> d | None -> satellite_dataset scale in
+  let f8 = fig8 ~scale ~satellite:d () in
+  let seq = List.assoc "seq-gcc" f8.f_baselines in
+  {
+    f_id = "fig9";
+    f_title = "Satellite image filter, speedup vs sequential GCC";
+    f_unit = "speedup";
+    f_baselines = f8.f_baselines;
+    f_series = List.map (to_speedup ~seq) f8.f_series;
+  }
+
+(** Fig. 10: LAMA ELL SpMV execution time. *)
+let fig10 ?(scale = default_scale) ?lama () =
+  let d = match lama with Some d -> d | None -> lama_dataset scale in
+  let seq_gcc = seq_seconds (profile d "seq") gcc in
+  {
+    f_id = "fig10";
+    f_title = "LAMA ELL SpMV, execution time";
+    f_unit = "s";
+    f_baselines = [ ("seq-gcc", seq_gcc) ];
+    f_series =
+      [
+        { s_label = "auto (gcc)"; s_points = sweep (profile d "pure") gcc };
+        { s_label = "auto (icc)"; s_points = sweep (profile d "pure") icc };
+        { s_label = "manual (gcc)"; s_points = sweep (profile d "manual-static") gcc };
+        { s_label = "manual (icc)"; s_points = sweep (profile d "manual-static") icc };
+      ];
+  }
+
+(** Fig. 11: LAMA speedups. *)
+let fig11 ?(scale = default_scale) ?lama () =
+  let d = match lama with Some d -> d | None -> lama_dataset scale in
+  let f10 = fig10 ~scale ~lama:d () in
+  let seq = List.assoc "seq-gcc" f10.f_baselines in
+  {
+    f_id = "fig11";
+    f_title = "LAMA ELL SpMV, speedup vs sequential GCC";
+    f_unit = "speedup";
+    f_baselines = f10.f_baselines;
+    f_series = List.map (to_speedup ~seq) f10.f_series;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let render_figure ppf (f : figure) =
+  Fmt.pf ppf "== %s: %s ==@." f.f_id f.f_title;
+  List.iter (fun (name, v) -> Fmt.pf ppf "  baseline %-28s %12.4f %s@." name v f.f_unit) f.f_baselines;
+  Fmt.pf ppf "  %-28s" "cores";
+  List.iter (fun n -> Fmt.pf ppf " %10d" n) paper_cores;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "  %-28s" s.s_label;
+      List.iter (fun (_, v) -> Fmt.pf ppf " %10.4f" v) s.s_points;
+      Fmt.pf ppf "@.")
+    f.f_series

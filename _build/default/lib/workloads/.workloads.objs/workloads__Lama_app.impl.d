@@ -1,0 +1,1 @@
+lib/workloads/lama_app.ml: Printf

@@ -1,0 +1,1 @@
+lib/workloads/matmul.ml: Printf

@@ -1,0 +1,1 @@
+lib/workloads/reference.ml: Array Float List String

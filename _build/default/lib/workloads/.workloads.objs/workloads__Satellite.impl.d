@@ -1,0 +1,1 @@
+lib/workloads/satellite.ml: Printf

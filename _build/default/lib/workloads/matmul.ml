@@ -1,0 +1,163 @@
+(** Application 1 (paper §4.1): matrix–matrix multiplication.
+
+    The [pure] variant is the paper's Listing 7 shape: the hot loop calls a
+    pure [dot] that itself calls a pure [mult], so a polyhedral tool alone
+    cannot touch it.  The [inlined] variant is what the paper had to prepare
+    by hand for the PluTo / PluTo-SICA baselines: the function code inlined
+    into a plain triple nest inside manual [#pragma scop] markers — note the
+    initialization loops are {e not} inside markers there, which is exactly
+    the asymmetry behind Fig. 3's surprise (the pure chain parallelizes the
+    [malloc] initialization loop because [malloc] is whitelisted). *)
+
+let default_n = 192
+
+let header n =
+  Printf.sprintf "#include <stdio.h>\n#include <stdlib.h>\n#include <math.h>\n#define N %d\n" n
+
+(** Listing-7-style source with [pure] annotations. *)
+let pure_source ?(n = default_n) () =
+  header n
+  ^ {|
+float **A, **Bt, **C;
+
+pure float mult(float a, float b) {
+  return a * b;
+}
+
+pure float dot(pure float* a, pure float* b, int size) {
+  float res = 0.0f;
+  for (int i = 0; i < size; ++i)
+    res += mult(a[i], b[i]);
+  return res;
+}
+
+pure float fillA(int i, int j) {
+  return 0.5f + sqrtf((i * 13 + j * 7) % 101 * 0.01f);
+}
+
+pure float fillB(int i, int j) {
+  return 0.25f + sqrtf((i * 11 + j * 17) % 97 * 0.01f);
+}
+
+int main() {
+  A = (float**) malloc(N * sizeof(float*));
+  Bt = (float**) malloc(N * sizeof(float*));
+  C = (float**) malloc(N * sizeof(float*));
+  for (int i = 0; i < N; i++) {
+    A[i] = (float*) malloc(N * sizeof(float));
+    Bt[i] = (float*) malloc(N * sizeof(float));
+    C[i] = (float*) malloc(N * sizeof(float));
+  }
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      A[i][j] = fillA(i, j);
+      Bt[i][j] = fillB(i, j);
+      C[i][j] = 0.0f;
+    }
+  }
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      C[i][j] = dot((pure float*)A[i], (pure float*)Bt[j], N);
+  float sum = 0.0f;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      sum += C[i][j] * ((i + j) % 7 + 1);
+  printf("checksum %.3f\n", sum);
+  return 0;
+}
+|}
+
+(** Manually inlined source with hand-placed scop markers, as required to
+    run PluTo / PluTo-SICA without the pure stage. *)
+let inlined_source ?(n = default_n) () =
+  header n
+  ^ {|
+float **A, **Bt, **C;
+
+int main() {
+  A = (float**) malloc(N * sizeof(float*));
+  Bt = (float**) malloc(N * sizeof(float*));
+  C = (float**) malloc(N * sizeof(float*));
+  for (int i = 0; i < N; i++) {
+    A[i] = (float*) malloc(N * sizeof(float));
+    Bt[i] = (float*) malloc(N * sizeof(float));
+    C[i] = (float*) malloc(N * sizeof(float));
+  }
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      A[i][j] = 0.5f + sqrtf((i * 13 + j * 7) % 101 * 0.01f);
+      Bt[i][j] = 0.25f + sqrtf((i * 11 + j * 17) % 97 * 0.01f);
+      C[i][j] = 0.0f;
+    }
+  }
+#pragma scop
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      for (int k = 0; k < N; k++)
+        C[i][j] = C[i][j] + A[i][k] * Bt[j][k];
+#pragma endscop
+  float sum = 0.0f;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      sum += C[i][j] * ((i + j) % 7 + 1);
+  printf("checksum %.3f\n", sum);
+  return 0;
+}
+|}
+
+(** The "initialization manually excluded" variant behind the black bars of
+    Fig. 3: allocation and filling are merged into one imperfect nest, which
+    is not a static control part, so the chain (correctly) refuses to
+    parallelize it — reproducing the manual exclusion. *)
+let pure_noinit_source ?(n = default_n) () =
+  header n
+  ^ {|
+float **A, **Bt, **C;
+
+pure float mult(float a, float b) {
+  return a * b;
+}
+
+pure float dot(pure float* a, pure float* b, int size) {
+  float res = 0.0f;
+  for (int i = 0; i < size; ++i)
+    res += mult(a[i], b[i]);
+  return res;
+}
+
+pure float fillA(int i, int j) {
+  return 0.5f + sqrtf((i * 13 + j * 7) % 101 * 0.01f);
+}
+
+pure float fillB(int i, int j) {
+  return 0.25f + sqrtf((i * 11 + j * 17) % 97 * 0.01f);
+}
+
+int main() {
+  A = (float**) malloc(N * sizeof(float*));
+  Bt = (float**) malloc(N * sizeof(float*));
+  C = (float**) malloc(N * sizeof(float*));
+  for (int i = 0; i < N; i++) {
+    A[i] = (float*) malloc(N * sizeof(float));
+    Bt[i] = (float*) malloc(N * sizeof(float));
+    C[i] = (float*) malloc(N * sizeof(float));
+    for (int j = 0; j < N; j++) {
+      A[i][j] = fillA(i, j);
+      Bt[i][j] = fillB(i, j);
+      C[i][j] = 0.0f;
+    }
+  }
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      C[i][j] = dot((pure float*)A[i], (pure float*)Bt[j], N);
+  float sum = 0.0f;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      sum += C[i][j] * ((i + j) % 7 + 1);
+  printf("checksum %.3f\n", sum);
+  return 0;
+}
+|}
+
+(** Flop count of the kernel (for the analytic MKL baseline). *)
+let kernel_flops n = 2.0 *. (float_of_int n ** 3.0)

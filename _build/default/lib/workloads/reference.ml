@@ -1,0 +1,175 @@
+(** Independent OCaml reference implementations of the four workloads.
+
+    Each mirrors the arithmetic of its C source exactly (same formulas, same
+    accumulation order) and returns the same checksum, so tests can validate
+    the whole compiler chain — parser, purity stage, polyhedral transform,
+    interpreter — against code that never went near it. *)
+
+(* ------------------------------------------------------------------ *)
+(* Matmul *)
+
+let matmul_checksum n =
+  let fill_a i j = 0.5 +. sqrt (float_of_int (((i * 13) + (j * 7)) mod 101) *. 0.01) in
+  let fill_b i j = 0.25 +. sqrt (float_of_int (((i * 11) + (j * 17)) mod 97) *. 0.01) in
+  let a = Array.init n (fun i -> Array.init n (fun j -> fill_a i j)) in
+  let bt = Array.init n (fun i -> Array.init n (fun j -> fill_b i j)) in
+  let sum = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (a.(i).(k) *. bt.(j).(k))
+      done;
+      sum := !sum +. (!acc *. float_of_int (((i + j) mod 7) + 1))
+    done
+  done;
+  !sum
+
+(* ------------------------------------------------------------------ *)
+(* Heat *)
+
+let heat_checksum n t =
+  let a = Array.make (n * n) 0.0 and b = Array.make (n * n) 0.0 in
+  a.((n / 2) * n) <- 100.0;
+  for _step = 1 to t do
+    for i = 1 to n - 2 do
+      for j = 1 to n - 2 do
+        b.((i * n) + j) <-
+          0.25
+          *. (a.(((i - 1) * n) + j) +. a.(((i + 1) * n) + j) +. a.((i * n) + j - 1)
+             +. a.((i * n) + j + 1))
+      done
+    done;
+    for i = 1 to n - 2 do
+      for j = 1 to n - 2 do
+        a.((i * n) + j) <- b.((i * n) + j)
+      done
+    done;
+    a.((n / 2) * n) <- 100.0
+  done;
+  let sum = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      sum := !sum +. (a.((i * n) + j) *. float_of_int ((((i * 3) + j) mod 5) + 1))
+    done
+  done;
+  !sum
+
+(* ------------------------------------------------------------------ *)
+(* Satellite *)
+
+(* direct port of the C retrieval *)
+let satellite_checksum w h bands =
+  let radiance x y b =
+    (0.08 +. (0.8 *. float_of_int y /. float_of_int h))
+    +. (0.015 *. float_of_int (((x * 7) + (b * 3)) mod 11))
+  in
+  let cube =
+    Array.init (w * h * bands) (fun idx ->
+        let b = idx mod bands in
+        let pix = idx / bands in
+        let x = pix mod w and y = pix / w in
+        radiance x y b)
+  in
+  let retrieve x y =
+    let idx = (y * w) + x in
+    let sum = ref 0.0 in
+    for b = 0 to bands - 1 do
+      let r = cube.((idx * bands) + b) in
+      sum := !sum +. (r /. (1.0 +. (0.5 *. r)))
+    done;
+    let target = !sum /. float_of_int bands in
+    let tau = ref 0.05 and err = ref 1.0 and iter = ref 0 in
+    while !err > 0.0005 && !iter < 400 do
+      let model = (!tau *. (1.0 -. (0.35 *. !tau))) +. 0.05 in
+      err := Float.abs (model -. target);
+      if model < target then tau := !tau +. (0.22 *. (target -. model))
+      else tau := !tau -. (0.22 *. (model -. target));
+      incr iter
+    done;
+    !tau
+  in
+  let sum = ref 0.0 in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      sum := !sum +. (retrieve x y *. float_of_int (((x + y) mod 3) + 1))
+    done
+  done;
+  !sum
+
+(* Per-row retrieval iteration counts (to validate the imbalance premise). *)
+let satellite_row_iters w h bands =
+  let radiance x y b =
+    (0.08 +. (0.8 *. float_of_int y /. float_of_int h))
+    +. (0.015 *. float_of_int (((x * 7) + (b * 3)) mod 11))
+  in
+  Array.init h (fun y ->
+      let total = ref 0 in
+      for x = 0 to w - 1 do
+        let sum = ref 0.0 in
+        for b = 0 to bands - 1 do
+          let r = radiance x y b in
+          sum := !sum +. (r /. (1.0 +. (0.5 *. r)))
+        done;
+        let target = !sum /. float_of_int bands in
+        let tau = ref 0.05 and err = ref 1.0 and iter = ref 0 in
+        while !err > 0.0005 && !iter < 400 do
+          let model = (!tau *. (1.0 -. (0.35 *. !tau))) +. 0.05 in
+          err := Float.abs (model -. target);
+          if model < target then tau := !tau +. (0.22 *. (target -. model))
+          else tau := !tau -. (0.22 *. (model -. target));
+          incr iter
+        done;
+        total := !total + !iter
+      done;
+      !total)
+
+(* ------------------------------------------------------------------ *)
+(* LAMA *)
+
+let lama_hash2 a b =
+  let h = (a * 2654435) + (b * 40503) + 12289 in
+  let h = h lxor (h / 8192) in
+  abs h
+
+let lama_row_nnz maxnnz r rows =
+  let h = lama_hash2 r 17 in
+  let base = 8 + (h mod 9) in
+  if r > rows - (rows / 8) then maxnnz - (h mod 3) else base
+
+let lama_col r k rows =
+  let h = lama_hash2 ((r * 31) + k) k in
+  let c = r - 16 + (h mod 33) in
+  let c = if c < 0 then -c else c in
+  if c >= rows then (2 * rows) - 2 - c else c
+
+let lama_val r k = (0.001 *. float_of_int (lama_hash2 r (k + 101) mod 2000)) -. 1.0
+
+let lama_checksum rows maxnnz reps =
+  let nnz = Array.init rows (fun r -> lama_row_nnz maxnnz r rows) in
+  let x = Array.init rows (fun r -> 1.0 +. (float_of_int (r mod 17) *. 0.125)) in
+  let y = Array.make rows 0.0 in
+  for _rep = 1 to reps do
+    for r = 0 to rows - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to nnz.(r) - 1 do
+        acc := !acc +. (lama_val r k *. x.(lama_col r k rows))
+      done;
+      y.(r) <- !acc
+    done
+  done;
+  let sum = ref 0.0 in
+  for r = 0 to rows - 1 do
+    sum := !sum +. (y.(r) *. float_of_int ((r mod 13) + 1))
+  done;
+  !sum
+
+(** Parse the "checksum X" line an interpreted workload prints. *)
+let checksum_of_output output =
+  let lines = String.split_on_char '\n' output in
+  List.find_map
+    (fun line ->
+      match String.split_on_char ' ' (String.trim line) with
+      | [ "checksum"; v ] -> float_of_string_opt v
+      | _ -> None)
+    lines

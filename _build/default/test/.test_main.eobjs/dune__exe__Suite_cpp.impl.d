@@ -1,0 +1,1 @@
+test/suite_cpp.ml: Alcotest Cpp String Support

@@ -1,0 +1,1 @@
+test/suite_interp.ml: Alcotest Array Cfront Interp

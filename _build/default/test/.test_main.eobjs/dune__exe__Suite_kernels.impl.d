@@ -1,0 +1,1 @@
+test/suite_kernels.ml: Alcotest Interp List Pluto Printf Support Toolchain Workloads

@@ -1,0 +1,1 @@
+test/suite_lama.ml: Alcotest Array Float Hashtbl Lama List QCheck QCheck_alcotest

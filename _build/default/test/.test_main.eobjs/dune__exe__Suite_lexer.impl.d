@@ -1,0 +1,1 @@
+test/suite_lexer.ml: Alcotest Cfront Lexer List QCheck QCheck_alcotest String Support Token

@@ -1,0 +1,1 @@
+test/suite_machine.ml: Alcotest Array Float Gen Interp List Machine QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_metadata.ml: Alcotest Cfront Cpp Fn_metadata Interp List Pluto Purity Toolchain Workloads

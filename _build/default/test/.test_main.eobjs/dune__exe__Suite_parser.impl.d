@@ -1,0 +1,1 @@
+test/suite_parser.ml: Alcotest Ast Ast_printer Cfront Cpp List Parser Printf QCheck QCheck_alcotest Workloads

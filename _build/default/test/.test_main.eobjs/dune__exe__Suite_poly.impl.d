@@ -1,0 +1,1 @@
+test/suite_poly.ml: Affine Alcotest Array Cfront Codegen Dependence Interp Linalg List Pluto Poly Polyhedron QCheck QCheck_alcotest Scop_ir String Toolchain Transform

@@ -1,0 +1,1 @@
+test/suite_purity.ml: Alcotest Ast Ast_printer Cfront Cpp Interp List Parser Purity String Support Workloads

@@ -1,0 +1,1 @@
+test/suite_runtime.ml: Alcotest Array Fun Lama List Mutex QCheck QCheck_alcotest Runtime

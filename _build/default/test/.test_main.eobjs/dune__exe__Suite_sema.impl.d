@@ -1,0 +1,1 @@
+test/suite_sema.ml: Alcotest Cfront Sema Support

@@ -1,0 +1,1 @@
+test/suite_support.ml: Alcotest Float Gen List QCheck QCheck_alcotest Support

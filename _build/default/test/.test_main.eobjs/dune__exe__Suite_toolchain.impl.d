@@ -1,0 +1,1 @@
+test/suite_toolchain.ml: Alcotest Array Cfront Cpp Float Interp Lazy List Machine Pluto Printf Purity Support Toolchain Workloads

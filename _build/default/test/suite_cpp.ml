@@ -1,0 +1,116 @@
+(** Preprocessor tests: PC-PrePro include stripping/reinsertion and the
+    GCC-E stand-in (defines, conditionals, quoted includes). *)
+
+let test_strip_system_includes () =
+  let src = "#include <stdio.h>\n#include <stdlib.h>\nint x;\n#include \"mine.h\"\n" in
+  let s = Cpp.Pc_prepro.strip src in
+  Alcotest.(check (list string)) "includes recorded" [ "<stdio.h>"; "<stdlib.h>" ]
+    s.Cpp.Pc_prepro.system_includes;
+  Alcotest.(check bool) "quoted include kept" true
+    (Support.Util.string_contains ~needle:"mine.h" s.Cpp.Pc_prepro.source);
+  Alcotest.(check bool) "system includes gone" false
+    (Support.Util.string_contains ~needle:"stdio" s.Cpp.Pc_prepro.source)
+
+let test_reinsert () =
+  let src = "#include <math.h>\nint x;\n" in
+  let s = Cpp.Pc_prepro.strip src in
+  let out = Cpp.Pc_prepro.reinsert s "int y;\n" in
+  Alcotest.(check string) "reinserted at top" "#include <math.h>\nint y;\n" out
+
+let run ?headers src =
+  let env = Cpp.Preproc.create ?headers () in
+  Cpp.Preproc.run env src
+
+let test_object_define () =
+  let out = run "#define N 42\nint a[N];\nint b = N + N;\n" in
+  Alcotest.(check bool) "expanded" true (Support.Util.string_contains ~needle:"int a[42];" out);
+  Alcotest.(check bool) "expanded twice" true
+    (Support.Util.string_contains ~needle:"42 + 42" out)
+
+let test_define_word_boundary () =
+  let out = run "#define N 42\nint NN = N;\nint xN = 1;\n" in
+  Alcotest.(check bool) "NN untouched" true (Support.Util.string_contains ~needle:"int NN = 42;" out);
+  Alcotest.(check bool) "xN untouched" true (Support.Util.string_contains ~needle:"int xN = 1;" out)
+
+let test_function_macro () =
+  let out = run "#define SQ(x) ((x) * (x))\nint y = SQ(a + 1);\n" in
+  Alcotest.(check bool) "substituted" true
+    (Support.Util.string_contains ~needle:"((a + 1) * (a + 1))" out)
+
+let test_nested_macro () =
+  let out = run "#define A 10\n#define B (A + 1)\nint y = B;\n" in
+  Alcotest.(check bool) "recursive expansion" true
+    (Support.Util.string_contains ~needle:"(10 + 1)" out)
+
+let test_undef () =
+  let out = run "#define N 1\n#undef N\nint x = N;\n" in
+  Alcotest.(check bool) "undefined stays" true (Support.Util.string_contains ~needle:"int x = N;" out)
+
+let test_conditionals () =
+  let out = run "#define FEATURE 1\n#ifdef FEATURE\nint yes;\n#else\nint no;\n#endif\n" in
+  Alcotest.(check bool) "then kept" true (Support.Util.string_contains ~needle:"int yes;" out);
+  Alcotest.(check bool) "else dropped" false (Support.Util.string_contains ~needle:"int no;" out);
+  let out2 = run "#ifndef MISSING\nint yes;\n#endif\n" in
+  Alcotest.(check bool) "ifndef" true (Support.Util.string_contains ~needle:"int yes;" out2)
+
+let test_quoted_include () =
+  let out =
+    run ~headers:[ ("util.h", "#define HELPER 5\nint helper;\n") ]
+      "#include \"util.h\"\nint x = HELPER;\n"
+  in
+  Alcotest.(check bool) "content included" true
+    (Support.Util.string_contains ~needle:"int helper;" out);
+  Alcotest.(check bool) "header macro visible" true
+    (Support.Util.string_contains ~needle:"int x = 5;" out)
+
+let test_missing_include_errors () =
+  let reporter = Support.Diag.create_reporter () in
+  let env = Cpp.Preproc.create ~reporter () in
+  let _ = Cpp.Preproc.run env "#include \"nope.h\"\n" in
+  Alcotest.(check (list string)) "error code" [ "cpp.include" ]
+    (Support.Diag.error_codes reporter)
+
+let test_unterminated_if_errors () =
+  let reporter = Support.Diag.create_reporter () in
+  let env = Cpp.Preproc.create ~reporter () in
+  let _ = Cpp.Preproc.run env "#ifdef X\nint a;\n" in
+  Alcotest.(check (list string)) "error code" [ "cpp.unterminated" ]
+    (Support.Diag.error_codes reporter)
+
+let test_macro_not_in_strings () =
+  let out = run "#define N 9\nchar* s = \"N bottles\";\n" in
+  Alcotest.(check bool) "strings opaque" true
+    (Support.Util.string_contains ~needle:"\"N bottles\"" out)
+
+let test_pragma_passthrough () =
+  let out = run "#pragma omp parallel for\nint x;\n" in
+  Alcotest.(check bool) "pragma kept" true
+    (Support.Util.string_contains ~needle:"#pragma omp parallel for" out)
+
+let test_full_chain_include_roundtrip () =
+  (* the whole PC-PrePro -> cpp -> PC-PosPro include discipline *)
+  let src = "#include <stdio.h>\n#define N 4\nint a[N];\n" in
+  let stripped = Cpp.Pc_prepro.strip src in
+  let out = run stripped.Cpp.Pc_prepro.source in
+  let final = Cpp.Pc_prepro.reinsert stripped out in
+  Alcotest.(check bool) "include back on top" true
+    (String.length final > 18 && String.sub final 0 18 = "#include <stdio.h>");
+  Alcotest.(check bool) "macro expanded" true (Support.Util.string_contains ~needle:"int a[4];" final)
+
+let suite =
+  [
+    Alcotest.test_case "strip system includes" `Quick test_strip_system_includes;
+    Alcotest.test_case "reinsert" `Quick test_reinsert;
+    Alcotest.test_case "object define" `Quick test_object_define;
+    Alcotest.test_case "define word boundary" `Quick test_define_word_boundary;
+    Alcotest.test_case "function macro" `Quick test_function_macro;
+    Alcotest.test_case "nested macro" `Quick test_nested_macro;
+    Alcotest.test_case "undef" `Quick test_undef;
+    Alcotest.test_case "conditionals" `Quick test_conditionals;
+    Alcotest.test_case "quoted include" `Quick test_quoted_include;
+    Alcotest.test_case "missing include errors" `Quick test_missing_include_errors;
+    Alcotest.test_case "unterminated #if errors" `Quick test_unterminated_if_errors;
+    Alcotest.test_case "macros skip strings" `Quick test_macro_not_in_strings;
+    Alcotest.test_case "pragma passthrough" `Quick test_pragma_passthrough;
+    Alcotest.test_case "include round-trip" `Quick test_full_chain_include_roundtrip;
+  ]

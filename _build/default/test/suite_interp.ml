@@ -1,0 +1,322 @@
+(** Interpreter tests: C semantics, memory, control flow, cost counters,
+    cache behaviour, and OpenMP trace recording. *)
+
+let run src = Interp.Exec.run (Cfront.Parser.program_of_string src)
+
+let output src = (run src).Interp.Trace.output
+
+let check_output name expected src = Alcotest.(check string) name expected (output src)
+
+let test_arithmetic () =
+  check_output "int arith" "7 1 12 2 1\n"
+    "int main() { printf(\"%d %d %d %d %d\\n\", 3 + 4, 7 % 2, 3 * 4, 7 / 3, 7 > 3); return 0; }\n"
+
+let test_float_arith () =
+  check_output "float arith" "3.500000 0.500000 1.000000\n"
+    "int main() { double x = 1.5; printf(\"%f %f %f\\n\", x + 2.0, x - 1.0, x / 1.5); return 0; }\n"
+
+let test_int_division_truncates () =
+  check_output "C division" "-2 2 1\n"
+    "int main() { printf(\"%d %d %d\\n\", -5 / 2, 5 / 2, 5 % 2); return 0; }\n"
+
+let test_mixed_promotion () =
+  check_output "int to float" "2.500000\n"
+    "int main() { int a = 5; double b = a / 2.0; printf(\"%f\\n\", b); return 0; }\n"
+
+let test_control_flow () =
+  check_output "if/while/for" "10 55\n"
+    "int main() {\n\
+    \  int i = 0; int s = 0;\n\
+    \  while (i < 10) i++;\n\
+    \  for (int k = 1; k <= 10; k++) s += k;\n\
+    \  if (i == 10) printf(\"%d %d\\n\", i, s); else printf(\"no\\n\");\n\
+    \  return 0;\n\
+     }\n"
+
+let test_break_continue () =
+  check_output "break continue" "16\n"
+    "int main() {\n\
+    \  int s = 0;\n\
+    \  for (int i = 0; i < 100; i++) {\n\
+    \    if (i % 2 == 0) continue;\n\
+    \    if (i > 7) break;\n\
+    \    s += i;\n\
+    \  }\n\
+    \  printf(\"%d\\n\", s);\n\
+    \  return 0;\n\
+     }\n"
+
+let test_recursion () =
+  check_output "fibonacci" "55\n"
+    "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\n\
+     int main() { printf(\"%d\\n\", fib(10)); return 0; }\n"
+
+let test_pointers_and_malloc () =
+  check_output "heap round trip" "30\n"
+    "int main() {\n\
+    \  int* p = (int*) malloc(4 * sizeof(int));\n\
+    \  p[0] = 10; p[1] = 20;\n\
+    \  int* q = p + 1;\n\
+    \  int r = *p + *q;\n\
+    \  free(p);\n\
+    \  printf(\"%d\\n\", r);\n\
+    \  return 0;\n\
+     }\n"
+
+let test_2d_global_array () =
+  check_output "2-D indexing" "9.000000\n"
+    "double G[4][4];\n\
+     int main() {\n\
+    \  for (int i = 0; i < 4; i++)\n\
+    \    for (int j = 0; j < 4; j++)\n\
+    \      G[i][j] = i * j;\n\
+    \  printf(\"%f\\n\", G[3][3]);\n\
+    \  return 0;\n\
+     }\n"
+
+let test_ptr_to_ptr () =
+  check_output "float** rows" "5.500000\n"
+    "float** A;\n\
+     int main() {\n\
+    \  A = (float**) malloc(2 * sizeof(float*));\n\
+    \  A[0] = (float*) malloc(2 * sizeof(float));\n\
+    \  A[1] = (float*) malloc(2 * sizeof(float));\n\
+    \  A[1][1] = 5.5f;\n\
+    \  printf(\"%f\\n\", A[1][1]);\n\
+    \  return 0;\n\
+     }\n"
+
+let test_local_array_per_call () =
+  check_output "fresh locals" "1 1\n"
+    "int f() { int a[4]; a[0] = a[0] + 1; return a[0]; }\n\
+     int main() { printf(\"%d %d\\n\", f(), f()); return 0; }\n"
+
+let test_math_builtins () =
+  check_output "math" "2.000000 1.000000 0.000000\n"
+    "int main() { printf(\"%f %f %f\\n\", sqrt(4.0), cos(0.0), fabs(0.0)); return 0; }\n"
+
+let test_ternary_comma () =
+  check_output "ternary" "5 1\n"
+    "int main() { int x = 3 > 2 ? 5 : 9; int y = (x = x, x > 4); printf(\"%d %d\\n\", x, y); return 0; }\n"
+
+let test_global_init () =
+  check_output "global initializers" "42 2.500000\n"
+    "int g = 42;\ndouble h = 2.5;\nint main() { printf(\"%d %f\\n\", g, h); return 0; }\n"
+
+let test_exit_code () =
+  let p = run "int main() { return 3; }\n" in
+  Alcotest.(check int) "return code" 3 p.Interp.Trace.return_code
+
+let test_out_of_bounds_faults () =
+  Alcotest.(check bool) "fault raised" true
+    (try
+       ignore (run "int main() { int* p = (int*) malloc(2 * sizeof(int)); p[5] = 1; return 0; }\n");
+       false
+     with Interp.Exec.Runtime_error _ -> true)
+
+let test_division_by_zero_faults () =
+  Alcotest.(check bool) "fault raised" true
+    (try
+       ignore (run "int main() { int z = 0; return 5 / z; }\n");
+       false
+     with Interp.Exec.Runtime_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Cost counters *)
+
+let total src = Interp.Trace.total_cost (run src)
+
+let test_flop_counting () =
+  let c =
+    total
+      "int main() {\n\
+      \  double s = 0.0;\n\
+      \  for (int i = 0; i < 100; i++) s = s + i * 0.5;\n\
+      \  return 0;\n\
+       }\n"
+  in
+  Alcotest.(check int) "100 adds" 100 c.Interp.Cost.float_adds;
+  Alcotest.(check int) "100 muls" 100 c.Interp.Cost.float_muls
+
+let test_call_counting () =
+  let c =
+    total
+      "int id(int x) { return x; }\n\
+       int main() { int s = 0; for (int i = 0; i < 7; i++) s += id(i); return s; }\n"
+  in
+  Alcotest.(check int) "7 calls" 7 c.Interp.Cost.calls
+
+let test_malloc_bytes () =
+  let c = total "int main() { double* p = (double*) malloc(100 * sizeof(double)); return 0; }\n" in
+  Alcotest.(check int) "800 bytes" 800 c.Interp.Cost.malloc_bytes
+
+let test_register_promotion () =
+  (* reading the same cell at the same site repeatedly is register-resident:
+     only the first access counts *)
+  let c =
+    total
+      "double a[4];\n\
+       int main() {\n\
+      \  double s = 0.0;\n\
+      \  for (int i = 0; i < 1000; i++) s = s + a[0];\n\
+      \  return (int) s;\n\
+       }\n"
+  in
+  Alcotest.(check bool) "loads collapsed" true (c.Interp.Cost.loads < 10)
+
+let test_streaming_not_collapsed () =
+  let c =
+    total
+      "double a[1000];\n\
+       int main() {\n\
+      \  double s = 0.0;\n\
+      \  for (int i = 0; i < 1000; i++) s = s + a[i];\n\
+      \  return (int) s;\n\
+       }\n"
+  in
+  Alcotest.(check bool) "streaming loads counted" true (c.Interp.Cost.loads >= 1000)
+
+let test_cache_misses_scale () =
+  (* streaming 64 KiB through a 4 KiB L1 must miss roughly once per line *)
+  let src =
+    "double a[8192];\n\
+     int main() {\n\
+    \  double s = 0.0;\n\
+    \  for (int i = 0; i < 8192; i++) s = s + a[i];\n\
+    \  return (int) s;\n\
+     }\n"
+  in
+  let p = Interp.Exec.run ~l1_bytes:4096 ~l2_bytes:32768 (Cfront.Parser.program_of_string src) in
+  let c = Interp.Trace.total_cost p in
+  let lines = 8192 * 8 / 64 in
+  Alcotest.(check bool) "about one miss per line" true
+    (c.Interp.Cost.l1_misses >= lines - 8 && c.Interp.Cost.l1_misses <= lines + 64)
+
+let test_cache_reuse_hits () =
+  let src =
+    "double a[64];\n\
+     int main() {\n\
+    \  double s = 0.0;\n\
+    \  for (int r = 0; r < 100; r++)\n\
+    \    for (int i = 0; i < 64; i++) s = s + a[i] * r;\n\
+    \  return (int) s;\n\
+     }\n"
+  in
+  let p = Interp.Exec.run ~l1_bytes:4096 ~l2_bytes:32768 (Cfront.Parser.program_of_string src) in
+  let c = Interp.Trace.total_cost p in
+  Alcotest.(check bool) "fits in L1: few misses" true (c.Interp.Cost.l1_misses < 32)
+
+(* ------------------------------------------------------------------ *)
+(* OpenMP trace recording *)
+
+let test_omp_segments () =
+  let p =
+    run
+      "double a[50];\n\
+       int main() {\n\
+       #pragma omp parallel for\n\
+      \  for (int i = 0; i < 50; i++) a[i] = i * 2.0;\n\
+      \  double s = 0.0;\n\
+      \  for (int i = 0; i < 50; i++) s += a[i];\n\
+      \  printf(\"%f\\n\", s);\n\
+      \  return 0;\n\
+       }\n"
+  in
+  Alcotest.(check int) "one parallel segment" 1 (Interp.Trace.n_parallel_segments p);
+  Alcotest.(check int) "fifty iterations" 50 (Interp.Trace.n_parallel_iterations p);
+  Alcotest.(check string) "result" "2450.000000\n" p.Interp.Trace.output
+
+let test_omp_schedule_parsing () =
+  Alcotest.(check bool) "dynamic,1" true
+    (Interp.Trace.sched_of_pragma "omp parallel for schedule(dynamic,1)" = Interp.Trace.Dynamic 1);
+  Alcotest.(check bool) "dynamic default" true
+    (Interp.Trace.sched_of_pragma "omp parallel for schedule(dynamic)" = Interp.Trace.Dynamic 1);
+  Alcotest.(check bool) "static chunk" true
+    (Interp.Trace.sched_of_pragma "omp parallel for schedule(static,4)" = Interp.Trace.Static_chunk 4);
+  Alcotest.(check bool) "default static" true
+    (Interp.Trace.sched_of_pragma "omp parallel for private(j)" = Interp.Trace.Static)
+
+let test_omp_nested_sequentialized () =
+  let p =
+    run
+      "double a[10];\n\
+       int main() {\n\
+       #pragma omp parallel for\n\
+      \  for (int i = 0; i < 10; i++) {\n\
+       #pragma omp parallel for\n\
+      \    for (int j = 0; j < 3; j++) a[i] = a[i] + j;\n\
+      \  }\n\
+      \  printf(\"%f\\n\", a[9]);\n\
+      \  return 0;\n\
+       }\n"
+  in
+  Alcotest.(check int) "only the outer records" 1 (Interp.Trace.n_parallel_segments p);
+  Alcotest.(check string) "value right" "3.000000\n" p.Interp.Trace.output
+
+let test_omp_per_instance_segments () =
+  let p =
+    run
+      "double a[10];\n\
+       int main() {\n\
+      \  for (int t = 0; t < 4; t++) {\n\
+       #pragma omp parallel for\n\
+      \    for (int i = 0; i < 10; i++) a[i] = a[i] + 1.0;\n\
+      \  }\n\
+      \  printf(\"%f\\n\", a[5]);\n\
+      \  return 0;\n\
+       }\n"
+  in
+  Alcotest.(check int) "one segment per time step" 4 (Interp.Trace.n_parallel_segments p)
+
+let test_iteration_costs_vary () =
+  (* a triangular loop: later iterations are heavier *)
+  let p =
+    run
+      "double a[40];\n\
+       int main() {\n\
+       #pragma omp parallel for\n\
+      \  for (int i = 0; i < 40; i++)\n\
+      \    for (int j = 0; j <= i; j++) a[i] = a[i] + 0.5;\n\
+      \  printf(\"%f\\n\", a[39]);\n\
+      \  return 0;\n\
+       }\n"
+  in
+  match p.Interp.Trace.segments with
+  | [ _; Interp.Trace.Par { iters; _ }; _ ] ->
+    let first = Interp.Cost.total_ops iters.(0) in
+    let last = Interp.Cost.total_ops iters.(39) in
+    Alcotest.(check bool) "last heavier than first" true (last > 5 * first)
+  | _ -> Alcotest.fail "unexpected segment structure"
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "float arithmetic" `Quick test_float_arith;
+    Alcotest.test_case "integer division" `Quick test_int_division_truncates;
+    Alcotest.test_case "promotion" `Quick test_mixed_promotion;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "break/continue" `Quick test_break_continue;
+    Alcotest.test_case "recursion" `Quick test_recursion;
+    Alcotest.test_case "pointers and malloc" `Quick test_pointers_and_malloc;
+    Alcotest.test_case "2-D global arrays" `Quick test_2d_global_array;
+    Alcotest.test_case "pointer-to-pointer" `Quick test_ptr_to_ptr;
+    Alcotest.test_case "local arrays fresh per call" `Quick test_local_array_per_call;
+    Alcotest.test_case "math builtins" `Quick test_math_builtins;
+    Alcotest.test_case "ternary and comma" `Quick test_ternary_comma;
+    Alcotest.test_case "global initializers" `Quick test_global_init;
+    Alcotest.test_case "exit code" `Quick test_exit_code;
+    Alcotest.test_case "bounds fault" `Quick test_out_of_bounds_faults;
+    Alcotest.test_case "division by zero fault" `Quick test_division_by_zero_faults;
+    Alcotest.test_case "flop counting" `Quick test_flop_counting;
+    Alcotest.test_case "call counting" `Quick test_call_counting;
+    Alcotest.test_case "malloc bytes" `Quick test_malloc_bytes;
+    Alcotest.test_case "register promotion" `Quick test_register_promotion;
+    Alcotest.test_case "streaming loads counted" `Quick test_streaming_not_collapsed;
+    Alcotest.test_case "cache misses on streaming" `Quick test_cache_misses_scale;
+    Alcotest.test_case "cache hits on reuse" `Quick test_cache_reuse_hits;
+    Alcotest.test_case "omp segment recording" `Quick test_omp_segments;
+    Alcotest.test_case "omp schedule parsing" `Quick test_omp_schedule_parsing;
+    Alcotest.test_case "nested omp sequentialized" `Quick test_omp_nested_sequentialized;
+    Alcotest.test_case "per-instance segments" `Quick test_omp_per_instance_segments;
+    Alcotest.test_case "iteration costs vary" `Quick test_iteration_costs_vary;
+  ]

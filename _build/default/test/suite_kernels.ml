@@ -1,0 +1,108 @@
+(** Kernel-gallery tests: each classic polyhedral kernel must survive the
+    chain with a bit-identical result, and the engine must find the
+    transform properties the kernel is known to have (reduction loops kept
+    inner, wavefronts skewed, time loops sequentialized, ...). *)
+
+let mode_for (k : Workloads.Kernels.kernel) =
+  (* kernels without manual scop markers go through the full pure chain *)
+  if Support.Util.string_contains ~needle:"#pragma scop" k.Workloads.Kernels.k_source
+  then Toolchain.Chain.Plain_pluto (fun c -> c)
+  else Toolchain.Chain.Pure_chain (fun c -> c)
+
+let compile_and_run (k : Workloads.Kernels.kernel) =
+  let seq = snd (Toolchain.Chain.run ~mode:Toolchain.Chain.Sequential k.k_source) in
+  let compiled = Toolchain.Chain.compile ~mode:(mode_for k) k.k_source in
+  let par = Toolchain.Chain.execute compiled in
+  (seq, compiled, par)
+
+let first_unit (compiled : Toolchain.Chain.compiled) =
+  List.find_map
+    (fun (o : Pluto.outcome) ->
+      match o.Pluto.o_result with
+      | Pluto.Transformed { t_units = u :: _ } -> Some u
+      | _ -> None)
+    compiled.Toolchain.Chain.c_outcomes
+
+(* the unit belonging to the kernel proper: the one with the most loop
+   levels (setup loops are shallower or equal; prefer non-identity) *)
+let kernel_unit (compiled : Toolchain.Chain.compiled) =
+  let units =
+    List.concat_map
+      (fun (o : Pluto.outcome) ->
+        match o.Pluto.o_result with
+        | Pluto.Transformed { t_units } -> t_units
+        | Pluto.Rejected _ -> [])
+      compiled.Toolchain.Chain.c_outcomes
+  in
+  match
+    List.sort
+      (fun (a : Pluto.unit_info) b ->
+        compare
+          (List.length b.Pluto.ui_iters, not b.Pluto.ui_identity)
+          (List.length a.Pluto.ui_iters, not a.Pluto.ui_identity))
+      units
+  with
+  | u :: _ -> Some u
+  | [] -> None
+
+let test_kernel (k : Workloads.Kernels.kernel) () =
+  let seq, compiled, par = compile_and_run k in
+  (* 1. bit-identical output *)
+  Alcotest.(check string)
+    (k.k_name ^ ": output preserved")
+    seq.Interp.Trace.output par.Interp.Trace.output;
+  (* 2. expected transform properties *)
+  let e = k.Workloads.Kernels.k_expect in
+  (match kernel_unit compiled with
+  | None -> Alcotest.fail (k.k_name ^ ": no unit transformed")
+  | Some u ->
+    if e.Workloads.Kernels.x_parallel then
+      Alcotest.(check bool)
+        (k.k_name ^ ": some loop parallel")
+        true
+        (u.Pluto.ui_parallel <> None);
+    if e.Workloads.Kernels.x_outer_parallel then
+      Alcotest.(check (option int)) (k.k_name ^ ": outermost parallel") (Some 1)
+        u.Pluto.ui_parallel
+    else
+      Alcotest.(check bool)
+        (k.k_name ^ ": outermost NOT parallel")
+        true
+        (u.Pluto.ui_parallel <> Some 1);
+    Alcotest.(check bool)
+      (k.k_name ^ Printf.sprintf ": identity=%b" e.Workloads.Kernels.x_identity)
+      e.Workloads.Kernels.x_identity u.Pluto.ui_identity);
+  (* 3. if anything is parallel, the profile has parallel segments *)
+  if e.Workloads.Kernels.x_parallel then
+    Alcotest.(check bool)
+      (k.k_name ^ ": parallel segments recorded")
+      true
+      (Interp.Trace.n_parallel_segments par > 0)
+
+(* every kernel also survives tiling without changing its output *)
+let test_kernel_tiled (k : Workloads.Kernels.kernel) () =
+  let seq = snd (Toolchain.Chain.run ~mode:Toolchain.Chain.Sequential k.k_source) in
+  let mode =
+    match mode_for k with
+    | Toolchain.Chain.Plain_pluto _ ->
+      Toolchain.Chain.Plain_pluto
+        (fun c -> { c with Pluto.tile = true; tile_sizes = [ 7 ] })
+    | _ ->
+      Toolchain.Chain.Pure_chain
+        (fun c -> { c with Pluto.tile = true; tile_sizes = [ 7 ] })
+  in
+  let par = snd (Toolchain.Chain.run ~mode k.k_source) in
+  Alcotest.(check string)
+    (k.k_name ^ ": tiled output preserved")
+    seq.Interp.Trace.output par.Interp.Trace.output
+
+let _ = first_unit
+
+let suite =
+  List.concat_map
+    (fun (k : Workloads.Kernels.kernel) ->
+      [
+        Alcotest.test_case k.k_name `Quick (test_kernel k);
+        Alcotest.test_case (k.k_name ^ " tiled") `Quick (test_kernel_tiled k);
+      ])
+    Workloads.Kernels.all

@@ -1,0 +1,119 @@
+(** Sparse-matrix substrate tests: ELL/CSR formats, conversions, SpMV
+    against dense references, generator properties. *)
+
+let small_rows =
+  [| [ (0, 2.0); (1, -1.0) ]; [ (0, -1.0); (1, 2.0); (2, -1.0) ]; [ (1, -1.0); (2, 2.0) ] |]
+
+let test_ell_basics () =
+  let m = Lama.Ell.of_rows ~cols:3 small_rows in
+  Alcotest.(check int) "rows" 3 (Lama.Ell.rows m);
+  Alcotest.(check int) "cols" 3 (Lama.Ell.cols m);
+  Alcotest.(check int) "nnz" 7 (Lama.Ell.nnz m);
+  Alcotest.(check int) "max nnz" 3 m.Lama.Ell.max_nnz;
+  Alcotest.(check int) "padding" 2 (Lama.Ell.padding m);
+  Alcotest.(check (float 1e-12)) "get" 2.0 (Lama.Ell.get m 1 1);
+  Alcotest.(check (float 1e-12)) "get zero" 0.0 (Lama.Ell.get m 0 2)
+
+let test_ell_to_dense () =
+  let m = Lama.Ell.of_rows ~cols:3 small_rows in
+  let d = Lama.Ell.to_dense m in
+  Alcotest.(check (float 1e-12)) "corner" 2.0 d.(0).(0);
+  Alcotest.(check (float 1e-12)) "off" (-1.0) d.(2).(1)
+
+let test_csr_roundtrip () =
+  let csr = Lama.Csr.of_rows ~cols:3 small_rows in
+  Alcotest.(check int) "csr nnz" 7 (Lama.Csr.nnz csr);
+  let back = Lama.Csr.to_rows csr in
+  Alcotest.(check bool) "rows preserved" true (back = small_rows)
+
+let test_ell_csr_conversions () =
+  let ell = Lama.Ell.of_rows ~cols:3 small_rows in
+  let csr = Lama.Csr.of_ell ell in
+  let ell2 = Lama.Csr.to_ell csr in
+  Alcotest.(check bool) "dense equal" true (Lama.Ell.to_dense ell = Lama.Ell.to_dense ell2)
+
+let test_spmv_small () =
+  let m = Lama.Ell.of_rows ~cols:3 small_rows in
+  let y = Lama.Spmv.ell_seq m [| 1.0; 2.0; 3.0 |] in
+  (* tridiagonal [2 -1; -1 2 -1; -1 2] times [1;2;3] = [0; 0; 4] *)
+  Alcotest.(check (float 1e-12)) "y0" 0.0 y.(0);
+  Alcotest.(check (float 1e-12)) "y1" 0.0 y.(1);
+  Alcotest.(check (float 1e-12)) "y2" 4.0 y.(2)
+
+let rows_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 20 in
+    let* rows =
+      array_size (return n)
+        (list_size (int_range 0 6)
+           (pair (int_range 0 (n - 1)) (float_range (-2.0) 2.0)))
+    in
+    (* dedup columns within each row *)
+    let dedup l =
+      let seen = Hashtbl.create 8 in
+      List.filter
+        (fun (c, _) ->
+          if Hashtbl.mem seen c then false
+          else begin
+            Hashtbl.replace seen c ();
+            true
+          end)
+        l
+    in
+    return (n, Array.map dedup rows))
+
+let qcheck_spmv_vs_dense =
+  QCheck.Test.make ~name:"ELL spmv = dense reference" ~count:200 (QCheck.make rows_gen)
+    (fun (n, rows) ->
+      let ell = Lama.Ell.of_rows ~cols:n rows in
+      let x = Array.init n (fun i -> float_of_int (i + 1) *. 0.5) in
+      let y1 = Lama.Spmv.ell_seq ell x in
+      let y2 = Lama.Spmv.dense (Lama.Ell.to_dense ell) x in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) y1 y2)
+
+let qcheck_csr_vs_ell =
+  QCheck.Test.make ~name:"CSR spmv = ELL spmv" ~count:200 (QCheck.make rows_gen)
+    (fun (n, rows) ->
+      let ell = Lama.Ell.of_rows ~cols:n rows in
+      let csr = Lama.Csr.of_rows ~cols:n rows in
+      let x = Array.init n (fun i -> 1.0 +. float_of_int (i mod 3)) in
+      let y1 = Lama.Spmv.ell_seq ell x in
+      let y2 = Lama.Spmv.csr_seq csr x in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) y1 y2)
+
+let test_generator_properties () =
+  let spec = Lama.Matrix_gen.pwtk_like ~rows:512 () in
+  let m = Lama.Matrix_gen.generate_ell spec in
+  Alcotest.(check int) "rows" 512 (Lama.Ell.rows m);
+  let mn, mx, mean, pad = Lama.Matrix_gen.stats m in
+  Alcotest.(check bool) "diagonal present" true (mn >= 1);
+  Alcotest.(check bool) "long tail" true (float_of_int mx > 1.5 *. mean);
+  Alcotest.(check bool) "padding exists (the ELL cost)" true (pad > 0.05);
+  (* symmetric by construction *)
+  let d = Lama.Ell.to_dense m in
+  let sym = ref true in
+  for i = 0 to 511 do
+    for j = 0 to 511 do
+      if Float.abs (d.(i).(j) -. d.(j).(i)) > 1e-9 then sym := false
+    done
+  done;
+  Alcotest.(check bool) "symmetric" true !sym
+
+let test_generator_deterministic () =
+  let a = Lama.Matrix_gen.generate_ell (Lama.Matrix_gen.pwtk_like ~rows:128 ()) in
+  let b = Lama.Matrix_gen.generate_ell (Lama.Matrix_gen.pwtk_like ~rows:128 ()) in
+  Alcotest.(check bool) "same seed same matrix" true
+    (Lama.Ell.to_dense a = Lama.Ell.to_dense b)
+
+let suite =
+  [
+    Alcotest.test_case "ELL basics" `Quick test_ell_basics;
+    Alcotest.test_case "ELL to dense" `Quick test_ell_to_dense;
+    Alcotest.test_case "CSR round trip" `Quick test_csr_roundtrip;
+    Alcotest.test_case "ELL<->CSR conversions" `Quick test_ell_csr_conversions;
+    Alcotest.test_case "tridiagonal spmv" `Quick test_spmv_small;
+    QCheck_alcotest.to_alcotest qcheck_spmv_vs_dense;
+    QCheck_alcotest.to_alcotest qcheck_csr_vs_ell;
+    Alcotest.test_case "pwtk-like generator" `Quick test_generator_properties;
+    Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+  ]

@@ -1,0 +1,122 @@
+(** Lexer tests: tokens, literals, comments, pragmas, locations. *)
+
+open Cfront
+
+let toks src = List.map (fun s -> s.Token.tok) (Lexer.tokenize src)
+
+let check_toks name expected src = Alcotest.(check (list string)) name expected (List.map Token.to_string (toks src))
+
+let test_keywords () =
+  check_toks "keywords"
+    [ "pure"; "int"; "float"; "double"; "for"; "while"; "return"; "<eof>" ]
+    "pure int float double for while return"
+
+let test_identifiers () =
+  check_toks "identifiers" [ "foo"; "_bar"; "x9"; "pureX"; "<eof>" ] "foo _bar x9 pureX"
+
+let test_int_literals () =
+  match toks "0 42 1000000 7u 7l 7ul" with
+  | [ Token.INT_LIT 0; INT_LIT 42; INT_LIT 1000000; INT_LIT 7; INT_LIT 7; INT_LIT 7; EOF ]
+    ->
+    ()
+  | _ -> Alcotest.fail "int literals mis-lexed"
+
+let test_float_literals () =
+  match toks "1.5 0.25f 1e3 2.5e-2 3.f" with
+  | [
+   Token.FLOAT_LIT (1.5, false);
+   FLOAT_LIT (0.25, true);
+   FLOAT_LIT (1000.0, false);
+   FLOAT_LIT (0.025, false);
+   FLOAT_LIT (3.0, true);
+   EOF;
+  ] ->
+    ()
+  | l -> Alcotest.failf "float literals mis-lexed: %s" (String.concat " " (List.map Token.to_string l))
+
+let test_string_char () =
+  match toks {|"hi\n" 'a' '\n'|} with
+  | [ Token.STR_LIT "hi\n"; CHAR_LIT 'a'; CHAR_LIT '\n'; EOF ] -> ()
+  | _ -> Alcotest.fail "string/char literals mis-lexed"
+
+let test_operators () =
+  check_toks "ops"
+    [ "+"; "+="; "++"; "->"; "<="; "<<"; "<"; "&&"; "&"; "=="; "="; "!="; "!"; "<eof>" ]
+    "+ += ++ -> <= << < && & == = != !"
+
+let test_comments () =
+  check_toks "comments" [ "a"; "b"; "<eof>" ] "a /* comment \n more */ b // trailing\n"
+
+let test_pragma () =
+  match toks "#pragma omp parallel for private(j)\nint x;" with
+  | [ Token.PRAGMA "omp parallel for private(j)"; KW_INT; IDENT "x"; SEMI; EOF ] -> ()
+  | _ -> Alcotest.fail "pragma mis-lexed"
+
+let test_line_marker_skipped () =
+  check_toks "line markers" [ "int"; "x"; ";"; "<eof>" ] "# 1 \"foo.c\"\nint x;"
+
+let test_locations () =
+  let spanned = Lexer.tokenize ~file:"f.c" "int\n  x;" in
+  match spanned with
+  | [ { Token.loc = l1; _ }; { Token.loc = l2; _ }; _; _ ] ->
+    Alcotest.(check int) "line 1" 1 l1.Support.Loc.line;
+    Alcotest.(check int) "line 2" 2 l2.Support.Loc.line;
+    Alcotest.(check int) "col 3" 3 l2.Support.Loc.col
+  | _ -> Alcotest.fail "unexpected token count"
+
+let test_unterminated_comment () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Lexer.tokenize "/* never closed");
+       false
+     with Support.Diag.Fatal _ -> true)
+
+let test_unexpected_char () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Lexer.tokenize "int @ x;");
+       false
+     with Support.Diag.Fatal _ -> true)
+
+(* qcheck: lexing the printed form of random identifier/integer sequences is
+   the identity *)
+let ident_gen =
+  QCheck.Gen.(
+    let* first = oneofl [ 'a'; 'b'; 'z'; '_' ] in
+    let* rest = string_size ~gen:(oneofl [ 'a'; '1'; '_'; 'Z' ]) (int_range 0 6) in
+    return (String.make 1 first ^ rest))
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"lex(print(tokens)) = tokens" ~count:200
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 20) (oneof [ map (fun i -> Token.INT_LIT (abs i)) nat; map (fun s -> Token.IDENT s) ident_gen ])))
+    (fun tokens ->
+      (* avoid keyword collisions *)
+      let tokens =
+        List.filter
+          (fun t ->
+            match t with
+            | Token.IDENT s -> not (List.mem_assoc s Token.keyword_table)
+            | _ -> true)
+          tokens
+      in
+      let printed = String.concat " " (List.map Token.to_string tokens) in
+      let relexed = List.filter (( <> ) Token.EOF) (List.map (fun s -> s.Token.tok) (Lexer.tokenize printed)) in
+      relexed = tokens)
+
+let suite =
+  [
+    Alcotest.test_case "keywords" `Quick test_keywords;
+    Alcotest.test_case "identifiers" `Quick test_identifiers;
+    Alcotest.test_case "int literals" `Quick test_int_literals;
+    Alcotest.test_case "float literals" `Quick test_float_literals;
+    Alcotest.test_case "string and char literals" `Quick test_string_char;
+    Alcotest.test_case "operators" `Quick test_operators;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "pragma" `Quick test_pragma;
+    Alcotest.test_case "line markers skipped" `Quick test_line_marker_skipped;
+    Alcotest.test_case "locations" `Quick test_locations;
+    Alcotest.test_case "unterminated comment" `Quick test_unterminated_comment;
+    Alcotest.test_case "unexpected char" `Quick test_unexpected_char;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+  ]

@@ -1,0 +1,146 @@
+(** Machine-model tests: makespan properties of the schedule simulator,
+    roofline behaviour, backend effects. *)
+
+let machine = Machine.Config.opteron64
+
+let mk_cost cycles =
+  let c = Interp.Cost.create () in
+  c.Interp.Cost.extra_cycles <- cycles;
+  c
+
+let mk_par sched cycles_list =
+  Interp.Trace.Par { sched; iters = Array.of_list (List.map mk_cost cycles_list) }
+
+let seconds ?(backend = Machine.Config.gcc) n segs =
+  (Machine.Model.simulate ~backend ~n { Interp.Trace.segments = segs; output = ""; return_code = 0 })
+    .Machine.Model.r_seconds
+
+let test_single_core_equals_sum () =
+  let iters = [ 100.0; 200.0; 300.0 ] in
+  let span, ovh =
+    Machine.Model.makespan machine 1 Interp.Trace.Static (Array.of_list iters)
+  in
+  Alcotest.(check (float 1e-9)) "sum" 600.0 span;
+  Alcotest.(check (float 1e-9)) "no overhead" 0.0 ovh
+
+let qcheck_makespan_bounds =
+  QCheck.Test.make ~name:"max <= makespan <= sum (all schedules)" ~count:300
+    QCheck.(pair (int_range 1 64) (list_of_size (Gen.int_range 1 60) (float_range 1.0 1000.0)))
+    (fun (n, iters) ->
+      let arr = Array.of_list iters in
+      let sum = Array.fold_left ( +. ) 0.0 arr in
+      let mx = Array.fold_left Float.max 0.0 arr in
+      List.for_all
+        (fun sched ->
+          let span, _ = Machine.Model.makespan machine n sched arr in
+          span >= mx -. 1e-6 && span <= sum +. 1e-6)
+        [ Interp.Trace.Static; Interp.Trace.Static_chunk 3; Interp.Trace.Dynamic 1 ])
+
+let qcheck_dynamic_balances_imbalance =
+  QCheck.Test.make ~name:"dynamic beats static on monotone imbalance" ~count:100
+    (QCheck.int_range 2 32)
+    (fun n ->
+      (* linearly growing iteration costs, like the satellite rows *)
+      let iters = Array.init 128 (fun i -> 10.0 +. (3.0 *. float_of_int i)) in
+      let st, _ = Machine.Model.makespan machine n Interp.Trace.Static iters in
+      let dy, _ = Machine.Model.makespan machine n (Interp.Trace.Dynamic 1) iters in
+      dy <= st +. 1e-6)
+
+let test_static_imbalance_tail () =
+  (* heavy tail: the last block dominates under a static schedule *)
+  let iters = Array.init 64 (fun i -> if i >= 56 then 800.0 else 100.0) in
+  let st, _ = Machine.Model.makespan machine 8 Interp.Trace.Static iters in
+  let dy, _ = Machine.Model.makespan machine 8 (Interp.Trace.Dynamic 1) iters in
+  Alcotest.(check bool) "static suffers on tail" true (st >= 8.0 *. 800.0 -. 1e-6);
+  Alcotest.(check bool) "dynamic balances" true (dy < st)
+
+let test_more_cores_never_hurt_compute () =
+  let iters = List.init 100 (fun i -> 50.0 +. float_of_int i) in
+  let span n = fst (Machine.Model.makespan machine n Interp.Trace.Static (Array.of_list iters)) in
+  let rec go prev = function
+    | [] -> ()
+    | n :: rest ->
+      let s = span n in
+      Alcotest.(check bool) "monotone" true (s <= prev +. 1e-6);
+      go s rest
+  in
+  go (span 1) [ 2; 4; 8; 16; 32; 64 ]
+
+let test_seq_segment_unaffected_by_cores () =
+  let segs = [ Interp.Trace.Seq (mk_cost 1_000_000) ] in
+  Alcotest.(check (float 1e-12)) "same at 1 and 64" (seconds 1 segs) (seconds 64 segs)
+
+let test_fork_overhead_grows () =
+  let segs = [ mk_par Interp.Trace.Static [ 10; 10 ] ] in
+  Alcotest.(check bool) "64 cores pay more overhead than 2" true
+    (seconds 64 segs > seconds 2 segs)
+
+let test_bandwidth_caps () =
+  Alcotest.(check (float 1e-9)) "1 core" machine.Machine.Config.m_per_core_bw_gbs
+    (Machine.Config.bandwidth machine 1);
+  Alcotest.(check (float 1e-9)) "64 cores capped" machine.Machine.Config.m_dram_bw_gbs
+    (Machine.Config.bandwidth machine 64)
+
+let test_memory_bound_segment () =
+  (* a segment with huge DRAM traffic and almost no compute is limited by
+     bandwidth, not cores *)
+  let c = Interp.Cost.create () in
+  c.Interp.Cost.l2_misses <- 10_000_000;
+  let segs = [ Interp.Trace.Par { sched = Interp.Trace.Static; iters = [| c |] } ] in
+  let t32 = seconds 32 segs and t64 = seconds 64 segs in
+  Alcotest.(check bool) "no gain past the bandwidth wall" true
+    (Float.abs (t64 -. t32) /. t32 < 0.2)
+
+let test_backend_vectorization () =
+  let c = Interp.Cost.create () in
+  c.Interp.Cost.float_adds <- 1_000_000;
+  c.Interp.Cost.flops_autovec <- 1_000_000;
+  let cyc b = Machine.Model.cycles machine b c in
+  Alcotest.(check bool) "icc vectorizes the autovec bucket" true
+    (cyc Machine.Config.icc < 0.6 *. cyc Machine.Config.gcc);
+  (* pragma bucket honored by both *)
+  let c2 = Interp.Cost.create () in
+  c2.Interp.Cost.float_adds <- 1_000_000;
+  c2.Interp.Cost.flops_pragma_vec <- 1_000_000;
+  Alcotest.(check bool) "gcc honors sica pragmas" true
+    (cyc Machine.Config.gcc > 1.5 *. Machine.Model.cycles machine Machine.Config.gcc c2)
+
+let test_icc_scalar_factor () =
+  let c = Interp.Cost.create () in
+  c.Interp.Cost.int_ops <- 1_000_000;
+  Alcotest.(check bool) "icc scalar slightly faster" true
+    (Machine.Model.cycles machine Machine.Config.icc c
+    < Machine.Model.cycles machine Machine.Config.gcc c)
+
+let test_mkl_model_ratio () =
+  (* the analytic MKL baseline must sit well below any interpreted kernel
+     and keep a plausible 1-to-64-core efficiency *)
+  let t1 = Machine.Mkl_model.gemm_seconds ~n:1 ~size:512 () in
+  let t64 = Machine.Mkl_model.gemm_seconds ~n:64 ~size:512 () in
+  Alcotest.(check bool) "parallel gain" true (t64 < t1 /. 32.0);
+  Alcotest.(check bool) "not super-linear" true (t64 > t1 /. 64.0 /. 1.01)
+
+let qcheck_simulation_positive =
+  QCheck.Test.make ~name:"simulated time is positive and finite" ~count:100
+    QCheck.(pair (int_range 1 64) (list_of_size (Gen.int_range 1 30) (int_range 1 100000)))
+    (fun (n, cycles) ->
+      let segs = [ mk_par Interp.Trace.Static cycles ] in
+      let t = seconds n segs in
+      Float.is_finite t && t > 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "single core = sum" `Quick test_single_core_equals_sum;
+    QCheck_alcotest.to_alcotest qcheck_makespan_bounds;
+    QCheck_alcotest.to_alcotest qcheck_dynamic_balances_imbalance;
+    Alcotest.test_case "static tail imbalance" `Quick test_static_imbalance_tail;
+    Alcotest.test_case "makespan monotone in cores" `Quick test_more_cores_never_hurt_compute;
+    Alcotest.test_case "sequential segments core-independent" `Quick test_seq_segment_unaffected_by_cores;
+    Alcotest.test_case "fork overhead grows" `Quick test_fork_overhead_grows;
+    Alcotest.test_case "bandwidth caps" `Quick test_bandwidth_caps;
+    Alcotest.test_case "memory-bound segments" `Quick test_memory_bound_segment;
+    Alcotest.test_case "backend vectorization" `Quick test_backend_vectorization;
+    Alcotest.test_case "icc scalar factor" `Quick test_icc_scalar_factor;
+    Alcotest.test_case "mkl model sanity" `Quick test_mkl_model_ratio;
+    QCheck_alcotest.to_alcotest qcheck_simulation_positive;
+  ]

@@ -1,0 +1,126 @@
+(** Tests for the pure-function access metadata (the §3.3 future-work
+    coupling between the purity pass and SICA). *)
+
+open Purity
+
+let func_of src name =
+  let prog = Cfront.Parser.program_of_string src in
+  match Cfront.Ast.find_func prog name with
+  | Some f -> f
+  | None -> Alcotest.failf "function %s not found" name
+
+let test_dot_summary () =
+  let f =
+    func_of
+      "pure float dot(pure float* a, pure float* b, int size) {\n\
+      \  float res = 0.0f;\n\
+      \  for (int i = 0; i < size; ++i)\n\
+      \    res += a[i] * b[i];\n\
+      \  return res;\n\
+       }\n"
+      "dot"
+  in
+  let s = Fn_metadata.summarize f in
+  Alcotest.(check bool) "has loop" true s.Fn_metadata.fs_has_loop;
+  Alcotest.(check int) "two pointer params" 2 (List.length s.Fn_metadata.fs_params);
+  List.iter
+    (fun (p : Fn_metadata.param_summary) ->
+      Alcotest.(check string) (p.ps_name ^ " unit stride") "unit-stride"
+        (Fn_metadata.pattern_to_string p.Fn_metadata.ps_pattern);
+      Alcotest.(check int) (p.ps_name ^ " bytes") 4 p.Fn_metadata.ps_elem_bytes;
+      Alcotest.(check int) (p.ps_name ^ " one site") 1 p.Fn_metadata.ps_access_sites)
+    s.Fn_metadata.fs_params
+
+let test_stencil_summary () =
+  let f =
+    func_of
+      "pure double stencil(pure double* g, int i, int j, int n) {\n\
+      \  return 0.25 * (g[(i - 1) * n + j] + g[(i + 1) * n + j]\n\
+      \               + g[i * n + j - 1] + g[i * n + j + 1]);\n\
+       }\n"
+      "stencil"
+  in
+  let s = Fn_metadata.summarize f in
+  Alcotest.(check bool) "no loop" false s.Fn_metadata.fs_has_loop;
+  match s.Fn_metadata.fs_params with
+  | [ p ] ->
+    Alcotest.(check int) "double width" 8 p.Fn_metadata.ps_elem_bytes;
+    Alcotest.(check int) "four sites" 4 p.Fn_metadata.ps_access_sites;
+    (* subscripts are affine in i/j but those are parameters of the callee,
+       not its own loop iterators: conservatively strided *)
+    Alcotest.(check string) "pattern" "strided"
+      (Fn_metadata.pattern_to_string p.Fn_metadata.ps_pattern)
+  | _ -> Alcotest.fail "expected one pointer param"
+
+let test_gather_summary () =
+  let f =
+    func_of
+      "pure double row_dot(pure double* v, pure int* c, pure double* x, int r, int m, int n) {\n\
+      \  double acc = 0.0;\n\
+      \  for (int k = 0; k < n; k++)\n\
+      \    acc += v[r * m + k] * x[c[r * m + k]];\n\
+      \  return acc;\n\
+       }\n"
+      "row_dot"
+  in
+  let s = Fn_metadata.summarize f in
+  let find n = List.find (fun p -> p.Fn_metadata.ps_name = n) s.Fn_metadata.fs_params in
+  Alcotest.(check string) "v unit stride" "unit-stride"
+    (Fn_metadata.pattern_to_string (find "v").Fn_metadata.ps_pattern);
+  Alcotest.(check string) "x is a gather" "irregular"
+    (Fn_metadata.pattern_to_string (find "x").Fn_metadata.ps_pattern)
+
+let test_program_summaries () =
+  let src = Workloads.Matmul.pure_source ~n:16 () in
+  let pre =
+    Cpp.Preproc.run (Cpp.Preproc.create ())
+      (Cpp.Pc_prepro.strip src).Cpp.Pc_prepro.source
+  in
+  let prog = Cfront.Parser.program_of_string pre in
+  let summaries = Fn_metadata.summarize_program prog in
+  let names = List.map fst summaries |> List.sort compare in
+  Alcotest.(check (list string)) "all pure functions summarized"
+    [ "dot"; "fillA"; "fillB"; "mult" ] names;
+  (* footprint of the hidden dot call: its two stride-1 float arrays *)
+  let arrays, bytes = Fn_metadata.sica_footprint summaries [ "dot" ] in
+  Alcotest.(check int) "dot touches two arrays" 2 arrays;
+  Alcotest.(check int) "float width" 4 bytes
+
+let test_sica_coupling_changes_tiles () =
+  (* with metadata, SICA sizes tiles for the arrays inside the hidden call:
+     the generated tile step must shrink relative to a run that knows of no
+     arrays at all *)
+  let src = Workloads.Matmul.pure_source ~n:64 () in
+  let compile fn_summaries =
+    let mode =
+      Toolchain.Chain.Pure_chain
+        (fun c ->
+          {
+            c with
+            Pluto.sica = true;
+            sica_cache = Toolchain.Chain.scaled_sica_cache;
+            fn_summaries;
+          })
+    in
+    Toolchain.Chain.compile ~mode src
+  in
+  let with_meta = compile (Fn_metadata.summarize_program (Cfront.Parser.program_of_string (Cpp.Preproc.run (Cpp.Preproc.create ()) (Cpp.Pc_prepro.strip src).Cpp.Pc_prepro.source))) in
+  let without_meta = compile [] in
+  (* both must still be correct *)
+  let seq = snd (Toolchain.Chain.run ~mode:Toolchain.Chain.Sequential src) in
+  Alcotest.(check string) "with metadata preserves output" seq.Interp.Trace.output
+    (Toolchain.Chain.execute with_meta).Interp.Trace.output;
+  Alcotest.(check string) "without metadata preserves output" seq.Interp.Trace.output
+    (Toolchain.Chain.execute without_meta).Interp.Trace.output;
+  (* and the emitted tiled code must differ (different tile sizes) *)
+  Alcotest.(check bool) "metadata changes the tiling" true
+    (with_meta.Toolchain.Chain.c_emitted <> without_meta.Toolchain.Chain.c_emitted)
+
+let suite =
+  [
+    Alcotest.test_case "dot summary" `Quick test_dot_summary;
+    Alcotest.test_case "stencil summary" `Quick test_stencil_summary;
+    Alcotest.test_case "gather summary" `Quick test_gather_summary;
+    Alcotest.test_case "program summaries + footprint" `Quick test_program_summaries;
+    Alcotest.test_case "metadata drives SICA tiles" `Quick test_sica_coupling_changes_tiles;
+  ]

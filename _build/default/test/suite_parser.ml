@@ -1,0 +1,217 @@
+(** Parser tests: the paper's listings, declarations, precedence, and a
+    print/parse round-trip property. *)
+
+open Cfront
+
+let parse src = Parser.program_of_string src
+
+let parse_expr = Parser.expr_of_string
+
+let expr_str e = Ast_printer.expr_to_string e
+
+let test_listing1 () =
+  (* Listing 1: declaration of a pure function with a pure pointer param *)
+  match parse "pure int* func(pure int* p1, int p2);" with
+  | [ Ast.GFunc f ] ->
+    Alcotest.(check bool) "function is pure" true f.Ast.f_pure;
+    Alcotest.(check bool) "no body" true (f.Ast.f_body = None);
+    (match f.Ast.f_ret with
+    | Ast.Ptr { elt = Ast.Int; ptr_pure = false; _ } -> ()
+    | _ -> Alcotest.fail "return type should be plain int*");
+    (match f.Ast.f_params with
+    | [ { Ast.p_type = Ast.Ptr { elt = Ast.Int; ptr_pure = true; _ }; p_name = "p1"; _ };
+        { Ast.p_type = Ast.Int; p_name = "p2"; _ } ] ->
+      ()
+    | _ -> Alcotest.fail "parameter types wrong")
+  | _ -> Alcotest.fail "expected one function"
+
+let test_declarator_groups () =
+  match parse "float **A, *b, c;" with
+  | [ Ast.GVar a; Ast.GVar b; Ast.GVar c ] ->
+    Alcotest.(check string) "a name" "A" a.Ast.d_name;
+    (match a.Ast.d_type with
+    | Ast.Ptr { elt = Ast.Ptr { elt = Ast.Float; _ }; _ } -> ()
+    | _ -> Alcotest.fail "A should be float**");
+    (match b.Ast.d_type with
+    | Ast.Ptr { elt = Ast.Float; _ } -> ()
+    | _ -> Alcotest.fail "b should be float*");
+    Alcotest.(check bool) "c scalar" true (c.Ast.d_type = Ast.Float)
+  | _ -> Alcotest.fail "expected three globals"
+
+let test_local_decl_group () =
+  let s = Parser.stmt_of_string "{ int t1, t2, lb = 0, ub = 4095; register int lbv, ubv; }" in
+  match s.Ast.sdesc with
+  | Ast.SBlock ss ->
+    Alcotest.(check int) "six declarations" 6 (List.length ss);
+    (match (List.nth ss 2).Ast.sdesc with
+    | Ast.SDecl { d_name = "lb"; d_init = Some { edesc = Ast.IntLit 0; _ }; _ } -> ()
+    | _ -> Alcotest.fail "lb init wrong");
+    (match (List.nth ss 4).Ast.sdesc with
+    | Ast.SDecl { d_name = "lbv"; d_storage = Ast.Register; _ } -> ()
+    | _ -> Alcotest.fail "register storage lost")
+  | _ -> Alcotest.fail "expected block"
+
+let test_precedence () =
+  Alcotest.(check string) "mul over add" "a + b * c" (expr_str (parse_expr "a + b * c"));
+  Alcotest.(check string) "parens preserved" "(a + b) * c" (expr_str (parse_expr "(a + b) * c"));
+  Alcotest.(check string) "comparison" "a + 1 < b * 2" (expr_str (parse_expr "a + 1 < b * 2"));
+  Alcotest.(check string) "logical" "a < b && c > d || e == f"
+    (expr_str (parse_expr "a < b && c > d || e == f"));
+  Alcotest.(check string) "assign right assoc" "a = b = c + 1"
+    (expr_str (parse_expr "a = b = c + 1"));
+  Alcotest.(check string) "ternary" "a ? b : c ? d : e" (expr_str (parse_expr "a ? b : c ? d : e"))
+
+let test_cast_vs_paren () =
+  (match (parse_expr "(pure int*)p").Ast.edesc with
+  | Ast.Cast (Ast.Ptr { ptr_pure = true; elt = Ast.Int; _ }, _) -> ()
+  | _ -> Alcotest.fail "pure cast not parsed");
+  (match (parse_expr "(a) + b").Ast.edesc with
+  | Ast.Binop (Ast.Add, _, _) -> ()
+  | _ -> Alcotest.fail "parenthesised ident should not be a cast")
+
+let test_sizeof () =
+  (match (parse_expr "sizeof(float)").Ast.edesc with
+  | Ast.SizeofType Ast.Float -> ()
+  | _ -> Alcotest.fail "sizeof type");
+  match (parse_expr "3 * sizeof(int)").Ast.edesc with
+  | Ast.Binop (Ast.Mul, _, { edesc = Ast.SizeofType Ast.Int; _ }) -> ()
+  | _ -> Alcotest.fail "sizeof in expression"
+
+let test_array_dims () =
+  match parse "double G[64][32];" with
+  | [ Ast.GVar { d_type = Ast.Array (Ast.Array (Ast.Double, Some 32), Some 64); _ } ] -> ()
+  | _ -> Alcotest.fail "2-D array dims wrong"
+
+let test_struct_and_typedef () =
+  let prog =
+    parse
+      "struct point { int x; int y; };\n\
+       typedef struct point pt;\n\
+       pt origin;\n"
+  in
+  match prog with
+  | [ Ast.GStruct sd; Ast.GTypedef ("pt", Ast.Struct "point", _); Ast.GVar v ] ->
+    Alcotest.(check int) "two fields" 2 (List.length sd.Ast.s_fields);
+    Alcotest.(check bool) "typedef used" true (v.Ast.d_type = Ast.Named "pt")
+  | _ -> Alcotest.fail "struct/typedef parse failed"
+
+let test_pragma_statement () =
+  let s = Parser.stmt_of_string "{\n#pragma omp parallel for private(j)\nfor (i = 0; i < n; i++) x = x + 1;\n}" in
+  match s.Ast.sdesc with
+  | Ast.SBlock [ { sdesc = Ast.SPragma p; _ }; { sdesc = Ast.SFor _; _ } ] ->
+    Alcotest.(check string) "pragma text" "omp parallel for private(j)" p
+  | _ -> Alcotest.fail "pragma statement not parsed"
+
+let test_do_while_break_continue () =
+  let s =
+    Parser.stmt_of_string "do { if (x > 3) break; else continue; } while (x < 10);"
+  in
+  match s.Ast.sdesc with
+  | Ast.SDoWhile ({ sdesc = Ast.SBlock [ { sdesc = Ast.SIf (_, t, Some e); _ } ]; _ }, _) ->
+    Alcotest.(check bool) "break" true (t.Ast.sdesc = Ast.SBreak);
+    Alcotest.(check bool) "continue" true (e.Ast.sdesc = Ast.SContinue)
+  | _ -> Alcotest.fail "do-while shape wrong"
+
+let test_incdec_forms () =
+  List.iter
+    (fun (src, pre, inc) ->
+      match (parse_expr src).Ast.edesc with
+      | Ast.IncDec { pre = p; inc = i; _ } ->
+        Alcotest.(check bool) (src ^ " pre") pre p;
+        Alcotest.(check bool) (src ^ " inc") inc i
+      | _ -> Alcotest.fail (src ^ " not parsed as inc/dec"))
+    [ ("++i", true, true); ("i++", false, true); ("--i", true, false); ("i--", false, false) ]
+
+let test_listing8_parses () =
+  (* the paper's PluTo output style: iterator decls + pragma + assign-init *)
+  let src =
+    "float f(const float* a, const float* b, int size);\n\
+     float** C;\n\
+     float** A;\n\
+     float** Bt;\n\
+     int main(int argc, char** argv) {\n\
+     int t1, t2, lb, ub, lbp = 0, ubp = 4095, lb2, ub2;\n\
+     register int lbv, ubv;\n\
+     #pragma omp parallel for private(lbv,ubv,t2)\n\
+     for (t1 = lbp; t1 < ubp; t1++)\n\
+    \  for (t2 = 0; t2 <= 4095; t2++)\n\
+    \    C[t1][t2] = f((const float*)A[t1], (const float*)Bt[t1], 4096);\n\
+     return 0;\n\
+     }\n"
+  in
+  let prog = parse src in
+  Alcotest.(check int) "globals parsed" 5 (List.length prog)
+
+(* round-trip: print then reparse gives a structurally equal program *)
+let strip_locs_prog p =
+  (* compare via printed text: print is deterministic *)
+  Ast_printer.program_to_string p
+
+let test_roundtrip_listings () =
+  List.iter
+    (fun src ->
+      let p1 = parse src in
+      let printed = Ast_printer.program_to_string p1 in
+      let p2 = parse printed in
+      Alcotest.(check string) "fixpoint" printed (strip_locs_prog p2))
+    (List.map
+       (fun s ->
+         (* strip cpp lines: parse only the body after preprocessing *)
+         let stripped = Cpp.Pc_prepro.strip s in
+         let env = Cpp.Preproc.create () in
+         Cpp.Preproc.run env stripped.Cpp.Pc_prepro.source)
+       [ Workloads.Matmul.pure_source ~n:8 (); Workloads.Matmul.inlined_source ~n:8 () ])
+
+(* qcheck: random arithmetic expressions round-trip through print/parse *)
+let expr_gen =
+  let open QCheck.Gen in
+  let leaf = oneof [ map (fun n -> Printf.sprintf "%d" (abs n mod 1000)) int; oneofl [ "x"; "y"; "z" ] ] in
+  let rec go depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          ( 3,
+            let* op = oneofl [ "+"; "-"; "*"; "/"; "%"; "<"; "<="; "=="; "&&"; "||" ] in
+            let* a = go (depth - 1) in
+            let* b = go (depth - 1) in
+            return (Printf.sprintf "(%s %s %s)" a op b) );
+          ( 1,
+            let* a = go (depth - 1) in
+            return (Printf.sprintf "-(%s)" a) );
+          ( 1,
+            let* c = go (depth - 1) in
+            let* a = go (depth - 1) in
+            let* b = go (depth - 1) in
+            return (Printf.sprintf "(%s ? %s : %s)" c a b) );
+        ]
+  in
+  go 4
+
+let qcheck_expr_roundtrip =
+  QCheck.Test.make ~name:"expr print/parse fixpoint" ~count:300 (QCheck.make expr_gen)
+    (fun src ->
+      let e1 = parse_expr src in
+      let p1 = expr_str e1 in
+      let e2 = parse_expr p1 in
+      let p2 = expr_str e2 in
+      p1 = p2)
+
+let suite =
+  [
+    Alcotest.test_case "listing 1" `Quick test_listing1;
+    Alcotest.test_case "global declarator groups" `Quick test_declarator_groups;
+    Alcotest.test_case "local declarator groups" `Quick test_local_decl_group;
+    Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "cast vs paren" `Quick test_cast_vs_paren;
+    Alcotest.test_case "sizeof" `Quick test_sizeof;
+    Alcotest.test_case "array dims" `Quick test_array_dims;
+    Alcotest.test_case "struct and typedef" `Quick test_struct_and_typedef;
+    Alcotest.test_case "pragma statements" `Quick test_pragma_statement;
+    Alcotest.test_case "do-while break continue" `Quick test_do_while_break_continue;
+    Alcotest.test_case "inc/dec forms" `Quick test_incdec_forms;
+    Alcotest.test_case "listing 8 style output parses" `Quick test_listing8_parses;
+    Alcotest.test_case "workload sources round-trip" `Quick test_roundtrip_listings;
+    QCheck_alcotest.to_alcotest qcheck_expr_roundtrip;
+  ]

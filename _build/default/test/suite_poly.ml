@@ -1,0 +1,470 @@
+(** Polyhedral-engine tests: exact rational linear algebra, Fourier–Motzkin,
+    SCoP extraction, dependence analysis, schedule legality, and codegen
+    equivalence (including the Fig. 2 wavefront skew and tiling). *)
+
+open Poly
+
+(* ------------------------------------------------------------------ *)
+(* Rationals and matrices *)
+
+let qgen = QCheck.Gen.(map2 (fun n d -> Linalg.Q.make n (if d = 0 then 1 else d)) (int_range (-50) 50) (int_range (-20) 20))
+
+let qarb = QCheck.make qgen
+
+let qcheck_q_add_comm =
+  QCheck.Test.make ~name:"Q addition commutative" ~count:300 (QCheck.pair qarb qarb)
+    (fun (a, b) -> Linalg.Q.equal (Linalg.Q.add a b) (Linalg.Q.add b a))
+
+let qcheck_q_mul_inverse =
+  QCheck.Test.make ~name:"Q multiplicative inverse" ~count:300 qarb (fun a ->
+      QCheck.assume (not (Linalg.Q.is_zero a));
+      Linalg.Q.equal Linalg.Q.one (Linalg.Q.mul a (Linalg.Q.div Linalg.Q.one a)))
+
+let test_q_floor_ceil () =
+  Alcotest.(check int) "floor 7/2" 3 (Linalg.Q.floor (Linalg.Q.make 7 2));
+  Alcotest.(check int) "floor -7/2" (-4) (Linalg.Q.floor (Linalg.Q.make (-7) 2));
+  Alcotest.(check int) "ceil 7/2" 4 (Linalg.Q.ceil (Linalg.Q.make 7 2));
+  Alcotest.(check int) "ceil -7/2" (-3) (Linalg.Q.ceil (Linalg.Q.make (-7) 2))
+
+(* random unimodular matrix: product of elementary row operations *)
+let unimodular_gen d =
+  QCheck.Gen.(
+    let* steps = list_size (int_range 0 6) (triple (int_range 0 (d - 1)) (int_range 0 (d - 1)) (int_range (-2) 2)) in
+    let m = Linalg.Imat.identity d in
+    let m =
+      List.fold_left
+        (fun m (r, c, f) ->
+          if r = c || f = 0 then m
+          else begin
+            let e = Linalg.Imat.identity d in
+            e.(r).(c) <- f;
+            Linalg.Imat.mul e m
+          end)
+        m steps
+    in
+    return m)
+
+let qcheck_unimodular_inverse =
+  QCheck.Test.make ~name:"unimodular inverse is exact" ~count:200
+    (QCheck.make (unimodular_gen 3))
+    (fun m ->
+      Linalg.Imat.is_unimodular m
+      &&
+      match Linalg.Imat.inverse m with
+      | None -> false
+      | Some inv ->
+        let prod = Linalg.Imat.mul m inv in
+        prod = Linalg.Imat.identity 3)
+
+let test_determinant () =
+  Alcotest.(check bool) "det id = 1" true
+    (Linalg.Q.equal Linalg.Q.one (Linalg.Imat.determinant (Linalg.Imat.identity 4)));
+  let swap = [| [| 0; 1 |]; [| 1; 0 |] |] in
+  Alcotest.(check bool) "det swap = -1" true
+    (Linalg.Q.equal (Linalg.Q.of_int (-1)) (Linalg.Imat.determinant swap));
+  let sing = [| [| 1; 2 |]; [| 2; 4 |] |] in
+  Alcotest.(check bool) "det singular = 0" true
+    (Linalg.Q.is_zero (Linalg.Imat.determinant sing));
+  Alcotest.(check bool) "no inverse" true (Linalg.Imat.inverse sing = None)
+
+(* ------------------------------------------------------------------ *)
+(* Affine forms *)
+
+let space2 = Affine.space ~iters:[ "i"; "j" ] ~params:[ "n" ]
+
+let test_affine_eval () =
+  let a =
+    Affine.add
+      (Affine.scale 2 (Affine.of_iter space2 "i"))
+      (Affine.add (Affine.of_param space2 "n") (Affine.const space2 3))
+  in
+  Alcotest.(check int) "2i + n + 3 at (5, _, n=10)" 23
+    (Affine.eval a ~iters:[| 5; 0 |] ~params:[| 10 |])
+
+let test_affine_subst_matrix () =
+  (* x = M y with M = [[1,1],[0,1]]: old i = y0 + y1, old j = y1 *)
+  let m = [| [| 1; 1 |]; [| 0; 1 |] |] in
+  let a = Affine.of_iter space2 "i" in
+  let a' = Affine.apply_iter_subst a m in
+  Alcotest.(check int) "coeff y0" 1 a'.Affine.it.(0);
+  Alcotest.(check int) "coeff y1" 1 a'.Affine.it.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Polyhedra: emptiness vs enumeration *)
+
+(* a random polyhedron inside a small box, with extra random constraints *)
+let box_poly_gen =
+  QCheck.Gen.(
+    let* extra =
+      list_size (int_range 0 4)
+        (map2
+           (fun (ci, cj) c -> (ci, cj, c))
+           (pair (int_range (-2) 2) (int_range (-2) 2))
+           (int_range (-6) 6))
+    in
+    return extra)
+
+let build_box_poly extra =
+  let space = Affine.space ~iters:[ "i"; "j" ] ~params:[] in
+  let i = Affine.of_iter space "i" and j = Affine.of_iter space "j" in
+  let p = Polyhedron.universe space in
+  let p = Polyhedron.ge2 p i (Affine.const space 0) in
+  let p = Polyhedron.le2 p i (Affine.const space 5) in
+  let p = Polyhedron.ge2 p j (Affine.const space 0) in
+  let p = Polyhedron.le2 p j (Affine.const space 5) in
+  List.fold_left
+    (fun p (ci, cj, c) ->
+      let aff =
+        Affine.add
+          (Affine.add (Affine.scale ci i) (Affine.scale cj j))
+          (Affine.const space c)
+      in
+      Polyhedron.ge p aff)
+    p extra
+
+let brute_force_empty p =
+  let pts = ref true in
+  for i = 0 to 5 do
+    for j = 0 to 5 do
+      if Polyhedron.contains p ~iters:[| i; j |] ~params:[||] then pts := false
+    done
+  done;
+  !pts
+
+let qcheck_fm_emptiness =
+  QCheck.Test.make ~name:"FM emptiness is sound on boxes" ~count:300
+    (QCheck.make box_poly_gen)
+    (fun extra ->
+      let p = build_box_poly extra in
+      (* FM may conservatively claim non-emptiness for an integer-empty set
+         (dark-shadow gap), but the converse direction must hold: when it
+         says empty, no integer point exists; and when integer points exist,
+         it must say non-empty *)
+      if Polyhedron.is_empty p then brute_force_empty p
+      else true)
+
+let qcheck_enumerate_matches_contains =
+  QCheck.Test.make ~name:"enumerate = filter contains" ~count:200
+    (QCheck.make box_poly_gen)
+    (fun extra ->
+      let p = build_box_poly extra in
+      let enumerated = List.sort compare (Polyhedron.enumerate p ~params:[||]) in
+      let brute = ref [] in
+      for i = 5 downto 0 do
+        for j = 5 downto 0 do
+          if Polyhedron.contains p ~iters:[| i; j |] ~params:[||] then
+            brute := [ i; j ] :: !brute
+        done
+      done;
+      enumerated = List.sort compare !brute)
+
+let test_bounds_for () =
+  let space = Affine.space ~iters:[ "i" ] ~params:[ "n" ] in
+  let i = Affine.of_iter space "i" in
+  let p = Polyhedron.universe space in
+  let p = Polyhedron.ge2 p i (Affine.const space 2) in
+  let p = Polyhedron.lt2 p i (Affine.of_param space "n") in
+  let lowers, uppers = Polyhedron.bounds_for p 0 in
+  Alcotest.(check int) "one lower" 1 (List.length lowers);
+  Alcotest.(check int) "one upper" 1 (List.length uppers);
+  let _, lo = List.hd lowers and _, up = List.hd uppers in
+  Alcotest.(check int) "lower const" 2 lo.Affine.const;
+  Alcotest.(check int) "upper n-1" (-1) up.Affine.const;
+  Alcotest.(check int) "upper n coeff" 1 up.Affine.par.(0)
+
+(* ------------------------------------------------------------------ *)
+(* SCoP extraction *)
+
+let extract src =
+  let stmt = Cfront.Parser.stmt_of_string src in
+  Scop_ir.extract_unit stmt
+
+let matmul_nest =
+  "for (int i = 0; i < 16; i++)\n\
+  \  for (int j = 0; j < 16; j++)\n\
+  \    for (int k = 0; k < 16; k++)\n\
+  \      C[i][j] = C[i][j] + A[i][k] * B[k][j];"
+
+let test_extract_matmul () =
+  let u = extract matmul_nest in
+  Alcotest.(check (list string)) "iters" [ "i"; "j"; "k" ] u.Scop_ir.u_iters;
+  let b = List.hd u.Scop_ir.u_body in
+  Alcotest.(check int) "one write" 1 (List.length b.Scop_ir.b_writes);
+  Alcotest.(check int) "three reads" 3 (List.length b.Scop_ir.b_reads);
+  Alcotest.(check int) "domain points" (16 * 16 * 16)
+    (List.length (Polyhedron.enumerate u.Scop_ir.u_domain ~params:[||]))
+
+let test_extract_parametric_bound () =
+  let u = extract "for (int i = 2; i < n - 1; i++) a[i] = b[i + 1];" in
+  Alcotest.(check (list string)) "param discovered" [ "n" ]
+    (Array.to_list u.Scop_ir.u_space.Affine.params)
+
+let test_extract_rejects_calls () =
+  Alcotest.(check bool) "call rejected" true
+    (try
+       ignore (extract "for (int i = 0; i < 4; i++) a[i] = f(i);");
+       false
+     with Scop_ir.Not_affine _ -> true)
+
+let test_extract_rejects_nonaffine () =
+  Alcotest.(check bool) "i*i rejected" true
+    (try
+       ignore (extract "for (int i = 0; i < 4; i++) a[i * i] = 0;");
+       false
+     with Scop_ir.Not_affine _ -> true)
+
+let test_extract_accepts_tmpconst () =
+  let u = extract "for (int i = 0; i < 4; i++) a[i] = tmpConst_f_0;" in
+  Alcotest.(check int) "no reads from the opaque constant" 0
+    (List.length (List.hd u.Scop_ir.u_body).Scop_ir.b_reads)
+
+(* ------------------------------------------------------------------ *)
+(* Dependence analysis *)
+
+let test_deps_matmul () =
+  let u = extract matmul_nest in
+  Alcotest.(check (list int)) "reduction carried at level 3" [ 3 ]
+    (Dependence.carried_levels u);
+  Alcotest.(check (list int)) "i and j parallel" [ 1; 2 ] (Dependence.parallel_levels u)
+
+let seidel_nest =
+  "for (int i = 1; i < 15; i++)\n\
+  \  for (int j = 1; j < 15; j++)\n\
+  \    G[i][j] = 0.25 * (G[i - 1][j] + G[i][j - 1] + G[i + 1][j] + G[i][j + 1]);"
+
+let test_deps_seidel () =
+  let u = extract seidel_nest in
+  Alcotest.(check (list int)) "both levels carry" [ 1; 2 ] (Dependence.carried_levels u);
+  Alcotest.(check (list int)) "nothing parallel" [] (Dependence.parallel_levels u)
+
+let test_deps_jacobi () =
+  let u =
+    extract
+      "for (int i = 1; i < 15; i++)\n\
+      \  for (int j = 1; j < 15; j++)\n\
+      \    B[i][j] = 0.25 * (A[i - 1][j] + A[i][j - 1] + A[i + 1][j] + A[i][j + 1]);"
+  in
+  Alcotest.(check (list int)) "no deps at all" [] (Dependence.carried_levels u)
+
+let test_deps_recurrence () =
+  let u = extract "for (int i = 1; i < 100; i++) a[i] = a[i - 1] + 1;" in
+  Alcotest.(check (list int)) "level 1 carried" [ 1 ] (Dependence.carried_levels u)
+
+let test_deps_stride_disjoint () =
+  (* a[2i] vs a[2i+1] never overlap: the integer-tightened FM must see it *)
+  let u = extract "for (int i = 0; i < 50; i++) a[2 * i] = a[2 * i + 1];" in
+  Alcotest.(check (list int)) "no dependence" [] (Dependence.carried_levels u)
+
+(* ------------------------------------------------------------------ *)
+(* Transform legality and schedule search *)
+
+let test_identity_always_legal () =
+  List.iter
+    (fun src ->
+      let u = extract src in
+      let d = List.length u.Scop_ir.u_iters in
+      Alcotest.(check bool) "identity legal" true
+        (Dependence.transform_legal u (Linalg.Imat.identity d)))
+    [ matmul_nest; seidel_nest; "for (int i = 1; i < 100; i++) a[i] = a[i - 1] + 1;" ]
+
+let test_reversal_illegal () =
+  let u = extract "for (int i = 1; i < 100; i++) a[i] = a[i - 1] + 1;" in
+  Alcotest.(check bool) "reversal illegal" false
+    (Dependence.transform_legal u [| [| -1 |] |])
+
+let test_seidel_wavefront () =
+  let u = extract seidel_nest in
+  let wave = [| [| 1; 1 |]; [| 0; 1 |] |] in
+  Alcotest.(check bool) "wavefront legal" true (Dependence.transform_legal u wave);
+  Alcotest.(check (list int)) "inner parallel after skew" [ 1 ]
+    (Dependence.carried_levels_under u wave);
+  (* the search must find a schedule exposing parallelism *)
+  let sched = Transform.find_schedule u in
+  Alcotest.(check bool) "search found parallelism" true
+    (sched.Transform.sched_parallel <> []);
+  Alcotest.(check bool) "and it is not the identity" false
+    sched.Transform.sched_is_identity
+
+let test_matmul_schedule_identity () =
+  let u = extract matmul_nest in
+  let sched = Transform.find_schedule u in
+  Alcotest.(check bool) "identity kept" true sched.Transform.sched_is_identity;
+  Alcotest.(check (list int)) "outer parallel" [ 1; 2 ] sched.Transform.sched_parallel;
+  Alcotest.(check int) "full band permutable" 3 sched.Transform.sched_band
+
+let test_interchange_legal_matmul () =
+  let u = extract matmul_nest in
+  let interchange = [| [| 0; 1; 0 |]; [| 1; 0; 0 |]; [| 0; 0; 1 |] |] in
+  Alcotest.(check bool) "i<->j interchange legal" true
+    (Dependence.transform_legal u interchange)
+
+(* ------------------------------------------------------------------ *)
+(* Codegen equivalence: generated nests compute the same values *)
+
+let run_output mode src =
+  let _, profile = Toolchain.Chain.run ~mode src in
+  profile.Interp.Trace.output
+
+let check_variants_equal name src adjusts =
+  let base = run_output Toolchain.Chain.Sequential src in
+  List.iter
+    (fun (label, adjust) ->
+      let out = run_output (Toolchain.Chain.Plain_pluto adjust) src in
+      Alcotest.(check string) (name ^ "/" ^ label) base out)
+    adjusts
+
+let test_codegen_matmul_equiv () =
+  let src =
+    "#pragma scop\n" ^ "int dummy_marker;\n"
+  in
+  ignore src;
+  let program =
+    "float A[12][12]; float B[12][12]; float C[12][12];\n\
+     int main() {\n\
+    \  for (int i = 0; i < 12; i++)\n\
+    \    for (int j = 0; j < 12; j++) {\n\
+    \      A[i][j] = i * 0.5f + j;\n\
+    \      B[i][j] = i - 0.25f * j;\n\
+    \      C[i][j] = 0.0f;\n\
+    \    }\n\
+     #pragma scop\n\
+    \  for (int i = 0; i < 12; i++)\n\
+    \    for (int j = 0; j < 12; j++)\n\
+    \      for (int k = 0; k < 12; k++)\n\
+    \        C[i][j] = C[i][j] + A[i][k] * B[k][j];\n\
+     #pragma endscop\n\
+    \  float s = 0.0f;\n\
+    \  for (int i = 0; i < 12; i++)\n\
+    \    for (int j = 0; j < 12; j++)\n\
+    \      s += C[i][j] * (i - j);\n\
+    \  printf(\"%.4f\\n\", s);\n\
+    \  return 0;\n\
+     }\n"
+  in
+  check_variants_equal "matmul" program
+    [
+      ("untiled", (fun c -> c));
+      ("tiled 5", fun c -> { c with Pluto.tile = true; tile_sizes = [ 5 ] });
+      ("tiled 4x3", fun c -> { c with Pluto.tile = true; tile_sizes = [ 4; 3 ] });
+      ("sica", fun c -> { c with Pluto.sica = true });
+    ]
+
+let test_codegen_seidel_equiv () =
+  (* the wavefront skew (Fig. 2) must preserve the sequential result *)
+  let program =
+    "double G[14][14];\n\
+     int main() {\n\
+    \  for (int i = 0; i < 14; i++)\n\
+    \    for (int j = 0; j < 14; j++)\n\
+    \      G[i][j] = (i * 7 + j * 3) % 13 * 0.5;\n\
+     #pragma scop\n\
+    \  for (int i = 1; i < 13; i++)\n\
+    \    for (int j = 1; j < 13; j++)\n\
+    \      G[i][j] = 0.25 * (G[i - 1][j] + G[i][j - 1] + G[i + 1][j] + G[i][j + 1]);\n\
+     #pragma endscop\n\
+    \  double s = 0.0;\n\
+    \  for (int i = 0; i < 14; i++)\n\
+    \    for (int j = 0; j < 14; j++)\n\
+    \      s += G[i][j] * ((i + 2 * j) % 5);\n\
+    \  printf(\"%.6f\\n\", s);\n\
+    \  return 0;\n\
+     }\n"
+  in
+  check_variants_equal "seidel" program [ ("wavefront", fun c -> c) ]
+
+let test_codegen_triangular_equiv () =
+  let program =
+    "double T[20][20];\n\
+     int main() {\n\
+     #pragma scop\n\
+    \  for (int i = 0; i < 20; i++)\n\
+    \    for (int j = 0; j <= i; j++)\n\
+    \      T[i][j] = i * 20 + j;\n\
+     #pragma endscop\n\
+    \  double s = 0.0;\n\
+    \  for (int i = 0; i < 20; i++)\n\
+    \    for (int j = 0; j < 20; j++)\n\
+    \      s += T[i][j];\n\
+    \  printf(\"%.1f\\n\", s);\n\
+    \  return 0;\n\
+     }\n"
+  in
+  check_variants_equal "triangular" program [ ("plain", fun c -> c) ]
+
+(* qcheck: random unimodular transforms that happen to be legal preserve the
+   recurrence result *)
+let qcheck_legal_transform_preserves =
+  QCheck.Test.make ~name:"legal transform preserves seidel semantics" ~count:25
+    (QCheck.make (unimodular_gen 2))
+    (fun m ->
+      let u = extract seidel_nest in
+      QCheck.assume (Linalg.Imat.is_unimodular m);
+      if not (Dependence.transform_legal u m) then true
+      else begin
+        (* generate code under this transform and execute *)
+        let sched = Transform.analyze u m in
+        let gen = Codegen.generate u sched in
+        let body =
+          String.concat "\n" (List.map Cfront.Ast_printer.stmt_to_string gen.Codegen.g_stmts)
+        in
+        let program header tail = header ^ body ^ tail in
+        let header =
+          "double G[16][16];\n\
+           int main() {\n\
+          \  for (int i = 0; i < 16; i++)\n\
+          \    for (int j = 0; j < 16; j++)\n\
+          \      G[i][j] = (i * 5 + j) % 7 * 0.25;\n{\n"
+        in
+        let tail =
+          "}\n  double s = 0.0;\n\
+          \  for (int i = 0; i < 16; i++)\n\
+          \    for (int j = 0; j < 16; j++)\n\
+          \      s += G[i][j] * (i + 2 * j);\n\
+          \  printf(\"%.6f\\n\", s);\n\
+          \  return 0;\n\
+           }\n"
+        in
+        (* reference: original nest in place of the generated body *)
+        let reference =
+          header
+          ^ "for (int i = 1; i < 15; i++)\n\
+            \  for (int j = 1; j < 15; j++)\n\
+            \    G[i][j] = 0.25 * (G[i - 1][j] + G[i][j - 1] + G[i + 1][j] + G[i][j + 1]);\n"
+          ^ tail
+        in
+        let run src = (Interp.Exec.run (Cfront.Parser.program_of_string src)).Interp.Trace.output in
+        run (program header tail) = run reference
+      end)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_q_add_comm;
+    QCheck_alcotest.to_alcotest qcheck_q_mul_inverse;
+    Alcotest.test_case "Q floor/ceil" `Quick test_q_floor_ceil;
+    QCheck_alcotest.to_alcotest qcheck_unimodular_inverse;
+    Alcotest.test_case "determinants" `Quick test_determinant;
+    Alcotest.test_case "affine eval" `Quick test_affine_eval;
+    Alcotest.test_case "affine matrix substitution" `Quick test_affine_subst_matrix;
+    QCheck_alcotest.to_alcotest qcheck_fm_emptiness;
+    QCheck_alcotest.to_alcotest qcheck_enumerate_matches_contains;
+    Alcotest.test_case "bounds extraction" `Quick test_bounds_for;
+    Alcotest.test_case "extract matmul" `Quick test_extract_matmul;
+    Alcotest.test_case "extract parametric bound" `Quick test_extract_parametric_bound;
+    Alcotest.test_case "extraction rejects calls" `Quick test_extract_rejects_calls;
+    Alcotest.test_case "extraction rejects non-affine" `Quick test_extract_rejects_nonaffine;
+    Alcotest.test_case "extraction accepts tmpConst" `Quick test_extract_accepts_tmpconst;
+    Alcotest.test_case "deps: matmul reduction" `Quick test_deps_matmul;
+    Alcotest.test_case "deps: seidel" `Quick test_deps_seidel;
+    Alcotest.test_case "deps: jacobi has none" `Quick test_deps_jacobi;
+    Alcotest.test_case "deps: recurrence" `Quick test_deps_recurrence;
+    Alcotest.test_case "deps: disjoint strides" `Quick test_deps_stride_disjoint;
+    Alcotest.test_case "identity always legal" `Quick test_identity_always_legal;
+    Alcotest.test_case "reversal illegal" `Quick test_reversal_illegal;
+    Alcotest.test_case "seidel wavefront" `Quick test_seidel_wavefront;
+    Alcotest.test_case "matmul schedule identity" `Quick test_matmul_schedule_identity;
+    Alcotest.test_case "matmul interchange legal" `Quick test_interchange_legal_matmul;
+    Alcotest.test_case "codegen: matmul variants equivalent" `Quick test_codegen_matmul_equiv;
+    Alcotest.test_case "codegen: seidel wavefront equivalent" `Quick test_codegen_seidel_equiv;
+    Alcotest.test_case "codegen: triangular domain" `Quick test_codegen_triangular_equiv;
+    QCheck_alcotest.to_alcotest qcheck_legal_transform_preserves;
+  ]

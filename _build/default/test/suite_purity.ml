@@ -1,0 +1,308 @@
+(** Purity-pass tests: the exact accept/reject semantics of the paper's
+    listings (1, 2, 3, 4, 5, 6), the whitelist, lowering, scop marking and
+    the call substitution. *)
+
+open Cfront
+
+let run_checker ?registry src =
+  let reporter = Support.Diag.create_reporter () in
+  let prog = Parser.program_of_string src in
+  let registry = Purity.Purity_check.check_program ?registry ~reporter prog in
+  (Support.Diag.error_codes reporter, registry, prog)
+
+let codes src =
+  let c, _, _ = run_checker src in
+  c
+
+let accepts name src = Alcotest.(check (list string)) name [] (codes src)
+
+let rejects name expected src = Alcotest.(check (list string)) name expected (codes src)
+
+(* ------------------------------------------------------------------ *)
+(* The paper's listings *)
+
+let listing2 =
+  "int* globalPtr;\n\
+   void func1();\n\
+   pure int* func2(pure int* p1, int p2);\n\
+   pure int* func2(pure int* p1, int p2) {\n\
+  \  int a = p2;\n\
+  \  int b = a + 42;\n\
+  \  int* c = (int*) malloc(3 * sizeof(int));\n\
+  \  pure int* ptr = p1;\n\
+  \  int* extPtr1 = globalPtr;\n\
+  \  pure int* extPtr2;\n\
+  \  extPtr2 = (pure int*) globalPtr;\n\
+  \  func1();\n\
+  \  pure int* extPtr3;\n\
+  \  extPtr3 = (pure int*) func2(p1, p2);\n\
+  \  return c;\n\
+   }\n"
+
+let test_listing2 () =
+  (* exactly the two invalid lines: the uncast global pointer assignment and
+     the impure call *)
+  rejects "listing 2" [ "pure.external-ptr-no-cast"; "pure.call-impure" ] listing2
+
+let listing4 =
+  "int* extPtr;\n\
+   pure int* f(pure int* q, int n) {\n\
+  \  pure int* intPtr = (pure int*) extPtr;\n\
+  \  intPtr = extPtr;\n\
+  \  return 0;\n\
+   }\n"
+
+let test_listing4 () =
+  (* pure pointers are single-assignment, and the reassignment also lacks
+     the cast *)
+  rejects "listing 4" [ "pure.pure-ptr-reassign"; "pure.external-ptr-no-cast" ] listing4
+
+let listing5 =
+  "pure int func(pure int* a, int idx) {\n\
+  \  return a[idx - 1] + a[idx];\n\
+   }\n\
+   int main() {\n\
+  \  int array[100];\n\
+  \  for (int i = 1; i < 100; i++) {\n\
+  \    array[i] = func(array, i);\n\
+  \  }\n\
+  \  return 0;\n\
+   }\n"
+
+let listing6 =
+  "pure int func(pure int* a, int idx) {\n\
+  \  return a[idx - 1] + a[idx];\n\
+   }\n\
+   int main() {\n\
+  \  int array[100];\n\
+  \  int* alias = array;\n\
+  \  for (int i = 1; i < 100; i++) {\n\
+  \    alias[i] = func(array, i);\n\
+  \  }\n\
+  \  return 0;\n\
+   }\n"
+
+let mark src =
+  let reporter = Support.Diag.create_reporter () in
+  let prog = Parser.program_of_string src in
+  let registry = Purity.Purity_check.check_program ~reporter prog in
+  let marked = Purity.Scop_marker.mark ~registry ~reporter prog in
+  (Support.Diag.error_codes reporter, Purity.Scop_marker.count_scops marked)
+
+let test_listing5_rejected () =
+  let codes, scops = mark listing5 in
+  Alcotest.(check (list string)) "listing 5 error" [ "scop.arg-assigned" ] codes;
+  Alcotest.(check int) "nothing marked" 0 scops
+
+let test_listing6_limitation () =
+  (* the documented aliasing limitation: the marker is name-based, so the
+     alias slips through and the loop IS marked *)
+  let codes, scops = mark listing6 in
+  Alcotest.(check (list string)) "no errors" [] codes;
+  Alcotest.(check int) "marked despite alias" 1 scops
+
+(* ------------------------------------------------------------------ *)
+(* More accept/reject cases *)
+
+let test_global_write_rejected () =
+  rejects "global write" [ "pure.global-write" ]
+    "int g;\npure int f(int x) { g = x; return x; }\n"
+
+let test_global_array_write_rejected () =
+  rejects "global element store" [ "pure.store-external" ]
+    "int g[10];\npure int f(int x) { g[0] = x; return x; }\n"
+
+let test_param_write_through_rejected () =
+  rejects "store through pure param" [ "pure.pure-ptr-write" ]
+    "pure int f(pure int* p) { p[0] = 1; return 0; }\n"
+
+let test_param_scalar_write_ok () =
+  accepts "scalar param is a copy" "pure int f(int x) { x = x + 1; return x; }\n"
+
+let test_impure_ptr_param_rejected () =
+  rejects "pointer param must be pure" [ "pure.param-ptr-not-pure" ]
+    "pure int f(int* p) { return p[0]; }\n"
+
+let test_call_chain () =
+  accepts "pure calls pure"
+    "pure int g(int x) { return x * 2; }\npure int f(int x) { return g(x) + 1; }\n";
+  accepts "recursion"
+    "pure int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\n";
+  accepts "forward reference"
+    "pure int f(int x);\npure int h(int x) { return f(x); }\npure int f(int x) { return x; }\n"
+
+let test_stdlib_whitelist () =
+  accepts "math whitelisted" "pure double f(double x) { return sin(x) + sqrt(x); }\n";
+  rejects "printf not whitelisted" [ "pure.call-impure" ]
+    "pure int f(int x) { printf(\"%d\", x); return x; }\n"
+
+let test_malloc_free_local () =
+  accepts "malloc + free own memory"
+    "pure int f(int n) {\n\
+    \  int* buf = (int*) malloc(n * sizeof(int));\n\
+    \  buf[0] = 1;\n\
+    \  int r = buf[0];\n\
+    \  free(buf);\n\
+    \  return r;\n\
+     }\n"
+
+let test_free_param_rejected () =
+  rejects "free of external memory" [ "pure.free-external" ]
+    "pure int f(pure int* p) { free(p); return 0; }\n"
+
+let test_malloc_ablation () =
+  let registry = Purity.Registry.create ~allow_malloc:false () in
+  let codes, _, _ =
+    run_checker ~registry "pure int f(int n) { int* b = (int*) malloc(n); return 0; }\n"
+  in
+  Alcotest.(check (list string)) "malloc impure without whitelist" [ "pure.call-impure" ]
+    codes
+
+let test_local_array_ok () =
+  accepts "local array writable"
+    "pure int f(int n) { int a[10]; a[0] = n; a[1] = a[0] + 1; return a[1]; }\n"
+
+let test_pure_view_read_ok () =
+  accepts "reading through a pure view of a global"
+    "double g[4];\n\
+     pure double f(int i) {\n\
+    \  pure double* v = (pure double*) g;\n\
+    \  return v[i];\n\
+     }\n"
+
+let test_pure_view_write_rejected () =
+  rejects "writing through a pure view" [ "pure.pure-ptr-write" ]
+    "double g[4];\n\
+     pure double f(int i) {\n\
+    \  pure double* v = (pure double*) g;\n\
+    \  v[i] = 1.0;\n\
+    \  return 0.0;\n\
+     }\n"
+
+let test_pure_to_impure_rejected () =
+  rejects "laundering a pure pointer" [ "pure.pure-to-impure" ]
+    "pure int f(pure int* p) { int* q = p; return q[0]; }\n"
+
+let test_impure_function_unchecked () =
+  accepts "impure functions may do anything"
+    "int g;\nvoid side() { g = g + 1; }\nint main() { side(); return g; }\n"
+
+let test_registry_contents () =
+  let _, registry, _ = run_checker "pure int f(int x) { return x; }\n" in
+  Alcotest.(check bool) "user fn registered" true (Purity.Registry.mem registry "f");
+  Alcotest.(check bool) "sin whitelisted" true (Purity.Registry.mem registry "sin");
+  Alcotest.(check bool) "malloc whitelisted" true (Purity.Registry.mem registry "malloc");
+  Alcotest.(check bool) "printf not pure" false (Purity.Registry.mem registry "printf")
+
+(* ------------------------------------------------------------------ *)
+(* Lowering *)
+
+let test_lowering () =
+  let prog = Parser.program_of_string listing2 in
+  Alcotest.(check bool) "pure present before" true (Purity.Lowering.contains_pure prog);
+  let lowered = Purity.Lowering.lower prog in
+  Alcotest.(check bool) "pure gone after" false (Purity.Lowering.contains_pure lowered);
+  let printed = Ast_printer.program_to_string lowered in
+  Alcotest.(check bool) "const introduced" true
+    (Support.Util.string_contains ~needle:"const int* p1" printed);
+  (* the lowered text parses again *)
+  let reparsed = Parser.program_of_string printed in
+  Alcotest.(check int) "same global count" (List.length lowered) (List.length reparsed)
+
+let test_lowering_preserves_semantics () =
+  let src = Workloads.Matmul.pure_source ~n:8 () in
+  let stripped = Cpp.Pc_prepro.strip src in
+  let pre = Cpp.Preproc.run (Cpp.Preproc.create ()) stripped.Cpp.Pc_prepro.source in
+  let prog = Parser.program_of_string pre in
+  let out1 = (Interp.Exec.run prog).Interp.Trace.output in
+  let out2 = (Interp.Exec.run (Purity.Lowering.lower prog)).Interp.Trace.output in
+  Alcotest.(check string) "identical output" out1 out2
+
+(* ------------------------------------------------------------------ *)
+(* Scop marking details *)
+
+let test_marking_heat_structure () =
+  (* the heat time loop violates the arg-assigned rule at the outer level,
+     but both inner nests must still be marked (warning, not error) *)
+  let src = Workloads.Heat.pure_source ~n:8 ~t:2 () in
+  let stripped = Cpp.Pc_prepro.strip src in
+  let pre = Cpp.Preproc.run (Cpp.Preproc.create ()) stripped.Cpp.Pc_prepro.source in
+  let reporter = Support.Diag.create_reporter () in
+  let prog = Parser.program_of_string pre in
+  let registry = Purity.Purity_check.check_program ~reporter prog in
+  let marked = Purity.Scop_marker.mark ~registry ~reporter prog in
+  Alcotest.(check bool) "no errors" false (Support.Diag.has_errors reporter);
+  (* init nest + stencil nest + copy nest + checksum nest *)
+  Alcotest.(check int) "four scops" 4 (Purity.Scop_marker.count_scops marked)
+
+let test_marking_skips_impure_loops () =
+  let _, scops =
+    mark
+      "int g;\n\
+       void bump() { g = g + 1; }\n\
+       int main() {\n\
+      \  for (int i = 0; i < 10; i++) bump();\n\
+      \  return g;\n\
+       }\n"
+  in
+  Alcotest.(check int) "impure loop unmarked" 0 scops
+
+(* ------------------------------------------------------------------ *)
+(* Substitution *)
+
+let test_substitution_roundtrip () =
+  let s =
+    Parser.stmt_of_string
+      "for (int i = 0; i < n; i++) { a[i] = f(b, i) + g(i); }"
+  in
+  let table = Purity.Substitute.create () in
+  let hidden = Purity.Substitute.hide_stmt table s in
+  Alcotest.(check (list string)) "no calls left" [] (Ast.calls_in_stmt hidden);
+  let revealed = Purity.Substitute.reveal_stmt table hidden in
+  Alcotest.(check string) "round trip" (Ast_printer.stmt_to_string s)
+    (Ast_printer.stmt_to_string revealed)
+
+let test_substitution_unique_names () =
+  let s = Parser.stmt_of_string "{ x = f(1) + f(2); y = f(3); }" in
+  let table = Purity.Substitute.create () in
+  let hidden = Purity.Substitute.hide_stmt table s in
+  let names =
+    Ast.fold_stmt
+      ~stmt:(fun acc _ -> acc)
+      ~expr:(fun acc e ->
+        match e.Ast.edesc with
+        | Ast.Ident n when String.length n > 8 && String.sub n 0 8 = "tmpConst" -> n :: acc
+        | _ -> acc)
+      [] hidden
+  in
+  Alcotest.(check int) "three distinct sites" 3 (List.length (List.sort_uniq compare names))
+
+let suite =
+  [
+    Alcotest.test_case "listing 2" `Quick test_listing2;
+    Alcotest.test_case "listing 4" `Quick test_listing4;
+    Alcotest.test_case "listing 5 rejected" `Quick test_listing5_rejected;
+    Alcotest.test_case "listing 6 aliasing limitation" `Quick test_listing6_limitation;
+    Alcotest.test_case "global write rejected" `Quick test_global_write_rejected;
+    Alcotest.test_case "global element store rejected" `Quick test_global_array_write_rejected;
+    Alcotest.test_case "store through pure param rejected" `Quick test_param_write_through_rejected;
+    Alcotest.test_case "scalar param copy ok" `Quick test_param_scalar_write_ok;
+    Alcotest.test_case "impure pointer param rejected" `Quick test_impure_ptr_param_rejected;
+    Alcotest.test_case "pure call chains" `Quick test_call_chain;
+    Alcotest.test_case "stdlib whitelist" `Quick test_stdlib_whitelist;
+    Alcotest.test_case "malloc/free own memory" `Quick test_malloc_free_local;
+    Alcotest.test_case "free external rejected" `Quick test_free_param_rejected;
+    Alcotest.test_case "no-malloc ablation" `Quick test_malloc_ablation;
+    Alcotest.test_case "local array ok" `Quick test_local_array_ok;
+    Alcotest.test_case "pure view read ok" `Quick test_pure_view_read_ok;
+    Alcotest.test_case "pure view write rejected" `Quick test_pure_view_write_rejected;
+    Alcotest.test_case "pure-to-impure rejected" `Quick test_pure_to_impure_rejected;
+    Alcotest.test_case "impure functions unchecked" `Quick test_impure_function_unchecked;
+    Alcotest.test_case "registry contents" `Quick test_registry_contents;
+    Alcotest.test_case "lowering removes pure" `Quick test_lowering;
+    Alcotest.test_case "lowering preserves semantics" `Quick test_lowering_preserves_semantics;
+    Alcotest.test_case "heat nest marking" `Quick test_marking_heat_structure;
+    Alcotest.test_case "impure loops unmarked" `Quick test_marking_skips_impure_loops;
+    Alcotest.test_case "substitution round-trip" `Quick test_substitution_roundtrip;
+    Alcotest.test_case "substitution unique names" `Quick test_substitution_unique_names;
+  ]

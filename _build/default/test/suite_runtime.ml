@@ -1,0 +1,91 @@
+(** Domain-pool runtime tests: worksharing correctness under every schedule
+    (the pool really runs on OCaml domains). *)
+
+let with_pool size f =
+  let pool = Runtime.Pool.create size in
+  Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) (fun () -> f pool)
+
+let test_covers_all_indices () =
+  List.iter
+    (fun schedule ->
+      with_pool 4 (fun pool ->
+          let n = 1000 in
+          let hits = Array.make n 0 in
+          let mutex = Mutex.create () in
+          Runtime.Par_loop.parallel_for pool ~schedule ~lo:0 ~hi:n (fun i ->
+              Mutex.lock mutex;
+              hits.(i) <- hits.(i) + 1;
+              Mutex.unlock mutex);
+          Array.iteri
+            (fun i h -> if h <> 1 then Alcotest.failf "index %d hit %d times" i h)
+            hits))
+    [ Runtime.Par_loop.Static; Runtime.Par_loop.Static_chunk 7; Runtime.Par_loop.Dynamic 3 ]
+
+let test_empty_and_single () =
+  with_pool 3 (fun pool ->
+      let count = ref 0 in
+      Runtime.Par_loop.parallel_for pool ~lo:5 ~hi:5 (fun _ -> incr count);
+      Alcotest.(check int) "empty range" 0 !count;
+      Runtime.Par_loop.parallel_for pool ~lo:5 ~hi:6 (fun _ -> incr count);
+      Alcotest.(check int) "single iteration" 1 !count)
+
+let test_pool_size_one () =
+  with_pool 1 (fun pool ->
+      let acc = ref [] in
+      Runtime.Par_loop.parallel_for pool ~lo:0 ~hi:5 (fun i -> acc := i :: !acc);
+      Alcotest.(check (list int)) "sequential order" [ 4; 3; 2; 1; 0 ] !acc)
+
+let test_reduce () =
+  with_pool 4 (fun pool ->
+      let sum =
+        Runtime.Par_loop.parallel_reduce pool ~lo:1 ~hi:101 ~init:0 ~combine:( + )
+          (fun i -> i)
+      in
+      Alcotest.(check int) "gauss sum" 5050 sum)
+
+let test_reduce_dynamic () =
+  with_pool 3 (fun pool ->
+      let sum =
+        Runtime.Par_loop.parallel_reduce pool ~schedule:(Runtime.Par_loop.Dynamic 5)
+          ~lo:0 ~hi:1000 ~init:0 ~combine:( + )
+          (fun i -> i * 2)
+      in
+      Alcotest.(check int) "doubled sum" (999 * 1000) sum)
+
+let test_spmv_parallel_equals_seq () =
+  with_pool 4 (fun pool ->
+      let spec = Lama.Matrix_gen.pwtk_like ~rows:256 () in
+      let m = Lama.Matrix_gen.generate_ell spec in
+      let x = Lama.Matrix_gen.test_vector 256 in
+      let seq = Lama.Spmv.ell_seq m x in
+      List.iter
+        (fun schedule ->
+          let par = Lama.Spmv.ell_par pool ~schedule m x in
+          Alcotest.(check bool) "identical" true (seq = par))
+        [ Runtime.Par_loop.Static; Runtime.Par_loop.Dynamic 2 ])
+
+let qcheck_parallel_sum =
+  QCheck.Test.make ~name:"parallel sums match sequential" ~count:20
+    QCheck.(pair (int_range 1 4) (int_range 0 500))
+    (fun (size, n) ->
+      with_pool size (fun pool ->
+          let expected = ref 0 in
+          for i = 0 to n - 1 do
+            expected := !expected + (i * i)
+          done;
+          let got =
+            Runtime.Par_loop.parallel_reduce pool ~lo:0 ~hi:n ~init:0 ~combine:( + )
+              (fun i -> i * i)
+          in
+          got = !expected))
+
+let suite =
+  [
+    Alcotest.test_case "covers all indices once" `Quick test_covers_all_indices;
+    Alcotest.test_case "empty and single ranges" `Quick test_empty_and_single;
+    Alcotest.test_case "pool of one" `Quick test_pool_size_one;
+    Alcotest.test_case "reduction" `Quick test_reduce;
+    Alcotest.test_case "dynamic reduction" `Quick test_reduce_dynamic;
+    Alcotest.test_case "parallel spmv = sequential" `Quick test_spmv_parallel_equals_seq;
+    QCheck_alcotest.to_alcotest qcheck_parallel_sum;
+  ]

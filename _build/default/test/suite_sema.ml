@@ -1,0 +1,125 @@
+(** Type-checker tests: acceptance of the supported subset, rejection of
+    genuine type errors. *)
+
+let check src =
+  let reporter = Support.Diag.create_reporter () in
+  let prog = Cfront.Parser.program_of_string src in
+  let _env = Sema.Typecheck.check_program ~reporter prog in
+  Support.Diag.error_codes reporter
+
+let accepts name src = Alcotest.(check (list string)) name [] (check src)
+
+let rejects name codes src = Alcotest.(check (list string)) name codes (check src)
+
+let test_ok_basics () =
+  accepts "arith and calls"
+    "int add(int a, int b) { return a + b; }\n\
+     int main() { int x = add(1, 2); float f = x * 0.5f; return x; }\n"
+
+let test_ok_pointers () =
+  accepts "pointer flows"
+    "int main() {\n\
+    \  int* p = (int*) malloc(8 * sizeof(int));\n\
+    \  p[0] = 3;\n\
+    \  *p = 4;\n\
+    \  int* q = p + 2;\n\
+    \  int d = q - p;\n\
+    \  free(p);\n\
+    \  return d;\n\
+     }\n"
+
+let test_ok_arrays () =
+  accepts "2-D arrays"
+    "double G[8][8];\nint main() { G[1][2] = 0.5; return (int) G[1][2]; }\n"
+
+let test_undeclared () = rejects "undeclared" [ "type" ] "int main() { return y; }\n"
+
+let test_unknown_function () =
+  rejects "unknown call" [ "type" ] "int main() { return nope(1); }\n"
+
+let test_arity () =
+  rejects "wrong arity" [ "type" ]
+    "int f(int a) { return a; }\nint main() { return f(1, 2); }\n"
+
+let test_bad_assign () =
+  rejects "not an lvalue" [ "type" ] "int main() { 3 = 4; return 0; }\n"
+
+let test_bad_subscript () =
+  rejects "subscript of scalar" [ "type" ] "int main() { int x; return x[0]; }\n"
+
+let test_bad_deref () =
+  rejects "deref of scalar" [ "type" ] "int main() { int x; return *x; }\n"
+
+let test_return_mismatch () =
+  rejects "void returns value" [ "type.return" ] "void f() { return 3; }\n"
+
+let test_missing_return_value () =
+  rejects "missing value" [ "type.return" ] "int f() { return; }\n"
+
+let test_redeclaration () =
+  rejects "same-block redeclaration" [ "sema.shadow" ]
+    "int main() { int x; int x; return 0; }\n"
+
+let test_shadowing_allowed () =
+  accepts "inner-block shadowing is C"
+    "int main() { int x = 1; { int x = 2; x = x + 1; } return x; }\n"
+
+let test_pure_mismatch () =
+  rejects "pure vs impure decls" [ "sema.pure-mismatch" ]
+    "pure int f(int x);\nint f(int x) { return x; }\n"
+
+let test_struct_fields () =
+  accepts "struct member access"
+    "struct p { int x; int y; };\nstruct p g;\nint main() { return g.x; }\n";
+  rejects "missing field" [ "type" ]
+    "struct p { int x; };\nstruct p g;\nint main() { return g.z; }\n"
+
+let test_void_ptr_flows () =
+  accepts "void* assignment both ways"
+    "int main() {\n\
+    \  int* p = (int*) malloc(4);\n\
+    \  free(p);\n\
+    \  return 0;\n\
+     }\n"
+
+let test_null_literal () =
+  accepts "0 as null" "int main() { int* p = 0; return p == 0; }\n"
+
+let test_scope_symbols () =
+  let prog =
+    Cfront.Parser.program_of_string
+      "int g;\nint f(int a) { int b = a; { int c = b; b = c; } return b; }\n"
+  in
+  let env = Sema.Env.gather prog in
+  Alcotest.(check bool) "global found" true (Sema.Env.find_global env "g" <> None);
+  Alcotest.(check bool) "function found" true (Sema.Env.find_func env "f" <> None);
+  Alcotest.(check bool) "builtin absent" true (Sema.Env.find_func env "sin" = None)
+
+let test_typedef_resolution () =
+  let prog = Cfront.Parser.program_of_string "typedef int myint;\nmyint x;\n" in
+  let env = Sema.Env.gather prog in
+  Alcotest.(check bool) "resolved" true
+    (Sema.Env.resolve env (Cfront.Ast.Named "myint") = Cfront.Ast.Int)
+
+let suite =
+  [
+    Alcotest.test_case "basics accept" `Quick test_ok_basics;
+    Alcotest.test_case "pointers accept" `Quick test_ok_pointers;
+    Alcotest.test_case "arrays accept" `Quick test_ok_arrays;
+    Alcotest.test_case "undeclared rejected" `Quick test_undeclared;
+    Alcotest.test_case "unknown function rejected" `Quick test_unknown_function;
+    Alcotest.test_case "arity rejected" `Quick test_arity;
+    Alcotest.test_case "assignment to rvalue rejected" `Quick test_bad_assign;
+    Alcotest.test_case "bad subscript rejected" `Quick test_bad_subscript;
+    Alcotest.test_case "bad deref rejected" `Quick test_bad_deref;
+    Alcotest.test_case "return mismatch rejected" `Quick test_return_mismatch;
+    Alcotest.test_case "missing return value rejected" `Quick test_missing_return_value;
+    Alcotest.test_case "redeclaration rejected" `Quick test_redeclaration;
+    Alcotest.test_case "shadowing allowed" `Quick test_shadowing_allowed;
+    Alcotest.test_case "pure/impure decl mismatch" `Quick test_pure_mismatch;
+    Alcotest.test_case "struct fields" `Quick test_struct_fields;
+    Alcotest.test_case "void* flows" `Quick test_void_ptr_flows;
+    Alcotest.test_case "null literal" `Quick test_null_literal;
+    Alcotest.test_case "environment symbols" `Quick test_scope_symbols;
+    Alcotest.test_case "typedef resolution" `Quick test_typedef_resolution;
+  ]

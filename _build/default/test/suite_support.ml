@@ -1,0 +1,101 @@
+(** Tests for the support library: deterministic PRNG, utilities,
+    diagnostics. *)
+
+let test_rng_deterministic () =
+  let a = Support.Rng.create 42 and b = Support.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Support.Rng.int a 1000) (Support.Rng.int b 1000)
+  done
+
+let test_rng_seed_matters () =
+  let a = Support.Rng.create 1 and b = Support.Rng.create 2 in
+  let xs = List.init 20 (fun _ -> Support.Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Support.Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different seeds differ" true (xs <> ys)
+
+let test_rng_range () =
+  let r = Support.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Support.Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let f = Support.Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_gcd_lcm () =
+  Alcotest.(check int) "gcd" 6 (Support.Util.gcd 54 24);
+  Alcotest.(check int) "gcd neg" 6 (Support.Util.gcd (-54) 24);
+  Alcotest.(check int) "gcd zero" 5 (Support.Util.gcd 0 5);
+  Alcotest.(check int) "lcm" 36 (Support.Util.lcm 12 18);
+  Alcotest.(check int) "lcm zero" 0 (Support.Util.lcm 0 7)
+
+let test_range () =
+  Alcotest.(check (list int)) "range" [ 2; 3; 4 ] (Support.Util.range 2 5);
+  Alcotest.(check (list int)) "empty range" [] (Support.Util.range 5 2)
+
+let test_argmin () =
+  let a = [| 3.0; 1.0; 2.0 |] in
+  Alcotest.(check int) "argmin" 1 (Support.Util.argmin_array compare a)
+
+let test_string_contains () =
+  Alcotest.(check bool) "contains" true
+    (Support.Util.string_contains ~needle:"lel for" "omp parallel for");
+  Alcotest.(check bool) "not contains" false
+    (Support.Util.string_contains ~needle:"xyz" "omp parallel for");
+  Alcotest.(check bool) "empty needle" true (Support.Util.string_contains ~needle:"" "abc")
+
+let test_diag_reporting () =
+  let r = Support.Diag.create_reporter () in
+  Support.Diag.error r ~code:"test.a" "first %d" 1;
+  Support.Diag.warning r ~code:"test.b" "second";
+  Support.Diag.error r ~code:"test.c" "third";
+  Alcotest.(check bool) "has errors" true (Support.Diag.has_errors r);
+  Alcotest.(check (list string)) "codes in order" [ "test.a"; "test.c" ]
+    (Support.Diag.error_codes r);
+  Alcotest.(check int) "all diags" 3 (List.length (Support.Diag.diagnostics r))
+
+let test_diag_fatal () =
+  Alcotest.check_raises "fatal raises"
+    (Support.Diag.Fatal
+       {
+         Support.Diag.severity = Support.Diag.Error;
+         code = "x";
+         loc = Support.Loc.dummy;
+         message = "boom";
+       })
+    (fun () -> Support.Diag.fatal ~code:"x" "boom")
+
+let qcheck_gcd_divides =
+  QCheck.Test.make ~name:"gcd divides both arguments" ~count:500
+    QCheck.(pair (int_range (-1000) 1000) (int_range (-1000) 1000))
+    (fun (a, b) ->
+      let g = Support.Util.gcd a b in
+      QCheck.assume (g <> 0);
+      a mod g = 0 && b mod g = 0)
+
+let qcheck_geomean_bounds =
+  QCheck.Test.make ~name:"geomean between min and max" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 10) (float_range 0.1 100.0))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let g = Support.Util.geomean xs in
+      let mn = List.fold_left Float.min infinity xs in
+      let mx = List.fold_left Float.max neg_infinity xs in
+      g >= mn -. 1e-9 && g <= mx +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_seed_matters;
+    Alcotest.test_case "rng ranges" `Quick test_rng_range;
+    Alcotest.test_case "gcd lcm" `Quick test_gcd_lcm;
+    Alcotest.test_case "range" `Quick test_range;
+    Alcotest.test_case "argmin" `Quick test_argmin;
+    Alcotest.test_case "string contains" `Quick test_string_contains;
+    Alcotest.test_case "diag reporting" `Quick test_diag_reporting;
+    Alcotest.test_case "diag fatal" `Quick test_diag_fatal;
+    QCheck_alcotest.to_alcotest qcheck_gcd_divides;
+    QCheck_alcotest.to_alcotest qcheck_geomean_bounds;
+  ]

@@ -1,0 +1,172 @@
+(** End-to-end toolchain tests: every workload variant produces the same
+    checksum, the checksums match the independent OCaml references, the
+    pipeline reports its stages, and the figure machinery yields sane
+    series. *)
+
+let scale = Toolchain.Figures.test_scale
+
+(* datasets are expensive to build; share them across the suite *)
+let matmul = lazy (Toolchain.Figures.matmul_dataset scale)
+
+let heat = lazy (Toolchain.Figures.heat_dataset scale)
+
+let satellite = lazy (Toolchain.Figures.satellite_dataset scale)
+
+let lama = lazy (Toolchain.Figures.lama_dataset scale)
+
+let check_agreement name d expected_ref =
+  let d = Lazy.force d in
+  Alcotest.(check bool) (name ^ ": variants agree") true
+    (Toolchain.Figures.checksums_agree d);
+  let _, first = List.hd d.Toolchain.Figures.d_checksums in
+  (* compare against the independent OCaml implementation, allowing only
+     print-rounding differences *)
+  let tol = Float.max 1e-3 (Float.abs expected_ref *. 1e-6) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: matches OCaml reference (%g vs %g)" name first expected_ref)
+    true
+    (Float.abs (first -. expected_ref) <= tol)
+
+let test_matmul_checksums () =
+  check_agreement "matmul" matmul
+    (Workloads.Reference.matmul_checksum scale.Toolchain.Figures.matmul_n)
+
+let test_heat_checksums () =
+  check_agreement "heat" heat
+    (Workloads.Reference.heat_checksum scale.Toolchain.Figures.heat_n
+       scale.Toolchain.Figures.heat_t)
+
+let test_satellite_checksums () =
+  check_agreement "satellite" satellite
+    (Workloads.Reference.satellite_checksum scale.Toolchain.Figures.sat_w
+       scale.Toolchain.Figures.sat_h scale.Toolchain.Figures.sat_bands)
+
+let test_lama_checksums () =
+  check_agreement "lama" lama
+    (Workloads.Reference.lama_checksum scale.Toolchain.Figures.lama_rows
+       scale.Toolchain.Figures.lama_maxnnz scale.Toolchain.Figures.lama_reps)
+
+let test_pure_chain_parallelizes () =
+  (* the headline claim: the pure chain parallelizes regions PluTo alone
+     rejects *)
+  let src = Workloads.Matmul.pure_source ~n:scale.Toolchain.Figures.matmul_n () in
+  let pure_c = Toolchain.Chain.compile ~mode:(Toolchain.Chain.Pure_chain (fun c -> c)) src in
+  let parallel, _ = Pluto.summarize pure_c.Toolchain.Chain.c_outcomes in
+  Alcotest.(check bool) "pure chain parallelizes scops" true (parallel >= 3);
+  (* without the purity stage the same marked program is fully rejected *)
+  let reporter = Support.Diag.create_reporter () in
+  let prog = Cfront.Parser.program_of_string (Toolchain.Chain.compile ~mode:Toolchain.Chain.Sequential src).Toolchain.Chain.c_emitted in
+  ignore reporter;
+  ignore prog;
+  let registry =
+    Purity.Purity_check.check_program ~reporter:(Support.Diag.create_reporter ())
+      (Cfront.Parser.program_of_string
+         (Cpp.Preproc.run (Cpp.Preproc.create ()) (Cpp.Pc_prepro.strip src).Cpp.Pc_prepro.source))
+  in
+  let marked =
+    Purity.Scop_marker.mark ~registry ~reporter:(Support.Diag.create_reporter ())
+      (Cfront.Parser.program_of_string
+         (Cpp.Preproc.run (Cpp.Preproc.create ()) (Cpp.Pc_prepro.strip src).Cpp.Pc_prepro.source))
+  in
+  let _, outcomes = Pluto.run ~config:Pluto.default_config marked in
+  let parallel_wo, rejected_wo = Pluto.summarize outcomes in
+  Alcotest.(check int) "PluTo alone parallelizes nothing" 0 parallel_wo;
+  Alcotest.(check bool) "PluTo alone rejects regions" true (rejected_wo >= 3)
+
+let test_stage_sources () =
+  let src = Workloads.Heat.pure_source ~n:8 ~t:2 () in
+  let c = Toolchain.Chain.compile ~mode:(Toolchain.Chain.Pure_chain (fun c -> c)) src in
+  let stages = List.map fst c.Toolchain.Chain.c_stage_sources in
+  Alcotest.(check (list string)) "stage order"
+    [ "pc-prepro"; "gcc-E"; "pc-cc"; "polycc"; "pc-pospro" ] stages;
+  (* PC-PosPro put the system includes back *)
+  Alcotest.(check bool) "includes reinserted" true
+    (Support.Util.string_contains ~needle:"#include <stdio.h>" c.Toolchain.Chain.c_emitted);
+  (* the final text contains OpenMP pragmas and no pure keyword *)
+  Alcotest.(check bool) "omp pragma present" true
+    (Support.Util.string_contains ~needle:"#pragma omp parallel for" c.Toolchain.Chain.c_emitted);
+  Alcotest.(check bool) "pure lowered away" false
+    (Support.Util.string_contains ~needle:"pure " c.Toolchain.Chain.c_emitted)
+
+let test_emitted_c_reparses_and_runs () =
+  (* the final C text is itself a valid program with the same behaviour *)
+  let src = Workloads.Matmul.pure_source ~n:12 () in
+  let c = Toolchain.Chain.compile ~mode:(Toolchain.Chain.Pure_chain (fun c -> c)) src in
+  let direct = Toolchain.Chain.execute c in
+  let reparsed, rerun = Toolchain.Chain.run ~mode:Toolchain.Chain.Sequential c.Toolchain.Chain.c_emitted in
+  ignore reparsed;
+  Alcotest.(check string) "same output" direct.Interp.Trace.output rerun.Interp.Trace.output
+
+let test_compile_error_on_bad_purity () =
+  let src = "int g;\npure int f(int x) { g = x; return x; }\nint main() { return f(1); }\n" in
+  Alcotest.(check bool) "raises Compile_error" true
+    (try
+       ignore (Toolchain.Chain.compile ~mode:(Toolchain.Chain.Pure_chain (fun c -> c)) src);
+       false
+     with Toolchain.Chain.Compile_error diags ->
+       List.exists (fun d -> d.Support.Diag.code = "pure.global-write") diags)
+
+let test_figure_series_shape () =
+  let d = Lazy.force matmul in
+  let fig = Toolchain.Figures.fig3 ~scale ~matmul:d () in
+  Alcotest.(check int) "three series" 3 (List.length fig.Toolchain.Figures.f_series);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "seven core counts" 7 (List.length s.Toolchain.Figures.s_points);
+      List.iter
+        (fun (_, v) ->
+          Alcotest.(check bool) "positive finite" true (Float.is_finite v && v > 0.0))
+        s.Toolchain.Figures.s_points)
+    fig.Toolchain.Figures.f_series
+
+let test_speedup_figures_consistent () =
+  let d = Lazy.force heat in
+  let f6 = Toolchain.Figures.fig6 ~scale ~heat:d () in
+  let f7 = Toolchain.Figures.fig7 ~scale ~heat:d () in
+  let seq = List.assoc "seq-gcc" f6.Toolchain.Figures.f_baselines in
+  List.iter2
+    (fun s6 s7 ->
+      List.iter2
+        (fun (_, t) (_, sp) ->
+          Alcotest.(check (float 1e-6)) "speedup = seq/time" (seq /. t) sp)
+        s6.Toolchain.Figures.s_points s7.Toolchain.Figures.s_points)
+    f6.Toolchain.Figures.f_series f7.Toolchain.Figures.f_series
+
+let test_satellite_imbalance_premise () =
+  (* the later rows really are heavier (the premise of the dynamic-schedule
+     story) *)
+  let iters =
+    Workloads.Reference.satellite_row_iters scale.Toolchain.Figures.sat_w
+      scale.Toolchain.Figures.sat_h scale.Toolchain.Figures.sat_bands
+  in
+  let h = Array.length iters in
+  Alcotest.(check bool) "last row heavier than first" true
+    (iters.(h - 1) > iters.(0))
+
+let test_dynamic_helps_satellite () =
+  let d = Lazy.force satellite in
+  let auto = Toolchain.Figures.profile d "pure" in
+  let manual = Toolchain.Figures.profile d "manual-dyn" in
+  let t p n =
+    (Machine.Model.simulate ~backend:Machine.Config.gcc ~n p).Machine.Model.r_seconds
+  in
+  (* at an intermediate core count the dynamic schedule must not lose to
+     static by more than noise, and typically wins *)
+  Alcotest.(check bool) "dynamic not worse at 16" true (t manual 16 <= t auto 16 *. 1.05)
+
+let suite =
+  [
+    Alcotest.test_case "matmul checksums vs reference" `Slow test_matmul_checksums;
+    Alcotest.test_case "heat checksums vs reference" `Slow test_heat_checksums;
+    Alcotest.test_case "satellite checksums vs reference" `Slow test_satellite_checksums;
+    Alcotest.test_case "lama checksums vs reference" `Slow test_lama_checksums;
+    Alcotest.test_case "pure chain parallelizes, PluTo alone cannot" `Slow
+      test_pure_chain_parallelizes;
+    Alcotest.test_case "pipeline stages" `Quick test_stage_sources;
+    Alcotest.test_case "emitted C reparses and runs" `Quick test_emitted_c_reparses_and_runs;
+    Alcotest.test_case "purity errors abort compilation" `Quick test_compile_error_on_bad_purity;
+    Alcotest.test_case "figure series shape" `Slow test_figure_series_shape;
+    Alcotest.test_case "speedup figures consistent" `Slow test_speedup_figures_consistent;
+    Alcotest.test_case "satellite imbalance premise" `Quick test_satellite_imbalance_premise;
+    Alcotest.test_case "dynamic schedule helps satellite" `Slow test_dynamic_helps_satellite;
+  ]

@@ -1,0 +1,20 @@
+(** Test runner aggregating all suites. *)
+
+let () =
+  Alcotest.run "purec"
+    [
+      ("support", Suite_support.suite);
+      ("lexer", Suite_lexer.suite);
+      ("parser", Suite_parser.suite);
+      ("cpp", Suite_cpp.suite);
+      ("sema", Suite_sema.suite);
+      ("purity", Suite_purity.suite);
+      ("poly", Suite_poly.suite);
+      ("interp", Suite_interp.suite);
+      ("machine", Suite_machine.suite);
+      ("runtime", Suite_runtime.suite);
+      ("lama", Suite_lama.suite);
+      ("toolchain", Suite_toolchain.suite);
+      ("kernels", Suite_kernels.suite);
+      ("metadata", Suite_metadata.suite);
+    ]
