@@ -95,14 +95,16 @@ let report_outcomes (c : Toolchain.Chain.compiled) =
       | Pluto.Rejected msg -> Fmt.pr "scop at %a: rejected (%s)@." Support.Loc.pp o.Pluto.o_loc msg)
     c.Toolchain.Chain.c_outcomes
 
+(* exit with a code that tells the failure stages apart (see
+   {!Toolchain.Chain.classify_errors}): 2 = parse, 3 = purity, 1 = other *)
 let handle_compile_error f =
   try f () with
   | Toolchain.Chain.Compile_error diags ->
     List.iter (fun d -> Fmt.epr "%a@." Support.Diag.pp d) diags;
-    exit 1
+    exit (Toolchain.Chain.classify_errors diags)
   | Support.Diag.Fatal d ->
     Fmt.epr "%a@." Support.Diag.pp d;
-    exit 1
+    exit (Toolchain.Chain.classify_errors [ d ])
 
 (* ------------------------------------------------------------------ *)
 (* check *)
@@ -126,7 +128,7 @@ let check_cmd =
           Fmt.pr "pure functions in scope: %s@."
             (String.concat ", " (Purity.Registry.names registry))
         end
-        else exit 1)
+        else exit (Toolchain.Chain.classify_errors errors))
   in
   Cmd.v (Cmd.info "check" ~doc:"Verify the purity annotations of a file.")
     Term.(const run $ file_arg)
@@ -180,8 +182,73 @@ let run_cmd =
     Term.(const run $ file_arg $ mode_arg $ sica_arg $ tile_arg $ schedule_arg $ cores_arg $ backend_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz *)
+
+let fuzz_cmd =
+  let seed_arg =
+    let doc = "Base seed; program $(i,i) of the campaign uses seed + i." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let count_arg =
+    let doc = "Number of random programs to generate and cross-check." in
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"K" ~doc)
+  in
+  let inject_arg =
+    let doc =
+      "Fault injection: disable the polyhedral legality check (forces an \
+       arbitrary loop permutation).  The oracle is expected to catch the \
+       resulting miscompiles; used to validate the oracle itself."
+    in
+    Arg.(value & flag & info [ "inject-illegal" ] ~doc)
+  in
+  let dump_arg =
+    let doc = "Print every generated program before checking it." in
+    Arg.(value & flag & info [ "dump" ] ~doc)
+  in
+  let no_shrink_arg =
+    let doc = "Skip minimizing failing programs." in
+    Arg.(value & flag & info [ "no-shrink" ] ~doc)
+  in
+  let run seed count inject dump no_shrink =
+    let checked = ref 0 in
+    let on_case (case : Fuzzgen.Fuzz.case_result) =
+      incr checked;
+      if dump then
+        Fmt.pr "===== seed %d =====@.%s@." case.Fuzzgen.Fuzz.c_seed case.Fuzzgen.Fuzz.c_source;
+      if not (Fuzzgen.Oracle.passed case.Fuzzgen.Fuzz.c_report) then begin
+        Fmt.pr "seed %d: FAILED (replay: purec fuzz --seed %d --count 1%s)@."
+          case.Fuzzgen.Fuzz.c_seed case.Fuzzgen.Fuzz.c_seed
+          (if inject then " --inject-illegal" else "");
+        List.iter
+          (fun f -> Fmt.pr "  %s@." (Fuzzgen.Oracle.describe f))
+          case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures;
+        match case.Fuzzgen.Fuzz.c_shrunk with
+        | Some src -> Fmt.pr "--- minimized reproducer ---@.%s@." src
+        | None -> ()
+      end
+    in
+    match
+      Fuzzgen.Fuzz.campaign ~inject ~shrink:(not no_shrink) ~on_case ~seed ~count ()
+    with
+    | result ->
+      let nfail = List.length result.Fuzzgen.Fuzz.k_failed in
+      Fmt.pr "fuzz: %d programs, %d configurations each, %d mismatches@." result.Fuzzgen.Fuzz.k_count
+        result.Fuzzgen.Fuzz.k_configs nfail;
+      if nfail > 0 then exit Toolchain.Chain.exit_fuzz_mismatch
+    | exception Fuzzgen.Fuzz.Roundtrip_error msg ->
+      Fmt.epr "fuzz: internal round-trip failure after %d programs: %s@." !checked msg;
+      exit Toolchain.Chain.exit_error
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate random pure-C programs and check \
+          every pipeline configuration against the sequential baseline.")
+    Term.(const run $ seed_arg $ count_arg $ inject_arg $ dump_arg $ no_shrink_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "the pure-C automatic parallelization chain (paper reproduction)" in
   let info = Cmd.info "purec" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; compile_cmd; run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ check_cmd; compile_cmd; run_cmd; fuzz_cmd ]))

@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI entry point: build, run the full test suite, then the differential
+# fuzzing smoke campaign (500 seeded programs through every pipeline
+# configuration; see TESTING.md).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune build @fuzz-smoke

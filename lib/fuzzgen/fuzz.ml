@@ -1,0 +1,74 @@
+(** Campaign driver: generate, cross-check, shrink, replay.
+
+    Program [i] of a campaign uses seed [base + i], so any failure is
+    replayable in isolation with [purec fuzz --seed (base+i) --count 1].
+    Before the differential oracle runs, every generated program goes
+    through a printer round-trip sanity check (print → parse → print must
+    be a fixed point) — the pretty-printer is the transport between all
+    source-to-source stages, so a round-trip bug would corrupt every
+    comparison downstream. *)
+
+open Cfront
+open Support
+
+type case_result = {
+  c_seed : int;
+  c_report : Oracle.report;
+  c_source : string;  (** the program as generated *)
+  c_shrunk : string option;  (** minimized reproducer, when the oracle failed *)
+}
+
+type campaign_result = {
+  k_count : int;
+  k_failed : case_result list;  (** only the failing cases *)
+  k_configs : int;  (** configurations compared per program *)
+}
+
+exception Roundtrip_error of string
+
+(* parse → print → parse → print must be a fixed point (the first parse
+   drops [#include] lines, which only the full chain's PC-PrePro/PC-PosPro
+   pair preserves, so the comparison starts at the first print) *)
+let roundtrip_check source =
+  let parse what src =
+    try Parser.program_of_string src
+    with Diag.Fatal d ->
+      raise (Roundtrip_error (Printf.sprintf "%s does not parse: %s" what d.Diag.message))
+  in
+  let reparsed = parse "generated program" source in
+  let printed = Ast_printer.program_to_string reparsed in
+  let printed' = Ast_printer.program_to_string (parse "printed program" printed) in
+  if printed' <> printed then
+    raise (Roundtrip_error "pretty-printer round-trip is not a fixed point");
+  reparsed
+
+(** Generate and check the program of [seed]; shrink on failure. *)
+let run_one ?(inject = false) ?(shrink = true) seed : case_result =
+  let prog = Gen.program_of_seed seed in
+  let source = Ast_printer.program_to_string prog in
+  let reparsed = roundtrip_check source in
+  let report = Oracle.check ~inject source in
+  let report = { report with Oracle.r_seed = Some seed } in
+  let shrunk =
+    match report.Oracle.r_failures with
+    | [] -> None
+    | f :: _ when shrink ->
+      let minimized, _evals = Shrink.minimize ~inject ~kind:(Oracle.kind_tag f) reparsed in
+      Some (Ast_printer.program_to_string minimized)
+    | _ -> None
+  in
+  { c_seed = seed; c_report = report; c_source = source; c_shrunk = shrunk }
+
+(** Run [count] programs starting at [seed].  [on_case] is called after
+    each case (progress reporting). *)
+let campaign ?(inject = false) ?(shrink = true) ?(on_case = fun _ -> ()) ~seed ~count () :
+    campaign_result =
+  let failed = ref [] in
+  let configs = ref 0 in
+  for i = 0 to count - 1 do
+    let case = run_one ~inject ~shrink (seed + i) in
+    configs := case.c_report.Oracle.r_configs;
+    if not (Oracle.passed case.c_report) then failed := case :: !failed;
+    on_case case
+  done;
+  { k_count = count; k_failed = List.rev !failed; k_configs = !configs }

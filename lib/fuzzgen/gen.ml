@@ -1,0 +1,479 @@
+(** Seeded random generation of programs in purec's C subset.
+
+    Every program is generated directly as a {!Cfront.Ast.program} and
+    printed with {!Cfront.Ast_printer}, so it parses, typechecks and passes
+    the purity verifier {e by construction}:
+
+    - loops are canonical affine nests ([for (int i = lo; i <= hi; i++)])
+      whose subscripts are iterators plus constant offsets, kept in bounds
+      by sizing every array two larger than the hot range;
+    - pure helper functions read only their parameters and locals, branch on
+      data-dependent conditions, and call only earlier pure functions;
+    - the §3.4 rule (an array passed to a pure call must not be assigned in
+      the same nest) is enforced when statements are built: per nest the
+      written arrays are chosen first and call arguments may only read the
+      others.
+
+    Programs end with per-array weighted checksums printed at full
+    precision ([%.17g]), so any reordering of a dependence-carrying nest —
+    the miscompile the differential oracle must catch — changes the
+    output. *)
+
+open Cfront
+open Support
+
+(* ------------------------------------------------------------------ *)
+(* AST shorthands *)
+
+let e = Ast.mk_expr
+
+let st = Ast.mk_stmt
+
+let ilit n = Ast.int_lit n
+
+let flit v = e (Ast.FloatLit (v, false))
+
+let id x = Ast.ident x
+
+let bin op a b = e (Ast.Binop (op, a, b))
+
+let badd a b = bin Ast.Add a b
+
+let bsub a b = bin Ast.Sub a b
+
+let bmul a b = bin Ast.Mul a b
+
+let bmod a b = bin Ast.Mod a b
+
+let call f args = e (Ast.Call (f, args))
+
+let idx a i = e (Ast.Index (a, i))
+
+let idx1 a i = idx (id a) i
+
+let idx2 a i j = idx (idx (id a) i) j
+
+let assign lhs rhs = st (Ast.SExpr (e (Ast.Assign (Ast.OpAssign, lhs, rhs))))
+
+let sexpr x = st (Ast.SExpr x)
+
+let sdecl ty name init =
+  st (Ast.SDecl { Ast.d_type = ty; d_name = name; d_storage = Ast.Auto; d_init = init; d_loc = Loc.dummy })
+
+let sreturn x = st (Ast.SReturn (Some x))
+
+let block ss = st (Ast.SBlock ss)
+
+(** Canonical affine loop: [for (int v = lo; v <= hi; v++) { body }]. *)
+let sfor v lo hi body =
+  st
+    (Ast.SFor
+       ( Some
+           (Ast.FInitDecl
+              { Ast.d_type = Ast.Int; d_name = v; d_storage = Ast.Auto; d_init = Some (ilit lo); d_loc = Loc.dummy }),
+         Some (bin Ast.Le (id v) (ilit hi)),
+         Some (e (Ast.IncDec { pre = false; inc = true; arg = id v })),
+         block body ))
+
+(* iterator plus a constant offset, printed as [i], [i + 1] or [i - 1] *)
+let off iter o =
+  if o = 0 then id iter else if o > 0 then badd (id iter) (ilit o) else bsub (id iter) (ilit (-o))
+
+(* ------------------------------------------------------------------ *)
+(* Program shape *)
+
+type elt = D | I
+
+type arr = {
+  a_name : string;
+  a_rank : int;  (** 1 or 2 *)
+  a_elt : elt;
+  a_dim : int;  (** extent of every dimension *)
+  a_heap : bool;  (** malloc'd [double**] rather than a global *)
+}
+
+type pfn = { p_name : string; p_params : elt list }
+
+type program_info = {
+  pi_prog : Ast.program;
+  pi_n : int;  (** hot loops run over [1, n] *)
+  pi_arrays : arr list;
+}
+
+let dbl_pool = [ 0.25; 0.5; 1.5; 2.0; 0.125; 1.25; 0.1; 1.3; 2.7; 0.3 ]
+
+let divisor_pool = [ 3; 5; 7; 11; 13 ]
+
+(* ------------------------------------------------------------------ *)
+(* Expressions inside pure function bodies (parameters and locals only) *)
+
+let rec gen_dexpr rng ~vars ~fns ~depth =
+  let leaf () =
+    if vars <> [] && Rng.int rng 3 > 0 then id (Rng.choose rng vars)
+    else flit (Rng.choose rng dbl_pool)
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Rng.int rng 5 with
+    | 0 | 1 ->
+      let op = Rng.choose rng [ Ast.Add; Ast.Sub; Ast.Add; Ast.Mul ] in
+      bin op (gen_dexpr rng ~vars ~fns ~depth:(depth - 1)) (gen_dexpr rng ~vars ~fns ~depth:(depth - 1))
+    | 2 when fns <> [] ->
+      let f = Rng.choose rng fns in
+      call f.p_name (List.map (fun _ -> gen_dexpr rng ~vars ~fns:[] ~depth:0) f.p_params)
+    | _ -> leaf ()
+
+let rec gen_iexpr rng ~vars ~depth =
+  let leaf () =
+    if vars <> [] && Rng.int rng 3 > 0 then id (Rng.choose rng vars) else ilit (1 + Rng.int rng 9)
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Rng.int rng 4 with
+    | 0 | 1 ->
+      let op = Rng.choose rng [ Ast.Add; Ast.Sub; Ast.Mul ] in
+      bin op (gen_iexpr rng ~vars ~depth:(depth - 1)) (gen_iexpr rng ~vars ~depth:(depth - 1))
+    | 2 -> bmod (gen_iexpr rng ~vars ~depth:(depth - 1)) (ilit (Rng.choose rng divisor_pool))
+    | _ -> leaf ()
+
+(* ------------------------------------------------------------------ *)
+(* Pure helper functions *)
+
+let mk_func ~pure ~ret ~params ~body name =
+  Ast.GFunc
+    {
+      Ast.f_name = name;
+      f_ret = ret;
+      f_pure = pure;
+      f_static = false;
+      f_params =
+        List.map (fun (ty, p) -> { Ast.p_type = ty; p_name = p; p_loc = Loc.dummy }) params;
+      f_body = Some body;
+      f_loc = Loc.dummy;
+    }
+
+(* [pure double fillf(int i, int j)]: the affine-ish seeding function every
+   initialization nest uses; bounded, deterministic, index-dependent *)
+let gen_fillf rng =
+  let a = 1 + Rng.int rng 7 and b = 1 + Rng.int rng 7 in
+  let m = Rng.choose rng divisor_pool in
+  let s = Rng.choose rng dbl_pool and t = Rng.choose rng dbl_pool in
+  let body =
+    [ sreturn (badd (bmul (bmod (badd (bmul (id "i") (ilit a)) (bmul (id "j") (ilit b))) (ilit m)) (flit s)) (flit t)) ]
+  in
+  mk_func ~pure:true ~ret:Ast.Double ~params:[ (Ast.Int, "i"); (Ast.Int, "j") ] ~body "fillf"
+
+let gen_filli rng =
+  let a = 1 + Rng.int rng 7 and b = 1 + Rng.int rng 7 in
+  let m = Rng.choose rng divisor_pool in
+  let c = 1 + Rng.int rng 4 in
+  let body =
+    [ sreturn (badd (bmod (badd (bmul (id "i") (ilit a)) (bmul (id "j") (ilit b))) (ilit m)) (ilit c)) ]
+  in
+  mk_func ~pure:true ~ret:Ast.Int ~params:[ (Ast.Int, "i"); (Ast.Int, "j") ] ~body "filli"
+
+(* a double-valued pure function with data-dependent branching; may call
+   earlier double pure functions *)
+let gen_dfn rng ~callable name =
+  let vars = [ "x"; "y" ] in
+  let body = ref [ sdecl Ast.Double "r" (Some (gen_dexpr rng ~vars ~fns:callable ~depth:2)) ] in
+  let cond =
+    bin (Rng.choose rng [ Ast.Lt; Ast.Gt; Ast.Le; Ast.Ge ]) (id (Rng.choose rng vars)) (flit (Rng.choose rng dbl_pool))
+  in
+  let vars' = "r" :: vars in
+  let then_b = block [ assign (id "r") (gen_dexpr rng ~vars:vars' ~fns:callable ~depth:1) ] in
+  let else_b =
+    if Rng.int rng 2 = 0 then Some (block [ assign (id "r") (gen_dexpr rng ~vars:vars' ~fns:[] ~depth:1) ])
+    else None
+  in
+  body := !body @ [ st (Ast.SIf (cond, then_b, else_b)) ];
+  let final =
+    match Rng.int rng 3 with
+    | 0 -> badd (id "r") (flit (Rng.choose rng dbl_pool))
+    | 1 -> bmul (id "r") (flit (Rng.choose rng dbl_pool))
+    | _ -> id "r"
+  in
+  body := !body @ [ sreturn final ];
+  mk_func ~pure:true ~ret:Ast.Double ~params:[ (Ast.Double, "x"); (Ast.Double, "y") ] ~body:!body name
+
+(* an int-valued pure function with a data-dependent branch *)
+let gen_ifn rng name =
+  let vars = [ "a"; "b" ] in
+  let body = ref [ sdecl Ast.Int "r" (Some (gen_iexpr rng ~vars ~depth:2)) ] in
+  let cond = bin (Rng.choose rng [ Ast.Lt; Ast.Gt ]) (bmod (id "r") (ilit (Rng.choose rng divisor_pool))) (ilit (Rng.int rng 3)) in
+  body := !body @ [ st (Ast.SIf (cond, block [ assign (id "r") (gen_iexpr rng ~vars:("r" :: vars) ~depth:1) ], None)) ];
+  body := !body @ [ sreturn (id "r") ];
+  mk_func ~pure:true ~ret:Ast.Int ~params:[ (Ast.Int, "a"); (Ast.Int, "b") ] ~body:!body name
+
+(* ------------------------------------------------------------------ *)
+(* Statement generation inside [main] *)
+
+(* a read of [a] using the iterators in scope (offsets keep subscripts in
+   [0, dim-1] as long as iterators range over [1, n] and dim = n + 2) *)
+let gen_read rng ~iters ~n (a : arr) =
+  let o () = Rng.int rng 3 - 1 in
+  let const () = ilit (1 + Rng.int rng n) in
+  let sub () =
+    match iters with
+    | [] -> const ()
+    | _ -> if Rng.int rng 4 = 0 then const () else off (Rng.choose rng iters) (o ())
+  in
+  if a.a_rank = 1 then idx1 a.a_name (sub ()) else idx2 a.a_name (sub ()) (sub ())
+
+(* a double-valued argument for a pure call: reads only arrays outside
+   [written] (the §3.4 rule), or iterator/literal scalars *)
+let gen_dbl_arg rng ~iters ~n ~readable =
+  let darrs = List.filter (fun a -> a.a_elt = D) readable in
+  match Rng.int rng 3 with
+  | 0 when darrs <> [] -> gen_read rng ~iters ~n (Rng.choose rng darrs)
+  | 1 when iters <> [] -> bmul (id (Rng.choose rng iters)) (flit (Rng.choose rng dbl_pool))
+  | _ -> flit (Rng.choose rng dbl_pool)
+
+let gen_int_arg rng ~iters =
+  match iters with
+  | [] -> ilit (Rng.int rng 4)
+  | _ -> (
+    let i = Rng.choose rng iters in
+    match Rng.int rng 3 with
+    | 0 -> id i
+    | 1 -> badd (id i) (ilit (1 + Rng.int rng 2))
+    | _ -> ilit (Rng.int rng 4))
+
+(* one double-valued term of a compute statement's right-hand side *)
+let gen_dbl_term rng ~iters ~n ~arrays ~readable ~dfns ~target =
+  let darrs = List.filter (fun a -> a.a_elt = D) arrays in
+  match Rng.int rng 6 with
+  | 0 when dfns <> [] ->
+    let f : pfn = Rng.choose rng dfns in
+    call f.p_name (List.map (fun _ -> gen_dbl_arg rng ~iters ~n ~readable) f.p_params)
+  | 1 -> call "fillf" [ gen_int_arg rng ~iters; gen_int_arg rng ~iters ]
+  | 2 | 3 when darrs <> [] -> gen_read rng ~iters ~n (Rng.choose rng darrs)
+  | 4 when iters <> [] -> bmul (id (Rng.choose rng iters)) (flit (Rng.choose rng dbl_pool))
+  | _ ->
+    (* a deliberate cross-sign stencil read of the written array: the
+       dependence that makes illegal interchange visible in the output *)
+    (match (target : arr option) with
+    | Some a when a.a_rank = 2 && List.length iters = 2 ->
+      let i1 = List.nth iters 0 and i2 = List.nth iters 1 in
+      if Rng.int rng 2 = 0 then idx2 a.a_name (off i1 (-1)) (off i2 1) else idx2 a.a_name (off i1 1) (off i2 (-1))
+    | _ -> flit (Rng.choose rng dbl_pool))
+
+let gen_int_term rng ~iters ~n ~arrays ~readable =
+  let iarrs = List.filter (fun a -> a.a_elt = I) arrays in
+  let readable_i = List.filter (fun a -> a.a_elt = I) readable in
+  match Rng.int rng 4 with
+  | 0 when readable_i <> [] ->
+    let a : arr = Rng.choose rng readable_i in
+    call "filli" [ gen_int_arg rng ~iters; gen_int_arg rng ~iters ]
+    |> fun c -> badd c (gen_read rng ~iters ~n a)
+  | 1 when iarrs <> [] -> gen_read rng ~iters ~n (Rng.choose rng iarrs)
+  | 2 -> call "filli" [ gen_int_arg rng ~iters; gen_int_arg rng ~iters ]
+  | _ -> gen_iexpr rng ~vars:iters ~depth:1
+
+(* left-hand side of a compute assignment to [a] under [iters] *)
+let gen_lhs rng ~iters ~n (a : arr) =
+  let o () = match Rng.int rng 5 with 0 -> -1 | 1 -> 1 | _ -> 0 in
+  let const () = ilit (1 + Rng.int rng n) in
+  let sub k =
+    match iters with
+    | [] -> const ()
+    | [ i ] -> if k = 0 || Rng.int rng 2 = 0 then off i (o ()) else const ()
+    | _ -> off (List.nth iters (min k (List.length iters - 1))) (o ())
+  in
+  if a.a_rank = 1 then
+    idx1 a.a_name (match iters with [] -> const () | l -> off (Rng.choose rng l) (o ()))
+  else idx2 a.a_name (sub 0) (sub 1)
+
+(* one full compute nest: pick the written arrays first, then build the
+   statements so pure-call arguments only read the rest (§3.4) *)
+let gen_compute_nest rng ~n ~arrays ~dfns =
+  let depth = 1 + Rng.int rng 2 in
+  let iters = if depth = 1 then [ "i" ] else [ "i"; "j" ] in
+  let nstmts = 1 + Rng.int rng 2 in
+  let targets = List.init nstmts (fun _ -> (Rng.choose rng arrays : arr)) in
+  let written = List.sort_uniq compare (List.map (fun a -> a.a_name) targets) in
+  let readable = List.filter (fun a -> not (List.mem a.a_name written)) arrays in
+  let stmt_of (tgt : arr) =
+    let lhs = gen_lhs rng ~iters ~n tgt in
+    let rhs =
+      match tgt.a_elt with
+      | I ->
+        let t1 = gen_int_term rng ~iters ~n ~arrays ~readable in
+        if Rng.int rng 2 = 0 then t1
+        else bin (Rng.choose rng [ Ast.Add; Ast.Sub ]) t1 (gen_int_term rng ~iters ~n ~arrays ~readable)
+      | D ->
+        let term () = gen_dbl_term rng ~iters ~n ~arrays ~readable ~dfns ~target:(Some tgt) in
+        let t1 = term () in
+        (match Rng.int rng 3 with
+        | 0 -> t1
+        | 1 -> bin (Rng.choose rng [ Ast.Add; Ast.Sub ]) t1 (term ())
+        | _ -> badd (bmul t1 (flit (Rng.choose rng dbl_pool))) (term ()))
+    in
+    assign lhs rhs
+  in
+  let body = List.map stmt_of targets in
+  match iters with
+  | [ i ] -> sfor i 1 n body
+  | [ i; j ] -> sfor i 1 n [ sfor j 1 n body ]
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Fixed program segments *)
+
+let init_nest rng ~dim (a : arr) =
+  let rhs_for iters =
+    match (a.a_elt, Rng.int rng 3) with
+    | I, 0 -> gen_iexpr rng ~vars:iters ~depth:1
+    | I, _ -> call "filli" (List.map (fun v -> id v) (if List.length iters = 2 then iters else iters @ [ "i" ]))
+    | D, 0 -> gen_dexpr rng ~vars:[] ~fns:[] ~depth:1
+    | D, _ ->
+      let args = match iters with [ i ] -> [ id i; ilit (Rng.int rng 3) ] | l -> List.map id l in
+      let c = call "fillf" args in
+      if Rng.int rng 2 = 0 then c else bmul c (flit (Rng.choose rng dbl_pool))
+  in
+  if a.a_rank = 1 then sfor "i" 0 (dim - 1) [ assign (idx1 a.a_name (id "i")) (rhs_for [ "i" ]) ]
+  else
+    sfor "i" 0 (dim - 1)
+      [ sfor "j" 0 (dim - 1) [ assign (idx2 a.a_name (id "i") (id "j")) (rhs_for [ "i"; "j" ]) ] ]
+
+(* weighted checksum of [a], printed at full precision: makes every cell's
+   final value (and, transitively, every nest's iteration order along its
+   dependences) observable in the output *)
+let checksum_segment k (a : arr) =
+  let acc = Printf.sprintf "s%d" k in
+  let dim = a.a_dim in
+  let weight iters =
+    let wexpr =
+      match iters with
+      | [ i ] -> bmod (bmul (id i) (ilit 3)) (ilit 7)
+      | [ i; j ] -> bmod (badd (bmul (id i) (ilit 3)) (bmul (id j) (ilit 5))) (ilit 7)
+      | _ -> assert false
+    in
+    badd wexpr (ilit 1)
+  in
+  let elem iters =
+    match iters with [ i ] -> idx1 a.a_name (id i) | [ i; j ] -> idx2 a.a_name (id i) (id j) | _ -> assert false
+  in
+  let body iters =
+    match a.a_elt with
+    | D -> assign (id acc) (badd (id acc) (bmul (elem iters) (weight iters)))
+    | I -> assign (id acc) (badd (id acc) (bmul (elem iters) (weight iters)))
+  in
+  let nest =
+    if a.a_rank = 1 then sfor "i" 0 (dim - 1) [ body [ "i" ] ]
+    else sfor "i" 0 (dim - 1) [ sfor "j" 0 (dim - 1) [ body [ "i"; "j" ] ] ]
+  in
+  let ty, fmt = match a.a_elt with D -> (Ast.Double, "%.17g") | I -> (Ast.Int, "%d") in
+  let init = match a.a_elt with D -> flit 0.0 | I -> ilit 0 in
+  [
+    sdecl ty acc (Some init);
+    nest;
+    sexpr (call "printf" [ e (Ast.StrLit (Printf.sprintf "%s %s\n" a.a_name fmt)); id acc ]);
+  ]
+
+let malloc_segment ~dim name =
+  let dptr = Ast.ptr Ast.Double in
+  let dptr2 = Ast.ptr dptr in
+  [
+    sdecl dptr2 name
+      (Some (e (Ast.Cast (dptr2, call "malloc" [ bmul (ilit dim) (e (Ast.SizeofType dptr)) ]))));
+    sfor "i" 0 (dim - 1)
+      [
+        assign (idx1 name (id "i"))
+          (e (Ast.Cast (dptr, call "malloc" [ bmul (ilit dim) (e (Ast.SizeofType Ast.Double)) ])));
+      ];
+  ]
+
+let free_segment ~dim name =
+  [ sfor "i" 0 (dim - 1) [ sexpr (call "free" [ idx1 name (id "i") ]) ]; sexpr (call "free" [ id name ]) ]
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs *)
+
+let global_array (a : arr) =
+  let base = match a.a_elt with D -> Ast.Double | I -> Ast.Int in
+  let ty =
+    if a.a_rank = 1 then Ast.Array (base, Some a.a_dim)
+    else Ast.Array (Ast.Array (base, Some a.a_dim), Some a.a_dim)
+  in
+  Ast.GVar { Ast.d_type = ty; d_name = a.a_name; d_storage = Ast.Auto; d_init = None; d_loc = Loc.dummy }
+
+(** Generate one random program (with its shape metadata) from [rng]. *)
+let program_info rng : program_info =
+  let n = 3 + Rng.int rng 4 in
+  let dim = n + 2 in
+  let mk name rank elt = { a_name = name; a_rank = rank; a_elt = elt; a_dim = dim; a_heap = false } in
+  let d2 = Util.take (1 + Rng.int rng 3) [ mk "A" 2 D; mk "B" 2 D; mk "C" 2 D ] in
+  let d1 = Util.take (Rng.int rng 3) [ mk "u" 1 D; mk "v" 1 D ] in
+  let i1 = Util.take (Rng.int rng 3) [ mk "p" 1 I; mk "q" 1 I ] in
+  let heap =
+    if Rng.int rng 10 < 4 then [ { (mk "M" 2 D) with a_heap = true } ] else []
+  in
+  let globals_arrs = d2 @ d1 @ i1 in
+  let arrays = globals_arrs @ heap in
+  (* pure helpers: the fill functions plus 1-2 branching double functions
+     and an optional int one *)
+  let fillf = gen_fillf rng and filli = gen_filli rng in
+  let ndfn = 1 + Rng.int rng 2 in
+  let dfns, dfn_globals =
+    List.fold_left
+      (fun (fns, gs) k ->
+        let name = Printf.sprintf "fd%d" k in
+        let g = gen_dfn rng ~callable:fns name in
+        (fns @ [ { p_name = name; p_params = [ D; D ] } ], gs @ [ g ]))
+      ([], []) (Util.range 0 ndfn)
+  in
+  let ifn_globals = if Rng.int rng 2 = 0 then [ gen_ifn rng "gi0" ] else [] in
+  (* main *)
+  let main_body = ref [] in
+  let push ss = main_body := !main_body @ ss in
+  List.iter (fun (a : arr) -> if a.a_heap then push (malloc_segment ~dim a.a_name)) arrays;
+  List.iter (fun a -> push [ init_nest rng ~dim a ]) arrays;
+  if Rng.int rng 3 = 0 then begin
+    let a = List.hd d2 in
+    push [ sexpr (call "printf" [ e (Ast.StrLit (Printf.sprintf "mid %s %%.17g\n" a.a_name)); idx2 a.a_name (ilit 1) (ilit 1) ]) ]
+  end;
+  let nnests = 1 + Rng.int rng 3 in
+  for _ = 1 to nnests do
+    push [ gen_compute_nest rng ~n ~arrays ~dfns ]
+  done;
+  if Rng.int rng 2 = 0 then begin
+    (* a scalar reduction nest over the double arrays *)
+    let acc = "acc0" in
+    let readable = arrays in
+    let term () = gen_dbl_term rng ~iters:[ "i"; "j" ] ~n ~arrays ~readable ~dfns ~target:None in
+    push
+      [
+        sdecl Ast.Double acc (Some (flit 0.0));
+        sfor "i" 1 n [ sfor "j" 1 n [ assign (id acc) (badd (id acc) (term ())) ] ];
+        sexpr (call "printf" [ e (Ast.StrLit "acc %.17g\n"); id acc ]);
+      ]
+  end;
+  List.iteri (fun k a -> push (checksum_segment k a)) arrays;
+  List.iter (fun (a : arr) -> if a.a_heap then push (free_segment ~dim a.a_name)) arrays;
+  push [ sreturn (ilit 0) ];
+  let main =
+    Ast.GFunc
+      {
+        Ast.f_name = "main";
+        f_ret = Ast.Int;
+        f_pure = false;
+        f_static = false;
+        f_params = [];
+        f_body = Some !main_body;
+        f_loc = Loc.dummy;
+      }
+  in
+  let prog =
+    [ Ast.GInclude ("<stdio.h>", Loc.dummy); Ast.GInclude ("<stdlib.h>", Loc.dummy) ]
+    @ List.map global_array globals_arrs
+    @ [ fillf; filli ] @ dfn_globals @ ifn_globals @ [ main ]
+  in
+  { pi_prog = prog; pi_n = n; pi_arrays = arrays }
+
+(** Generate the program for [seed] and print it to C source text. *)
+let program_of_seed seed : Ast.program =
+  let rng = Rng.create seed in
+  (program_info rng).pi_prog
+
+let source_of_seed seed = Ast_printer.program_to_string (program_of_seed seed)

@@ -1,0 +1,205 @@
+(** The differential oracle: one program, every meaningful pipeline
+    configuration, bit-identical outputs.
+
+    The baseline is the untransformed sequential interpretation.  Every
+    other configuration — purity-lowered manual OpenMP, the full pure chain
+    under several PluTo schedules/tilings, SICA — must print exactly the
+    same bytes and return the same code, because a {e legal} polyhedral
+    transform preserves the pairwise order of dependence-related iterations
+    (so even floating-point reductions accumulate in the original order).
+    Any divergence is a miscompile.
+
+    Beyond output equality the oracle checks structural invariants:
+    - every transformation matrix PluTo commits to is unimodular (the
+      iteration set maps bijectively, no iteration lost or duplicated);
+    - for every parallel segment of the execution profile, the runtime
+      worksharing {!Runtime.Par_loop.plan} is an exact partition of the
+      iteration space for all schedules at core counts 1, 4, 16 and 64;
+    - the machine model produces finite positive times at each core count. *)
+
+open Support
+
+type failure =
+  | Output_mismatch of { config : string; expected : string; got : string }
+  | Return_mismatch of { config : string; expected : int; got : int }
+  | Compile_failure of { config : string; detail : string }
+  | Runtime_failure of { config : string; detail : string }
+  | Nonunimodular of { config : string; detail : string }
+  | Plan_violation of { config : string; detail : string }
+  | Model_failure of { config : string; detail : string }
+
+type report = {
+  r_seed : int option;  (** filled in by the campaign driver *)
+  r_failures : failure list;
+  r_configs : int;  (** configurations compared *)
+}
+
+let failure_config = function
+  | Output_mismatch { config; _ }
+  | Return_mismatch { config; _ }
+  | Compile_failure { config; _ }
+  | Runtime_failure { config; _ }
+  | Nonunimodular { config; _ }
+  | Plan_violation { config; _ }
+  | Model_failure { config; _ } -> config
+
+let kind_tag = function
+  | Output_mismatch _ -> "output-mismatch"
+  | Return_mismatch _ -> "return-mismatch"
+  | Compile_failure _ -> "compile-failure"
+  | Runtime_failure _ -> "runtime-failure"
+  | Nonunimodular _ -> "non-unimodular"
+  | Plan_violation _ -> "plan-violation"
+  | Model_failure _ -> "model-failure"
+
+let describe = function
+  | Output_mismatch { config; expected; got } ->
+    Printf.sprintf "[%s] output mismatch\n--- expected\n%s--- got\n%s" config expected got
+  | Return_mismatch { config; expected; got } ->
+    Printf.sprintf "[%s] return code mismatch: expected %d, got %d" config expected got
+  | Compile_failure { config; detail } -> Printf.sprintf "[%s] compile failure: %s" config detail
+  | Runtime_failure { config; detail } -> Printf.sprintf "[%s] runtime failure: %s" config detail
+  | Nonunimodular { config; detail } -> Printf.sprintf "[%s] non-unimodular transform: %s" config detail
+  | Plan_violation { config; detail } -> Printf.sprintf "[%s] schedule plan violation: %s" config detail
+  | Model_failure { config; detail } -> Printf.sprintf "[%s] machine model failure: %s" config detail
+
+(* ------------------------------------------------------------------ *)
+(* Configurations under test *)
+
+let configs ~inject : (string * Toolchain.Chain.mode) list =
+  let with_inject c = if inject then { c with Pluto.unsafe_no_legality = true } else c in
+  [
+    ("manual-omp", Toolchain.Chain.Manual_omp);
+    ("pure-static", Toolchain.Chain.Pure_chain with_inject);
+    ( "pure-static4",
+      Toolchain.Chain.Pure_chain (fun c -> with_inject { c with Pluto.schedule_clause = Some "static,4" }) );
+    ( "pure-dyn1",
+      Toolchain.Chain.Pure_chain (fun c -> with_inject { c with Pluto.schedule_clause = Some "dynamic,1" }) );
+    ( "pure-tile",
+      Toolchain.Chain.Pure_chain (fun c -> with_inject { c with Pluto.tile = true; tile_sizes = [ 4 ] }) );
+    ( "pure-sica",
+      Toolchain.Chain.Pure_chain
+        (fun c -> with_inject { c with Pluto.sica = true; sica_cache = Toolchain.Chain.scaled_sica_cache }) );
+  ]
+
+let core_counts = [ 1; 4; 16; 64 ]
+
+let plan_schedules = [ Runtime.Par_loop.Static; Runtime.Par_loop.Static_chunk 4; Runtime.Par_loop.Dynamic 1 ]
+
+let sched_name = function
+  | Runtime.Par_loop.Static -> "static"
+  | Runtime.Par_loop.Static_chunk c -> Printf.sprintf "static,%d" c
+  | Runtime.Par_loop.Dynamic c -> Printf.sprintf "dynamic,%d" c
+
+(* ------------------------------------------------------------------ *)
+(* Structural checks *)
+
+let check_unimodular ~config (c : Toolchain.Chain.compiled) =
+  List.concat_map
+    (fun (o : Pluto.outcome) ->
+      match o.Pluto.o_result with
+      | Pluto.Rejected _ -> []
+      | Pluto.Transformed { t_units } ->
+        List.filter_map
+          (fun (u : Pluto.unit_info) ->
+            if Poly.Linalg.Imat.is_unimodular u.Pluto.ui_matrix then None
+            else
+              Some
+                (Nonunimodular
+                   {
+                     config;
+                     detail =
+                       Printf.sprintf "iterators [%s]: matrix %s" (String.concat ", " u.Pluto.ui_iters)
+                         (Poly.Linalg.Imat.to_string u.Pluto.ui_matrix);
+                   }))
+          t_units)
+    c.Toolchain.Chain.c_outcomes
+
+(* the plan of every schedule must be an exact partition of [0, m) *)
+let check_plans ~config (profile : Interp.Trace.profile) =
+  let check_one m =
+    List.concat_map
+      (fun workers ->
+        List.filter_map
+          (fun sched ->
+            let plan = Runtime.Par_loop.plan sched ~workers ~lo:0 ~hi:m in
+            let all = List.sort compare (List.concat (Array.to_list plan)) in
+            if all = Util.range 0 m then None
+            else
+              Some
+                (Plan_violation
+                   {
+                     config;
+                     detail =
+                       Printf.sprintf "%d iterations, %d workers, schedule(%s): covered %d of %d" m workers
+                         (sched_name sched) (List.length all) m;
+                   }))
+          plan_schedules)
+      core_counts
+  in
+  List.concat_map
+    (function
+      | Interp.Trace.Seq _ -> []
+      | Interp.Trace.Par { iters; _ } -> check_one (Array.length iters))
+    profile.Interp.Trace.segments
+
+let check_model ~config (profile : Interp.Trace.profile) =
+  List.filter_map
+    (fun n ->
+      let r = Machine.Model.simulate ~backend:Machine.Config.gcc ~n profile in
+      let t = r.Machine.Model.r_seconds in
+      if Float.is_finite t && t > 0.0 then None
+      else
+        Some (Model_failure { config; detail = Printf.sprintf "simulated time at %d cores is %g" n t }))
+    core_counts
+
+(* ------------------------------------------------------------------ *)
+
+let run_config mode source =
+  match Toolchain.Chain.run ~mode source with
+  | c, profile -> Ok (c, profile)
+  | exception Toolchain.Chain.Compile_error diags ->
+    Error (String.concat "; " (List.map (fun d -> d.Diag.code ^ ": " ^ d.Diag.message) diags))
+  | exception Diag.Fatal d -> Error (d.Diag.code ^ ": " ^ d.Diag.message)
+  | exception Interp.Exec.Runtime_error msg -> Error ("runtime: " ^ msg)
+
+(** Compare all configurations of [source] against the sequential baseline. *)
+let check ?(inject = false) (source : string) : report =
+  let cfgs = configs ~inject in
+  match run_config Toolchain.Chain.Sequential source with
+  | Error detail ->
+    { r_seed = None; r_failures = [ Compile_failure { config = "sequential"; detail } ]; r_configs = 1 }
+  | Ok (_, base) ->
+    let failures =
+      List.concat_map
+        (fun (name, mode) ->
+          match run_config mode source with
+          | Error detail ->
+            if Util.string_starts_with ~prefix:"runtime" detail then
+              [ Runtime_failure { config = name; detail } ]
+            else [ Compile_failure { config = name; detail } ]
+          | Ok (compiled, profile) ->
+            let fs = ref [] in
+            if profile.Interp.Trace.output <> base.Interp.Trace.output then
+              fs :=
+                Output_mismatch
+                  { config = name; expected = base.Interp.Trace.output; got = profile.Interp.Trace.output }
+                :: !fs;
+            if profile.Interp.Trace.return_code <> base.Interp.Trace.return_code then
+              fs :=
+                Return_mismatch
+                  {
+                    config = name;
+                    expected = base.Interp.Trace.return_code;
+                    got = profile.Interp.Trace.return_code;
+                  }
+                :: !fs;
+            List.rev !fs
+            @ check_unimodular ~config:name compiled
+            @ check_plans ~config:name profile
+            @ check_model ~config:name profile)
+        cfgs
+    in
+    { r_seed = None; r_failures = failures; r_configs = 1 + List.length cfgs }
+
+let passed r = r.r_failures = []

@@ -1,0 +1,268 @@
+(** Greedy minimizer for failing fuzz programs.
+
+    Starting from a program the oracle rejects, repeatedly tries
+    simplifications — dropping top-level statements of [main], shrinking
+    literal loop bounds, inlining pure calls away, dropping statements from
+    inner blocks — and keeps a candidate iff it still compiles sequentially
+    {e and} still produces a failure of the same kind.  First-improvement
+    descent until a full pass yields nothing, capped by an oracle-evaluation
+    budget so shrinking stays fast even on pathological inputs. *)
+
+open Cfront
+
+let default_budget = 400
+
+(* ------------------------------------------------------------------ *)
+(* Expression rewriting (the AST only ships a statement mapper) *)
+
+let rec map_expr f (e : Ast.expr) : Ast.expr =
+  let go = map_expr f in
+  let e' =
+    match e.Ast.edesc with
+    | Ast.IntLit _ | Ast.FloatLit _ | Ast.StrLit _ | Ast.CharLit _ | Ast.Ident _ | Ast.SizeofType _ -> e
+    | Ast.Binop (op, a, b) -> { e with Ast.edesc = Ast.Binop (op, go a, go b) }
+    | Ast.Unop (op, a) -> { e with Ast.edesc = Ast.Unop (op, go a) }
+    | Ast.Assign (op, a, b) -> { e with Ast.edesc = Ast.Assign (op, go a, go b) }
+    | Ast.Call (g, args) -> { e with Ast.edesc = Ast.Call (g, List.map go args) }
+    | Ast.Index (a, b) -> { e with Ast.edesc = Ast.Index (go a, go b) }
+    | Ast.Deref a -> { e with Ast.edesc = Ast.Deref (go a) }
+    | Ast.AddrOf a -> { e with Ast.edesc = Ast.AddrOf (go a) }
+    | Ast.Member (a, fld) -> { e with Ast.edesc = Ast.Member (go a, fld) }
+    | Ast.Arrow (a, fld) -> { e with Ast.edesc = Ast.Arrow (go a, fld) }
+    | Ast.Cast (ty, a) -> { e with Ast.edesc = Ast.Cast (ty, go a) }
+    | Ast.Cond (a, b, c) -> { e with Ast.edesc = Ast.Cond (go a, go b, go c) }
+    | Ast.SizeofExpr a -> { e with Ast.edesc = Ast.SizeofExpr (go a) }
+    | Ast.IncDec { pre; inc; arg } -> { e with Ast.edesc = Ast.IncDec { pre; inc; arg = go arg } }
+    | Ast.Comma (a, b) -> { e with Ast.edesc = Ast.Comma (go a, go b) }
+  in
+  f e'
+
+(* apply [f] to every expression of every statement under [s] *)
+let map_stmt_exprs f (s : Ast.stmt) : Ast.stmt =
+  let fe = map_expr f in
+  let fd (d : Ast.decl) = { d with Ast.d_init = Option.map fe d.Ast.d_init } in
+  Ast.map_stmt
+    (fun s ->
+      let sdesc =
+        match s.Ast.sdesc with
+        | Ast.SExpr e -> Ast.SExpr (fe e)
+        | Ast.SDecl d -> Ast.SDecl (fd d)
+        | Ast.SIf (c, t, e) -> Ast.SIf (fe c, t, e)
+        | Ast.SWhile (c, b) -> Ast.SWhile (fe c, b)
+        | Ast.SDoWhile (b, c) -> Ast.SDoWhile (b, fe c)
+        | Ast.SFor (init, cond, step, b) ->
+          let init' =
+            match init with
+            | Some (Ast.FInitDecl d) -> Some (Ast.FInitDecl (fd d))
+            | Some (Ast.FInitExpr e) -> Some (Ast.FInitExpr (fe e))
+            | None -> None
+          in
+          Ast.SFor (init', Option.map fe cond, Option.map fe step, b)
+        | Ast.SReturn e -> Ast.SReturn (Option.map fe e)
+        | (Ast.SBlock _ | Ast.SBreak | Ast.SContinue | Ast.SPragma _) as d -> d
+      in
+      { s with Ast.sdesc })
+    s
+
+let map_bodies f (prog : Ast.program) : Ast.program =
+  List.map
+    (fun g ->
+      match g with
+      | Ast.GFunc ({ Ast.f_body = Some body; _ } as fn) -> Ast.GFunc { fn with Ast.f_body = Some (f fn body) }
+      | g -> g)
+    prog
+
+(* ------------------------------------------------------------------ *)
+(* Candidate edits *)
+
+let drop_nth k l = List.filteri (fun i _ -> i <> k) l
+
+let main_body prog =
+  List.find_map
+    (fun g -> match g with Ast.GFunc { Ast.f_name = "main"; f_body = Some b; _ } -> Some b | _ -> None)
+    prog
+
+let with_main_body body' prog =
+  map_bodies (fun fn b -> if fn.Ast.f_name = "main" then body' else b) prog
+
+(* all programs obtained by dropping one top-level statement of main *)
+let drop_main_stmts prog =
+  match main_body prog with
+  | None -> []
+  | Some body ->
+    List.map (fun k -> with_main_body (drop_nth k body) prog) (Support.Util.range 0 (List.length body))
+
+(* decrement a literal [<=] loop bound: one candidate per distinct bound *)
+let shrink_bounds prog =
+  let bounds = ref [] in
+  let note v = if v >= 1 && not (List.mem v !bounds) then bounds := v :: !bounds in
+  List.iter
+    (fun g ->
+      match g with
+      | Ast.GFunc { Ast.f_body = Some body; _ } ->
+        List.iter
+          (Ast.fold_stmt
+             ~stmt:(fun () s ->
+               match s.Ast.sdesc with
+               | Ast.SFor (_, Some { Ast.edesc = Ast.Binop (Ast.Le, _, { Ast.edesc = Ast.IntLit v; _ }); _ }, _, _) ->
+                 note v
+               | _ -> ())
+             ~expr:(fun () _ -> ())
+             ())
+          body
+      | _ -> ())
+    prog;
+  List.map
+    (fun v ->
+      let lower =
+        Ast.map_stmt (fun s ->
+            match s.Ast.sdesc with
+            | Ast.SFor
+                (i, Some ({ Ast.edesc = Ast.Binop (Ast.Le, lhs, ({ Ast.edesc = Ast.IntLit v'; _ } as ub)); _ } as c), step, b)
+              when v' = v ->
+              {
+                s with
+                Ast.sdesc =
+                  Ast.SFor (i, Some { c with Ast.edesc = Ast.Binop (Ast.Le, lhs, { ub with Ast.edesc = Ast.IntLit (v - 1) }) }, step, b);
+              }
+            | _ -> s)
+      in
+      map_bodies (fun _ body -> List.map lower body) prog)
+    !bounds
+
+let pure_fn_names prog =
+  List.filter_map
+    (fun g -> match g with Ast.GFunc { Ast.f_pure = true; f_name; _ } -> Some f_name | _ -> None)
+    prog
+
+(* replace every call to one pure function by its first argument (or a
+   literal), then drop pure definitions that became unreferenced *)
+let inline_pure_calls prog =
+  List.map
+    (fun f ->
+      let rewrite e =
+        match e.Ast.edesc with
+        | Ast.Call (g, args) when g = f -> (
+          match args with a :: _ -> a | [] -> Ast.int_lit 1)
+        | _ -> e
+      in
+      let prog' = map_bodies (fun _ body -> List.map (map_stmt_exprs rewrite) body) prog in
+      let called =
+        List.concat_map
+          (fun g ->
+            match g with
+            | Ast.GFunc { Ast.f_body = Some body; _ } -> List.concat_map Ast.calls_in_stmt body
+            | _ -> [])
+          prog'
+      in
+      List.filter
+        (fun g ->
+          match g with
+          | Ast.GFunc { Ast.f_pure = true; f_name; _ } -> List.mem f_name called
+          | _ -> true)
+        prog')
+    (pure_fn_names prog)
+
+(* drop one statement from one multi-statement inner block of main *)
+let drop_inner_stmts prog =
+  match main_body prog with
+  | None -> []
+  | Some body ->
+    let count = ref 0 in
+    List.iter
+      (Ast.fold_stmt
+         ~stmt:(fun () s ->
+           match s.Ast.sdesc with
+           | Ast.SBlock ss when List.length ss > 1 -> count := !count + List.length ss
+           | _ -> ())
+         ~expr:(fun () _ -> ())
+         ())
+      body;
+    List.filter_map
+      (fun target ->
+        let seen = ref 0 in
+        let hit = ref false in
+        let edit =
+          Ast.map_stmt (fun s ->
+              match s.Ast.sdesc with
+              | Ast.SBlock ss when List.length ss > 1 ->
+                let ss' =
+                  List.filter
+                    (fun _ ->
+                      let k = !seen in
+                      incr seen;
+                      if k = target then begin
+                        hit := true;
+                        false
+                      end
+                      else true)
+                    ss
+                in
+                { s with Ast.sdesc = Ast.SBlock ss' }
+              | _ -> s)
+        in
+        let body' = List.map edit body in
+        if !hit then Some (with_main_body body' prog) else None)
+      (Support.Util.range 0 !count)
+
+(* drop one global array that no function body references *)
+let drop_unused_globals prog =
+  let referenced =
+    List.concat_map
+      (fun g ->
+        match g with
+        | Ast.GFunc { Ast.f_body = Some body; _ } ->
+          List.concat_map
+            (Ast.fold_stmt
+               ~stmt:(fun acc _ -> acc)
+               ~expr:(fun acc e -> match e.Ast.edesc with Ast.Ident x -> x :: acc | _ -> acc)
+               [])
+            body
+        | _ -> [])
+      prog
+  in
+  List.filter_map
+    (fun g ->
+      match g with
+      | Ast.GVar { Ast.d_name; _ } when not (List.mem d_name referenced) ->
+        Some (List.filter (fun g' -> g' != g) prog)
+      | _ -> None)
+    prog
+
+let candidates prog =
+  drop_main_stmts prog @ drop_unused_globals prog @ shrink_bounds prog @ inline_pure_calls prog
+  @ drop_inner_stmts prog
+
+(* ------------------------------------------------------------------ *)
+(* Descent *)
+
+let size prog = String.length (Ast_printer.program_to_string prog)
+
+(** [minimize ~inject ~kind prog] greedily shrinks [prog] while the oracle
+    keeps failing with a failure of [kind] (see {!Oracle.kind_tag}) and the
+    sequential baseline still compiles.  Returns the smallest failing
+    program found and the number of oracle evaluations spent. *)
+let minimize ?(budget = default_budget) ~inject ~kind (prog : Ast.program) : Ast.program * int =
+  let evals = ref 0 in
+  let still_fails p =
+    if !evals >= budget then false
+    else begin
+      incr evals;
+      let report = Oracle.check ~inject (Ast_printer.program_to_string p) in
+      List.exists (fun f -> Oracle.kind_tag f = kind) report.Oracle.r_failures
+      && not
+           (List.exists
+              (fun f -> Oracle.kind_tag f = "compile-failure" && Oracle.failure_config f = "sequential")
+              report.Oracle.r_failures)
+    end
+  in
+  let rec descend current =
+    if !evals >= budget then current
+    else
+      let better =
+        List.find_opt (fun cand -> size cand < size current && still_fails cand) (candidates current)
+      in
+      match better with Some c -> descend c | None -> current
+  in
+  let result = descend prog in
+  (result, !evals)

@@ -31,6 +31,10 @@ type config = {
   fn_summaries : (string * Purity.Fn_metadata.summary) list;
       (** access metadata of pure functions (paper §3.3 future work): lets
           the SICA tile model see the arrays a hidden call touches *)
+  unsafe_no_legality : bool;
+      (** fault injection for the fuzz oracle: skip the dependence legality
+          check and force an arbitrary permutation (see
+          {!Poly.Transform.find_schedule}); never set outside testing *)
 }
 
 let default_config =
@@ -44,6 +48,7 @@ let default_config =
     skip_malloc_loops = false;
     sica_cache = Sica.opteron_6272;
     fn_summaries = [];
+    unsafe_no_legality = false;
   }
 
 type outcome = {
@@ -155,7 +160,10 @@ let rec transform_nest config ~reveal ~enclosing (s : Ast.stmt) :
               unit.Poly.Scop_ir.u_body;
         }
       in
-      let sched = Poly.Transform.find_schedule unit in
+      let sched =
+        Poly.Transform.find_schedule
+          ~unsafe_skip_legality:config.unsafe_no_legality unit
+      in
       let depth = List.length unit.Poly.Scop_ir.u_iters in
       let visible_arrays =
         List.concat_map

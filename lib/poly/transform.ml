@@ -146,9 +146,24 @@ let analyze (u : Scop_ir.unit_nest) (t : int array array) : schedule =
 
 (** Find the best legal schedule: minimize the outermost parallel level,
     then transform complexity.  Always succeeds (identity is always legal —
-    it is the original execution order). *)
-let find_schedule (u : Scop_ir.unit_nest) : schedule =
+    it is the original execution order).
+
+    [unsafe_skip_legality] is a deliberate fault-injection hook for the
+    differential fuzz oracle: it returns the first non-identity permutation
+    {e without} checking it against the dependence polyhedra, i.e. exactly
+    the miscompile a polyhedral tool commits when its legality test is
+    broken.  The oracle must detect the resulting reorderings; never set it
+    in production paths. *)
+let find_schedule ?(unsafe_skip_legality = false) (u : Scop_ir.unit_nest) : schedule =
   let d = List.length u.u_iters in
+  if unsafe_skip_legality then
+    let illegal =
+      List.find_opt (fun t -> not (is_identity t)) (permutations d)
+    in
+    match illegal with
+    | Some t -> analyze u t
+    | None -> analyze u (identity_matrix d) (* d = 1: no permutation to inject *)
+  else
   let cands = dedup_matrices (candidates d) in
   let best = ref None in
   let score (s : schedule) =

@@ -7,6 +7,46 @@
 
 type schedule = Static | Static_chunk of int | Dynamic of int
 
+(** [plan schedule ~workers ~lo ~hi] is the iteration set each worker
+    executes, as an array of [workers] lists of ascending indices.
+
+    For [Static] and [Static_chunk] this is exactly the partition
+    {!parallel_for} uses.  [Dynamic] is nondeterministic at run time (chunks
+    go to whichever worker asks first); the plan models the canonical
+    round-robin dispatch order, which has the same coverage properties.  The
+    differential fuzz oracle checks that, for every schedule and worker
+    count, the plan is a {e partition} of [lo, hi): every iteration appears
+    exactly once across workers. *)
+let plan (schedule : schedule) ~workers ~lo ~hi : int list array =
+  let workers = max 1 workers in
+  let n = hi - lo in
+  let out = Array.make workers [] in
+  if n > 0 then begin
+    (match schedule with
+    | Static ->
+      let block = (n + workers - 1) / workers in
+      for w = 0 to workers - 1 do
+        let start = lo + (w * block) in
+        let stop = min hi (start + block) in
+        if start < stop then out.(w) <- List.init (stop - start) (fun k -> start + k)
+      done
+    | Static_chunk chunk | Dynamic chunk ->
+      (* worker w takes chunks w, w+workers, w+2*workers, ...; for Dynamic
+         this is the canonical first-come order of identical workers *)
+      let chunk = max 1 chunk in
+      for w = 0 to workers - 1 do
+        let rec go c acc =
+          let start = lo + (c * chunk) in
+          if start >= hi then List.rev acc
+          else
+            let stop = min hi (start + chunk) in
+            go (c + workers) (List.rev_append (List.init (stop - start) (fun k -> start + k)) acc)
+        in
+        out.(w) <- go w []
+      done)
+  end;
+  out
+
 (** [parallel_for pool ~schedule ~lo ~hi body] runs [body i] for every
     [lo <= i < hi], partitioned over the pool per [schedule].  Returns when
     all iterations are done. *)
@@ -21,35 +61,11 @@ let parallel_for pool ?(schedule = Static) ~lo ~hi (body : int -> unit) =
       done
     else begin
       match schedule with
-      | Static ->
-        let block = (n + workers - 1) / workers in
+      | Static | Static_chunk _ ->
+        (* deterministic schedules execute exactly their plan *)
+        let assignment = plan schedule ~workers ~lo ~hi in
         let jobs =
-          List.init workers (fun w ->
-              let start = lo + (w * block) in
-              let stop = min hi (start + block) in
-              fun () ->
-                for i = start to stop - 1 do
-                  body i
-                done)
-        in
-        Pool.run pool jobs
-      | Static_chunk chunk ->
-        let chunk = max 1 chunk in
-        let jobs =
-          List.init workers (fun w ->
-              fun () ->
-                (* worker w takes chunks w, w+workers, w+2*workers, ... *)
-                let rec go c =
-                  let start = lo + (c * chunk) in
-                  if start < hi then begin
-                    let stop = min hi (start + chunk) in
-                    for i = start to stop - 1 do
-                      body i
-                    done;
-                    go (c + workers)
-                  end
-                in
-                go w)
+          List.init workers (fun w -> fun () -> List.iter body assignment.(w))
         in
         Pool.run pool jobs
       | Dynamic chunk ->

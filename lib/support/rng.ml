@@ -39,6 +39,19 @@ let gaussian t =
   let u1 = max 1e-12 (float t) and u2 = float t in
   sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
 
+(** Derive an independent child stream.  Splitmix64 is splittable by
+    construction: the child is seeded from the parent's next output, so two
+    splits of the same parent state always yield the same pair of streams —
+    the property the fuzz harness relies on to keep program {e structure}
+    decisions independent of {e constant} decisions while staying replayable
+    from one integer seed. *)
+let split t = { state = next_int64 t }
+
+(** Pick one element of a non-empty list uniformly. *)
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | l -> List.nth l (int t (List.length l))
+
 let shuffle t arr =
   for i = Array.length arr - 1 downto 1 do
     let j = int t (i + 1) in

@@ -24,6 +24,10 @@ let argmin_array cmp a =
   done;
   !best
 
+let string_starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
 let string_contains ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in
   if nl = 0 then true

@@ -13,6 +13,39 @@ open Support
 
 exception Compile_error of Diag.t list
 
+(* ------------------------------------------------------------------ *)
+(* CLI exit codes.  [purec] distinguishes the failure stages so scripts
+   (and the fuzz harness) can tell a malformed input from a program the
+   purity verifier rejects. *)
+
+let exit_ok = 0
+
+let exit_error = 1  (** runtime faults and other non-compile failures *)
+
+let exit_parse_error = 2  (** lexer/parser/preprocessor rejections *)
+
+let exit_purity_error = 3  (** purity verification or scop-marking rejections *)
+
+let exit_fuzz_mismatch = 4  (** the differential fuzz oracle found a divergence *)
+
+let is_parse_code code =
+  code = "parse" || Util.string_starts_with ~prefix:"parse." code
+  || Util.string_starts_with ~prefix:"lex" code
+  || Util.string_starts_with ~prefix:"cpp" code
+
+let is_purity_code code =
+  Util.string_starts_with ~prefix:"pure." code
+  || Util.string_starts_with ~prefix:"scop." code
+
+(** Map the diagnostics of a failed compile to the process exit code:
+    purity/scop rejections win over parse errors (a purity error means the
+    input parsed), and anything unclassified is the generic [exit_error]. *)
+let classify_errors (diags : Diag.t list) : int =
+  let codes = List.filter_map (fun d -> if d.Diag.severity = Diag.Error then Some d.Diag.code else None) diags in
+  if List.exists is_purity_code codes then exit_purity_error
+  else if List.exists is_parse_code codes then exit_parse_error
+  else exit_error
+
 type compiled = {
   c_ast : Cfront.Ast.program;  (** the program the backend executes *)
   c_emitted : string;  (** final C text after PC-PosPro *)

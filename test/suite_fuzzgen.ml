@@ -1,0 +1,254 @@
+(** Differential fuzzing subsystem tests: generator validity, the
+    hide/reveal substitution property, oracle agreement on clean builds,
+    fault-injection detection with seed-replayable shrinking, worksharing
+    plan partitions, and CLI exit-code classification. *)
+
+open Cfront
+
+(* ------------------------------------------------------------------ *)
+(* Substitution round-trip: hiding pure calls behind opaque constants and
+   revealing them again must pretty-print back to the original program. *)
+
+let hide_reveal_fixpoint (prog : Ast.program) =
+  let transformed =
+    List.map
+      (fun g ->
+        match g with
+        | Ast.GFunc ({ Ast.f_body = Some body; _ } as fn) ->
+          let table = Purity.Substitute.create () in
+          let hidden = List.map (Purity.Substitute.hide_stmt table) body in
+          let revealed = List.map (Purity.Substitute.reveal_stmt table) hidden in
+          Ast.GFunc { fn with Ast.f_body = Some revealed }
+        | g -> g)
+      prog
+  in
+  Ast_printer.program_to_string transformed = Ast_printer.program_to_string prog
+
+let workload_sources =
+  [
+    ("matmul-pure", Workloads.Matmul.pure_source ());
+    ("matmul-inlined", Workloads.Matmul.inlined_source ());
+    ("matmul-pure-noinit", Workloads.Matmul.pure_noinit_source ());
+    ("heat-pure", Workloads.Heat.pure_source ());
+    ("heat-inlined", Workloads.Heat.inlined_source ());
+    ("satellite-pure", Workloads.Satellite.pure_source ());
+    ("satellite-manual", Workloads.Satellite.manual_source ());
+    ("lama-pure", Workloads.Lama_app.pure_source ());
+    ("lama-manual", Workloads.Lama_app.manual_source ());
+  ]
+  @ List.map (fun k -> ("kernel-" ^ k.Workloads.Kernels.k_name, k.Workloads.Kernels.k_source)) Workloads.Kernels.all
+
+let test_substitute_workloads () =
+  List.iter
+    (fun (name, src) ->
+      let prog = Parser.program_of_string src in
+      Alcotest.(check bool) (name ^ " hide/reveal fixpoint") true (hide_reveal_fixpoint prog))
+    workload_sources
+
+let qcheck_substitute_fuzzed =
+  QCheck.Test.make ~name:"hide/reveal fixpoint on fuzzed programs" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed -> hide_reveal_fixpoint (Fuzzgen.Gen.program_of_seed seed))
+
+let qcheck_printer_roundtrip_fuzzed =
+  QCheck.Test.make ~name:"printer round-trip fixpoint on fuzzed programs" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let printed = Ast_printer.program_to_string (Fuzzgen.Gen.program_of_seed seed) in
+      let reparsed = Parser.program_of_string printed in
+      let printed' = Ast_printer.program_to_string reparsed in
+      Ast_printer.program_to_string (Parser.program_of_string printed') = printed')
+
+(* ------------------------------------------------------------------ *)
+(* Generated programs are valid by construction *)
+
+let test_generator_validity () =
+  for seed = 1 to 15 do
+    let src = Fuzzgen.Gen.source_of_seed seed in
+    match Toolchain.Chain.run ~mode:Toolchain.Chain.Sequential src with
+    | _, profile ->
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d returns 0" seed)
+        0 profile.Interp.Trace.return_code;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d prints checksums" seed)
+        true
+        (String.length profile.Interp.Trace.output > 0)
+    | exception Toolchain.Chain.Compile_error diags ->
+      Alcotest.failf "seed %d does not compile: %s" seed
+        (String.concat "; " (List.map (fun d -> d.Support.Diag.message) diags))
+  done
+
+let test_generator_deterministic () =
+  Alcotest.(check string)
+    "same seed, same program" (Fuzzgen.Gen.source_of_seed 42) (Fuzzgen.Gen.source_of_seed 42);
+  Alcotest.(check bool)
+    "different seeds, different programs" true
+    (Fuzzgen.Gen.source_of_seed 42 <> Fuzzgen.Gen.source_of_seed 43)
+
+(* ------------------------------------------------------------------ *)
+(* Differential oracle *)
+
+let test_oracle_clean_campaign () =
+  let result = Fuzzgen.Fuzz.campaign ~seed:1 ~count:10 () in
+  Alcotest.(check int) "no mismatches on 10 seeds" 0 (List.length result.Fuzzgen.Fuzz.k_failed);
+  Alcotest.(check int) "seven configurations compared" 7 result.Fuzzgen.Fuzz.k_configs
+
+(* disabling the legality check must produce an output mismatch the oracle
+   catches on some seed, and the shrinker must minimize it while the seed
+   replays the same failure *)
+let test_injected_miscompile_caught_and_shrunk () =
+  let rec find_failure seed =
+    if seed > 15 then Alcotest.fail "no injected miscompile caught in seeds 1-15"
+    else
+      let case = Fuzzgen.Fuzz.run_one ~inject:true ~shrink:false seed in
+      let mismatches =
+        List.filter
+          (fun f -> Fuzzgen.Oracle.kind_tag f = "output-mismatch")
+          case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures
+      in
+      if mismatches = [] then find_failure (seed + 1) else (seed, case)
+  in
+  let seed, case = find_failure 1 in
+  (* replay from the seed alone: the failure reproduces identically *)
+  let replay = Fuzzgen.Fuzz.run_one ~inject:true ~shrink:false seed in
+  Alcotest.(check bool) "replay from seed fails identically" true
+    (List.map Fuzzgen.Oracle.kind_tag replay.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures
+    = List.map Fuzzgen.Oracle.kind_tag case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures);
+  (* the same seed without injection is clean: the oracle flags the injected
+     illegality, not the program *)
+  let clean = Fuzzgen.Fuzz.run_one ~inject:false ~shrink:false seed in
+  Alcotest.(check bool) "same seed passes without injection" true
+    (Fuzzgen.Oracle.passed clean.Fuzzgen.Fuzz.c_report);
+  (* shrinking yields a smaller program that still fails the same way *)
+  let prog = Fuzzgen.Gen.program_of_seed seed in
+  let minimized, evals = Fuzzgen.Shrink.minimize ~inject:true ~kind:"output-mismatch" prog in
+  let shrunk_src = Ast_printer.program_to_string minimized in
+  Alcotest.(check bool) "shrinker spent at least one evaluation" true (evals > 0);
+  Alcotest.(check bool) "minimized program is smaller" true
+    (String.length shrunk_src < String.length case.Fuzzgen.Fuzz.c_source);
+  let report = Fuzzgen.Oracle.check ~inject:true shrunk_src in
+  Alcotest.(check bool) "minimized program still mismatches" true
+    (List.exists
+       (fun f -> Fuzzgen.Oracle.kind_tag f = "output-mismatch")
+       report.Fuzzgen.Oracle.r_failures)
+
+(* ------------------------------------------------------------------ *)
+(* Worksharing plans are exact partitions *)
+
+let flatten_sorted plan = List.sort compare (List.concat (Array.to_list plan))
+
+let test_plan_partitions () =
+  List.iter
+    (fun sched ->
+      List.iter
+        (fun workers ->
+          List.iter
+            (fun (lo, hi) ->
+              let plan = Runtime.Par_loop.plan sched ~workers ~lo ~hi in
+              Alcotest.(check (list int))
+                (Printf.sprintf "partition w=%d [%d,%d)" workers lo hi)
+                (Support.Util.range lo hi) (flatten_sorted plan))
+            [ (0, 0); (0, 1); (0, 7); (3, 20); (0, 64); (5, 6) ])
+        [ 1; 3; 4; 16; 64 ])
+    [ Runtime.Par_loop.Static; Runtime.Par_loop.Static_chunk 4; Runtime.Par_loop.Dynamic 1 ]
+
+let test_plan_static_contiguous () =
+  let plan = Runtime.Par_loop.plan Runtime.Par_loop.Static ~workers:4 ~lo:0 ~hi:8 in
+  Alcotest.(check (list int)) "worker 0 gets first block" [ 0; 1 ] plan.(0);
+  Alcotest.(check (list int)) "worker 3 gets last block" [ 6; 7 ] plan.(3)
+
+let test_plan_chunked_round_robin () =
+  let plan = Runtime.Par_loop.plan (Runtime.Par_loop.Static_chunk 2) ~workers:2 ~lo:0 ~hi:8 in
+  Alcotest.(check (list int)) "worker 0 chunks 0 and 2" [ 0; 1; 4; 5 ] plan.(0);
+  Alcotest.(check (list int)) "worker 1 chunks 1 and 3" [ 2; 3; 6; 7 ] plan.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Exit-code classification (the CLI maps failure stages to exit codes) *)
+
+let diag ~code =
+  { Support.Diag.severity = Support.Diag.Error; code; loc = Support.Loc.dummy; message = "test" }
+
+let test_classify_errors () =
+  let check name expected diags =
+    Alcotest.(check int) name expected (Toolchain.Chain.classify_errors diags)
+  in
+  check "parse code" Toolchain.Chain.exit_parse_error [ diag ~code:"parse" ];
+  check "lexer code" Toolchain.Chain.exit_parse_error [ diag ~code:"lex" ];
+  check "cpp code" Toolchain.Chain.exit_parse_error [ diag ~code:"cpp.include" ];
+  check "purity code" Toolchain.Chain.exit_purity_error [ diag ~code:"pure.global-write" ];
+  check "scop code" Toolchain.Chain.exit_purity_error [ diag ~code:"scop.arg-assigned" ];
+  check "purity wins over parse" Toolchain.Chain.exit_purity_error
+    [ diag ~code:"parse"; diag ~code:"pure.global-write" ];
+  check "unknown code" Toolchain.Chain.exit_error [ diag ~code:"interp.whatever" ];
+  check "no errors" Toolchain.Chain.exit_error []
+
+let test_classify_end_to_end () =
+  (* a parse error ends with the parse exit code *)
+  (match Toolchain.Chain.compile "int main( {" with
+  | _ -> Alcotest.fail "garbage parsed"
+  | exception Support.Diag.Fatal d ->
+    Alcotest.(check int) "parse failure classifies as parse" Toolchain.Chain.exit_parse_error
+      (Toolchain.Chain.classify_errors [ d ])
+  | exception Toolchain.Chain.Compile_error diags ->
+    Alcotest.(check int) "parse failure classifies as parse" Toolchain.Chain.exit_parse_error
+      (Toolchain.Chain.classify_errors diags));
+  (* a purity violation under the pure chain ends with the purity exit code *)
+  let impure =
+    "int g;\n\
+     pure int bad(int x) { g = x; return x; }\n\
+     int main() { printf(\"%d\\n\", bad(1)); return 0; }\n"
+  in
+  match Toolchain.Chain.compile ~mode:(Toolchain.Chain.Pure_chain (fun c -> c)) impure with
+  | _ -> Alcotest.fail "impure function accepted"
+  | exception Toolchain.Chain.Compile_error diags ->
+    Alcotest.(check int) "purity failure classifies as purity" Toolchain.Chain.exit_purity_error
+      (Toolchain.Chain.classify_errors diags)
+
+(* the installed binary itself returns the distinct codes *)
+let test_cli_exit_codes () =
+  let purec =
+    (* dune runs tests in _build/default/test; the binary sits next door *)
+    let candidates = [ "../bin/purec.exe"; "_build/default/bin/purec.exe" ] in
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> p
+    | None -> Alcotest.skip ()
+  in
+  let run_file content args =
+    let path = Filename.temp_file "purec_test" ".c" in
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    let cmd =
+      Printf.sprintf "%s %s %s >/dev/null 2>&1" (Filename.quote purec) args (Filename.quote path)
+    in
+    let code = Sys.command cmd in
+    Sys.remove path;
+    code
+  in
+  Alcotest.(check int) "parse error exits 2" Toolchain.Chain.exit_parse_error
+    (run_file "int main( {" "check");
+  Alcotest.(check int) "purity error exits 3" Toolchain.Chain.exit_purity_error
+    (run_file
+       "int g;\npure int bad(int x) { g = x; return x; }\nint main() { return bad(1); }\n"
+       "check");
+  Alcotest.(check int) "clean file exits 0" 0
+    (run_file "int main() { printf(\"ok\\n\"); return 0; }\n" "check")
+
+let suite =
+  [
+    Alcotest.test_case "substitute fixpoint on workloads" `Quick test_substitute_workloads;
+    QCheck_alcotest.to_alcotest qcheck_substitute_fuzzed;
+    QCheck_alcotest.to_alcotest qcheck_printer_roundtrip_fuzzed;
+    Alcotest.test_case "generator validity" `Quick test_generator_validity;
+    Alcotest.test_case "generator determinism" `Quick test_generator_deterministic;
+    Alcotest.test_case "oracle clean campaign" `Quick test_oracle_clean_campaign;
+    Alcotest.test_case "injected miscompile caught and shrunk" `Slow
+      test_injected_miscompile_caught_and_shrunk;
+    Alcotest.test_case "plan partitions" `Quick test_plan_partitions;
+    Alcotest.test_case "plan static blocks" `Quick test_plan_static_contiguous;
+    Alcotest.test_case "plan chunk round-robin" `Quick test_plan_chunked_round_robin;
+    Alcotest.test_case "classify_errors" `Quick test_classify_errors;
+    Alcotest.test_case "classification end-to-end" `Quick test_classify_end_to_end;
+    Alcotest.test_case "cli exit codes" `Quick test_cli_exit_codes;
+  ]

@@ -1,0 +1,80 @@
+(** Golden-file round-trip tests for every workload source.
+
+    Each source goes through the front half of the chain — PC-PrePro strip,
+    GCC-E preprocessing, parse — and is pretty-printed.  The result must
+
+    - match the committed golden file in [test/golden/] byte for byte
+      (any printer or parser change shows up as a reviewable diff), and
+    - be a fixed point of parse ∘ print (lex → parse → print → lex → parse
+      reproduces the same text), the property every source-to-source stage
+      of the pipeline relies on.
+
+    Regenerate the golden files after an intentional printer change with:
+    [GOLDEN_UPDATE=/abs/path/to/test/golden dune runtest]. *)
+
+open Cfront
+
+(* fixed small sizes so the golden files stay readable and stable *)
+let cases =
+  [
+    ("matmul_pure", Workloads.Matmul.pure_source ~n:8 ());
+    ("matmul_inlined", Workloads.Matmul.inlined_source ~n:8 ());
+    ("matmul_pure_noinit", Workloads.Matmul.pure_noinit_source ~n:8 ());
+    ("heat_pure", Workloads.Heat.pure_source ~n:8 ~t:2 ());
+    ("heat_inlined", Workloads.Heat.inlined_source ~n:8 ~t:2 ());
+    ("satellite_pure", Workloads.Satellite.pure_source ~w:6 ~h:4 ~bands:3 ());
+    ("satellite_manual", Workloads.Satellite.manual_source ~w:6 ~h:4 ~bands:3 ());
+    ("lama_pure", Workloads.Lama_app.pure_source ~rows:8 ~maxnnz:3 ~reps:2 ());
+    ("lama_manual", Workloads.Lama_app.manual_source ~rows:8 ~maxnnz:3 ~reps:2 ());
+  ]
+  @ List.map
+      (fun k -> ("kernel_" ^ k.Workloads.Kernels.k_name, k.Workloads.Kernels.k_source))
+      Workloads.Kernels.all
+
+(* strip → preprocess → parse, failing the test on any diagnostic error *)
+let front_half name source =
+  let reporter = Support.Diag.create_reporter () in
+  let stripped = Cpp.Pc_prepro.strip source in
+  let env = Cpp.Preproc.create ~reporter () in
+  let preprocessed = Cpp.Preproc.run env stripped.Cpp.Pc_prepro.source in
+  let prog = Parser.program_of_string ~reporter preprocessed in
+  if Support.Diag.has_errors reporter then
+    Alcotest.failf "%s: front half reported errors: %s" name
+      (String.concat "; "
+         (List.map (fun d -> d.Support.Diag.message) (Support.Diag.errors reporter)));
+  prog
+
+let golden_path name =
+  (* dune runs the tests in _build/default/test with golden/ declared as deps *)
+  Filename.concat "golden" (name ^ ".golden")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let update_dir () = Sys.getenv_opt "GOLDEN_UPDATE"
+
+let test_case_for (name, source) () =
+  let printed = Ast_printer.program_to_string (front_half name source) in
+  (match update_dir () with
+  | Some dir ->
+    let oc = open_out_bin (Filename.concat dir (name ^ ".golden")) in
+    output_string oc printed;
+    close_out oc
+  | None ->
+    let path = golden_path name in
+    if not (Sys.file_exists path) then
+      Alcotest.failf "%s: missing golden file %s (set GOLDEN_UPDATE to generate)" name path;
+    Alcotest.(check string) (name ^ " matches golden") (read_file path) printed);
+  (* lex → parse → print is a fixed point of the printed form *)
+  let reparsed = Parser.program_of_string printed in
+  Alcotest.(check string)
+    (name ^ " parse/print fixed point")
+    printed
+    (Ast_printer.program_to_string reparsed)
+
+let suite =
+  List.map (fun (name, src) -> Alcotest.test_case name `Quick (test_case_for (name, src))) cases

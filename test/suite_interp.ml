@@ -288,6 +288,122 @@ let test_iteration_costs_vary () =
     Alcotest.(check bool) "last heavier than first" true (last > 5 * first)
   | _ -> Alcotest.fail "unexpected segment structure"
 
+(* ------------------------------------------------------------------ *)
+(* Cache simulator unit tests (lib/interp/cache.ml directly) *)
+
+let small_cache () =
+  (* 256 B 2-way L1 over 64-byte lines: 4 lines, 2 sets; tiny 2-way L2 *)
+  let counters = Interp.Cost.create () in
+  let c =
+    Interp.Cache.create ~l1_bytes:256 ~l1_assoc:2 ~l2_bytes:1024 ~l2_assoc:2 ~line_bytes:64
+      counters
+  in
+  (c, counters)
+
+let test_cache_hit_miss_accounting () =
+  let c, counters = small_cache () in
+  Interp.Cache.access c 0;
+  (* cold: misses in both levels *)
+  Alcotest.(check int) "one L1 access" 1 c.Interp.Cache.l1.Interp.Cache.accesses;
+  Alcotest.(check int) "cold L1 miss" 1 c.Interp.Cache.l1.Interp.Cache.misses;
+  Alcotest.(check int) "cold L2 miss" 1 c.Interp.Cache.l2.Interp.Cache.misses;
+  Alcotest.(check int) "counter L1 miss" 1 counters.Interp.Cost.l1_misses;
+  Alcotest.(check int) "counter L2 miss" 1 counters.Interp.Cost.l2_misses;
+  (* same 64-byte line: pure hit, nothing reaches L2 *)
+  Interp.Cache.access c 8;
+  Alcotest.(check int) "same line hits" 1 c.Interp.Cache.l1.Interp.Cache.misses;
+  Alcotest.(check int) "L2 untouched on L1 hit" 1 c.Interp.Cache.l2.Interp.Cache.accesses;
+  (* next line: new cold miss *)
+  Interp.Cache.access c 64;
+  Alcotest.(check int) "next line misses" 2 c.Interp.Cache.l1.Interp.Cache.misses;
+  Alcotest.(check int) "counters track level misses" 2 counters.Interp.Cost.l1_misses
+
+let test_cache_lru_eviction () =
+  let c, _ = small_cache () in
+  (* lines 0, 2, 4 all map to set 0 of the 2-set L1; the third access evicts
+     the least recently used line 0 *)
+  Interp.Cache.access c 0;
+  Interp.Cache.access c 128;
+  Interp.Cache.access c 256;
+  let misses_before = c.Interp.Cache.l1.Interp.Cache.misses in
+  Interp.Cache.access c 128;
+  Alcotest.(check int) "line 2 survives (MRU kept)" misses_before
+    c.Interp.Cache.l1.Interp.Cache.misses;
+  Interp.Cache.access c 0;
+  Alcotest.(check int) "line 0 was evicted" (misses_before + 1)
+    c.Interp.Cache.l1.Interp.Cache.misses
+
+let test_cache_reset_all () =
+  let c, counters = small_cache () in
+  Interp.Cache.access c 0;
+  Interp.Cache.access c 64;
+  Interp.Cache.reset_all c;
+  Alcotest.(check int) "L1 accesses cleared" 0 c.Interp.Cache.l1.Interp.Cache.accesses;
+  Alcotest.(check int) "L1 misses cleared" 0 c.Interp.Cache.l1.Interp.Cache.misses;
+  Alcotest.(check int) "L2 misses cleared" 0 c.Interp.Cache.l2.Interp.Cache.misses;
+  (* the cost counters belong to the run, not the cache: reset keeps them *)
+  Alcotest.(check int) "cost counters survive reset" 2 counters.Interp.Cost.l1_misses;
+  (* after the reset the same line is cold again *)
+  Interp.Cache.access c 0;
+  Alcotest.(check int) "cold after reset" 1 c.Interp.Cache.l1.Interp.Cache.misses
+
+(* ------------------------------------------------------------------ *)
+(* Trace structure unit tests (lib/interp/trace.ml) *)
+
+let test_trace_event_ordering () =
+  let p =
+    run
+      "double a[8];\n\
+       int main() {\n\
+      \  printf(\"before\\n\");\n\
+       #pragma omp parallel for\n\
+      \  for (int i = 0; i < 8; i++) a[i] = i * 2.0;\n\
+      \  printf(\"between\\n\");\n\
+       #pragma omp parallel for schedule(dynamic,2)\n\
+      \  for (int i = 0; i < 4; i++) a[i] = a[i] + 1.0;\n\
+      \  printf(\"after %f\\n\", a[3]);\n\
+      \  return 0;\n\
+       }\n"
+  in
+  (* segments alternate Seq / Par / Seq / Par / Seq in program order *)
+  (match p.Interp.Trace.segments with
+  | [ Interp.Trace.Seq _; Interp.Trace.Par p1; Interp.Trace.Seq _; Interp.Trace.Par p2;
+      Interp.Trace.Seq _ ] ->
+    Alcotest.(check int) "first loop iterations" 8 (Array.length p1.iters);
+    Alcotest.(check int) "second loop iterations" 4 (Array.length p2.iters);
+    Alcotest.(check bool) "first schedule static" true (p1.sched = Interp.Trace.Static);
+    Alcotest.(check bool) "second schedule dynamic,2" true (p2.sched = Interp.Trace.Dynamic 2)
+  | segs -> Alcotest.failf "unexpected segment shape (%d segments)" (List.length segs));
+  Alcotest.(check string) "output in program order" "before\nbetween\nafter 7.000000\n"
+    p.Interp.Trace.output;
+  Alcotest.(check int) "two parallel segments" 2 (Interp.Trace.n_parallel_segments p);
+  Alcotest.(check int) "twelve parallel iterations" 12 (Interp.Trace.n_parallel_iterations p)
+
+let test_trace_total_cost_aggregates () =
+  let p =
+    run
+      "double a[8];\n\
+       int main() {\n\
+       #pragma omp parallel for\n\
+      \  for (int i = 0; i < 8; i++) a[i] = i * 2.0;\n\
+      \  return 0;\n\
+       }\n"
+  in
+  (* the aggregate equals the by-hand fold over segments *)
+  let manual = Interp.Cost.create () in
+  List.iter
+    (function
+      | Interp.Trace.Seq c -> Interp.Cost.add_into ~into:manual c
+      | Interp.Trace.Par { iters; _ } ->
+        Array.iter (fun c -> Interp.Cost.add_into ~into:manual c) iters)
+    p.Interp.Trace.segments;
+  let total = Interp.Trace.total_cost p in
+  Alcotest.(check int) "total ops aggregate" (Interp.Cost.total_ops manual)
+    (Interp.Cost.total_ops total);
+  Alcotest.(check int) "stores aggregate" manual.Interp.Cost.stores total.Interp.Cost.stores;
+  Alcotest.(check bool) "parallel iterations carry cost" true
+    (Interp.Cost.total_ops total > 0)
+
 let suite =
   [
     Alcotest.test_case "arithmetic" `Quick test_arithmetic;
@@ -319,4 +435,9 @@ let suite =
     Alcotest.test_case "nested omp sequentialized" `Quick test_omp_nested_sequentialized;
     Alcotest.test_case "per-instance segments" `Quick test_omp_per_instance_segments;
     Alcotest.test_case "iteration costs vary" `Quick test_iteration_costs_vary;
+    Alcotest.test_case "cache hit/miss accounting" `Quick test_cache_hit_miss_accounting;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache reset" `Quick test_cache_reset_all;
+    Alcotest.test_case "trace event ordering" `Quick test_trace_event_ordering;
+    Alcotest.test_case "trace cost aggregation" `Quick test_trace_total_cost_aggregates;
   ]

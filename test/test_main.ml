@@ -17,4 +17,6 @@ let () =
       ("toolchain", Suite_toolchain.suite);
       ("kernels", Suite_kernels.suite);
       ("metadata", Suite_metadata.suite);
+      ("golden", Suite_golden.suite);
+      ("fuzzgen", Suite_fuzzgen.suite);
     ]
