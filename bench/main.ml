@@ -8,6 +8,7 @@
     dune exec bench/main.exe -- --ablation schedules
     dune exec bench/main.exe -- --quick      # small problem sizes
     dune exec bench/main.exe -- --micro      # bechamel microbenchmarks
+    dune exec bench/main.exe -- --json       # also write BENCH_results.json
     v}
 
     Shapes to compare against the paper are recorded in EXPERIMENTS.md. *)
@@ -17,7 +18,47 @@ let pf fmt = Format.printf fmt
 (* ------------------------------------------------------------------ *)
 (* Figures *)
 
-let run_figures scale which =
+(* BENCH_results.json: one flat record per (figure, variant, cores) point,
+   so plotting scripts and cross-run diffs need no nested traversal *)
+let json_path = "BENCH_results.json"
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json figures =
+  let module F = Toolchain.Figures in
+  let records =
+    List.concat_map
+      (fun (f : F.figure) ->
+        List.concat_map
+          (fun (s : F.series) ->
+            List.map
+              (fun (cores, seconds) ->
+                Printf.sprintf
+                  "  {\"figure\": \"%s\", \"title\": \"%s\", \"unit\": \"%s\", \
+                   \"variant\": \"%s\", \"cores\": %d, \"seconds\": %.9g}"
+                  (json_escape f.F.f_id) (json_escape f.F.f_title) (json_escape f.F.f_unit)
+                  (json_escape s.F.s_label) cores seconds)
+              s.F.s_points)
+          f.F.f_series)
+      figures
+  in
+  let oc = open_out_bin json_path in
+  output_string oc ("[\n" ^ String.concat ",\n" records ^ "\n]\n");
+  close_out oc;
+  pf "wrote %d records to %s@." (List.length records) json_path
+
+let run_figures scale which ~json =
   let module F = Toolchain.Figures in
   let wants id = match which with None -> true | Some w -> w = id in
   let matmul = lazy (F.matmul_dataset scale) in
@@ -37,13 +78,18 @@ let run_figures scale which =
       (11, fun () -> F.fig11 ~scale ~lama:(Lazy.force lama) ());
     ]
   in
-  List.iter
-    (fun (id, mk) ->
-      if wants id then begin
-        let fig = mk () in
-        pf "%a@." (fun ppf f -> F.render_figure ppf f) fig
-      end)
-    figures;
+  let rendered =
+    List.filter_map
+      (fun (id, mk) ->
+        if wants id then begin
+          let fig = mk () in
+          pf "%a@." (fun ppf f -> F.render_figure ppf f) fig;
+          Some fig
+        end
+        else None)
+      figures
+  in
+  if json then write_json rendered;
   (* correctness cross-check printed alongside the data *)
   let check name d =
     pf "checksums %s: all variants agree = %b@." name (F.checksums_agree d)
@@ -254,6 +300,7 @@ let () =
   let ablation = ref None in
   let quick = ref false in
   let micro = ref false in
+  let json = ref false in
   let only_ablations = ref false in
   let rec parse = function
     | [] -> ()
@@ -270,6 +317,9 @@ let () =
     | "--micro" :: rest ->
       micro := true;
       parse rest
+    | "--json" :: rest ->
+      json := true;
+      parse rest
     | arg :: rest ->
       Printf.eprintf "unknown argument %s\n" arg;
       parse rest
@@ -284,6 +334,6 @@ let () =
     pf "Pure Functions in C — evaluation reproduction (scaled sizes, simulated %s)@."
       Machine.Config.opteron64.Machine.Config.m_name;
     pf "@.";
-    run_figures scale !figure;
+    run_figures scale !figure ~json:!json;
     match !figure with None -> run_ablations scale None | Some _ -> ()
   end

@@ -182,6 +182,174 @@ let run_cmd =
     Term.(const run $ file_arg $ mode_arg $ sica_arg $ tile_arg $ schedule_arg $ cores_arg $ backend_arg)
 
 (* ------------------------------------------------------------------ *)
+(* racecheck *)
+
+let racecheck_cmd =
+  let file_arg =
+    let doc =
+      "C source file to racecheck.  Omit it and pass $(b,--workload) to \
+       check built-in workloads instead."
+    in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let workload_arg =
+    let doc =
+      "Built-in workload to racecheck (repeatable): one of the four \
+       applications ($(b,matmul), $(b,heat), $(b,satellite), $(b,lama)), a \
+       gallery kernel by name, or $(b,all)."
+    in
+    Arg.(value & opt_all string [] & info [ "workload" ] ~docv:"NAME" ~doc)
+  in
+  let rc_cores_arg =
+    let doc = "Thread counts to replay the plan at (repeatable; default 1 4 16 64)." in
+    Arg.(value & opt_all int [] & info [ "cores" ] ~docv:"N" ~doc)
+  in
+  let rc_sched_arg =
+    let doc =
+      "Worksharing schedule to replay (repeatable): $(b,static), \
+       $(b,static,C) or $(b,dynamic,C).  Default: all three."
+    in
+    Arg.(value & opt_all string [] & info [ "schedule" ] ~docv:"CLAUSE" ~doc)
+  in
+  let inject_arg =
+    let doc =
+      "Fault injection: disable the polyhedral legality check (forces an \
+       arbitrary loop permutation).  The race detector is expected to catch \
+       the resulting races; used to validate the detector itself."
+    in
+    Arg.(value & flag & info [ "inject-illegal" ] ~doc)
+  in
+  (* a workload supplies its own scop markers → plain PluTo; otherwise the
+     full pure chain marks scops itself (same rule as the test suite) *)
+  let workload_mode ~inject source =
+    let adjust (c : Pluto.config) =
+      if inject then { c with Pluto.unsafe_no_legality = true } else c
+    in
+    if Support.Util.string_contains ~needle:"#pragma scop" source then
+      Toolchain.Chain.Plain_pluto adjust
+    else Toolchain.Chain.Pure_chain adjust
+  in
+  let workload_targets names =
+    let scale = Toolchain.Figures.test_scale in
+    let apps =
+      [
+        ("matmul", Workloads.Matmul.pure_source ~n:scale.Toolchain.Figures.matmul_n ());
+        ( "heat",
+          Workloads.Heat.pure_source ~n:scale.Toolchain.Figures.heat_n
+            ~t:scale.Toolchain.Figures.heat_t () );
+        ( "satellite",
+          Workloads.Satellite.pure_source ~w:scale.Toolchain.Figures.sat_w
+            ~h:scale.Toolchain.Figures.sat_h ~bands:scale.Toolchain.Figures.sat_bands () );
+        ( "lama",
+          Workloads.Lama_app.pure_source ~rows:scale.Toolchain.Figures.lama_rows
+            ~maxnnz:scale.Toolchain.Figures.lama_maxnnz
+            ~reps:scale.Toolchain.Figures.lama_reps () );
+      ]
+    in
+    let resolve name =
+      match List.assoc_opt name apps with
+      | Some src -> [ (name, src) ]
+      | None -> (
+        match Workloads.Kernels.find name with
+        | Some k -> [ (name, k.Workloads.Kernels.k_source) ]
+        | None ->
+          Fmt.epr "racecheck: unknown workload %s (try: %s, or a kernel: %s)@." name
+            (String.concat ", " (List.map fst apps))
+            (String.concat ", "
+               (List.map (fun k -> k.Workloads.Kernels.k_name) Workloads.Kernels.all));
+          exit Toolchain.Chain.exit_error)
+    in
+    List.concat_map
+      (fun name ->
+        if name = "all" then
+          apps
+          @ List.map
+              (fun k -> (k.Workloads.Kernels.k_name, k.Workloads.Kernels.k_source))
+              Workloads.Kernels.all
+        else resolve name)
+      names
+  in
+  (* [--schedule] here selects the replay plans; the pragma clause the
+     compiler would emit is irrelevant because the replay matrix covers
+     every clause anyway *)
+  let run file workloads cores scheds inject mode sica tile =
+    let cores = if cores = [] then Racecheck.default_cores else cores in
+    let schedules =
+      if scheds = [] then Racecheck.default_schedules
+      else
+        List.map
+          (fun s ->
+            match Racecheck.schedule_of_string s with
+            | Ok sched -> sched
+            | Error msg ->
+              Fmt.epr "racecheck: %s@." msg;
+              exit Toolchain.Chain.exit_error)
+          scheds
+    in
+    let targets =
+      match (file, workloads) with
+      | None, [] ->
+        Fmt.epr "racecheck: give a FILE or at least one --workload@.";
+        exit Toolchain.Chain.exit_error
+      | _ ->
+        (match file with Some f -> [ (f, `File (read_file f)) ] | None -> [])
+        @ List.map (fun (n, s) -> (n, `Workload s)) (workload_targets workloads)
+    in
+    let racy = ref 0 in
+    List.iter
+      (fun (name, target) ->
+        handle_compile_error (fun () ->
+            let source, chosen_mode =
+              match target with
+              | `File src ->
+                let adjust_mode m =
+                  if not inject then m
+                  else
+                    match m with
+                    | Toolchain.Chain.Pure_chain adj ->
+                      Toolchain.Chain.Pure_chain
+                        (fun c -> { (adj c) with Pluto.unsafe_no_legality = true })
+                    | Toolchain.Chain.Plain_pluto adj ->
+                      Toolchain.Chain.Plain_pluto
+                        (fun c -> { (adj c) with Pluto.unsafe_no_legality = true })
+                    | m -> m
+                in
+                (src, adjust_mode (chain_mode mode sica tile None))
+              | `Workload src -> (src, workload_mode ~inject src)
+            in
+            let _c, _profile, reports =
+              Toolchain.Chain.run_racecheck ~mode:chosen_mode ~schedules ~cores source
+            in
+            let bad = List.filter (fun r -> not (Racecheck.clean r)) reports in
+            if bad = [] then
+              Fmt.pr "%s: no races across %d plans (%s x cores %s)@." name
+                (List.length reports)
+                (String.concat ", " (List.map Racecheck.schedule_name schedules))
+                (String.concat ", " (List.map string_of_int cores))
+            else begin
+              incr racy;
+              List.iter (fun r -> Fmt.pr "%s: %s@." name (Racecheck.describe_report r)) bad;
+              if not inject then
+                Fmt.pr
+                  "%s: LEGALITY DISAGREEMENT: the polyhedral legality analysis approved \
+                   this transform, but the happens-before replay races — one of the two \
+                   is wrong.@."
+                  name
+            end))
+      targets;
+    if !racy > 0 then exit Toolchain.Chain.exit_race
+  in
+  Cmd.v
+    (Cmd.info "racecheck"
+       ~doc:
+         "Shadow-verify parallelized loops: replay the interpreter's access \
+          log under every worksharing plan with a happens-before race \
+          detector.  Exits 5 if any plan races.")
+    Term.(
+      const run $ file_arg $ workload_arg $ rc_cores_arg $ rc_sched_arg $ inject_arg
+      $ mode_arg $ sica_arg $ tile_arg)
+
+(* ------------------------------------------------------------------ *)
 (* fuzz *)
 
 let fuzz_cmd =
@@ -209,16 +377,25 @@ let fuzz_cmd =
     let doc = "Skip minimizing failing programs." in
     Arg.(value & flag & info [ "no-shrink" ] ~doc)
   in
-  let run seed count inject dump no_shrink =
+  let racecheck_arg =
+    let doc =
+      "Add the happens-before race detector as a second oracle stage: every \
+       transformed configuration must replay race-free under all plans, \
+       checked before outputs are compared."
+    in
+    Arg.(value & flag & info [ "racecheck" ] ~doc)
+  in
+  let run seed count inject racecheck dump no_shrink =
     let checked = ref 0 in
     let on_case (case : Fuzzgen.Fuzz.case_result) =
       incr checked;
       if dump then
         Fmt.pr "===== seed %d =====@.%s@." case.Fuzzgen.Fuzz.c_seed case.Fuzzgen.Fuzz.c_source;
       if not (Fuzzgen.Oracle.passed case.Fuzzgen.Fuzz.c_report) then begin
-        Fmt.pr "seed %d: FAILED (replay: purec fuzz --seed %d --count 1%s)@."
+        Fmt.pr "seed %d: FAILED (replay: purec fuzz --seed %d --count 1%s%s)@."
           case.Fuzzgen.Fuzz.c_seed case.Fuzzgen.Fuzz.c_seed
-          (if inject then " --inject-illegal" else "");
+          (if inject then " --inject-illegal" else "")
+          (if racecheck then " --racecheck" else "");
         List.iter
           (fun f -> Fmt.pr "  %s@." (Fuzzgen.Oracle.describe f))
           case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures;
@@ -228,13 +405,25 @@ let fuzz_cmd =
       end
     in
     match
-      Fuzzgen.Fuzz.campaign ~inject ~shrink:(not no_shrink) ~on_case ~seed ~count ()
+      Fuzzgen.Fuzz.campaign ~inject ~racecheck ~shrink:(not no_shrink) ~on_case ~seed
+        ~count ()
     with
     | result ->
       let nfail = List.length result.Fuzzgen.Fuzz.k_failed in
       Fmt.pr "fuzz: %d programs, %d configurations each, %d mismatches@." result.Fuzzgen.Fuzz.k_count
         result.Fuzzgen.Fuzz.k_configs nfail;
-      if nfail > 0 then exit Toolchain.Chain.exit_fuzz_mismatch
+      if nfail > 0 then begin
+        (* a detected race outranks an output mismatch (cf. classify_errors) *)
+        let raced =
+          List.exists
+            (fun (c : Fuzzgen.Fuzz.case_result) ->
+              List.exists
+                (fun f -> Fuzzgen.Oracle.kind_tag f = "race-detected")
+                c.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures)
+            result.Fuzzgen.Fuzz.k_failed
+        in
+        exit (if raced then Toolchain.Chain.exit_race else Toolchain.Chain.exit_fuzz_mismatch)
+      end
     | exception Fuzzgen.Fuzz.Roundtrip_error msg ->
       Fmt.epr "fuzz: internal round-trip failure after %d programs: %s@." !checked msg;
       exit Toolchain.Chain.exit_error
@@ -244,11 +433,11 @@ let fuzz_cmd =
        ~doc:
          "Differential fuzzing: generate random pure-C programs and check \
           every pipeline configuration against the sequential baseline.")
-    Term.(const run $ seed_arg $ count_arg $ inject_arg $ dump_arg $ no_shrink_arg)
+    Term.(const run $ seed_arg $ count_arg $ inject_arg $ racecheck_arg $ dump_arg $ no_shrink_arg)
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "the pure-C automatic parallelization chain (paper reproduction)" in
   let info = Cmd.info "purec" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; compile_cmd; run_cmd; fuzz_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ check_cmd; compile_cmd; run_cmd; racecheck_cmd; fuzz_cmd ]))

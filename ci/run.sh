@@ -1,10 +1,12 @@
 #!/bin/sh
 # CI entry point: build, run the full test suite, then the differential
 # fuzzing smoke campaign (500 seeded programs through every pipeline
-# configuration; see TESTING.md).
+# configuration) and the race-detector smoke pass (happens-before replay
+# over every workload plus 100 fuzzed programs; see TESTING.md).
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
 dune build @fuzz-smoke
+dune build @race-smoke

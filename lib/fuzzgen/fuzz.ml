@@ -42,18 +42,22 @@ let roundtrip_check source =
     raise (Roundtrip_error "pretty-printer round-trip is not a fixed point");
   reparsed
 
-(** Generate and check the program of [seed]; shrink on failure. *)
-let run_one ?(inject = false) ?(shrink = true) seed : case_result =
+(** Generate and check the program of [seed]; shrink on failure.
+    [racecheck] enables the happens-before replay as a second oracle
+    stage (cf. {!Oracle.check}). *)
+let run_one ?(inject = false) ?(racecheck = false) ?(shrink = true) seed : case_result =
   let prog = Gen.program_of_seed seed in
   let source = Ast_printer.program_to_string prog in
   let reparsed = roundtrip_check source in
-  let report = Oracle.check ~inject source in
+  let report = Oracle.check ~inject ~racecheck source in
   let report = { report with Oracle.r_seed = Some seed } in
   let shrunk =
     match report.Oracle.r_failures with
     | [] -> None
     | f :: _ when shrink ->
-      let minimized, _evals = Shrink.minimize ~inject ~kind:(Oracle.kind_tag f) reparsed in
+      let minimized, _evals =
+        Shrink.minimize ~inject ~racecheck ~kind:(Oracle.kind_tag f) reparsed
+      in
       Some (Ast_printer.program_to_string minimized)
     | _ -> None
   in
@@ -61,12 +65,12 @@ let run_one ?(inject = false) ?(shrink = true) seed : case_result =
 
 (** Run [count] programs starting at [seed].  [on_case] is called after
     each case (progress reporting). *)
-let campaign ?(inject = false) ?(shrink = true) ?(on_case = fun _ -> ()) ~seed ~count () :
-    campaign_result =
+let campaign ?(inject = false) ?(racecheck = false) ?(shrink = true)
+    ?(on_case = fun _ -> ()) ~seed ~count () : campaign_result =
   let failed = ref [] in
   let configs = ref 0 in
   for i = 0 to count - 1 do
-    let case = run_one ~inject ~shrink (seed + i) in
+    let case = run_one ~inject ~racecheck ~shrink (seed + i) in
     configs := case.c_report.Oracle.r_configs;
     if not (Oracle.passed case.c_report) then failed := case :: !failed;
     on_case case

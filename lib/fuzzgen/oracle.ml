@@ -27,6 +27,11 @@ type failure =
   | Nonunimodular of { config : string; detail : string }
   | Plan_violation of { config : string; detail : string }
   | Model_failure of { config : string; detail : string }
+  | Race_detected of { config : string; detail : string }
+      (** the happens-before replay found conflicting accesses in a
+          parallelized loop — checked {e before} outputs are compared, so
+          an injected illegal transform is caught even when the racy
+          schedule happens to print the right bytes *)
 
 type report = {
   r_seed : int option;  (** filled in by the campaign driver *)
@@ -41,7 +46,8 @@ let failure_config = function
   | Runtime_failure { config; _ }
   | Nonunimodular { config; _ }
   | Plan_violation { config; _ }
-  | Model_failure { config; _ } -> config
+  | Model_failure { config; _ }
+  | Race_detected { config; _ } -> config
 
 let kind_tag = function
   | Output_mismatch _ -> "output-mismatch"
@@ -51,6 +57,7 @@ let kind_tag = function
   | Nonunimodular _ -> "non-unimodular"
   | Plan_violation _ -> "plan-violation"
   | Model_failure _ -> "model-failure"
+  | Race_detected _ -> "race-detected"
 
 let describe = function
   | Output_mismatch { config; expected; got } ->
@@ -62,6 +69,7 @@ let describe = function
   | Nonunimodular { config; detail } -> Printf.sprintf "[%s] non-unimodular transform: %s" config detail
   | Plan_violation { config; detail } -> Printf.sprintf "[%s] schedule plan violation: %s" config detail
   | Model_failure { config; detail } -> Printf.sprintf "[%s] machine model failure: %s" config detail
+  | Race_detected { config; detail } -> Printf.sprintf "[%s] data race: %s" config detail
 
 (* ------------------------------------------------------------------ *)
 (* Configurations under test *)
@@ -155,16 +163,34 @@ let check_model ~config (profile : Interp.Trace.profile) =
 
 (* ------------------------------------------------------------------ *)
 
-let run_config mode source =
-  match Toolchain.Chain.run ~mode source with
+let run_config ?trace_accesses mode source =
+  match Toolchain.Chain.run ~mode ?trace_accesses source with
   | c, profile -> Ok (c, profile)
   | exception Toolchain.Chain.Compile_error diags ->
     Error (String.concat "; " (List.map (fun d -> d.Diag.code ^ ": " ^ d.Diag.message) diags))
   | exception Diag.Fatal d -> Error (d.Diag.code ^ ": " ^ d.Diag.message)
   | exception Interp.Exec.Runtime_error msg -> Error ("runtime: " ^ msg)
 
-(** Compare all configurations of [source] against the sequential baseline. *)
-let check ?(inject = false) (source : string) : report =
+(* The second oracle stage: replay the access log of a traced profile under
+   the full plan matrix.  Tracing never perturbs the output or the cost
+   counters, so the {e same} run serves both this and output comparison. *)
+let check_races ~config (profile : Interp.Trace.profile) =
+  match Racecheck.analyze_matrix ~schedules:plan_schedules ~cores:core_counts profile with
+  | Error detail -> [ Runtime_failure { config; detail } ]
+  | Ok reports ->
+    List.filter_map
+      (fun r ->
+        if Racecheck.clean r then None
+        else Some (Race_detected { config; detail = Racecheck.describe_report r }))
+      reports
+
+(** Compare all configurations of [source] against the sequential baseline.
+    With [racecheck], every transformed configuration additionally runs
+    with access tracing and must replay race-free under all plans; races
+    are reported {e instead of} (not alongside) output comparison, so an
+    injected illegal transform fails as a race even if its output happens
+    to match. *)
+let check ?(inject = false) ?(racecheck = false) (source : string) : report =
   let cfgs = configs ~inject in
   match run_config Toolchain.Chain.Sequential source with
   | Error detail ->
@@ -173,12 +199,15 @@ let check ?(inject = false) (source : string) : report =
     let failures =
       List.concat_map
         (fun (name, mode) ->
-          match run_config mode source with
+          match run_config ~trace_accesses:racecheck mode source with
           | Error detail ->
             if Util.string_starts_with ~prefix:"runtime" detail then
               [ Runtime_failure { config = name; detail } ]
             else [ Compile_failure { config = name; detail } ]
-          | Ok (compiled, profile) ->
+          | Ok (compiled, profile) -> (
+            match if racecheck then check_races ~config:name profile else [] with
+            | _ :: _ as races -> races
+            | [] ->
             let fs = ref [] in
             if profile.Interp.Trace.output <> base.Interp.Trace.output then
               fs :=
@@ -197,7 +226,7 @@ let check ?(inject = false) (source : string) : report =
             List.rev !fs
             @ check_unimodular ~config:name compiled
             @ check_plans ~config:name profile
-            @ check_model ~config:name profile)
+            @ check_model ~config:name profile))
         cfgs
     in
     { r_seed = None; r_failures = failures; r_configs = 1 + List.length cfgs }

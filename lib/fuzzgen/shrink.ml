@@ -242,13 +242,14 @@ let size prog = String.length (Ast_printer.program_to_string prog)
     keeps failing with a failure of [kind] (see {!Oracle.kind_tag}) and the
     sequential baseline still compiles.  Returns the smallest failing
     program found and the number of oracle evaluations spent. *)
-let minimize ?(budget = default_budget) ~inject ~kind (prog : Ast.program) : Ast.program * int =
+let minimize ?(budget = default_budget) ?(racecheck = false) ~inject ~kind
+    (prog : Ast.program) : Ast.program * int =
   let evals = ref 0 in
   let still_fails p =
     if !evals >= budget then false
     else begin
       incr evals;
-      let report = Oracle.check ~inject (Ast_printer.program_to_string p) in
+      let report = Oracle.check ~inject ~racecheck (Ast_printer.program_to_string p) in
       List.exists (fun f -> Oracle.kind_tag f = kind) report.Oracle.r_failures
       && not
            (List.exists

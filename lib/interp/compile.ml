@@ -28,9 +28,14 @@ type rt = {
   mutable seg_start : Cost.t;
   mutable in_parallel : bool;
   mutable vec_mode : vec_mode;
+  trace_accesses : bool;  (** record per-access logs inside parallel loops *)
+  mutable access_log : Trace.access list ref option;
+      (** the current parallel iteration's buffer; [None] outside parallel
+          loops or when tracing is off *)
+  mutable par_traces : Trace.par_trace list;  (** reversed, with segments *)
 }
 
-let create_rt ?l1_bytes ?l2_bytes () =
+let create_rt ?l1_bytes ?l2_bytes ?(trace_accesses = false) () =
   let counters = Cost.create () in
   {
     counters;
@@ -41,6 +46,9 @@ let create_rt ?l1_bytes ?l2_bytes () =
     seg_start = Cost.create ();
     in_parallel = false;
     vec_mode = Scalar;
+    trace_accesses;
+    access_log = None;
+    par_traces = [];
   }
 
 type frame = Mem.value array
@@ -155,14 +163,33 @@ let[@inline] bump_fdiv rt =
   rt.counters.Cost.float_divs <- rt.counters.Cost.float_divs + 1;
   bump_vec rt 1
 
+(* Label the address range of a freshly allocated object so reports can name
+   it (the bump allocator keeps ranges disjoint). *)
+let register_ptr_region alloc label (p : Mem.ptr) =
+  Mem.register_region alloc ~label ~base:p.Mem.p_base
+    ~bytes:(Mem.obj_length p.Mem.p_obj * p.Mem.p_elem_bytes)
+    ~elem_bytes:p.Mem.p_elem_bytes
+
+(* Race-detector hook: record the logical access even when the backend model
+   treats it as register-resident — the C program still performs it, and the
+   happens-before analysis must see every load/store of the parallel loop. *)
+let[@inline] log_access rt loc ~addr ~bytes ~write =
+  match rt.access_log with
+  | None -> ()
+  | Some buf ->
+    buf :=
+      { Trace.ac_loc = loc; ac_addr = addr; ac_bytes = bytes; ac_write = write } :: !buf
+
 (* Per-site register-promotion memos: a repeated access at the same site and
    the same address is a register hit under an optimizing backend (loop
    invariant code motion / scalar replacement), so it costs nothing and does
-   not reach the cache. *)
-let memo_load rt =
+   not reach the cache.  [loc] is the source location of the site, carried
+   into the access log. *)
+let memo_load rt loc =
   let last = ref min_int in
   fun (p : Mem.ptr) ->
     let a = Mem.addr_of p in
+    log_access rt loc ~addr:a ~bytes:p.Mem.p_elem_bytes ~write:false;
     if a = !last then Mem.peek p
     else begin
       last := a;
@@ -170,10 +197,11 @@ let memo_load rt =
       Mem.load rt.cache p
     end
 
-let memo_store rt =
+let memo_store rt loc =
   let last = ref min_int in
   fun (p : Mem.ptr) v ->
     let a = Mem.addr_of p in
+    log_access rt loc ~addr:a ~bytes:p.Mem.p_elem_bytes ~write:true;
     if a = !last then Mem.poke p v
     else begin
       last := a;
@@ -381,6 +409,7 @@ let rec compile_expr cenv (e : Ast.expr) : (frame -> Mem.value) * Ast.ctype =
     | Mem.OInts a -> String.iteri (fun i ch -> a.(i) <- Char.code ch) s
     | _ -> ());
     let p = { p with Mem.p_elem_bytes = 1 } in
+    register_ptr_region rt.alloc "string" p;
     let v = Mem.VPtr p in
     ((fun _ -> v), Ast.ptr Ast.Char ~const:true)
   | Ast.Ident name -> (
@@ -392,7 +421,10 @@ let rec compile_expr cenv (e : Ast.expr) : (frame -> Mem.value) * Ast.ctype =
         (* the first read charges a load; afterwards the global lives in a
            register for this site *)
         let fresh = ref true in
+        let loc = Loc.to_string e.Ast.eloc in
+        let bytes = scalar_bytes (resolve cenv ty) in
         ( (fun _ ->
+            log_access rt loc ~addr ~bytes ~write:false;
             if !fresh then begin
               fresh := false;
               bump_load c;
@@ -443,7 +475,7 @@ let rec compile_expr cenv (e : Ast.expr) : (frame -> Mem.value) * Ast.ctype =
       (* a view: no load, just the address *)
       ((fun fr -> Mem.VPtr (addr fr)), ty)
     | LMem (addr, _), _ ->
-      let do_load = memo_load rt in
+      let do_load = memo_load rt (Loc.to_string e.Ast.eloc) in
       ((fun fr -> do_load (addr fr)), ty)
     | (LSlot _ | LGlobal _), _ -> assert false)
   | Ast.AddrOf inner -> (
@@ -519,9 +551,13 @@ let rec compile_expr cenv (e : Ast.expr) : (frame -> Mem.value) * Ast.ctype =
           let nv = apply old in
           fr.(slot) <- nv;
           if pre then nv else old
-      | LGlobal (cell, addr, _) ->
+      | LGlobal (cell, addr, gty) ->
+        let loc = Loc.to_string e.Ast.eloc in
+        let bytes = scalar_bytes (resolve cenv gty) in
         fun fr ->
           ignore fr;
+          log_access rt loc ~addr ~bytes ~write:false;
+          log_access rt loc ~addr ~bytes ~write:true;
           bump_load c;
           bump_store c;
           Cache.access rt.cache addr;
@@ -530,7 +566,8 @@ let rec compile_expr cenv (e : Ast.expr) : (frame -> Mem.value) * Ast.ctype =
           cell := nv;
           if pre then nv else old
       | LMem (faddr, _) ->
-        let do_load = memo_load rt and do_store = memo_store rt in
+        let siteloc = Loc.to_string e.Ast.eloc in
+        let do_load = memo_load rt siteloc and do_store = memo_store rt siteloc in
         fun fr ->
           let p = faddr fr in
           let old = do_load p in
@@ -825,23 +862,29 @@ and compile_assign cenv op lhs rhs =
         let v = combine fr.(slot) (frhs fr) in
         fr.(slot) <- v;
         v
-    | LGlobal (cell, addr, _) ->
+    | LGlobal (cell, addr, gty) ->
+      let loc = Loc.to_string lhs.Ast.eloc in
+      let bytes = scalar_bytes (resolve cenv gty) in
       if op = Ast.OpAssign then fun fr ->
+        log_access rt loc ~addr ~bytes ~write:true;
         bump_store c;
         Cache.access rt.cache addr;
         let v = coerce ty (frhs fr) in
         cell := v;
         v
       else fun fr ->
+        log_access rt loc ~addr ~bytes ~write:false;
         bump_load c;
         bump_store c;
         Cache.access rt.cache addr;
         let v = combine !cell (frhs fr) in
+        log_access rt loc ~addr ~bytes ~write:true;
         cell := v;
         v
     | LMem (faddr, _) ->
+      let siteloc = Loc.to_string lhs.Ast.eloc in
       if op = Ast.OpAssign then begin
-        let do_store = memo_store rt in
+        let do_store = memo_store rt siteloc in
         fun fr ->
           let p = faddr fr in
           let v = coerce ty (frhs fr) in
@@ -849,7 +892,7 @@ and compile_assign cenv op lhs rhs =
           v
       end
       else begin
-        let do_load = memo_load rt and do_store = memo_store rt in
+        let do_load = memo_load rt siteloc and do_store = memo_store rt siteloc in
         fun fr ->
           let p = faddr fr in
           let old = do_load p in
@@ -890,6 +933,7 @@ and compile_malloc cenv fn elt args =
       | Ast.Ptr _ -> Mem.alloc_ptrs rt.alloc (max 1 (bytes / 8))
       | _ -> Mem.alloc_floats rt.alloc ~elem_bytes:8 (max 1 (bytes / 8))
     in
+    register_ptr_region rt.alloc "heap" p;
     Mem.VPtr p
   in
   (run, Ast.ptr elt)
@@ -1270,9 +1314,12 @@ and compile_decl cenv (d : Ast.decl) : stmt_code =
       | Ast.Ptr _ -> Mem.alloc_ptrs rt.alloc len
       | _ -> unsupported "unsupported local array type"
     in
+    let name = d.Ast.d_name in
     fun fr ->
       rt.counters.Cost.extra_cycles <- rt.counters.Cost.extra_cycles + 4;
-      fr.(slot) <- Mem.VPtr (mk ())
+      let p = mk () in
+      register_ptr_region rt.alloc name p;
+      fr.(slot) <- Mem.VPtr p
   | Ast.Struct _ -> unsupported "struct values are not executable in this build"
   | _ -> (
     match d.Ast.d_init with
@@ -1428,20 +1475,36 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
       rt.segments <- Trace.Seq (Cost.diff rt.counters rt.seg_start) :: rt.segments;
       rt.in_parallel <- true;
       let iters = ref [] in
+      let iter_accs = ref [] in
       finit fr;
       fentry fr;
       (try
          bump_branch c;
          while fcond fr do
            let snap = Cost.copy rt.counters in
+           (* fresh access buffer per iteration: loop-control evaluation
+              between iterations is deliberately NOT logged (each OpenMP
+              thread privatizes the induction variable and re-reads only
+              loop-invariant bounds) *)
+           let buf = if rt.trace_accesses then Some (ref []) else None in
+           rt.access_log <- buf;
            (try fbody fr with Continue_e -> ());
            fstep fr;
+           rt.access_log <- None;
            bump_branch c;
-           iters := Cost.diff rt.counters snap :: !iters
+           iters := Cost.diff rt.counters snap :: !iters;
+           (match buf with
+           | Some b -> iter_accs := Array.of_list (List.rev !b) :: !iter_accs
+           | None -> ())
          done
        with Break_e -> ());
+      rt.access_log <- None;
       rt.in_parallel <- false;
       rt.segments <-
         Trace.Par { sched; iters = Array.of_list (List.rev !iters) } :: rt.segments;
+      if rt.trace_accesses then
+        rt.par_traces <-
+          { Trace.pt_sched = sched; pt_accesses = Array.of_list (List.rev !iter_accs) }
+          :: rt.par_traces;
       rt.seg_start <- Cost.copy rt.counters
     end

@@ -29,6 +29,7 @@ let setup_global cenv (d : Ast.decl) =
       | Ast.Ptr _ -> Mem.alloc_ptrs rt.Compile.alloc len
       | _ -> Compile.unsupported "unsupported global array element type"
     in
+    Compile.register_ptr_region rt.Compile.alloc d.Ast.d_name view;
     Hashtbl.replace cenv.Compile.globals d.Ast.d_name
       (Compile.GArray { view }, ty)
   | Ast.Struct _ -> Compile.unsupported "global struct values are not executable"
@@ -37,7 +38,10 @@ let setup_global cenv (d : Ast.decl) =
       if Compile.is_floaty ty then Mem.VFloat 0.0
       else match ty with Ast.Ptr _ -> Mem.VNull | _ -> Mem.VInt 0
     in
-    let addr = Mem.alloc_addr rt.Compile.alloc (Compile.scalar_bytes ty) in
+    let bytes = Compile.scalar_bytes ty in
+    let addr = Mem.alloc_addr rt.Compile.alloc bytes in
+    Mem.register_region rt.Compile.alloc ~label:d.Ast.d_name ~base:addr ~bytes
+      ~elem_bytes:bytes;
     Hashtbl.replace cenv.Compile.globals d.Ast.d_name
       (Compile.GScalar { cell = ref zero; addr }, ty)
 
@@ -85,8 +89,8 @@ let compile_function cenv (f : Ast.func) =
 (** Load a program: returns the compile environment, ready to run.
     [l1_bytes]/[l2_bytes] configure the simulated cache hierarchy (scaled
     problem sizes pair with scaled caches, cf. DESIGN.md). *)
-let load ?l1_bytes ?l2_bytes (program : Ast.program) : Compile.cenv =
-  let rt = Compile.create_rt ?l1_bytes ?l2_bytes () in
+let load ?l1_bytes ?l2_bytes ?trace_accesses (program : Ast.program) : Compile.cenv =
+  let rt = Compile.create_rt ?l1_bytes ?l2_bytes ?trace_accesses () in
   let tenv = Sema.Env.gather program in
   let cenv =
     {
@@ -119,6 +123,7 @@ let run_main (cenv : Compile.cenv) : Trace.profile =
   Cost.reset rt.Compile.counters;
   Cache.reset_all rt.Compile.cache;
   rt.Compile.segments <- [];
+  rt.Compile.par_traces <- [];
   rt.Compile.seg_start <- Cost.create ();
   Buffer.clear rt.Compile.out;
   let entry =
@@ -145,8 +150,14 @@ let run_main (cenv : Compile.cenv) : Trace.profile =
     Trace.segments = List.rev rt.Compile.segments;
     output = Buffer.contents rt.Compile.out;
     return_code = Mem.to_int result;
+    regions = List.rev rt.Compile.alloc.Mem.regions;
+    par_traces =
+      (if rt.Compile.trace_accesses then Some (List.rev rt.Compile.par_traces)
+       else None);
   }
 
-(** One-shot: load and run. *)
-let run ?l1_bytes ?l2_bytes (program : Ast.program) : Trace.profile =
-  run_main (load ?l1_bytes ?l2_bytes program)
+(** One-shot: load and run.  [trace_accesses] additionally records every
+    load/store inside parallel loops into {!Trace.profile.par_traces} for
+    the race detector; it does not perturb costs or output. *)
+let run ?l1_bytes ?l2_bytes ?trace_accesses (program : Ast.program) : Trace.profile =
+  run_main (load ?l1_bytes ?l2_bytes ?trace_accesses program)

@@ -21,9 +21,32 @@ exception Fault of string
 
 let fault fmt = Fmt.kstr (fun m -> raise (Fault m)) fmt
 
-type allocator = { mutable next_addr : int; mutable live_bytes : int }
+(** A labelled address range, recorded so that diagnostics (the race
+    detector in particular) can resolve a raw synthetic address back to
+    "array A, element 17".  The bump allocator makes ranges disjoint. *)
+type region = {
+  rg_label : string;  (** variable name, or "heap" / "string" *)
+  rg_base : int;
+  rg_bytes : int;
+  rg_elem_bytes : int;
+}
 
-let create_allocator () = { next_addr = 0x1000_0000; live_bytes = 0 }
+type allocator = {
+  mutable next_addr : int;
+  mutable live_bytes : int;
+  mutable regions : region list;  (** newest first *)
+}
+
+let create_allocator () = { next_addr = 0x1000_0000; live_bytes = 0; regions = [] }
+
+let register_region alloc ~label ~base ~bytes ~elem_bytes =
+  alloc.regions <-
+    { rg_label = label; rg_base = base; rg_bytes = bytes; rg_elem_bytes = elem_bytes }
+    :: alloc.regions
+
+(** Resolve an address to its region, if any. *)
+let locate_region regions addr =
+  List.find_opt (fun r -> addr >= r.rg_base && addr < r.rg_base + r.rg_bytes) regions
 
 let align n a = (n + a - 1) / a * a
 

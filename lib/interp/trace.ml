@@ -16,10 +16,32 @@ type segment =
   | Seq of Cost.t
   | Par of { sched : sched_kind; iters : Cost.t array }
 
+(** One memory access inside a parallelized loop, recorded when the run is
+    executed with access tracing (see {!Exec.run}).  The iteration vector of
+    the access is its index in the enclosing {!par_trace} (the parallel loop
+    is the only loop whose iterations run concurrently; nested loops execute
+    inside one iteration). *)
+type access = {
+  ac_loc : string;  (** source location of the load/store site *)
+  ac_addr : int;  (** synthetic byte address *)
+  ac_bytes : int;  (** width of the access *)
+  ac_write : bool;
+}
+
+(** The per-iteration access log of one parallel segment, in segment order
+    alongside {!profile.segments}' [Par] entries. *)
+type par_trace = {
+  pt_sched : sched_kind;  (** the schedule the pragma requested *)
+  pt_accesses : access array array;  (** [pt_accesses.(i)] = iteration [i] *)
+}
+
 type profile = {
   segments : segment list;
   output : string;  (** everything the program printed *)
   return_code : int;
+  regions : Mem.region list;  (** address-range labels for provenance *)
+  par_traces : par_trace list option;  (** [None] unless traced (one entry
+                                           per [Par] segment, in order) *)
 }
 
 (* index of [needle] in [haystack], or raise Not_found *)

@@ -1,0 +1,312 @@
+(** Dynamic happens-before data-race detection for parallelized loops.
+
+    The static side of the toolchain proves (via dependence polyhedra and
+    Fourier–Motzkin emptiness) that the OpenMP pragmas it emits are safe.
+    This module is the {e independent dynamic oracle} for that claim, in the
+    ThreadSanitizer tradition: the instrumented interpreter records every
+    load/store inside a parallelized loop ({!Interp.Trace.par_trace}), and a
+    vector-clock engine replays the log under a concrete worksharing plan
+    ({!Runtime.Par_loop.plan}: schedule × workers), reporting every pair of
+    conflicting accesses that no happens-before edge orders.
+
+    Happens-before model (exactly OpenMP's, for the loops we generate):
+    - loop entry (fork) and exit (join) synchronize everything — distinct
+      parallel segments never race, and races never span a segment boundary;
+    - iterations assigned to the {e same} logical thread are ordered by
+      program order;
+    - [static] and [static,c] have {e no} intra-loop synchronization: any
+      two iterations on different threads are concurrent;
+    - [dynamic,c] dispatches chunks off a shared counter; the
+      fetch-and-add is a release/acquire RMW, so chunk fetches form a
+      chain.  A worker incorporates its finished chunks into the chain at
+      its next fetch, which orders chunks at distance ≥ workers — the
+      soundness direction (we may miss an ordering a lucky interleaving
+      provides, we never invent one; detected races are real for some
+      interleaving).
+
+    Scalars held in frame slots (loop-local variables, privatized induction
+    variables) are registers, not memory — exactly OpenMP's privatization
+    semantics for variables declared inside the parallel body.  Mutated
+    {e global} scalars are memory and are tracked. *)
+
+open Support
+
+(** One side of a conflicting pair.  The iteration vector of an access in a
+    parallelized loop is its index in the annotated loop (inner loops run
+    sequentially inside one iteration). *)
+type access_ref = {
+  f_thread : int;  (** logical thread (worker) of the plan *)
+  f_iter : int;  (** iteration index within the parallel segment *)
+  f_write : bool;
+  f_loc : string;  (** source location of the load/store site *)
+}
+
+type race = {
+  x_segment : int;  (** ordinal of the parallel segment in the profile *)
+  x_addr : int;
+  x_array : string;  (** region label: array/global name, "heap", ... *)
+  x_elem : int;  (** element index within the region; -1 if unresolved *)
+  x_first : access_ref;  (** the access that came first in the replay *)
+  x_second : access_ref;
+}
+
+type report = {
+  p_schedule : Runtime.Par_loop.schedule;
+  p_workers : int;
+  p_races : race list;  (** distinct (segment, site-pair) races, capped *)
+  p_total : int;  (** every conflicting pair seen, uncapped *)
+  p_segments : int;  (** parallel segments analyzed *)
+  p_iterations : int;
+  p_accesses : int;
+}
+
+let max_reported_races = 32
+
+let clean r = r.p_total = 0
+
+let schedule_name = function
+  | Runtime.Par_loop.Static -> "static"
+  | Runtime.Par_loop.Static_chunk c -> Printf.sprintf "static,%d" c
+  | Runtime.Par_loop.Dynamic c -> Printf.sprintf "dynamic,%d" c
+
+(** Parse "static", "static,C" or "dynamic,C" (the pragma clause syntax). *)
+let schedule_of_string s : (Runtime.Par_loop.schedule, string) result =
+  let s = String.trim (String.lowercase_ascii s) in
+  let bad () =
+    Error (Printf.sprintf "unknown schedule %S (expected static, static,C or dynamic,C)" s)
+  in
+  match String.index_opt s ',' with
+  | None -> (
+    match s with
+    | "static" -> Ok Runtime.Par_loop.Static
+    | "dynamic" -> Ok (Runtime.Par_loop.Dynamic 1)
+    | _ -> bad ())
+  | Some i -> (
+    let kind = String.trim (String.sub s 0 i) in
+    let chunk = String.sub s (i + 1) (String.length s - i - 1) in
+    match (kind, int_of_string_opt (String.trim chunk)) with
+    | "static", Some c when c > 0 -> Ok (Runtime.Par_loop.Static_chunk c)
+    | "dynamic", Some c when c > 0 -> Ok (Runtime.Par_loop.Dynamic c)
+    | _ -> bad ())
+
+(** The plan matrix the oracle and CLI default to. *)
+let default_cores = [ 1; 4; 16; 64 ]
+
+let default_schedules =
+  [ Runtime.Par_loop.Static; Runtime.Par_loop.Static_chunk 4; Runtime.Par_loop.Dynamic 1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Vector-clock engine *)
+
+let dummy_ref = { f_thread = -1; f_iter = -1; f_write = false; f_loc = "" }
+
+(* Shadow state per address: the last write epoch plus, per thread, the
+   latest read epoch since that write (FastTrack's read "vector"). *)
+type cell = {
+  mutable w_thread : int;  (* -1 = no write yet *)
+  mutable w_clock : int;
+  mutable w_ref : access_ref;
+  r_clocks : int array;  (* 0 = no read *)
+  r_refs : access_ref array;
+}
+
+let vc_join into from =
+  for i = 0 to Array.length into - 1 do
+    if from.(i) > into.(i) then into.(i) <- from.(i)
+  done
+
+let untraced_error =
+  "profile has no access trace: execute with access tracing enabled \
+   (Interp.Exec.run ~trace_accesses:true)"
+
+(** Replay [profile]'s parallel access logs under the worksharing plan of
+    [schedule] × [workers] and report all data races.  [Error] only when the
+    profile was produced without access tracing. *)
+let analyze ~(schedule : Runtime.Par_loop.schedule) ~workers
+    (profile : Interp.Trace.profile) : (report, string) result =
+  match profile.Interp.Trace.par_traces with
+  | None -> Error untraced_error
+  | Some traces ->
+    let workers = max 1 workers in
+    let regions = profile.Interp.Trace.regions in
+    let races = ref [] in
+    let n_stored = ref 0 in
+    let total = ref 0 in
+    let n_acc = ref 0 in
+    let n_iter = ref 0 in
+    let seen = Hashtbl.create 64 in
+    let record seg addr (first : access_ref) (second : access_ref) =
+      incr total;
+      let key = (seg, first.f_loc, second.f_loc, first.f_write, second.f_write) in
+      if (not (Hashtbl.mem seen key)) && !n_stored < max_reported_races then begin
+        Hashtbl.replace seen key ();
+        incr n_stored;
+        let label, elem =
+          match Interp.Mem.locate_region regions addr with
+          | Some r ->
+            ( r.Interp.Mem.rg_label,
+              (addr - r.Interp.Mem.rg_base) / r.Interp.Mem.rg_elem_bytes )
+          | None -> ("<unknown>", -1)
+        in
+        races :=
+          {
+            x_segment = seg;
+            x_addr = addr;
+            x_array = label;
+            x_elem = elem;
+            x_first = first;
+            x_second = second;
+          }
+          :: !races
+      end
+    in
+    List.iteri
+      (fun seg (pt : Interp.Trace.par_trace) ->
+        let accs = pt.Interp.Trace.pt_accesses in
+        let m = Array.length accs in
+        n_iter := !n_iter + m;
+        if m = 0 || workers = 1 then
+          (* a single worker runs everything in program order: no races *)
+          Array.iter (fun a -> n_acc := !n_acc + Array.length a) accs
+        else begin
+          let plan = Runtime.Par_loop.plan schedule ~workers ~lo:0 ~hi:m in
+          let iter_thread = Array.make m 0 in
+          Array.iteri (fun w l -> List.iter (fun i -> iter_thread.(i) <- w) l) plan;
+          let vc = Array.init workers (fun _ -> Array.make workers 0) in
+          (* the dynamic dispatch counter's clock (release/acquire chain) *)
+          let counter_vc = Array.make workers 0 in
+          let chunk =
+            match schedule with Runtime.Par_loop.Dynamic c -> max 1 c | _ -> 0
+          in
+          let shadow : (int, cell) Hashtbl.t = Hashtbl.create 1024 in
+          (* global iteration order is a valid linearization: each worker's
+             iterations appear in its program order, and dynamic chunk
+             fetches appear in dispatch order *)
+          for i = 0 to m - 1 do
+            let t = iter_thread.(i) in
+            let c_t = vc.(t) in
+            if chunk > 0 && i mod chunk = 0 then begin
+              (* fetch_and_add on the shared counter: acquire then release *)
+              vc_join c_t counter_vc;
+              vc_join counter_vc c_t
+            end;
+            c_t.(t) <- c_t.(t) + 1;
+            let now = c_t.(t) in
+            Array.iter
+              (fun (a : Interp.Trace.access) ->
+                incr n_acc;
+                let aref =
+                  { f_thread = t; f_iter = i; f_write = a.Interp.Trace.ac_write;
+                    f_loc = a.Interp.Trace.ac_loc }
+                in
+                let addr = a.Interp.Trace.ac_addr in
+                let cell =
+                  match Hashtbl.find_opt shadow addr with
+                  | Some cl -> cl
+                  | None ->
+                    let cl =
+                      {
+                        w_thread = -1;
+                        w_clock = 0;
+                        w_ref = dummy_ref;
+                        r_clocks = Array.make workers 0;
+                        r_refs = Array.make workers dummy_ref;
+                      }
+                    in
+                    Hashtbl.replace shadow addr cl;
+                    cl
+                in
+                let write_unordered () =
+                  cell.w_thread >= 0 && cell.w_thread <> t
+                  && cell.w_clock > c_t.(cell.w_thread)
+                in
+                if a.Interp.Trace.ac_write then begin
+                  if write_unordered () then record seg addr cell.w_ref aref;
+                  for u = 0 to workers - 1 do
+                    if u <> t && cell.r_clocks.(u) > c_t.(u) then
+                      record seg addr cell.r_refs.(u) aref
+                  done;
+                  cell.w_thread <- t;
+                  cell.w_clock <- now;
+                  cell.w_ref <- aref;
+                  Array.fill cell.r_clocks 0 workers 0
+                end
+                else begin
+                  if write_unordered () then record seg addr cell.w_ref aref;
+                  cell.r_clocks.(t) <- now;
+                  cell.r_refs.(t) <- aref
+                end)
+              accs.(i)
+          done
+        end)
+      traces;
+    Ok
+      {
+        p_schedule = schedule;
+        p_workers = workers;
+        p_races = List.rev !races;
+        p_total = !total;
+        p_segments = List.length traces;
+        p_iterations = !n_iter;
+        p_accesses = !n_acc;
+      }
+
+(** Analyze the whole plan matrix (every schedule at every core count). *)
+let analyze_matrix ?(schedules = default_schedules) ?(cores = default_cores)
+    (profile : Interp.Trace.profile) : (report list, string) result =
+  match profile.Interp.Trace.par_traces with
+  | None -> Error untraced_error
+  | Some _ ->
+    Ok
+      (List.concat_map
+         (fun schedule ->
+           List.map
+             (fun workers ->
+               match analyze ~schedule ~workers profile with
+               | Ok r -> r
+               | Error e -> invalid_arg e (* unreachable: trace checked above *))
+             cores)
+         schedules)
+
+let races_total reports = List.fold_left (fun acc r -> acc + r.p_total) 0 reports
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+let rw r = if r then "write" else "read"
+
+let describe_race (r : race) =
+  Printf.sprintf
+    "data race on %s[%d] (segment %d, addr 0x%x): %s at %s in iteration [%d] of thread %d \
+     is concurrent with %s at %s in iteration [%d] of thread %d"
+    r.x_array r.x_elem r.x_segment r.x_addr (rw r.x_first.f_write) r.x_first.f_loc
+    r.x_first.f_iter r.x_first.f_thread (rw r.x_second.f_write) r.x_second.f_loc
+    r.x_second.f_iter r.x_second.f_thread
+
+let describe_report (r : report) =
+  let header =
+    Printf.sprintf
+      "racecheck schedule(%s) x %d threads: %s (%d parallel segments, %d iterations, %d accesses)"
+      (schedule_name r.p_schedule) r.p_workers
+      (if clean r then "no races"
+       else
+         Printf.sprintf "%d conflicting access pairs (%d distinct sites)" r.p_total
+           (List.length r.p_races))
+      r.p_segments r.p_iterations r.p_accesses
+  in
+  String.concat "\n" (header :: List.map (fun x -> "  " ^ describe_race x) r.p_races)
+
+(** Race diagnostics carry the dedicated "race.detected" code, which
+    {!Support.Diag.kind_of_code} maps to {!Support.Diag.Race}. *)
+let diags_of_report (r : report) : Diag.t list =
+  List.map
+    (fun x ->
+      {
+        Diag.severity = Diag.Error;
+        code = "race.detected";
+        loc = Loc.dummy;
+        message =
+          Printf.sprintf "[schedule(%s) x %d threads] %s" (schedule_name r.p_schedule)
+            r.p_workers (describe_race x);
+      })
+    r.p_races

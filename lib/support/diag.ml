@@ -9,6 +9,44 @@ type severity = Error | Warning | Note
 
 type t = { severity : severity; code : string; loc : Loc.t; message : string }
 
+(** The coarse failure stage a diagnostic belongs to.  Every code maps to
+    exactly one kind, so downstream classification (e.g. the CLI's exit
+    codes in {!Toolchain.Chain.classify_errors}) is a total match instead
+    of an open-ended prefix cascade. *)
+type kind =
+  | Parse  (** lexer / parser / preprocessor rejections *)
+  | Purity  (** purity verification or scop-marking rejections *)
+  | Race  (** the dynamic race detector found conflicting accesses *)
+  | Fuzz  (** the differential fuzz oracle found a divergence *)
+  | Generic  (** everything else (runtime faults, internal errors) *)
+
+let string_starts_with ~prefix s =
+  let pl = String.length prefix in
+  String.length s >= pl && String.sub s 0 pl = prefix
+
+let kind_of_code code : kind =
+  if
+    code = "parse"
+    || string_starts_with ~prefix:"parse." code
+    || string_starts_with ~prefix:"lex" code
+    || string_starts_with ~prefix:"cpp" code
+  then Parse
+  else if
+    string_starts_with ~prefix:"pure." code || string_starts_with ~prefix:"scop." code
+  then Purity
+  else if string_starts_with ~prefix:"race." code then Race
+  else if string_starts_with ~prefix:"fuzz." code then Fuzz
+  else Generic
+
+let kind_of t = kind_of_code t.code
+
+let kind_to_string = function
+  | Parse -> "parse"
+  | Purity -> "purity"
+  | Race -> "race"
+  | Fuzz -> "fuzz"
+  | Generic -> "generic"
+
 let severity_to_string = function
   | Error -> "error"
   | Warning -> "warning"

@@ -28,22 +28,32 @@ let exit_purity_error = 3  (** purity verification or scop-marking rejections *)
 
 let exit_fuzz_mismatch = 4  (** the differential fuzz oracle found a divergence *)
 
-let is_parse_code code =
-  code = "parse" || Util.string_starts_with ~prefix:"parse." code
-  || Util.string_starts_with ~prefix:"lex" code
-  || Util.string_starts_with ~prefix:"cpp" code
+let exit_race = 5  (** the dynamic race detector found conflicting accesses *)
 
-let is_purity_code code =
-  Util.string_starts_with ~prefix:"pure." code
-  || Util.string_starts_with ~prefix:"scop." code
+let exit_of_kind : Diag.kind -> int = function
+  | Diag.Purity -> exit_purity_error
+  | Diag.Race -> exit_race
+  | Diag.Fuzz -> exit_fuzz_mismatch
+  | Diag.Parse -> exit_parse_error
+  | Diag.Generic -> exit_error
 
-(** Map the diagnostics of a failed compile to the process exit code:
-    purity/scop rejections win over parse errors (a purity error means the
-    input parsed), and anything unclassified is the generic [exit_error]. *)
+(** Map the diagnostics of a failed run to the process exit code.  The
+    classification is total over {!Diag.kind}: every error code maps to
+    exactly one kind, and the kinds are ranked by how much of the pipeline
+    the input survived — purity/scop rejections win over race reports
+    (a race means the transform committed), races win over fuzz
+    divergences, fuzz over parse, and anything left is [exit_error]. *)
 let classify_errors (diags : Diag.t list) : int =
-  let codes = List.filter_map (fun d -> if d.Diag.severity = Diag.Error then Some d.Diag.code else None) diags in
-  if List.exists is_purity_code codes then exit_purity_error
-  else if List.exists is_parse_code codes then exit_parse_error
+  let kinds =
+    List.filter_map
+      (fun d -> if d.Diag.severity = Diag.Error then Some (Diag.kind_of d) else None)
+      diags
+  in
+  let has k = List.mem k kinds in
+  if has Diag.Purity then exit_purity_error
+  else if has Diag.Race then exit_race
+  else if has Diag.Fuzz then exit_fuzz_mismatch
+  else if has Diag.Parse then exit_parse_error
   else exit_error
 
 type compiled = {
@@ -147,11 +157,29 @@ let scaled_l2_bytes = 32 * 1024
 let scaled_sica_cache =
   { Pluto.Sica.l1_bytes = scaled_l1_bytes; l2_bytes = scaled_l2_bytes; line_bytes = 64 }
 
-(** Execute a compiled program on the instrumented interpreter. *)
-let execute (c : compiled) : Interp.Trace.profile =
-  Interp.Exec.run ~l1_bytes:scaled_l1_bytes ~l2_bytes:scaled_l2_bytes c.c_ast
+(** Execute a compiled program on the instrumented interpreter.
+    [trace_accesses] additionally logs every load/store inside parallel
+    loops (for {!Racecheck}); it perturbs neither costs nor output. *)
+let execute ?(trace_accesses = false) (c : compiled) : Interp.Trace.profile =
+  Interp.Exec.run ~l1_bytes:scaled_l1_bytes ~l2_bytes:scaled_l2_bytes ~trace_accesses
+    c.c_ast
 
 (** Compile and execute in one go. *)
-let run ?mode source : compiled * Interp.Trace.profile =
+let run ?mode ?trace_accesses source : compiled * Interp.Trace.profile =
   let c = compile ?mode source in
-  (c, execute c)
+  (c, execute ?trace_accesses c)
+
+(** Optional racecheck pass: compile, execute with access tracing, and
+    shadow-verify the parallelized loops under the whole plan matrix
+    ([schedules] × [cores]).  A non-clean report on a legality-approved
+    compile means either the polyhedral legality analysis or the dynamic
+    happens-before model is wrong — both are hard failures. *)
+let run_racecheck ?mode ?schedules ?cores source :
+    compiled * Interp.Trace.profile * Racecheck.report list =
+  let c = compile ?mode source in
+  let profile = execute ~trace_accesses:true c in
+  match Racecheck.analyze_matrix ?schedules ?cores profile with
+  | Ok reports -> (c, profile, reports)
+  | Error e ->
+    (* unreachable: the profile above was produced with tracing on *)
+    invalid_arg e

@@ -210,6 +210,41 @@ int main() {
 |};
   }
 
+(* anti-diagonal recurrence: the single flow dependence has distance
+   (1, -1), so the original loop nest is legal only with i outermost and
+   sequential — the engine's winner keeps outer parallelism via a skewed
+   permutation.  Swapping the loops flips the dependence lex-negative,
+   which makes this the canonical witness for the race detector's
+   fault-injection mode: under --inject-illegal the injected permutation
+   puts the dependence-carrying loop under the parallel pragma and every
+   plan with >= 2 workers races. *)
+let antidiag =
+  {
+    k_name = "antidiag";
+    k_expect =
+      { x_parallel = true; x_outer_parallel = true; x_identity = false; x_band = 0 };
+    k_source =
+      {|
+double A[40][40];
+int main() {
+  for (int i = 0; i < 40; i++)
+    for (int j = 0; j < 40; j++)
+      A[i][j] = ((i * 5 + j * 3) % 11) * 0.5;
+#pragma scop
+  for (int i = 1; i < 40; i++)
+    for (int j = 0; j < 39; j++)
+      A[i][j] = A[i - 1][j + 1] + 1.0;
+#pragma endscop
+  double s = 0.0;
+  for (int i = 0; i < 40; i++)
+    for (int j = 0; j < 40; j++)
+      s += A[i][j] * ((i + 3 * j) % 5);
+  printf("checksum %.6f\n", s);
+  return 0;
+}
+|};
+  }
+
 (* doitgen-like contraction *)
 let doitgen =
   {
@@ -244,6 +279,6 @@ int main() {
 |};
   }
 
-let all = [ gemver; syrk; jacobi1d; seidel2d; floyd; pure_wavefront; doitgen ]
+let all = [ gemver; syrk; jacobi1d; seidel2d; floyd; pure_wavefront; antidiag; doitgen ]
 
 let find name = List.find_opt (fun k -> k.k_name = name) all

@@ -12,7 +12,14 @@ let mk_par sched cycles_list =
   Interp.Trace.Par { sched; iters = Array.of_list (List.map mk_cost cycles_list) }
 
 let seconds ?(backend = Machine.Config.gcc) n segs =
-  (Machine.Model.simulate ~backend ~n { Interp.Trace.segments = segs; output = ""; return_code = 0 })
+  (Machine.Model.simulate ~backend ~n
+     {
+       Interp.Trace.segments = segs;
+       output = "";
+       return_code = 0;
+       regions = [];
+       par_traces = None;
+     })
     .Machine.Model.r_seconds
 
 let test_single_core_equals_sum () =

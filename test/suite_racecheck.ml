@@ -1,0 +1,349 @@
+(** Race-detector tests: the vector-clock engine on hand-built access
+    traces, the zero-race guarantee over every workload and gallery kernel
+    at every legality-approved plan, and the fault-injection path (an
+    illegal transform must be caught as a race). *)
+
+module R = Racecheck
+
+let sched = Alcotest.testable (fun ppf s -> Fmt.string ppf (R.schedule_name s)) ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic traces: one parallel segment, [iters] entries of
+   (loc, addr, write) access lists, an 8-byte-element region "A" at 0. *)
+
+let mk_profile ?(sched = Interp.Trace.Static) iters : Interp.Trace.profile =
+  let accesses =
+    Array.of_list
+      (List.map
+         (fun accs ->
+           Array.of_list
+             (List.map
+                (fun (loc, addr, write) ->
+                  { Interp.Trace.ac_loc = loc; ac_addr = addr; ac_bytes = 8; ac_write = write })
+                accs))
+         iters)
+  in
+  {
+    Interp.Trace.segments = [];
+    output = "";
+    return_code = 0;
+    regions =
+      [ { Interp.Mem.rg_label = "A"; rg_base = 0; rg_bytes = 8 * 1024; rg_elem_bytes = 8 } ];
+    par_traces = Some [ { Interp.Trace.pt_sched = sched; pt_accesses = accesses } ];
+  }
+
+let analyze ~schedule ~workers profile =
+  match R.analyze ~schedule ~workers profile with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_untraced_profile_rejected () =
+  let p = { (mk_profile []) with Interp.Trace.par_traces = None } in
+  match R.analyze ~schedule:Runtime.Par_loop.Static ~workers:4 p with
+  | Ok _ -> Alcotest.fail "untraced profile must be rejected"
+  | Error _ -> ()
+
+let test_static_conflicting_writes_race () =
+  (* two iterations writing the same element land on different threads
+     under static scheduling with 2 workers *)
+  let p = mk_profile [ [ ("a.c:1", 0, true) ]; [ ("a.c:2", 0, true) ] ] in
+  let r = analyze ~schedule:Runtime.Par_loop.Static ~workers:2 p in
+  Alcotest.(check bool) "races" false (R.clean r);
+  let x = List.hd r.R.p_races in
+  Alcotest.(check string) "region" "A" x.R.x_array;
+  Alcotest.(check int) "element" 0 x.R.x_elem;
+  Alcotest.(check bool) "different threads" true (x.R.x_first.R.f_thread <> x.R.x_second.R.f_thread);
+  Alcotest.(check (list int)) "both iteration vectors named" [ 0; 1 ]
+    (List.sort compare [ x.R.x_first.R.f_iter; x.R.x_second.R.f_iter ])
+
+let test_single_worker_never_races () =
+  let p = mk_profile [ [ ("a.c:1", 0, true) ]; [ ("a.c:2", 0, true) ] ] in
+  let r = analyze ~schedule:Runtime.Par_loop.Static ~workers:1 p in
+  Alcotest.(check bool) "clean at 1 worker" true (R.clean r)
+
+let test_reads_never_race () =
+  let p = mk_profile (List.init 8 (fun i -> [ (Printf.sprintf "a.c:%d" i, 0, false) ])) in
+  List.iter
+    (fun schedule ->
+      let r = analyze ~schedule ~workers:4 p in
+      Alcotest.(check bool) "read-read sharing is clean" true (R.clean r))
+    R.default_schedules
+
+let test_same_thread_accesses_ordered () =
+  (* static with 2 workers over 4 iterations: thread 0 owns 0 and 1 *)
+  let p =
+    mk_profile [ [ ("a.c:1", 0, true) ]; [ ("a.c:2", 0, true) ]; []; [] ]
+  in
+  let r = analyze ~schedule:Runtime.Par_loop.Static ~workers:2 p in
+  Alcotest.(check bool) "program order within a thread" true (R.clean r)
+
+let test_disjoint_elements_clean () =
+  let p = mk_profile (List.init 16 (fun i -> [ ("a.c:1", 8 * i, true) ])) in
+  List.iter
+    (fun schedule ->
+      List.iter
+        (fun workers ->
+          let r = analyze ~schedule ~workers p in
+          Alcotest.(check bool) "disjoint writes are clean" true (R.clean r))
+        R.default_cores)
+    R.default_schedules
+
+let test_write_read_race_provenance () =
+  let p = mk_profile [ [ ("w.c:1", 16, true) ]; [ ("r.c:2", 16, false) ] ] in
+  let r = analyze ~schedule:Runtime.Par_loop.Static ~workers:2 p in
+  Alcotest.(check int) "one race" 1 r.R.p_total;
+  let x = List.hd r.R.p_races in
+  Alcotest.(check int) "element 2" 2 x.R.x_elem;
+  Alcotest.(check bool) "one side is the write" true
+    (x.R.x_first.R.f_write <> x.R.x_second.R.f_write);
+  let d = R.describe_race x in
+  Alcotest.(check bool) "report names both sites" true
+    (Support.Util.string_contains ~needle:"w.c:1" d
+    && Support.Util.string_contains ~needle:"r.c:2" d)
+
+(* dynamic,1 at 2 workers: chunk fetches order chunks >= 2 apart, and
+   nothing closer — adjacent chunks on different threads stay concurrent *)
+let test_dynamic_chunk_ordering () =
+  let near =
+    (* write in iter 1 (thread 1), read in iter 2 (thread 0): distance 1 *)
+    mk_profile [ []; [ ("a.c:1", 0, true) ]; [ ("a.c:2", 0, false) ]; [] ]
+  in
+  let r = analyze ~schedule:(Runtime.Par_loop.Dynamic 1) ~workers:2 near in
+  Alcotest.(check bool) "adjacent chunks race" false (R.clean r);
+  let far =
+    (* write in iter 0, read in iter 3: distance 3 >= 2 workers, the
+       dispatch chain has published chunk 0 by chunk 3's fetch *)
+    mk_profile [ [ ("a.c:1", 0, true) ]; []; []; [ ("a.c:2", 0, false) ] ]
+  in
+  let r = analyze ~schedule:(Runtime.Par_loop.Dynamic 1) ~workers:2 far in
+  Alcotest.(check bool) "distant chunks ordered by the dispatch chain" true (R.clean r);
+  (* the same far pair under static still races: thread 0 owns iterations
+     0..1 and thread 1 owns 2..3 with no intra-loop synchronization *)
+  let r = analyze ~schedule:Runtime.Par_loop.Static ~workers:2 far in
+  Alcotest.(check bool) "no such edge under static" false (R.clean r)
+
+let test_report_cap () =
+  (* every pair of 64 iterations conflicts at a distinct site: far more
+     distinct races than the cap, but p_total keeps the full count *)
+  let p =
+    mk_profile (List.init 64 (fun i -> [ (Printf.sprintf "a.c:%d" i, 0, true) ]))
+  in
+  let r = analyze ~schedule:Runtime.Par_loop.Static ~workers:64 p in
+  Alcotest.(check bool) "stored races capped" true
+    (List.length r.R.p_races <= R.max_reported_races);
+  Alcotest.(check bool) "total exceeds the cap" true (r.R.p_total > R.max_reported_races)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule parsing *)
+
+let test_schedule_of_string () =
+  let ok s v =
+    match R.schedule_of_string s with
+    | Ok x -> Alcotest.check sched s v x
+    | Error e -> Alcotest.fail e
+  in
+  ok "static" Runtime.Par_loop.Static;
+  ok "static,8" (Runtime.Par_loop.Static_chunk 8);
+  ok "dynamic" (Runtime.Par_loop.Dynamic 1);
+  ok "DYNAMIC,3" (Runtime.Par_loop.Dynamic 3);
+  ok " static , 2 " (Runtime.Par_loop.Static_chunk 2);
+  List.iter
+    (fun s ->
+      match R.schedule_of_string s with
+      | Ok _ -> Alcotest.failf "%S must be rejected" s
+      | Error _ -> ())
+    [ "guided"; "static,0"; "dynamic,-1"; "static,x"; "" ]
+
+(* ------------------------------------------------------------------ *)
+(* Exit-code classification (Diag.kind is total) *)
+
+let diag ~code =
+  {
+    Support.Diag.severity = Support.Diag.Error;
+    code;
+    loc = Support.Loc.dummy;
+    message = "test";
+  }
+
+let test_race_diag_classification () =
+  Alcotest.(check string) "race.detected is the Race kind" "race"
+    (Support.Diag.kind_to_string (Support.Diag.kind_of_code "race.detected"));
+  Alcotest.(check int) "race exits 5" Toolchain.Chain.exit_race
+    (Toolchain.Chain.classify_errors [ diag ~code:"race.detected" ]);
+  Alcotest.(check int) "race outranks parse" Toolchain.Chain.exit_race
+    (Toolchain.Chain.classify_errors [ diag ~code:"parse.expected"; diag ~code:"race.detected" ]);
+  Alcotest.(check int) "race outranks fuzz" Toolchain.Chain.exit_race
+    (Toolchain.Chain.classify_errors [ diag ~code:"fuzz.mismatch"; diag ~code:"race.detected" ]);
+  Alcotest.(check int) "purity outranks race" Toolchain.Chain.exit_purity_error
+    (Toolchain.Chain.classify_errors [ diag ~code:"race.detected"; diag ~code:"pure.assign" ]);
+  Alcotest.(check int) "diags_of_report carries race.detected" Toolchain.Chain.exit_race
+    (let p = mk_profile [ [ ("a.c:1", 0, true) ]; [ ("a.c:2", 0, true) ] ] in
+     let r = analyze ~schedule:Runtime.Par_loop.Static ~workers:2 p in
+     Toolchain.Chain.classify_errors (R.diags_of_report r))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: every workload and kernel, every legality-approved plan *)
+
+let scale = Toolchain.Figures.test_scale
+
+let applications =
+  [
+    ("matmul", Workloads.Matmul.pure_source ~n:scale.Toolchain.Figures.matmul_n ());
+    ( "heat",
+      Workloads.Heat.pure_source ~n:scale.Toolchain.Figures.heat_n
+        ~t:scale.Toolchain.Figures.heat_t () );
+    ( "satellite",
+      Workloads.Satellite.pure_source ~w:scale.Toolchain.Figures.sat_w
+        ~h:scale.Toolchain.Figures.sat_h ~bands:scale.Toolchain.Figures.sat_bands () );
+    ( "lama",
+      Workloads.Lama_app.pure_source ~rows:scale.Toolchain.Figures.lama_rows
+        ~maxnnz:scale.Toolchain.Figures.lama_maxnnz ~reps:scale.Toolchain.Figures.lama_reps
+        () );
+  ]
+
+let mode_for ?(inject = false) source =
+  let adjust (c : Pluto.config) =
+    if inject then { c with Pluto.unsafe_no_legality = true } else c
+  in
+  if Support.Util.string_contains ~needle:"#pragma scop" source then
+    Toolchain.Chain.Plain_pluto adjust
+  else Toolchain.Chain.Pure_chain adjust
+
+let traced_reports ?inject source =
+  let _, _, reports =
+    Toolchain.Chain.run_racecheck ~mode:(mode_for ?inject source) source
+  in
+  reports
+
+let all_sources =
+  applications
+  @ List.map
+      (fun k -> (k.Workloads.Kernels.k_name, k.Workloads.Kernels.k_source))
+      Workloads.Kernels.all
+
+let test_all_workloads_race_free () =
+  List.iter
+    (fun (name, source) ->
+      List.iter
+        (fun r ->
+          if not (R.clean r) then
+            Alcotest.failf "%s races under %s" name (R.describe_report r))
+        (traced_reports source))
+    all_sources
+
+(* the canonical inject witness: antidiag's dependence (1,-1) becomes
+   lex-negative under the injected loop swap, so every plan with >= 2
+   workers must race — and the race must name both iteration vectors *)
+let test_inject_illegal_detected () =
+  let k = Option.get (Workloads.Kernels.find "antidiag") in
+  let reports = traced_reports ~inject:true k.Workloads.Kernels.k_source in
+  List.iter
+    (fun r ->
+      if r.R.p_workers = 1 then
+        Alcotest.(check bool) "1 worker stays clean" true (R.clean r)
+      else begin
+        Alcotest.(check bool)
+          (Printf.sprintf "races at schedule(%s) x %d" (R.schedule_name r.R.p_schedule)
+             r.R.p_workers)
+          false (R.clean r);
+        let x = List.hd r.R.p_races in
+        Alcotest.(check string) "on the A array" "A" x.R.x_array;
+        Alcotest.(check bool) "distinct iteration vectors" true
+          (x.R.x_first.R.f_iter <> x.R.x_second.R.f_iter)
+      end)
+    reports;
+  (* and the full oracle flags it as a race (before any output diff) *)
+  let oracle = Fuzzgen.Oracle.check ~inject:true ~racecheck:true k.Workloads.Kernels.k_source in
+  Alcotest.(check bool) "oracle reports race-detected" true
+    (List.exists
+       (fun f -> Fuzzgen.Oracle.kind_tag f = "race-detected")
+       oracle.Fuzzgen.Oracle.r_failures)
+
+let test_oracle_racecheck_clean () =
+  (* a clean kernel passes the oracle with the racecheck stage enabled *)
+  let k = Option.get (Workloads.Kernels.find "antidiag") in
+  let r = Fuzzgen.Oracle.check ~racecheck:true k.Workloads.Kernels.k_source in
+  Alcotest.(check bool) "oracle clean" true (Fuzzgen.Oracle.passed r)
+
+(* random legality-approved plans on a traced profile stay race-free; the
+   same plans on the injected profile race whenever workers > 1 *)
+let qcheck_random_plans =
+  let legal =
+    lazy
+      (let k = Option.get (Workloads.Kernels.find "antidiag") in
+       let _, profile, _ = Toolchain.Chain.run_racecheck k.Workloads.Kernels.k_source in
+       profile)
+  in
+  let injected =
+    lazy
+      (let k = Option.get (Workloads.Kernels.find "antidiag") in
+       let src = k.Workloads.Kernels.k_source in
+       let _, profile =
+         Toolchain.Chain.run ~mode:(mode_for ~inject:true src) ~trace_accesses:true src
+       in
+       profile)
+  in
+  QCheck.Test.make ~name:"random plans: legal clean, injected racy (workers>1)" ~count:60
+    QCheck.(triple (int_range 1 64) (int_range 0 2) (int_range 1 8))
+    (fun (workers, which, chunk) ->
+      let schedule =
+        match which with
+        | 0 -> Runtime.Par_loop.Static
+        | 1 -> Runtime.Par_loop.Static_chunk chunk
+        | _ -> Runtime.Par_loop.Dynamic chunk
+      in
+      let run p =
+        match R.analyze ~schedule ~workers p with
+        | Ok r -> r
+        | Error e -> QCheck.Test.fail_report e
+      in
+      R.clean (run (Lazy.force legal))
+      && (workers = 1 || not (R.clean (run (Lazy.force injected)))))
+
+(* ------------------------------------------------------------------ *)
+(* CLI integration: exit code 5 *)
+
+let test_cli_racecheck_exit_codes () =
+  let purec =
+    let candidates = [ "../bin/purec.exe"; "_build/default/bin/purec.exe" ] in
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> p
+    | None -> Alcotest.skip ()
+  in
+  let k = Option.get (Workloads.Kernels.find "antidiag") in
+  let run_racecheck args =
+    let path = Filename.temp_file "purec_race" ".c" in
+    let oc = open_out path in
+    output_string oc k.Workloads.Kernels.k_source;
+    close_out oc;
+    let cmd =
+      Printf.sprintf "%s racecheck %s --mode pluto %s >/dev/null 2>&1"
+        (Filename.quote purec) args (Filename.quote path)
+    in
+    let code = Sys.command cmd in
+    Sys.remove path;
+    code
+  in
+  Alcotest.(check int) "legal plan exits 0" 0 (run_racecheck "--cores 4");
+  Alcotest.(check int) "injected illegal transform exits 5" Toolchain.Chain.exit_race
+    (run_racecheck "--cores 4 --inject-illegal")
+
+let suite =
+  [
+    Alcotest.test_case "untraced profile rejected" `Quick test_untraced_profile_rejected;
+    Alcotest.test_case "static conflicting writes" `Quick test_static_conflicting_writes_race;
+    Alcotest.test_case "single worker clean" `Quick test_single_worker_never_races;
+    Alcotest.test_case "reads never race" `Quick test_reads_never_race;
+    Alcotest.test_case "same-thread program order" `Quick test_same_thread_accesses_ordered;
+    Alcotest.test_case "disjoint elements clean" `Quick test_disjoint_elements_clean;
+    Alcotest.test_case "write-read provenance" `Quick test_write_read_race_provenance;
+    Alcotest.test_case "dynamic chunk ordering" `Quick test_dynamic_chunk_ordering;
+    Alcotest.test_case "report cap" `Quick test_report_cap;
+    Alcotest.test_case "schedule_of_string" `Quick test_schedule_of_string;
+    Alcotest.test_case "race exit-code classification" `Quick test_race_diag_classification;
+    Alcotest.test_case "all workloads race-free" `Quick test_all_workloads_race_free;
+    Alcotest.test_case "inject-illegal detected" `Quick test_inject_illegal_detected;
+    Alcotest.test_case "oracle racecheck clean" `Quick test_oracle_racecheck_clean;
+    QCheck_alcotest.to_alcotest qcheck_random_plans;
+    Alcotest.test_case "cli exit code 5" `Quick test_cli_racecheck_exit_codes;
+  ]

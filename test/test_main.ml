@@ -19,4 +19,5 @@ let () =
       ("metadata", Suite_metadata.suite);
       ("golden", Suite_golden.suite);
       ("fuzzgen", Suite_fuzzgen.suite);
+      ("racecheck", Suite_racecheck.suite);
     ]
