@@ -35,30 +35,90 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json figures =
+(* every record carries "kind": "modeled" numbers come from the simulated
+   machine (deterministic), "measured" ones from wall-clock timing of real
+   OCaml-domain execution (noisy) — ci/bench_diff applies a per-kind
+   tolerance band when comparing runs *)
+let record ~kind ~figure ~title ~unit ~variant ~cores ~value =
+  Printf.sprintf
+    "  {\"figure\": \"%s\", \"title\": \"%s\", \"unit\": \"%s\", \"kind\": \"%s\", \
+     \"variant\": \"%s\", \"cores\": %d, \"seconds\": %.9g}"
+    (json_escape figure) (json_escape title) (json_escape unit) (json_escape kind)
+    (json_escape variant) cores value
+
+let figure_records figures =
   let module F = Toolchain.Figures in
-  let records =
-    List.concat_map
-      (fun (f : F.figure) ->
-        List.concat_map
-          (fun (s : F.series) ->
-            List.map
-              (fun (cores, seconds) ->
-                Printf.sprintf
-                  "  {\"figure\": \"%s\", \"title\": \"%s\", \"unit\": \"%s\", \
-                   \"variant\": \"%s\", \"cores\": %d, \"seconds\": %.9g}"
-                  (json_escape f.F.f_id) (json_escape f.F.f_title) (json_escape f.F.f_unit)
-                  (json_escape s.F.s_label) cores seconds)
-              s.F.s_points)
-          f.F.f_series)
-      figures
-  in
+  List.concat_map
+    (fun (f : F.figure) ->
+      List.concat_map
+        (fun (s : F.series) ->
+          List.map
+            (fun (cores, seconds) ->
+              record ~kind:"modeled" ~figure:f.F.f_id ~title:f.F.f_title
+                ~unit:f.F.f_unit ~variant:s.F.s_label ~cores ~value:seconds)
+            s.F.s_points)
+        f.F.f_series)
+    figures
+
+let write_json records =
   let oc = open_out_bin json_path in
   output_string oc ("[\n" ^ String.concat ",\n" records ^ "\n]\n");
   close_out oc;
   pf "wrote %d records to %s@." (List.length records) json_path
 
-let run_figures scale which ~json =
+(* ------------------------------------------------------------------ *)
+(* Measured multi-domain execution: the Fig. 3 matmul plan really runs on
+   OCaml domains (cf. DESIGN.md §8) and we time the wall clock — the one
+   series in BENCH_results.json that is an actual measurement rather than
+   a model evaluation. *)
+
+let best_of reps f =
+  let b = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let t1 = Unix.gettimeofday () in
+    if t1 -. t0 < !b then b := t1 -. t0
+  done;
+  !b
+
+let run_measured scale domains =
+  let module F = Toolchain.Figures in
+  let n = scale.F.matmul_n in
+  let src = Workloads.Matmul.pure_source ~n () in
+  let c = Toolchain.Chain.compile ~mode:(Toolchain.Chain.Pure_chain (fun x -> x)) src in
+  let reps = 3 in
+  pf "== measured: matmul n=%d executed on OCaml domains (best of %d) ==@." n reps;
+  let seq = best_of reps (fun () -> ignore (Toolchain.Chain.execute c)) in
+  let rows =
+    List.map
+      (fun d ->
+        let t =
+          if d <= 1 then seq
+          else begin
+            let pool = Runtime.Pool.create d in
+            Fun.protect
+              ~finally:(fun () -> Runtime.Pool.shutdown pool)
+              (fun () -> best_of reps (fun () -> ignore (Toolchain.Chain.execute ~pool c)))
+          end
+        in
+        let sp = seq /. t in
+        pf "  %2d domain(s): %10.6f s   speedup %5.2fx@." d t sp;
+        (d, t, sp))
+      domains
+  in
+  let title = Printf.sprintf "matmul n=%d on OCaml domains" n in
+  List.concat_map
+    (fun (d, t, sp) ->
+      [
+        record ~kind:"measured" ~figure:"measured-domains" ~title ~unit:"seconds"
+          ~variant:"wall-clock" ~cores:d ~value:t;
+        record ~kind:"measured" ~figure:"measured-domains" ~title ~unit:"speedup"
+          ~variant:"speedup-vs-seq" ~cores:d ~value:sp;
+      ])
+    rows
+
+let run_figures scale which ~json ~domains =
   let module F = Toolchain.Figures in
   let wants id = match which with None -> true | Some w -> w = id in
   let matmul = lazy (F.matmul_dataset scale) in
@@ -89,7 +149,10 @@ let run_figures scale which ~json =
         else None)
       figures
   in
-  if json then write_json rendered;
+  if json then begin
+    let measured = run_measured scale domains in
+    write_json (figure_records rendered @ measured)
+  end;
   (* correctness cross-check printed alongside the data *)
   let check name d =
     pf "checksums %s: all variants agree = %b@." name (F.checksums_agree d)
@@ -302,10 +365,15 @@ let () =
   let micro = ref false in
   let json = ref false in
   let only_ablations = ref false in
+  let domains = ref [ 1; 2; 4; 8 ] in
   let rec parse = function
     | [] -> ()
     | "--figure" :: v :: rest ->
       figure := Some (int_of_string v);
+      parse rest
+    | "--cores" :: v :: rest ->
+      (* domain counts for the measured series, e.g. --cores 1,2,4 *)
+      domains := List.map int_of_string (String.split_on_char ',' v);
       parse rest
     | "--ablation" :: v :: rest ->
       ablation := Some v;
@@ -328,12 +396,16 @@ let () =
   let scale =
     if !quick then Toolchain.Figures.test_scale else Toolchain.Figures.default_scale
   in
-  if !micro then run_micro ()
+  if !micro then begin
+    run_micro ();
+    let measured = run_measured scale !domains in
+    if !json then write_json measured
+  end
   else if !only_ablations then run_ablations scale !ablation
   else begin
     pf "Pure Functions in C — evaluation reproduction (scaled sizes, simulated %s)@."
       Machine.Config.opteron64.Machine.Config.m_name;
     pf "@.";
-    run_figures scale !figure ~json:!json;
+    run_figures scale !figure ~json:!json ~domains:!domains;
     match !figure with None -> run_ablations scale None | Some _ -> ()
   end

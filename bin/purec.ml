@@ -55,6 +55,19 @@ let dump_stages_arg =
   let doc = "Print the source text after each pipeline stage." in
   Arg.(value & flag & info [ "dump-stages" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "OCaml domains to fan work across.  Defaults to $(b,PUREC_JOBS) when \
+     set, else the machine's recommended domain count minus one.  Results \
+     are bit-identical to $(b,--jobs 1) (work lands in per-job slots and \
+     is reported in order)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs = function
+  | Some n -> max 1 n
+  | None -> Runtime.Pool.default_jobs ()
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -156,12 +169,37 @@ let compile_cmd =
 (* run *)
 
 let run_cmd =
-  let run file mode sica tile schedule cores backend =
+  let run_jobs_arg =
+    (* [run] defaults to sequential: the simulated cost counters are only
+       deterministic without real parallel execution (per-domain cache
+       simulators; cf. DESIGN.md §8), so domains are strictly opt-in here *)
+    let doc =
+      "Execute parallelized loops for real on N OCaml domains (program \
+       output stays bit-identical; measured wall time goes to stderr).  \
+       Default 1: sequential, fully deterministic cost model."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let run file mode sica tile schedule cores backend jobs =
     handle_compile_error (fun () ->
         let src = read_file file in
         let c = Toolchain.Chain.compile ~mode:(chain_mode mode sica tile schedule) src in
         report_outcomes c;
-        let profile = Toolchain.Chain.execute c in
+        let profile =
+          if jobs > 1 then begin
+            let pool = Runtime.Pool.create jobs in
+            Fun.protect
+              ~finally:(fun () -> Runtime.Pool.shutdown pool)
+              (fun () ->
+                let t0 = Unix.gettimeofday () in
+                let p = Toolchain.Chain.execute ~pool c in
+                let t1 = Unix.gettimeofday () in
+                Fmt.epr "run: %d worker domains, %.6f s wall@."
+                  (Runtime.Pool.size pool) (t1 -. t0);
+                p)
+          end
+          else Toolchain.Chain.execute c
+        in
         Fmt.pr "--- program output ---@.%s--- end output ---@." profile.Interp.Trace.output;
         Fmt.pr "exit code: %d@." profile.Interp.Trace.return_code;
         Fmt.pr "parallel regions executed: %d@."
@@ -179,7 +217,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, execute, and simulate timings on the modeled machine.")
-    Term.(const run $ file_arg $ mode_arg $ sica_arg $ tile_arg $ schedule_arg $ cores_arg $ backend_arg)
+    Term.(
+      const run $ file_arg $ mode_arg $ sica_arg $ tile_arg $ schedule_arg $ cores_arg
+      $ backend_arg $ run_jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* racecheck *)
@@ -272,7 +312,7 @@ let racecheck_cmd =
   (* [--schedule] here selects the replay plans; the pragma clause the
      compiler would emit is irrelevant because the replay matrix covers
      every clause anyway *)
-  let run file workloads cores scheds inject mode sica tile =
+  let run file workloads cores scheds inject mode sica tile jobs =
     let cores = if cores = [] then Racecheck.default_cores else cores in
     let schedules =
       if scheds = [] then Racecheck.default_schedules
@@ -295,48 +335,96 @@ let racecheck_cmd =
         (match file with Some f -> [ (f, `File (read_file f)) ] | None -> [])
         @ List.map (fun (n, s) -> (n, `Workload s)) (workload_targets workloads)
     in
+    (* one target = one unit of campaign work; everything it would print is
+       buffered so targets can be checked on worker domains and the report
+       replayed in target order — stdout is byte-identical for every --jobs *)
+    let check_target (name, target) =
+      let buf = Buffer.create 256 in
+      let pr fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+      try
+        let source, chosen_mode =
+          match target with
+          | `File src ->
+            let adjust_mode m =
+              if not inject then m
+              else
+                match m with
+                | Toolchain.Chain.Pure_chain adj ->
+                  Toolchain.Chain.Pure_chain
+                    (fun c -> { (adj c) with Pluto.unsafe_no_legality = true })
+                | Toolchain.Chain.Plain_pluto adj ->
+                  Toolchain.Chain.Plain_pluto
+                    (fun c -> { (adj c) with Pluto.unsafe_no_legality = true })
+                | m -> m
+            in
+            (src, adjust_mode (chain_mode mode sica tile None))
+          | `Workload src -> (src, workload_mode ~inject src)
+        in
+        let _c, _profile, reports =
+          Toolchain.Chain.run_racecheck ~mode:chosen_mode ~schedules ~cores source
+        in
+        let bad = List.filter (fun r -> not (Racecheck.clean r)) reports in
+        if bad = [] then
+          pr "%s: no races across %d plans (%s x cores %s)@." name
+            (List.length reports)
+            (String.concat ", " (List.map Racecheck.schedule_name schedules))
+            (String.concat ", " (List.map string_of_int cores))
+        else begin
+          List.iter (fun r -> pr "%s: %s@." name (Racecheck.describe_report r)) bad;
+          if not inject then
+            pr
+              "%s: LEGALITY DISAGREEMENT: the polyhedral legality analysis approved \
+               this transform, but the happens-before replay races — one of the two \
+               is wrong.@."
+              name
+        end;
+        (Buffer.contents buf, "", (bad <> []), None)
+      with
+      | Toolchain.Chain.Compile_error diags ->
+        ( Buffer.contents buf,
+          String.concat "" (List.map (fun d -> Fmt.str "%a@." Support.Diag.pp d) diags),
+          false,
+          Some (Toolchain.Chain.classify_errors diags) )
+      | Support.Diag.Fatal d ->
+        ( Buffer.contents buf,
+          Fmt.str "%a@." Support.Diag.pp d,
+          false,
+          Some (Toolchain.Chain.classify_errors [ d ]) )
+    in
+    let tarr = Array.of_list targets in
+    let n = Array.length tarr in
+    let jobs = min (resolve_jobs jobs) (max 1 n) in
+    Fmt.epr "racecheck: %d domain(s), %d target(s)@." jobs n;
+    let outcomes = Array.make n None in
+    let fill i = outcomes.(i) <- Some (check_target tarr.(i)) in
+    if jobs <= 1 then
+      for i = 0 to n - 1 do
+        fill i
+      done
+    else begin
+      let pool = Runtime.Pool.create jobs in
+      Fun.protect
+        ~finally:(fun () -> Runtime.Pool.shutdown pool)
+        (fun () ->
+          Runtime.Par_loop.parallel_for pool ~schedule:(Runtime.Par_loop.Dynamic 1)
+            ~lo:0 ~hi:n fill)
+    end;
+    (* replay in target order; a compile error stops the report exactly
+       where the sequential loop would have stopped *)
     let racy = ref 0 in
-    List.iter
-      (fun (name, target) ->
-        handle_compile_error (fun () ->
-            let source, chosen_mode =
-              match target with
-              | `File src ->
-                let adjust_mode m =
-                  if not inject then m
-                  else
-                    match m with
-                    | Toolchain.Chain.Pure_chain adj ->
-                      Toolchain.Chain.Pure_chain
-                        (fun c -> { (adj c) with Pluto.unsafe_no_legality = true })
-                    | Toolchain.Chain.Plain_pluto adj ->
-                      Toolchain.Chain.Plain_pluto
-                        (fun c -> { (adj c) with Pluto.unsafe_no_legality = true })
-                    | m -> m
-                in
-                (src, adjust_mode (chain_mode mode sica tile None))
-              | `Workload src -> (src, workload_mode ~inject src)
-            in
-            let _c, _profile, reports =
-              Toolchain.Chain.run_racecheck ~mode:chosen_mode ~schedules ~cores source
-            in
-            let bad = List.filter (fun r -> not (Racecheck.clean r)) reports in
-            if bad = [] then
-              Fmt.pr "%s: no races across %d plans (%s x cores %s)@." name
-                (List.length reports)
-                (String.concat ", " (List.map Racecheck.schedule_name schedules))
-                (String.concat ", " (List.map string_of_int cores))
-            else begin
-              incr racy;
-              List.iter (fun r -> Fmt.pr "%s: %s@." name (Racecheck.describe_report r)) bad;
-              if not inject then
-                Fmt.pr
-                  "%s: LEGALITY DISAGREEMENT: the polyhedral legality analysis approved \
-                   this transform, but the happens-before replay races — one of the two \
-                   is wrong.@."
-                  name
-            end))
-      targets;
+    Array.iter
+      (function
+        | None -> ()
+        | Some (out, err, was_racy, code) -> (
+          print_string out;
+          if was_racy then incr racy;
+          match code with
+          | Some code ->
+            flush stdout;
+            prerr_string err;
+            exit code
+          | None -> ()))
+      outcomes;
     if !racy > 0 then exit Toolchain.Chain.exit_race
   in
   Cmd.v
@@ -347,7 +435,7 @@ let racecheck_cmd =
           detector.  Exits 5 if any plan races.")
     Term.(
       const run $ file_arg $ workload_arg $ rc_cores_arg $ rc_sched_arg $ inject_arg
-      $ mode_arg $ sica_arg $ tile_arg)
+      $ mode_arg $ sica_arg $ tile_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz *)
@@ -385,7 +473,10 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "racecheck" ] ~doc)
   in
-  let run seed count inject racecheck dump no_shrink =
+  let run seed count inject racecheck dump no_shrink jobs =
+    let jobs = resolve_jobs jobs in
+    (* stderr, so the campaign report on stdout stays identical across --jobs *)
+    Fmt.epr "fuzz: %d domain(s)@." jobs;
     let checked = ref 0 in
     let on_case (case : Fuzzgen.Fuzz.case_result) =
       incr checked;
@@ -405,8 +496,8 @@ let fuzz_cmd =
       end
     in
     match
-      Fuzzgen.Fuzz.campaign ~inject ~racecheck ~shrink:(not no_shrink) ~on_case ~seed
-        ~count ()
+      Fuzzgen.Fuzz.campaign ~inject ~racecheck ~shrink:(not no_shrink) ~on_case ~jobs
+        ~seed ~count ()
     with
     | result ->
       let nfail = List.length result.Fuzzgen.Fuzz.k_failed in
@@ -433,7 +524,9 @@ let fuzz_cmd =
        ~doc:
          "Differential fuzzing: generate random pure-C programs and check \
           every pipeline configuration against the sequential baseline.")
-    Term.(const run $ seed_arg $ count_arg $ inject_arg $ racecheck_arg $ dump_arg $ no_shrink_arg)
+    Term.(
+      const run $ seed_arg $ count_arg $ inject_arg $ racecheck_arg $ dump_arg
+      $ no_shrink_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 

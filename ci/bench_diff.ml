@@ -1,0 +1,194 @@
+(** BENCH_results.json regression gate.
+
+    Usage: [bench_diff baseline.json current.json]
+
+    Every record of the baseline must exist in the current run (keyed by
+    figure/unit/variant/cores) and lie inside its tolerance band:
+
+    - ["modeled"] records come from the deterministic machine model, so
+      the band is tight: +/-30% relative (any drift means the model or
+      the compiler chain changed behaviour).
+    - ["measured"] records are wall-clock timings of real domain
+      execution and inherit scheduler noise plus host variability, so
+      the band is a factor of 8.
+
+    A violation only counts as a regression in the *worse* direction:
+    larger for time-like units, smaller for ["speedup"].  Records new in
+    the current run are reported but accepted (the baseline wants
+    refreshing); records missing from the current run fail hard.
+
+    The format is the flat one-record-per-line JSON that bench/main.ml
+    emits; the parser below is deliberately a line scanner so the gate
+    has no dependencies outside the stdlib. *)
+
+type record = {
+  r_figure : string;
+  r_unit : string;
+  r_kind : string;
+  r_variant : string;
+  r_cores : int;
+  r_value : float;
+}
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error m -> failwith m in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* value of ["key": "..."] in [line], if present *)
+let string_field line key =
+  let pat = Printf.sprintf "\"%s\": \"" key in
+  let plen = String.length pat and llen = String.length line in
+  let rec find i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let buf = Buffer.create 16 in
+    let rec scan i =
+      if i >= llen then None
+      else
+        match line.[i] with
+        | '"' -> Some (Buffer.contents buf)
+        | '\\' when i + 1 < llen ->
+          (* bench escapes quotes, backslashes and newlines; unescape those *)
+          (match line.[i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | c -> Buffer.add_char buf c);
+          scan (i + 2)
+        | c ->
+          Buffer.add_char buf c;
+          scan (i + 1)
+    in
+    scan start
+
+(* value of ["key": 123.4] in [line], if present *)
+let number_field line key =
+  let pat = Printf.sprintf "\"%s\": " key in
+  let plen = String.length pat and llen = String.length line in
+  let rec find i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < llen
+      && (match line.[!stop] with
+         | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr stop
+    done;
+    if !stop = start then None
+    else float_of_string_opt (String.sub line start (!stop - start))
+
+let parse_records path =
+  let text = read_file path in
+  List.filter_map
+    (fun line ->
+      match
+        ( string_field line "figure",
+          string_field line "unit",
+          string_field line "variant",
+          number_field line "cores",
+          number_field line "seconds" )
+      with
+      | Some fig, Some unit_, Some variant, Some cores, Some value ->
+        let kind = Option.value ~default:"modeled" (string_field line "kind") in
+        Some
+          {
+            r_figure = fig;
+            r_unit = unit_;
+            r_kind = kind;
+            r_variant = variant;
+            r_cores = int_of_float cores;
+            r_value = value;
+          }
+      | _ -> None)
+    (String.split_on_char '\n' text)
+
+let key r = Printf.sprintf "%s|%s|%s|cores=%d" r.r_figure r.r_unit r.r_variant r.r_cores
+
+(* higher-is-better units regress downward; everything else upward *)
+let higher_is_better r = r.r_unit = "speedup"
+
+(* [Some msg] when [cur] regresses past the band of [base] *)
+let regression base cur =
+  let worse =
+    if higher_is_better base then cur.r_value < base.r_value
+    else cur.r_value > base.r_value
+  in
+  if not worse then None
+  else
+    match base.r_kind with
+    | "measured" ->
+      let factor = 8.0 in
+      let bad =
+        if higher_is_better base then cur.r_value < base.r_value /. factor
+        else cur.r_value > base.r_value *. factor
+      in
+      if bad then
+        Some
+          (Printf.sprintf "measured %.6g -> %.6g (beyond x%g band)" base.r_value
+             cur.r_value factor)
+      else None
+    | _ ->
+      let tol = 0.30 in
+      let scale = Float.max (Float.abs base.r_value) 1e-12 in
+      let rel = Float.abs (cur.r_value -. base.r_value) /. scale in
+      if rel > tol then
+        Some
+          (Printf.sprintf "modeled %.6g -> %.6g (%.0f%% beyond %.0f%% band)"
+             base.r_value cur.r_value (rel *. 100.) (tol *. 100.))
+      else None
+
+let () =
+  let baseline_path, current_path =
+    match Sys.argv with
+    | [| _; b; c |] -> (b, c)
+    | _ ->
+      prerr_endline "usage: bench_diff BASELINE.json CURRENT.json";
+      exit 2
+  in
+  let baseline = parse_records baseline_path in
+  let current = parse_records current_path in
+  if baseline = [] then begin
+    Printf.eprintf "bench_diff: no records in baseline %s\n" baseline_path;
+    exit 2
+  end;
+  let cur_tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace cur_tbl (key r) r) current;
+  let base_keys = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace base_keys (key r) ()) baseline;
+  let failures = ref 0 in
+  List.iter
+    (fun b ->
+      match Hashtbl.find_opt cur_tbl (key b) with
+      | None ->
+        incr failures;
+        Printf.printf "FAIL %s: record missing from current run\n" (key b)
+      | Some c -> (
+        match regression b c with
+        | Some msg ->
+          incr failures;
+          Printf.printf "FAIL %s: %s\n" (key b) msg
+        | None -> ()))
+    baseline;
+  let fresh =
+    List.filter (fun r -> not (Hashtbl.mem base_keys (key r))) current
+  in
+  List.iter
+    (fun r -> Printf.printf "note %s: new record (not in baseline)\n" (key r))
+    fresh;
+  Printf.printf "bench_diff: %d baseline records, %d regression(s), %d new\n"
+    (List.length baseline) !failures (List.length fresh);
+  exit (if !failures > 0 then 1 else 0)

@@ -3,6 +3,13 @@
 # fuzzing smoke campaign (500 seeded programs through every pipeline
 # configuration) and the race-detector smoke pass (happens-before replay
 # over every workload plus 100 fuzzed programs; see TESTING.md).
+#
+# Last comes the benchmark regression gate: a quick bench run must stay
+# inside the per-record tolerance bands of the committed baseline
+# (ci/bench_baseline.json; modeled records +/-30%, measured wall-clock
+# records x8 — see ci/bench_diff.ml).  Refresh the baseline with
+#   dune exec bench/main.exe -- --quick --json && cp BENCH_results.json ci/bench_baseline.json
+# when a perf change is intentional.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,3 +17,5 @@ dune build
 dune runtest
 dune build @fuzz-smoke
 dune build @race-smoke
+dune exec bench/main.exe -- --quick --json > /dev/null
+dune exec ci/bench_diff.exe -- ci/bench_baseline.json BENCH_results.json

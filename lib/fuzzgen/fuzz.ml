@@ -64,15 +64,39 @@ let run_one ?(inject = false) ?(racecheck = false) ?(shrink = true) seed : case_
   { c_seed = seed; c_report = report; c_source = source; c_shrunk = shrunk }
 
 (** Run [count] programs starting at [seed].  [on_case] is called after
-    each case (progress reporting). *)
+    each case (progress reporting).
+
+    [jobs > 1] fans the cases across that many OCaml domains.  Each case is
+    an independent generate→check→shrink pipeline keyed only by its seed
+    (no shared mutable state below this function), so the fan-out is a
+    dynamic self-scheduled loop over seed indices.  Results land in a
+    per-case slot array; [on_case] and the failure list are then replayed
+    in seed order after the join, so the campaign report — and anything
+    printed from [on_case] — is bit-identical to a [jobs = 1] run. *)
 let campaign ?(inject = false) ?(racecheck = false) ?(shrink = true)
-    ?(on_case = fun _ -> ()) ~seed ~count () : campaign_result =
+    ?(on_case = fun _ -> ()) ?(jobs = 1) ~seed ~count () : campaign_result =
+  let results : case_result option array = Array.make (max count 1) None in
+  let fill i = results.(i) <- Some (run_one ~inject ~racecheck ~shrink (seed + i)) in
+  if jobs <= 1 || count <= 1 then
+    for i = 0 to count - 1 do
+      fill i
+    done
+  else begin
+    let pool = Runtime.Pool.create (min jobs count) in
+    Fun.protect
+      ~finally:(fun () -> Runtime.Pool.shutdown pool)
+      (fun () ->
+        Runtime.Par_loop.parallel_for pool
+          ~schedule:(Runtime.Par_loop.Dynamic 1) ~lo:0 ~hi:count fill)
+  end;
   let failed = ref [] in
   let configs = ref 0 in
   for i = 0 to count - 1 do
-    let case = run_one ~inject ~racecheck ~shrink (seed + i) in
-    configs := case.c_report.Oracle.r_configs;
-    if not (Oracle.passed case.c_report) then failed := case :: !failed;
-    on_case case
+    match results.(i) with
+    | None -> ()
+    | Some case ->
+      configs := case.c_report.Oracle.r_configs;
+      if not (Oracle.passed case.c_report) then failed := case :: !failed;
+      on_case case
   done;
   { k_count = count; k_failed = List.rev !failed; k_configs = !configs }

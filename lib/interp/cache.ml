@@ -97,3 +97,38 @@ let reset_all t =
   reset t.l2
 
 let line_bytes t = 1 lsl t.l1.line_shift
+
+(* ------------------------------------------------------------------ *)
+
+(** Per-site register-promotion memo, sharded by execution stream.
+
+    The backend model treats a repeated access at the same site and the same
+    address as register-resident (scalar replacement): it costs nothing and
+    never reaches the cache simulator.  Sequential execution needs one cell
+    of state per site — the last address seen.  Under domain-parallel
+    execution the site closure is shared by every worker, so a single cell
+    would be a data race {e and} would leak promotion state between
+    threads; instead each execution stream (slot 0 = the master/sequential
+    stream, slots 1.. = pool workers) owns one cell of the shard array.
+    Distinct streams touch distinct cells, so probes are race-free without
+    a lock, and each worker models exactly a private register — OpenMP's
+    semantics for the promoted scalar. *)
+module Memo = struct
+  type t = int array  (** lasts.(stream) = last address seen, [min_int] = none *)
+
+  let create ~streams : t = Array.make (max 1 streams) min_int
+
+  (** [probe t ~stream addr] is [true] when the access is a register hit for
+      [stream] (same address as its previous probe); records [addr] either
+      way.  Streams beyond the shard width never promote (conservative). *)
+  let[@inline] probe (t : t) ~stream addr =
+    if stream < Array.length t then
+      if t.(stream) = addr then true
+      else begin
+        t.(stream) <- addr;
+        false
+      end
+    else false
+
+  let reset (t : t) = Array.fill t 0 (Array.length t) min_int
+end

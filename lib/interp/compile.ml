@@ -19,15 +19,35 @@ let unsupported fmt = Fmt.kstr (fun m -> raise (Unsupported m)) fmt
 
 type vec_mode = Scalar | Auto_vec | Pragma_vec
 
+(** Per-execution-stream interpreter state.  Stream 0 is the master — the
+    sequential instruction stream of the program; streams 1.. belong to the
+    domain pool's workers and are only active inside a dispatched
+    [#pragma omp parallel for].  Each stream owns its cost counters, its own
+    L1/L2 cache simulator instance (per-core caches, truer to the modeled
+    machine than a shared simulator would be), its output buffer and its
+    vectorization mode, so parallel loop bodies never contend on hot
+    interpreter state.  Worker results are merged into the master
+    deterministically at the join (see [exec_parallel]). *)
+type dstate = {
+  ds_slot : int;  (** stream id: 0 = master, 1.. = pool workers *)
+  ds_counters : Cost.t;
+  ds_cache : Cache.t;
+  mutable ds_out : Buffer.t;
+      (** master: the program's output; workers: the current chunk's
+          private buffer, spliced into the master in iteration order *)
+  mutable ds_vec_mode : vec_mode;
+}
+
 type rt = {
-  counters : Cost.t;
-  cache : Cache.t;
-  alloc : Mem.allocator;
-  out : Buffer.t;
-  mutable segments : Trace.segment list;  (** reversed *)
+  states : dstate array;  (** [states.(0)] = master; length = 1 + pool size *)
+  dls : dstate Domain.DLS.key;
+      (** the stream the current domain executes; compiled closures resolve
+          their state through this at run time *)
+  pool : Runtime.Pool.t option;  (** [Some p] enables real parallel dispatch *)
+  alloc : Mem.allocator;  (** shared: internally synchronized *)
+  mutable segments : Trace.segment list;  (** reversed; master-only *)
   mutable seg_start : Cost.t;
   mutable in_parallel : bool;
-  mutable vec_mode : vec_mode;
   trace_accesses : bool;  (** record per-access logs inside parallel loops *)
   mutable access_log : Trace.access list ref option;
       (** the current parallel iteration's buffer; [None] outside parallel
@@ -35,21 +55,41 @@ type rt = {
   mutable par_traces : Trace.par_trace list;  (** reversed, with segments *)
 }
 
-let create_rt ?l1_bytes ?l2_bytes ?(trace_accesses = false) () =
-  let counters = Cost.create () in
+let create_rt ?l1_bytes ?l2_bytes ?(trace_accesses = false) ?pool () =
+  let mk_dstate slot =
+    let counters = Cost.create () in
+    {
+      ds_slot = slot;
+      ds_counters = counters;
+      ds_cache = Cache.create ?l1_bytes ?l2_bytes counters;
+      ds_out = Buffer.create 256;
+      ds_vec_mode = Scalar;
+    }
+  in
+  let streams = match pool with None -> 1 | Some p -> 1 + Runtime.Pool.size p in
+  let states = Array.init streams mk_dstate in
   {
-    counters;
-    cache = Cache.create ?l1_bytes ?l2_bytes counters;
+    states;
+    dls = Domain.DLS.new_key (fun () -> states.(0));
+    pool;
     alloc = Mem.create_allocator ();
-    out = Buffer.create 256;
     segments = [];
     seg_start = Cost.create ();
     in_parallel = false;
-    vec_mode = Scalar;
     trace_accesses;
     access_log = None;
     par_traces = [];
   }
+
+let master rt = rt.states.(0)
+
+let n_streams rt = Array.length rt.states
+
+(** The executing domain's stream.  [Domain.DLS] rather than a mutable
+    [rt] field because compiled closures are shared verbatim between
+    domains: the same closure must find the master state on the main domain
+    and a worker state inside a dispatched chunk. *)
+let[@inline] cur rt = Domain.DLS.get rt.dls
 
 type frame = Mem.value array
 
@@ -137,31 +177,62 @@ let subscript_info cenv ty =
 (* ------------------------------------------------------------------ *)
 (* Cost helpers (inlined into closures) *)
 
-let[@inline] bump_int c = c.Cost.int_ops <- c.Cost.int_ops + 1
+(* All cost helpers resolve the executing stream through [cur] at run time:
+   the same compiled closure charges the master's counters when run
+   sequentially and a worker's counters inside a dispatched chunk. *)
 
-let[@inline] bump_branch c = c.Cost.branches <- c.Cost.branches + 1
+let[@inline] bump_int rt =
+  let c = (cur rt).ds_counters in
+  c.Cost.int_ops <- c.Cost.int_ops + 1
+
+let[@inline] bump_int_n rt n =
+  let c = (cur rt).ds_counters in
+  c.Cost.int_ops <- c.Cost.int_ops + n
+
+let[@inline] bump_branch rt =
+  let c = (cur rt).ds_counters in
+  c.Cost.branches <- c.Cost.branches + 1
 
 let[@inline] bump_load c = c.Cost.loads <- c.Cost.loads + 1
 
 let[@inline] bump_store c = c.Cost.stores <- c.Cost.stores + 1
 
-let[@inline] bump_vec rt n =
-  match rt.vec_mode with
+let[@inline] bump_extra rt n =
+  let c = (cur rt).ds_counters in
+  c.Cost.extra_cycles <- c.Cost.extra_cycles + n
+
+(* builtin call: one call plus a latency weight *)
+let[@inline] bump_builtin rt w =
+  let c = (cur rt).ds_counters in
+  c.Cost.builtin_calls <- c.Cost.builtin_calls + 1;
+  c.Cost.extra_cycles <- c.Cost.extra_cycles + w
+
+let[@inline] bump_user_call rt overhead =
+  let c = (cur rt).ds_counters in
+  c.Cost.calls <- c.Cost.calls + 1;
+  c.Cost.extra_cycles <- c.Cost.extra_cycles + overhead
+
+let[@inline] bump_vec ds n =
+  match ds.ds_vec_mode with
   | Scalar -> ()
-  | Auto_vec -> rt.counters.Cost.flops_autovec <- rt.counters.Cost.flops_autovec + n
-  | Pragma_vec -> rt.counters.Cost.flops_pragma_vec <- rt.counters.Cost.flops_pragma_vec + n
+  | Auto_vec -> ds.ds_counters.Cost.flops_autovec <- ds.ds_counters.Cost.flops_autovec + n
+  | Pragma_vec ->
+    ds.ds_counters.Cost.flops_pragma_vec <- ds.ds_counters.Cost.flops_pragma_vec + n
 
 let[@inline] bump_fadd rt =
-  rt.counters.Cost.float_adds <- rt.counters.Cost.float_adds + 1;
-  bump_vec rt 1
+  let ds = cur rt in
+  ds.ds_counters.Cost.float_adds <- ds.ds_counters.Cost.float_adds + 1;
+  bump_vec ds 1
 
 let[@inline] bump_fmul rt =
-  rt.counters.Cost.float_muls <- rt.counters.Cost.float_muls + 1;
-  bump_vec rt 1
+  let ds = cur rt in
+  ds.ds_counters.Cost.float_muls <- ds.ds_counters.Cost.float_muls + 1;
+  bump_vec ds 1
 
 let[@inline] bump_fdiv rt =
-  rt.counters.Cost.float_divs <- rt.counters.Cost.float_divs + 1;
-  bump_vec rt 1
+  let ds = cur rt in
+  ds.ds_counters.Cost.float_divs <- ds.ds_counters.Cost.float_divs + 1;
+  bump_vec ds 1
 
 (* Label the address range of a freshly allocated object so reports can name
    it (the bump allocator keeps ranges disjoint). *)
@@ -184,29 +255,31 @@ let[@inline] log_access rt loc ~addr ~bytes ~write =
    the same address is a register hit under an optimizing backend (loop
    invariant code motion / scalar replacement), so it costs nothing and does
    not reach the cache.  [loc] is the source location of the site, carried
-   into the access log. *)
+   into the access log.  The memo is sharded per execution stream
+   ({!Cache.Memo}) so concurrent workers model private registers instead of
+   racing on one cell. *)
 let memo_load rt loc =
-  let last = ref min_int in
+  let memo = Cache.Memo.create ~streams:(n_streams rt) in
   fun (p : Mem.ptr) ->
     let a = Mem.addr_of p in
     log_access rt loc ~addr:a ~bytes:p.Mem.p_elem_bytes ~write:false;
-    if a = !last then Mem.peek p
+    let ds = cur rt in
+    if Cache.Memo.probe memo ~stream:ds.ds_slot a then Mem.peek p
     else begin
-      last := a;
-      bump_load rt.counters;
-      Mem.load rt.cache p
+      bump_load ds.ds_counters;
+      Mem.load ds.ds_cache p
     end
 
 let memo_store rt loc =
-  let last = ref min_int in
+  let memo = Cache.Memo.create ~streams:(n_streams rt) in
   fun (p : Mem.ptr) v ->
     let a = Mem.addr_of p in
     log_access rt loc ~addr:a ~bytes:p.Mem.p_elem_bytes ~write:true;
-    if a = !last then Mem.poke p v
+    let ds = cur rt in
+    if Cache.Memo.probe memo ~stream:ds.ds_slot a then Mem.poke p v
     else begin
-      last := a;
-      bump_store rt.counters;
-      Mem.store rt.cache p v
+      bump_store ds.ds_counters;
+      Mem.store ds.ds_cache p v
     end
 
 (* ------------------------------------------------------------------ *)
@@ -391,7 +464,6 @@ let lval_type = function LSlot (_, t) | LGlobal (_, _, t) | LMem (_, t) -> t
 
 let rec compile_expr cenv (e : Ast.expr) : (frame -> Mem.value) * Ast.ctype =
   let rt = cenv.rt in
-  let c = rt.counters in
   match e.Ast.edesc with
   | Ast.IntLit n ->
     let v = Mem.VInt n in
@@ -419,16 +491,16 @@ let rec compile_expr cenv (e : Ast.expr) : (frame -> Mem.value) * Ast.ctype =
       match Hashtbl.find_opt cenv.globals name with
       | Some (GScalar { cell; addr }, ty) ->
         (* the first read charges a load; afterwards the global lives in a
-           register for this site *)
-        let fresh = ref true in
+           register for this site (per execution stream) *)
+        let memo = Cache.Memo.create ~streams:(n_streams rt) in
         let loc = Loc.to_string e.Ast.eloc in
         let bytes = scalar_bytes (resolve cenv ty) in
         ( (fun _ ->
             log_access rt loc ~addr ~bytes ~write:false;
-            if !fresh then begin
-              fresh := false;
-              bump_load c;
-              Cache.access rt.cache addr
+            let ds = cur rt in
+            if not (Cache.Memo.probe memo ~stream:ds.ds_slot addr) then begin
+              bump_load ds.ds_counters;
+              Cache.access ds.ds_cache addr
             end;
             !cell),
           ty )
@@ -449,17 +521,17 @@ let rec compile_expr cenv (e : Ast.expr) : (frame -> Mem.value) * Ast.ctype =
           ta )
       else
         ( (fun fr ->
-            bump_int c;
+            bump_int rt;
             Mem.VInt (-Mem.to_int (fa fr))),
           Ast.Int )
     | Ast.LNot ->
       ( (fun fr ->
-          bump_int c;
+          bump_int rt;
           Mem.VInt (if Mem.truthy (fa fr) then 0 else 1)),
         Ast.Int )
     | Ast.BNot ->
       ( (fun fr ->
-          bump_int c;
+          bump_int rt;
           Mem.VInt (lnot (Mem.to_int (fa fr)))),
         Ast.Int ))
   | Ast.Assign (op, lhs, rhs) ->
@@ -516,7 +588,7 @@ let rec compile_expr cenv (e : Ast.expr) : (frame -> Mem.value) * Ast.ctype =
     let ft, tt = compile_expr cenv t in
     let ff, _tf = compile_expr cenv f in
     ( (fun fr ->
-        bump_branch c;
+        bump_branch rt;
         if Mem.truthy (fc fr) then ft fr else ff fr),
       tt )
   | Ast.SizeofType ty ->
@@ -537,10 +609,10 @@ let rec compile_expr cenv (e : Ast.expr) : (frame -> Mem.value) * Ast.ctype =
         bump_fadd rt;
         Mem.VFloat (Mem.to_float v +. float_of_int delta)
       | Ast.Ptr _, Mem.VPtr p ->
-        bump_int c;
+        bump_int rt;
         Mem.VPtr (Mem.ptr_add p delta)
       | _, v ->
-        bump_int c;
+        bump_int rt;
         Mem.VInt (Mem.to_int v + delta)
     in
     let run =
@@ -558,9 +630,10 @@ let rec compile_expr cenv (e : Ast.expr) : (frame -> Mem.value) * Ast.ctype =
           ignore fr;
           log_access rt loc ~addr ~bytes ~write:false;
           log_access rt loc ~addr ~bytes ~write:true;
-          bump_load c;
-          bump_store c;
-          Cache.access rt.cache addr;
+          let ds = cur rt in
+          bump_load ds.ds_counters;
+          bump_store ds.ds_counters;
+          Cache.access ds.ds_cache addr;
           let old = !cell in
           let nv = apply old in
           cell := nv;
@@ -593,7 +666,6 @@ and strip_casts (e : Ast.expr) =
 
 and compile_binop cenv e op a b =
   let rt = cenv.rt in
-  let c = rt.counters in
   let fa, ta = compile_expr cenv a in
   let fb, tb = compile_expr cenv b in
   let ta = resolve cenv ta and tb = resolve cenv tb in
@@ -604,18 +676,18 @@ and compile_binop cenv e op a b =
     let fp, fi, pty = if is_ptr ta then (fa, fb, ta) else (fb, fa, tb) in
     let _, stride, _ = subscript_info cenv pty in
     ( (fun fr ->
-        bump_int c;
+        bump_int rt;
         Mem.VPtr (Mem.ptr_add (Mem.to_ptr (fp fr)) (stride * Mem.to_int (fi fr)))),
       pty )
   | Ast.Sub when is_ptr ta && is_ptr tb ->
     ( (fun fr ->
-        bump_int c;
+        bump_int rt;
         Mem.VInt ((Mem.to_ptr (fa fr)).Mem.p_off - (Mem.to_ptr (fb fr)).Mem.p_off)),
       Ast.Int )
   | Ast.Sub when is_ptr ta ->
     let _, stride, _ = subscript_info cenv ta in
     ( (fun fr ->
-        bump_int c;
+        bump_int rt;
         Mem.VPtr (Mem.ptr_add (Mem.to_ptr (fa fr)) (-stride * Mem.to_int (fb fr)))),
       ta )
   | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
@@ -647,19 +719,19 @@ and compile_binop cenv e op a b =
         match op with
         | Ast.Add ->
           fun fr ->
-            bump_int c;
+            bump_int rt;
             Mem.VInt (Mem.to_int (fa fr) + Mem.to_int (fb fr))
         | Ast.Sub ->
           fun fr ->
-            bump_int c;
+            bump_int rt;
             Mem.VInt (Mem.to_int (fa fr) - Mem.to_int (fb fr))
         | Ast.Mul ->
           fun fr ->
-            bump_int c;
+            bump_int rt;
             Mem.VInt (Mem.to_int (fa fr) * Mem.to_int (fb fr))
         | Ast.Div ->
           fun fr ->
-            c.Cost.int_ops <- c.Cost.int_ops + 20;
+            bump_int_n rt 20;
             let d = Mem.to_int (fb fr) in
             if d = 0 then Mem.fault "integer division by zero at %s" (Loc.to_string e.Ast.eloc)
             else Mem.VInt (Mem.to_int (fa fr) / d)
@@ -669,7 +741,7 @@ and compile_binop cenv e op a b =
     end
   | Ast.Mod ->
     ( (fun fr ->
-        c.Cost.int_ops <- c.Cost.int_ops + 20;
+        bump_int_n rt 20;
         let d = Mem.to_int (fb fr) in
         if d = 0 then Mem.fault "integer modulo by zero at %s" (Loc.to_string e.Ast.eloc)
         else Mem.VInt (Mem.to_int (fa fr) mod d)),
@@ -677,12 +749,12 @@ and compile_binop cenv e op a b =
   | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
     let cmp_float f =
       fun fr ->
-        bump_int c;
+        bump_int rt;
         Mem.VInt (if f (Mem.to_float (fa fr)) (Mem.to_float (fb fr)) then 1 else 0)
     in
     let cmp_int f =
       fun fr ->
-        bump_int c;
+        bump_int rt;
         Mem.VInt (if f (Mem.to_int (fa fr)) (Mem.to_int (fb fr)) then 1 else 0)
     in
     let run =
@@ -714,7 +786,7 @@ and compile_binop cenv e op a b =
           | _ -> assert false
         in
         fun fr ->
-          bump_int c;
+          bump_int rt;
           Mem.VInt (if f (addr (fa fr)) (addr (fb fr)) then 1 else 0)
       else
         match op with
@@ -729,13 +801,13 @@ and compile_binop cenv e op a b =
     (run, Ast.Int)
   | Ast.LAnd ->
     ( (fun fr ->
-        bump_branch c;
+        bump_branch rt;
         if Mem.truthy (fa fr) then Mem.VInt (if Mem.truthy (fb fr) then 1 else 0)
         else Mem.VInt 0),
       Ast.Int )
   | Ast.LOr ->
     ( (fun fr ->
-        bump_branch c;
+        bump_branch rt;
         if Mem.truthy (fa fr) then Mem.VInt 1
         else Mem.VInt (if Mem.truthy (fb fr) then 1 else 0)),
       Ast.Int )
@@ -750,7 +822,7 @@ and compile_binop cenv e op a b =
       | _ -> assert false
     in
     ( (fun fr ->
-        bump_int c;
+        bump_int rt;
         Mem.VInt (f (Mem.to_int (fa fr)) (Mem.to_int (fb fr)))),
       Ast.Int )
 
@@ -758,7 +830,6 @@ and compile_binop cenv e op a b =
 
 and compile_lval cenv (e : Ast.expr) : lval =
   let rt = cenv.rt in
-  let c = rt.counters in
   match e.Ast.edesc with
   | Ast.Ident name -> (
     match lookup_local cenv name with
@@ -776,13 +847,13 @@ and compile_lval cenv (e : Ast.expr) : lval =
     if is_view then
       LMem
         ( (fun fr ->
-            bump_int c;
+            bump_int rt;
             Mem.ptr_add (Mem.to_ptr (fb fr)) (stride * Mem.to_int (fi fr))),
           elt )
     else
       LMem
         ( (fun fr ->
-            bump_int c;
+            bump_int rt;
             Mem.ptr_add (Mem.to_ptr (fb fr)) (Mem.to_int (fi fr))),
           elt ))
   | Ast.Deref inner -> (
@@ -796,7 +867,6 @@ and compile_lval cenv (e : Ast.expr) : lval =
 
 and compile_assign cenv op lhs rhs =
   let rt = cenv.rt in
-  let c = rt.counters in
   let lv = compile_lval cenv lhs in
   let ty = resolve cenv (lval_type lv) in
   let frhs, _trhs = compile_expr cenv rhs in
@@ -818,7 +888,7 @@ and compile_assign cenv op lhs rhs =
           | _ -> assert false)
       end
       else begin
-        bump_int c;
+        bump_int rt;
         let a = Mem.to_int old and b = Mem.to_int rv in
         Mem.VInt
           (match op with
@@ -835,7 +905,7 @@ and compile_assign cenv op lhs rhs =
           | _ -> assert false)
       end
     | Ast.OpModAssign ->
-      bump_int c;
+      bump_int rt;
       let b = Mem.to_int rv in
       if b = 0 then Mem.fault "modulo by zero"
       else Mem.VInt (Mem.to_int old mod b)
@@ -844,10 +914,10 @@ and compile_assign cenv op lhs rhs =
   let combine old rv =
     match (ty, old, op) with
     | Ast.Ptr _, Mem.VPtr p, Ast.OpAddAssign ->
-      bump_int c;
+      bump_int rt;
       Mem.VPtr (Mem.ptr_add p (Mem.to_int rv))
     | Ast.Ptr _, Mem.VPtr p, Ast.OpSubAssign ->
-      bump_int c;
+      bump_int rt;
       Mem.VPtr (Mem.ptr_add p (-Mem.to_int rv))
     | _ -> combine old rv
   in
@@ -867,16 +937,18 @@ and compile_assign cenv op lhs rhs =
       let bytes = scalar_bytes (resolve cenv gty) in
       if op = Ast.OpAssign then fun fr ->
         log_access rt loc ~addr ~bytes ~write:true;
-        bump_store c;
-        Cache.access rt.cache addr;
+        let ds = cur rt in
+        bump_store ds.ds_counters;
+        Cache.access ds.ds_cache addr;
         let v = coerce ty (frhs fr) in
         cell := v;
         v
       else fun fr ->
         log_access rt loc ~addr ~bytes ~write:false;
-        bump_load c;
-        bump_store c;
-        Cache.access rt.cache addr;
+        let ds = cur rt in
+        bump_load ds.ds_counters;
+        bump_store ds.ds_counters;
+        Cache.access ds.ds_cache addr;
         let v = combine !cell (frhs fr) in
         log_access rt loc ~addr ~bytes ~write:true;
         cell := v;
@@ -918,7 +990,7 @@ and compile_malloc cenv fn elt args =
   in
   let run fr =
     let bytes = Mem.to_int (size_expr fr) in
-    let counters = rt.counters in
+    let counters = (cur rt).ds_counters in
     counters.Cost.builtin_calls <- counters.Cost.builtin_calls + 1;
     counters.Cost.malloc_bytes <- counters.Cost.malloc_bytes + bytes;
     (* allocator + first-touch/page-zeroing cost, the effect behind the
@@ -940,7 +1012,6 @@ and compile_malloc cenv fn elt args =
 
 and compile_call cenv loc fname args =
   let rt = cenv.rt in
-  let c = rt.counters in
   match fname with
   | "malloc" | "calloc" ->
     (* uncast allocation: treat as bytes of doubles *)
@@ -949,8 +1020,7 @@ and compile_call cenv loc fname args =
     let fargs = List.map (fun a -> fst (compile_expr cenv a)) args in
     ( (fun fr ->
         List.iter (fun f -> ignore (f fr)) fargs;
-        c.Cost.builtin_calls <- c.Cost.builtin_calls + 1;
-        c.Cost.extra_cycles <- c.Cost.extra_cycles + 60;
+        bump_builtin rt 60;
         Mem.VNull),
       Ast.Void )
   | "printf" -> (
@@ -959,12 +1029,11 @@ and compile_call cenv loc fname args =
       let frest = List.map (fun a -> fst (compile_expr cenv a)) rest in
       let ffmt, _ = compile_expr cenv fmt_e in
       ( (fun fr ->
-          c.Cost.builtin_calls <- c.Cost.builtin_calls + 1;
-          c.Cost.extra_cycles <- c.Cost.extra_cycles + 400;
+          bump_builtin rt 400;
           let fmt =
             match ffmt fr with Mem.VPtr p -> decode_c_string p | v -> string_of_value v
           in
-          run_printf rt.out fmt (List.map (fun f -> f fr) frest);
+          run_printf (cur rt).ds_out fmt (List.map (fun f -> f fr) frest);
           Mem.VInt 0),
         Ast.Int )
     | [] -> unsupported "printf with no arguments")
@@ -979,7 +1048,7 @@ and compile_call cenv loc fname args =
     | [ (fa, _); (fb, _) ] ->
       let pick_max = fname = "__max" in
       ( (fun fr ->
-          bump_int c;
+          bump_int rt;
           let a = Mem.to_int (fa fr) and b = Mem.to_int (fb fr) in
           Mem.VInt (if pick_max then max a b else min a b)),
         Ast.Int )
@@ -989,7 +1058,7 @@ and compile_call cenv loc fname args =
     | [ (fa, _); (fb, _) ] ->
       let ceil_mode = fname = "__ceild" in
       ( (fun fr ->
-          c.Cost.int_ops <- c.Cost.int_ops + 20;
+          bump_int_n rt 20;
           let a = Mem.to_int (fa fr) and b = Mem.to_int (fb fr) in
           if b = 0 then Mem.fault "division by zero in %s" fname
           else Mem.VInt (if ceil_mode then ceild a b else floord a b)),
@@ -999,7 +1068,7 @@ and compile_call cenv loc fname args =
     match List.map (fun a -> fst (compile_expr cenv a)) args with
     | [ fa ] ->
       ( (fun fr ->
-          bump_int c;
+          bump_int rt;
           Mem.VInt (abs (Mem.to_int (fa fr)))),
         Ast.Int )
     | _ -> unsupported "abs expects one argument")
@@ -1010,8 +1079,7 @@ and compile_call cenv loc fname args =
       | [ fa ] ->
         let single = String.length fname > 0 && fname.[String.length fname - 1] = 'f' in
         ( (fun fr ->
-            c.Cost.builtin_calls <- c.Cost.builtin_calls + 1;
-            c.Cost.extra_cycles <- c.Cost.extra_cycles + weight;
+            bump_builtin rt weight;
             Mem.VFloat (f (Mem.to_float (fa fr)))),
           if single then Ast.Float else Ast.Double )
       | _ -> unsupported "%s expects one argument" fname)
@@ -1021,8 +1089,7 @@ and compile_call cenv loc fname args =
         match List.map (fun a -> fst (compile_expr cenv a)) args with
         | [ fa; fb ] ->
           ( (fun fr ->
-              c.Cost.builtin_calls <- c.Cost.builtin_calls + 1;
-              c.Cost.extra_cycles <- c.Cost.extra_cycles + weight;
+              bump_builtin rt weight;
               Mem.VFloat (f (Mem.to_float (fa fr)) (Mem.to_float (fb fr)))),
             Ast.Double )
         | _ -> unsupported "%s expects two arguments" fname)
@@ -1039,8 +1106,7 @@ and compile_call cenv loc fname args =
              instruction count) *)
           let overhead = call_overhead_cycles entry.fe_def in
           ( (fun fr ->
-              c.Cost.calls <- c.Cost.calls + 1;
-              c.Cost.extra_cycles <- c.Cost.extra_cycles + overhead;
+              bump_user_call rt overhead;
               let argv = Array.make (max n 1) Mem.VNull in
               for i = 0 to n - 1 do
                 argv.(i) <- fargs.(i) fr
@@ -1197,9 +1263,203 @@ let hoistable_bound cond step body =
     if invariant then Some (lhs, bound, op = Ast.Lt) else None
   | _ -> None
 
+(* ------------------------------------------------------------------ *)
+(* Parallel dispatch of [#pragma omp parallel for] over the domain pool.
+
+   The dispatcher handles exactly the canonical worksharing shape OpenMP
+   requires (and the shape PluTo emits): one int induction variable in a
+   local slot, initialized by the loop init; an invariant, side-effect-free
+   upper bound [i < b] / [i <= b]; a constant positive stride
+   [i++ / i += c / i = i + c]; and a body that cannot escape the loop (no
+   return, no [exit] — even transitively through calls — and no break
+   binding to the omp loop) nor mutate enclosing-scope register variables
+   (each chunk runs on a private copy of the frame, OpenMP's privatization;
+   a mutation of a shared register scalar could not be merged back).  Loops
+   outside this shape fall back to the sequential recording path, which is
+   always semantically safe. *)
+
+type omp_canon = {
+  oc_slot : int;  (** frame slot of the induction variable *)
+  oc_bound : frame -> Mem.value;  (** the invariant bound, compiled *)
+  oc_strict : bool;  (** [<] vs [<=] *)
+  oc_stride : int;  (** positive *)
+}
+
+let stmt_has_return s =
+  Ast.fold_stmt
+    ~stmt:(fun acc s ->
+      acc || match s.Ast.sdesc with Ast.SReturn _ -> true | _ -> false)
+    ~expr:(fun acc _ -> acc)
+    false s
+
+(* a break that would bind to the omp loop itself (breaks inside nested
+   loops bind to those loops and are fine) *)
+let rec stmt_has_toplevel_break s =
+  match s.Ast.sdesc with
+  | Ast.SBreak -> true
+  | Ast.SBlock ss -> List.exists stmt_has_toplevel_break ss
+  | Ast.SIf (_, a, b) ->
+    stmt_has_toplevel_break a
+    || (match b with Some b -> stmt_has_toplevel_break b | None -> false)
+  | _ -> false
+
+let calls_in_stmt s =
+  Ast.fold_stmt
+    ~stmt:(fun acc _ -> acc)
+    ~expr:(fun acc e ->
+      match e.Ast.edesc with Ast.Call (f, _) -> f :: acc | _ -> acc)
+    [] s
+
+(* may the body reach exit(), transitively through user calls?  exit unwinds
+   the whole program (Return_v past the loop), which a parallel region
+   cannot reproduce faithfully. *)
+let body_may_exit cenv body =
+  let visited = Hashtbl.create 8 in
+  let rec go_calls fs =
+    List.exists
+      (fun f ->
+        f = "exit"
+        ||
+        match Hashtbl.find_opt cenv.funcs f with
+        | Some { fe_def = { Ast.f_body = Some ss; _ }; _ }
+          when not (Hashtbl.mem visited f) ->
+          Hashtbl.replace visited f ();
+          List.exists (fun s -> go_calls (calls_in_stmt s)) ss
+        | _ -> false)
+      fs
+  in
+  go_calls (calls_in_stmt body)
+
+(* the bound is evaluated once, outside the recorded loop: it must be free
+   of memory effects so that one evaluation on the master is equivalent to
+   the sequential hoisted evaluation *)
+let rec side_effect_free_bound (e : Ast.expr) =
+  match e.Ast.edesc with
+  | Ast.IntLit _ | Ast.Ident _ -> true
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod), a, b) ->
+    side_effect_free_bound a && side_effect_free_bound b
+  | Ast.Unop (Ast.Neg, a) -> side_effect_free_bound a
+  | Ast.Call (f, args) when List.mem f bound_helpers ->
+    List.for_all side_effect_free_bound args
+  | _ -> false
+
+(* One executed chunk of a parallel loop: contiguous iteration indices
+   [ck_lo, ck_lo + |ck_iters|), its captured output and its per-iteration
+   cost snapshots.  Chunks are disjoint and cover the iteration space, so
+   sorting by [ck_lo] recovers exactly the sequential interleaving. *)
+type chunk_rec = { ck_lo : int; ck_out : Buffer.t; ck_iters : Cost.t list }
+
+let exec_parallel rt pool (sched : Trace.sched_kind) (cn : omp_canon)
+    (fbody : stmt_code) (finit : stmt_code) (fr : frame) =
+  let m = master rt in
+  (* fork: close the running sequential segment *)
+  rt.segments <- Trace.Seq (Cost.diff m.ds_counters rt.seg_start) :: rt.segments;
+  rt.in_parallel <- true;
+  (* loop setup runs once on the master stream, like the sequential hoisted
+     entry: the init (with any side effects, exactly once) and the invariant
+     bound *)
+  finit fr;
+  let lo = Mem.to_int fr.(cn.oc_slot) in
+  let hi_incl =
+    let b = Mem.to_int (cn.oc_bound fr) in
+    if cn.oc_strict then b - 1 else b
+  in
+  let stride = cn.oc_stride in
+  let n = if hi_incl < lo then 0 else ((hi_incl - lo) / stride) + 1 in
+  (* loop-entry branch + final failing comparison, charged to the master as
+     in the sequential path *)
+  bump_branch rt;
+  bump_int rt;
+  let workers = min (Runtime.Pool.size pool) (max 1 n) in
+  let results : chunk_rec list array = Array.make workers [] in
+  let starts = Array.map (fun ds -> Cost.copy ds.ds_counters) rt.states in
+  (* execute iteration indices [lo_idx, hi_idx) into a private buffer; the
+     per-iteration snapshots mirror the sequential recording loop (body +
+     step + back-branch inside the snapshot, comparison outside) *)
+  let run_chunk ds recs lo_idx hi_idx =
+    let buf = Buffer.create 64 in
+    ds.ds_out <- buf;
+    let fr' = Array.copy fr in
+    let iters = ref [] in
+    for k = lo_idx to hi_idx - 1 do
+      bump_int rt;
+      let snap = Cost.copy ds.ds_counters in
+      fr'.(cn.oc_slot) <- Mem.VInt (lo + (k * stride));
+      (try fbody fr' with Continue_e -> ());
+      bump_int rt;
+      bump_branch rt;
+      iters := Cost.diff ds.ds_counters snap :: !iters
+    done;
+    recs := { ck_lo = lo_idx; ck_out = buf; ck_iters = List.rev !iters } :: !recs
+  in
+  let jobs =
+    match sched with
+    | Trace.Static | Trace.Static_chunk _ ->
+      let sched' =
+        match sched with
+        | Trace.Static -> Runtime.Par_loop.Static
+        | Trace.Static_chunk c -> Runtime.Par_loop.Static_chunk c
+        | Trace.Dynamic c -> Runtime.Par_loop.Dynamic c
+      in
+      let chunks = Runtime.Par_loop.chunk_plan sched' ~workers ~lo:0 ~hi:n in
+      List.init workers (fun w ->
+          fun () ->
+            let ds = rt.states.(w + 1) in
+            Domain.DLS.set rt.dls ds;
+            let recs = ref [] in
+            List.iter (fun (a, b) -> run_chunk ds recs a b) chunks.(w);
+            results.(w) <- List.rev !recs)
+    | Trace.Dynamic chunk ->
+      let chunk = max 1 chunk in
+      let next = Atomic.make 0 in
+      List.init workers (fun w ->
+          fun () ->
+            let ds = rt.states.(w + 1) in
+            Domain.DLS.set rt.dls ds;
+            let recs = ref [] in
+            let rec go () =
+              let start = Atomic.fetch_and_add next chunk in
+              if start < n then begin
+                run_chunk ds recs start (min n (start + chunk));
+                go ()
+              end
+            in
+            go ();
+            results.(w) <- List.rev !recs)
+  in
+  let finish () =
+    Domain.DLS.set rt.dls m;
+    rt.in_parallel <- false
+  in
+  (try Runtime.Pool.run pool jobs
+   with exn ->
+     (* a faulting iteration: partial worker output is dropped (the program
+        is failing anyway); leave the profile state consistent and re-raise
+        toward run_main *)
+     finish ();
+     rt.seg_start <- Cost.copy m.ds_counters;
+     raise exn);
+  finish ();
+  (* join: fold worker counter deltas into the master (fieldwise sums,
+     order-independent), then splice chunk outputs and per-iteration costs
+     back into sequential order *)
+  for s = 1 to Array.length rt.states - 1 do
+    Cost.add_into ~into:m.ds_counters (Cost.diff rt.states.(s).ds_counters starts.(s))
+  done;
+  let chunks =
+    List.sort
+      (fun a b -> compare a.ck_lo b.ck_lo)
+      (List.concat (Array.to_list results))
+  in
+  List.iter (fun ck -> Buffer.add_buffer m.ds_out ck.ck_out) chunks;
+  let iters = Array.of_list (List.concat_map (fun ck -> ck.ck_iters) chunks) in
+  (* the induction variable holds its first non-taken value afterwards *)
+  fr.(cn.oc_slot) <- Mem.VInt (lo + (n * stride));
+  rt.segments <- Trace.Par { sched; iters } :: rt.segments;
+  rt.seg_start <- Cost.copy m.ds_counters
+
 let rec compile_stmt cenv (s : Ast.stmt) : stmt_code =
   let rt = cenv.rt in
-  let c = rt.counters in
   match s.Ast.sdesc with
   | Ast.SExpr e ->
     let f, _ = compile_expr cenv e in
@@ -1211,22 +1471,22 @@ let rec compile_stmt cenv (s : Ast.stmt) : stmt_code =
     match el with
     | None ->
       fun fr ->
-        bump_branch c;
+        bump_branch rt;
         if Mem.truthy (fc fr) then fth fr
     | Some el ->
       let fel = compile_in_scope cenv el in
       fun fr ->
-        bump_branch c;
+        bump_branch rt;
         if Mem.truthy (fc fr) then fth fr else fel fr)
   | Ast.SWhile (cond, body) ->
     let fc, _ = compile_expr cenv cond in
     let fb = compile_in_scope cenv body in
     fun fr ->
       (try
-         bump_branch c;
+         bump_branch rt;
          while Mem.truthy (fc fr) do
            (try fb fr with Continue_e -> ());
-           bump_branch c
+           bump_branch rt
          done
        with Break_e -> ())
   | Ast.SDoWhile (body, cond) ->
@@ -1237,7 +1497,7 @@ let rec compile_stmt cenv (s : Ast.stmt) : stmt_code =
          let continue_loop = ref true in
          while !continue_loop do
            (try fb fr with Continue_e -> ());
-           bump_branch c;
+           bump_branch rt;
            continue_loop := Mem.truthy (fc fr)
          done
        with Break_e -> ())
@@ -1264,7 +1524,6 @@ and compile_in_scope cenv s =
    ref). *)
 and compile_loop_cond cenv cond step body =
   let rt = cenv.rt in
-  let c = rt.counters in
   let fallback () =
     match cond with
     | None -> (nop_stmt, fun _ -> true)
@@ -1282,7 +1541,7 @@ and compile_loop_cond cenv cond step body =
       cenv.nslots <- cenv.nslots + 1;
       let entry fr = fr.(slot) <- Mem.VInt (Mem.to_int (fbound fr)) in
       let cond fr =
-        bump_int c;
+        bump_int rt;
         let v = Mem.to_int (flhs fr) in
         let b = Mem.to_int fr.(slot) in
         if strict then v < b else v <= b
@@ -1316,7 +1575,7 @@ and compile_decl cenv (d : Ast.decl) : stmt_code =
     in
     let name = d.Ast.d_name in
     fun fr ->
-      rt.counters.Cost.extra_cycles <- rt.counters.Cost.extra_cycles + 4;
+      bump_extra rt 4;
       let p = mk () in
       register_ptr_region rt.alloc name p;
       fr.(slot) <- Mem.VPtr p
@@ -1375,7 +1634,6 @@ and drop_vector_pragmas = function
 
 and compile_for cenv ~vec init cond step body : stmt_code =
   let rt = cenv.rt in
-  let c = rt.counters in
   let saved_scope = cenv.scope in
   let finit =
     match init with
@@ -1407,35 +1665,108 @@ and compile_for cenv ~vec init cond step body : stmt_code =
       finit fr;
       fentry fr;
       (try
-         bump_branch c;
+         bump_branch rt;
          while fcond fr do
            (try fbody fr with Continue_e -> ());
            fstep fr;
-           bump_branch c
+           bump_branch rt
          done
        with Break_e -> ())
   | Some mode ->
     fun fr ->
-      let saved = rt.vec_mode in
+      let ds = cur rt in
+      let saved = ds.ds_vec_mode in
       (* pragma beats auto; never downgrade an enclosing pragma *)
-      rt.vec_mode <- (if saved = Pragma_vec then saved else mode);
+      ds.ds_vec_mode <- (if saved = Pragma_vec then saved else mode);
       finit fr;
       fentry fr;
       (try
-         bump_branch c;
+         bump_branch rt;
          while fcond fr do
            (try fbody fr with Continue_e -> ());
            fstep fr;
-           bump_branch c
+           bump_branch rt
          done
        with Break_e -> ());
-      rt.vec_mode <- saved
+      ds.ds_vec_mode <- saved
 
-(* #pragma omp parallel for: execute sequentially, recording one cost
-   snapshot per iteration of the annotated loop. *)
+(* Canonical induction analysis for a candidate parallel loop; [None] means
+   "fall back to sequential execution".  Must run while the loop's init is
+   in scope (after [finit] is compiled). *)
+and canon_induction cenv init cond step body : omp_canon option =
+  let ind =
+    match init with
+    | Some
+        (Ast.FInitExpr
+          { Ast.edesc = Ast.Assign (Ast.OpAssign, { Ast.edesc = Ast.Ident n; _ }, _); _ })
+      ->
+      Some n
+    | Some (Ast.FInitDecl { Ast.d_name; d_init = Some _; _ }) -> Some d_name
+    | _ -> None
+  in
+  match ind with
+  | None -> None
+  | Some n -> (
+    match lookup_local cenv n with
+    | Some (slot, (Ast.Int | Ast.Char)) -> (
+      let stride =
+        match step with
+        | Some { Ast.edesc = Ast.IncDec { inc = true; arg = { Ast.edesc = Ast.Ident m; _ }; _ }; _ }
+          when m = n ->
+          Some 1
+        | Some
+            { Ast.edesc =
+                Ast.Assign
+                  (Ast.OpAddAssign, { Ast.edesc = Ast.Ident m; _ },
+                   { Ast.edesc = Ast.IntLit k; _ });
+              _ }
+          when m = n && k > 0 ->
+          Some k
+        | Some
+            { Ast.edesc =
+                Ast.Assign
+                  (Ast.OpAssign, { Ast.edesc = Ast.Ident m; _ },
+                   { Ast.edesc =
+                       Ast.Binop
+                         (Ast.Add, { Ast.edesc = Ast.Ident m2; _ },
+                          { Ast.edesc = Ast.IntLit k; _ });
+                     _ });
+              _ }
+          when m = n && m2 = n && k > 0 ->
+          Some k
+        | _ -> None
+      in
+      match (stride, hoistable_bound cond step body) with
+      | Some stride, Some ({ Ast.edesc = Ast.Ident n'; _ }, bound, strict)
+        when n' = n ->
+        if
+          side_effect_free_bound bound
+          && (not (stmt_has_return body))
+          && (not (stmt_has_toplevel_break body))
+          && (not (body_may_exit cenv body))
+          && List.for_all
+               (* no mutation of any register variable visible outside the
+                  body — including the induction variable itself; memory
+                  (arrays, globals through their address) is shared as in
+                  real OpenMP and left to the race checker *)
+               (fun m -> Option.is_none (lookup_local cenv m))
+               (mutated_in_stmt body)
+        then begin
+          let fbound, tb = compile_expr cenv bound in
+          match tb with
+          | Ast.Int | Ast.Char ->
+            Some { oc_slot = slot; oc_bound = fbound; oc_strict = strict; oc_stride = stride }
+          | _ -> None
+        end
+        else None
+      | _ -> None)
+    | _ -> None)
+
+(* #pragma omp parallel for: record one cost snapshot per iteration of the
+   annotated loop; when a domain pool is attached and the loop is canonical,
+   the iterations really execute in parallel (see [exec_parallel]). *)
 and compile_omp_for cenv pragma init cond step body : stmt_code =
   let rt = cenv.rt in
-  let c = rt.counters in
   let sched = Trace.sched_of_pragma pragma in
   let saved_scope = cenv.scope in
   let finit =
@@ -1454,57 +1785,65 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
       let f, _ = compile_expr cenv e in
       fun fr -> ignore (f fr)
   in
+  let canon = canon_induction cenv init cond step body in
   let fbody = compile_stmt cenv body in
   cenv.scope <- saved_scope;
   fun fr ->
-    if rt.in_parallel then begin
+    if (cur rt).ds_slot <> 0 || rt.in_parallel then begin
       (* nested parallel regions execute sequentially (OpenMP default) *)
       finit fr;
       fentry fr;
       try
-        bump_branch c;
+        bump_branch rt;
         while fcond fr do
           (try fbody fr with Continue_e -> ());
           fstep fr;
-          bump_branch c
+          bump_branch rt
         done
       with Break_e -> ()
     end
     else begin
-      (* close the running sequential segment *)
-      rt.segments <- Trace.Seq (Cost.diff rt.counters rt.seg_start) :: rt.segments;
-      rt.in_parallel <- true;
-      let iters = ref [] in
-      let iter_accs = ref [] in
-      finit fr;
-      fentry fr;
-      (try
-         bump_branch c;
-         while fcond fr do
-           let snap = Cost.copy rt.counters in
-           (* fresh access buffer per iteration: loop-control evaluation
-              between iterations is deliberately NOT logged (each OpenMP
-              thread privatizes the induction variable and re-reads only
-              loop-invariant bounds) *)
-           let buf = if rt.trace_accesses then Some (ref []) else None in
-           rt.access_log <- buf;
-           (try fbody fr with Continue_e -> ());
-           fstep fr;
-           rt.access_log <- None;
-           bump_branch c;
-           iters := Cost.diff rt.counters snap :: !iters;
-           (match buf with
-           | Some b -> iter_accs := Array.of_list (List.rev !b) :: !iter_accs
-           | None -> ())
-         done
-       with Break_e -> ());
-      rt.access_log <- None;
-      rt.in_parallel <- false;
-      rt.segments <-
-        Trace.Par { sched; iters = Array.of_list (List.rev !iters) } :: rt.segments;
-      if rt.trace_accesses then
-        rt.par_traces <-
-          { Trace.pt_sched = sched; pt_accesses = Array.of_list (List.rev !iter_accs) }
-          :: rt.par_traces;
-      rt.seg_start <- Cost.copy rt.counters
+      match (rt.pool, canon) with
+      | Some pool, Some cn when Runtime.Pool.size pool > 1 && not rt.trace_accesses ->
+        (* real fork/join over the domain pool; access tracing stays on the
+           sequential path (the race detector replays schedules itself) *)
+        exec_parallel rt pool sched cn fbody finit fr
+      | _ ->
+        (* sequential recording path *)
+        let counters = (master rt).ds_counters in
+        rt.segments <- Trace.Seq (Cost.diff counters rt.seg_start) :: rt.segments;
+        rt.in_parallel <- true;
+        let iters = ref [] in
+        let iter_accs = ref [] in
+        finit fr;
+        fentry fr;
+        (try
+           bump_branch rt;
+           while fcond fr do
+             let snap = Cost.copy counters in
+             (* fresh access buffer per iteration: loop-control evaluation
+                between iterations is deliberately NOT logged (each OpenMP
+                thread privatizes the induction variable and re-reads only
+                loop-invariant bounds) *)
+             let buf = if rt.trace_accesses then Some (ref []) else None in
+             rt.access_log <- buf;
+             (try fbody fr with Continue_e -> ());
+             fstep fr;
+             rt.access_log <- None;
+             bump_branch rt;
+             iters := Cost.diff counters snap :: !iters;
+             (match buf with
+             | Some b -> iter_accs := Array.of_list (List.rev !b) :: !iter_accs
+             | None -> ())
+           done
+         with Break_e -> ());
+        rt.access_log <- None;
+        rt.in_parallel <- false;
+        rt.segments <-
+          Trace.Par { sched; iters = Array.of_list (List.rev !iters) } :: rt.segments;
+        if rt.trace_accesses then
+          rt.par_traces <-
+            { Trace.pt_sched = sched; pt_accesses = Array.of_list (List.rev !iter_accs) }
+            :: rt.par_traces;
+        rt.seg_start <- Cost.copy counters
     end

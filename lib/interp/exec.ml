@@ -89,8 +89,9 @@ let compile_function cenv (f : Ast.func) =
 (** Load a program: returns the compile environment, ready to run.
     [l1_bytes]/[l2_bytes] configure the simulated cache hierarchy (scaled
     problem sizes pair with scaled caches, cf. DESIGN.md). *)
-let load ?l1_bytes ?l2_bytes ?trace_accesses (program : Ast.program) : Compile.cenv =
-  let rt = Compile.create_rt ?l1_bytes ?l2_bytes ?trace_accesses () in
+let load ?l1_bytes ?l2_bytes ?trace_accesses ?pool (program : Ast.program) :
+    Compile.cenv =
+  let rt = Compile.create_rt ?l1_bytes ?l2_bytes ?trace_accesses ?pool () in
   let tenv = Sema.Env.gather program in
   let cenv =
     {
@@ -120,12 +121,17 @@ let load ?l1_bytes ?l2_bytes ?trace_accesses (program : Ast.program) : Compile.c
 (** Run a loaded program's [main] and assemble the profile. *)
 let run_main (cenv : Compile.cenv) : Trace.profile =
   let rt = cenv.Compile.rt in
-  Cost.reset rt.Compile.counters;
-  Cache.reset_all rt.Compile.cache;
+  Array.iter
+    (fun (ds : Compile.dstate) ->
+      Cost.reset ds.Compile.ds_counters;
+      Cache.reset_all ds.Compile.ds_cache;
+      Buffer.clear ds.Compile.ds_out;
+      ds.Compile.ds_vec_mode <- Compile.Scalar)
+    rt.Compile.states;
   rt.Compile.segments <- [];
   rt.Compile.par_traces <- [];
   rt.Compile.seg_start <- Cost.create ();
-  Buffer.clear rt.Compile.out;
+  let m = Compile.master rt in
   let entry =
     match Hashtbl.find_opt cenv.Compile.funcs "main" with
     | Some ({ Compile.fe_run = Some _; _ } as e) -> e
@@ -145,10 +151,11 @@ let run_main (cenv : Compile.cenv) : Trace.profile =
   in
   (* close the trailing sequential segment *)
   rt.Compile.segments <-
-    Trace.Seq (Cost.diff rt.Compile.counters rt.Compile.seg_start) :: rt.Compile.segments;
+    Trace.Seq (Cost.diff m.Compile.ds_counters rt.Compile.seg_start)
+    :: rt.Compile.segments;
   {
     Trace.segments = List.rev rt.Compile.segments;
-    output = Buffer.contents rt.Compile.out;
+    output = Buffer.contents m.Compile.ds_out;
     return_code = Mem.to_int result;
     regions = List.rev rt.Compile.alloc.Mem.regions;
     par_traces =
@@ -158,6 +165,10 @@ let run_main (cenv : Compile.cenv) : Trace.profile =
 
 (** One-shot: load and run.  [trace_accesses] additionally records every
     load/store inside parallel loops into {!Trace.profile.par_traces} for
-    the race detector; it does not perturb costs or output. *)
-let run ?l1_bytes ?l2_bytes ?trace_accesses (program : Ast.program) : Trace.profile =
-  run_main (load ?l1_bytes ?l2_bytes ?trace_accesses program)
+    the race detector; it does not perturb costs or output.  [pool] attaches
+    a domain pool: canonical [#pragma omp parallel for] loops then really
+    execute in parallel (output stays bit-identical to sequential for
+    race-free programs). *)
+let run ?l1_bytes ?l2_bytes ?trace_accesses ?pool (program : Ast.program) :
+    Trace.profile =
+  run_main (load ?l1_bytes ?l2_bytes ?trace_accesses ?pool program)

@@ -35,14 +35,22 @@ type allocator = {
   mutable next_addr : int;
   mutable live_bytes : int;
   mutable regions : region list;  (** newest first *)
+  al_mutex : Mutex.t;
+      (** the allocator is the one piece of interpreter state genuinely
+          shared between domains when parallel loop bodies allocate (malloc,
+          local arrays); address handout and region registration are
+          serialized here *)
 }
 
-let create_allocator () = { next_addr = 0x1000_0000; live_bytes = 0; regions = [] }
+let create_allocator () =
+  { next_addr = 0x1000_0000; live_bytes = 0; regions = []; al_mutex = Mutex.create () }
 
 let register_region alloc ~label ~base ~bytes ~elem_bytes =
+  Mutex.lock alloc.al_mutex;
   alloc.regions <-
     { rg_label = label; rg_base = base; rg_bytes = bytes; rg_elem_bytes = elem_bytes }
-    :: alloc.regions
+    :: alloc.regions;
+  Mutex.unlock alloc.al_mutex
 
 (** Resolve an address to its region, if any. *)
 let locate_region regions addr =
@@ -51,9 +59,11 @@ let locate_region regions addr =
 let align n a = (n + a - 1) / a * a
 
 let alloc_addr alloc bytes =
+  Mutex.lock alloc.al_mutex;
   let addr = align alloc.next_addr 64 in
   alloc.next_addr <- addr + bytes;
   alloc.live_bytes <- alloc.live_bytes + bytes;
+  Mutex.unlock alloc.al_mutex;
   addr
 
 let alloc_floats alloc ~elem_bytes n =

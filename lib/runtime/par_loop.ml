@@ -47,6 +47,26 @@ let plan (schedule : schedule) ~workers ~lo ~hi : int list array =
   end;
   out
 
+(** [chunk_plan schedule ~workers ~lo ~hi] is {!plan} with each worker's
+    iteration set grouped into maximal contiguous runs, as [(start, stop)]
+    half-open intervals.  Consumers that execute whole chunks (the
+    interpreter's parallel loop dispatch, which gives each chunk its own
+    output buffer for the deterministic merge) use this instead of the flat
+    index lists; the two views are consistent by construction. *)
+let chunk_plan (schedule : schedule) ~workers ~lo ~hi : (int * int) list array =
+  let runs l =
+    let rec go acc cur = function
+      | [] -> List.rev (match cur with None -> acc | Some c -> c :: acc)
+      | i :: tl -> (
+        match cur with
+        | Some (a, b) when i = b -> go acc (Some (a, i + 1)) tl
+        | Some c -> go (c :: acc) (Some (i, i + 1)) tl
+        | None -> go acc (Some (i, i + 1)) tl)
+    in
+    go [] None l
+  in
+  Array.map runs (plan schedule ~workers ~lo ~hi)
+
 (** [parallel_for pool ~schedule ~lo ~hi body] runs [body i] for every
     [lo <= i < hi], partitioned over the pool per [schedule].  Returns when
     all iterations are done. *)

@@ -15,9 +15,19 @@ type t = {
   work_available : Condition.t;
   work_done : Condition.t;
   mutable outstanding : int;
+  mutable failure : exn option;
+      (** first exception a job of the current batch raised; re-raised at the
+          join point in {!run} *)
   mutable shutdown : bool;
   mutable domains : unit Domain.t list;
 }
+
+(* Record the first failing job of the batch; later failures are dropped
+   (fork/join semantics: one crash fails the whole region). *)
+let record_failure pool exn =
+  Mutex.lock pool.mutex;
+  if pool.failure = None then pool.failure <- Some exn;
+  Mutex.unlock pool.mutex
 
 let worker pool () =
   let rec loop () =
@@ -32,7 +42,7 @@ let worker pool () =
     else begin
       let job = Queue.pop pool.queue in
       Mutex.unlock pool.mutex;
-      (try job () with _ -> ());
+      (try job () with exn -> record_failure pool exn);
       Mutex.lock pool.mutex;
       pool.outstanding <- pool.outstanding - 1;
       if pool.outstanding = 0 then Condition.broadcast pool.work_done;
@@ -54,6 +64,7 @@ let create size =
       work_available = Condition.create ();
       work_done = Condition.create ();
       outstanding = 0;
+      failure = None;
       shutdown = false;
       domains = [];
     }
@@ -63,13 +74,18 @@ let create size =
   pool
 
 (** Run all jobs, returning when every one has finished.  The caller also
-    executes jobs, so a pool of size 1 degenerates to a plain loop. *)
+    executes jobs, so a pool of size 1 degenerates to a plain loop.  If any
+    job raised, the first such exception is re-raised here at the join point
+    (after every job of the batch has completed, so the pool stays
+    reusable).  Batches must not overlap: [run] is fork/join, called from
+    one domain at a time. *)
 let run pool (jobs : job list) =
   match jobs with
   | [] -> ()
   | [ j ] -> j ()
   | jobs ->
     Mutex.lock pool.mutex;
+    pool.failure <- None;
     List.iter (fun j -> Queue.push j pool.queue) jobs;
     pool.outstanding <- pool.outstanding + List.length jobs;
     Condition.broadcast pool.work_available;
@@ -86,7 +102,7 @@ let run pool (jobs : job list) =
       else begin
         let job = Queue.pop pool.queue in
         Mutex.unlock pool.mutex;
-        (try job () with _ -> ());
+        (try job () with exn -> record_failure pool exn);
         Mutex.lock pool.mutex;
         pool.outstanding <- pool.outstanding - 1;
         if pool.outstanding = 0 then Condition.broadcast pool.work_done;
@@ -94,7 +110,12 @@ let run pool (jobs : job list) =
         help ()
       end
     in
-    help ()
+    help ();
+    match pool.failure with
+    | Some exn ->
+      pool.failure <- None;
+      raise exn
+    | None -> ()
 
 let shutdown pool =
   Mutex.lock pool.mutex;
@@ -105,3 +126,16 @@ let shutdown pool =
   pool.domains <- []
 
 let size pool = pool.size
+
+(** Default worker count for [--jobs] flags: the [PUREC_JOBS] environment
+    variable when set to a positive integer, otherwise
+    [Domain.recommended_domain_count () - 1] (leave one core for the
+    caller's bookkeeping), never less than 1. *)
+let default_jobs () =
+  let fallback = max 1 (Domain.recommended_domain_count () - 1) in
+  match Sys.getenv_opt "PUREC_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> fallback)
+  | None -> fallback

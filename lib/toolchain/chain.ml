@@ -159,15 +159,18 @@ let scaled_sica_cache =
 
 (** Execute a compiled program on the instrumented interpreter.
     [trace_accesses] additionally logs every load/store inside parallel
-    loops (for {!Racecheck}); it perturbs neither costs nor output. *)
-let execute ?(trace_accesses = false) (c : compiled) : Interp.Trace.profile =
+    loops (for {!Racecheck}); it perturbs neither costs nor output.
+    [pool] attaches a domain pool so parallelized loops really execute on
+    OCaml domains (output bit-identical to sequential for race-free
+    programs). *)
+let execute ?(trace_accesses = false) ?pool (c : compiled) : Interp.Trace.profile =
   Interp.Exec.run ~l1_bytes:scaled_l1_bytes ~l2_bytes:scaled_l2_bytes ~trace_accesses
-    c.c_ast
+    ?pool c.c_ast
 
 (** Compile and execute in one go. *)
-let run ?mode ?trace_accesses source : compiled * Interp.Trace.profile =
+let run ?mode ?trace_accesses ?pool source : compiled * Interp.Trace.profile =
   let c = compile ?mode source in
-  (c, execute ?trace_accesses c)
+  (c, execute ?trace_accesses ?pool c)
 
 (** Optional racecheck pass: compile, execute with access tracing, and
     shadow-verify the parallelized loops under the whole plan matrix

@@ -404,6 +404,195 @@ let test_trace_total_cost_aggregates () =
   Alcotest.(check bool) "parallel iterations carry cost" true
     (Interp.Cost.total_ops total > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel execution: with a pool attached, canonical
+   [#pragma omp parallel for] loops really run on domains and must be
+   bit-identical to sequential execution (output, return code, segment
+   shape) on race-free programs. *)
+
+let with_pool size f =
+  let pool = Runtime.Pool.create size in
+  Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) (fun () -> f pool)
+
+let run_par pool src =
+  Interp.Exec.run ~pool (Cfront.Parser.program_of_string src)
+
+let check_par_equals_seq name src =
+  let seq = run src in
+  with_pool 4 (fun pool ->
+      let par = run_par pool src in
+      Alcotest.(check string) (name ^ ": output") seq.Interp.Trace.output
+        par.Interp.Trace.output;
+      Alcotest.(check int) (name ^ ": return code") seq.Interp.Trace.return_code
+        par.Interp.Trace.return_code;
+      Alcotest.(check int)
+        (name ^ ": parallel segments")
+        (Interp.Trace.n_parallel_segments seq)
+        (Interp.Trace.n_parallel_segments par);
+      Alcotest.(check int)
+        (name ^ ": parallel iterations")
+        (Interp.Trace.n_parallel_iterations seq)
+        (Interp.Trace.n_parallel_iterations par))
+
+let test_par_static_printf_order () =
+  (* per-iteration output must be spliced back in iteration order *)
+  check_par_equals_seq "static"
+    "int main() {\n\
+     #pragma omp parallel for\n\
+    \  for (int i = 0; i < 37; i++) printf(\"%d \", i * i);\n\
+    \  printf(\"\\n\");\n\
+    \  return 0;\n\
+     }\n"
+
+let test_par_schedules_printf_order () =
+  List.iter
+    (fun sched ->
+      check_par_equals_seq sched
+        (Printf.sprintf
+           "int main() {\n\
+            #pragma omp parallel for schedule(%s)\n\
+           \  for (int i = 0; i < 41; i++) printf(\"%%d;\", 100 - i);\n\
+           \  return 0;\n\
+            }\n"
+           sched))
+    [ "static"; "static,3"; "dynamic"; "dynamic,5" ]
+
+let test_par_memory_result () =
+  (* results written to shared memory by disjoint iterations *)
+  check_par_equals_seq "stencil"
+    "double a[500];\ndouble b[500];\n\
+     int main() {\n\
+    \  for (int i = 0; i < 500; i++) a[i] = i * 0.5;\n\
+     #pragma omp parallel for\n\
+    \  for (int i = 1; i < 499; i++) b[i] = (a[i-1] + a[i] + a[i+1]) / 3.0;\n\
+    \  double s = 0.0;\n\
+    \  for (int i = 0; i < 500; i++) s += b[i];\n\
+    \  printf(\"%f\\n\", s);\n\
+    \  return 0;\n\
+     }\n"
+
+let test_par_pluto_style_loop () =
+  (* PluTo emits the induction pre-declared in the enclosing block and an
+     assignment-form init; the final value is visible after the loop *)
+  check_par_equals_seq "pluto shape"
+    "double a[24];\n\
+     int main() {\n\
+    \  int t1;\n\
+     #pragma omp parallel for private(t1)\n\
+    \  for (t1 = 0; t1 <= 23; t1++) {\n\
+    \    a[t1] = t1 * 2.0;\n\
+    \  }\n\
+    \  printf(\"%d %f\\n\", t1, a[23]);\n\
+    \  return 0;\n\
+     }\n"
+
+let test_par_strided_loop () =
+  check_par_equals_seq "stride 4"
+    "int main() {\n\
+     #pragma omp parallel for\n\
+    \  for (int i = 3; i < 90; i += 4) printf(\"%d,\", i);\n\
+    \  printf(\"\\n\");\n\
+    \  return 0;\n\
+     }\n"
+
+let test_par_nested_omp () =
+  (* the inner pragma sequentializes inside the dispatched outer loop *)
+  check_par_equals_seq "nested omp"
+    "double a[16];\n\
+     int main() {\n\
+     #pragma omp parallel for\n\
+    \  for (int i = 0; i < 16; i++) {\n\
+     #pragma omp parallel for\n\
+    \    for (int j = 0; j < 5; j++) a[i] = a[i] + j + i;\n\
+    \  }\n\
+    \  for (int i = 0; i < 16; i++) printf(\"%f \", a[i]);\n\
+    \  return 0;\n\
+     }\n"
+
+let test_par_user_calls_and_malloc () =
+  (* bodies calling user functions and allocating (shared bump allocator) *)
+  check_par_equals_seq "calls + malloc"
+    "double f(double x) { return x * x + 1.0; }\n\
+     double* rows[8];\n\
+     int main() {\n\
+     #pragma omp parallel for schedule(dynamic,1)\n\
+    \  for (int i = 0; i < 8; i++) {\n\
+    \    double* r = (double*) malloc(16 * sizeof(double));\n\
+    \    for (int j = 0; j < 16; j++) r[j] = f(i + j * 0.5);\n\
+    \    rows[i] = r;\n\
+    \  }\n\
+    \  double s = 0.0;\n\
+    \  for (int i = 0; i < 8; i++)\n\
+    \    for (int j = 0; j < 16; j++) s += rows[i][j];\n\
+    \  printf(\"%f\\n\", s);\n\
+    \  return 0;\n\
+     }\n"
+
+let test_par_noncanonical_falls_back () =
+  (* a break at the omp-loop level is not canonical: must still execute
+     correctly (sequential fallback), even with a pool attached *)
+  check_par_equals_seq "break fallback"
+    "int main() {\n\
+    \  int n = 0;\n\
+     #pragma omp parallel for\n\
+    \  for (int i = 0; i < 100; i++) {\n\
+    \    n = n + 1;\n\
+    \    if (i == 9) break;\n\
+    \  }\n\
+    \  printf(\"%d\\n\", n);\n\
+    \  return 0;\n\
+     }\n"
+
+let test_par_empty_and_tiny_ranges () =
+  check_par_equals_seq "empty range"
+    "int main() {\n\
+     #pragma omp parallel for\n\
+    \  for (int i = 0; i < 0; i++) printf(\"x\");\n\
+    \  printf(\"done\\n\");\n\
+    \  return 0;\n\
+     }\n";
+  check_par_equals_seq "single iteration"
+    "int main() {\n\
+     #pragma omp parallel for\n\
+    \  for (int i = 0; i < 1; i++) printf(\"%d\\n\", i);\n\
+    \  return 0;\n\
+     }\n"
+
+let test_par_fault_propagates () =
+  (* a fault inside a dispatched chunk surfaces as Runtime_error, and the
+     interpreter stays usable *)
+  with_pool 4 (fun pool ->
+      let src =
+        "int main() {\n\
+         #pragma omp parallel for\n\
+        \  for (int i = 0; i < 32; i++) {\n\
+        \    int* p = (int*) malloc(2 * sizeof(int));\n\
+        \    p[i] = 1;\n\
+        \  }\n\
+        \  return 0;\n\
+         }\n"
+      in
+      Alcotest.(check bool) "fault raised" true
+        (try
+           ignore (run_par pool src);
+           false
+         with Interp.Exec.Runtime_error _ -> true);
+      let ok = run_par pool "int main() { return 7; }\n" in
+      Alcotest.(check int) "still works" 7 ok.Interp.Trace.return_code)
+
+let test_par_golden_workload () =
+  (* the Fig. 3 matmul workload end-to-end: the full pure chain (purity →
+     PluTo → lowering), then parallel output = sequential output *)
+  let src = Workloads.Matmul.pure_source ~n:48 () in
+  let mode = Toolchain.Chain.Pure_chain (fun c -> c) in
+  let _, seq = Toolchain.Chain.run ~mode src in
+  with_pool 4 (fun pool ->
+      let _, par = Toolchain.Chain.run ~mode ~pool src in
+      Alcotest.(check string) "matmul output" seq.Interp.Trace.output
+        par.Interp.Trace.output;
+      Alcotest.(check bool) "loops were actually parallelized" true
+        (Interp.Trace.n_parallel_segments par > 0))
+
 let suite =
   [
     Alcotest.test_case "arithmetic" `Quick test_arithmetic;
@@ -440,4 +629,16 @@ let suite =
     Alcotest.test_case "cache reset" `Quick test_cache_reset_all;
     Alcotest.test_case "trace event ordering" `Quick test_trace_event_ordering;
     Alcotest.test_case "trace cost aggregation" `Quick test_trace_total_cost_aggregates;
+    Alcotest.test_case "par = seq: static printf" `Quick test_par_static_printf_order;
+    Alcotest.test_case "par = seq: all schedules" `Quick test_par_schedules_printf_order;
+    Alcotest.test_case "par = seq: shared memory" `Quick test_par_memory_result;
+    Alcotest.test_case "par = seq: pluto loop shape" `Quick test_par_pluto_style_loop;
+    Alcotest.test_case "par = seq: strided" `Quick test_par_strided_loop;
+    Alcotest.test_case "par = seq: nested omp" `Quick test_par_nested_omp;
+    Alcotest.test_case "par = seq: calls and malloc" `Quick test_par_user_calls_and_malloc;
+    Alcotest.test_case "par = seq: non-canonical fallback" `Quick
+      test_par_noncanonical_falls_back;
+    Alcotest.test_case "par = seq: empty/tiny ranges" `Quick test_par_empty_and_tiny_ranges;
+    Alcotest.test_case "par fault propagates" `Quick test_par_fault_propagates;
+    Alcotest.test_case "par = seq: matmul workload" `Quick test_par_golden_workload;
   ]

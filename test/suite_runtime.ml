@@ -64,6 +64,91 @@ let test_spmv_parallel_equals_seq () =
           Alcotest.(check bool) "identical" true (seq = par))
         [ Runtime.Par_loop.Static; Runtime.Par_loop.Dynamic 2 ])
 
+exception Boom of int
+
+let test_exception_propagates () =
+  with_pool 4 (fun pool ->
+      (* a failing job re-raises at the join point... *)
+      let raised =
+        try
+          Runtime.Pool.run pool
+            (List.init 8 (fun i ->
+                 fun () -> if i = 5 then raise (Boom i)));
+          false
+        with Boom 5 -> true
+      in
+      Alcotest.(check bool) "job exception re-raised in run" true raised;
+      (* ...and the pool remains usable afterwards *)
+      let count = Atomic.make 0 in
+      Runtime.Pool.run pool
+        (List.init 8 (fun _ -> fun () -> Atomic.incr count));
+      Alcotest.(check int) "pool reusable after failure" 8 (Atomic.get count))
+
+let test_first_failure_wins_batch_isolation () =
+  with_pool 2 (fun pool ->
+      (* every job fails: exactly one exception surfaces, and the next batch
+         starts with a clean failure slot *)
+      (try Runtime.Pool.run pool (List.init 4 (fun i -> fun () -> raise (Boom i)))
+       with Boom _ -> ());
+      let ok = try Runtime.Pool.run pool [ (fun () -> ()); (fun () -> ()) ]; true with _ -> false in
+      Alcotest.(check bool) "clean batch after failing batch" true ok)
+
+let test_pool_reuse_many_batches () =
+  with_pool 3 (fun pool ->
+      let total = Atomic.make 0 in
+      for _ = 1 to 50 do
+        Runtime.Par_loop.parallel_for pool ~lo:0 ~hi:40 (fun _ -> Atomic.incr total)
+      done;
+      Alcotest.(check int) "50 batches of 40" 2000 (Atomic.get total))
+
+let test_oversubscription () =
+  (* many more jobs than domains: all must run exactly once *)
+  with_pool 2 (fun pool ->
+      let hits = Array.make 300 0 in
+      let mutex = Mutex.create () in
+      Runtime.Pool.run pool
+        (List.init 300 (fun i ->
+             fun () ->
+               Mutex.lock mutex;
+               hits.(i) <- hits.(i) + 1;
+               Mutex.unlock mutex));
+      Array.iteri
+        (fun i h -> if h <> 1 then Alcotest.failf "job %d ran %d times" i h)
+        hits)
+
+let test_chunk_plan_consistent_with_plan () =
+  List.iter
+    (fun schedule ->
+      List.iter
+        (fun workers ->
+          let plan = Runtime.Par_loop.plan schedule ~workers ~lo:3 ~hi:103 in
+          let chunks = Runtime.Par_loop.chunk_plan schedule ~workers ~lo:3 ~hi:103 in
+          Array.iteri
+            (fun w runs ->
+              let expanded =
+                List.concat_map
+                  (fun (a, b) -> List.init (b - a) (fun k -> a + k))
+                  runs
+              in
+              if expanded <> plan.(w) then
+                Alcotest.failf "worker %d: chunk_plan disagrees with plan" w)
+            chunks)
+        [ 1; 2; 4; 7 ])
+    [ Runtime.Par_loop.Static; Runtime.Par_loop.Static_chunk 6; Runtime.Par_loop.Dynamic 4 ]
+
+let test_default_jobs_env () =
+  (* PUREC_JOBS overrides; garbage falls back to a positive default *)
+  let with_env v f =
+    (match v with Some v -> Unix.putenv "PUREC_JOBS" v | None -> Unix.putenv "PUREC_JOBS" "");
+    Fun.protect ~finally:(fun () -> Unix.putenv "PUREC_JOBS" "") f
+  in
+  with_env (Some "7") (fun () ->
+      Alcotest.(check int) "env honored" 7 (Runtime.Pool.default_jobs ()));
+  with_env (Some "not-a-number") (fun () ->
+      Alcotest.(check bool) "garbage falls back" true (Runtime.Pool.default_jobs () >= 1));
+  with_env (Some "-3") (fun () ->
+      Alcotest.(check bool) "negative falls back" true (Runtime.Pool.default_jobs () >= 1))
+
 let qcheck_parallel_sum =
   QCheck.Test.make ~name:"parallel sums match sequential" ~count:20
     QCheck.(pair (int_range 1 4) (int_range 0 500))
@@ -87,5 +172,13 @@ let suite =
     Alcotest.test_case "reduction" `Quick test_reduce;
     Alcotest.test_case "dynamic reduction" `Quick test_reduce_dynamic;
     Alcotest.test_case "parallel spmv = sequential" `Quick test_spmv_parallel_equals_seq;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+    Alcotest.test_case "failure isolation across batches" `Quick
+      test_first_failure_wins_batch_isolation;
+    Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse_many_batches;
+    Alcotest.test_case "oversubscription" `Quick test_oversubscription;
+    Alcotest.test_case "chunk_plan consistent with plan" `Quick
+      test_chunk_plan_consistent_with_plan;
+    Alcotest.test_case "PUREC_JOBS default" `Quick test_default_jobs_env;
     QCheck_alcotest.to_alcotest qcheck_parallel_sum;
   ]
