@@ -236,7 +236,8 @@ let racecheck_cmd =
     let doc =
       "Built-in workload to racecheck (repeatable): one of the four \
        applications ($(b,matmul), $(b,heat), $(b,satellite), $(b,lama)), a \
-       gallery kernel by name, or $(b,all)."
+       gallery kernel by name, $(b,kernels) (every gallery kernel), or \
+       $(b,all)."
     in
     Arg.(value & opt_all string [] & info [ "workload" ] ~docv:"NAME" ~doc)
   in
@@ -258,6 +259,15 @@ let racecheck_cmd =
        the resulting races; used to validate the detector itself."
     in
     Arg.(value & flag & info [ "inject-illegal" ] ~doc)
+  in
+  let engine_arg =
+    let doc =
+      "Race engine(s) to run: $(b,hb) (vector-clock happens-before replay), \
+       $(b,lockset) (Eraser-style lockset discipline), or $(b,both) \
+       (run both and cross-check their verdicts; a disagreement is a hard \
+       failure)."
+    in
+    Arg.(value & opt string "both" & info [ "engine" ] ~docv:"ENGINE" ~doc)
   in
   (* a workload supplies its own scop markers → plain PluTo; otherwise the
      full pure chain marks scops itself (same rule as the test suite) *)
@@ -299,20 +309,29 @@ let racecheck_cmd =
                (List.map (fun k -> k.Workloads.Kernels.k_name) Workloads.Kernels.all));
           exit Toolchain.Chain.exit_error)
     in
+    let kernels =
+      List.map
+        (fun k -> (k.Workloads.Kernels.k_name, k.Workloads.Kernels.k_source))
+        Workloads.Kernels.all
+    in
     List.concat_map
       (fun name ->
-        if name = "all" then
-          apps
-          @ List.map
-              (fun k -> (k.Workloads.Kernels.k_name, k.Workloads.Kernels.k_source))
-              Workloads.Kernels.all
+        if name = "all" then apps @ kernels
+        else if name = "kernels" then kernels
         else resolve name)
       names
   in
   (* [--schedule] here selects the replay plans; the pragma clause the
      compiler would emit is irrelevant because the replay matrix covers
      every clause anyway *)
-  let run file workloads cores scheds inject mode sica tile jobs =
+  let run file workloads cores scheds inject engine_s mode sica tile jobs =
+    let engine =
+      match Racecheck.engine_choice_of_string engine_s with
+      | Ok e -> e
+      | Error msg ->
+        Fmt.epr "racecheck: %s@." msg;
+        exit Toolchain.Chain.exit_error
+    in
     let cores = if cores = [] then Racecheck.default_cores else cores in
     let schedules =
       if scheds = [] then Racecheck.default_schedules
@@ -360,25 +379,66 @@ let racecheck_cmd =
             (src, adjust_mode (chain_mode mode sica tile None))
           | `Workload src -> (src, workload_mode ~inject src)
         in
-        let _c, _profile, reports =
-          Toolchain.Chain.run_racecheck ~mode:chosen_mode ~schedules ~cores source
+        let c, profile, verdicts =
+          Toolchain.Chain.run_racecheck ~mode:chosen_mode ~engine ~schedules ~cores
+            source
         in
-        let bad = List.filter (fun r -> not (Racecheck.clean r)) reports in
-        if bad = [] then
-          pr "%s: no races across %d plans (%s x cores %s)@." name
-            (List.length reports)
+        (* per-outcome attribution: every [unit N] pragma tag maps back to
+           the polyhedral transform unit that emitted it *)
+        let units = Pluto.unit_table c.Toolchain.Chain.c_outcomes in
+        Array.iteri
+          (fun id (loc, u) ->
+            pr "%s: unit %d (scop at %a): %s@." name id Support.Loc.pp loc
+              (Pluto.describe_unit u))
+          units;
+        let attribute seg =
+          let tagged =
+            match profile.Interp.Trace.par_traces with
+            | Some traces -> (
+              match List.nth_opt traces seg with
+              | Some pt -> pt.Interp.Trace.pt_unit
+              | None -> None)
+            | None -> None
+          in
+          match tagged with
+          | Some id when id >= 0 && id < Array.length units ->
+            let loc, u = units.(id) in
+            Fmt.str "transform unit %d (scop at %a): %s" id Support.Loc.pp loc
+              (Pluto.describe_unit u)
+          | Some id -> Fmt.str "transform unit %d (no surviving outcome)" id
+          | None -> "a hand-written pragma (no transform unit)"
+        in
+        let racy_verdicts = List.filter Racecheck.verdict_racy verdicts in
+        let disagreements = Racecheck.verdicts_disagreements verdicts in
+        if racy_verdicts = [] && disagreements = [] then
+          pr "%s: no races across %d plans (engine %s; %s x cores %s)@." name
+            (List.length verdicts)
+            (Racecheck.engine_choice_name engine)
             (String.concat ", " (List.map Racecheck.schedule_name schedules))
             (String.concat ", " (List.map string_of_int cores))
         else begin
-          List.iter (fun r -> pr "%s: %s@." name (Racecheck.describe_report r)) bad;
-          if not inject then
+          List.iter
+            (fun v ->
+              List.iter
+                (fun (r : Racecheck.report) ->
+                  if not (Racecheck.clean r) then begin
+                    pr "%s: %s@." name (Racecheck.describe_report r);
+                    List.iter
+                      (fun seg ->
+                        pr "%s:   segment %d emitted by %s@." name seg (attribute seg))
+                      (List.sort_uniq compare (List.map fst r.Racecheck.p_words))
+                  end)
+                (Racecheck.verdict_reports v))
+            racy_verdicts;
+          List.iter (fun d -> pr "%s: ENGINE DISAGREEMENT: %s@." name d) disagreements;
+          if not inject && racy_verdicts <> [] then
             pr
               "%s: LEGALITY DISAGREEMENT: the polyhedral legality analysis approved \
-               this transform, but the happens-before replay races — one of the two \
-               is wrong.@."
+               this transform, but a dynamic race engine found races — one of the \
+               two is wrong.@."
               name
         end;
-        (Buffer.contents buf, "", (bad <> []), None)
+        (Buffer.contents buf, "", racy_verdicts <> [] || disagreements <> [], None)
       with
       | Toolchain.Chain.Compile_error diags ->
         ( Buffer.contents buf,
@@ -432,10 +492,11 @@ let racecheck_cmd =
        ~doc:
          "Shadow-verify parallelized loops: replay the interpreter's access \
           log under every worksharing plan with a happens-before race \
-          detector.  Exits 5 if any plan races.")
+          detector and an Eraser-style lockset engine, cross-checking their \
+          verdicts.  Exits 5 if any plan races or the engines disagree.")
     Term.(
       const run $ file_arg $ workload_arg $ rc_cores_arg $ rc_sched_arg $ inject_arg
-      $ mode_arg $ sica_arg $ tile_arg $ jobs_arg)
+      $ engine_arg $ mode_arg $ sica_arg $ tile_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz *)
@@ -467,9 +528,10 @@ let fuzz_cmd =
   in
   let racecheck_arg =
     let doc =
-      "Add the happens-before race detector as a second oracle stage: every \
-       transformed configuration must replay race-free under all plans, \
-       checked before outputs are compared."
+      "Add both dynamic race engines (happens-before and lockset, \
+       cross-checked) as a second oracle stage: every transformed \
+       configuration must replay race-free under all plans, checked before \
+       outputs are compared."
     in
     Arg.(value & flag & info [ "racecheck" ] ~doc)
   in
@@ -503,18 +565,10 @@ let fuzz_cmd =
       let nfail = List.length result.Fuzzgen.Fuzz.k_failed in
       Fmt.pr "fuzz: %d programs, %d configurations each, %d mismatches@." result.Fuzzgen.Fuzz.k_count
         result.Fuzzgen.Fuzz.k_configs nfail;
-      if nfail > 0 then begin
-        (* a detected race outranks an output mismatch (cf. classify_errors) *)
-        let raced =
-          List.exists
-            (fun (c : Fuzzgen.Fuzz.case_result) ->
-              List.exists
-                (fun f -> Fuzzgen.Oracle.kind_tag f = "race-detected")
-                c.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures)
-            result.Fuzzgen.Fuzz.k_failed
-        in
-        exit (if raced then Toolchain.Chain.exit_race else Toolchain.Chain.exit_fuzz_mismatch)
-      end
+      (* exit precedence lives in one place (cf. Fuzz.campaign_exit_code):
+         a race or engine disagreement outranks any differential mismatch *)
+      let code = Fuzzgen.Fuzz.campaign_exit_code result in
+      if code <> Toolchain.Chain.exit_ok then exit code
     | exception Fuzzgen.Fuzz.Roundtrip_error msg ->
       Fmt.epr "fuzz: internal round-trip failure after %d programs: %s@." !checked msg;
       exit Toolchain.Chain.exit_error

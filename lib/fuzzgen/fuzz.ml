@@ -100,3 +100,17 @@ let campaign ?(inject = false) ?(racecheck = false) ?(shrink = true)
       on_case case
   done;
   { k_count = count; k_failed = List.rev !failed; k_configs = !configs }
+
+(** Process exit code for a finished campaign.  Precedence when one seed
+    trips several oracle stages at once: a dynamic-race finding (a race, or
+    the two race engines disagreeing — a detector bug, reported on the same
+    channel) outranks every differential mismatch, because the race verdict
+    explains the mismatch; any other failure is a fuzz mismatch. *)
+let campaign_exit_code (r : campaign_result) : int =
+  let failure_kinds =
+    List.concat_map (fun c -> List.map Oracle.kind_tag c.c_report.Oracle.r_failures) r.k_failed
+  in
+  if List.exists (fun k -> k = "race-detected" || k = "engine-disagreement") failure_kinds
+  then Toolchain.Chain.exit_race
+  else if failure_kinds <> [] then Toolchain.Chain.exit_fuzz_mismatch
+  else Toolchain.Chain.exit_ok

@@ -64,16 +64,21 @@ let sreturn x = st (Ast.SReturn (Some x))
 
 let block ss = st (Ast.SBlock ss)
 
-(** Canonical affine loop: [for (int v = lo; v <= hi; v++) { body }]. *)
-let sfor v lo hi body =
+(** Canonical affine loop with an expression upper bound:
+    [for (int v = lo; v <= hi; v++) { body }].  Triangular domains pass an
+    outer iterator as [hi]. *)
+let sfor_ub v lo hi body =
   st
     (Ast.SFor
        ( Some
            (Ast.FInitDecl
               { Ast.d_type = Ast.Int; d_name = v; d_storage = Ast.Auto; d_init = Some (ilit lo); d_loc = Loc.dummy }),
-         Some (bin Ast.Le (id v) (ilit hi)),
+         Some (bin Ast.Le (id v) hi),
          Some (e (Ast.IncDec { pre = false; inc = true; arg = id v })),
          block body ))
+
+(** Canonical affine loop: [for (int v = lo; v <= hi; v++) { body }]. *)
+let sfor v lo hi body = sfor_ub v lo (ilit hi) body
 
 (* iterator plus a constant offset, printed as [i], [i + 1] or [i - 1] *)
 let off iter o =
@@ -284,11 +289,9 @@ let gen_lhs rng ~iters ~n (a : arr) =
     idx1 a.a_name (match iters with [] -> const () | l -> off (Rng.choose rng l) (o ()))
   else idx2 a.a_name (sub 0) (sub 1)
 
-(* one full compute nest: pick the written arrays first, then build the
-   statements so pure-call arguments only read the rest (§3.4) *)
-let gen_compute_nest rng ~n ~arrays ~dfns =
-  let depth = 1 + Rng.int rng 2 in
-  let iters = if depth = 1 then [ "i" ] else [ "i"; "j" ] in
+(* the statements of one compute nest: pick the written arrays first, then
+   build the statements so pure-call arguments only read the rest (§3.4) *)
+let gen_nest_body rng ~iters ~n ~arrays ~dfns =
   let nstmts = 1 + Rng.int rng 2 in
   let targets = List.init nstmts (fun _ -> (Rng.choose rng arrays : arr)) in
   let written = List.sort_uniq compare (List.map (fun a -> a.a_name) targets) in
@@ -311,11 +314,56 @@ let gen_compute_nest rng ~n ~arrays ~dfns =
     in
     assign lhs rhs
   in
-  let body = List.map stmt_of targets in
+  List.map stmt_of targets
+
+(* one full rectangular compute nest *)
+let gen_compute_nest rng ~n ~arrays ~dfns =
+  let depth = 1 + Rng.int rng 2 in
+  let iters = if depth = 1 then [ "i" ] else [ "i"; "j" ] in
+  let body = gen_nest_body rng ~iters ~n ~arrays ~dfns in
   match iters with
   | [ i ] -> sfor i 1 n body
   | [ i; j ] -> sfor i 1 n [ sfor j 1 n body ]
   | _ -> assert false
+
+(* a triangular-domain nest: [for (i = 1..n) for (j = 1..i)].  The inner
+   bound is an outer iterator — affine, so the polyhedral stages must model
+   the non-rectangular domain exactly; subscripts stay in bounds because
+   j <= i <= n *)
+let gen_triangular_nest rng ~n ~arrays ~dfns =
+  let body = gen_nest_body rng ~iters:[ "i"; "j" ] ~n ~arrays ~dfns in
+  sfor "i" 1 n [ sfor_ub "j" 1 (id "i") body ]
+
+(* CSR-style gather: [w[i] += A[i][col[k]] * weight].  The indirect
+   subscript is deliberately not affine — the scop detector must reject the
+   nest (it runs sequentially everywhere) rather than misparallelize it.
+   [col] is populated with an affine congruence whose values stay in
+   [1, n], so every gather is in bounds by construction. *)
+let gen_csr_nest rng ~n ~dim (matrix : arr) =
+  let col = { a_name = "col"; a_rank = 1; a_elt = I; a_dim = dim; a_heap = false } in
+  let w = { a_name = "w"; a_rank = 1; a_elt = D; a_dim = dim; a_heap = false } in
+  let ca = 1 + Rng.int rng 7 and cb = Rng.int rng 8 in
+  let col_init =
+    sfor "k" 0 (dim - 1)
+      [
+        assign (idx1 col.a_name (id "k"))
+          (badd (bmod (badd (bmul (id "k") (ilit ca)) (ilit cb)) (ilit n)) (ilit 1));
+      ]
+  in
+  let gather =
+    sfor "i" 1 n
+      [
+        sfor "k" 1 n
+          [
+            assign (idx1 w.a_name (id "i"))
+              (badd (idx1 w.a_name (id "i"))
+                 (bmul
+                    (idx2 matrix.a_name (id "i") (idx1 col.a_name (id "k")))
+                    (flit (Rng.choose rng dbl_pool))));
+          ];
+      ]
+  in
+  ([ col; w ], col_init, gather)
 
 (* ------------------------------------------------------------------ *)
 (* Fixed program segments *)
@@ -435,8 +483,26 @@ let program_info rng : program_info =
   end;
   let nnests = 1 + Rng.int rng 3 in
   for _ = 1 to nnests do
-    push [ gen_compute_nest rng ~n ~arrays ~dfns ]
+    (* one nest in four is triangular; the rest are rectangular *)
+    let nest =
+      if Rng.int rng 4 = 0 then gen_triangular_nest rng ~n ~arrays ~dfns
+      else gen_compute_nest rng ~n ~arrays ~dfns
+    in
+    push [ nest ]
   done;
+  (* one program in three carries a CSR-style gather with its own [col]/[w]
+     arrays (kept out of [arrays] so no other nest can clobber the indices
+     the gather relies on for bounds) *)
+  let csr_arrays =
+    if Rng.int rng 3 = 0 then begin
+      let extra, col_init, gather = gen_csr_nest rng ~n ~dim (List.hd d2) in
+      let w = List.find (fun (a : arr) -> a.a_elt = D) extra in
+      push [ init_nest rng ~dim w ];
+      push [ col_init; gather ];
+      extra
+    end
+    else []
+  in
   if Rng.int rng 2 = 0 then begin
     (* a scalar reduction nest over the double arrays *)
     let acc = "acc0" in
@@ -449,7 +515,7 @@ let program_info rng : program_info =
         sexpr (call "printf" [ e (Ast.StrLit "acc %.17g\n"); id acc ]);
       ]
   end;
-  List.iteri (fun k a -> push (checksum_segment k a)) arrays;
+  List.iteri (fun k a -> push (checksum_segment k a)) (arrays @ csr_arrays);
   List.iter (fun (a : arr) -> if a.a_heap then push (free_segment ~dim a.a_name)) arrays;
   push [ sreturn (ilit 0) ];
   let main =
@@ -466,10 +532,10 @@ let program_info rng : program_info =
   in
   let prog =
     [ Ast.GInclude ("<stdio.h>", Loc.dummy); Ast.GInclude ("<stdlib.h>", Loc.dummy) ]
-    @ List.map global_array globals_arrs
+    @ List.map global_array (globals_arrs @ csr_arrays)
     @ [ fillf; filli ] @ dfn_globals @ ifn_globals @ [ main ]
   in
-  { pi_prog = prog; pi_n = n; pi_arrays = arrays }
+  { pi_prog = prog; pi_n = n; pi_arrays = arrays @ csr_arrays }
 
 (** Generate the program for [seed] and print it to C source text. *)
 let program_of_seed seed : Ast.program =

@@ -28,10 +28,14 @@ type failure =
   | Plan_violation of { config : string; detail : string }
   | Model_failure of { config : string; detail : string }
   | Race_detected of { config : string; detail : string }
-      (** the happens-before replay found conflicting accesses in a
+      (** a dynamic race engine found conflicting accesses in a
           parallelized loop — checked {e before} outputs are compared, so
           an injected illegal transform is caught even when the racy
           schedule happens to print the right bytes *)
+  | Engine_disagreement of { config : string; detail : string }
+      (** the happens-before and lockset engines returned incompatible
+          racy-word sets for the same plan — one of the two dynamic race
+          models is wrong, which is a detector bug, not a program bug *)
 
 type report = {
   r_seed : int option;  (** filled in by the campaign driver *)
@@ -47,7 +51,8 @@ let failure_config = function
   | Nonunimodular { config; _ }
   | Plan_violation { config; _ }
   | Model_failure { config; _ }
-  | Race_detected { config; _ } -> config
+  | Race_detected { config; _ }
+  | Engine_disagreement { config; _ } -> config
 
 let kind_tag = function
   | Output_mismatch _ -> "output-mismatch"
@@ -58,6 +63,7 @@ let kind_tag = function
   | Plan_violation _ -> "plan-violation"
   | Model_failure _ -> "model-failure"
   | Race_detected _ -> "race-detected"
+  | Engine_disagreement _ -> "engine-disagreement"
 
 let describe = function
   | Output_mismatch { config; expected; got } ->
@@ -70,6 +76,8 @@ let describe = function
   | Plan_violation { config; detail } -> Printf.sprintf "[%s] schedule plan violation: %s" config detail
   | Model_failure { config; detail } -> Printf.sprintf "[%s] machine model failure: %s" config detail
   | Race_detected { config; detail } -> Printf.sprintf "[%s] data race: %s" config detail
+  | Engine_disagreement { config; detail } ->
+    Printf.sprintf "[%s] race engine disagreement: %s" config detail
 
 (* ------------------------------------------------------------------ *)
 (* Configurations under test *)
@@ -163,8 +171,8 @@ let check_model ~config (profile : Interp.Trace.profile) =
 
 (* ------------------------------------------------------------------ *)
 
-let run_config ?trace_accesses mode source =
-  match Toolchain.Chain.run ~mode ?trace_accesses source with
+let run_config ?trace_accesses ?shadow_slots mode source =
+  match Toolchain.Chain.run ~mode ?trace_accesses ?shadow_slots source with
   | c, profile -> Ok (c, profile)
   | exception Toolchain.Chain.Compile_error diags ->
     Error (String.concat "; " (List.map (fun d -> d.Diag.code ^ ": " ^ d.Diag.message) diags))
@@ -172,17 +180,32 @@ let run_config ?trace_accesses mode source =
   | exception Interp.Exec.Runtime_error msg -> Error ("runtime: " ^ msg)
 
 (* The second oracle stage: replay the access log of a traced profile under
-   the full plan matrix.  Tracing never perturbs the output or the cost
-   counters, so the {e same} run serves both this and output comparison. *)
+   the full plan matrix with BOTH race engines cross-checked.  Tracing never
+   perturbs the output or the cost counters, so the {e same} run serves both
+   this and output comparison. *)
 let check_races ~config (profile : Interp.Trace.profile) =
-  match Racecheck.analyze_matrix ~schedules:plan_schedules ~cores:core_counts profile with
+  match
+    Racecheck.verdict_matrix ~engine:Racecheck.Both ~schedules:plan_schedules
+      ~cores:core_counts profile
+  with
   | Error detail -> [ Runtime_failure { config; detail } ]
-  | Ok reports ->
-    List.filter_map
-      (fun r ->
-        if Racecheck.clean r then None
-        else Some (Race_detected { config; detail = Racecheck.describe_report r }))
-      reports
+  | Ok verdicts ->
+    let races =
+      List.concat_map
+        (fun v ->
+          List.filter_map
+            (fun r ->
+              if Racecheck.clean r then None
+              else Some (Race_detected { config; detail = Racecheck.describe_report r }))
+            (Racecheck.verdict_reports v))
+        verdicts
+    in
+    let disagreements =
+      List.map
+        (fun detail -> Engine_disagreement { config; detail })
+        (Racecheck.verdicts_disagreements verdicts)
+    in
+    races @ disagreements
 
 (** Compare all configurations of [source] against the sequential baseline.
     With [racecheck], every transformed configuration additionally runs
@@ -199,7 +222,7 @@ let check ?(inject = false) ?(racecheck = false) (source : string) : report =
     let failures =
       List.concat_map
         (fun (name, mode) ->
-          match run_config ~trace_accesses:racecheck mode source with
+          match run_config ~trace_accesses:racecheck ~shadow_slots:racecheck mode source with
           | Error detail ->
             if Util.string_starts_with ~prefix:"runtime" detail then
               [ Runtime_failure { config = name; detail } ]

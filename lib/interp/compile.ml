@@ -49,13 +49,18 @@ type rt = {
   mutable seg_start : Cost.t;
   mutable in_parallel : bool;
   trace_accesses : bool;  (** record per-access logs inside parallel loops *)
+  shadow_slots : bool;
+      (** shadow function-local frame slots as addressable {!Mem} regions so
+          the race detector sees local-scalar accesses too (closes the
+          register blind spot for shared enclosing-scope scalars) *)
   mutable access_log : Trace.access list ref option;
       (** the current parallel iteration's buffer; [None] outside parallel
           loops or when tracing is off *)
   mutable par_traces : Trace.par_trace list;  (** reversed, with segments *)
 }
 
-let create_rt ?l1_bytes ?l2_bytes ?(trace_accesses = false) ?pool () =
+let create_rt ?l1_bytes ?l2_bytes ?(trace_accesses = false) ?(shadow_slots = false)
+    ?pool () =
   let mk_dstate slot =
     let counters = Cost.create () in
     {
@@ -77,6 +82,7 @@ let create_rt ?l1_bytes ?l2_bytes ?(trace_accesses = false) ?pool () =
     seg_start = Cost.create ();
     in_parallel = false;
     trace_accesses;
+    shadow_slots;
     access_log = None;
     par_traces = [];
   }
@@ -111,6 +117,17 @@ type func_entry = {
   mutable fe_run : (Mem.value array -> Mem.value) option;
 }
 
+(** Lexical shadow-slot context, set while compiling the components of a
+    [#pragma omp parallel for].  A frame slot created {e before} the pragma
+    ([slot < sx_limit]) holds an enclosing-scope scalar that real OpenMP
+    would share between threads — those accesses must reach the race
+    detector.  Slots created inside the loop body, the induction variable
+    and [private(...)] clause names are privatized and stay registers. *)
+type shadow_ctx = {
+  sx_limit : int;  (** [cenv.nslots] at the pragma *)
+  sx_private : (int, unit) Hashtbl.t;  (** privatized slots *)
+}
+
 type cenv = {
   tenv : Sema.Env.t;
   funcs : (string, func_entry) Hashtbl.t;
@@ -118,6 +135,11 @@ type cenv = {
   rt : rt;
   mutable scope : (string * (int * Ast.ctype)) list;  (** name -> slot, type *)
   mutable nslots : int;
+  mutable shadow_ctx : shadow_ctx option;  (** inside an omp loop, if shadowing *)
+  mutable cur_fun : int;  (** ordinal of the function being compiled *)
+  shadow_addrs : (int * int, int * int) Hashtbl.t;
+      (** (function ordinal, slot) -> (shadow addr, bytes); slot numbers
+          restart per function, so the key must carry the function *)
 }
 
 let fresh_slot cenv name ty =
@@ -250,6 +272,34 @@ let[@inline] log_access rt loc ~addr ~bytes ~write =
   | Some buf ->
     buf :=
       { Trace.ac_loc = loc; ac_addr = addr; ac_bytes = bytes; ac_write = write } :: !buf
+
+(* Shadow address of a frame slot, when the slot holds a scalar that real
+   OpenMP would share between the threads of the pragma being compiled:
+   allocated (and labeled with the variable's name) on first use, stable for
+   the rest of the program.  [None] = the slot stays a register (shadowing
+   off, not inside a pragma, privatized, or declared inside the body). *)
+let slot_shadow cenv slot ty =
+  if not cenv.rt.shadow_slots then None
+  else
+    match cenv.shadow_ctx with
+    | None -> None
+    | Some sx ->
+      if slot >= sx.sx_limit || Hashtbl.mem sx.sx_private slot then None
+      else begin
+        let key = (cenv.cur_fun, slot) in
+        match Hashtbl.find_opt cenv.shadow_addrs key with
+        | Some ab -> Some ab
+        | None ->
+          let bytes = scalar_bytes (resolve cenv ty) in
+          let label =
+            match List.find_opt (fun (_, (s, _)) -> s = slot) cenv.scope with
+            | Some (n, _) -> n
+            | None -> Printf.sprintf "local#%d" slot
+          in
+          let addr = Mem.shadow_slot cenv.rt.alloc ~label ~bytes in
+          Hashtbl.replace cenv.shadow_addrs key (addr, bytes);
+          Some (addr, bytes)
+      end
 
 (* Per-site register-promotion memos: a repeated access at the same site and
    the same address is a register hit under an optimizing backend (loop
@@ -486,7 +536,18 @@ let rec compile_expr cenv (e : Ast.expr) : (frame -> Mem.value) * Ast.ctype =
     ((fun _ -> v), Ast.ptr Ast.Char ~const:true)
   | Ast.Ident name -> (
     match lookup_local cenv name with
-    | Some (slot, ty) -> ((fun fr -> fr.(slot)), ty)
+    | Some (slot, ty) -> (
+      match slot_shadow cenv slot ty with
+      | None -> ((fun fr -> fr.(slot)), ty)
+      | Some (addr, bytes) ->
+        (* a shared enclosing-scope scalar read inside a parallel loop: the
+           value still comes from the register slot (no cost change), but
+           the race detector must see the logical load *)
+        let loc = Loc.to_string e.Ast.eloc in
+        ( (fun fr ->
+            log_access rt loc ~addr ~bytes ~write:false;
+            fr.(slot)),
+          ty ))
     | None -> (
       match Hashtbl.find_opt cenv.globals name with
       | Some (GScalar { cell; addr }, ty) ->
@@ -617,12 +678,23 @@ let rec compile_expr cenv (e : Ast.expr) : (frame -> Mem.value) * Ast.ctype =
     in
     let run =
       match lv with
-      | LSlot (slot, _) ->
-        fun fr ->
-          let old = fr.(slot) in
-          let nv = apply old in
-          fr.(slot) <- nv;
-          if pre then nv else old
+      | LSlot (slot, _) -> (
+        match slot_shadow cenv slot ty with
+        | None ->
+          fun fr ->
+            let old = fr.(slot) in
+            let nv = apply old in
+            fr.(slot) <- nv;
+            if pre then nv else old
+        | Some (addr, bytes) ->
+          let loc = Loc.to_string e.Ast.eloc in
+          fun fr ->
+            log_access rt loc ~addr ~bytes ~write:false;
+            log_access rt loc ~addr ~bytes ~write:true;
+            let old = fr.(slot) in
+            let nv = apply old in
+            fr.(slot) <- nv;
+            if pre then nv else old)
       | LGlobal (cell, addr, gty) ->
         let loc = Loc.to_string e.Ast.eloc in
         let bytes = scalar_bytes (resolve cenv gty) in
@@ -923,15 +995,30 @@ and compile_assign cenv op lhs rhs =
   in
   let run =
     match lv with
-    | LSlot (slot, _) ->
-      if op = Ast.OpAssign then fun fr ->
-        let v = coerce ty (frhs fr) in
-        fr.(slot) <- v;
-        v
-      else fun fr ->
-        let v = combine fr.(slot) (frhs fr) in
-        fr.(slot) <- v;
-        v
+    | LSlot (slot, _) -> (
+      match slot_shadow cenv slot ty with
+      | None ->
+        if op = Ast.OpAssign then fun fr ->
+          let v = coerce ty (frhs fr) in
+          fr.(slot) <- v;
+          v
+        else fun fr ->
+          let v = combine fr.(slot) (frhs fr) in
+          fr.(slot) <- v;
+          v
+      | Some (addr, bytes) ->
+        let loc = Loc.to_string lhs.Ast.eloc in
+        if op = Ast.OpAssign then fun fr ->
+          let v = coerce ty (frhs fr) in
+          log_access rt loc ~addr ~bytes ~write:true;
+          fr.(slot) <- v;
+          v
+        else fun fr ->
+          log_access rt loc ~addr ~bytes ~write:false;
+          let v = combine fr.(slot) (frhs fr) in
+          log_access rt loc ~addr ~bytes ~write:true;
+          fr.(slot) <- v;
+          v)
     | LGlobal (cell, addr, gty) ->
       let loc = Loc.to_string lhs.Ast.eloc in
       let bytes = scalar_bytes (resolve cenv gty) in
@@ -1769,6 +1856,31 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
   let rt = cenv.rt in
   let sched = Trace.sched_of_pragma pragma in
   let saved_scope = cenv.scope in
+  let saved_ctx = cenv.shadow_ctx in
+  (* Open the shadow-slot context BEFORE compiling any loop component, so
+     every slot-resolved access in init/cond/step/body sees it.  A nested
+     pragma keeps the OUTER context: its iterations run inside one outer
+     iteration, and the outer [sx_limit] is the one that separates shared
+     from body-local slots. *)
+  if rt.shadow_slots && saved_ctx = None then begin
+    let sx = { sx_limit = cenv.nslots; sx_private = Hashtbl.create 4 } in
+    cenv.shadow_ctx <- Some sx;
+    let privatize n =
+      match lookup_local cenv n with
+      | Some (slot, _) -> Hashtbl.replace sx.sx_private slot ()
+      | None -> ()  (* e.g. private(x) for a var declared inside the body *)
+    in
+    (* the induction variable is privatized by OpenMP's for-directive; the
+       FInitDecl form declares it inside the loop (slot >= sx_limit) and
+       needs no entry here *)
+    (match init with
+    | Some
+        (Ast.FInitExpr
+          { Ast.edesc = Ast.Assign (_, { Ast.edesc = Ast.Ident n; _ }, _); _ }) ->
+      privatize n
+    | _ -> ());
+    List.iter privatize (Trace.private_of_pragma pragma)
+  end;
   let finit =
     match init with
     | None -> nop_stmt
@@ -1788,6 +1900,7 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
   let canon = canon_induction cenv init cond step body in
   let fbody = compile_stmt cenv body in
   cenv.scope <- saved_scope;
+  cenv.shadow_ctx <- saved_ctx;
   fun fr ->
     if (cur rt).ds_slot <> 0 || rt.in_parallel then begin
       (* nested parallel regions execute sequentially (OpenMP default) *)
@@ -1843,7 +1956,9 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
           Trace.Par { sched; iters = Array.of_list (List.rev !iters) } :: rt.segments;
         if rt.trace_accesses then
           rt.par_traces <-
-            { Trace.pt_sched = sched; pt_accesses = Array.of_list (List.rev !iter_accs) }
+            { Trace.pt_sched = sched;
+              pt_unit = Trace.unit_of_pragma pragma;
+              pt_accesses = Array.of_list (List.rev !iter_accs) }
             :: rt.par_traces;
         rt.seg_start <- Cost.copy counters
     end

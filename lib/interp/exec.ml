@@ -63,6 +63,9 @@ let compile_function cenv (f : Ast.func) =
     let saved_scope = cenv.Compile.scope and saved_nslots = cenv.Compile.nslots in
     cenv.Compile.scope <- [];
     cenv.Compile.nslots <- 0;
+    (* slot numbers restart here; bump the ordinal so shadow-slot addresses
+       (keyed (function, slot)) never collide across functions *)
+    cenv.Compile.cur_fun <- cenv.Compile.cur_fun + 1;
     let nparams = List.length f.Ast.f_params in
     List.iter
       (fun (p : Ast.param) ->
@@ -89,9 +92,9 @@ let compile_function cenv (f : Ast.func) =
 (** Load a program: returns the compile environment, ready to run.
     [l1_bytes]/[l2_bytes] configure the simulated cache hierarchy (scaled
     problem sizes pair with scaled caches, cf. DESIGN.md). *)
-let load ?l1_bytes ?l2_bytes ?trace_accesses ?pool (program : Ast.program) :
-    Compile.cenv =
-  let rt = Compile.create_rt ?l1_bytes ?l2_bytes ?trace_accesses ?pool () in
+let load ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?pool
+    (program : Ast.program) : Compile.cenv =
+  let rt = Compile.create_rt ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?pool () in
   let tenv = Sema.Env.gather program in
   let cenv =
     {
@@ -101,6 +104,9 @@ let load ?l1_bytes ?l2_bytes ?trace_accesses ?pool (program : Ast.program) :
       rt;
       scope = [];
       nslots = 0;
+      shadow_ctx = None;
+      cur_fun = 0;
+      shadow_addrs = Hashtbl.create 16;
     }
   in
   (* register functions first (mutual recursion) *)
@@ -169,6 +175,6 @@ let run_main (cenv : Compile.cenv) : Trace.profile =
     a domain pool: canonical [#pragma omp parallel for] loops then really
     execute in parallel (output stays bit-identical to sequential for
     race-free programs). *)
-let run ?l1_bytes ?l2_bytes ?trace_accesses ?pool (program : Ast.program) :
-    Trace.profile =
-  run_main (load ?l1_bytes ?l2_bytes ?trace_accesses ?pool program)
+let run ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?pool
+    (program : Ast.program) : Trace.profile =
+  run_main (load ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?pool program)

@@ -66,6 +66,15 @@ let alloc_addr alloc bytes =
   Mutex.unlock alloc.al_mutex;
   addr
 
+(** Shadow address for a function-local scalar slot: a one-element labelled
+    region so the race detector can see (and name) local-scalar accesses.
+    The value itself stays in the frame slot — the address only identifies
+    the variable in access logs. *)
+let shadow_slot alloc ~label ~bytes =
+  let base = alloc_addr alloc bytes in
+  register_region alloc ~label ~base ~bytes ~elem_bytes:bytes;
+  base
+
 let alloc_floats alloc ~elem_bytes n =
   let base = alloc_addr alloc (n * elem_bytes) in
   { p_obj = OFloats (Array.make n 0.0); p_base = base; p_off = 0; p_elem_bytes = elem_bytes }

@@ -32,6 +32,10 @@ type access = {
     alongside {!profile.segments}' [Par] entries. *)
 type par_trace = {
   pt_sched : sched_kind;  (** the schedule the pragma requested *)
+  pt_unit : int option;
+      (** id of the [Pluto] transform unit whose codegen emitted the pragma
+          (parsed from the pragma's [unit N] tag); [None] for hand-written
+          pragmas *)
   pt_accesses : access array array;  (** [pt_accesses.(i)] = iteration [i] *)
 }
 
@@ -71,6 +75,29 @@ let int_after text prefix default =
     go i;
     let s = Buffer.contents buf in
     if s = "" then default else int_of_string s
+
+(** Parse the [unit N] attribution tag the polyhedral codegen appends to the
+    pragmas it emits (see [Pluto.run]); [None] on hand-written pragmas. *)
+let unit_of_pragma text =
+  match find_sub text "[unit " with
+  | exception Not_found -> None
+  | _ -> (
+    match int_after text "[unit " (-1) with -1 -> None | n -> Some n)
+
+(** Names listed in the [private(...)] clause of an [omp parallel for]
+    pragma ([[]] when absent). *)
+let private_of_pragma text =
+  match find_sub text "private(" with
+  | exception Not_found -> []
+  | start -> (
+    let i = start + String.length "private(" in
+    match String.index_from_opt text i ')' with
+    | None -> []
+    | Some j ->
+      String.sub text i (j - i)
+      |> String.split_on_char ','
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> ""))
 
 (** Parse the schedule clause of an [omp parallel for] pragma. *)
 let sched_of_pragma text =

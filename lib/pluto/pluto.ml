@@ -106,11 +106,60 @@ let contains_malloc stmt =
          | _ -> false)
        false stmt
 
+(* ------------------------------------------------------------------ *)
+(* Unit attribution: every transform unit gets a sequential id (its index
+   in [unit_table]) and the pragmas its codegen emits carry a " [unit N]"
+   tag, so a race found while replaying the access log of a parallel loop
+   can be traced back to the schedule matrix that produced the pragma.
+   The tag is an internal marker: [strip_unit_tags] removes it from any
+   user-facing program text. *)
+
+let omp_prefix = "omp parallel for"
+
+let is_omp_pragma p =
+  String.length p >= String.length omp_prefix
+  && String.sub p 0 (String.length omp_prefix) = omp_prefix
+
+let rec tag_stmt id (s : Ast.stmt) : Ast.stmt =
+  let d =
+    match s.Ast.sdesc with
+    | Ast.SPragma p when is_omp_pragma p ->
+      Ast.SPragma (Printf.sprintf "%s [unit %d]" p id)
+    | Ast.SBlock ss -> Ast.SBlock (List.map (tag_stmt id) ss)
+    | Ast.SIf (c, t, e) -> Ast.SIf (c, tag_stmt id t, Option.map (tag_stmt id) e)
+    | Ast.SWhile (c, b) -> Ast.SWhile (c, tag_stmt id b)
+    | Ast.SDoWhile (b, c) -> Ast.SDoWhile (tag_stmt id b, c)
+    | Ast.SFor (i, c, st, b) -> Ast.SFor (i, c, st, tag_stmt id b)
+    | d -> d
+  in
+  { s with Ast.sdesc = d }
+
+(** Remove every " [unit N]" attribution tag from emitted program text. *)
+let strip_unit_tags text =
+  let n = String.length text in
+  let buf = Buffer.create n in
+  let rec go i =
+    if i < n then
+      if i + 6 <= n && String.sub text i 6 = " [unit" then
+        match String.index_from_opt text i ']' with
+        | Some j -> go (j + 1)
+        | None ->
+          Buffer.add_substring buf text i (n - i)
+      else begin
+        Buffer.add_char buf text.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
 (* Transform one marked nest (recursive for imperfect nests).  [reveal]
    swaps hidden pure calls back into body statements before code
    generation, so the iterator substitution also reaches call arguments.
-   Returns the replacement statements and per-unit info. *)
-let rec transform_nest config ~reveal ~enclosing (s : Ast.stmt) :
+   [uid] numbers the emitted transform units in flattened source order —
+   the same order [unit_table] lays them out.  Returns the replacement
+   statements and per-unit info. *)
+let rec transform_nest config ~uid ~reveal ~enclosing (s : Ast.stmt) :
     Ast.stmt list * unit_info list =
   match Poly.Scop_ir.recognize_loop s with
   | None -> Poly.Scop_ir.fail s.Ast.sloc "not a recognizable for-loop"
@@ -128,7 +177,9 @@ let rec transform_nest config ~reveal ~enclosing (s : Ast.stmt) :
     if all_loops && not is_single_nest then begin
       (* imperfect nest: keep this loop sequential, transform the sub-nests *)
       let enclosing' = enclosing @ [ h.Poly.Scop_ir.h_iter ] in
-      let results = List.map (transform_nest config ~reveal ~enclosing:enclosing') body in
+      let results =
+        List.map (transform_nest config ~uid ~reveal ~enclosing:enclosing') body
+      in
       (* block-wrap each sub-nest so their generated declarations don't
          collide in the shared loop body *)
       let new_body = List.map (fun (stmts, _) -> Ast.mk_stmt (Ast.SBlock stmts)) results in
@@ -196,12 +247,17 @@ let rec transform_nest config ~reveal ~enclosing (s : Ast.stmt) :
           ui_identity = sched.Poly.Transform.sched_is_identity;
         }
       in
-      (gen.Poly.Codegen.g_stmts, [ info ])
+      (* number EVERY unit (parallel or not): the id is the unit's index in
+         [unit_table], which flattens all units in this same order *)
+      let id = !uid in
+      incr uid;
+      (List.map (tag_stmt id) gen.Poly.Codegen.g_stmts, [ info ])
     end
 
 (* Substitute pure calls, transform, reveal.  The replacement is wrapped in
    a block so the generated iterator declarations stay region-local. *)
-let process_region config (s : Ast.stmt) : (Ast.stmt list * unit_info list, string) Stdlib.result =
+let process_region config ~uid (s : Ast.stmt) :
+    (Ast.stmt list * unit_info list, string) Stdlib.result =
   let table = Purity.Substitute.create () in
   let prepared, reveal =
     match config.hide_pure_calls with
@@ -209,37 +265,43 @@ let process_region config (s : Ast.stmt) : (Ast.stmt list * unit_info list, stri
       (Purity.Substitute.hide_stmt table s, Purity.Substitute.reveal_stmt table)
     | None -> (s, fun st -> st)
   in
-  match transform_nest config ~reveal ~enclosing:[] prepared with
+  let saved = !uid in
+  match transform_nest config ~uid ~reveal ~enclosing:[] prepared with
   | stmts, infos -> Ok ([ Ast.mk_stmt (Ast.SBlock stmts) ], infos)
-  | exception Poly.Scop_ir.Not_affine (msg, _loc) -> Error msg
+  | exception Poly.Scop_ir.Not_affine (msg, _loc) ->
+    (* a rejected region emits no units; roll back any ids assigned before
+       the failure so [unit_table] indices stay aligned with the tags *)
+    uid := saved;
+    Error msg
 
 (* Rewrite a statement list, replacing scop-delimited regions. *)
-let rec process_stmts config outcomes stmts =
+let rec process_stmts config outcomes uid stmts =
   match stmts with
   | [] -> []
   | { Ast.sdesc = Ast.SPragma p; sloc } :: nest :: { Ast.sdesc = Ast.SPragma p'; _ } :: rest
     when p = Purity.Scop_marker.scop_begin && p' = Purity.Scop_marker.scop_end -> (
-    match process_region config nest with
+    match process_region config ~uid nest with
     | Ok (replacement, infos) ->
       outcomes := { o_loc = sloc; o_result = Transformed { t_units = infos } } :: !outcomes;
-      replacement @ process_stmts config outcomes rest
+      replacement @ process_stmts config outcomes uid rest
     | Error msg ->
       outcomes := { o_loc = sloc; o_result = Rejected msg } :: !outcomes;
-      nest :: process_stmts config outcomes rest)
-  | s :: rest -> descend_stmt config outcomes s :: process_stmts config outcomes rest
+      nest :: process_stmts config outcomes uid rest)
+  | s :: rest ->
+    descend_stmt config outcomes uid s :: process_stmts config outcomes uid rest
 
-and descend_stmt config outcomes (s : Ast.stmt) : Ast.stmt =
+and descend_stmt config outcomes uid (s : Ast.stmt) : Ast.stmt =
   let d =
     match s.Ast.sdesc with
-    | Ast.SBlock ss -> Ast.SBlock (process_stmts config outcomes ss)
+    | Ast.SBlock ss -> Ast.SBlock (process_stmts config outcomes uid ss)
     | Ast.SIf (c, t, e) ->
       Ast.SIf
         ( c,
-          descend_stmt config outcomes t,
-          Option.map (descend_stmt config outcomes) e )
-    | Ast.SWhile (c, b) -> Ast.SWhile (c, descend_stmt config outcomes b)
-    | Ast.SDoWhile (b, c) -> Ast.SDoWhile (descend_stmt config outcomes b, c)
-    | Ast.SFor (i, c, st, b) -> Ast.SFor (i, c, st, descend_stmt config outcomes b)
+          descend_stmt config outcomes uid t,
+          Option.map (descend_stmt config outcomes uid) e )
+    | Ast.SWhile (c, b) -> Ast.SWhile (c, descend_stmt config outcomes uid b)
+    | Ast.SDoWhile (b, c) -> Ast.SDoWhile (descend_stmt config outcomes uid b, c)
+    | Ast.SFor (i, c, st, b) -> Ast.SFor (i, c, st, descend_stmt config outcomes uid b)
     | d -> d
   in
   { s with Ast.sdesc = d }
@@ -249,16 +311,51 @@ and descend_stmt config outcomes (s : Ast.stmt) : Ast.stmt =
 let run ?(config = default_config) (program : Ast.program) : Ast.program * outcome list
     =
   let outcomes = ref [] in
+  let uid = ref 0 in
   let program' =
     List.map
       (fun g ->
         match g with
         | Ast.GFunc ({ f_body = Some body; _ } as f) ->
-          Ast.GFunc { f with f_body = Some (process_stmts config outcomes body) }
+          Ast.GFunc { f with f_body = Some (process_stmts config outcomes uid body) }
         | g -> g)
       program
   in
   (program', List.rev !outcomes)
+
+(** Flatten the outcomes' transform units in emission order: the array
+    index IS the unit id carried by the [unit N] pragma tags. *)
+let unit_table (outcomes : outcome list) : (Loc.t * unit_info) array =
+  Array.of_list
+    (List.concat_map
+       (fun o ->
+         match o.o_result with
+         | Transformed { t_units } -> List.map (fun u -> (o.o_loc, u)) t_units
+         | Rejected _ -> [])
+       outcomes)
+
+(** [ui_matrix] on one line: "[[1 0]; [0 1]]". *)
+let matrix_string (m : int array array) =
+  "["
+  ^ String.concat "; "
+      (Array.to_list
+         (Array.map
+            (fun row ->
+              "[" ^ String.concat " " (Array.to_list (Array.map string_of_int row)) ^ "]")
+            m))
+  ^ "]"
+
+(** One-line description of a transform unit, naming its schedule matrix —
+    the attribution line race reports point at. *)
+let describe_unit (u : unit_info) =
+  Printf.sprintf "iters (%s), schedule matrix %s%s%s%s"
+    (String.concat "," u.ui_iters)
+    (matrix_string u.ui_matrix)
+    (if u.ui_identity then " (identity)" else "")
+    (match u.ui_parallel with
+    | Some l -> Printf.sprintf ", parallel level %d" l
+    | None -> ", sequential")
+    (if u.ui_tiled > 0 then Printf.sprintf ", %d tiled levels" u.ui_tiled else "")
 
 (** Convenience: (regions with at least one parallel loop, rejected
     regions).  A region transformed without any parallel loop (e.g. a pure

@@ -1,0 +1,223 @@
+(** Eraser-style lockset engine: the schedule-independent second opinion.
+
+    The vector-clock engine ({!Racecheck.analyze}) replays one concrete
+    linearization of the access log; for [dynamic,c] plans its verdict
+    depends on where the chunk-dispatch edges fall in that linearization.
+    The lockset discipline (Savage et al., {e Eraser: A Dynamic Data Race
+    Detector for Multithreaded Programs}) needs no order at all: each
+    shadow word carries a {e candidate lockset} — the locks that protected
+    {e every} access to it so far — refined by intersection with the locks
+    the accessing thread holds.  A word written by one thread and touched
+    by another with an empty candidate lockset is racy, whatever the
+    interleaving.  Set intersection is commutative and associative and the
+    thread/written summaries are sets, so the verdict is a function of the
+    access {e multiset}, independent of the chunk-dispatch linearization.
+
+    Two deliberate deviations from classic Eraser, both because one
+    parallel segment of an OpenMP loop runs all its logical threads
+    concurrently between one fork and one join:
+
+    - {e no initialization suppression}: Eraser stays silent when a word is
+      written by its first thread and then read by others (init-then-share
+      is benign across thread {e creation}).  Inside a segment there is no
+      such ordering — a word written in [Exclusive] state races as soon as
+      a second thread touches it;
+    - {e segment-scoped shadow state}: fork and join synchronize
+      everything, so every word restarts [Virgin] at each segment.
+
+    The C subset has no lock primitives and the loops the chain
+    parallelizes take no locks, so every candidate lockset refines to the
+    empty set at the first second-thread access; the lockset structure is
+    kept (rather than a boolean) so lowering OpenMP [critical] sections
+    later only has to extend {!locks_held}. *)
+
+(** One side of a conflicting pair, as the summary sets record it: the
+    first dynamic occurrence of a (thread, site, read/write) combination. *)
+type site = {
+  k_thread : int;  (** logical thread (worker) of the plan *)
+  k_iter : int;  (** iteration index within the parallel segment *)
+  k_write : bool;
+  k_loc : string;  (** source location of the load/store site *)
+}
+
+type lockset = Universal | Locks of int list  (** sorted lock ids *)
+
+let lockset_empty = function Universal -> false | Locks l -> l = []
+
+(** The per-word state machine (segment-scoped Eraser variant, see above). *)
+type state =
+  | Virgin
+  | Exclusive of { owner : int; written : bool }
+  | Shared  (** multiple readers, no write observed *)
+  | Shared_modified  (** written and touched by a second thread *)
+
+(** Verdict for one racy shadow word. *)
+type word = {
+  w_addr : int;
+  w_state : state;
+  w_lockset : lockset;
+  w_pairs : (site * site) list;
+      (** cross-thread conflicting site pairs, earlier iteration first,
+          deterministic order, capped at {!max_pairs_per_word} *)
+  w_total : int;  (** all cross-thread conflicting site pairs, uncapped *)
+}
+
+type segment_verdict = {
+  g_segment : int;  (** ordinal of the parallel segment in the profile *)
+  g_words : word list;  (** racy words only, ascending address *)
+}
+
+type result = {
+  l_schedule : Runtime.Par_loop.schedule;
+  l_workers : int;
+  l_racy : segment_verdict list;  (** segments with at least one racy word *)
+  l_segments : int;
+  l_iterations : int;
+  l_accesses : int;
+}
+
+let max_pairs_per_word = 8
+
+(* Locks held by a logical thread at a given iteration.  Constantly empty:
+   the C subset has no mutex primitives and generated loops take no locks.
+   Kept as a function so an OpenMP [critical] lowering only changes this. *)
+let locks_held (_thread : int) (_iter : int) : int list = []
+
+let refine ls held =
+  match ls with
+  | Universal -> Locks held
+  | Locks l -> Locks (List.filter (fun x -> List.mem x held) l)
+
+(* per-word bookkeeping during the pass *)
+type wrec = {
+  mutable r_state : state;
+  mutable r_lockset : lockset;
+  r_sites : (int * bool * string, site) Hashtbl.t;
+      (** (thread, write, loc) -> first occurrence *)
+}
+
+let analyze_segment ~schedule ~workers (pt : Interp.Trace.par_trace) :
+    word list * int =
+  let accs = pt.Interp.Trace.pt_accesses in
+  let m = Array.length accs in
+  let n_acc = ref 0 in
+  if m = 0 || workers = 1 then begin
+    (* a single worker runs everything in program order: no races *)
+    Array.iter (fun a -> n_acc := !n_acc + Array.length a) accs;
+    ([], !n_acc)
+  end
+  else begin
+    let plan = Runtime.Par_loop.plan schedule ~workers ~lo:0 ~hi:m in
+    let iter_thread = Array.make m 0 in
+    Array.iteri (fun w l -> List.iter (fun i -> iter_thread.(i) <- w) l) plan;
+    let shadow : (int, wrec) Hashtbl.t = Hashtbl.create 1024 in
+    for i = 0 to m - 1 do
+      let t = iter_thread.(i) in
+      Array.iter
+        (fun (a : Interp.Trace.access) ->
+          incr n_acc;
+          let w = a.Interp.Trace.ac_write in
+          let r =
+            match Hashtbl.find_opt shadow a.Interp.Trace.ac_addr with
+            | Some r -> r
+            | None ->
+              let r =
+                { r_state = Virgin; r_lockset = Universal; r_sites = Hashtbl.create 4 }
+              in
+              Hashtbl.replace shadow a.Interp.Trace.ac_addr r;
+              r
+          in
+          (* state machine *)
+          (match r.r_state with
+          | Virgin -> r.r_state <- Exclusive { owner = t; written = w }
+          | Exclusive { owner; written } ->
+            if owner = t then
+              (if w && not written then r.r_state <- Exclusive { owner; written = true })
+            else begin
+              r.r_lockset <- refine r.r_lockset (locks_held t i);
+              r.r_state <- (if written || w then Shared_modified else Shared)
+            end
+          | Shared ->
+            r.r_lockset <- refine r.r_lockset (locks_held t i);
+            if w then r.r_state <- Shared_modified
+          | Shared_modified -> r.r_lockset <- refine r.r_lockset (locks_held t i));
+          (* summary set: first occurrence per (thread, write, loc) *)
+          let key = (t, w, a.Interp.Trace.ac_loc) in
+          if not (Hashtbl.mem r.r_sites key) then
+            Hashtbl.replace r.r_sites key
+              { k_thread = t; k_iter = i; k_write = w; k_loc = a.Interp.Trace.ac_loc })
+        accs.(i)
+    done;
+    (* verdicts: a word races iff it reached Shared_modified with an empty
+       candidate lockset; enumerate the conflicting pairs from the summary
+       sets (order-free, hence linearization-independent) *)
+    let words = ref [] in
+    Hashtbl.iter
+      (fun addr r ->
+        match r.r_state with
+        | Shared_modified when lockset_empty r.r_lockset ->
+          let sites =
+            Hashtbl.fold (fun _ s acc -> s :: acc) r.r_sites []
+            |> List.sort (fun a b ->
+                   compare (a.k_iter, a.k_loc, a.k_write, a.k_thread)
+                     (b.k_iter, b.k_loc, b.k_write, b.k_thread))
+          in
+          let arr = Array.of_list sites in
+          let total = ref 0 in
+          let pairs = ref [] in
+          for x = 0 to Array.length arr - 1 do
+            for y = x + 1 to Array.length arr - 1 do
+              let a = arr.(x) and b = arr.(y) in
+              if a.k_thread <> b.k_thread && (a.k_write || b.k_write) then begin
+                incr total;
+                if List.length !pairs < max_pairs_per_word then pairs := (a, b) :: !pairs
+              end
+            done
+          done;
+          if !total > 0 then
+            words :=
+              {
+                w_addr = addr;
+                w_state = r.r_state;
+                w_lockset = r.r_lockset;
+                w_pairs = List.rev !pairs;
+                w_total = !total;
+              }
+              :: !words
+        | _ -> ())
+      shadow;
+    let words = List.sort (fun a b -> compare a.w_addr b.w_addr) !words in
+    ((if words = [] then [] else words), !n_acc)
+  end
+
+(** Run the lockset discipline over every parallel segment of [profile]
+    with the thread assignment of [schedule] × [workers].  [Error] only
+    when the profile was produced without access tracing. *)
+let analyze ~(schedule : Runtime.Par_loop.schedule) ~workers
+    (profile : Interp.Trace.profile) : (result, string) Stdlib.result =
+  match profile.Interp.Trace.par_traces with
+  | None ->
+    Error
+      "profile has no access trace: execute with access tracing enabled \
+       (Interp.Exec.run ~trace_accesses:true)"
+  | Some traces ->
+    let workers = max 1 workers in
+    let racy = ref [] in
+    let n_acc = ref 0 in
+    let n_iter = ref 0 in
+    List.iteri
+      (fun seg pt ->
+        n_iter := !n_iter + Array.length pt.Interp.Trace.pt_accesses;
+        let words, acc = analyze_segment ~schedule ~workers pt in
+        n_acc := !n_acc + acc;
+        if words <> [] then racy := { g_segment = seg; g_words = words } :: !racy)
+      traces;
+    Ok
+      {
+        l_schedule = schedule;
+        l_workers = workers;
+        l_racy = List.rev !racy;
+        l_segments = List.length traces;
+        l_iterations = !n_iter;
+        l_accesses = !n_acc;
+      }

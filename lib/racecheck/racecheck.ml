@@ -31,6 +31,10 @@
 
 open Support
 
+(** Re-export: the Eraser-style engine itself (the library is wrapped, so
+    this is the only public path to it). *)
+module Lockset = Lockset
+
 (** One side of a conflicting pair.  The iteration vector of an access in a
     parallelized loop is its index in the annotated loop (inner loops run
     sequentially inside one iteration). *)
@@ -50,11 +54,22 @@ type race = {
   x_second : access_ref;
 }
 
+(** Which discipline produced a report: the vector-clock happens-before
+    replay, or the linearization-independent {!Lockset} second opinion. *)
+type engine = Hb | Lockset_engine
+
+let engine_name = function Hb -> "hb" | Lockset_engine -> "lockset"
+
 type report = {
+  p_engine : engine;
   p_schedule : Runtime.Par_loop.schedule;
   p_workers : int;
   p_races : race list;  (** distinct (segment, site-pair) races, capped *)
   p_total : int;  (** every conflicting pair seen, uncapped *)
+  p_words : (int * int) list;
+      (** every racy (segment, addr) shadow word, sorted, {e uncapped} —
+          the unit of cross-engine comparison (site pairs differ
+          legitimately: FastTrack forgets elder writes) *)
   p_segments : int;  (** parallel segments analyzed *)
   p_iterations : int;
   p_accesses : int;
@@ -135,8 +150,10 @@ let analyze ~(schedule : Runtime.Par_loop.schedule) ~workers
     let n_acc = ref 0 in
     let n_iter = ref 0 in
     let seen = Hashtbl.create 64 in
+    let words = Hashtbl.create 64 in
     let record seg addr (first : access_ref) (second : access_ref) =
       incr total;
+      Hashtbl.replace words (seg, addr) ();
       let key = (seg, first.f_loc, second.f_loc, first.f_write, second.f_write) in
       if (not (Hashtbl.mem seen key)) && !n_stored < max_reported_races then begin
         Hashtbl.replace seen key ();
@@ -242,10 +259,13 @@ let analyze ~(schedule : Runtime.Par_loop.schedule) ~workers
       traces;
     Ok
       {
+        p_engine = Hb;
         p_schedule = schedule;
         p_workers = workers;
         p_races = List.rev !races;
         p_total = !total;
+        p_words =
+          List.sort compare (Hashtbl.fold (fun w () acc -> w :: acc) words []);
         p_segments = List.length traces;
         p_iterations = !n_iter;
         p_accesses = !n_acc;
@@ -271,6 +291,205 @@ let analyze_matrix ?(schedules = default_schedules) ?(cores = default_cores)
 let races_total reports = List.fold_left (fun acc r -> acc + r.p_total) 0 reports
 
 (* ------------------------------------------------------------------ *)
+(* Lockset engine (second opinion) and cross-checking *)
+
+let locate regions addr =
+  match Interp.Mem.locate_region regions addr with
+  | Some r ->
+    (r.Interp.Mem.rg_label, (addr - r.Interp.Mem.rg_base) / r.Interp.Mem.rg_elem_bytes)
+  | None -> ("<unknown>", -1)
+
+let ref_of_site (s : Lockset.site) =
+  {
+    f_thread = s.Lockset.k_thread;
+    f_iter = s.Lockset.k_iter;
+    f_write = s.Lockset.k_write;
+    f_loc = s.Lockset.k_loc;
+  }
+
+(** Run the {!Lockset} discipline and package its verdict in the same
+    [report] shape the vector-clock engine produces, so downstream
+    consumers (CLI, oracle, diagnostics) are engine-agnostic. *)
+let analyze_lockset ~(schedule : Runtime.Par_loop.schedule) ~workers
+    (profile : Interp.Trace.profile) : (report, string) result =
+  match Lockset.analyze ~schedule ~workers profile with
+  | Error e -> Error e
+  | Ok res ->
+    let regions = profile.Interp.Trace.regions in
+    let races = ref [] in
+    let n_stored = ref 0 in
+    let total = ref 0 in
+    let words = ref [] in
+    List.iter
+      (fun (sv : Lockset.segment_verdict) ->
+        let seg = sv.Lockset.g_segment in
+        List.iter
+          (fun (w : Lockset.word) ->
+            total := !total + w.Lockset.w_total;
+            words := (seg, w.Lockset.w_addr) :: !words;
+            List.iter
+              (fun (a, b) ->
+                if !n_stored < max_reported_races then begin
+                  incr n_stored;
+                  let label, elem = locate regions w.Lockset.w_addr in
+                  races :=
+                    {
+                      x_segment = seg;
+                      x_addr = w.Lockset.w_addr;
+                      x_array = label;
+                      x_elem = elem;
+                      x_first = ref_of_site a;
+                      x_second = ref_of_site b;
+                    }
+                    :: !races
+                end)
+              w.Lockset.w_pairs)
+          sv.Lockset.g_words)
+      res.Lockset.l_racy;
+    Ok
+      {
+        p_engine = Lockset_engine;
+        p_schedule = schedule;
+        p_workers = workers;
+        p_races = List.rev !races;
+        p_total = !total;
+        p_words = List.sort compare !words;
+        p_segments = res.Lockset.l_segments;
+        p_iterations = res.Lockset.l_iterations;
+        p_accesses = res.Lockset.l_accesses;
+      }
+
+let describe_word regions (seg, addr) =
+  let label, elem = locate regions addr in
+  Printf.sprintf "%s[%d] (segment %d, addr 0x%x)" label elem seg addr
+
+(** Cross-check the two engines' verdicts for one plan, comparing their
+    {e racy shadow-word sets} (site pairs differ legitimately: FastTrack
+    forgets elder writes once a newer one is ordered after them).
+
+    Soundness invariant: lockset is strictly more conservative than the
+    happens-before replay — it recognizes no intra-loop ordering at all —
+    so on every plan [hb_words ⊆ lockset_words]; an HB-only word means one
+    of the engines is wrong.  Under [static]/[static,C] there are {e no}
+    intra-loop happens-before edges either, so the two verdicts must be
+    {e equal}; a lockset-only word there is also a bug.  Under [dynamic,C]
+    a lockset-only word is the engine's designed catch: a race the chunk
+    release/acquire chain happens to hide from HB (still a race — it
+    fails the run — but not an engine disagreement).
+
+    Returns the disagreement descriptions; non-empty = hard failure. *)
+let cross_check ~regions ~(hb : report) ~(lockset : report) : string list =
+  let diff a b = List.filter (fun w -> not (List.mem w b)) a in
+  let plan =
+    Printf.sprintf "schedule(%s) x %d threads" (schedule_name hb.p_schedule) hb.p_workers
+  in
+  let hb_only = diff hb.p_words lockset.p_words in
+  let ls_only = diff lockset.p_words hb.p_words in
+  let dynamic =
+    match hb.p_schedule with Runtime.Par_loop.Dynamic _ -> true | _ -> false
+  in
+  List.map
+    (fun w ->
+      Printf.sprintf
+        "engine disagreement [%s]: hb flags %s as racy but lockset does not \
+         (violates hb ⊆ lockset)"
+        plan (describe_word regions w))
+    hb_only
+  @
+  if dynamic then []
+  else
+    List.map
+      (fun w ->
+        Printf.sprintf
+          "engine disagreement [%s]: lockset flags %s as racy but hb does not \
+           (the static plan has no intra-loop ordering, verdicts must match)"
+          plan (describe_word regions w))
+      ls_only
+
+(** Which engine(s) a racecheck run consults. *)
+type engine_choice = Only of engine | Both
+
+let engine_choice_of_string s : (engine_choice, string) result =
+  match String.trim (String.lowercase_ascii s) with
+  | "hb" -> Ok (Only Hb)
+  | "lockset" -> Ok (Only Lockset_engine)
+  | "both" -> Ok Both
+  | s -> Error (Printf.sprintf "unknown engine %S (expected hb, lockset or both)" s)
+
+let engine_choice_name = function Only e -> engine_name e | Both -> "both"
+
+(** One plan's combined verdict: the per-engine reports that ran, plus any
+    cross-engine disagreements (each one a hard failure). *)
+type verdict = {
+  v_schedule : Runtime.Par_loop.schedule;
+  v_workers : int;
+  v_hb : report option;
+  v_lockset : report option;
+  v_disagreements : string list;
+}
+
+let verdict_racy v =
+  let racy = function Some r -> not (clean r) | None -> false in
+  racy v.v_hb || racy v.v_lockset
+
+let verdict_reports v = List.filter_map (fun r -> r) [ v.v_hb; v.v_lockset ]
+
+(** Analyze one plan with the chosen engine(s) and cross-check. *)
+let verdict ?(engine = Both) ~schedule ~workers profile : (verdict, string) result =
+  let run eng =
+    match eng with
+    | Hb -> analyze ~schedule ~workers profile
+    | Lockset_engine -> analyze_lockset ~schedule ~workers profile
+  in
+  let ( let* ) = Result.bind in
+  match engine with
+  | Only e ->
+    let* r = run e in
+    let hb, ls = match e with Hb -> (Some r, None) | Lockset_engine -> (None, Some r) in
+    Ok
+      {
+        v_schedule = schedule;
+        v_workers = workers;
+        v_hb = hb;
+        v_lockset = ls;
+        v_disagreements = [];
+      }
+  | Both ->
+    let* hb = run Hb in
+    let* ls = run Lockset_engine in
+    Ok
+      {
+        v_schedule = schedule;
+        v_workers = workers;
+        v_hb = Some hb;
+        v_lockset = Some ls;
+        v_disagreements =
+          cross_check ~regions:profile.Interp.Trace.regions ~hb ~lockset:ls;
+      }
+
+(** The whole plan matrix through {!verdict}. *)
+let verdict_matrix ?(engine = Both) ?(schedules = default_schedules)
+    ?(cores = default_cores) (profile : Interp.Trace.profile) :
+    (verdict list, string) result =
+  match profile.Interp.Trace.par_traces with
+  | None -> Error untraced_error
+  | Some _ ->
+    Ok
+      (List.concat_map
+         (fun schedule ->
+           List.map
+             (fun workers ->
+               match verdict ~engine ~schedule ~workers profile with
+               | Ok v -> v
+               | Error e -> invalid_arg e (* unreachable: trace checked above *))
+             cores)
+         schedules)
+
+let verdicts_racy vs = List.exists verdict_racy vs
+
+let verdicts_disagreements vs = List.concat_map (fun v -> v.v_disagreements) vs
+
+(* ------------------------------------------------------------------ *)
 (* Reporting *)
 
 let rw r = if r then "write" else "read"
@@ -286,8 +505,8 @@ let describe_race (r : race) =
 let describe_report (r : report) =
   let header =
     Printf.sprintf
-      "racecheck schedule(%s) x %d threads: %s (%d parallel segments, %d iterations, %d accesses)"
-      (schedule_name r.p_schedule) r.p_workers
+      "racecheck[%s] schedule(%s) x %d threads: %s (%d parallel segments, %d iterations, %d accesses)"
+      (engine_name r.p_engine) (schedule_name r.p_schedule) r.p_workers
       (if clean r then "no races"
        else
          Printf.sprintf "%d conflicting access pairs (%d distinct sites)" r.p_total
@@ -306,7 +525,7 @@ let diags_of_report (r : report) : Diag.t list =
         code = "race.detected";
         loc = Loc.dummy;
         message =
-          Printf.sprintf "[schedule(%s) x %d threads] %s" (schedule_name r.p_schedule)
-            r.p_workers (describe_race x);
+          Printf.sprintf "[%s: schedule(%s) x %d threads] %s" (engine_name r.p_engine)
+            (schedule_name r.p_schedule) r.p_workers (describe_race x);
       })
     r.p_races

@@ -93,8 +93,12 @@ let compile ?(mode = Sequential) (source : string) : compiled =
   let stripped, preprocessed, program = parse_and_check ~reporter source in
   let stages = ref [ ("gcc-E", preprocessed); ("pc-prepro", stripped.Cpp.Pc_prepro.source) ] in
   let finish ast outcomes scops =
+    (* the interpreter executes [ast] with the [unit N] attribution tags
+       intact (the race detector maps them back to outcomes); user-facing C
+       text has them stripped *)
     let emitted =
-      Cpp.Pc_prepro.reinsert stripped (Cfront.Ast_printer.program_to_string ast)
+      Pluto.strip_unit_tags
+        (Cpp.Pc_prepro.reinsert stripped (Cfront.Ast_printer.program_to_string ast))
     in
     stages := ("pc-pospro", emitted) :: !stages;
     {
@@ -119,7 +123,9 @@ let compile ?(mode = Sequential) (source : string) : compiled =
     (* no purity stage: PluTo sees the raw (manually marked) code *)
     let config = adjust Pluto.default_config in
     let transformed, outcomes = Pluto.run ~config program in
-    stages := ("polycc", Cfront.Ast_printer.program_to_string transformed) :: !stages;
+    stages :=
+      ("polycc", Pluto.strip_unit_tags (Cfront.Ast_printer.program_to_string transformed))
+      :: !stages;
     finish transformed outcomes 0
   | Pure_chain adjust ->
     (* PC-CC: purity verification + scop marking *)
@@ -141,7 +147,9 @@ let compile ?(mode = Sequential) (source : string) : compiled =
         }
     in
     let transformed, outcomes = Pluto.run ~config marked in
-    stages := ("polycc", Cfront.Ast_printer.program_to_string transformed) :: !stages;
+    stages :=
+      ("polycc", Pluto.strip_unit_tags (Cfront.Ast_printer.program_to_string transformed))
+      :: !stages;
     (* lowering pure away, as the classic backend requires *)
     let lowered = Purity.Lowering.lower transformed in
     finish lowered outcomes scops
@@ -163,26 +171,30 @@ let scaled_sica_cache =
     [pool] attaches a domain pool so parallelized loops really execute on
     OCaml domains (output bit-identical to sequential for race-free
     programs). *)
-let execute ?(trace_accesses = false) ?pool (c : compiled) : Interp.Trace.profile =
+let execute ?(trace_accesses = false) ?(shadow_slots = false) ?pool (c : compiled) :
+    Interp.Trace.profile =
   Interp.Exec.run ~l1_bytes:scaled_l1_bytes ~l2_bytes:scaled_l2_bytes ~trace_accesses
-    ?pool c.c_ast
+    ~shadow_slots ?pool c.c_ast
 
 (** Compile and execute in one go. *)
-let run ?mode ?trace_accesses ?pool source : compiled * Interp.Trace.profile =
+let run ?mode ?trace_accesses ?shadow_slots ?pool source : compiled * Interp.Trace.profile
+    =
   let c = compile ?mode source in
-  (c, execute ?trace_accesses ?pool c)
+  (c, execute ?trace_accesses ?shadow_slots ?pool c)
 
-(** Optional racecheck pass: compile, execute with access tracing, and
+(** Optional racecheck pass: compile, execute with access tracing (and
+    scalar-slot shadowing, so shared local scalars are visible too), then
     shadow-verify the parallelized loops under the whole plan matrix
-    ([schedules] × [cores]).  A non-clean report on a legality-approved
-    compile means either the polyhedral legality analysis or the dynamic
-    happens-before model is wrong — both are hard failures. *)
-let run_racecheck ?mode ?schedules ?cores source :
-    compiled * Interp.Trace.profile * Racecheck.report list =
+    ([schedules] × [cores]) with the chosen engine(s).  A non-clean verdict
+    on a legality-approved compile means either the polyhedral legality
+    analysis or a dynamic race model is wrong; an engine disagreement means
+    one of the two dynamic models is wrong — all hard failures. *)
+let run_racecheck ?mode ?engine ?schedules ?cores source :
+    compiled * Interp.Trace.profile * Racecheck.verdict list =
   let c = compile ?mode source in
-  let profile = execute ~trace_accesses:true c in
-  match Racecheck.analyze_matrix ?schedules ?cores profile with
-  | Ok reports -> (c, profile, reports)
+  let profile = execute ~trace_accesses:true ~shadow_slots:true c in
+  match Racecheck.verdict_matrix ?engine ?schedules ?cores profile with
+  | Ok verdicts -> (c, profile, verdicts)
   | Error e ->
     (* unreachable: the profile above was produced with tracing on *)
     invalid_arg e

@@ -87,6 +87,116 @@ let test_generator_deterministic () =
     (Fuzzgen.Gen.source_of_seed 42 <> Fuzzgen.Gen.source_of_seed 43)
 
 (* ------------------------------------------------------------------ *)
+(* Stress grammars: CSR-style gather (indirection) and triangular domains *)
+
+let has_csr src = Support.Util.string_contains ~needle:"col[" src
+
+let has_triangular src = Support.Util.string_contains ~needle:"<= i;" src
+
+let find_seed ?(lo = 1) ?(hi = 60) pred =
+  let rec go s =
+    if s > hi then None else if pred (Fuzzgen.Gen.source_of_seed s) then Some s else go (s + 1)
+  in
+  go lo
+
+let test_grammar_presence () =
+  (match find_seed has_csr with
+  | None -> Alcotest.fail "no CSR-gather program in seeds 1-60"
+  | Some s ->
+    (* seeded determinism: regenerating the same seed reproduces the same
+       indirection program byte for byte *)
+    Alcotest.(check string) "csr seed deterministic" (Fuzzgen.Gen.source_of_seed s)
+      (Fuzzgen.Gen.source_of_seed s));
+  match find_seed has_triangular with
+  | None -> Alcotest.fail "no triangular-domain program in seeds 1-60"
+  | Some s ->
+    Alcotest.(check string) "triangular seed deterministic"
+      (Fuzzgen.Gen.source_of_seed s) (Fuzzgen.Gen.source_of_seed s)
+
+(* the gather subscript [A[i][col[k]]] is not affine: the scop detector
+   must reject that nest (sequential fallback), never misparallelize it *)
+let test_csr_gather_rejected_not_misparallelized () =
+  let seed =
+    match find_seed has_csr with
+    | Some s -> s
+    | None -> Alcotest.fail "no CSR seed"
+  in
+  let src = Fuzzgen.Gen.source_of_seed seed in
+  match Toolchain.Chain.compile ~mode:(Toolchain.Chain.Pure_chain (fun c -> c)) src with
+  | c ->
+    Alcotest.(check bool) "the indirect nest is rejected" true
+      (List.exists
+         (fun (o : Pluto.outcome) ->
+           match o.Pluto.o_result with Pluto.Rejected _ -> true | _ -> false)
+         c.Toolchain.Chain.c_outcomes);
+    (* and the emitted text never parallelizes the gather: the indirect
+       read "[col[" must not sit under an omp pragma (the gather nest is
+       two loops deep, so a pragma on either loop is within 3 lines) *)
+    let lines = Array.of_list (String.split_on_char '\n' c.Toolchain.Chain.c_emitted) in
+    Array.iteri
+      (fun k l ->
+        if Support.Util.string_contains ~needle:"[col[" l then
+          for back = max 0 (k - 3) to k - 1 do
+            Alcotest.(check bool) "no pragma on the gather" false
+              (Support.Util.string_contains ~needle:"omp parallel for" lines.(back))
+          done)
+      lines
+  | exception Toolchain.Chain.Compile_error diags ->
+    Alcotest.failf "CSR seed %d does not compile: %s" seed
+      (String.concat "; " (List.map (fun d -> d.Support.Diag.message) diags))
+
+(* a triangular nest still passes the whole differential oracle (the
+   polyhedral stages model the non-rectangular domain exactly) *)
+let test_triangular_oracle_clean () =
+  let seed =
+    match find_seed has_triangular with
+    | Some s -> s
+    | None -> Alcotest.fail "no triangular seed"
+  in
+  let case = Fuzzgen.Fuzz.run_one ~racecheck:true ~shrink:false seed in
+  if not (Fuzzgen.Oracle.passed case.Fuzzgen.Fuzz.c_report) then
+    Alcotest.failf "triangular seed %d fails the oracle: %s" seed
+      (String.concat "; "
+         (List.map Fuzzgen.Oracle.describe
+            case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures))
+
+(* shrinker replay on the stress grammars: inject an illegal transform on a
+   seed that carries both grammars, then shrink — the minimized program must
+   fail with the same kind, and the seed must replay the failure *)
+let test_stress_grammar_shrinker_replay () =
+  let both src = has_csr src && has_triangular src in
+  let rec find s =
+    if s > 40 then None
+    else if both (Fuzzgen.Gen.source_of_seed s) then begin
+      let case = Fuzzgen.Fuzz.run_one ~inject:true ~shrink:false s in
+      let kinds =
+        List.map Fuzzgen.Oracle.kind_tag case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures
+      in
+      if List.mem "output-mismatch" kinds then Some (s, case) else find (s + 1)
+    end
+    else find (s + 1)
+  in
+  match find 1 with
+  | None -> Alcotest.skip ()  (* no injectable failure among the early seeds *)
+  | Some (seed, case) ->
+    let replay = Fuzzgen.Fuzz.run_one ~inject:true ~shrink:false seed in
+    Alcotest.(check bool) "seed replays the same failure kinds" true
+      (List.map Fuzzgen.Oracle.kind_tag
+         replay.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures
+      = List.map Fuzzgen.Oracle.kind_tag
+          case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures);
+    let prog = Fuzzgen.Gen.program_of_seed seed in
+    let minimized, _ = Fuzzgen.Shrink.minimize ~inject:true ~kind:"output-mismatch" prog in
+    let shrunk = Ast_printer.program_to_string minimized in
+    Alcotest.(check bool) "minimized is smaller" true
+      (String.length shrunk < String.length case.Fuzzgen.Fuzz.c_source);
+    let report = Fuzzgen.Oracle.check ~inject:true shrunk in
+    Alcotest.(check bool) "minimized still fails the same way" true
+      (List.exists
+         (fun f -> Fuzzgen.Oracle.kind_tag f = "output-mismatch")
+         report.Fuzzgen.Oracle.r_failures)
+
+(* ------------------------------------------------------------------ *)
 (* Differential oracle *)
 
 let test_oracle_clean_campaign () =
@@ -235,6 +345,93 @@ let test_cli_exit_codes () =
   Alcotest.(check int) "clean file exits 0" 0
     (run_file "int main() { printf(\"ok\\n\"); return 0; }\n" "check")
 
+(* ------------------------------------------------------------------ *)
+(* Campaign exit-code precedence: race (5) outranks mismatch (4) *)
+
+let mk_case kinds =
+  {
+    Fuzzgen.Fuzz.c_seed = 0;
+    c_report = { Fuzzgen.Oracle.r_seed = Some 0; r_failures = kinds; r_configs = 7 };
+    c_source = "";
+    c_shrunk = None;
+  }
+
+let mismatch = Fuzzgen.Oracle.Output_mismatch { config = "pure-static"; expected = "a"; got = "b" }
+
+let race = Fuzzgen.Oracle.Race_detected { config = "pure-static"; detail = "w" }
+
+let disagreement = Fuzzgen.Oracle.Engine_disagreement { config = "pure-static"; detail = "d" }
+
+let test_campaign_exit_code_precedence () =
+  let code cases =
+    Fuzzgen.Fuzz.campaign_exit_code
+      { Fuzzgen.Fuzz.k_count = List.length cases; k_failed = cases; k_configs = 7 }
+  in
+  Alcotest.(check int) "clean campaign exits 0" Toolchain.Chain.exit_ok (code []);
+  Alcotest.(check int) "mismatch alone exits 4" Toolchain.Chain.exit_fuzz_mismatch
+    (code [ mk_case [ mismatch ] ]);
+  Alcotest.(check int) "race alone exits 5" Toolchain.Chain.exit_race
+    (code [ mk_case [ race ] ]);
+  (* the precedence bug: one seed hitting BOTH a mismatch and a race must
+     exit 5, whatever order the failures were recorded in *)
+  Alcotest.(check int) "mismatch + race on one seed exits 5" Toolchain.Chain.exit_race
+    (code [ mk_case [ mismatch; race ] ]);
+  Alcotest.(check int) "race + mismatch on one seed exits 5" Toolchain.Chain.exit_race
+    (code [ mk_case [ race; mismatch ] ]);
+  Alcotest.(check int) "mismatch and race on different seeds exits 5"
+    Toolchain.Chain.exit_race
+    (code [ mk_case [ mismatch ]; mk_case [ race ] ]);
+  Alcotest.(check int) "an engine disagreement is a race-channel failure"
+    Toolchain.Chain.exit_race
+    (code [ mk_case [ mismatch ]; mk_case [ disagreement ] ])
+
+(* e2e: an injected illegal transform under --racecheck exits 5 (the race
+   verdict outranks the output mismatch the same seed also produces), and
+   the campaign report on stdout is byte-identical across --jobs *)
+let test_cli_fuzz_racecheck_and_jobs () =
+  let purec =
+    let candidates = [ "../bin/purec.exe"; "_build/default/bin/purec.exe" ] in
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> p
+    | None -> Alcotest.skip ()
+  in
+  let run args out =
+    Sys.command
+      (Printf.sprintf "%s fuzz %s > %s 2>/dev/null" (Filename.quote purec) args
+         (Filename.quote out))
+  in
+  (* find a seed the injected racecheck campaign fails on (cheap in-process
+     scan, then one CLI invocation on that seed) *)
+  let rec find_racy s =
+    if s > 10 then None
+    else
+      let case = Fuzzgen.Fuzz.run_one ~inject:true ~racecheck:true ~shrink:false s in
+      let kinds =
+        List.map Fuzzgen.Oracle.kind_tag case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures
+      in
+      if List.mem "race-detected" kinds then Some s else find_racy (s + 1)
+  in
+  let out = Filename.temp_file "purec_fuzz" ".out" in
+  (match find_racy 1 with
+  | None -> ()
+  | Some s ->
+    Alcotest.(check int) "inject + racecheck exits 5" Toolchain.Chain.exit_race
+      (run (Printf.sprintf "--seed %d --count 1 --inject-illegal --racecheck --no-shrink" s) out));
+  (* --jobs byte-identity on a clean slice of the campaign *)
+  let out2 = Filename.temp_file "purec_fuzz" ".out" in
+  let read f =
+    let ic = open_in_bin f in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  Alcotest.(check int) "jobs 1 clean" 0 (run "--seed 1 --count 4 --no-shrink --jobs 1" out);
+  Alcotest.(check int) "jobs 2 clean" 0 (run "--seed 1 --count 4 --no-shrink --jobs 2" out2);
+  Alcotest.(check string) "stdout byte-identical across --jobs" (read out) (read out2);
+  Sys.remove out;
+  Sys.remove out2
+
 let suite =
   [
     Alcotest.test_case "substitute fixpoint on workloads" `Quick test_substitute_workloads;
@@ -251,4 +448,15 @@ let suite =
     Alcotest.test_case "classify_errors" `Quick test_classify_errors;
     Alcotest.test_case "classification end-to-end" `Quick test_classify_end_to_end;
     Alcotest.test_case "cli exit codes" `Quick test_cli_exit_codes;
+    Alcotest.test_case "stress grammars present and deterministic" `Quick
+      test_grammar_presence;
+    Alcotest.test_case "csr gather rejected" `Quick
+      test_csr_gather_rejected_not_misparallelized;
+    Alcotest.test_case "triangular nest oracle-clean" `Quick test_triangular_oracle_clean;
+    Alcotest.test_case "stress-grammar shrinker replay" `Slow
+      test_stress_grammar_shrinker_replay;
+    Alcotest.test_case "campaign exit-code precedence" `Quick
+      test_campaign_exit_code_precedence;
+    Alcotest.test_case "cli fuzz racecheck + jobs determinism" `Slow
+      test_cli_fuzz_racecheck_and_jobs;
   ]

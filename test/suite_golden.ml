@@ -76,5 +76,44 @@ let test_case_for (name, source) () =
     printed
     (Ast_printer.program_to_string reparsed)
 
+(* ------------------------------------------------------------------ *)
+(* Per-outcome attribution text of [purec racecheck --workload kernels]:
+   every gallery kernel lists its transform units — naming the schedule
+   matrix each unit committed to — in stable order, then its verdict.
+   Stdout is byte-identical across --jobs, so the golden pins the exact
+   report bytes. *)
+
+let test_racecheck_kernels_attribution () =
+  let purec =
+    let candidates = [ "../bin/purec.exe"; "_build/default/bin/purec.exe" ] in
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> p
+    | None -> Alcotest.skip ()
+  in
+  let out = Filename.temp_file "purec_golden" ".out" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s racecheck --workload kernels > %s 2>/dev/null"
+         (Filename.quote purec) (Filename.quote out))
+  in
+  Alcotest.(check int) "racecheck --workload kernels exits 0" 0 code;
+  let printed = read_file out in
+  Sys.remove out;
+  let name = "racecheck_kernels" in
+  match update_dir () with
+  | Some dir ->
+    let oc = open_out_bin (Filename.concat dir (name ^ ".golden")) in
+    output_string oc printed;
+    close_out oc
+  | None ->
+    let path = golden_path name in
+    if not (Sys.file_exists path) then
+      Alcotest.failf "%s: missing golden file %s (set GOLDEN_UPDATE to generate)" name path;
+    Alcotest.(check string) "attribution report matches golden" (read_file path) printed
+
 let suite =
   List.map (fun (name, src) -> Alcotest.test_case name `Quick (test_case_for (name, src))) cases
+  @ [
+      Alcotest.test_case "racecheck_kernels_attribution" `Quick
+        test_racecheck_kernels_attribution;
+    ]

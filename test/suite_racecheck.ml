@@ -29,7 +29,8 @@ let mk_profile ?(sched = Interp.Trace.Static) iters : Interp.Trace.profile =
     return_code = 0;
     regions =
       [ { Interp.Mem.rg_label = "A"; rg_base = 0; rg_bytes = 8 * 1024; rg_elem_bytes = 8 } ];
-    par_traces = Some [ { Interp.Trace.pt_sched = sched; pt_accesses = accesses } ];
+    par_traces =
+      Some [ { Interp.Trace.pt_sched = sched; pt_unit = None; pt_accesses = accesses } ];
   }
 
 let analyze ~schedule ~workers profile =
@@ -209,11 +210,11 @@ let mode_for ?(inject = false) source =
     Toolchain.Chain.Plain_pluto adjust
   else Toolchain.Chain.Pure_chain adjust
 
-let traced_reports ?inject source =
-  let _, _, reports =
+let traced_verdicts ?inject source =
+  let _, _, verdicts =
     Toolchain.Chain.run_racecheck ~mode:(mode_for ?inject source) source
   in
-  reports
+  verdicts
 
 let all_sources =
   applications
@@ -225,10 +226,16 @@ let test_all_workloads_race_free () =
   List.iter
     (fun (name, source) ->
       List.iter
-        (fun r ->
-          if not (R.clean r) then
-            Alcotest.failf "%s races under %s" name (R.describe_report r))
-        (traced_reports source))
+        (fun (v : R.verdict) ->
+          List.iter
+            (fun d -> Alcotest.failf "%s: engine disagreement: %s" name d)
+            v.R.v_disagreements;
+          List.iter
+            (fun r ->
+              if not (R.clean r) then
+                Alcotest.failf "%s races under %s" name (R.describe_report r))
+            (R.verdict_reports v))
+        (traced_verdicts source))
     all_sources
 
 (* the canonical inject witness: antidiag's dependence (1,-1) becomes
@@ -236,22 +243,36 @@ let test_all_workloads_race_free () =
    workers must race — and the race must name both iteration vectors *)
 let test_inject_illegal_detected () =
   let k = Option.get (Workloads.Kernels.find "antidiag") in
-  let reports = traced_reports ~inject:true k.Workloads.Kernels.k_source in
+  let verdicts = traced_verdicts ~inject:true k.Workloads.Kernels.k_source in
   List.iter
-    (fun r ->
-      if r.R.p_workers = 1 then
-        Alcotest.(check bool) "1 worker stays clean" true (R.clean r)
+    (fun (v : R.verdict) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "engines agree at schedule(%s) x %d"
+           (R.schedule_name v.R.v_schedule) v.R.v_workers)
+        [] v.R.v_disagreements;
+      let hb = Option.get v.R.v_hb and ls = Option.get v.R.v_lockset in
+      if v.R.v_workers = 1 then
+        Alcotest.(check bool) "1 worker stays clean" true (R.clean hb && R.clean ls)
       else begin
-        Alcotest.(check bool)
-          (Printf.sprintf "races at schedule(%s) x %d" (R.schedule_name r.R.p_schedule)
-             r.R.p_workers)
-          false (R.clean r);
-        let x = List.hd r.R.p_races in
-        Alcotest.(check string) "on the A array" "A" x.R.x_array;
-        Alcotest.(check bool) "distinct iteration vectors" true
-          (x.R.x_first.R.f_iter <> x.R.x_second.R.f_iter)
+        List.iter
+          (fun r ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s races at schedule(%s) x %d"
+                 (R.engine_name r.R.p_engine) (R.schedule_name r.R.p_schedule)
+                 r.R.p_workers)
+              false (R.clean r);
+            let x = List.hd r.R.p_races in
+            Alcotest.(check string) "on the A array" "A" x.R.x_array;
+            Alcotest.(check bool) "distinct iteration vectors" true
+              (x.R.x_first.R.f_iter <> x.R.x_second.R.f_iter))
+          [ hb; ls ];
+        (* the acceptance bar: both engines flag the same racy words *)
+        Alcotest.(check (list (pair int int)))
+          (Printf.sprintf "identical race sets at schedule(%s) x %d"
+             (R.schedule_name v.R.v_schedule) v.R.v_workers)
+          hb.R.p_words ls.R.p_words
       end)
-    reports;
+    verdicts;
   (* and the full oracle flags it as a race (before any output diff) *)
   let oracle = Fuzzgen.Oracle.check ~inject:true ~racecheck:true k.Workloads.Kernels.k_source in
   Alcotest.(check bool) "oracle reports race-detected" true
@@ -264,6 +285,161 @@ let test_oracle_racecheck_clean () =
   let k = Option.get (Workloads.Kernels.find "antidiag") in
   let r = Fuzzgen.Oracle.check ~racecheck:true k.Workloads.Kernels.k_source in
   Alcotest.(check bool) "oracle clean" true (Fuzzgen.Oracle.passed r)
+
+(* ------------------------------------------------------------------ *)
+(* The lockset second opinion *)
+
+(* The designed catch: a write in iteration 0 and a read in iteration 3
+   under dynamic,1 x 2 workers.  The chunk-dispatch chain happens to order
+   the two accesses in the replayed linearization, so the happens-before
+   engine is silent — but nothing in the program forces that order, and the
+   order-free lockset discipline flags the word.  Under the cross-check
+   this is exactly the allowed direction (lockset ⊇ hb on dynamic plans),
+   racy but NOT an engine disagreement. *)
+let test_lockset_catches_hb_hidden_race () =
+  let far =
+    mk_profile [ [ ("a.c:1", 0, true) ]; []; []; [ ("a.c:2", 0, false) ] ]
+  in
+  let schedule = Runtime.Par_loop.Dynamic 1 in
+  let hb = analyze ~schedule ~workers:2 far in
+  Alcotest.(check bool) "hb is blind to the hidden race" true (R.clean hb);
+  let ls =
+    match R.analyze_lockset ~schedule ~workers:2 far with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "lockset flags it" false (R.clean ls);
+  Alcotest.(check (list (pair int int))) "on word (segment 0, addr 0)" [ (0, 0) ]
+    ls.R.p_words;
+  let x = List.hd ls.R.p_races in
+  Alcotest.(check string) "named region A" "A" x.R.x_array;
+  match R.verdict ~engine:R.Both ~schedule ~workers:2 far with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+    Alcotest.(check bool) "cross-checked verdict is racy" true (R.verdict_racy v);
+    Alcotest.(check (list string)) "but not a disagreement on a dynamic plan" []
+      v.R.v_disagreements;
+    (* the same trace under a static plan is caught by BOTH engines: the
+       blindness is specifically the dynamic dispatch chain *)
+    (match R.verdict ~engine:R.Both ~schedule:Runtime.Par_loop.Static ~workers:2 far with
+    | Error e -> Alcotest.fail e
+    | Ok v ->
+      Alcotest.(check (list string)) "static: engines agree" [] v.R.v_disagreements;
+      Alcotest.(check bool) "static: hb flags it too" false
+        (R.clean (Option.get v.R.v_hb)))
+
+(* a lockset word the HB engine misses on a static plan WOULD be a
+   disagreement: fabricate it by cross-checking an hb verdict from one
+   trace against a lockset verdict from another *)
+let test_cross_check_flags_static_divergence () =
+  let racy = mk_profile [ [ ("a.c:1", 0, true) ]; [ ("a.c:2", 0, false) ] ] in
+  let clean = mk_profile [ [ ("a.c:1", 0, true) ]; [] ] in
+  let hb = analyze ~schedule:Runtime.Par_loop.Static ~workers:2 clean in
+  let ls =
+    match R.analyze_lockset ~schedule:Runtime.Par_loop.Static ~workers:2 racy with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let ds = R.cross_check ~regions:racy.Interp.Trace.regions ~hb ~lockset:ls in
+  Alcotest.(check bool) "lockset-only word on a static plan is a disagreement" true
+    (ds <> []);
+  (* and the other direction — an hb race the lockset misses — is always a
+     disagreement, whatever the plan *)
+  let hb = analyze ~schedule:(Runtime.Par_loop.Dynamic 1) ~workers:2 racy in
+  let ls =
+    match R.analyze_lockset ~schedule:(Runtime.Par_loop.Dynamic 1) ~workers:2 clean with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let ds = R.cross_check ~regions:racy.Interp.Trace.regions ~hb ~lockset:ls in
+  Alcotest.(check bool) "hb-only word violates hb ⊆ lockset" true (ds <> [])
+
+(* a race-free tiled kernel passes both engines on every schedule x cores
+   plan of the default matrix, with no cross-check disagreements *)
+let test_tiled_kernel_clean_under_both_engines () =
+  let k = Option.get (Workloads.Kernels.find "antidiag") in
+  let mode =
+    Toolchain.Chain.Plain_pluto (fun c -> { c with Pluto.tile = true; tile_sizes = [ 4 ] })
+  in
+  let _, _, verdicts = Toolchain.Chain.run_racecheck ~mode k.Workloads.Kernels.k_source in
+  Alcotest.(check int) "full default plan matrix"
+    (List.length R.default_schedules * List.length R.default_cores)
+    (List.length verdicts);
+  List.iter
+    (fun (v : R.verdict) ->
+      Alcotest.(check (list string)) "no disagreements" [] v.R.v_disagreements;
+      List.iter
+        (fun r ->
+          if not (R.clean r) then
+            Alcotest.failf "tiled antidiag races: %s" (R.describe_report r))
+        (R.verdict_reports v))
+    verdicts
+
+(* ------------------------------------------------------------------ *)
+(* Scalar-slot shadowing: a shared function-local scalar is addressable *)
+
+let shared_scalar_source =
+  {|
+int main() {
+  int s;
+  int i;
+  s = 0;
+  #pragma omp parallel for
+  for (i = 0; i < 8; i = i + 1) {
+    s = s + i;
+  }
+  return s;
+}
+|}
+
+let test_scalar_slot_shadowing_catches_shared_local () =
+  let _, _, verdicts =
+    Toolchain.Chain.run_racecheck ~mode:Toolchain.Chain.Manual_omp shared_scalar_source
+  in
+  Alcotest.(check bool) "shared local scalar races" true
+    (List.exists R.verdict_racy verdicts);
+  List.iter
+    (fun (v : R.verdict) ->
+      Alcotest.(check (list string)) "engines agree" [] v.R.v_disagreements;
+      if v.R.v_workers > 1 then begin
+        let hb = Option.get v.R.v_hb and ls = Option.get v.R.v_lockset in
+        Alcotest.(check bool) "hb sees the slot" false (R.clean hb);
+        Alcotest.(check bool) "lockset sees the slot" false (R.clean ls);
+        let names r = List.map (fun x -> x.R.x_array) r.R.p_races in
+        Alcotest.(check bool) "the report names s" true
+          (List.mem "s" (names hb @ names ls))
+      end)
+    verdicts
+
+let test_scalar_shadowing_no_false_positive_on_private () =
+  (* the induction variable and loop-local temporaries must NOT race *)
+  let source =
+    {|
+int a[16];
+int main() {
+  int i;
+  #pragma omp parallel for
+  for (i = 0; i < 16; i = i + 1) {
+    int t;
+    t = i * 2;
+    a[i] = t;
+  }
+  return 0;
+}
+|}
+  in
+  let _, _, verdicts =
+    Toolchain.Chain.run_racecheck ~mode:Toolchain.Chain.Manual_omp source
+  in
+  List.iter
+    (fun (v : R.verdict) ->
+      Alcotest.(check (list string)) "engines agree" [] v.R.v_disagreements;
+      List.iter
+        (fun r ->
+          if not (R.clean r) then
+            Alcotest.failf "private locals misreported: %s" (R.describe_report r))
+        (R.verdict_reports v))
+    verdicts
 
 (* random legality-approved plans on a traced profile stay race-free; the
    same plans on the injected profile race whenever workers > 1 *)
@@ -326,7 +502,12 @@ let test_cli_racecheck_exit_codes () =
   in
   Alcotest.(check int) "legal plan exits 0" 0 (run_racecheck "--cores 4");
   Alcotest.(check int) "injected illegal transform exits 5" Toolchain.Chain.exit_race
-    (run_racecheck "--cores 4 --inject-illegal")
+    (run_racecheck "--cores 4 --inject-illegal");
+  Alcotest.(check int) "lockset engine alone catches the witness"
+    Toolchain.Chain.exit_race
+    (run_racecheck "--cores 4 --engine lockset --inject-illegal");
+  Alcotest.(check int) "unknown engine exits 1" Toolchain.Chain.exit_error
+    (run_racecheck "--cores 4 --engine guided")
 
 let suite =
   [
@@ -344,6 +525,16 @@ let suite =
     Alcotest.test_case "all workloads race-free" `Quick test_all_workloads_race_free;
     Alcotest.test_case "inject-illegal detected" `Quick test_inject_illegal_detected;
     Alcotest.test_case "oracle racecheck clean" `Quick test_oracle_racecheck_clean;
+    Alcotest.test_case "lockset catches hb-hidden race" `Quick
+      test_lockset_catches_hb_hidden_race;
+    Alcotest.test_case "cross-check static divergence" `Quick
+      test_cross_check_flags_static_divergence;
+    Alcotest.test_case "tiled kernel clean, both engines" `Quick
+      test_tiled_kernel_clean_under_both_engines;
+    Alcotest.test_case "scalar shadowing: shared local" `Quick
+      test_scalar_slot_shadowing_catches_shared_local;
+    Alcotest.test_case "scalar shadowing: private locals" `Quick
+      test_scalar_shadowing_no_false_positive_on_private;
     QCheck_alcotest.to_alcotest qcheck_random_plans;
     Alcotest.test_case "cli exit code 5" `Quick test_cli_racecheck_exit_codes;
   ]
