@@ -118,7 +118,53 @@ let run_measured scale domains =
       ])
     rows
 
-let run_figures scale which ~json ~domains =
+(* the same measurement on the PluTo-tiled inlined matmul: the interpreter
+   dispatches whole tiles to the pool (tile-granular worksharing,
+   DESIGN.md §10) instead of rows, so this series measures the tiled nest
+   the racecheck engines replay via nested traces.  [--tile-grain false]
+   reverts to outermost-statement dispatch for A/B comparison. *)
+let run_measured_tiled ?(tile_grain = true) scale domains =
+  let module F = Toolchain.Figures in
+  let n = scale.F.matmul_n in
+  let src = Workloads.Matmul.inlined_source ~n () in
+  let mode =
+    Toolchain.Chain.Plain_pluto (fun c -> { c with Pluto.tile = true; tile_sizes = [ 8 ] })
+  in
+  let c = Toolchain.Chain.compile ~mode src in
+  let reps = 3 in
+  pf "== measured: tiled matmul n=%d (tile 8) at tile granularity (best of %d) ==@." n reps;
+  let seq = best_of reps (fun () -> ignore (Toolchain.Chain.execute ~tile_grain c)) in
+  let rows =
+    List.map
+      (fun d ->
+        let t =
+          if d <= 1 then seq
+          else begin
+            let pool = Runtime.Pool.create d in
+            Fun.protect
+              ~finally:(fun () -> Runtime.Pool.shutdown pool)
+              (fun () ->
+                best_of reps (fun () ->
+                    ignore (Toolchain.Chain.execute ~tile_grain ~pool c)))
+          end
+        in
+        let sp = seq /. t in
+        pf "  %2d domain(s): %10.6f s   speedup %5.2fx@." d t sp;
+        (d, t, sp))
+      domains
+  in
+  let title = Printf.sprintf "tiled matmul n=%d (tile 8) on OCaml domains" n in
+  List.concat_map
+    (fun (d, t, sp) ->
+      [
+        record ~kind:"measured" ~figure:"measured-tiled-domains" ~title ~unit:"seconds"
+          ~variant:"wall-clock" ~cores:d ~value:t;
+        record ~kind:"measured" ~figure:"measured-tiled-domains" ~title ~unit:"speedup"
+          ~variant:"speedup-vs-seq" ~cores:d ~value:sp;
+      ])
+    rows
+
+let run_figures scale which ~json ~domains ~tile_grain =
   let module F = Toolchain.Figures in
   let wants id = match which with None -> true | Some w -> w = id in
   let matmul = lazy (F.matmul_dataset scale) in
@@ -151,7 +197,8 @@ let run_figures scale which ~json ~domains =
   in
   if json then begin
     let measured = run_measured scale domains in
-    write_json (figure_records rendered @ measured)
+    let tiled = run_measured_tiled ~tile_grain scale domains in
+    write_json (figure_records rendered @ measured @ tiled)
   end;
   (* correctness cross-check printed alongside the data *)
   let check name d =
@@ -366,6 +413,7 @@ let () =
   let json = ref false in
   let only_ablations = ref false in
   let domains = ref [ 1; 2; 4; 8 ] in
+  let tile_grain = ref true in
   let rec parse = function
     | [] -> ()
     | "--figure" :: v :: rest ->
@@ -374,6 +422,11 @@ let () =
     | "--cores" :: v :: rest ->
       (* domain counts for the measured series, e.g. --cores 1,2,4 *)
       domains := List.map int_of_string (String.split_on_char ',' v);
+      parse rest
+    | "--tile-grain" :: v :: rest ->
+      (* dispatch whole tiles (true, default) or only outermost statements
+         (false) in the measured tiled series *)
+      tile_grain := bool_of_string v;
       parse rest
     | "--ablation" :: v :: rest ->
       ablation := Some v;
@@ -399,13 +452,14 @@ let () =
   if !micro then begin
     run_micro ();
     let measured = run_measured scale !domains in
-    if !json then write_json measured
+    let tiled = run_measured_tiled ~tile_grain:!tile_grain scale !domains in
+    if !json then write_json (measured @ tiled)
   end
   else if !only_ablations then run_ablations scale !ablation
   else begin
     pf "Pure Functions in C — evaluation reproduction (scaled sizes, simulated %s)@."
       Machine.Config.opteron64.Machine.Config.m_name;
     pf "@.";
-    run_figures scale !figure ~json:!json ~domains:!domains;
+    run_figures scale !figure ~json:!json ~domains:!domains ~tile_grain:!tile_grain;
     match !figure with None -> run_ablations scale None | Some _ -> ()
   end

@@ -55,6 +55,15 @@ let dump_stages_arg =
   let doc = "Print the source text after each pipeline stage." in
   Arg.(value & flag & info [ "dump-stages" ] ~doc)
 
+let tile_grain_arg =
+  let doc =
+    "Dispatch tiled/skewed multi-loop nests at tile granularity: whole \
+     tiles become pool jobs and traced runs carry nested tile/point \
+     segment structure.  $(b,false) reverts to the coarse behaviour (only \
+     single-statement canonical bodies parallelize, traces stay flat)."
+  in
+  Arg.(value & opt bool true & info [ "tile-grain" ] ~docv:"BOOL" ~doc)
+
 let jobs_arg =
   let doc =
     "OCaml domains to fan work across.  Defaults to $(b,PUREC_JOBS) when \
@@ -180,7 +189,7 @@ let run_cmd =
     in
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
-  let run file mode sica tile schedule cores backend jobs =
+  let run file mode sica tile schedule cores backend jobs tile_grain =
     handle_compile_error (fun () ->
         let src = read_file file in
         let c = Toolchain.Chain.compile ~mode:(chain_mode mode sica tile schedule) src in
@@ -192,13 +201,13 @@ let run_cmd =
               ~finally:(fun () -> Runtime.Pool.shutdown pool)
               (fun () ->
                 let t0 = Unix.gettimeofday () in
-                let p = Toolchain.Chain.execute ~pool c in
+                let p = Toolchain.Chain.execute ~tile_grain ~pool c in
                 let t1 = Unix.gettimeofday () in
                 Fmt.epr "run: %d worker domains, %.6f s wall@."
                   (Runtime.Pool.size pool) (t1 -. t0);
                 p)
           end
-          else Toolchain.Chain.execute c
+          else Toolchain.Chain.execute ~tile_grain c
         in
         Fmt.pr "--- program output ---@.%s--- end output ---@." profile.Interp.Trace.output;
         Fmt.pr "exit code: %d@." profile.Interp.Trace.return_code;
@@ -219,7 +228,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile, execute, and simulate timings on the modeled machine.")
     Term.(
       const run $ file_arg $ mode_arg $ sica_arg $ tile_arg $ schedule_arg $ cores_arg
-      $ backend_arg $ run_jobs_arg)
+      $ backend_arg $ run_jobs_arg $ tile_grain_arg)
 
 (* ------------------------------------------------------------------ *)
 (* racecheck *)
@@ -270,9 +279,21 @@ let racecheck_cmd =
     Arg.(value & opt string "both" & info [ "engine" ] ~docv:"ENGINE" ~doc)
   in
   (* a workload supplies its own scop markers → plain PluTo; otherwise the
-     full pure chain marks scops itself (same rule as the test suite) *)
-  let workload_mode ~inject source =
+     full pure chain marks scops itself (same rule as the test suite).
+     [--tile]/[--sica] apply to workloads too, so the gallery can be
+     racechecked under tiled/skewed schedules. *)
+  let workload_mode ~inject ~sica ~tile source =
     let adjust (c : Pluto.config) =
+      let c =
+        if sica then
+          { c with Pluto.sica = true; sica_cache = Toolchain.Chain.scaled_sica_cache }
+        else c
+      in
+      let c =
+        match tile with
+        | Some ts -> { c with Pluto.tile = true; tile_sizes = [ ts ] }
+        | None -> c
+      in
       if inject then { c with Pluto.unsafe_no_legality = true } else c
     in
     if Support.Util.string_contains ~needle:"#pragma scop" source then
@@ -324,7 +345,7 @@ let racecheck_cmd =
   (* [--schedule] here selects the replay plans; the pragma clause the
      compiler would emit is irrelevant because the replay matrix covers
      every clause anyway *)
-  let run file workloads cores scheds inject engine_s mode sica tile jobs =
+  let run file workloads cores scheds inject engine_s mode sica tile jobs tile_grain =
     let engine =
       match Racecheck.engine_choice_of_string engine_s with
       | Ok e -> e
@@ -377,11 +398,11 @@ let racecheck_cmd =
                 | m -> m
             in
             (src, adjust_mode (chain_mode mode sica tile None))
-          | `Workload src -> (src, workload_mode ~inject src)
+          | `Workload src -> (src, workload_mode ~inject ~sica ~tile src)
         in
         let c, profile, verdicts =
           Toolchain.Chain.run_racecheck ~mode:chosen_mode ~engine ~schedules ~cores
-            source
+            ~tile_grain source
         in
         (* per-outcome attribution: every [unit N] pragma tag maps back to
            the polyhedral transform unit that emitted it *)
@@ -496,7 +517,7 @@ let racecheck_cmd =
           verdicts.  Exits 5 if any plan races or the engines disagree.")
     Term.(
       const run $ file_arg $ workload_arg $ rc_cores_arg $ rc_sched_arg $ inject_arg
-      $ engine_arg $ mode_arg $ sica_arg $ tile_arg $ jobs_arg)
+      $ engine_arg $ mode_arg $ sica_arg $ tile_arg $ jobs_arg $ tile_grain_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz *)

@@ -13,9 +13,13 @@
       the band is a factor of 8.
 
     A violation only counts as a regression in the *worse* direction:
-    larger for time-like units, smaller for ["speedup"].  Records new in
-    the current run are reported but accepted (the baseline wants
-    refreshing); records missing from the current run fail hard.
+    larger for time-like units, smaller for ["speedup"].  Records missing
+    from the current run fail hard.  A record new in the current run is
+    reported but accepted only when its series (figure/unit/variant) is
+    already in the baseline (e.g. an extra cores point); a whole series
+    the baseline has never seen fails hard — an ungated series is a
+    silent pass, so the baseline must be seeded in the same change that
+    adds the series.
 
     The format is the flat one-record-per-line JSON that bench/main.ml
     emits; the parser below is deliberately a line scanner so the gate
@@ -118,6 +122,9 @@ let parse_records path =
 
 let key r = Printf.sprintf "%s|%s|%s|cores=%d" r.r_figure r.r_unit r.r_variant r.r_cores
 
+(* a series is every cores-point of one (figure, unit, variant) line *)
+let series r = Printf.sprintf "%s|%s|%s" r.r_figure r.r_unit r.r_variant
+
 (* higher-is-better units regress downward; everything else upward *)
 let higher_is_better r = r.r_unit = "speedup"
 
@@ -183,11 +190,28 @@ let () =
           Printf.printf "FAIL %s: %s\n" (key b) msg
         | None -> ()))
     baseline;
+  let base_series = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace base_series (series r) ()) baseline;
   let fresh =
     List.filter (fun r -> not (Hashtbl.mem base_keys (key r))) current
   in
+  (* a whole series the baseline has never seen would dodge the gate
+     forever: hard failure until ci/bench_baseline.json is reseeded *)
+  let unseeded =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun r -> if Hashtbl.mem base_series (series r) then None else Some (series r))
+         fresh)
+  in
   List.iter
-    (fun r -> Printf.printf "note %s: new record (not in baseline)\n" (key r))
+    (fun s ->
+      incr failures;
+      Printf.printf "FAIL %s: series absent from baseline (reseed ci/bench_baseline.json)\n" s)
+    unseeded;
+  List.iter
+    (fun r ->
+      if Hashtbl.mem base_series (series r) then
+        Printf.printf "note %s: new record (not in baseline)\n" (key r))
     fresh;
   Printf.printf "bench_diff: %d baseline records, %d regression(s), %d new\n"
     (List.length baseline) !failures (List.length fresh);

@@ -2,9 +2,11 @@
 # CI entry point: build, run the full test suite, then the differential
 # fuzzing smoke campaign (500 seeded programs through every pipeline
 # configuration), the race-detector smoke pass (happens-before replay
-# over every workload plus 100 fuzzed programs; see TESTING.md), and the
+# over every workload plus 100 fuzzed programs; see TESTING.md), the
 # lockset second-opinion smoke (both race engines cross-checked over the
-# antidiag inject witness and one CSR/triangular fuzz seed).
+# antidiag inject witness and one CSR/triangular fuzz seed), and the
+# tile-granular smoke (a PluTo-tiled kernel executed on 2 domains,
+# racechecked clean via nested traces, plus one tileable fuzz seed).
 #
 # Last comes the benchmark regression gate: a quick bench run must stay
 # inside the per-record tolerance bands of the committed baseline
@@ -20,5 +22,6 @@ dune runtest
 dune build @fuzz-smoke
 dune build @race-smoke
 dune build @lockset-smoke
+dune build @tile-smoke
 dune exec bench/main.exe -- --quick --json > /dev/null
 dune exec ci/bench_diff.exe -- ci/bench_baseline.json BENCH_results.json

@@ -515,7 +515,36 @@ let program_info rng : program_info =
         sexpr (call "printf" [ e (Ast.StrLit "acc %.17g\n"); id acc ]);
       ]
   end;
-  List.iteri (fun k a -> push (checksum_segment k a)) (arrays @ csr_arrays);
+  (* one program in two carries a tileable rectangular 2-D nest: a
+     dedicated array [T] written along a (1,0) flow dependence from its own
+     previous row plus a stencil read of another array — the band-of-two
+     shape the tiling config blocks into tiles, so tile-granular dispatch
+     and its nested-trace racecheck replay see fuzzed workloads too.
+     Drawn after every other rng decision, so the program prefix of every
+     pre-existing seed is unchanged. *)
+  let tile_arrays =
+    if Rng.int rng 2 = 0 then begin
+      let t = { a_name = "T"; a_rank = 2; a_elt = D; a_dim = dim; a_heap = false } in
+      push [ init_nest rng ~dim t ];
+      let darrs = List.filter (fun (a : arr) -> a.a_elt = D && a.a_rank = 2 && not a.a_heap) arrays in
+      let stencil =
+        match darrs with
+        | [] -> flit (Rng.choose rng dbl_pool)
+        | _ ->
+          let s : arr = Rng.choose rng darrs in
+          let o = Rng.int rng 2 in
+          idx2 s.a_name (off "i" o) (off "j" (-o))
+      in
+      let body =
+        assign (idx2 "T" (id "i") (id "j"))
+          (badd (bmul (idx2 "T" (off "i" (-1)) (id "j")) (flit (Rng.choose rng dbl_pool))) stencil)
+      in
+      push [ sfor "i" 1 n [ sfor "j" 1 n [ body ] ] ];
+      [ t ]
+    end
+    else []
+  in
+  List.iteri (fun k a -> push (checksum_segment k a)) (arrays @ csr_arrays @ tile_arrays);
   List.iter (fun (a : arr) -> if a.a_heap then push (free_segment ~dim a.a_name)) arrays;
   push [ sreturn (ilit 0) ];
   let main =
@@ -532,10 +561,10 @@ let program_info rng : program_info =
   in
   let prog =
     [ Ast.GInclude ("<stdio.h>", Loc.dummy); Ast.GInclude ("<stdlib.h>", Loc.dummy) ]
-    @ List.map global_array (globals_arrs @ csr_arrays)
+    @ List.map global_array (globals_arrs @ csr_arrays @ tile_arrays)
     @ [ fillf; filli ] @ dfn_globals @ ifn_globals @ [ main ]
   in
-  { pi_prog = prog; pi_n = n; pi_arrays = arrays @ csr_arrays }
+  { pi_prog = prog; pi_n = n; pi_arrays = arrays @ csr_arrays @ tile_arrays }
 
 (** Generate the program for [seed] and print it to C source text. *)
 let program_of_seed seed : Ast.program =

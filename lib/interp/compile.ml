@@ -57,10 +57,25 @@ type rt = {
       (** the current parallel iteration's buffer; [None] outside parallel
           loops or when tracing is off *)
   mutable par_traces : Trace.par_trace list;  (** reversed, with segments *)
+  tile_grain : bool;
+      (** dispatch multi-loop (tiled/skewed) nest bodies at the granularity
+          of the annotated loop — whole tiles become pool jobs — and record
+          nested point-iteration structure into {!Trace.par_trace.pt_points};
+          off = PR-3 behaviour (only single-statement canonical bodies
+          parallelize, traces stay flat) *)
+  mutable rec_points : int list ref option;
+      (** while recording one parallel iteration with [tile_grain]: reversed
+          list of access offsets where each depth-1 point-iteration child
+          begins; [None] outside recording *)
+  mutable rec_depth : int;
+      (** loop depth below the recorded parallel iteration's body (0 = the
+          body itself, so its immediate child loop marks points) *)
+  mutable rec_nacc : int;  (** accesses logged so far in the current
+                               parallel iteration *)
 }
 
 let create_rt ?l1_bytes ?l2_bytes ?(trace_accesses = false) ?(shadow_slots = false)
-    ?pool () =
+    ?(tile_grain = true) ?pool () =
   let mk_dstate slot =
     let counters = Cost.create () in
     {
@@ -85,6 +100,10 @@ let create_rt ?l1_bytes ?l2_bytes ?(trace_accesses = false) ?(shadow_slots = fal
     shadow_slots;
     access_log = None;
     par_traces = [];
+    tile_grain;
+    rec_points = None;
+    rec_depth = 0;
+    rec_nacc = 0;
   }
 
 let master rt = rt.states.(0)
@@ -270,6 +289,7 @@ let[@inline] log_access rt loc ~addr ~bytes ~write =
   match rt.access_log with
   | None -> ()
   | Some buf ->
+    rt.rec_nacc <- rt.rec_nacc + 1;
     buf :=
       { Trace.ac_loc = loc; ac_addr = addr; ac_bytes = bytes; ac_write = write } :: !buf
 
@@ -1746,6 +1766,22 @@ and compile_for cenv ~vec init cond step body : stmt_code =
   in
   let fbody = compile_stmt cenv body in
   cenv.scope <- saved_scope;
+  (* One body iteration.  When a parallel iteration is being recorded at
+     tile granularity and this loop sits directly inside the recorded body
+     (rec_depth = 0), its iterations are that (tile) iteration's
+     point-iteration children: mark where each begins in the access log. *)
+  let run_body fr =
+    match rt.rec_points with
+    | None -> ( try fbody fr with Continue_e -> ())
+    | Some pts ->
+      if rt.rec_depth = 0 then pts := rt.rec_nacc :: !pts;
+      rt.rec_depth <- rt.rec_depth + 1;
+      (try (try fbody fr with Continue_e -> ())
+       with e ->
+         rt.rec_depth <- rt.rec_depth - 1;
+         raise e);
+      rt.rec_depth <- rt.rec_depth - 1
+  in
   match vec_flag with
   | None ->
     fun fr ->
@@ -1754,7 +1790,7 @@ and compile_for cenv ~vec init cond step body : stmt_code =
       (try
          bump_branch rt;
          while fcond fr do
-           (try fbody fr with Continue_e -> ());
+           run_body fr;
            fstep fr;
            bump_branch rt
          done
@@ -1770,7 +1806,7 @@ and compile_for cenv ~vec init cond step body : stmt_code =
       (try
          bump_branch rt;
          while fcond fr do
-           (try fbody fr with Continue_e -> ());
+           run_body fr;
            fstep fr;
            bump_branch rt
          done
@@ -1779,8 +1815,12 @@ and compile_for cenv ~vec init cond step body : stmt_code =
 
 (* Canonical induction analysis for a candidate parallel loop; [None] means
    "fall back to sequential execution".  Must run while the loop's init is
-   in scope (after [finit] is compiled). *)
-and canon_induction cenv init cond step body : omp_canon option =
+   in scope (after [finit] is compiled).  [privatized] lists names the pragma
+   privatizes (induction variable + private(...) clause): the body may
+   mutate those — each chunk runs on its own frame copy, which implements
+   exactly OpenMP's private semantics — so a tiled/skewed multi-loop nest
+   whose body drives inner loop iterators still dispatches to the pool. *)
+and canon_induction cenv ~privatized init cond step body : omp_canon option =
   let ind =
     match init with
     | Some
@@ -1833,10 +1873,13 @@ and canon_induction cenv init cond step body : omp_canon option =
           && (not (body_may_exit cenv body))
           && List.for_all
                (* no mutation of any register variable visible outside the
-                  body — including the induction variable itself; memory
-                  (arrays, globals through their address) is shared as in
-                  real OpenMP and left to the race checker *)
-               (fun m -> Option.is_none (lookup_local cenv m))
+                  body — including the induction variable itself — except
+                  names the pragma privatizes (chunks run on frame copies);
+                  memory (arrays, globals through their address) is shared
+                  as in real OpenMP and left to the race checker *)
+               (fun m ->
+                 Option.is_none (lookup_local cenv m)
+                 || (m <> n && List.mem m privatized))
                (mutated_in_stmt body)
         then begin
           let fbound, tb = compile_expr cenv bound in
@@ -1862,6 +1905,18 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
      pragma keeps the OUTER context: its iterations run inside one outer
      iteration, and the outer [sx_limit] is the one that separates shared
      from body-local slots. *)
+  (* Names the pragma privatizes: the induction variable (OpenMP's
+     for-directive privatizes it; the FInitDecl form declares it inside the
+     loop and needs no entry) plus the private(...) clause. *)
+  let privatized =
+    (match init with
+    | Some
+        (Ast.FInitExpr
+          { Ast.edesc = Ast.Assign (_, { Ast.edesc = Ast.Ident n; _ }, _); _ }) ->
+      [ n ]
+    | _ -> [])
+    @ Trace.private_of_pragma pragma
+  in
   if rt.shadow_slots && saved_ctx = None then begin
     let sx = { sx_limit = cenv.nslots; sx_private = Hashtbl.create 4 } in
     cenv.shadow_ctx <- Some sx;
@@ -1870,16 +1925,7 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
       | Some (slot, _) -> Hashtbl.replace sx.sx_private slot ()
       | None -> ()  (* e.g. private(x) for a var declared inside the body *)
     in
-    (* the induction variable is privatized by OpenMP's for-directive; the
-       FInitDecl form declares it inside the loop (slot >= sx_limit) and
-       needs no entry here *)
-    (match init with
-    | Some
-        (Ast.FInitExpr
-          { Ast.edesc = Ast.Assign (_, { Ast.edesc = Ast.Ident n; _ }, _); _ }) ->
-      privatize n
-    | _ -> ());
-    List.iter privatize (Trace.private_of_pragma pragma)
+    List.iter privatize privatized
   end;
   let finit =
     match init with
@@ -1897,7 +1943,13 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
       let f, _ = compile_expr cenv e in
       fun fr -> ignore (f fr)
   in
-  let canon = canon_induction cenv init cond step body in
+  (* tile_grain admits privatized-name mutation (multi-loop nest bodies);
+     off reverts to the single-statement-body dispatch of PR 3 *)
+  let canon =
+    canon_induction cenv
+      ~privatized:(if rt.tile_grain then privatized else [])
+      init cond step body
+  in
   let fbody = compile_stmt cenv body in
   cenv.scope <- saved_scope;
   cenv.shadow_ctx <- saved_ctx;
@@ -1928,6 +1980,7 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
         rt.in_parallel <- true;
         let iters = ref [] in
         let iter_accs = ref [] in
+        let iter_points = ref [] in
         finit fr;
         fentry fr;
         (try
@@ -1940,17 +1993,31 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
                 loop-invariant bounds) *)
              let buf = if rt.trace_accesses then Some (ref []) else None in
              rt.access_log <- buf;
+             (* nested point-iteration marks: the immediate child loop of the
+                body (the next tile/point loop level) records where each of
+                its iterations starts in this iteration's access log *)
+             let pts =
+               if rt.trace_accesses && rt.tile_grain then Some (ref []) else None
+             in
+             rt.rec_points <- pts;
+             rt.rec_depth <- 0;
+             rt.rec_nacc <- 0;
              (try fbody fr with Continue_e -> ());
              fstep fr;
              rt.access_log <- None;
+             rt.rec_points <- None;
              bump_branch rt;
              iters := Cost.diff counters snap :: !iters;
              (match buf with
              | Some b -> iter_accs := Array.of_list (List.rev !b) :: !iter_accs
+             | None -> ());
+             (match pts with
+             | Some p -> iter_points := Array.of_list (List.rev !p) :: !iter_points
              | None -> ())
            done
          with Break_e -> ());
         rt.access_log <- None;
+        rt.rec_points <- None;
         rt.in_parallel <- false;
         rt.segments <-
           Trace.Par { sched; iters = Array.of_list (List.rev !iters) } :: rt.segments;
@@ -1958,7 +2025,8 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
           rt.par_traces <-
             { Trace.pt_sched = sched;
               pt_unit = Trace.unit_of_pragma pragma;
-              pt_accesses = Array.of_list (List.rev !iter_accs) }
+              pt_accesses = Array.of_list (List.rev !iter_accs);
+              pt_points = Array.of_list (List.rev !iter_points) }
             :: rt.par_traces;
         rt.seg_start <- Cost.copy counters
     end

@@ -92,9 +92,12 @@ let compile_function cenv (f : Ast.func) =
 (** Load a program: returns the compile environment, ready to run.
     [l1_bytes]/[l2_bytes] configure the simulated cache hierarchy (scaled
     problem sizes pair with scaled caches, cf. DESIGN.md). *)
-let load ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?pool
+let load ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?tile_grain ?pool
     (program : Ast.program) : Compile.cenv =
-  let rt = Compile.create_rt ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?pool () in
+  let rt =
+    Compile.create_rt ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?tile_grain
+      ?pool ()
+  in
   let tenv = Sema.Env.gather program in
   let cenv =
     {
@@ -174,7 +177,10 @@ let run_main (cenv : Compile.cenv) : Trace.profile =
     the race detector; it does not perturb costs or output.  [pool] attaches
     a domain pool: canonical [#pragma omp parallel for] loops then really
     execute in parallel (output stays bit-identical to sequential for
-    race-free programs). *)
-let run ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?pool
+    race-free programs).  [tile_grain] (default on) dispatches tiled/skewed
+    multi-loop nests at the granularity of the annotated tile loop and
+    records nested point structure when tracing. *)
+let run ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?tile_grain ?pool
     (program : Ast.program) : Trace.profile =
-  run_main (load ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?pool program)
+  run_main
+    (load ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?tile_grain ?pool program)

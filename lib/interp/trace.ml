@@ -37,6 +37,14 @@ type par_trace = {
           (parsed from the pragma's [unit N] tag); [None] for hand-written
           pragmas *)
   pt_accesses : access array array;  (** [pt_accesses.(i)] = iteration [i] *)
+  pt_points : int array array;
+      (** nested segment structure: [pt_points.(i)] holds, in ascending
+          order, the offset into [pt_accesses.(i)] where each point-iteration
+          child of parallel iteration [i] begins.  Under a tiled schedule a
+          parallel iteration is a whole tile and the children are the
+          iterations of the next loop level inside it; [[||]] = no nested
+          structure recorded (a plain one-statement body, or tile-granular
+          tracing off). *)
 }
 
 type profile = {
@@ -47,6 +55,20 @@ type profile = {
   par_traces : par_trace list option;  (** [None] unless traced (one entry
                                            per [Par] segment, in order) *)
 }
+
+(** Point-iteration marks of parallel iteration [i], tolerant of hand-built
+    traces that omit the (positional) nested structure entirely. *)
+let points_of (pt : par_trace) i =
+  if i < Array.length pt.pt_points then pt.pt_points.(i) else [||]
+
+(** Index of the point-iteration child that access offset [k] of a parallel
+    iteration falls into, given that iteration's marks: the number of marks
+    at or before [k], minus one.  [-1] = before the first mark (loop preamble)
+    or no nested structure at all. *)
+let point_of (points : int array) k =
+  let n = Array.length points in
+  let rec go i = if i < n && points.(i) <= k then go (i + 1) else i in
+  go 0 - 1
 
 (* index of [needle] in [haystack], or raise Not_found *)
 let find_sub haystack needle =

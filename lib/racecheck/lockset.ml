@@ -36,6 +36,9 @@
 type site = {
   k_thread : int;  (** logical thread (worker) of the plan *)
   k_iter : int;  (** iteration index within the parallel segment *)
+  k_point : int;
+      (** point-iteration child within [k_iter] when the trace carries
+          nested (tile → point) structure; [-1] = unstructured *)
   k_write : bool;
   k_loc : string;  (** source location of the load/store site *)
 }
@@ -113,8 +116,9 @@ let analyze_segment ~schedule ~workers (pt : Interp.Trace.par_trace) :
     let shadow : (int, wrec) Hashtbl.t = Hashtbl.create 1024 in
     for i = 0 to m - 1 do
       let t = iter_thread.(i) in
-      Array.iter
-        (fun (a : Interp.Trace.access) ->
+      let points = Interp.Trace.points_of pt i in
+      Array.iteri
+        (fun k (a : Interp.Trace.access) ->
           incr n_acc;
           let w = a.Interp.Trace.ac_write in
           let r =
@@ -145,7 +149,9 @@ let analyze_segment ~schedule ~workers (pt : Interp.Trace.par_trace) :
           let key = (t, w, a.Interp.Trace.ac_loc) in
           if not (Hashtbl.mem r.r_sites key) then
             Hashtbl.replace r.r_sites key
-              { k_thread = t; k_iter = i; k_write = w; k_loc = a.Interp.Trace.ac_loc })
+              { k_thread = t; k_iter = i;
+                k_point = Interp.Trace.point_of points k;
+                k_write = w; k_loc = a.Interp.Trace.ac_loc })
         accs.(i)
     done;
     (* verdicts: a word races iff it reached Shared_modified with an empty

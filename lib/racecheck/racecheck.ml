@@ -41,6 +41,9 @@ module Lockset = Lockset
 type access_ref = {
   f_thread : int;  (** logical thread (worker) of the plan *)
   f_iter : int;  (** iteration index within the parallel segment *)
+  f_point : int;
+      (** point-iteration child within iteration [f_iter] when the trace
+          carries nested (tile → point) structure; [-1] = unstructured *)
   f_write : bool;
   f_loc : string;  (** source location of the load/store site *)
 }
@@ -113,7 +116,7 @@ let default_schedules =
 (* ------------------------------------------------------------------ *)
 (* Vector-clock engine *)
 
-let dummy_ref = { f_thread = -1; f_iter = -1; f_write = false; f_loc = "" }
+let dummy_ref = { f_thread = -1; f_iter = -1; f_point = -1; f_write = false; f_loc = "" }
 
 (* Shadow state per address: the last write epoch plus, per thread, the
    latest read epoch since that write (FastTrack's read "vector"). *)
@@ -209,11 +212,14 @@ let analyze ~(schedule : Runtime.Par_loop.schedule) ~workers
             end;
             c_t.(t) <- c_t.(t) + 1;
             let now = c_t.(t) in
-            Array.iter
-              (fun (a : Interp.Trace.access) ->
+            let points = Interp.Trace.points_of pt i in
+            Array.iteri
+              (fun k (a : Interp.Trace.access) ->
                 incr n_acc;
                 let aref =
-                  { f_thread = t; f_iter = i; f_write = a.Interp.Trace.ac_write;
+                  { f_thread = t; f_iter = i;
+                    f_point = Interp.Trace.point_of points k;
+                    f_write = a.Interp.Trace.ac_write;
                     f_loc = a.Interp.Trace.ac_loc }
                 in
                 let addr = a.Interp.Trace.ac_addr in
@@ -303,6 +309,7 @@ let ref_of_site (s : Lockset.site) =
   {
     f_thread = s.Lockset.k_thread;
     f_iter = s.Lockset.k_iter;
+    f_point = s.Lockset.k_point;
     f_write = s.Lockset.k_write;
     f_loc = s.Lockset.k_loc;
   }
@@ -494,13 +501,18 @@ let verdicts_disagreements vs = List.concat_map (fun v -> v.v_disagreements) vs
 
 let rw r = if r then "write" else "read"
 
+(* iteration vector: [tile.point] when the trace carries nested structure *)
+let iter_vec (a : access_ref) =
+  if a.f_point >= 0 then Printf.sprintf "[%d.%d]" a.f_iter a.f_point
+  else Printf.sprintf "[%d]" a.f_iter
+
 let describe_race (r : race) =
   Printf.sprintf
-    "data race on %s[%d] (segment %d, addr 0x%x): %s at %s in iteration [%d] of thread %d \
-     is concurrent with %s at %s in iteration [%d] of thread %d"
+    "data race on %s[%d] (segment %d, addr 0x%x): %s at %s in iteration %s of thread %d \
+     is concurrent with %s at %s in iteration %s of thread %d"
     r.x_array r.x_elem r.x_segment r.x_addr (rw r.x_first.f_write) r.x_first.f_loc
-    r.x_first.f_iter r.x_first.f_thread (rw r.x_second.f_write) r.x_second.f_loc
-    r.x_second.f_iter r.x_second.f_thread
+    (iter_vec r.x_first) r.x_first.f_thread (rw r.x_second.f_write) r.x_second.f_loc
+    (iter_vec r.x_second) r.x_second.f_thread
 
 let describe_report (r : report) =
   let header =

@@ -20,6 +20,9 @@ type t = {
           join point in {!run} *)
   mutable shutdown : bool;
   mutable domains : unit Domain.t list;
+  mutable batches : int;
+      (** fork/join batches dispatched through {!run} (single-job batches
+          included); lets callers observe that work really reached the pool *)
 }
 
 (* Record the first failing job of the batch; later failures are dropped
@@ -67,6 +70,7 @@ let create size =
       failure = None;
       shutdown = false;
       domains = [];
+      batches = 0;
     }
   in
   let workers = max 0 (min (size - 1) (Domain.recommended_domain_count () * 4)) in
@@ -82,8 +86,11 @@ let create size =
 let run pool (jobs : job list) =
   match jobs with
   | [] -> ()
-  | [ j ] -> j ()
+  | [ j ] ->
+    pool.batches <- pool.batches + 1;
+    j ()
   | jobs ->
+    pool.batches <- pool.batches + 1;
     Mutex.lock pool.mutex;
     pool.failure <- None;
     List.iter (fun j -> Queue.push j pool.queue) jobs;
@@ -126,6 +133,10 @@ let shutdown pool =
   pool.domains <- []
 
 let size pool = pool.size
+
+(** Fork/join batches dispatched so far (see {!t.batches}).  Only read
+    between batches (the field is caller-side, not synchronized). *)
+let batches pool = pool.batches
 
 (** Default worker count for [--jobs] flags: the [PUREC_JOBS] environment
     variable when set to a positive integer, otherwise

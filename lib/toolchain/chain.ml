@@ -171,16 +171,16 @@ let scaled_sica_cache =
     [pool] attaches a domain pool so parallelized loops really execute on
     OCaml domains (output bit-identical to sequential for race-free
     programs). *)
-let execute ?(trace_accesses = false) ?(shadow_slots = false) ?pool (c : compiled) :
-    Interp.Trace.profile =
+let execute ?(trace_accesses = false) ?(shadow_slots = false) ?tile_grain ?pool
+    (c : compiled) : Interp.Trace.profile =
   Interp.Exec.run ~l1_bytes:scaled_l1_bytes ~l2_bytes:scaled_l2_bytes ~trace_accesses
-    ~shadow_slots ?pool c.c_ast
+    ~shadow_slots ?tile_grain ?pool c.c_ast
 
 (** Compile and execute in one go. *)
-let run ?mode ?trace_accesses ?shadow_slots ?pool source : compiled * Interp.Trace.profile
-    =
+let run ?mode ?trace_accesses ?shadow_slots ?tile_grain ?pool source :
+    compiled * Interp.Trace.profile =
   let c = compile ?mode source in
-  (c, execute ?trace_accesses ?shadow_slots ?pool c)
+  (c, execute ?trace_accesses ?shadow_slots ?tile_grain ?pool c)
 
 (** Optional racecheck pass: compile, execute with access tracing (and
     scalar-slot shadowing, so shared local scalars are visible too), then
@@ -189,10 +189,10 @@ let run ?mode ?trace_accesses ?shadow_slots ?pool source : compiled * Interp.Tra
     on a legality-approved compile means either the polyhedral legality
     analysis or a dynamic race model is wrong; an engine disagreement means
     one of the two dynamic models is wrong — all hard failures. *)
-let run_racecheck ?mode ?engine ?schedules ?cores source :
+let run_racecheck ?mode ?engine ?schedules ?cores ?tile_grain source :
     compiled * Interp.Trace.profile * Racecheck.verdict list =
   let c = compile ?mode source in
-  let profile = execute ~trace_accesses:true ~shadow_slots:true c in
+  let profile = execute ~trace_accesses:true ~shadow_slots:true ?tile_grain c in
   match Racecheck.verdict_matrix ?engine ?schedules ?cores profile with
   | Ok verdicts -> (c, profile, verdicts)
   | Error e ->

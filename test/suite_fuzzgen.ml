@@ -197,6 +197,74 @@ let test_stress_grammar_shrinker_replay () =
          report.Fuzzgen.Oracle.r_failures)
 
 (* ------------------------------------------------------------------ *)
+(* The tileable 2-D nest shape: a dedicated array [T] written along a
+   (1,0) flow dependence plus a stencil read — the band the pure-tile
+   configuration blocks into tiles, executed at tile granularity *)
+
+let has_tileable src = Support.Util.string_contains ~needle:"T[" src
+
+let test_tileable_presence () =
+  match find_seed has_tileable with
+  | None -> Alcotest.fail "no tileable-nest program in seeds 1-60"
+  | Some s ->
+    Alcotest.(check string) "tileable seed deterministic"
+      (Fuzzgen.Gen.source_of_seed s) (Fuzzgen.Gen.source_of_seed s);
+    (* the nest carries its flow dependence in the source *)
+    Alcotest.(check bool) "previous-row read present" true
+      (Support.Util.string_contains ~needle:"T[i - 1][j]"
+         (Fuzzgen.Gen.source_of_seed s))
+
+(* a tileable seed passes the whole differential oracle with the racecheck
+   stage enabled: the pure-tile configuration runs the nest at tile
+   granularity and both engines replay it via nested traces *)
+let test_tileable_oracle_clean () =
+  let seed =
+    match find_seed has_tileable with
+    | Some s -> s
+    | None -> Alcotest.fail "no tileable seed"
+  in
+  let case = Fuzzgen.Fuzz.run_one ~racecheck:true ~shrink:false seed in
+  if not (Fuzzgen.Oracle.passed case.Fuzzgen.Fuzz.c_report) then
+    Alcotest.failf "tileable seed %d fails the oracle: %s" seed
+      (String.concat "; "
+         (List.map Fuzzgen.Oracle.describe
+            case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures))
+
+(* shrinker replay on the tileable shape: inject an illegal transform on a
+   seed carrying the [T] nest, shrink, and replay from the seed *)
+let test_tileable_shrinker_replay () =
+  let rec find s =
+    if s > 40 then None
+    else if has_tileable (Fuzzgen.Gen.source_of_seed s) then begin
+      let case = Fuzzgen.Fuzz.run_one ~inject:true ~shrink:false s in
+      let kinds =
+        List.map Fuzzgen.Oracle.kind_tag case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures
+      in
+      if List.mem "output-mismatch" kinds then Some (s, case) else find (s + 1)
+    end
+    else find (s + 1)
+  in
+  match find 1 with
+  | None -> Alcotest.skip ()  (* no injectable failure among the early seeds *)
+  | Some (seed, case) ->
+    let replay = Fuzzgen.Fuzz.run_one ~inject:true ~shrink:false seed in
+    Alcotest.(check bool) "seed replays the same failure kinds" true
+      (List.map Fuzzgen.Oracle.kind_tag
+         replay.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures
+      = List.map Fuzzgen.Oracle.kind_tag
+          case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures);
+    let prog = Fuzzgen.Gen.program_of_seed seed in
+    let minimized, _ = Fuzzgen.Shrink.minimize ~inject:true ~kind:"output-mismatch" prog in
+    let shrunk = Ast_printer.program_to_string minimized in
+    Alcotest.(check bool) "minimized is smaller" true
+      (String.length shrunk < String.length case.Fuzzgen.Fuzz.c_source);
+    let report = Fuzzgen.Oracle.check ~inject:true shrunk in
+    Alcotest.(check bool) "minimized still fails the same way" true
+      (List.exists
+         (fun f -> Fuzzgen.Oracle.kind_tag f = "output-mismatch")
+         report.Fuzzgen.Oracle.r_failures)
+
+(* ------------------------------------------------------------------ *)
 (* Differential oracle *)
 
 let test_oracle_clean_campaign () =
@@ -455,6 +523,12 @@ let suite =
     Alcotest.test_case "triangular nest oracle-clean" `Quick test_triangular_oracle_clean;
     Alcotest.test_case "stress-grammar shrinker replay" `Slow
       test_stress_grammar_shrinker_replay;
+    Alcotest.test_case "tileable nest present and deterministic" `Quick
+      test_tileable_presence;
+    Alcotest.test_case "tileable nest oracle-clean" `Quick
+      test_tileable_oracle_clean;
+    Alcotest.test_case "tileable shrinker replay" `Slow
+      test_tileable_shrinker_replay;
     Alcotest.test_case "campaign exit-code precedence" `Quick
       test_campaign_exit_code_precedence;
     Alcotest.test_case "cli fuzz racecheck + jobs determinism" `Slow

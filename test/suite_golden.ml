@@ -83,7 +83,7 @@ let test_case_for (name, source) () =
    Stdout is byte-identical across --jobs, so the golden pins the exact
    report bytes. *)
 
-let test_racecheck_kernels_attribution () =
+let golden_of_command ~name ~args () =
   let purec =
     let candidates = [ "../bin/purec.exe"; "_build/default/bin/purec.exe" ] in
     match List.find_opt Sys.file_exists candidates with
@@ -93,13 +93,12 @@ let test_racecheck_kernels_attribution () =
   let out = Filename.temp_file "purec_golden" ".out" in
   let code =
     Sys.command
-      (Printf.sprintf "%s racecheck --workload kernels > %s 2>/dev/null"
-         (Filename.quote purec) (Filename.quote out))
+      (Printf.sprintf "%s %s > %s 2>/dev/null" (Filename.quote purec) args
+         (Filename.quote out))
   in
-  Alcotest.(check int) "racecheck --workload kernels exits 0" 0 code;
+  Alcotest.(check int) (Printf.sprintf "purec %s exits 0" args) 0 code;
   let printed = read_file out in
   Sys.remove out;
-  let name = "racecheck_kernels" in
   match update_dir () with
   | Some dir ->
     let oc = open_out_bin (Filename.concat dir (name ^ ".golden")) in
@@ -109,11 +108,23 @@ let test_racecheck_kernels_attribution () =
     let path = golden_path name in
     if not (Sys.file_exists path) then
       Alcotest.failf "%s: missing golden file %s (set GOLDEN_UPDATE to generate)" name path;
-    Alcotest.(check string) "attribution report matches golden" (read_file path) printed
+    Alcotest.(check string) (name ^ " report matches golden") (read_file path) printed
+
+let test_racecheck_kernels_attribution =
+  golden_of_command ~name:"racecheck_kernels" ~args:"racecheck --workload kernels"
+
+(* the wavefront gallery under tiling: the skewed, tiled nest replays via
+   nested (tile → point) traces; the report pins its [unit N] schedule-matrix
+   attribution and clean verdict *)
+let test_racecheck_wavefront_tiled =
+  golden_of_command ~name:"racecheck_wavefront_tiled"
+    ~args:"racecheck --workload pure-wavefront --workload antidiag --tile 4"
 
 let suite =
   List.map (fun (name, src) -> Alcotest.test_case name `Quick (test_case_for (name, src))) cases
   @ [
       Alcotest.test_case "racecheck_kernels_attribution" `Quick
         test_racecheck_kernels_attribution;
+      Alcotest.test_case "racecheck_wavefront_tiled" `Quick
+        test_racecheck_wavefront_tiled;
     ]

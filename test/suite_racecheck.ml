@@ -11,7 +11,8 @@ let sched = Alcotest.testable (fun ppf s -> Fmt.string ppf (R.schedule_name s)) 
 (* Synthetic traces: one parallel segment, [iters] entries of
    (loc, addr, write) access lists, an 8-byte-element region "A" at 0. *)
 
-let mk_profile ?(sched = Interp.Trace.Static) iters : Interp.Trace.profile =
+let mk_profile ?(sched = Interp.Trace.Static) ?(points = [||]) iters :
+    Interp.Trace.profile =
   let accesses =
     Array.of_list
       (List.map
@@ -30,7 +31,13 @@ let mk_profile ?(sched = Interp.Trace.Static) iters : Interp.Trace.profile =
     regions =
       [ { Interp.Mem.rg_label = "A"; rg_base = 0; rg_bytes = 8 * 1024; rg_elem_bytes = 8 } ];
     par_traces =
-      Some [ { Interp.Trace.pt_sched = sched; pt_unit = None; pt_accesses = accesses } ];
+      Some
+        [
+          { Interp.Trace.pt_sched = sched;
+            pt_unit = None;
+            pt_accesses = accesses;
+            pt_points = points };
+        ];
   }
 
 let analyze ~schedule ~workers profile =
@@ -376,6 +383,85 @@ let test_tiled_kernel_clean_under_both_engines () =
     verdicts
 
 (* ------------------------------------------------------------------ *)
+(* Nested traces: tile → point segment structure on hand-built logs *)
+
+let test_point_of_marks () =
+  let points = [| 0; 2; 5 |] in
+  List.iter
+    (fun (k, expect) ->
+      Alcotest.(check int) (Printf.sprintf "point_of at access %d" k) expect
+        (Interp.Trace.point_of points k))
+    [ (0, 0); (1, 0); (2, 1); (4, 1); (5, 2); (9, 2) ];
+  Alcotest.(check int) "no structure -> -1" (-1) (Interp.Trace.point_of [||] 3);
+  (* a preamble access before the first mark is unstructured *)
+  Alcotest.(check int) "before the first mark -> -1" (-1)
+    (Interp.Trace.point_of [| 2 |] 1)
+
+(* A tile-boundary write/read pair: tile 0's last point writes the element
+   tile 1's first point reads.  Under static x 2 the tiles land on
+   different threads, and the report must attribute each side to its point
+   child: [0.1] (tile 0, point 1) vs [1.0] (tile 1, point 0). *)
+let test_nested_trace_race_names_points () =
+  let p =
+    mk_profile
+      ~points:[| [| 0; 2 |]; [| 0 |] |]
+      [
+        [ ("t.c:1", 0, true); ("t.c:2", 8, true); ("t.c:3", 16, true) ];
+        [ ("t.c:4", 16, false) ];
+      ]
+  in
+  let check_report which r =
+    Alcotest.(check bool) (which ^ " flags the boundary pair") false (R.clean r);
+    let x = List.hd r.R.p_races in
+    let w, rd =
+      if x.R.x_first.R.f_write then (x.R.x_first, x.R.x_second)
+      else (x.R.x_second, x.R.x_first)
+    in
+    Alcotest.(check int) (which ^ ": write is tile 0") 0 w.R.f_iter;
+    Alcotest.(check int) (which ^ ": write is point 1") 1 w.R.f_point;
+    Alcotest.(check int) (which ^ ": read is tile 1") 1 rd.R.f_iter;
+    Alcotest.(check int) (which ^ ": read is point 0") 0 rd.R.f_point;
+    let d = R.describe_race x in
+    Alcotest.(check bool) (which ^ ": report prints [0.1] and [1.0]") true
+      (Support.Util.string_contains ~needle:"[0.1]" d
+      && Support.Util.string_contains ~needle:"[1.0]" d)
+  in
+  check_report "hb" (analyze ~schedule:Runtime.Par_loop.Static ~workers:2 p);
+  match R.analyze_lockset ~schedule:Runtime.Par_loop.Static ~workers:2 p with
+  | Ok r -> check_report "lockset" r
+  | Error e -> Alcotest.fail e
+
+(* flat (pre-PR-5) traces keep the old [i] formatting and f_point = -1 *)
+let test_flat_trace_unstructured_points () =
+  let p = mk_profile [ [ ("a.c:1", 0, true) ]; [ ("a.c:2", 0, false) ] ] in
+  let r = analyze ~schedule:Runtime.Par_loop.Static ~workers:2 p in
+  let x = List.hd r.R.p_races in
+  Alcotest.(check int) "first side unstructured" (-1) x.R.x_first.R.f_point;
+  Alcotest.(check int) "second side unstructured" (-1) x.R.x_second.R.f_point;
+  let d = R.describe_race x in
+  Alcotest.(check bool) "flat iteration vectors" true
+    (Support.Util.string_contains ~needle:"[0]" d
+    && Support.Util.string_contains ~needle:"[1]" d
+    && not (Support.Util.string_contains ~needle:"[0." d))
+
+(* accesses before the first mark (loop preamble) stay unstructured even
+   when the iteration has point children *)
+let test_nested_trace_preamble_unstructured () =
+  let p =
+    mk_profile
+      ~points:[| [| 1 |]; [||] |]
+      [ [ ("t.c:1", 0, true); ("t.c:2", 8, true) ]; [ ("t.c:3", 0, false) ] ]
+  in
+  let r = analyze ~schedule:Runtime.Par_loop.Static ~workers:2 p in
+  let x = List.hd r.R.p_races in
+  let w =
+    if x.R.x_first.R.f_write then x.R.x_first else x.R.x_second
+  in
+  Alcotest.(check int) "preamble write has no point" (-1) w.R.f_point;
+  Alcotest.(check bool) "formats as a flat vector" true
+    (Support.Util.string_contains ~needle:"[0]" (R.describe_race x))
+
+(* ------------------------------------------------------------------ *)
 (* Scalar-slot shadowing: a shared function-local scalar is addressable *)
 
 let shared_scalar_source =
@@ -531,6 +617,13 @@ let suite =
       test_cross_check_flags_static_divergence;
     Alcotest.test_case "tiled kernel clean, both engines" `Quick
       test_tiled_kernel_clean_under_both_engines;
+    Alcotest.test_case "point_of marks" `Quick test_point_of_marks;
+    Alcotest.test_case "nested trace race names points" `Quick
+      test_nested_trace_race_names_points;
+    Alcotest.test_case "flat trace unstructured points" `Quick
+      test_flat_trace_unstructured_points;
+    Alcotest.test_case "nested trace preamble unstructured" `Quick
+      test_nested_trace_preamble_unstructured;
     Alcotest.test_case "scalar shadowing: shared local" `Quick
       test_scalar_slot_shadowing_catches_shared_local;
     Alcotest.test_case "scalar shadowing: private locals" `Quick

@@ -1,0 +1,130 @@
+(** Tiled-equivalence battery: every tiled/skewed gallery kernel must
+    produce byte-identical output on the domain pool at every --jobs level,
+    and both race engines must agree it is clean.  Also pins the
+    tile-granular dispatch mechanics: whole tiles really reach the pool
+    (observable via {!Runtime.Pool.batches}), the [--tile-grain false]
+    escape hatch reverts to outermost-statement dispatch, and traced tiled
+    runs carry nested (tile → point) segment structure. *)
+
+module C = Toolchain.Chain
+
+let tiled_mode =
+  C.Plain_pluto (fun c -> { c with Pluto.tile = true; tile_sizes = [ 4 ] })
+
+let kernels =
+  List.map
+    (fun k -> (k.Workloads.Kernels.k_name, k.Workloads.Kernels.k_source))
+    Workloads.Kernels.all
+
+(* tile batches really reach the pool, and --tile-grain false gates them *)
+let test_tile_dispatch_reaches_pool () =
+  let source = Workloads.Matmul.inlined_source ~n:24 () in
+  let mode =
+    C.Plain_pluto (fun c -> { c with Pluto.tile = true; tile_sizes = [ 8 ] })
+  in
+  let c = C.compile ~mode source in
+  let seq = C.execute c in
+  let pool = Runtime.Pool.create 4 in
+  let par = C.execute ~pool c in
+  Alcotest.(check bool) "tiled nests dispatch batches to the pool" true
+    (Runtime.Pool.batches pool > 0);
+  Alcotest.(check string) "pooled output is byte-identical"
+    seq.Interp.Trace.output par.Interp.Trace.output;
+  let before = Runtime.Pool.batches pool in
+  let coarse = C.execute ~tile_grain:false ~pool c in
+  Alcotest.(check int) "tile-grain off: multi-loop nests stay sequential"
+    before (Runtime.Pool.batches pool);
+  Alcotest.(check string) "tile-grain off output unchanged"
+    seq.Interp.Trace.output coarse.Interp.Trace.output;
+  Runtime.Pool.shutdown pool
+
+(* par output at --jobs 1/2/4/8 is byte-identical to the sequential
+   interpreter for every tiled/skewed gallery kernel *)
+let test_gallery_tiled_equivalence () =
+  List.iter
+    (fun (name, source) ->
+      let c = C.compile ~mode:tiled_mode source in
+      let seq = C.execute c in
+      List.iter
+        (fun jobs ->
+          let pool = Runtime.Pool.create jobs in
+          let par = C.execute ~pool c in
+          Runtime.Pool.shutdown pool;
+          Alcotest.(check string)
+            (Printf.sprintf "%s output at --jobs %d" name jobs)
+            seq.Interp.Trace.output par.Interp.Trace.output;
+          Alcotest.(check int)
+            (Printf.sprintf "%s return code at --jobs %d" name jobs)
+            seq.Interp.Trace.return_code par.Interp.Trace.return_code)
+        [ 1; 2; 4; 8 ])
+    kernels
+
+(* both engines replay the tiled nests via nested traces and agree: clean *)
+let test_gallery_tiled_racecheck_agrees () =
+  List.iter
+    (fun (name, source) ->
+      let _, _, verdicts = C.run_racecheck ~mode:tiled_mode source in
+      List.iter
+        (fun (v : Racecheck.verdict) ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s: engines agree under tiling" name)
+            [] v.Racecheck.v_disagreements;
+          List.iter
+            (fun r ->
+              if not (Racecheck.clean r) then
+                Alcotest.failf "%s races under tiling: %s" name
+                  (Racecheck.describe_report r))
+            (Racecheck.verdict_reports v))
+        verdicts)
+    kernels
+
+(* a traced tiled run records tile → point nested structure *)
+let test_tiled_trace_has_nested_structure () =
+  let source = Workloads.Matmul.inlined_source ~n:24 () in
+  let mode =
+    C.Plain_pluto (fun c -> { c with Pluto.tile = true; tile_sizes = [ 8 ] })
+  in
+  let c = C.compile ~mode source in
+  let profile = C.execute ~trace_accesses:true c in
+  let traces = Option.get profile.Interp.Trace.par_traces in
+  let structured =
+    List.exists
+      (fun (pt : Interp.Trace.par_trace) ->
+        Array.exists (fun pts -> Array.length pts > 1) pt.Interp.Trace.pt_points)
+      traces
+  in
+  Alcotest.(check bool) "some parallel iteration has point children" true structured;
+  (* the marks are ascending offsets into the iteration's access log *)
+  List.iter
+    (fun (pt : Interp.Trace.par_trace) ->
+      Array.iteri
+        (fun i pts ->
+          let n = Array.length pt.Interp.Trace.pt_accesses.(i) in
+          Array.iteri
+            (fun j p ->
+              Alcotest.(check bool) "mark within the access log" true
+                (p >= 0 && p <= n);
+              if j > 0 then
+                Alcotest.(check bool) "marks ascend" true (pts.(j - 1) <= p))
+            pts)
+        pt.Interp.Trace.pt_points)
+    traces;
+  (* and tile-grain off records flat traces, as before PR 5 *)
+  let flat = C.execute ~trace_accesses:true ~tile_grain:false c in
+  List.iter
+    (fun (pt : Interp.Trace.par_trace) ->
+      Alcotest.(check int) "no nested structure with tile-grain off" 0
+        (Array.length pt.Interp.Trace.pt_points))
+    (Option.get flat.Interp.Trace.par_traces)
+
+let suite =
+  [
+    Alcotest.test_case "tile dispatch reaches the pool" `Quick
+      test_tile_dispatch_reaches_pool;
+    Alcotest.test_case "gallery tiled par=seq at jobs 1/2/4/8" `Quick
+      test_gallery_tiled_equivalence;
+    Alcotest.test_case "gallery tiled racecheck clean, engines agree" `Quick
+      test_gallery_tiled_racecheck_agrees;
+    Alcotest.test_case "tiled traces carry nested structure" `Quick
+      test_tiled_trace_has_nested_structure;
+  ]

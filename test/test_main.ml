@@ -20,4 +20,5 @@ let () =
       ("golden", Suite_golden.suite);
       ("fuzzgen", Suite_fuzzgen.suite);
       ("racecheck", Suite_racecheck.suite);
+      ("tiled", Suite_tiled.suite);
     ]

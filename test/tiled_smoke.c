@@ -1,0 +1,37 @@
+/* Smoke workload for the @tile-smoke CI alias: a scop-marked matmul nest
+ * that PluTo tiles, so `purec run --tile 4 --jobs 2` exercises
+ * tile-granular dispatch on the domain pool and `purec racecheck --tile 4`
+ * replays the tile loops via nested traces.  The weighted checksum makes
+ * any mis-scheduled iteration visible in the output. */
+#include <stdio.h>
+
+double A[24][24];
+double B[24][24];
+double C[24][24];
+
+int main(void) {
+  for (int i = 0; i < 24; i++) {
+    for (int j = 0; j < 24; j++) {
+      A[i][j] = (i * 13 + j * 7) % 101 * 0.01 + 0.5;
+      B[i][j] = (i * 11 + j * 17) % 97 * 0.01 + 0.25;
+      C[i][j] = 0.0;
+    }
+  }
+#pragma scop
+  for (int i = 0; i < 24; i++) {
+    for (int j = 0; j < 24; j++) {
+      for (int k = 0; k < 24; k++) {
+        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+      }
+    }
+  }
+#pragma endscop
+  double sum = 0.0;
+  for (int i = 0; i < 24; i++) {
+    for (int j = 0; j < 24; j++) {
+      sum = sum + C[i][j] * ((i * 3 + j * 5) % 7 + 1);
+    }
+  }
+  printf("checksum %.17g\n", sum);
+  return 0;
+}
