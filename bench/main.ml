@@ -164,6 +164,68 @@ let run_measured_tiled ?(tile_grain = true) scale domains =
       ])
     rows
 
+(* the reduction merge path (DESIGN.md §11): a reduction(+:s) dot product
+   executed on the pool with per-chunk identity-seeded accumulators and a
+   chunk-order merge.  Output is byte-identical to --jobs 1 for these
+   exact operands, so the series measures the merge overhead alone. *)
+let run_measured_reduction scale domains =
+  let module F = Toolchain.Figures in
+  let n = scale.F.matmul_n * scale.F.matmul_n in
+  let src =
+    Printf.sprintf
+      {|
+#include <stdio.h>
+double a[%d];
+double b[%d];
+int main(void) {
+  double s = 0.0;
+  for (int i = 0; i < %d; i++) {
+    a[i] = (i * 13 %% 101) * 0.5;
+    b[i] = (i * 7 %% 97) * 0.25;
+  }
+#pragma omp parallel for reduction(+:s)
+  for (int i = 0; i < %d; i++) {
+    s += a[i] * b[i];
+  }
+  printf("dot %%.17g\n", s);
+  return 0;
+}
+|}
+      n n n n
+  in
+  let c = Toolchain.Chain.compile ~mode:Toolchain.Chain.Manual_omp src in
+  let reps = 3 in
+  pf "== measured: reduction(+:s) dot product n=%d on OCaml domains (best of %d) ==@." n
+    reps;
+  let seq = best_of reps (fun () -> ignore (Toolchain.Chain.execute c)) in
+  let rows =
+    List.map
+      (fun d ->
+        let t =
+          if d <= 1 then seq
+          else begin
+            let pool = Runtime.Pool.create d in
+            Fun.protect
+              ~finally:(fun () -> Runtime.Pool.shutdown pool)
+              (fun () -> best_of reps (fun () -> ignore (Toolchain.Chain.execute ~pool c)))
+          end
+        in
+        let sp = seq /. t in
+        pf "  %2d domain(s): %10.6f s   speedup %5.2fx@." d t sp;
+        (d, t, sp))
+      domains
+  in
+  let title = Printf.sprintf "reduction dot product n=%d on OCaml domains" n in
+  List.concat_map
+    (fun (d, t, sp) ->
+      [
+        record ~kind:"measured" ~figure:"measured-reduction-domains" ~title ~unit:"seconds"
+          ~variant:"wall-clock" ~cores:d ~value:t;
+        record ~kind:"measured" ~figure:"measured-reduction-domains" ~title ~unit:"speedup"
+          ~variant:"speedup-vs-seq" ~cores:d ~value:sp;
+      ])
+    rows
+
 let run_figures scale which ~json ~domains ~tile_grain =
   let module F = Toolchain.Figures in
   let wants id = match which with None -> true | Some w -> w = id in
@@ -198,7 +260,8 @@ let run_figures scale which ~json ~domains ~tile_grain =
   if json then begin
     let measured = run_measured scale domains in
     let tiled = run_measured_tiled ~tile_grain scale domains in
-    write_json (figure_records rendered @ measured @ tiled)
+    let reduction = run_measured_reduction scale domains in
+    write_json (figure_records rendered @ measured @ tiled @ reduction)
   end;
   (* correctness cross-check printed alongside the data *)
   let check name d =
@@ -453,7 +516,8 @@ let () =
     run_micro ();
     let measured = run_measured scale !domains in
     let tiled = run_measured_tiled ~tile_grain:!tile_grain scale !domains in
-    if !json then write_json (measured @ tiled)
+    let reduction = run_measured_reduction scale !domains in
+    if !json then write_json (measured @ tiled @ reduction)
   end
   else if !only_ablations then run_ablations scale !ablation
   else begin

@@ -453,11 +453,17 @@ let racecheck_cmd =
             racy_verdicts;
           List.iter (fun d -> pr "%s: ENGINE DISAGREEMENT: %s@." name d) disagreements;
           if not inject && racy_verdicts <> [] then
-            pr
-              "%s: LEGALITY DISAGREEMENT: the polyhedral legality analysis approved \
-               this transform, but a dynamic race engine found races — one of the \
-               two is wrong.@."
-              name
+            if Array.length units > 0 then
+              pr
+                "%s: LEGALITY DISAGREEMENT: the polyhedral legality analysis approved \
+                 this transform, but a dynamic race engine found races — one of the \
+                 two is wrong.@."
+                name
+            else
+              pr
+                "%s: the hand-written pragmas assert an independence the program \
+                 does not have.@."
+                name
         end;
         (Buffer.contents buf, "", racy_verdicts <> [] || disagreements <> [], None)
       with

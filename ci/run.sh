@@ -6,7 +6,10 @@
 # lockset second-opinion smoke (both race engines cross-checked over the
 # antidiag inject witness and one CSR/triangular fuzz seed), and the
 # tile-granular smoke (a PluTo-tiled kernel executed on 2 domains,
-# racechecked clean via nested traces, plus one tileable fuzz seed).
+# racechecked clean via nested traces, plus one tileable fuzz seed), and
+# the reduction smoke (a reduction(+:s) dot product on 2 domains, the
+# critical-guarded/unguarded racecheck pair, plus one fuzz seed carrying
+# the reduction and critical-update grammar shapes).
 #
 # Last comes the benchmark regression gate: a quick bench run must stay
 # inside the per-record tolerance bands of the committed baseline
@@ -23,5 +26,6 @@ dune build @fuzz-smoke
 dune build @race-smoke
 dune build @lockset-smoke
 dune build @tile-smoke
+dune build @reduction-smoke
 dune exec bench/main.exe -- --quick --json > /dev/null
 dune exec ci/bench_diff.exe -- ci/bench_baseline.json BENCH_results.json

@@ -1,0 +1,44 @@
+(** Classification of the [#pragma] lines the subset understands.
+
+    The lexer keeps each pragma as the raw text after [#pragma] (leading
+    blanks stripped); this module is the single place that decides what
+    kind of directive that text is, shared by sema (pairing validation)
+    and the interpreter (lowering).  Clause parsing — schedules, private
+    and reduction lists — stays in [Interp.Trace] next to the other trace
+    helpers. *)
+
+let starts_with ~prefix s =
+  let n = String.length prefix in
+  String.length s >= n && String.sub s 0 n = prefix
+
+(* the directive must end right there or continue with a separator, so
+   [omp criticalish] is not a critical section *)
+let directive s prefix =
+  starts_with ~prefix s
+  && (String.length s = String.length prefix
+     ||
+     match s.[String.length prefix] with
+     | ' ' | '\t' | '(' -> true
+     | _ -> false)
+
+(** [omp parallel for ...] *)
+let is_omp_for p = directive p "omp parallel for"
+
+(** [omp critical] / [omp critical(name)] *)
+let is_critical p = directive p "omp critical"
+
+(** [omp atomic] *)
+let is_atomic p = directive p "omp atomic"
+
+(** The lock name a [critical] directive binds: the parenthesized name when
+    present, the shared anonymous name otherwise.  Returns [None] for
+    non-critical pragmas. *)
+let critical_name p =
+  if not (is_critical p) then None
+  else
+    match String.index_opt p '(' with
+    | None -> Some ""
+    | Some i -> (
+      match String.index_from_opt p i ')' with
+      | None -> Some ""
+      | Some j -> Some (String.trim (String.sub p (i + 1) (j - i - 1))))

@@ -545,6 +545,55 @@ let program_info rng : program_info =
     else []
   in
   List.iteri (fun k a -> push (checksum_segment k a)) (arrays @ csr_arrays @ tile_arrays);
+  (* one program in two carries a pragma'd scalar reduction loop, and one
+     in two a critical/atomic-guarded shared-counter update: the
+     reduction(op:name) recognition with its per-chunk merge and the
+     lock-event channel of the race engines see fuzzed workloads too.
+     Both shapes are drawn after every other rng decision (including the
+     tile nest) and pushed after the checksum segments, so the full text
+     of every pre-existing seed survives as a prefix. *)
+  if Rng.int rng 2 = 0 then begin
+    let acc = "r0" in
+    let op_max = Rng.int rng 2 = 0 in
+    let term = gen_dbl_term rng ~iters:[ "i" ] ~n ~arrays ~readable:arrays ~dfns ~target:None in
+    let update =
+      if op_max then assign (id acc) (call "fmax" [ id acc; term ])
+      else st (Ast.SExpr (e (Ast.Assign (Ast.OpAddAssign, id acc, term))))
+    in
+    let clause = if op_max then "max" else "+" in
+    push
+      [
+        sdecl Ast.Double acc (Some (flit 0.0));
+        st (Ast.SPragma (Printf.sprintf "omp parallel for reduction(%s:%s)" clause acc));
+        sfor "i" 1 n [ update ];
+        sexpr (call "printf" [ e (Ast.StrLit "red %.17g\n"); id acc ]);
+      ]
+  end;
+  let crit_globals =
+    if Rng.int rng 2 = 0 then begin
+      let g = "g0" in
+      let pragma =
+        match Rng.int rng 3 with
+        | 0 -> "omp critical"
+        | 1 -> "omp critical(fuzz_lock)"
+        | _ -> "omp atomic"
+      in
+      let k = ilit (1 + Rng.int rng 7) in
+      push
+        [
+          assign (id g) (ilit 0);
+          st (Ast.SPragma "omp parallel for");
+          sfor "i" 1 n
+            [
+              st (Ast.SPragma pragma);
+              st (Ast.SExpr (e (Ast.Assign (Ast.OpAddAssign, id g, call "filli" [ id "i"; k ]))));
+            ];
+          sexpr (call "printf" [ e (Ast.StrLit "crit %d\n"); id g ]);
+        ];
+      [ Ast.GVar { Ast.d_type = Ast.Int; d_name = g; d_storage = Ast.Auto; d_init = None; d_loc = Loc.dummy } ]
+    end
+    else []
+  in
   List.iter (fun (a : arr) -> if a.a_heap then push (free_segment ~dim a.a_name)) arrays;
   push [ sreturn (ilit 0) ];
   let main =
@@ -562,6 +611,7 @@ let program_info rng : program_info =
   let prog =
     [ Ast.GInclude ("<stdio.h>", Loc.dummy); Ast.GInclude ("<stdlib.h>", Loc.dummy) ]
     @ List.map global_array (globals_arrs @ csr_arrays @ tile_arrays)
+    @ crit_globals
     @ [ fillf; filli ] @ dfn_globals @ ifn_globals @ [ main ]
   in
   { pi_prog = prog; pi_n = n; pi_arrays = arrays @ csr_arrays @ tile_arrays }

@@ -72,6 +72,13 @@ type rt = {
           body itself, so its immediate child loop marks points) *)
   mutable rec_nacc : int;  (** accesses logged so far in the current
                                parallel iteration *)
+  mutable held_locks : int list;
+      (** {!Runtime.Locks} ids of the [critical]/[atomic] sections the
+          recording (sequential) execution is currently inside, sorted
+          ascending; stamped into every logged access.  Only maintained
+          when [trace_accesses] — traced runs never dispatch to the pool,
+          so a single field is race-free — while real parallel execution
+          relies on the actual mutexes instead. *)
 }
 
 let create_rt ?l1_bytes ?l2_bytes ?(trace_accesses = false) ?(shadow_slots = false)
@@ -104,6 +111,7 @@ let create_rt ?l1_bytes ?l2_bytes ?(trace_accesses = false) ?(shadow_slots = fal
     rec_points = None;
     rec_depth = 0;
     rec_nacc = 0;
+    held_locks = [];
   }
 
 let master rt = rt.states.(0)
@@ -291,7 +299,14 @@ let[@inline] log_access rt loc ~addr ~bytes ~write =
   | Some buf ->
     rt.rec_nacc <- rt.rec_nacc + 1;
     buf :=
-      { Trace.ac_loc = loc; ac_addr = addr; ac_bytes = bytes; ac_write = write } :: !buf
+      {
+        Trace.ac_loc = loc;
+        ac_addr = addr;
+        ac_bytes = bytes;
+        ac_write = write;
+        ac_locks = rt.held_locks;
+      }
+      :: !buf
 
 (* Shadow address of a frame slot, when the slot holds a scalar that real
    OpenMP would share between the threads of the pragma being compiled:
@@ -1385,12 +1400,112 @@ let hoistable_bound cond step body =
    outside this shape fall back to the sequential recording path, which is
    always semantically safe. *)
 
+(** Recognized [reduction(op:...)] operators. *)
+type red_op = Rplus | Rtimes | Rmax
+
+(** One classified accumulator of a [reduction(...)] clause: a local scalar
+    slot whose every use in the body is an [op]-shaped update.  Chunks run
+    it on identity-initialized private copies; the join folds the partials
+    back in ascending chunk order (see [exec_parallel]). *)
+type omp_red = {
+  rd_slot : int;  (** frame slot of the accumulator *)
+  rd_op : red_op;
+  rd_floaty : bool;  (** float/double vs int/char arithmetic *)
+}
+
 type omp_canon = {
   oc_slot : int;  (** frame slot of the induction variable *)
   oc_bound : frame -> Mem.value;  (** the invariant bound, compiled *)
   oc_strict : bool;  (** [<] vs [<=] *)
   oc_stride : int;  (** positive *)
+  oc_reds : omp_red list;  (** classified reduction accumulators *)
 }
+
+let red_op_of_string = function
+  | "+" -> Some Rplus
+  | "*" -> Some Rtimes
+  | "max" -> Some Rmax
+  | _ -> None
+
+let red_identity rd =
+  match (rd.rd_op, rd.rd_floaty) with
+  | Rplus, true -> Mem.VFloat 0.0
+  | Rplus, false -> Mem.VInt 0
+  | Rtimes, true -> Mem.VFloat 1.0
+  | Rtimes, false -> Mem.VInt 1
+  | Rmax, true -> Mem.VFloat neg_infinity
+  | Rmax, false -> Mem.VInt min_int
+
+let red_combine rd a b =
+  if rd.rd_floaty then
+    let x = Mem.to_float a and y = Mem.to_float b in
+    Mem.VFloat
+      (match rd.rd_op with
+      | Rplus -> x +. y
+      | Rtimes -> x *. y
+      | Rmax -> Float.max x y)
+  else
+    let x = Mem.to_int a and y = Mem.to_int b in
+    Mem.VInt
+      (match rd.rd_op with Rplus -> x + y | Rtimes -> x * y | Rmax -> max x y)
+
+(* Does the accumulator [name] appear anywhere in [e]? *)
+let expr_uses name e =
+  Ast.fold_expr
+    (fun acc x ->
+      acc || match x.Ast.edesc with Ast.Ident n -> n = name | _ -> false)
+    false e
+
+(* An [op]-shaped whole-statement update of [name]:
+   [s += e] / [s = s + e] / [s = e + s] for [+] (and the [*] analogues),
+   [s = fmax(s, e)] / [s = __max(s, e)] (either argument order) for [max] —
+   with [name] appearing nowhere inside [e], so identity-seeded private
+   partials compose exactly. *)
+let red_update_ok name op (e : Ast.expr) =
+  let is_acc x = match x.Ast.edesc with Ast.Ident n -> n = name | _ -> false in
+  let one_side a b = (is_acc a && not (expr_uses name b)) || (is_acc b && not (expr_uses name a)) in
+  match (e.Ast.edesc, op) with
+  | Ast.Assign (Ast.OpAddAssign, l, r), Rplus -> is_acc l && not (expr_uses name r)
+  | Ast.Assign (Ast.OpMulAssign, l, r), Rtimes -> is_acc l && not (expr_uses name r)
+  | Ast.Assign (Ast.OpAssign, l, { Ast.edesc = Ast.Binop (Ast.Add, a, b); _ }), Rplus ->
+    is_acc l && one_side a b
+  | Ast.Assign (Ast.OpAssign, l, { Ast.edesc = Ast.Binop (Ast.Mul, a, b); _ }), Rtimes ->
+    is_acc l && one_side a b
+  | Ast.Assign (Ast.OpAssign, l, { Ast.edesc = Ast.Call (("fmax" | "__max"), [ a; b ]); _ }), Rmax ->
+    is_acc l && one_side a b
+  | _ -> false
+
+(* Every occurrence of the accumulator in the loop body must be inside a
+   valid update statement (a conditional update is fine — skipped updates
+   contribute the identity); any other read or write of it, or a shadowing
+   redeclaration, disqualifies the clause: a privatized partial would then
+   be observable mid-loop and the merged result could differ from the
+   sequential left fold. *)
+let rec red_body_ok name op (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.SExpr e -> red_update_ok name op e || not (expr_uses name e)
+  | Ast.SBlock ss -> List.for_all (red_body_ok name op) ss
+  | Ast.SIf (c, a, b) ->
+    (not (expr_uses name c))
+    && red_body_ok name op a
+    && (match b with Some b -> red_body_ok name op b | None -> true)
+  | Ast.SFor (init, c, st, b) ->
+    (match init with
+    | Some (Ast.FInitExpr e) -> not (expr_uses name e)
+    | Some (Ast.FInitDecl { Ast.d_name; d_init; _ }) ->
+      d_name <> name
+      && (match d_init with Some e -> not (expr_uses name e) | None -> true)
+    | None -> true)
+    && (match c with Some e -> not (expr_uses name e) | None -> true)
+    && (match st with Some e -> not (expr_uses name e) | None -> true)
+    && red_body_ok name op b
+  | Ast.SWhile (c, b) | Ast.SDoWhile (b, c) ->
+    (not (expr_uses name c)) && red_body_ok name op b
+  | Ast.SDecl { Ast.d_name; d_init; _ } ->
+    d_name <> name
+    && (match d_init with Some e -> not (expr_uses name e) | None -> true)
+  | Ast.SReturn (Some e) -> not (expr_uses name e)
+  | Ast.SPragma _ | Ast.SReturn None | Ast.SBreak | Ast.SContinue -> true
 
 let stmt_has_return s =
   Ast.fold_stmt
@@ -1454,7 +1569,14 @@ let rec side_effect_free_bound (e : Ast.expr) =
    [ck_lo, ck_lo + |ck_iters|), its captured output and its per-iteration
    cost snapshots.  Chunks are disjoint and cover the iteration space, so
    sorting by [ck_lo] recovers exactly the sequential interleaving. *)
-type chunk_rec = { ck_lo : int; ck_out : Buffer.t; ck_iters : Cost.t list }
+type chunk_rec = {
+  ck_lo : int;
+  ck_out : Buffer.t;
+  ck_iters : Cost.t list;
+  ck_reds : Mem.value list;
+      (** final values of the chunk's identity-seeded private reduction
+          accumulators, in [oc_reds] order *)
+}
 
 let exec_parallel rt pool (sched : Trace.sched_kind) (cn : omp_canon)
     (fbody : stmt_code) (finit : stmt_code) (fr : frame) =
@@ -1487,6 +1609,9 @@ let exec_parallel rt pool (sched : Trace.sched_kind) (cn : omp_canon)
     let buf = Buffer.create 64 in
     ds.ds_out <- buf;
     let fr' = Array.copy fr in
+    (* reduction accumulators start each chunk at the operator identity:
+       the chunk computes a pure partial, merged back at the join *)
+    List.iter (fun rd -> fr'.(rd.rd_slot) <- red_identity rd) cn.oc_reds;
     let iters = ref [] in
     for k = lo_idx to hi_idx - 1 do
       bump_int rt;
@@ -1497,7 +1622,14 @@ let exec_parallel rt pool (sched : Trace.sched_kind) (cn : omp_canon)
       bump_branch rt;
       iters := Cost.diff ds.ds_counters snap :: !iters
     done;
-    recs := { ck_lo = lo_idx; ck_out = buf; ck_iters = List.rev !iters } :: !recs
+    recs :=
+      {
+        ck_lo = lo_idx;
+        ck_out = buf;
+        ck_iters = List.rev !iters;
+        ck_reds = List.map (fun rd -> fr'.(rd.rd_slot)) cn.oc_reds;
+      }
+      :: !recs
   in
   let jobs =
     match sched with
@@ -1560,6 +1692,19 @@ let exec_parallel rt pool (sched : Trace.sched_kind) (cn : omp_canon)
   in
   List.iter (fun ck -> Buffer.add_buffer m.ds_out ck.ck_out) chunks;
   let iters = Array.of_list (List.concat_map (fun ck -> ck.ck_iters) chunks) in
+  (* deterministic reduction merge: fold the chunk partials into the
+     master's pre-loop value in ascending ck_lo order.  The chunk intervals
+     are a function of (schedule, workers, n) alone — never of execution
+     order — so a given jobs level always merges in the same order, and for
+     exactly-representable values the result is byte-identical to the
+     sequential left fold at every jobs level. *)
+  List.iteri
+    (fun ri rd ->
+      fr.(rd.rd_slot) <-
+        List.fold_left
+          (fun acc ck -> red_combine rd acc (List.nth ck.ck_reds ri))
+          fr.(rd.rd_slot) chunks)
+    cn.oc_reds;
   (* the induction variable holds its first non-taken value afterwards *)
   fr.(cn.oc_slot) <- Mem.VInt (lo + (n * stride));
   rt.segments <- Trace.Par { sched; iters } :: rt.segments;
@@ -1720,6 +1865,9 @@ and compile_block cenv (ss : Ast.stmt list) : stmt_code =
         let code = compile_for cenv ~vec:(Some Pragma_vec) i c st b in
         go (code :: acc) rest'
       | _ -> go acc rest)
+    | { Ast.sdesc = Ast.SPragma p; _ } :: guarded :: rest
+      when Pragma.is_critical p || Pragma.is_atomic p ->
+      go (compile_guarded cenv p guarded :: acc) rest
     | s :: rest -> go (compile_stmt cenv s :: acc) rest
   in
   let codes = Array.of_list (go [] ss) in
@@ -1729,10 +1877,41 @@ and compile_block cenv (ss : Ast.stmt list) : stmt_code =
       codes.(i) fr
     done
 
-and is_omp_for p =
-  String.length p >= 16 && String.sub p 0 16 = "omp parallel for"
+and is_omp_for p = Pragma.is_omp_for p
 
 and is_vector_pragma p = p = "ivdep" || p = "vector always" || p = "simd"
+
+(* [#pragma omp critical] / [#pragma omp atomic] + the guarded statement:
+   real mutual exclusion on the named lock (atomic shares one reserved
+   name), so concurrent chunks of an enclosing parallel loop serialize
+   their shared updates.  On the traced (sequential) path the held-lock set
+   is additionally maintained so every logged access carries it — the
+   lock-event channel of both race engines. *)
+and compile_guarded cenv pragma guarded : stmt_code =
+  let rt = cenv.rt in
+  let name =
+    if Pragma.is_atomic pragma then Runtime.Locks.atomic_name
+    else
+      match Pragma.critical_name pragma with
+      | Some "" | None -> Runtime.Locks.anonymous_critical
+      | Some n -> n
+  in
+  let lid = Runtime.Locks.id name in
+  let fstmt = compile_stmt cenv guarded in
+  fun fr ->
+    Runtime.Locks.acquire lid;
+    if rt.trace_accesses then
+      rt.held_locks <- List.sort_uniq compare (lid :: rt.held_locks);
+    let release () =
+      if rt.trace_accesses then
+        rt.held_locks <- List.filter (fun l -> l <> lid) rt.held_locks;
+      Runtime.Locks.release lid
+    in
+    (match fstmt fr with
+    | () -> release ()
+    | exception e ->
+      release ();
+      raise e)
 
 and drop_vector_pragmas = function
   | { Ast.sdesc = Ast.SPragma p; _ } :: rest when is_vector_pragma p ->
@@ -1819,8 +1998,17 @@ and compile_for cenv ~vec init cond step body : stmt_code =
    privatizes (induction variable + private(...) clause): the body may
    mutate those — each chunk runs on its own frame copy, which implements
    exactly OpenMP's private semantics — so a tiled/skewed multi-loop nest
-   whose body drives inner loop iterators still dispatches to the pool. *)
-and canon_induction cenv ~privatized init cond step body : omp_canon option =
+   whose body drives inner loop iterators still dispatches to the pool.
+   [reductions] lists the pragma's recognized [reduction(op:name)] pairs:
+   each name must resolve to a local scalar slot distinct from the
+   induction variable, and every use of it in the body must be an
+   [op]-shaped update ({!red_body_ok}) — then the accumulator is classified
+   into [oc_reds] and its mutation is admitted (chunks run identity-seeded
+   private copies, merged deterministically at the join).  A reduction that
+   fails classification disqualifies the whole loop: executing it in
+   parallel without the merge would lose updates. *)
+and canon_induction cenv ~privatized ~reductions init cond step body :
+    omp_canon option =
   let ind =
     match init with
     | Some
@@ -1879,14 +2067,39 @@ and canon_induction cenv ~privatized init cond step body : omp_canon option =
                   as in real OpenMP and left to the race checker *)
                (fun m ->
                  Option.is_none (lookup_local cenv m)
-                 || (m <> n && List.mem m privatized))
+                 || (m <> n
+                    && (List.mem m privatized
+                       || List.mem_assoc m reductions)))
                (mutated_in_stmt body)
         then begin
-          let fbound, tb = compile_expr cenv bound in
-          match tb with
-          | Ast.Int | Ast.Char ->
-            Some { oc_slot = slot; oc_bound = fbound; oc_strict = strict; oc_stride = stride }
-          | _ -> None
+          (* classify every reduction accumulator, or reject the loop *)
+          let classify (nm, op) =
+            if nm = n then None
+            else
+              match lookup_local cenv nm with
+              | Some (rslot, rty) -> (
+                match resolve cenv rty with
+                | (Ast.Int | Ast.Char | Ast.Float | Ast.Double) as t
+                  when red_body_ok nm op body ->
+                  Some { rd_slot = rslot; rd_op = op; rd_floaty = is_floaty t }
+                | _ -> None)
+              | None -> None
+          in
+          let reds = List.map classify reductions in
+          if List.exists Option.is_none reds then None
+          else
+            let fbound, tb = compile_expr cenv bound in
+            match tb with
+            | Ast.Int | Ast.Char ->
+              Some
+                {
+                  oc_slot = slot;
+                  oc_bound = fbound;
+                  oc_strict = strict;
+                  oc_stride = stride;
+                  oc_reds = List.filter_map Fun.id reds;
+                }
+            | _ -> None
         end
         else None
       | _ -> None)
@@ -1907,8 +2120,13 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
      from body-local slots. *)
   (* Names the pragma privatizes: the induction variable (OpenMP's
      for-directive privatizes it; the FInitDecl form declares it inside the
-     loop and needs no entry) plus the private(...) clause. *)
-  let privatized =
+     loop and needs no entry) plus the private(...) clause.  Reduction
+     accumulators are privatized too — every reduction(...) name, whether
+     or not its operator is one we can parallelize, runs on a per-thread
+     copy under real OpenMP, so the race detector must not see it as a
+     shared scalar — but only recognized operators ([clause_reds]) admit
+     parallel dispatch, via the identity-seeded merge in [exec_parallel]. *)
+  let clause_private =
     (match init with
     | Some
         (Ast.FInitExpr
@@ -1917,6 +2135,14 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
     | _ -> [])
     @ Trace.private_of_pragma pragma
   in
+  let reduction_clause = Trace.reduction_of_pragma pragma in
+  let clause_reds =
+    List.filter_map
+      (fun (ops, nm) ->
+        match red_op_of_string ops with Some op -> Some (nm, op) | None -> None)
+      reduction_clause
+  in
+  let privatized = clause_private @ List.map snd reduction_clause in
   if rt.shadow_slots && saved_ctx = None then begin
     let sx = { sx_limit = cenv.nslots; sx_private = Hashtbl.create 4 } in
     cenv.shadow_ctx <- Some sx;
@@ -1947,8 +2173,8 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
      off reverts to the single-statement-body dispatch of PR 3 *)
   let canon =
     canon_induction cenv
-      ~privatized:(if rt.tile_grain then privatized else [])
-      init cond step body
+      ~privatized:(if rt.tile_grain then clause_private else [])
+      ~reductions:clause_reds init cond step body
   in
   let fbody = compile_stmt cenv body in
   cenv.scope <- saved_scope;

@@ -26,6 +26,11 @@ type access = {
   ac_addr : int;  (** synthetic byte address *)
   ac_bytes : int;  (** width of the access *)
   ac_write : bool;
+  ac_locks : int list;
+      (** {!Runtime.Locks} ids held at the access, sorted ascending; [[]]
+          outside any [critical]/[atomic] section.  This is the lock-event
+          channel the lockset race engine intersects and the happens-before
+          engine derives release→acquire edges from. *)
 }
 
 (** The per-iteration access log of one parallel segment, in segment order
@@ -120,6 +125,37 @@ let private_of_pragma text =
       |> String.split_on_char ','
       |> List.map String.trim
       |> List.filter (fun s -> s <> ""))
+
+(** The [(operator, name)] pairs of every [reduction(op:names)] clause of an
+    [omp parallel for] pragma, in clause order ([[]] when absent).  Multiple
+    names in one clause ([reduction(+:s,t)]) and repeated clauses both
+    flatten into the list. *)
+let reduction_of_pragma text =
+  let n = String.length text in
+  let rec clauses i acc =
+    let sub = String.sub text i (n - i) in
+    match find_sub sub "reduction(" with
+    | exception Not_found -> List.rev acc
+    | start -> (
+      let op_from = i + start + String.length "reduction(" in
+      match String.index_from_opt text op_from ')' with
+      | None -> List.rev acc
+      | Some close -> (
+        let body = String.sub text op_from (close - op_from) in
+        match String.index_opt body ':' with
+        | None -> clauses (close + 1) acc
+        | Some colon ->
+          let op = String.trim (String.sub body 0 colon) in
+          let names =
+            String.sub body (colon + 1) (String.length body - colon - 1)
+            |> String.split_on_char ','
+            |> List.map String.trim
+            |> List.filter (fun s -> s <> "")
+          in
+          clauses (close + 1)
+            (List.rev_append (List.map (fun nm -> (op, nm)) names) acc)))
+  in
+  clauses 0 []
 
 (** Parse the schedule clause of an [omp parallel for] pragma. *)
 let sched_of_pragma text =

@@ -14,6 +14,7 @@ let pure_stdlib =
     "exp"; "log"; "log2"; "log10"; "sqrt"; "pow";
     "fabs"; "floor"; "ceil"; "round"; "fmin"; "fmax"; "fmod"; "abs";
     "sinf"; "cosf"; "sqrtf"; "expf"; "logf"; "fabsf"; "powf";
+    "__min"; "__max"; "__ceild"; "__floord";
   ]
 
 (** [allow_malloc:false] is the ablation of DESIGN.md §5 ("no-malloc-pure"):

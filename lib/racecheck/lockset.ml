@@ -25,11 +25,14 @@
     - {e segment-scoped shadow state}: fork and join synchronize
       everything, so every word restarts [Virgin] at each segment.
 
-    The C subset has no lock primitives and the loops the chain
-    parallelizes take no locks, so every candidate lockset refines to the
-    empty set at the first second-thread access; the lockset structure is
-    kept (rather than a boolean) so lowering OpenMP [critical] sections
-    later only has to extend {!locks_held}. *)
+    Lock acquisition is fed from the interpreter's access logs: every
+    access carries the [critical]/[atomic] lock ids held when it executed
+    ({!Interp.Trace.access.ac_locks}), and the candidate lockset of a word
+    is refined by intersection with that held set on {e every} access —
+    first touch included, so an unguarded initialization is never hidden.
+    A loop whose shared updates all sit under a common [critical] name
+    keeps a non-empty candidate lockset and is clean; any bare touch of
+    the same word empties it. *)
 
 (** One side of a conflicting pair, as the summary sets record it: the
     first dynamic occurrence of a (thread, site, read/write) combination. *)
@@ -81,10 +84,14 @@ type result = {
 
 let max_pairs_per_word = 8
 
-(* Locks held by a logical thread at a given iteration.  Constantly empty:
-   the C subset has no mutex primitives and generated loops take no locks.
-   Kept as a function so an OpenMP [critical] lowering only changes this. *)
-let locks_held (_thread : int) (_iter : int) : int list = []
+(** Locks held at [access]: the {!Runtime.Locks} ids of the
+    [critical]/[atomic] sections the executing thread was inside when it
+    performed the access, as stamped by the interpreter's recording run.
+    Replay reassigns iterations to logical threads but never moves an
+    access relative to its guarding sections, so the recorded set is the
+    true held set under every plan. *)
+let locks_held (access : Interp.Trace.access) : int list =
+  access.Interp.Trace.ac_locks
 
 let refine ls held =
   match ls with
@@ -131,20 +138,19 @@ let analyze_segment ~schedule ~workers (pt : Interp.Trace.par_trace) :
               Hashtbl.replace shadow a.Interp.Trace.ac_addr r;
               r
           in
+          (* candidate lockset: intersect with the held set on every
+             access, first touch included — an unguarded write before the
+             word is ever shared still empties the candidate set *)
+          r.r_lockset <- refine r.r_lockset (locks_held a);
           (* state machine *)
           (match r.r_state with
           | Virgin -> r.r_state <- Exclusive { owner = t; written = w }
           | Exclusive { owner; written } ->
             if owner = t then
               (if w && not written then r.r_state <- Exclusive { owner; written = true })
-            else begin
-              r.r_lockset <- refine r.r_lockset (locks_held t i);
-              r.r_state <- (if written || w then Shared_modified else Shared)
-            end
-          | Shared ->
-            r.r_lockset <- refine r.r_lockset (locks_held t i);
-            if w then r.r_state <- Shared_modified
-          | Shared_modified -> r.r_lockset <- refine r.r_lockset (locks_held t i));
+            else r.r_state <- (if written || w then Shared_modified else Shared)
+          | Shared -> if w then r.r_state <- Shared_modified
+          | Shared_modified -> ());
           (* summary set: first occurrence per (thread, write, loc) *)
           let key = (t, w, a.Interp.Trace.ac_loc) in
           if not (Hashtbl.mem r.r_sites key) then

@@ -22,7 +22,17 @@
       its next fetch, which orders chunks at distance ≥ workers — the
       soundness direction (we may miss an ordering a lucky interleaving
       provides, we never invent one; detected races are real for some
-      interleaving).
+      interleaving);
+    - [critical]/[atomic] sections are mutexes: each lock id carries a
+      vector clock, joined into the thread's clock at acquisition and
+      republished (followed by a thread-epoch bump) at release.  Lock
+      transitions are reconstructed from the held-lock sets the recording
+      run stamped on consecutive accesses ({!Interp.Trace.access.ac_locks}).
+      The replay linearizes critical sections on the same lock in global
+      iteration order — one legal order among many, so (as with the dynamic
+      chain) lock edges can hide a conflict a different interleaving
+      exposes; the order-free {!Lockset} engine is the second opinion that
+      catches those.
 
     Scalars held in frame slots (loop-local variables, privatized induction
     variables) are registers, not memory — exactly OpenMP's privatization
@@ -198,6 +208,16 @@ let analyze ~(schedule : Runtime.Par_loop.schedule) ~workers
           let chunk =
             match schedule with Runtime.Par_loop.Dynamic c -> max 1 c | _ -> 0
           in
+          (* per-lock clocks for the critical/atomic release→acquire edges *)
+          let lock_vcs : (int, int array) Hashtbl.t = Hashtbl.create 8 in
+          let lock_vc l =
+            match Hashtbl.find_opt lock_vcs l with
+            | Some v -> v
+            | None ->
+              let v = Array.make workers 0 in
+              Hashtbl.replace lock_vcs l v;
+              v
+          in
           let shadow : (int, cell) Hashtbl.t = Hashtbl.create 1024 in
           (* global iteration order is a valid linearization: each worker's
              iterations appear in its program order, and dynamic chunk
@@ -211,11 +231,28 @@ let analyze ~(schedule : Runtime.Par_loop.schedule) ~workers
               vc_join counter_vc c_t
             end;
             c_t.(t) <- c_t.(t) + 1;
-            let now = c_t.(t) in
+            (* held-lock set of the previous access: transitions between
+               consecutive stamps reconstruct the acquire/release points *)
+            let held = ref [] in
+            let release l =
+              (* publish the thread's clock on the lock, then open a fresh
+                 epoch: later accesses of [t] are no longer covered by the
+                 lock's chain *)
+              Array.blit c_t 0 (lock_vc l) 0 workers;
+              c_t.(t) <- c_t.(t) + 1
+            in
+            let transition locks =
+              List.iter (fun l -> if not (List.mem l locks) then release l) !held;
+              List.iter
+                (fun l -> if not (List.mem l !held) then vc_join c_t (lock_vc l))
+                locks;
+              held := locks
+            in
             let points = Interp.Trace.points_of pt i in
             Array.iteri
               (fun k (a : Interp.Trace.access) ->
                 incr n_acc;
+                transition a.Interp.Trace.ac_locks;
                 let aref =
                   { f_thread = t; f_iter = i;
                     f_point = Interp.Trace.point_of points k;
@@ -250,16 +287,19 @@ let analyze ~(schedule : Runtime.Par_loop.schedule) ~workers
                       record seg addr cell.r_refs.(u) aref
                   done;
                   cell.w_thread <- t;
-                  cell.w_clock <- now;
+                  cell.w_clock <- c_t.(t);
                   cell.w_ref <- aref;
                   Array.fill cell.r_clocks 0 workers 0
                 end
                 else begin
                   if write_unordered () then record seg addr cell.w_ref aref;
-                  cell.r_clocks.(t) <- now;
+                  cell.r_clocks.(t) <- c_t.(t);
                   cell.r_refs.(t) <- aref
                 end)
-              accs.(i)
+              accs.(i);
+            (* sections still open at the last access close before the
+               iteration ends *)
+            transition []
           done
         end)
       traces;
@@ -370,22 +410,50 @@ let describe_word regions (seg, addr) =
   let label, elem = locate regions addr in
   Printf.sprintf "%s[%d] (segment %d, addr 0x%x)" label elem seg addr
 
+(** Ordinals of the parallel segments whose traces carry lock events: HB's
+    single-linearization replay of those segments can legitimately order
+    critical sections the lockset discipline treats as concurrent, so
+    {!cross_check} relaxes the equality direction for them. *)
+let locked_segments (profile : Interp.Trace.profile) : int list =
+  match profile.Interp.Trace.par_traces with
+  | None -> []
+  | Some traces ->
+    List.concat
+      (List.mapi
+         (fun seg (pt : Interp.Trace.par_trace) ->
+           let uses =
+             Array.exists
+               (fun iter ->
+                 Array.exists
+                   (fun (a : Interp.Trace.access) -> a.Interp.Trace.ac_locks <> [])
+                   iter)
+               pt.Interp.Trace.pt_accesses
+           in
+           if uses then [ seg ] else [])
+         traces)
+
 (** Cross-check the two engines' verdicts for one plan, comparing their
     {e racy shadow-word sets} (site pairs differ legitimately: FastTrack
     forgets elder writes once a newer one is ordered after them).
 
     Soundness invariant: lockset is strictly more conservative than the
-    happens-before replay — it recognizes no intra-loop ordering at all —
-    so on every plan [hb_words ⊆ lockset_words]; an HB-only word means one
-    of the engines is wrong.  Under [static]/[static,C] there are {e no}
-    intra-loop happens-before edges either, so the two verdicts must be
-    {e equal}; a lockset-only word there is also a bug.  Under [dynamic,C]
-    a lockset-only word is the engine's designed catch: a race the chunk
-    release/acquire chain happens to hide from HB (still a race — it
-    fails the run — but not an engine disagreement).
+    happens-before replay — every ordering edge HB uses (program order
+    within a thread, the dynamic chunk chain, the lock chain) is absent
+    from the lockset model, and two accesses with a common lock are always
+    chain-ordered in HB's linearization — so on every plan
+    [hb_words ⊆ lockset_words]; an HB-only word means one of the engines
+    is wrong.  Under [static]/[static,C] with no lock events there are
+    {e no} intra-loop happens-before edges either, so the two verdicts
+    must be {e equal}; a lockset-only word there is also a bug.  Under
+    [dynamic,C], or in a segment carrying lock events ([locked], from
+    {!locked_segments}), a lockset-only word is the engine's designed
+    catch: a race the chunk chain or the replay's arbitrary critical-
+    section order happens to hide from HB — still a race (it fails the
+    run via the lockset report) but not an engine disagreement.
 
     Returns the disagreement descriptions; non-empty = hard failure. *)
-let cross_check ~regions ~(hb : report) ~(lockset : report) : string list =
+let cross_check ?(locked = []) ~regions ~(hb : report) ~(lockset : report) () :
+    string list =
   let diff a b = List.filter (fun w -> not (List.mem w b)) a in
   let plan =
     Printf.sprintf "schedule(%s) x %d threads" (schedule_name hb.p_schedule) hb.p_workers
@@ -402,15 +470,16 @@ let cross_check ~regions ~(hb : report) ~(lockset : report) : string list =
          (violates hb ⊆ lockset)"
         plan (describe_word regions w))
     hb_only
-  @
-  if dynamic then []
-  else
-    List.map
-      (fun w ->
-        Printf.sprintf
-          "engine disagreement [%s]: lockset flags %s as racy but hb does not \
-           (the static plan has no intra-loop ordering, verdicts must match)"
-          plan (describe_word regions w))
+  @ List.filter_map
+      (fun ((seg, _) as w) ->
+        if dynamic || List.mem seg locked then None
+        else
+          Some
+            (Printf.sprintf
+               "engine disagreement [%s]: lockset flags %s as racy but hb does \
+                not (the static plan has no intra-loop ordering, verdicts must \
+                match)"
+               plan (describe_word regions w)))
       ls_only
 
 (** Which engine(s) a racecheck run consults. *)
@@ -471,7 +540,9 @@ let verdict ?(engine = Both) ~schedule ~workers profile : (verdict, string) resu
         v_hb = Some hb;
         v_lockset = Some ls;
         v_disagreements =
-          cross_check ~regions:profile.Interp.Trace.regions ~hb ~lockset:ls;
+          cross_check
+            ~locked:(locked_segments profile)
+            ~regions:profile.Interp.Trace.regions ~hb ~lockset:ls ();
       }
 
 (** The whole plan matrix through {!verdict}. *)

@@ -1,0 +1,62 @@
+(** Named-lock table backing [#pragma omp critical] / [#pragma omp atomic].
+
+    OpenMP gives every [critical] construct a process-wide name — all
+    unnamed criticals share one implicit name, and [atomic] updates are
+    modeled here as critical sections on a reserved name of their own
+    (coarser than a hardware atomic, but with identical mutual-exclusion
+    semantics at interpreter granularity).  The table maps each name to a
+    stable small integer id and one [Mutex.t]; ids are what the interpreter
+    stamps into access logs ({!Interp.Trace.access}) and what the lockset
+    race engine intersects.
+
+    The registry itself is guarded by a private mutex so compilation may
+    happen concurrently on several domains (the fuzz campaign driver
+    compiles independent cases in parallel). *)
+
+(* reserved names: OpenMP's unnamed critical and the atomic lowering *)
+let anonymous_critical = "<critical>"
+
+let atomic_name = "<atomic>"
+
+let registry_mu = Mutex.create ()
+
+let ids : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let mutexes : Mutex.t array ref = ref [||]
+
+(** Stable id of lock [name], registering it on first use.  Ids are
+    assigned in registration order, so within one compiled program they are
+    deterministic. *)
+let id (name : string) : int =
+  Mutex.lock registry_mu;
+  let i =
+    match Hashtbl.find_opt ids name with
+    | Some i -> i
+    | None ->
+      let i = Array.length !mutexes in
+      Hashtbl.replace ids name i;
+      mutexes := Array.append !mutexes [| Mutex.create () |];
+      i
+  in
+  Mutex.unlock registry_mu;
+  i
+
+(* [!mutexes] only ever grows and slots are immutable once published, so an
+   unsynchronized read of an id handed out by {!id} is safe *)
+let mutex_of_id (i : int) : Mutex.t =
+  let ms = !mutexes in
+  if i < 0 || i >= Array.length ms then
+    invalid_arg (Printf.sprintf "Locks.mutex_of_id: unknown lock %d" i);
+  ms.(i)
+
+(** Acquire/release lock [i].  Real mutual exclusion: concurrent domains
+    executing the same critical section serialize here. *)
+let acquire (i : int) = Mutex.lock (mutex_of_id i)
+
+let release (i : int) = Mutex.unlock (mutex_of_id i)
+
+(** [with_lock i f] runs [f ()] holding lock [i], releasing on exceptions. *)
+let with_lock (i : int) (f : unit -> 'a) : 'a =
+  let m = mutex_of_id i in
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f

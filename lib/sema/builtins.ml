@@ -37,6 +37,12 @@ let table : t list =
     { name = "logf"; ret = Ast.Float; params = [ Ast.Float ]; varargs = false };
     { name = "fabsf"; ret = Ast.Float; params = [ Ast.Float ]; varargs = false };
     { name = "powf"; ret = Ast.Float; params = [ Ast.Float; Ast.Float ]; varargs = false };
+    (* the integer bound helpers PluTo's codegen emits; also valid in
+       hand-written sources (e.g. a reduction(max:m) accumulator update) *)
+    { name = "__min"; ret = Ast.Int; params = [ Ast.Int; Ast.Int ]; varargs = false };
+    { name = "__max"; ret = Ast.Int; params = [ Ast.Int; Ast.Int ]; varargs = false };
+    { name = "__ceild"; ret = Ast.Int; params = [ Ast.Int; Ast.Int ]; varargs = false };
+    { name = "__floord"; ret = Ast.Int; params = [ Ast.Int; Ast.Int ]; varargs = false };
   ]
 
 let find name = List.find_opt (fun b -> b.name = name) table

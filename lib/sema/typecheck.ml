@@ -217,6 +217,39 @@ let check_decl ctx scope (d : Ast.decl) =
   | None -> ());
   Scope.add_local scope d.d_name ty d.d_loc
 
+(* [#pragma omp critical] / [#pragma omp atomic] guard the next statement
+   of their block, so pairing is a property of statement lists: a guard
+   pragma must be followed by a statement (not another pragma), and an
+   atomic guard must be a single update expression — anything larger needs
+   [critical]. *)
+let atomic_guard_ok (g : Ast.stmt) =
+  match g.Ast.sdesc with
+  | Ast.SExpr { Ast.edesc = Ast.Assign _; _ }
+  | Ast.SExpr { Ast.edesc = Ast.IncDec _; _ } ->
+    true
+  | _ -> false
+
+let check_pragma_pairs ctx (ss : Ast.stmt list) =
+  let rec go = function
+    | { Ast.sdesc = Ast.SPragma p; sloc } :: rest
+      when Pragma.is_critical p || Pragma.is_atomic p -> (
+      let what = if Pragma.is_atomic p then "atomic" else "critical" in
+      match rest with
+      | [] | { Ast.sdesc = Ast.SPragma _; _ } :: _ ->
+        Diag.error ctx.reporter ~loc:sloc ~code:"sema.pragma"
+          "#pragma omp %s must be followed by the statement it guards" what;
+        go rest
+      | g :: rest' ->
+        if Pragma.is_atomic p && not (atomic_guard_ok g) then
+          Diag.error ctx.reporter ~loc:g.Ast.sloc ~code:"sema.pragma"
+            "#pragma omp atomic must guard a single update expression \
+             (use critical for compound statements)";
+        go rest')
+    | _ :: rest -> go rest
+    | [] -> ()
+  in
+  go ss
+
 let rec check_stmt ctx scope (s : Ast.stmt) =
   match s.sdesc with
   | Ast.SExpr e -> ignore (infer ctx scope e)
@@ -258,6 +291,7 @@ let rec check_stmt ctx scope (s : Ast.stmt) =
           (Ast_printer.type_to_string te)
           (Ast_printer.type_to_string ret))
   | Ast.SBlock ss ->
+    check_pragma_pairs ctx ss;
     Scope.push scope;
     List.iter (check_stmt ctx scope) ss;
     Scope.pop scope
@@ -280,6 +314,7 @@ let check_func ctx (f : Ast.func) =
   | None -> ()
   | Some body ->
     ctx.current_ret <- Env.resolve ctx.env f.f_ret;
+    check_pragma_pairs ctx body;
     let scope = scope_for_function ctx.env f in
     List.iter (check_stmt ctx scope) body
 

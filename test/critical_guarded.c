@@ -1,0 +1,29 @@
+/* Racecheck fixture: the same dot product as reduction_smoke.c but with
+ * the shared accumulator updated under `#pragma omp critical` instead of
+ * a reduction clause.  Every access to `sum` inside the parallel loop
+ * carries the critical section's lock id in the trace, so the lockset
+ * engine keeps a non-empty candidate lockset and the happens-before
+ * engine sees release→acquire edges: both verdicts are clean.
+ * critical_unguarded.c is this file with the critical pragma stripped —
+ * the racy twin the guarded/unguarded golden pair pins. */
+#include <stdio.h>
+
+double a[64];
+double b[64];
+double sum;
+
+int main(void) {
+  sum = 0.0;
+  for (int i = 0; i < 64; i++) {
+    a[i] = (i * 13 % 101) * 0.5;
+    b[i] = (i * 7 % 97) * 0.25;
+  }
+#pragma omp parallel for
+  for (int i = 0; i < 64; i++) {
+    double t = a[i] * b[i];
+#pragma omp critical
+    sum += t;
+  }
+  printf("dot %.17g\n", sum);
+  return 0;
+}

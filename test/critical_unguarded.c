@@ -1,0 +1,23 @@
+/* Racecheck fixture: critical_guarded.c with the critical pragma
+ * stripped.  The bare `sum += t` update races under every plan with
+ * more than one worker; both engines must flag the word and agree. */
+#include <stdio.h>
+
+double a[64];
+double b[64];
+double sum;
+
+int main(void) {
+  sum = 0.0;
+  for (int i = 0; i < 64; i++) {
+    a[i] = (i * 13 % 101) * 0.5;
+    b[i] = (i * 7 % 97) * 0.25;
+  }
+#pragma omp parallel for
+  for (int i = 0; i < 64; i++) {
+    double t = a[i] * b[i];
+    sum += t;
+  }
+  printf("dot %.17g\n", sum);
+  return 0;
+}

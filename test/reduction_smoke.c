@@ -1,0 +1,24 @@
+/* Smoke workload for the @reduction-smoke CI alias: a dot product whose
+ * accumulator is named in a reduction(+:s) clause, so `purec run --mode
+ * manual --jobs 2` executes it on the domain pool with per-chunk partial
+ * accumulators and a chunk-order merge.  The operand values are exact
+ * multiples of 0.125, so the printed sum is byte-identical at every
+ * --jobs level under every schedule. */
+#include <stdio.h>
+
+double a[256];
+double b[256];
+
+int main(void) {
+  double s = 0.0;
+  for (int i = 0; i < 256; i++) {
+    a[i] = (i * 13 % 101) * 0.5;
+    b[i] = (i * 7 % 97) * 0.25;
+  }
+#pragma omp parallel for reduction(+:s)
+  for (int i = 0; i < 256; i++) {
+    s += a[i] * b[i];
+  }
+  printf("dot %.17g\n", s);
+  return 0;
+}

@@ -265,6 +265,91 @@ let test_tileable_shrinker_replay () =
          report.Fuzzgen.Oracle.r_failures)
 
 (* ------------------------------------------------------------------ *)
+(* The reduction-loop and critical-guarded shared-update shapes: a
+   pragma'd scalar reduction (merged from per-chunk partials when pooled)
+   and a shared global counter updated under critical/atomic (clean for
+   the race engines only because the access log carries the lock ids) *)
+
+let has_reduction src = Support.Util.string_contains ~needle:"reduction(" src
+
+let has_critical src =
+  Support.Util.string_contains ~needle:"omp critical" src
+  || Support.Util.string_contains ~needle:"omp atomic" src
+
+let test_reduction_shape_presence () =
+  match find_seed has_reduction with
+  | None -> Alcotest.fail "no reduction-loop program in seeds 1-60"
+  | Some s ->
+    Alcotest.(check string) "reduction seed deterministic"
+      (Fuzzgen.Gen.source_of_seed s) (Fuzzgen.Gen.source_of_seed s);
+    Alcotest.(check bool) "accumulator named in the clause" true
+      (Support.Util.string_contains ~needle:":r0)" (Fuzzgen.Gen.source_of_seed s))
+
+let test_critical_shape_presence () =
+  match find_seed has_critical with
+  | None -> Alcotest.fail "no critical/atomic program in seeds 1-60"
+  | Some s ->
+    Alcotest.(check string) "critical seed deterministic"
+      (Fuzzgen.Gen.source_of_seed s) (Fuzzgen.Gen.source_of_seed s);
+    Alcotest.(check bool) "the guarded counter is printed" true
+      (Support.Util.string_contains ~needle:"crit %d" (Fuzzgen.Gen.source_of_seed s))
+
+(* both shapes pass the whole differential oracle with the racecheck stage
+   enabled: the reduction accumulator is privatized and the guarded
+   counter's accesses carry their lock ids, so both engines stay clean
+   and in agreement *)
+let shape_oracle_clean name pred () =
+  let seed =
+    match find_seed pred with
+    | Some s -> s
+    | None -> Alcotest.failf "no %s seed" name
+  in
+  let case = Fuzzgen.Fuzz.run_one ~racecheck:true ~shrink:false seed in
+  if not (Fuzzgen.Oracle.passed case.Fuzzgen.Fuzz.c_report) then
+    Alcotest.failf "%s seed %d fails the oracle: %s" name seed
+      (String.concat "; "
+         (List.map Fuzzgen.Oracle.describe
+            case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures))
+
+let test_reduction_oracle_clean = shape_oracle_clean "reduction" has_reduction
+
+let test_critical_oracle_clean = shape_oracle_clean "critical" has_critical
+
+(* shrinker replay on a seed carrying the new shapes: inject an illegal
+   transform, shrink, and replay from the seed *)
+let test_reduction_shrinker_replay () =
+  let rec find s =
+    if s > 40 then None
+    else if has_reduction (Fuzzgen.Gen.source_of_seed s) then begin
+      let case = Fuzzgen.Fuzz.run_one ~inject:true ~shrink:false s in
+      let kinds =
+        List.map Fuzzgen.Oracle.kind_tag case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures
+      in
+      if List.mem "output-mismatch" kinds then Some (s, case) else find (s + 1)
+    end
+    else find (s + 1)
+  in
+  match find 1 with
+  | None -> Alcotest.skip ()  (* no injectable failure among the early seeds *)
+  | Some (seed, case) ->
+    let replay = Fuzzgen.Fuzz.run_one ~inject:true ~shrink:false seed in
+    Alcotest.(check bool) "seed replays the same failure kinds" true
+      (List.map Fuzzgen.Oracle.kind_tag
+         replay.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures
+      = List.map Fuzzgen.Oracle.kind_tag
+          case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures);
+    let prog = Fuzzgen.Gen.program_of_seed seed in
+    let minimized, _ = Fuzzgen.Shrink.minimize ~inject:true ~kind:"output-mismatch" prog in
+    let shrunk = Ast_printer.program_to_string minimized in
+    Alcotest.(check bool) "minimized is smaller" true
+      (String.length shrunk < String.length case.Fuzzgen.Fuzz.c_source);
+    let report = Fuzzgen.Oracle.check ~inject:true shrunk in
+    Alcotest.(check bool) "minimized still fails the same way" true
+      (List.exists
+         (fun f -> Fuzzgen.Oracle.kind_tag f = "output-mismatch")
+         report.Fuzzgen.Oracle.r_failures)
+
+(* ------------------------------------------------------------------ *)
 (* Differential oracle *)
 
 let test_oracle_clean_campaign () =
@@ -529,6 +614,16 @@ let suite =
       test_tileable_oracle_clean;
     Alcotest.test_case "tileable shrinker replay" `Slow
       test_tileable_shrinker_replay;
+    Alcotest.test_case "reduction shape present and deterministic" `Quick
+      test_reduction_shape_presence;
+    Alcotest.test_case "critical shape present and deterministic" `Quick
+      test_critical_shape_presence;
+    Alcotest.test_case "reduction shape oracle-clean" `Quick
+      test_reduction_oracle_clean;
+    Alcotest.test_case "critical shape oracle-clean" `Quick
+      test_critical_oracle_clean;
+    Alcotest.test_case "reduction shape shrinker replay" `Slow
+      test_reduction_shrinker_replay;
     Alcotest.test_case "campaign exit-code precedence" `Quick
       test_campaign_exit_code_precedence;
     Alcotest.test_case "cli fuzz racecheck + jobs determinism" `Slow

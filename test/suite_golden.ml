@@ -83,7 +83,7 @@ let test_case_for (name, source) () =
    Stdout is byte-identical across --jobs, so the golden pins the exact
    report bytes. *)
 
-let golden_of_command ~name ~args () =
+let golden_of_command ?(expect_code = 0) ~name ~args () =
   let purec =
     let candidates = [ "../bin/purec.exe"; "_build/default/bin/purec.exe" ] in
     match List.find_opt Sys.file_exists candidates with
@@ -96,7 +96,9 @@ let golden_of_command ~name ~args () =
       (Printf.sprintf "%s %s > %s 2>/dev/null" (Filename.quote purec) args
          (Filename.quote out))
   in
-  Alcotest.(check int) (Printf.sprintf "purec %s exits 0" args) 0 code;
+  Alcotest.(check int)
+    (Printf.sprintf "purec %s exits %d" args expect_code)
+    expect_code code;
   let printed = read_file out in
   Sys.remove out;
   match update_dir () with
@@ -120,6 +122,20 @@ let test_racecheck_wavefront_tiled =
   golden_of_command ~name:"racecheck_wavefront_tiled"
     ~args:"racecheck --workload pure-wavefront --workload antidiag --tile 4"
 
+(* The critical/atomic lowering pair: a dot product whose shared
+   accumulator is updated under [#pragma omp critical] is clean under both
+   engines (the trace carries the lock id on every access), and the same
+   kernel with the pragma stripped is racy under every plan — exit 5, with
+   the hand-written-pragma attribution line pinned. *)
+let test_racecheck_critical_guarded =
+  golden_of_command ~name:"racecheck_critical_guarded"
+    ~args:"racecheck critical_guarded.c --mode manual --engine both --cores 4"
+
+let test_racecheck_critical_unguarded =
+  golden_of_command ~expect_code:Toolchain.Chain.exit_race
+    ~name:"racecheck_critical_unguarded"
+    ~args:"racecheck critical_unguarded.c --mode manual --engine both --cores 4"
+
 let suite =
   List.map (fun (name, src) -> Alcotest.test_case name `Quick (test_case_for (name, src))) cases
   @ [
@@ -127,4 +143,8 @@ let suite =
         test_racecheck_kernels_attribution;
       Alcotest.test_case "racecheck_wavefront_tiled" `Quick
         test_racecheck_wavefront_tiled;
+      Alcotest.test_case "racecheck_critical_guarded" `Quick
+        test_racecheck_critical_guarded;
+      Alcotest.test_case "racecheck_critical_unguarded" `Quick
+        test_racecheck_critical_unguarded;
     ]

@@ -9,9 +9,11 @@ let sched = Alcotest.testable (fun ppf s -> Fmt.string ppf (R.schedule_name s)) 
 
 (* ------------------------------------------------------------------ *)
 (* Synthetic traces: one parallel segment, [iters] entries of
-   (loc, addr, write) access lists, an 8-byte-element region "A" at 0. *)
+   (loc, addr, write) access lists, an 8-byte-element region "A" at 0.
+   [mk_profile_locked] takes (loc, addr, write, locks) quads for traces
+   that carry critical/atomic sections. *)
 
-let mk_profile ?(sched = Interp.Trace.Static) ?(points = [||]) iters :
+let mk_profile_locked ?(sched = Interp.Trace.Static) ?(points = [||]) iters :
     Interp.Trace.profile =
   let accesses =
     Array.of_list
@@ -19,8 +21,9 @@ let mk_profile ?(sched = Interp.Trace.Static) ?(points = [||]) iters :
          (fun accs ->
            Array.of_list
              (List.map
-                (fun (loc, addr, write) ->
-                  { Interp.Trace.ac_loc = loc; ac_addr = addr; ac_bytes = 8; ac_write = write })
+                (fun (loc, addr, write, locks) ->
+                  { Interp.Trace.ac_loc = loc; ac_addr = addr; ac_bytes = 8;
+                    ac_write = write; ac_locks = List.sort_uniq compare locks })
                 accs))
          iters)
   in
@@ -39,6 +42,10 @@ let mk_profile ?(sched = Interp.Trace.Static) ?(points = [||]) iters :
             pt_points = points };
         ];
   }
+
+let mk_profile ?sched ?points iters =
+  mk_profile_locked ?sched ?points
+    (List.map (List.map (fun (loc, addr, write) -> (loc, addr, write, []))) iters)
 
 let analyze ~schedule ~workers profile =
   match R.analyze ~schedule ~workers profile with
@@ -347,7 +354,7 @@ let test_cross_check_flags_static_divergence () =
     | Ok r -> r
     | Error e -> Alcotest.fail e
   in
-  let ds = R.cross_check ~regions:racy.Interp.Trace.regions ~hb ~lockset:ls in
+  let ds = R.cross_check ~regions:racy.Interp.Trace.regions ~hb ~lockset:ls () in
   Alcotest.(check bool) "lockset-only word on a static plan is a disagreement" true
     (ds <> []);
   (* and the other direction — an hb race the lockset misses — is always a
@@ -358,8 +365,136 @@ let test_cross_check_flags_static_divergence () =
     | Ok r -> r
     | Error e -> Alcotest.fail e
   in
-  let ds = R.cross_check ~regions:racy.Interp.Trace.regions ~hb ~lockset:ls in
+  let ds = R.cross_check ~regions:racy.Interp.Trace.regions ~hb ~lockset:ls () in
   Alcotest.(check bool) "hb-only word violates hb ⊆ lockset" true (ds <> [])
+
+(* ------------------------------------------------------------------ *)
+(* The fed lockset: hand-built traces whose accesses carry held-lock sets *)
+
+let test_locks_held_accessor () =
+  let a =
+    { Interp.Trace.ac_loc = "l.c:1"; ac_addr = 0; ac_bytes = 8; ac_write = true;
+      ac_locks = [ 3; 7 ] }
+  in
+  Alcotest.(check (list int)) "locks_held is the stamped set" [ 3; 7 ]
+    (R.Lockset.locks_held a);
+  let bare = { a with Interp.Trace.ac_locks = [] } in
+  Alcotest.(check (list int)) "empty outside any section" [] (R.Lockset.locks_held bare)
+
+let both_verdict ~schedule ~workers p =
+  match R.verdict ~engine:R.Both ~schedule ~workers p with
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let check_clean_agreeing which v =
+  Alcotest.(check (list string)) (which ^ ": engines agree") []
+    v.R.v_disagreements;
+  List.iter
+    (fun r ->
+      if not (R.clean r) then
+        Alcotest.failf "%s: unexpected race: %s" which (R.describe_report r))
+    (R.verdict_reports v)
+
+let check_racy_agreeing which v =
+  Alcotest.(check (list string)) (which ^ ": engines agree") []
+    v.R.v_disagreements;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (which ^ ": " ^ R.engine_name r.R.p_engine ^ " flags it")
+        false (R.clean r))
+    (R.verdict_reports v)
+
+(* every conflicting access under one common critical section: both engines
+   clean on static and dynamic plans *)
+let test_common_lock_clean () =
+  let p =
+    mk_profile_locked
+      (List.init 8 (fun i ->
+           [ (Printf.sprintf "g.c:%d" i, 0, false, [ 1 ]);
+             (Printf.sprintf "g.c:%d" i, 0, true, [ 1 ]) ]))
+  in
+  List.iter
+    (fun schedule ->
+      check_clean_agreeing "common lock" (both_verdict ~schedule ~workers:4 p))
+    [ Runtime.Par_loop.Static; Runtime.Par_loop.Dynamic 1 ]
+
+(* nested critical sections: the inner access carries both lock ids, and
+   words touched only under the outer lock stay guarded by it *)
+let test_nested_critical_sections () =
+  let p =
+    mk_profile_locked
+      (List.init 6 (fun i ->
+           [ (Printf.sprintf "n.c:%d" i, 0, true, [ 1 ]);
+             (Printf.sprintf "n.c:%d" i, 8, true, [ 1; 2 ]);
+             (Printf.sprintf "n.c:%d" i, 0, true, [ 1 ]) ]))
+  in
+  check_clean_agreeing "nested sections"
+    (both_verdict ~schedule:Runtime.Par_loop.Static ~workers:3 p)
+
+(* disjoint named locks do NOT order or guard anything: iterations
+   alternating between lock 1 and lock 2 on the same word race, and both
+   engines say so *)
+let test_disjoint_named_locks_race () =
+  let p =
+    mk_profile_locked
+      (List.init 6 (fun i ->
+           [ (Printf.sprintf "d.c:%d" i, 0, true, [ 1 + (i mod 2) ]) ]))
+  in
+  check_racy_agreeing "disjoint locks"
+    (both_verdict ~schedule:Runtime.Par_loop.Static ~workers:2 p)
+
+(* a lock released before a conflicting access: the guarded write is no
+   protection against a later bare write *)
+let test_lock_released_before_conflict () =
+  let p =
+    mk_profile_locked
+      [
+        [ ("r.c:1", 0, true, [ 1 ]) ];
+        [ ("r.c:2", 0, true, []) ];
+      ]
+  in
+  check_racy_agreeing "released lock"
+    (both_verdict ~schedule:Runtime.Par_loop.Static ~workers:2 p)
+
+(* The committed divergence witness for the fed lockset: thread 0 writes
+   under lock 1; thread 1 reads under lock 1 and then writes under lock 2.
+   The happens-before replay chains t1 behind t0 through lock 1's
+   release→acquire edge, so hb is clean — but nothing forces t1's
+   acquisition to come second, and the order-free lockset empties the
+   word's candidate set.  On a lock-carrying segment this lockset-only
+   word is the engine's designed advantage, a real race rather than a
+   cross-check disagreement — feeding the lockset must NOT break engine
+   agreement. *)
+let test_fed_lockset_divergence_is_not_disagreement () =
+  let p =
+    mk_profile_locked
+      [
+        [ ("v.c:1", 0, true, [ 1 ]) ];
+        [ ("v.c:2", 0, false, [ 1 ]); ("v.c:3", 0, true, [ 2 ]) ];
+      ]
+  in
+  let schedule = Runtime.Par_loop.Static in
+  let hb = analyze ~schedule ~workers:2 p in
+  Alcotest.(check bool) "hb is blind through the lock-1 chain" true (R.clean hb);
+  let ls =
+    match R.analyze_lockset ~schedule ~workers:2 p with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "lockset empties the candidate set" false (R.clean ls);
+  (* the locked-segment relaxation is what keeps this from being reported
+     as engine divergence *)
+  Alcotest.(check bool) "segment 0 carries lock events" true
+    (R.locked_segments p = [ 0 ]);
+  Alcotest.(check bool) "without the relaxation it WOULD be a disagreement" true
+    (R.cross_check ~locked:[] ~regions:p.Interp.Trace.regions ~hb ~lockset:ls ()
+    <> []);
+  Alcotest.(check (list string)) "with the relaxation: none" []
+    (R.cross_check ~locked:(R.locked_segments p) ~regions:p.Interp.Trace.regions
+       ~hb ~lockset:ls ());
+  let v = both_verdict ~schedule ~workers:2 p in
+  Alcotest.(check bool) "cross-checked verdict is racy" true (R.verdict_racy v);
+  Alcotest.(check (list string)) "and not a disagreement" [] v.R.v_disagreements
 
 (* a race-free tiled kernel passes both engines on every schedule x cores
    plan of the default matrix, with no cross-check disagreements *)
@@ -615,6 +750,14 @@ let suite =
       test_lockset_catches_hb_hidden_race;
     Alcotest.test_case "cross-check static divergence" `Quick
       test_cross_check_flags_static_divergence;
+    Alcotest.test_case "locks_held accessor" `Quick test_locks_held_accessor;
+    Alcotest.test_case "common lock clean" `Quick test_common_lock_clean;
+    Alcotest.test_case "nested critical sections" `Quick test_nested_critical_sections;
+    Alcotest.test_case "disjoint named locks race" `Quick test_disjoint_named_locks_race;
+    Alcotest.test_case "lock released before conflict" `Quick
+      test_lock_released_before_conflict;
+    Alcotest.test_case "fed lockset divergence, engines still agree" `Quick
+      test_fed_lockset_divergence_is_not_disagreement;
     Alcotest.test_case "tiled kernel clean, both engines" `Quick
       test_tiled_kernel_clean_under_both_engines;
     Alcotest.test_case "point_of marks" `Quick test_point_of_marks;

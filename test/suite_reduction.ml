@@ -1,0 +1,352 @@
+(** Reduction-equivalence battery: every [reduction(op:name)] kernel must
+    produce byte-identical output on the domain pool at every --jobs level
+    under static, static-chunked, dynamic, and manually-tiled plans, and
+    both race engines must agree it is clean.  Also pins the merge
+    mechanics: reduction loops really dispatch to the pool (observable via
+    {!Runtime.Pool.batches}), per-chunk partials merge in chunk order (so
+    even inexact float sums are reproducible run-to-run at fixed jobs, and
+    byte-identical across jobs under worker-count-independent chunkings),
+    and loops whose clause or body fall outside the recognized shapes fall
+    back to sequential execution with the same output. *)
+
+module C = Toolchain.Chain
+
+(* every operand an exact multiple of 0.125, so float sums/products are
+   exact and byte-identical under every association *)
+let kernels =
+  [
+    ( "int-sum",
+      {|
+#include <stdio.h>
+int v[128];
+int main(void) {
+  int s = 0;
+  for (int i = 0; i < 128; i++) v[i] = i * 7 % 23;
+#pragma omp parallel for reduction(+:s)
+  for (int i = 0; i < 128; i++) {
+    s += v[i];
+  }
+  printf("sum %d\n", s);
+  return 0;
+}
+|} );
+    ( "dot-product",
+      {|
+#include <stdio.h>
+double a[256];
+double b[256];
+int main(void) {
+  double s = 0.0;
+  for (int i = 0; i < 256; i++) {
+    a[i] = (i * 13 % 101) * 0.5;
+    b[i] = (i * 7 % 97) * 0.25;
+  }
+#pragma omp parallel for reduction(+:s)
+  for (int i = 0; i < 256; i++) {
+    s += a[i] * b[i];
+  }
+  printf("dot %.17g\n", s);
+  return 0;
+}
+|} );
+    ( "int-product",
+      {|
+#include <stdio.h>
+int v[40];
+int main(void) {
+  int p = 1;
+  for (int i = 0; i < 40; i++) v[i] = 1 + i % 9 / 8;
+#pragma omp parallel for reduction(*:p)
+  for (int i = 0; i < 40; i++) {
+    p *= v[i];
+  }
+  printf("product %d\n", p);
+  return 0;
+}
+|} );
+    ( "int-max",
+      {|
+#include <stdio.h>
+int v[200];
+int main(void) {
+  int m = 0;
+  for (int i = 0; i < 200; i++) v[i] = i * 37 % 151;
+#pragma omp parallel for reduction(max:m)
+  for (int i = 0; i < 200; i++) {
+    m = __max(m, v[i]);
+  }
+  printf("max %d\n", m);
+  return 0;
+}
+|} );
+    ( "double-max",
+      {|
+#include <stdio.h>
+double a[200];
+int main(void) {
+  double m = 0.0;
+  for (int i = 0; i < 200; i++) a[i] = (i * 37 % 151) * 0.125;
+#pragma omp parallel for reduction(max:m)
+  for (int i = 0; i < 200; i++) {
+    m = fmax(m, a[i]);
+  }
+  printf("max %.17g\n", m);
+  return 0;
+}
+|} );
+    ( "sched-static4",
+      {|
+#include <stdio.h>
+double a[256];
+int main(void) {
+  double s = 0.0;
+  for (int i = 0; i < 256; i++) a[i] = (i * 11 % 103) * 0.25;
+#pragma omp parallel for schedule(static,4) reduction(+:s)
+  for (int i = 0; i < 256; i++) {
+    s = s + a[i];
+  }
+  printf("sum %.17g\n", s);
+  return 0;
+}
+|} );
+    ( "sched-dynamic2",
+      {|
+#include <stdio.h>
+double a[256];
+int main(void) {
+  double s = 0.0;
+  for (int i = 0; i < 256; i++) a[i] = (i * 11 % 103) * 0.25;
+#pragma omp parallel for schedule(dynamic,2) reduction(+:s)
+  for (int i = 0; i < 256; i++) {
+    s = s + a[i];
+  }
+  printf("sum %.17g\n", s);
+  return 0;
+}
+|} );
+    ( "two-accumulators",
+      {|
+#include <stdio.h>
+double a[256];
+int main(void) {
+  double s = 0.0;
+  double m = 0.0;
+  for (int i = 0; i < 256; i++) a[i] = (i * 29 % 113) * 0.5;
+#pragma omp parallel for reduction(+:s) reduction(max:m)
+  for (int i = 0; i < 256; i++) {
+    s += a[i];
+    m = fmax(m, a[i]);
+  }
+  printf("sum %.17g max %.17g\n", s, m);
+  return 0;
+}
+|} );
+    ( "conditional-update",
+      {|
+#include <stdio.h>
+double a[256];
+int main(void) {
+  double s = 0.0;
+  for (int i = 0; i < 256; i++) a[i] = (i * 13 % 101) * 0.5;
+#pragma omp parallel for reduction(+:s)
+  for (int i = 0; i < 256; i++) {
+    if (a[i] > 8.0) {
+      s += a[i];
+    }
+  }
+  printf("sum %.17g\n", s);
+  return 0;
+}
+|} );
+    ( "tiled-nest",
+      (* each parallel iteration is a whole tile of 16 elements: the
+         tile-granular analogue of the flat dot product *)
+      {|
+#include <stdio.h>
+double a[128];
+double b[128];
+int main(void) {
+  double s = 0.0;
+  for (int i = 0; i < 128; i++) {
+    a[i] = (i * 13 % 101) * 0.5;
+    b[i] = (i * 7 % 97) * 0.25;
+  }
+#pragma omp parallel for reduction(+:s)
+  for (int it = 0; it < 8; it++) {
+    for (int i = it * 16; i < it * 16 + 16; i++) {
+      s += a[i] * b[i];
+    }
+  }
+  printf("dot %.17g\n", s);
+  return 0;
+}
+|} );
+  ]
+
+(* par output at --jobs 1/2/4/8 is byte-identical to the sequential
+   interpreter for every reduction kernel *)
+let test_reduction_equivalence () =
+  List.iter
+    (fun (name, source) ->
+      let c = C.compile ~mode:C.Manual_omp source in
+      let seq = C.execute c in
+      List.iter
+        (fun jobs ->
+          let pool = Runtime.Pool.create jobs in
+          let par = C.execute ~pool c in
+          Runtime.Pool.shutdown pool;
+          Alcotest.(check string)
+            (Printf.sprintf "%s output at --jobs %d" name jobs)
+            seq.Interp.Trace.output par.Interp.Trace.output;
+          Alcotest.(check int)
+            (Printf.sprintf "%s return code at --jobs %d" name jobs)
+            seq.Interp.Trace.return_code par.Interp.Trace.return_code)
+        [ 1; 2; 4; 8 ])
+    kernels
+
+(* reduction loops really reach the pool: the accumulator no longer
+   disqualifies the loop from parallel dispatch *)
+let test_reduction_dispatches_to_pool () =
+  let _, source = List.hd kernels in
+  let c = C.compile ~mode:C.Manual_omp source in
+  let pool = Runtime.Pool.create 4 in
+  let _ = C.execute ~pool c in
+  Alcotest.(check bool) "reduction loop dispatches batches to the pool" true
+    (Runtime.Pool.batches pool > 0);
+  Runtime.Pool.shutdown pool
+
+(* inexact float sums: the chunk-order merge makes the result a pure
+   function of the chunk boundaries, so (a) repeated runs at fixed jobs are
+   byte-identical, and (b) under a dynamic plan — whose chunk intervals do
+   not depend on the worker count — every pooled jobs level prints the
+   same bytes.  (--jobs 1 takes the flat sequential fold, whose
+   association only matches the chunked merge for exact operands; the
+   equivalence battery above covers that case.) *)
+let inexact_source ~sched =
+  Printf.sprintf
+    {|
+#include <stdio.h>
+double a[256];
+int main(void) {
+  double s = 0.0;
+  for (int i = 0; i < 256; i++) a[i] = 1.0 / (i + 1);
+#pragma omp parallel for %s reduction(+:s)
+  for (int i = 0; i < 256; i++) {
+    s += a[i];
+  }
+  printf("harmonic %%.17g\n", s);
+  return 0;
+}
+|}
+    sched
+
+let run_at_jobs c jobs =
+  let pool = Runtime.Pool.create jobs in
+  let out = (C.execute ~pool c).Interp.Trace.output in
+  Runtime.Pool.shutdown pool;
+  out
+
+let test_float_merge_determinism () =
+  let c = C.compile ~mode:C.Manual_omp (inexact_source ~sched:"") in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "repeated runs at --jobs %d agree" jobs)
+        (run_at_jobs c jobs) (run_at_jobs c jobs))
+    [ 2; 4; 8 ];
+  let c = C.compile ~mode:C.Manual_omp (inexact_source ~sched:"schedule(dynamic,2)") in
+  let two = run_at_jobs c 2 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "dynamic chunking is jobs-invariant at --jobs %d" jobs)
+        two (run_at_jobs c jobs))
+    [ 4; 8 ]
+
+(* a clause or body outside the recognized shapes must not parallelize —
+   and must still compute the right answer sequentially *)
+let fallback_cases =
+  [
+    ( "unrecognized-op",
+      (* OpenMP's min operator: privatized for the race detector but not
+         merged, so the loop stays sequential *)
+      {|
+#include <stdio.h>
+int v[64];
+int main(void) {
+  int s = 1000;
+  for (int i = 0; i < 64; i++) v[i] = i * 37 % 151;
+#pragma omp parallel for reduction(min:s)
+  for (int i = 0; i < 64; i++) {
+    s = __min(s, v[i]);
+  }
+  printf("min %d\n", s);
+  return 0;
+}
+|} );
+    ( "accumulator-read-outside-update",
+      {|
+#include <stdio.h>
+int v[64];
+int t[64];
+int main(void) {
+  int s = 0;
+  for (int i = 0; i < 64; i++) v[i] = i * 7 % 23;
+#pragma omp parallel for reduction(+:s)
+  for (int i = 0; i < 64; i++) {
+    s += v[i];
+    t[i] = s;
+  }
+  printf("sum %d last %d\n", s, t[63]);
+  return 0;
+}
+|} );
+  ]
+
+let test_fallback_stays_sequential () =
+  List.iter
+    (fun (name, source) ->
+      let c = C.compile ~mode:C.Manual_omp source in
+      let seq = C.execute c in
+      let pool = Runtime.Pool.create 4 in
+      let par = C.execute ~pool c in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: no parallel dispatch" name)
+        0 (Runtime.Pool.batches pool);
+      Runtime.Pool.shutdown pool;
+      Alcotest.(check string)
+        (Printf.sprintf "%s: output unchanged" name)
+        seq.Interp.Trace.output par.Interp.Trace.output)
+    fallback_cases
+
+(* both engines replay every reduction kernel clean and agree: the
+   accumulator is a privatized per-thread copy, not a shared scalar *)
+let test_reduction_racecheck_agrees () =
+  List.iter
+    (fun (name, source) ->
+      let _, _, verdicts = C.run_racecheck ~mode:C.Manual_omp source in
+      List.iter
+        (fun (v : Racecheck.verdict) ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s: engines agree" name)
+            [] v.Racecheck.v_disagreements;
+          List.iter
+            (fun r ->
+              if not (Racecheck.clean r) then
+                Alcotest.failf "%s races: %s" name (Racecheck.describe_report r))
+            (Racecheck.verdict_reports v))
+        verdicts)
+    kernels
+
+let suite =
+  [
+    Alcotest.test_case "reduction par=seq at jobs 1/2/4/8" `Quick
+      test_reduction_equivalence;
+    Alcotest.test_case "reduction dispatch reaches the pool" `Quick
+      test_reduction_dispatches_to_pool;
+    Alcotest.test_case "float merge determinism" `Quick test_float_merge_determinism;
+    Alcotest.test_case "unrecognized shapes fall back sequential" `Quick
+      test_fallback_stays_sequential;
+    Alcotest.test_case "reduction racecheck clean, engines agree" `Quick
+      test_reduction_racecheck_agrees;
+  ]

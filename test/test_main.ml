@@ -21,4 +21,5 @@ let () =
       ("fuzzgen", Suite_fuzzgen.suite);
       ("racecheck", Suite_racecheck.suite);
       ("tiled", Suite_tiled.suite);
+      ("reduction", Suite_reduction.suite);
     ]
