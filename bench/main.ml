@@ -226,6 +226,67 @@ int main(void) {
       ])
     rows
 
+(* the serve daemon's end-to-end throughput (DESIGN.md §12): a fixed
+   32-request corpus of distinct inline run requests — distinct sources, so
+   neither the TU cache nor the reply memo short-circuits the work — pushed
+   through [Server.run_script] at 1/2/4/8 worker domains.  A fresh server
+   per repetition keeps the caches cold; the series therefore measures
+   parse + purity + execute + reply per request, i.e. what a build-server
+   client would see. *)
+let run_measured_serve domains =
+  let module P = Serve.Protocol in
+  let reqs = 32 in
+  let source k =
+    Printf.sprintf
+      "#include <stdio.h>\n\
+       int main(void) {\n\
+      \  int s = 0;\n\
+      \  for (int i = 0; i < 64; i++) s += i * %d;\n\
+      \  printf(\"s %%d\\n\", s);\n\
+      \  return 0;\n\
+       }\n"
+      k
+  in
+  let script =
+    List.init reqs (fun k ->
+        P.to_string
+          (P.Obj
+             [
+               ("id", P.Str (Printf.sprintf "q%d" k));
+               ("cmd", P.Str "run");
+               ("source", P.Str (source (k + 1)));
+               ("mode", P.Str "seq");
+               ("cores", P.Arr [ P.Int 1 ]);
+             ]))
+  in
+  let reps = 3 in
+  pf "== measured: serve throughput, %d-request corpus (best of %d) ==@." reqs reps;
+  let rows =
+    List.map
+      (fun d ->
+        let t =
+          best_of reps (fun () ->
+              let srv = Serve.Server.create ~jobs:d () in
+              Fun.protect
+                ~finally:(fun () -> Serve.Server.shutdown srv)
+                (fun () -> ignore (Serve.Server.run_script srv script)))
+        in
+        let rps = float_of_int reqs /. t in
+        pf "  %2d domain(s): %10.6f s   %8.1f req/s@." d t rps;
+        (d, t, rps))
+      domains
+  in
+  let title = Printf.sprintf "serve daemon: %d distinct run requests" reqs in
+  List.concat_map
+    (fun (d, t, rps) ->
+      [
+        record ~kind:"measured" ~figure:"measured-serve-throughput" ~title ~unit:"seconds"
+          ~variant:"wall-clock" ~cores:d ~value:t;
+        record ~kind:"measured" ~figure:"measured-serve-throughput" ~title ~unit:"req/s"
+          ~variant:"throughput" ~cores:d ~value:rps;
+      ])
+    rows
+
 let run_figures scale which ~json ~domains ~tile_grain =
   let module F = Toolchain.Figures in
   let wants id = match which with None -> true | Some w -> w = id in
@@ -261,7 +322,8 @@ let run_figures scale which ~json ~domains ~tile_grain =
     let measured = run_measured scale domains in
     let tiled = run_measured_tiled ~tile_grain scale domains in
     let reduction = run_measured_reduction scale domains in
-    write_json (figure_records rendered @ measured @ tiled @ reduction)
+    let serve = run_measured_serve domains in
+    write_json (figure_records rendered @ measured @ tiled @ reduction @ serve)
   end;
   (* correctness cross-check printed alongside the data *)
   let check name d =
@@ -517,7 +579,8 @@ let () =
     let measured = run_measured scale !domains in
     let tiled = run_measured_tiled ~tile_grain:!tile_grain scale !domains in
     let reduction = run_measured_reduction scale !domains in
-    if !json then write_json (measured @ tiled @ reduction)
+    let serve = run_measured_serve !domains in
+    if !json then write_json (measured @ tiled @ reduction @ serve)
   end
   else if !only_ablations then run_ablations scale !ablation
   else begin

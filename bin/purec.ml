@@ -8,8 +8,16 @@
     purec compile file.c            run the chain, print the transformed C
     purec run file.c                compile and execute on the instrumented
                                     interpreter; report output and timing
+    purec serve                     persistent daemon: JSONL requests on
+                                    stdin, one JSON reply per line on stdout
     v}
-*)
+
+    The printing for compile/run/racecheck lives in {!Toolchain.Chain}
+    ([pp_compile_result], [pp_run_report], [racecheck_report]) and the fuzz
+    report in {!Serve.Driver.fuzz_campaign}; this file only parses flags
+    and points the shared drivers at stdout.  [purec serve] replies are
+    byte-identical to the one-shot commands because both run exactly that
+    code. *)
 
 open Cmdliner
 
@@ -84,38 +92,14 @@ let read_file path =
   close_in ic;
   s
 
-let chain_mode mode sica tile schedule =
-  let adjust (c : Pluto.config) =
-    let c = if sica then { c with Pluto.sica = true; sica_cache = Toolchain.Chain.scaled_sica_cache } else c in
-    let c =
-      match tile with
-      | Some ts -> { c with Pluto.tile = true; tile_sizes = [ ts ] }
-      | None -> c
-    in
-    { c with Pluto.schedule_clause = schedule }
-  in
-  match mode with
-  | `Pure -> Toolchain.Chain.Pure_chain adjust
-  | `Seq -> Toolchain.Chain.Sequential
-  | `Pluto -> Toolchain.Chain.Plain_pluto adjust
-  | `Manual -> Toolchain.Chain.Manual_omp
-
-let report_outcomes (c : Toolchain.Chain.compiled) =
-  List.iter
-    (fun (o : Pluto.outcome) ->
-      match o.Pluto.o_result with
-      | Pluto.Transformed { t_units } ->
-        List.iter
-          (fun (u : Pluto.unit_info) ->
-            Fmt.pr "scop at %a: iters [%s], parallel level %s, tiled %d levels%s@."
-              Support.Loc.pp o.Pluto.o_loc
-              (String.concat ", " u.Pluto.ui_iters)
-              (match u.Pluto.ui_parallel with Some l -> string_of_int l | None -> "none")
-              u.Pluto.ui_tiled
-              (if u.Pluto.ui_identity then "" else " (transformed schedule)"))
-          t_units
-      | Pluto.Rejected msg -> Fmt.pr "scop at %a: rejected (%s)@." Support.Loc.pp o.Pluto.o_loc msg)
-    c.Toolchain.Chain.c_outcomes
+let make_spec mode sica tile schedule =
+  {
+    Toolchain.Chain.ms_mode = mode;
+    ms_sica = sica;
+    ms_tile = tile;
+    ms_schedule = schedule;
+    ms_inject = false;
+  }
 
 (* exit with a code that tells the failure stages apart (see
    {!Toolchain.Chain.classify_errors}): 2 = parse, 3 = purity, 1 = other *)
@@ -162,13 +146,9 @@ let compile_cmd =
   let run file mode sica tile schedule dump =
     handle_compile_error (fun () ->
         let src = read_file file in
-        let c = Toolchain.Chain.compile ~mode:(chain_mode mode sica tile schedule) src in
-        report_outcomes c;
-        if dump then
-          List.iter
-            (fun (stage, text) -> Fmt.pr "@.===== stage %s =====@.%s@." stage text)
-            c.Toolchain.Chain.c_stage_sources
-        else Fmt.pr "%s@." c.Toolchain.Chain.c_emitted)
+        let spec = make_spec mode sica tile schedule in
+        let c = Toolchain.Chain.compile ~mode:(Toolchain.Chain.mode_of_spec spec) src in
+        Toolchain.Chain.pp_compile_result Fmt.stdout ~dump c)
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Run the source-to-source chain and print the result.")
@@ -192,8 +172,9 @@ let run_cmd =
   let run file mode sica tile schedule cores backend jobs tile_grain =
     handle_compile_error (fun () ->
         let src = read_file file in
-        let c = Toolchain.Chain.compile ~mode:(chain_mode mode sica tile schedule) src in
-        report_outcomes c;
+        let spec = make_spec mode sica tile schedule in
+        let c = Toolchain.Chain.compile ~mode:(Toolchain.Chain.mode_of_spec spec) src in
+        Toolchain.Chain.pp_outcomes Fmt.stdout c;
         let profile =
           if jobs > 1 then begin
             let pool = Runtime.Pool.create jobs in
@@ -209,20 +190,7 @@ let run_cmd =
           end
           else Toolchain.Chain.execute ~tile_grain c
         in
-        Fmt.pr "--- program output ---@.%s--- end output ---@." profile.Interp.Trace.output;
-        Fmt.pr "exit code: %d@." profile.Interp.Trace.return_code;
-        Fmt.pr "parallel regions executed: %d@."
-          (Interp.Trace.n_parallel_segments profile);
-        let cost = Interp.Trace.total_cost profile in
-        Fmt.pr "dynamic ops: %d (flops %d, loads %d, stores %d, calls %d)@."
-          (Interp.Cost.total_ops cost) (Interp.Cost.total_flops cost) cost.Interp.Cost.loads
-          cost.Interp.Cost.stores cost.Interp.Cost.calls;
-        Fmt.pr "simulated %s timing:@." backend.Machine.Config.b_name;
-        List.iter
-          (fun n ->
-            let r = Machine.Model.simulate ~backend ~n profile in
-            Fmt.pr "  %2d cores: %10.6f s@." n r.Machine.Model.r_seconds)
-          cores)
+        Toolchain.Chain.pp_run_report Fmt.stdout ~cores ~backend profile)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, execute, and simulate timings on the modeled machine.")
@@ -380,99 +348,29 @@ let racecheck_cmd =
        replayed in target order — stdout is byte-identical for every --jobs *)
     let check_target (name, target) =
       let buf = Buffer.create 256 in
-      let pr fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+      let ppf = Format.formatter_of_buffer buf in
       try
         let source, chosen_mode =
           match target with
           | `File src ->
-            let adjust_mode m =
-              if not inject then m
-              else
-                match m with
-                | Toolchain.Chain.Pure_chain adj ->
-                  Toolchain.Chain.Pure_chain
-                    (fun c -> { (adj c) with Pluto.unsafe_no_legality = true })
-                | Toolchain.Chain.Plain_pluto adj ->
-                  Toolchain.Chain.Plain_pluto
-                    (fun c -> { (adj c) with Pluto.unsafe_no_legality = true })
-                | m -> m
-            in
-            (src, adjust_mode (chain_mode mode sica tile None))
+            (src, Toolchain.Chain.mode_of_spec { (make_spec mode sica tile None) with ms_inject = inject })
           | `Workload src -> (src, workload_mode ~inject ~sica ~tile src)
         in
-        let c, profile, verdicts =
-          Toolchain.Chain.run_racecheck ~mode:chosen_mode ~engine ~schedules ~cores
-            ~tile_grain source
+        let racy =
+          Toolchain.Chain.racecheck_report ppf ~name ~engine ~schedules ~cores ~tile_grain
+            ~inject ~mode:chosen_mode source
         in
-        (* per-outcome attribution: every [unit N] pragma tag maps back to
-           the polyhedral transform unit that emitted it *)
-        let units = Pluto.unit_table c.Toolchain.Chain.c_outcomes in
-        Array.iteri
-          (fun id (loc, u) ->
-            pr "%s: unit %d (scop at %a): %s@." name id Support.Loc.pp loc
-              (Pluto.describe_unit u))
-          units;
-        let attribute seg =
-          let tagged =
-            match profile.Interp.Trace.par_traces with
-            | Some traces -> (
-              match List.nth_opt traces seg with
-              | Some pt -> pt.Interp.Trace.pt_unit
-              | None -> None)
-            | None -> None
-          in
-          match tagged with
-          | Some id when id >= 0 && id < Array.length units ->
-            let loc, u = units.(id) in
-            Fmt.str "transform unit %d (scop at %a): %s" id Support.Loc.pp loc
-              (Pluto.describe_unit u)
-          | Some id -> Fmt.str "transform unit %d (no surviving outcome)" id
-          | None -> "a hand-written pragma (no transform unit)"
-        in
-        let racy_verdicts = List.filter Racecheck.verdict_racy verdicts in
-        let disagreements = Racecheck.verdicts_disagreements verdicts in
-        if racy_verdicts = [] && disagreements = [] then
-          pr "%s: no races across %d plans (engine %s; %s x cores %s)@." name
-            (List.length verdicts)
-            (Racecheck.engine_choice_name engine)
-            (String.concat ", " (List.map Racecheck.schedule_name schedules))
-            (String.concat ", " (List.map string_of_int cores))
-        else begin
-          List.iter
-            (fun v ->
-              List.iter
-                (fun (r : Racecheck.report) ->
-                  if not (Racecheck.clean r) then begin
-                    pr "%s: %s@." name (Racecheck.describe_report r);
-                    List.iter
-                      (fun seg ->
-                        pr "%s:   segment %d emitted by %s@." name seg (attribute seg))
-                      (List.sort_uniq compare (List.map fst r.Racecheck.p_words))
-                  end)
-                (Racecheck.verdict_reports v))
-            racy_verdicts;
-          List.iter (fun d -> pr "%s: ENGINE DISAGREEMENT: %s@." name d) disagreements;
-          if not inject && racy_verdicts <> [] then
-            if Array.length units > 0 then
-              pr
-                "%s: LEGALITY DISAGREEMENT: the polyhedral legality analysis approved \
-                 this transform, but a dynamic race engine found races — one of the \
-                 two is wrong.@."
-                name
-            else
-              pr
-                "%s: the hand-written pragmas assert an independence the program \
-                 does not have.@."
-                name
-        end;
-        (Buffer.contents buf, "", racy_verdicts <> [] || disagreements <> [], None)
+        Format.pp_print_flush ppf ();
+        (Buffer.contents buf, "", racy, None)
       with
       | Toolchain.Chain.Compile_error diags ->
+        Format.pp_print_flush ppf ();
         ( Buffer.contents buf,
           String.concat "" (List.map (fun d -> Fmt.str "%a@." Support.Diag.pp d) diags),
           false,
           Some (Toolchain.Chain.classify_errors diags) )
       | Support.Diag.Fatal d ->
+        Format.pp_print_flush ppf ();
         ( Buffer.contents buf,
           Fmt.str "%a@." Support.Diag.pp d,
           false,
@@ -566,38 +464,13 @@ let fuzz_cmd =
     let jobs = resolve_jobs jobs in
     (* stderr, so the campaign report on stdout stays identical across --jobs *)
     Fmt.epr "fuzz: %d domain(s)@." jobs;
-    let checked = ref 0 in
-    let on_case (case : Fuzzgen.Fuzz.case_result) =
-      incr checked;
-      if dump then
-        Fmt.pr "===== seed %d =====@.%s@." case.Fuzzgen.Fuzz.c_seed case.Fuzzgen.Fuzz.c_source;
-      if not (Fuzzgen.Oracle.passed case.Fuzzgen.Fuzz.c_report) then begin
-        Fmt.pr "seed %d: FAILED (replay: purec fuzz --seed %d --count 1%s%s)@."
-          case.Fuzzgen.Fuzz.c_seed case.Fuzzgen.Fuzz.c_seed
-          (if inject then " --inject-illegal" else "")
-          (if racecheck then " --racecheck" else "");
-        List.iter
-          (fun f -> Fmt.pr "  %s@." (Fuzzgen.Oracle.describe f))
-          case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures;
-        match case.Fuzzgen.Fuzz.c_shrunk with
-        | Some src -> Fmt.pr "--- minimized reproducer ---@.%s@." src
-        | None -> ()
-      end
-    in
     match
-      Fuzzgen.Fuzz.campaign ~inject ~racecheck ~shrink:(not no_shrink) ~on_case ~jobs
-        ~seed ~count ()
+      Serve.Driver.fuzz_campaign Fmt.stdout ~seed ~count ~inject ~racecheck ~dump
+        ~shrink:(not no_shrink) ~jobs
     with
-    | result ->
-      let nfail = List.length result.Fuzzgen.Fuzz.k_failed in
-      Fmt.pr "fuzz: %d programs, %d configurations each, %d mismatches@." result.Fuzzgen.Fuzz.k_count
-        result.Fuzzgen.Fuzz.k_configs nfail;
-      (* exit precedence lives in one place (cf. Fuzz.campaign_exit_code):
-         a race or engine disagreement outranks any differential mismatch *)
-      let code = Fuzzgen.Fuzz.campaign_exit_code result in
-      if code <> Toolchain.Chain.exit_ok then exit code
+    | code -> if code <> Toolchain.Chain.exit_ok then exit code
     | exception Fuzzgen.Fuzz.Roundtrip_error msg ->
-      Fmt.epr "fuzz: internal round-trip failure after %d programs: %s@." !checked msg;
+      Fmt.epr "fuzz: internal round-trip failure: %s@." msg;
       exit Toolchain.Chain.exit_error
   in
   Cmd.v
@@ -610,8 +483,72 @@ let fuzz_cmd =
       $ no_shrink_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve *)
+
+let serve_cmd =
+  let queue_depth_arg =
+    let doc =
+      "Bounded request-queue capacity (back-pressure): requests arriving \
+       while the queue is full get an immediate $(b,busy) reply instead of \
+       queueing without limit."
+    in
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"K" ~doc)
+  in
+  let batch_arg =
+    let doc =
+      "Batch mode: instead of serving stdin, fan the given files across \
+       the pool as one batch request (repeatable), print the reply, and \
+       exit with the aggregate status."
+    in
+    Arg.(value & opt_all file [] & info [ "batch" ] ~docv:"FILE" ~doc)
+  in
+  let run jobs queue_depth batch_files =
+    let jobs = resolve_jobs jobs in
+    let t = Serve.Server.create ~jobs ~queue_depth () in
+    Fun.protect
+      ~finally:(fun () -> Serve.Server.shutdown t)
+      (fun () ->
+        match batch_files with
+        | [] -> Serve.Server.stdio t
+        | files ->
+          let line =
+            Serve.Protocol.(
+              to_string
+                (Obj
+                   [
+                     ("id", Str "batch");
+                     ("cmd", Str "batch");
+                     ("files", Arr (List.map (fun f -> Str f) files));
+                   ]))
+          in
+          let replies = Serve.Server.run_script t [ line ] in
+          List.iter print_endline replies;
+          let code =
+            match replies with
+            | [ reply ] -> (
+              match
+                Serve.Protocol.(field (of_string reply) "exit")
+              with
+              | Some (Serve.Protocol.Int code) -> code
+              | _ -> Toolchain.Chain.exit_error)
+            | _ -> Toolchain.Chain.exit_error
+          in
+          if code <> 0 then exit code)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Persistent compile-and-run daemon: read JSONL requests \
+          ($(b,compile), $(b,run), $(b,racecheck), $(b,fuzz), $(b,batch), \
+          $(b,stats)) from stdin, answer one JSON reply per line on stdout, \
+          keeping one domain pool and warm caches across all requests.")
+    Term.(const run $ jobs_arg $ queue_depth_arg $ batch_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "the pure-C automatic parallelization chain (paper reproduction)" in
   let info = Cmd.info "purec" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; compile_cmd; run_cmd; racecheck_cmd; fuzz_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ check_cmd; compile_cmd; run_cmd; racecheck_cmd; fuzz_cmd; serve_cmd ]))

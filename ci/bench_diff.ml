@@ -13,7 +13,8 @@
       the band is a factor of 8.
 
     A violation only counts as a regression in the *worse* direction:
-    larger for time-like units, smaller for ["speedup"].  Records missing
+    larger for time-like units, smaller for ["speedup"] and ["req/s"].
+    Records missing
     from the current run fail hard.  A record new in the current run is
     reported but accepted only when its series (figure/unit/variant) is
     already in the baseline (e.g. an extra cores point); a whole series
@@ -126,7 +127,7 @@ let key r = Printf.sprintf "%s|%s|%s|cores=%d" r.r_figure r.r_unit r.r_variant r
 let series r = Printf.sprintf "%s|%s|%s" r.r_figure r.r_unit r.r_variant
 
 (* higher-is-better units regress downward; everything else upward *)
-let higher_is_better r = r.r_unit = "speedup"
+let higher_is_better r = r.r_unit = "speedup" || r.r_unit = "req/s"
 
 (* [Some msg] when [cur] regresses past the band of [base] *)
 let regression base cur =

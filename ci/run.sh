@@ -9,7 +9,9 @@
 # racechecked clean via nested traces, plus one tileable fuzz seed), and
 # the reduction smoke (a reduction(+:s) dot product on 2 domains, the
 # critical-guarded/unguarded racecheck pair, plus one fuzz seed carrying
-# the reduction and critical-update grammar shapes).
+# the reduction and critical-update grammar shapes), and the serve smoke
+# (a 5-request JSONL script — compile/run/racecheck/malformed/stats —
+# piped through the `purec serve` daemon with per-reply assertions).
 #
 # Last comes the benchmark regression gate: a quick bench run must stay
 # inside the per-record tolerance bands of the committed baseline
@@ -27,5 +29,6 @@ dune build @race-smoke
 dune build @lockset-smoke
 dune build @tile-smoke
 dune build @reduction-smoke
+dune build @serve-smoke
 dune exec bench/main.exe -- --quick --json > /dev/null
 dune exec ci/bench_diff.exe -- ci/bench_baseline.json BENCH_results.json

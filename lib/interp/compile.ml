@@ -81,8 +81,19 @@ type rt = {
           relies on the actual mutexes instead. *)
 }
 
+(* Census of runtimes ever created.  Every [rt] owns its DLS key, allocator,
+   output buffers, and per-site promotion memos, so this counter is the
+   serve daemon's isolation invariant made observable: it must grow by at
+   least one per executed request ([{"cmd":"stats"}] reports it, the serve
+   suite asserts on it) — a stagnating census would mean two requests
+   shared mutable interpreter state. *)
+let rt_census = Atomic.make 0
+
+let rts_created () = Atomic.get rt_census
+
 let create_rt ?l1_bytes ?l2_bytes ?(trace_accesses = false) ?(shadow_slots = false)
     ?(tile_grain = true) ?pool () =
+  Atomic.incr rt_census;
   let mk_dstate slot =
     let counters = Cost.create () in
     {

@@ -2,9 +2,21 @@
     runtime when generated code is run for real (as opposed to being
     simulated by the {!Machine} model).
 
-    The pool spawns [size - 1] worker domains once; [run] distributes a
-    batch of thunks and waits for all of them (fork/join semantics of a
-    [#pragma omp parallel for]). *)
+    The pool spawns [size - 1] worker domains once and supports two dispatch
+    disciplines on the same worker set:
+
+    - {!run}: fork/join — a batch of thunks is distributed and the caller
+      helps until every one has finished ([#pragma omp parallel for]
+      semantics).  Batches must not overlap.
+    - {!submit}: streaming — one fire-and-forget job is enqueued and picked
+      up by whichever worker is free; {!quiesce} waits for the queue to
+      drain.  This is the serve daemon's discipline: one long-lived pool
+      multiplexes many independent requests instead of paying domain-spawn
+      cost per request.
+
+    The two disciplines share the queue but must not be interleaved (a
+    concurrent [run] would join on streaming jobs too); the serve daemon
+    uses [submit]/[quiesce] exclusively. *)
 
 type job = unit -> unit
 
@@ -17,12 +29,17 @@ type t = {
   mutable outstanding : int;
   mutable failure : exn option;
       (** first exception a job of the current batch raised; re-raised at the
-          join point in {!run} *)
+          join point in {!run}.  Streaming jobs ({!submit}) must catch their
+          own exceptions — anything recorded here from a streamed job is
+          cleared at the next batch, never re-raised to anyone, so a serve
+          request that crashes can only fail its own client *)
   mutable shutdown : bool;
   mutable domains : unit Domain.t list;
-  mutable batches : int;
-      (** fork/join batches dispatched through {!run} (single-job batches
-          included); lets callers observe that work really reached the pool *)
+  batches : int Atomic.t;
+      (** dispatches observed by the pool: fork/join batches through {!run}
+          (single-job batches included) plus streamed jobs through
+          {!submit}; lets callers observe that work really reached the
+          pool.  Atomic because streaming submits race with readers. *)
 }
 
 (* Record the first failing job of the batch; later failures are dropped
@@ -70,7 +87,7 @@ let create size =
       failure = None;
       shutdown = false;
       domains = [];
-      batches = 0;
+      batches = Atomic.make 0;
     }
   in
   let workers = max 0 (min (size - 1) (Domain.recommended_domain_count () * 4)) in
@@ -82,15 +99,15 @@ let create size =
     job raised, the first such exception is re-raised here at the join point
     (after every job of the batch has completed, so the pool stays
     reusable).  Batches must not overlap: [run] is fork/join, called from
-    one domain at a time. *)
+    one domain at a time, and must not be interleaved with {!submit}. *)
 let run pool (jobs : job list) =
   match jobs with
   | [] -> ()
   | [ j ] ->
-    pool.batches <- pool.batches + 1;
+    Atomic.incr pool.batches;
     j ()
   | jobs ->
-    pool.batches <- pool.batches + 1;
+    Atomic.incr pool.batches;
     Mutex.lock pool.mutex;
     pool.failure <- None;
     List.iter (fun j -> Queue.push j pool.queue) jobs;
@@ -124,19 +141,64 @@ let run pool (jobs : job list) =
       raise exn
     | None -> ()
 
+(** Enqueue one fire-and-forget job; whichever worker domain is free picks
+    it up.  Unlike {!run} there is no join — pair with {!quiesce} to wait
+    for the queue to drain.  The job must catch its own exceptions (a crash
+    is recorded but never re-raised; see {!t.failure}).  Raises
+    [Invalid_argument] after {!shutdown}: a torn-down pool silently
+    dropping work would be indistinguishable from a hang. *)
+let submit pool (job : job) =
+  Mutex.lock pool.mutex;
+  if pool.shutdown then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Atomic.incr pool.batches;
+  Queue.push job pool.queue;
+  pool.outstanding <- pool.outstanding + 1;
+  Condition.signal pool.work_available;
+  Mutex.unlock pool.mutex
+
+(** Wait until every queued and in-flight job (from {!submit}) has
+    finished.  Safe to call repeatedly; returns immediately when the pool
+    is idle. *)
+let quiesce pool =
+  Mutex.lock pool.mutex;
+  while pool.outstanding > 0 do
+    Condition.wait pool.work_done pool.mutex
+  done;
+  Mutex.unlock pool.mutex
+
+(** Tear the pool down: wake every worker, join the domains.  Idempotent —
+    a second call (or a shutdown racing a [Fun.protect] finalizer) is a
+    no-op, so one pool can be guarded by several owners without
+    double-join crashes. *)
 let shutdown pool =
   Mutex.lock pool.mutex;
-  pool.shutdown <- true;
-  Condition.broadcast pool.work_available;
-  Mutex.unlock pool.mutex;
-  List.iter Domain.join pool.domains;
-  pool.domains <- []
+  if pool.shutdown then Mutex.unlock pool.mutex
+  else begin
+    pool.shutdown <- true;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.mutex;
+    List.iter Domain.join pool.domains;
+    pool.domains <- []
+  end
 
 let size pool = pool.size
 
-(** Fork/join batches dispatched so far (see {!t.batches}).  Only read
-    between batches (the field is caller-side, not synchronized). *)
-let batches pool = pool.batches
+(** Worker domains actually spawned ([size - 1], capped).  A pool with no
+    workers executes {!run} batches caller-side only; streaming callers use
+    this to fall back to inline execution (nobody would ever pop). *)
+let workers pool = List.length pool.domains
+
+(** Dispatches observed so far (see {!t.batches}): fork/join batches plus
+    streamed jobs.  Safe to read concurrently. *)
+let batches pool = Atomic.get pool.batches
+
+(** Reset the {!batches} observability counter (e.g. between requests or
+    test phases, so each can assert on the dispatches it alone caused).
+    Does not affect queued or running work. *)
+let reset_batches pool = Atomic.set pool.batches 0
 
 (** Default worker count for [--jobs] flags: the [PUREC_JOBS] environment
     variable when set to a positive integer, otherwise

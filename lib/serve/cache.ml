@@ -1,0 +1,89 @@
+(** Sharded concurrent caches: how unrelated serve clients share warm state.
+
+    Keys are {!Digest.string} MD5s of [mode-fingerprint ^ NUL ^ source] (see
+    {!Server}), so two clients submitting the same translation unit under
+    the same pipeline spec hit the same entry while different specs of the
+    same source cannot collide.  The table is split into [2^k] shards, each
+    behind its own mutex; the shard index comes from the first key byte, so
+    concurrent requests for unrelated keys rarely contend on a lock.
+
+    [find_or_compute] runs the producer {e outside} the shard lock — a
+    compile can take milliseconds and must not serialize every other lookup
+    landing in the same shard.  The cost is a benign race: two concurrent
+    misses on one key both compute, and the second insert is dropped in
+    favor of the first (so every client of a key observes the same value
+    forever).  Hit/miss counters are atomics, read by [{"cmd":"stats"}]. *)
+
+type 'v t = {
+  shards : (string, 'v) Hashtbl.t array;
+  locks : Mutex.t array;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let default_shards = 16
+
+let create ?(shards = default_shards) () =
+  (* round up to a power of two so a mask can pick the shard *)
+  let n =
+    let rec up k = if k >= shards then k else up (k * 2) in
+    up 1
+  in
+  {
+    shards = Array.init n (fun _ -> Hashtbl.create 16);
+    locks = Array.init n (fun _ -> Mutex.create ());
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let shard_of t key =
+  let i = if key = "" then 0 else Char.code key.[0] land (Array.length t.shards - 1) in
+  (t.shards.(i), t.locks.(i))
+
+(** Stable cache key for a (pipeline spec, source) pair. *)
+let key ~fingerprint ~source = Digest.string (fingerprint ^ "\x00" ^ source)
+
+let find_opt t k =
+  let table, lock = shard_of t k in
+  Mutex.lock lock;
+  let v = Hashtbl.find_opt table k in
+  Mutex.unlock lock;
+  (match v with None -> Atomic.incr t.misses | Some _ -> Atomic.incr t.hits);
+  v
+
+(** [find_or_compute t k produce] returns the cached value for [k], or runs
+    [produce ()] (outside any lock) and caches its result.  If [produce]
+    raises, nothing is cached and the exception propagates — failures that
+    are not pure functions of the key (an unreadable file) must not poison
+    the cache. *)
+let find_or_compute t k produce =
+  let table, lock = shard_of t k in
+  Mutex.lock lock;
+  let cached = Hashtbl.find_opt table k in
+  Mutex.unlock lock;
+  match cached with
+  | Some v ->
+    Atomic.incr t.hits;
+    v
+  | None ->
+    Atomic.incr t.misses;
+    let v = produce () in
+    Mutex.lock lock;
+    let v =
+      (* first insert wins: a racing computation of the same key must not
+         install a second (equal but physically distinct) value *)
+      match Hashtbl.find_opt table k with
+      | Some prior -> prior
+      | None ->
+        Hashtbl.add table k v;
+        v
+    in
+    Mutex.unlock lock;
+    v
+
+let hits t = Atomic.get t.hits
+
+let misses t = Atomic.get t.misses
+
+let length t =
+  Array.fold_left (fun acc table -> acc + Hashtbl.length table) 0 t.shards

@@ -1,0 +1,203 @@
+(** Request drivers: execute one protocol command and capture what the
+    one-shot CLI would have printed.
+
+    Each driver funnels through the capturable pipeline entry points in
+    {!Toolchain.Chain} ([pp_compile_result], [pp_run_report],
+    [racecheck_report]) with a buffer-backed formatter, so a serve reply's
+    [stdout] is byte-identical to the CLI by construction — both front
+    ends run the same printing code, they only differ in where the
+    formatter points.
+
+    Every driver returns a total {!outcome}; compile failures
+    ({!Toolchain.Chain.Compile_error}, {!Support.Diag.Fatal}) become
+    diagnostics plus the classified exit code, never an escaping exception
+    — a crashing request must fail its own client only, and the daemon
+    treats any exception that does escape a driver as an internal error. *)
+
+open Support
+
+type outcome = {
+  o_exit : int;
+  o_stdout : string;  (** exactly the CLI's stdout for the equivalent invocation *)
+  o_diags : string list;  (** rendered diagnostics (the CLI's stderr) *)
+}
+
+let render_diag d = Fmt.str "%a" Diag.pp d
+
+(** Run [f ppf] capturing its formatter output; map compile failures to a
+    diagnostic outcome with the classified exit code. *)
+let capture (f : Format.formatter -> int) : outcome =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  match f ppf with
+  | exit_code ->
+    Format.pp_print_flush ppf ();
+    { o_exit = exit_code; o_stdout = Buffer.contents buf; o_diags = [] }
+  | exception Toolchain.Chain.Compile_error diags ->
+    Format.pp_print_flush ppf ();
+    {
+      o_exit = Toolchain.Chain.classify_errors diags;
+      o_stdout = Buffer.contents buf;
+      o_diags = List.map render_diag diags;
+    }
+  | exception Diag.Fatal d ->
+    Format.pp_print_flush ppf ();
+    {
+      o_exit = Toolchain.Chain.classify_errors [ d ];
+      o_stdout = Buffer.contents buf;
+      o_diags = [ render_diag d ];
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Sources *)
+
+(** Resolve a request's source to C text.  An unreadable path is a
+    protocol-stage failure ([proto.unreadable] → exit 6): the pipeline
+    never saw the program, unlike a parse error where it at least received
+    source text. *)
+let read_source (s : Protocol.source) : string =
+  match s with
+  | Protocol.Inline text -> text
+  | Protocol.From_file path -> (
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg -> Diag.fatal ~code:"proto.unreadable" "cannot read %s: %s" path msg)
+
+let source_name = function
+  | Protocol.From_file path -> path
+  | Protocol.Inline _ -> "<source>"
+
+(* ------------------------------------------------------------------ *)
+(* Compilation (with the shared translation-unit cache) *)
+
+(** Compile under [spec], consulting the shared TU cache when given one.
+    The cached {!Toolchain.Chain.compiled} is immutable (AST + emitted
+    text + outcomes) and every execution builds fresh interpreter state
+    from it, so one entry can serve any number of concurrent requests. *)
+let compile ?tu ~(spec : Toolchain.Chain.mode_spec) (source : string) :
+    Toolchain.Chain.compiled =
+  let produce () = Toolchain.Chain.compile ~mode:(Toolchain.Chain.mode_of_spec spec) source in
+  match tu with
+  | None -> produce ()
+  | Some cache ->
+    Cache.find_or_compute cache
+      (Cache.key ~fingerprint:(Toolchain.Chain.mode_spec_fingerprint spec) ~source)
+      produce
+
+(* ------------------------------------------------------------------ *)
+(* One driver per protocol command *)
+
+let compile_request ?tu ~spec ~dump source : outcome =
+  capture (fun ppf ->
+      let c = compile ?tu ~spec source in
+      Toolchain.Chain.pp_compile_result ppf ~dump c;
+      Toolchain.Chain.exit_ok)
+
+let backend_of_string = function
+  | "icc" -> Machine.Config.icc
+  | _ -> Machine.Config.gcc
+
+let run_request ?tu ~spec ~cores ~backend ~tile_grain source : outcome =
+  capture (fun ppf ->
+      let c = compile ?tu ~spec source in
+      Toolchain.Chain.pp_outcomes ppf c;
+      (* sequential execution, as the CLI defaults to: the daemon's
+         parallelism is across requests, and per-request determinism is
+         what makes replies cacheable and byte-comparable *)
+      let profile = Toolchain.Chain.execute ~tile_grain c in
+      Toolchain.Chain.pp_run_report ppf ~cores ~backend:(backend_of_string backend) profile;
+      Toolchain.Chain.exit_ok)
+
+let racecheck_request ~name ~spec ~engine ~schedules ~rc_cores ~inject ~tile_grain source :
+    outcome =
+  match Racecheck.engine_choice_of_string engine with
+  | Error msg ->
+    { o_exit = Toolchain.Chain.exit_error; o_stdout = ""; o_diags = [ "racecheck: " ^ msg ] }
+  | Ok engine -> (
+    let cores = if rc_cores = [] then Racecheck.default_cores else rc_cores in
+    let parse_schedules =
+      List.fold_left
+        (fun acc s ->
+          match (acc, Racecheck.schedule_of_string s) with
+          | Error _, _ -> acc
+          | Ok _, Error msg -> Error msg
+          | Ok scheds, Ok sched -> Ok (sched :: scheds))
+        (Ok [])
+    in
+    let schedules =
+      if schedules = [] then Ok Racecheck.default_schedules
+      else Result.map List.rev (parse_schedules schedules)
+    in
+    match schedules with
+    | Error msg ->
+      {
+        o_exit = Toolchain.Chain.exit_error;
+        o_stdout = "";
+        o_diags = [ "racecheck: " ^ msg ];
+      }
+    | Ok schedules ->
+      (* the CLI racechecks files with the pragma clause cleared (the replay
+         matrix covers every clause) and [--inject-illegal] folded into the
+         mode; mirror both so the bytes match *)
+      let spec =
+        {
+          spec with
+          Toolchain.Chain.ms_schedule = None;
+          ms_inject = inject || spec.Toolchain.Chain.ms_inject;
+        }
+      in
+      let inject = spec.Toolchain.Chain.ms_inject in
+      capture (fun ppf ->
+          let racy =
+            Toolchain.Chain.racecheck_report ppf ~name ~engine ~schedules ~cores
+              ~tile_grain ~inject
+              ~mode:(Toolchain.Chain.mode_of_spec spec)
+              source
+          in
+          if racy then Toolchain.Chain.exit_race else Toolchain.Chain.exit_ok))
+
+(** The CLI fuzz campaign, printing its stdout report to [ppf].  [jobs]
+    fans cases across domains exactly like [purec fuzz --jobs]; the report
+    is byte-identical for every value (campaign results are buffered and
+    replayed in seed order). *)
+let fuzz_campaign ppf ~seed ~count ~inject ~racecheck ~dump ~shrink ~jobs : int =
+  let on_case (case : Fuzzgen.Fuzz.case_result) =
+    if dump then
+      Fmt.pf ppf "===== seed %d =====@.%s@." case.Fuzzgen.Fuzz.c_seed
+        case.Fuzzgen.Fuzz.c_source;
+    if not (Fuzzgen.Oracle.passed case.Fuzzgen.Fuzz.c_report) then begin
+      Fmt.pf ppf "seed %d: FAILED (replay: purec fuzz --seed %d --count 1%s%s)@."
+        case.Fuzzgen.Fuzz.c_seed case.Fuzzgen.Fuzz.c_seed
+        (if inject then " --inject-illegal" else "")
+        (if racecheck then " --racecheck" else "");
+      List.iter
+        (fun f -> Fmt.pf ppf "  %s@." (Fuzzgen.Oracle.describe f))
+        case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures;
+      match case.Fuzzgen.Fuzz.c_shrunk with
+      | Some src -> Fmt.pf ppf "--- minimized reproducer ---@.%s@." src
+      | None -> ()
+    end
+  in
+  let result = Fuzzgen.Fuzz.campaign ~inject ~racecheck ~shrink ~on_case ~jobs ~seed ~count () in
+  let nfail = List.length result.Fuzzgen.Fuzz.k_failed in
+  Fmt.pf ppf "fuzz: %d programs, %d configurations each, %d mismatches@."
+    result.Fuzzgen.Fuzz.k_count result.Fuzzgen.Fuzz.k_configs nfail;
+  Fuzzgen.Fuzz.campaign_exit_code result
+
+let fuzz_request ~seed ~count ~inject ~racecheck ~dump ~shrink : outcome =
+  match
+    capture (fun ppf ->
+        (* one domain: the daemon's pool parallelizes across requests, not
+           inside one fuzz campaign *)
+        fuzz_campaign ppf ~seed ~count ~inject ~racecheck ~dump ~shrink ~jobs:1)
+  with
+  | outcome -> outcome
+  | exception Fuzzgen.Fuzz.Roundtrip_error msg ->
+    {
+      o_exit = Toolchain.Chain.exit_error;
+      o_stdout = "";
+      o_diags = [ "fuzz: internal round-trip failure: " ^ msg ];
+    }

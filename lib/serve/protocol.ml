@@ -1,0 +1,492 @@
+(** The serve wire protocol: JSONL requests and replies (DESIGN.md §12).
+
+    One JSON object per line in, one JSON object per line out:
+
+    {v
+    → {"id": "r1", "cmd": "run", "file": "test/reduction_smoke.c", "mode": "manual"}
+    ← {"id": "r1", "status": "ok", "exit": 0, "stdout": "...", "diags": [], "elapsed_ms": 3.2}
+    v}
+
+    The JSON reader/printer is hand-rolled: the toolchain deliberately has
+    no JSON dependency, and the protocol needs only the plain scalar /
+    array / object subset.  Malformed input raises {!Support.Diag.Fatal}
+    with a [proto.*] code, which {!Toolchain.Chain.classify_errors} maps
+    to exit 6 — protocol failures are classified like every other failure
+    stage, not ad-hoc. *)
+
+open Support
+
+(* ------------------------------------------------------------------ *)
+(* JSON values *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let proto_error fmt = Diag.fatal ~code:"proto.request" fmt
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec print_json b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (string_of_bool v)
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f ->
+    (* %.17g round-trips every float but prints integral values bare
+       ("3" not "3."), which is still valid JSON *)
+    Buffer.add_string b (Printf.sprintf "%.17g" f)
+  | Str s -> escape_string b s
+  | Arr items ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char b ',';
+        print_json b item)
+      items;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        escape_string b k;
+        Buffer.add_char b ':';
+        print_json b v)
+      fields;
+    Buffer.add_char b '}'
+
+let to_string (j : json) : string =
+  let b = Buffer.create 256 in
+  print_json b j;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: a plain recursive-descent scanner over the line *)
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let parse_fail c fmt =
+  Fmt.kstr (fun msg -> proto_error "invalid JSON at offset %d: %s" c.pos msg) fmt
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect c ch =
+  match peek c with
+  | Some k when k = ch -> advance c
+  | Some k -> parse_fail c "expected '%c', found '%c'" ch k
+  | None -> parse_fail c "expected '%c', found end of input" ch
+
+let parse_literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.text && String.sub c.text c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else parse_fail c "unrecognized literal"
+
+(* \uXXXX escapes are decoded to UTF-8 (surrogate pairs are not paired:
+   protocol payloads are C source and diagnostics, all ASCII in practice) *)
+let utf8_of_code b code =
+  if code < 0x80 then Buffer.add_char b (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> parse_fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | None -> parse_fail c "unterminated escape"
+      | Some esc ->
+        advance c;
+        (match esc with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' ->
+          if c.pos + 4 > String.length c.text then parse_fail c "truncated \\u escape";
+          let hex = String.sub c.text c.pos 4 in
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code ->
+            c.pos <- c.pos + 4;
+            utf8_of_code b code
+          | None -> parse_fail c "invalid \\u escape %S" hex)
+        | e -> parse_fail c "unknown escape '\\%c'" e));
+      loop ()
+    | Some ch ->
+      advance c;
+      Buffer.add_char b ch;
+      loop ()
+  in
+  loop ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while match peek c with Some ch when is_num_char ch -> advance c; true | _ -> false do
+    ()
+  done;
+  let lit = String.sub c.text start (c.pos - start) in
+  match int_of_string_opt lit with
+  | Some n -> Int n
+  | None -> (
+    match float_of_string_opt lit with
+    | Some f -> Float f
+    | None -> parse_fail c "invalid number %S" lit)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_fail c "empty input"
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws c;
+        let key = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        fields := (key, v) :: !fields;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          members ()
+        | Some '}' -> advance c
+        | _ -> parse_fail c "expected ',' or '}' in object"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      Arr []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value c in
+        items := v :: !items;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          elements ()
+        | Some ']' -> advance c
+        | _ -> parse_fail c "expected ',' or ']' in array"
+      in
+      elements ();
+      Arr (List.rev !items)
+    end
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> parse_literal c "true" (Bool true)
+  | Some 'f' -> parse_literal c "false" (Bool false)
+  | Some 'n' -> parse_literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> parse_fail c "unexpected character '%c'" ch
+
+(** Parse one JSON value from a line.  Trailing garbage after the value is
+    a protocol error: every line must be exactly one object. *)
+let of_string (s : string) : json =
+  let c = { text = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then parse_fail c "trailing garbage after value";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Field accessors (all raise [proto.request] on type mismatch) *)
+
+let field obj key =
+  match obj with Obj fields -> List.assoc_opt key fields | _ -> None
+
+let get_string key = function
+  | Some (Str s) -> s
+  | Some _ -> proto_error "field %S must be a string" key
+  | None -> proto_error "missing required field %S" key
+
+let opt_string key = function
+  | Some (Str s) -> Some s
+  | Some Null | None -> None
+  | Some _ -> proto_error "field %S must be a string" key
+
+let opt_bool ~default key = function
+  | Some (Bool b) -> b
+  | Some Null | None -> default
+  | Some _ -> proto_error "field %S must be a boolean" key
+
+let opt_int key = function
+  | Some (Int n) -> Some n
+  | Some Null | None -> None
+  | Some _ -> proto_error "field %S must be an integer" key
+
+let opt_int_default ~default key v =
+  match opt_int key v with Some n -> n | None -> default
+
+let opt_int_list key = function
+  | Some (Arr items) ->
+    Some
+      (List.map
+         (function Int n -> n | _ -> proto_error "field %S must be an integer array" key)
+         items)
+  | Some Null | None -> None
+  | Some _ -> proto_error "field %S must be an integer array" key
+
+let opt_string_list key = function
+  | Some (Arr items) ->
+    Some
+      (List.map
+         (function Str s -> s | _ -> proto_error "field %S must be a string array" key)
+         items)
+  | Some Null | None -> None
+  | Some _ -> proto_error "field %S must be a string array" key
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+(** Where a request's C source comes from: a path the server reads
+    ([proto.unreadable] if it cannot) or inline text. *)
+type source = From_file of string | Inline of string
+
+type cmd =
+  | Compile of { dump : bool }
+  | Run of { cores : int list; backend : string }
+  | Racecheck of {
+      engine : string;
+      schedules : string list;
+      rc_cores : int list;
+      inject : bool;
+    }
+  | Fuzz of {
+      seed : int;
+      count : int;
+      fz_inject : bool;
+      fz_racecheck : bool;
+      fz_dump : bool;
+      shrink : bool;
+    }
+  | Batch of { files : string list }
+  | Stats
+
+type request = {
+  rq_id : json;  (** echoed verbatim in the reply; any scalar the client picked *)
+  rq_cmd : cmd;
+  rq_source : source option;  (** required by compile/run/racecheck *)
+  rq_spec : Toolchain.Chain.mode_spec;
+  rq_tile_grain : bool;
+}
+
+(* Defaults mirror the one-shot CLI flags exactly: a request omitting every
+   option must produce the same bytes as the bare CLI invocation. *)
+let cli_default_cores = [ 1; 2; 4; 8; 16; 32; 64 ]
+
+let mode_of_string = function
+  | "pure" -> `Pure
+  | "seq" -> `Seq
+  | "pluto" -> `Pluto
+  | "manual" -> `Manual
+  | other -> proto_error "unknown mode %S (expected pure|seq|pluto|manual)" other
+
+let spec_of_obj obj : Toolchain.Chain.mode_spec =
+  {
+    Toolchain.Chain.ms_mode =
+      (match opt_string "mode" (field obj "mode") with
+      | Some m -> mode_of_string m
+      | None -> `Pure);
+    ms_sica = opt_bool ~default:false "sica" (field obj "sica");
+    ms_tile = opt_int "tile" (field obj "tile");
+    ms_schedule = opt_string "schedule" (field obj "schedule");
+    ms_inject = opt_bool ~default:false "inject" (field obj "inject");
+  }
+
+let source_of_obj obj : source option =
+  match (opt_string "file" (field obj "file"), opt_string "source" (field obj "source")) with
+  | Some _, Some _ -> proto_error "give either \"file\" or \"source\", not both"
+  | Some f, None -> Some (From_file f)
+  | None, Some s -> Some (Inline s)
+  | None, None -> None
+
+let request_of_json (j : json) : request =
+  (match j with Obj _ -> () | _ -> proto_error "request must be a JSON object");
+  let id = match field j "id" with Some v -> v | None -> Null in
+  let cmd_name = get_string "cmd" (field j "cmd") in
+  let cmd =
+    match cmd_name with
+    | "compile" -> Compile { dump = opt_bool ~default:false "dump" (field j "dump") }
+    | "run" ->
+      Run
+        {
+          cores =
+            (match opt_int_list "cores" (field j "cores") with
+            | Some l when l <> [] -> l
+            | _ -> cli_default_cores);
+          backend =
+            (match opt_string "backend" (field j "backend") with
+            | Some ("gcc" | "icc") as b -> Option.get b
+            | Some other -> proto_error "unknown backend %S (expected gcc|icc)" other
+            | None -> "gcc");
+        }
+    | "racecheck" ->
+      Racecheck
+        {
+          engine = Option.value ~default:"both" (opt_string "engine" (field j "engine"));
+          schedules =
+            Option.value ~default:[] (opt_string_list "schedules" (field j "schedules"));
+          rc_cores = Option.value ~default:[] (opt_int_list "cores" (field j "cores"));
+          inject = opt_bool ~default:false "inject" (field j "inject");
+        }
+    | "fuzz" ->
+      Fuzz
+        {
+          seed = opt_int_default ~default:1 "seed" (field j "seed");
+          count = opt_int_default ~default:100 "count" (field j "count");
+          fz_inject = opt_bool ~default:false "inject" (field j "inject");
+          fz_racecheck = opt_bool ~default:false "racecheck" (field j "racecheck");
+          fz_dump = opt_bool ~default:false "dump" (field j "dump");
+          shrink = opt_bool ~default:true "shrink" (field j "shrink");
+        }
+    | "batch" ->
+      Batch
+        {
+          files =
+            (match opt_string_list "files" (field j "files") with
+            | Some (_ :: _ as files) -> files
+            | Some [] | None -> proto_error "batch needs a non-empty \"files\" array");
+        }
+    | "stats" -> Stats
+    | other ->
+      proto_error "unknown cmd %S (expected compile|run|racecheck|fuzz|batch|stats)" other
+  in
+  let source = source_of_obj j in
+  (match (cmd, source) with
+  | (Compile _ | Run _ | Racecheck _), None ->
+    proto_error "cmd %S needs a \"file\" or \"source\"" cmd_name
+  | _ -> ());
+  {
+    rq_id = id;
+    rq_cmd = cmd;
+    rq_source = source;
+    rq_spec = spec_of_obj j;
+    rq_tile_grain = opt_bool ~default:true "tile_grain" (field j "tile_grain");
+  }
+
+(** Parse one request line.  Any failure — bad JSON, bad field types, an
+    unknown cmd — lands here as [Diag.Fatal] with a [proto.*] code. *)
+let request_of_line (line : string) : request = request_of_json (of_string line)
+
+(* ------------------------------------------------------------------ *)
+(* Replies *)
+
+type status = Ok_ | Error_ | Busy
+
+let status_name = function Ok_ -> "ok" | Error_ -> "error" | Busy -> "busy"
+
+type reply = {
+  rp_id : json;
+  rp_status : status;
+  rp_exit : int;
+  rp_stdout : string;
+  rp_diags : string list;  (** rendered diagnostics, in report order *)
+  rp_elapsed_ms : float;
+  rp_extra : (string * json) list;  (** cmd-specific payload (stats, batch) *)
+}
+
+let make_reply ?(extra = []) ~id ~status ~exit_code ~stdout ~diags ~elapsed_ms () =
+  {
+    rp_id = id;
+    rp_status = status;
+    rp_exit = exit_code;
+    rp_stdout = stdout;
+    rp_diags = diags;
+    rp_elapsed_ms = elapsed_ms;
+    rp_extra = extra;
+  }
+
+let json_of_reply (r : reply) : json =
+  Obj
+    ([
+       ("id", r.rp_id);
+       ("status", Str (status_name r.rp_status));
+       ("exit", Int r.rp_exit);
+       ("stdout", Str r.rp_stdout);
+       ("diags", Arr (List.map (fun d -> Str d) r.rp_diags));
+       ("elapsed_ms", Float r.rp_elapsed_ms);
+     ]
+    @ r.rp_extra)
+
+let reply_to_line (r : reply) : string = to_string (json_of_reply r)
+
+(** The reply with volatile fields zeroed, for byte-comparison in tests:
+    [elapsed_ms] is wall time and never reproducible. *)
+let reply_significant (j : json) : json =
+  match j with
+  | Obj fields ->
+    Obj (List.map (fun (k, v) -> if k = "elapsed_ms" then (k, Float 0.) else (k, v)) fields)
+  | v -> v

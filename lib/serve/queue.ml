@@ -1,0 +1,81 @@
+(** A bounded MPMC queue: the serve daemon's admission control.
+
+    The reader thread [try_push]es accepted requests and pool workers [pop]
+    them.  The bound is the back-pressure knob ([purec serve
+    --queue-depth]): when the queue is full the daemon answers [busy]
+    immediately instead of buffering without limit or blocking the protocol
+    loop — an overloaded server must keep reading, or clients stall on
+    write and the failure mode becomes a distributed deadlock instead of a
+    clean retry signal.
+
+    (Shadows [Stdlib.Queue] inside the [serve] library; the implementation
+    names it explicitly.) *)
+
+type 'a t = {
+  capacity : int;
+  items : 'a Stdlib.Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  mutable high_water : int;  (** max queue length ever observed *)
+}
+
+let create ~capacity =
+  {
+    capacity = max 0 capacity;
+    items = Stdlib.Queue.create ();
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+    high_water = 0;
+  }
+
+(** Non-blocking enqueue: [`Overflow] when the bound is reached (the caller
+    replies [busy]), [`Closed] after {!close}. *)
+let try_push t x =
+  Mutex.lock t.mutex;
+  let result =
+    if t.closed then `Closed
+    else if Stdlib.Queue.length t.items >= t.capacity then `Overflow
+    else begin
+      Stdlib.Queue.push x t.items;
+      let len = Stdlib.Queue.length t.items in
+      if len > t.high_water then t.high_water <- len;
+      Condition.signal t.nonempty;
+      `Ok
+    end
+  in
+  Mutex.unlock t.mutex;
+  result
+
+(** Blocking dequeue; [None] once the queue is closed and drained. *)
+let pop t =
+  Mutex.lock t.mutex;
+  while Stdlib.Queue.is_empty t.items && not t.closed do
+    Condition.wait t.nonempty t.mutex
+  done;
+  let result =
+    if Stdlib.Queue.is_empty t.items then None else Some (Stdlib.Queue.pop t.items)
+  in
+  Mutex.unlock t.mutex;
+  result
+
+(** Close the queue: poppers drain what is queued, then get [None];
+    pushers get [`Closed].  Idempotent. *)
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Stdlib.Queue.length t.items in
+  Mutex.unlock t.mutex;
+  n
+
+let high_water t =
+  Mutex.lock t.mutex;
+  let n = t.high_water in
+  Mutex.unlock t.mutex;
+  n

@@ -1,0 +1,386 @@
+(** [purec serve]: the compile-and-run daemon (DESIGN.md §12).
+
+    One long-lived {!Runtime.Pool} executes every request: the reader
+    thread parses JSONL lines, admits them through a bounded {!Queue}
+    (overflow → an immediate [busy] reply, never a stalled protocol loop),
+    and hands each to the pool via {!Runtime.Pool.submit}; replies are
+    written in completion order, matched to requests by [id].
+
+    Isolation and sharing are split deliberately:
+
+    - {e Mutable} interpreter state is per-request: every execution builds
+      a fresh [rt] (own DLS key, allocator, output buffer, per-site memos
+      — the PR 3 striping machinery), so concurrent requests cannot
+      cross-contaminate output or memo state.
+    - {e Immutable} results are shared: a sharded translation-unit cache
+      (spec-fingerprint × source → compiled AST) and a reply memo
+      (full request fingerprint → reply body) let unrelated clients reuse
+      warm state, and identical re-submissions skip the pipeline entirely.
+
+    The daemon survives anything a request does: driver-level failures
+    become diagnostic replies, and an exception escaping a handler is
+    caught at the job boundary and turned into an [internal] error reply
+    for that client only. *)
+
+open Support
+
+type t = {
+  jobs : int;  (** requested worker parallelism ([--jobs]) *)
+  queue_depth : int;
+  pool : Runtime.Pool.t;
+  queue : (Protocol.request * float) Queue.t;  (** (request, admission time) *)
+  tu : Toolchain.Chain.compiled Cache.t;
+  memo : (int * string * string list) Cache.t;
+      (** request fingerprint → (exit, stdout, diags) *)
+  out_mutex : Mutex.t;  (** one reply line at a time *)
+  served_ok : int Atomic.t;
+  served_error : int Atomic.t;
+  served_busy : int Atomic.t;
+}
+
+(** [create ~jobs ~queue_depth ()] spawns the pool once; it lives until
+    {!shutdown}.  The pool is sized [jobs + 1] so [jobs] workers exist
+    besides the reader (the reader never executes requests; it must stay
+    responsive to keep admission control honest).  [Runtime.Pool] caps
+    workers at 4× the recommended domain count. *)
+let create ?(jobs = 2) ?(queue_depth = 64) () =
+  let jobs = max 1 jobs in
+  {
+    jobs;
+    queue_depth;
+    pool = Runtime.Pool.create (jobs + 1);
+    queue = Queue.create ~capacity:queue_depth;
+    tu = Cache.create ();
+    memo = Cache.create ();
+    out_mutex = Mutex.create ();
+    served_ok = Atomic.make 0;
+    served_error = Atomic.make 0;
+    served_busy = Atomic.make 0;
+  }
+
+(** Tear down queue and pool.  Idempotent (so is {!Runtime.Pool.shutdown}). *)
+let shutdown t =
+  Queue.close t.queue;
+  Runtime.Pool.quiesce t.pool;
+  Runtime.Pool.shutdown t.pool
+
+let count_reply t (status : Protocol.status) =
+  Atomic.incr
+    (match status with
+    | Protocol.Ok_ -> t.served_ok
+    | Protocol.Error_ -> t.served_error
+    | Protocol.Busy -> t.served_busy)
+
+let emit_reply t ~emit (r : Protocol.reply) =
+  count_reply t r.Protocol.rp_status;
+  Mutex.lock t.out_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.out_mutex)
+    (fun () -> emit (Protocol.reply_to_line r))
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let status_of_exit exit_code =
+  if exit_code = Toolchain.Chain.exit_ok then Protocol.Ok_ else Protocol.Error_
+
+let reply_of_outcome ?extra ~id ~t0 (o : Driver.outcome) : Protocol.reply =
+  Protocol.make_reply ?extra ~id ~status:(status_of_exit o.Driver.o_exit)
+    ~exit_code:o.Driver.o_exit ~stdout:o.Driver.o_stdout ~diags:o.Driver.o_diags
+    ~elapsed_ms:(now_ms () -. t0) ()
+
+(* ------------------------------------------------------------------ *)
+(* Request fingerprints: the reply-memo key.  Only commands that are pure
+   functions of their fingerprint are memoized — compile/run/racecheck of
+   the resolved source text, and seeded fuzz campaigns.  File paths are
+   resolved to content BEFORE fingerprinting, so editing a file busts the
+   memo naturally, and an unreadable file never reaches it. *)
+
+let cmd_fingerprint (rq : Protocol.request) : string option =
+  let spec_fp = Toolchain.Chain.mode_spec_fingerprint rq.Protocol.rq_spec in
+  match rq.Protocol.rq_cmd with
+  | Protocol.Compile { dump } -> Some (Printf.sprintf "compile;dump=%b;%s" dump spec_fp)
+  | Protocol.Run { cores; backend } ->
+    Some
+      (Printf.sprintf "run;cores=%s;backend=%s;tg=%b;%s"
+         (String.concat "," (List.map string_of_int cores))
+         backend rq.Protocol.rq_tile_grain spec_fp)
+  | Protocol.Racecheck { engine; schedules; rc_cores; inject } ->
+    Some
+      (Printf.sprintf "rc;engine=%s;scheds=%s;cores=%s;inject=%b;tg=%b;%s" engine
+         (String.concat "," schedules)
+         (String.concat "," (List.map string_of_int rc_cores))
+         inject rq.Protocol.rq_tile_grain spec_fp)
+  | Protocol.Fuzz { seed; count; fz_inject; fz_racecheck; fz_dump; shrink } ->
+    Some
+      (Printf.sprintf "fuzz;seed=%d;count=%d;inject=%b;rc=%b;dump=%b;shrink=%b" seed count
+         fz_inject fz_racecheck fz_dump shrink)
+  | Protocol.Batch _ | Protocol.Stats -> None
+
+(* ------------------------------------------------------------------ *)
+(* Handlers *)
+
+(** Execute one already-admitted request (on a pool worker).  Total: every
+    failure becomes an outcome. *)
+let execute_request t (rq : Protocol.request) : Driver.outcome =
+  let spec = rq.Protocol.rq_spec in
+  let body () =
+    match rq.Protocol.rq_cmd with
+    | Protocol.Compile { dump } ->
+      let source = Driver.read_source (Option.get rq.Protocol.rq_source) in
+      (source, fun () -> Driver.compile_request ~tu:t.tu ~spec ~dump source)
+    | Protocol.Run { cores; backend } ->
+      let source = Driver.read_source (Option.get rq.Protocol.rq_source) in
+      ( source,
+        fun () ->
+          Driver.run_request ~tu:t.tu ~spec ~cores ~backend
+            ~tile_grain:rq.Protocol.rq_tile_grain source )
+    | Protocol.Racecheck { engine; schedules; rc_cores; inject } ->
+      let src = Option.get rq.Protocol.rq_source in
+      let source = Driver.read_source src in
+      ( source,
+        fun () ->
+          Driver.racecheck_request ~name:(Driver.source_name src) ~spec ~engine ~schedules
+            ~rc_cores ~inject ~tile_grain:rq.Protocol.rq_tile_grain source )
+    | Protocol.Fuzz { seed; count; fz_inject; fz_racecheck; fz_dump; shrink } ->
+      ( "",
+        fun () ->
+          Driver.fuzz_request ~seed ~count ~inject:fz_inject ~racecheck:fz_racecheck
+            ~dump:fz_dump ~shrink )
+    | Protocol.Batch _ | Protocol.Stats ->
+      (* dispatched before admission; see [serve] *)
+      assert false
+  in
+  match body () with
+  | source, run -> (
+    match cmd_fingerprint rq with
+    | None -> run ()
+    | Some fp ->
+      let exit_code, stdout, diags =
+        Cache.find_or_compute t.memo
+          (Cache.key ~fingerprint:fp ~source)
+          (fun () ->
+            let o = run () in
+            (o.Driver.o_exit, o.Driver.o_stdout, o.Driver.o_diags))
+      in
+      { Driver.o_exit = exit_code; o_stdout = stdout; o_diags = diags })
+  | exception Diag.Fatal d ->
+    (* [read_source] on an unreadable path: protocol stage, exit 6, and
+       deliberately never memoized (the file may appear later) *)
+    {
+      Driver.o_exit = Toolchain.Chain.classify_errors [ d ];
+      o_stdout = "";
+      o_diags = [ Driver.render_diag d ];
+    }
+
+(** The catch-all around a worker job: the daemon must survive any request,
+    so an escaping exception is this client's problem only. *)
+let guarded_outcome t rq : Driver.outcome =
+  try execute_request t rq
+  with exn ->
+    {
+      Driver.o_exit = Toolchain.Chain.exit_error;
+      o_stdout = "";
+      o_diags = [ "internal: request died with " ^ Printexc.to_string exn ];
+    }
+
+let process_next t ~emit () =
+  match Queue.pop t.queue with
+  | None -> ()
+  | Some (rq, t0) ->
+    let o = guarded_outcome t rq in
+    emit_reply t ~emit (reply_of_outcome ~id:rq.Protocol.rq_id ~t0 o)
+
+(* Dispatch a job to the pool, or run it inline when the pool has no
+   workers (nobody else would ever pop). *)
+let dispatch t job = if Runtime.Pool.workers t.pool = 0 then job () else Runtime.Pool.submit t.pool job
+
+(* ------------------------------------------------------------------ *)
+(* stats *)
+
+let cache_stats_json c ~entries =
+  Protocol.Obj
+    [
+      ("hits", Protocol.Int (Cache.hits c));
+      ("misses", Protocol.Int (Cache.misses c));
+      ("entries", Protocol.Int entries);
+    ]
+
+let stats_reply t ~id ~t0 : Protocol.reply =
+  let extra =
+    [
+      ( "requests",
+        Protocol.Int
+          (Atomic.get t.served_ok + Atomic.get t.served_error + Atomic.get t.served_busy) );
+      ("ok", Protocol.Int (Atomic.get t.served_ok));
+      ("error", Protocol.Int (Atomic.get t.served_error));
+      ("busy", Protocol.Int (Atomic.get t.served_busy));
+      ("jobs", Protocol.Int t.jobs);
+      ("queue_depth", Protocol.Int t.queue_depth);
+      ("queue_high_water", Protocol.Int (Queue.high_water t.queue));
+      ("pool_batches", Protocol.Int (Runtime.Pool.batches t.pool));
+      ("tu_cache", cache_stats_json t.tu ~entries:(Cache.length t.tu));
+      ("reply_memo", cache_stats_json t.memo ~entries:(Cache.length t.memo));
+      ("interp_instances", Protocol.Int (Interp.Compile.rts_created ()));
+    ]
+  in
+  Protocol.make_reply ~extra ~id ~status:Protocol.Ok_ ~exit_code:Toolchain.Chain.exit_ok
+    ~stdout:"" ~diags:[] ~elapsed_ms:(now_ms () -. t0) ()
+
+(* ------------------------------------------------------------------ *)
+(* batch *)
+
+(** Fan one batch over the pool: one sub-job per file, each a [run] under
+    the batch's spec.  No job ever blocks on another — the countdown's
+    last finisher assembles the aggregate and writes the reply, so batches
+    cannot deadlock the pool however few workers it has. *)
+let handle_batch t ~emit (rq : Protocol.request) (files : string list) ~t0 =
+  let files = Array.of_list files in
+  let n = Array.length files in
+  let results = Array.make n None in
+  let remaining = Atomic.make n in
+  let finish () =
+    let per_file =
+      Array.to_list
+        (Array.mapi
+           (fun i o ->
+             let o =
+               match o with
+               | Some o -> o
+               | None ->
+                 (* unreachable: every sub-job writes its slot *)
+                 {
+                   Driver.o_exit = Toolchain.Chain.exit_error;
+                   o_stdout = "";
+                   o_diags = [ "internal: missing batch slot" ];
+                 }
+             in
+             Protocol.Obj
+               [
+                 ("file", Protocol.Str files.(i));
+                 ("exit", Protocol.Int o.Driver.o_exit);
+                 ("stdout", Protocol.Str o.Driver.o_stdout);
+                 ("diags", Protocol.Arr (List.map (fun d -> Protocol.Str d) o.Driver.o_diags));
+               ])
+           results)
+    in
+    let exits =
+      Array.to_list
+        (Array.map (function Some o -> o.Driver.o_exit | None -> 1) results)
+    in
+    let ok = List.length (List.filter (fun e -> e = 0) exits) in
+    let agg_exit = match List.filter (fun e -> e <> 0) exits with [] -> 0 | e :: _ -> e in
+    let extra =
+      [
+        ("files", Protocol.Arr per_file);
+        ( "aggregate",
+          Protocol.Obj
+            [
+              ("total", Protocol.Int n);
+              ("ok", Protocol.Int ok);
+              ("failed", Protocol.Int (n - ok));
+            ] );
+      ]
+    in
+    emit_reply t ~emit
+      (Protocol.make_reply ~extra ~id:rq.Protocol.rq_id ~status:(status_of_exit agg_exit)
+         ~exit_code:agg_exit ~stdout:"" ~diags:[] ~elapsed_ms:(now_ms () -. t0) ())
+  in
+  Array.iteri
+    (fun i file ->
+      dispatch t (fun () ->
+          let sub =
+            {
+              rq with
+              Protocol.rq_cmd =
+                Protocol.Run { cores = Protocol.cli_default_cores; backend = "gcc" };
+              rq_source = Some (Protocol.From_file file);
+            }
+          in
+          results.(i) <- Some (guarded_outcome t sub);
+          if Atomic.fetch_and_add remaining (-1) = 1 then finish ()))
+    files
+
+(* ------------------------------------------------------------------ *)
+(* The protocol loop *)
+
+let protocol_error_reply ~id ~t0 (d : Diag.t) : Protocol.reply =
+  Protocol.make_reply ~id ~status:Protocol.Error_
+    ~exit_code:(Toolchain.Chain.classify_errors [ d ])
+    ~stdout:"" ~diags:[ Driver.render_diag d ] ~elapsed_ms:(now_ms () -. t0) ()
+
+let busy_reply ~id ~t0 : Protocol.reply =
+  Protocol.make_reply ~id ~status:Protocol.Busy ~exit_code:Toolchain.Chain.exit_protocol_error
+    ~stdout:""
+    ~diags:[ "server busy: request queue is full, retry later" ]
+    ~elapsed_ms:(now_ms () -. t0) ()
+
+(* the id of a line that parsed as JSON but failed request validation is
+   still echoable; a line that failed JSON parsing has none *)
+let id_of_line line =
+  match Protocol.of_string line with
+  | Protocol.Obj _ as obj -> (
+    match Protocol.field obj "id" with Some v -> v | None -> Protocol.Null)
+  | _ -> Protocol.Null
+  | exception _ -> Protocol.Null
+
+(** Run the protocol loop: read lines from [next] until it returns [None],
+    write reply lines through [emit] (serialized, completion order).
+    Returns once every admitted request has been answered.  The server
+    stays usable afterwards — callers can run several scripts against one
+    [t] — until {!shutdown}. *)
+let serve t ~(next : unit -> string option) ~(emit : string -> unit) =
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some line ->
+      let t0 = now_ms () in
+      (if String.trim line <> "" then
+         match Protocol.request_of_line line with
+         | exception Diag.Fatal d ->
+           emit_reply t ~emit (protocol_error_reply ~id:(id_of_line line) ~t0 d)
+         | rq -> (
+           match rq.Protocol.rq_cmd with
+           | Protocol.Stats ->
+             (* answered by the reader, bypassing the queue: introspection
+                must work on an overloaded server *)
+             emit_reply t ~emit (stats_reply t ~id:rq.Protocol.rq_id ~t0)
+           | Protocol.Batch { files } -> handle_batch t ~emit rq files ~t0
+           | _ -> (
+             match Queue.try_push t.queue (rq, t0) with
+             | `Ok -> dispatch t (process_next t ~emit)
+             | `Overflow | `Closed ->
+               emit_reply t ~emit (busy_reply ~id:rq.Protocol.rq_id ~t0))));
+      loop ()
+  in
+  loop ();
+  (* all replies out before returning: batch countdowns included, since
+     their sub-jobs are pool jobs too *)
+  Runtime.Pool.quiesce t.pool
+
+(** Feed [lines] through the protocol loop and collect the reply lines
+    (completion order).  The harness behind the serve tests and the
+    throughput bench. *)
+let run_script t (lines : string list) : string list =
+  let remaining = ref lines in
+  let out = ref [] in
+  let next () =
+    match !remaining with
+    | [] -> None
+    | l :: rest ->
+      remaining := rest;
+      Some l
+  in
+  (* emit is called under [out_mutex]; the ref is safe *)
+  let emit line = out := line :: !out in
+  serve t ~next ~emit;
+  List.rev !out
+
+(** Serve stdin → stdout: the [purec serve] daemon loop. *)
+let stdio t =
+  let next () = In_channel.input_line stdin in
+  let emit line =
+    print_string line;
+    print_newline ();
+    flush stdout
+  in
+  serve t ~next ~emit

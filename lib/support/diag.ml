@@ -18,6 +18,9 @@ type kind =
   | Purity  (** purity verification or scop-marking rejections *)
   | Race  (** the dynamic race detector found conflicting accesses *)
   | Fuzz  (** the differential fuzz oracle found a divergence *)
+  | Protocol
+      (** serve-protocol and request-IO failures: a malformed JSONL request,
+          an unreadable source file named by a request *)
   | Generic  (** everything else (runtime faults, internal errors) *)
 
 let string_starts_with ~prefix s =
@@ -36,6 +39,7 @@ let kind_of_code code : kind =
   then Purity
   else if string_starts_with ~prefix:"race." code then Race
   else if string_starts_with ~prefix:"fuzz." code then Fuzz
+  else if string_starts_with ~prefix:"proto." code then Protocol
   else Generic
 
 let kind_of t = kind_of_code t.code
@@ -45,6 +49,7 @@ let kind_to_string = function
   | Purity -> "purity"
   | Race -> "race"
   | Fuzz -> "fuzz"
+  | Protocol -> "protocol"
   | Generic -> "generic"
 
 let severity_to_string = function

@@ -30,11 +30,16 @@ let exit_fuzz_mismatch = 4  (** the differential fuzz oracle found a divergence 
 
 let exit_race = 5  (** the dynamic race detector found conflicting accesses *)
 
+let exit_protocol_error = 6
+(** serve protocol/IO failures: a malformed JSONL request, an unreadable
+    source file named by a request (see {!Serve.Protocol}) *)
+
 let exit_of_kind : Diag.kind -> int = function
   | Diag.Purity -> exit_purity_error
   | Diag.Race -> exit_race
   | Diag.Fuzz -> exit_fuzz_mismatch
   | Diag.Parse -> exit_parse_error
+  | Diag.Protocol -> exit_protocol_error
   | Diag.Generic -> exit_error
 
 (** Map the diagnostics of a failed run to the process exit code.  The
@@ -42,7 +47,9 @@ let exit_of_kind : Diag.kind -> int = function
     exactly one kind, and the kinds are ranked by how much of the pipeline
     the input survived — purity/scop rejections win over race reports
     (a race means the transform committed), races win over fuzz
-    divergences, fuzz over parse, and anything left is [exit_error]. *)
+    divergences, fuzz over parse, parse over protocol (a parse error means
+    the request at least delivered readable source), and anything left is
+    [exit_error]. *)
 let classify_errors (diags : Diag.t list) : int =
   let kinds =
     List.filter_map
@@ -54,6 +61,7 @@ let classify_errors (diags : Diag.t list) : int =
   else if has Diag.Race then exit_race
   else if has Diag.Fuzz then exit_fuzz_mismatch
   else if has Diag.Parse then exit_parse_error
+  else if has Diag.Protocol then exit_protocol_error
   else exit_error
 
 type compiled = {
@@ -198,3 +206,184 @@ let run_racecheck ?mode ?engine ?schedules ?cores ?tile_grain source :
   | Error e ->
     (* unreachable: the profile above was produced with tracing on *)
     invalid_arg e
+
+(* ------------------------------------------------------------------ *)
+(* Mode specs: the CLI/serve surface of {!mode}.
+
+   [mode] carries a closure (the PluTo config adjustment), which cannot be
+   compared, serialized, or used as a cache key.  A [mode_spec] is the
+   plain-data description both front ends share: the one-shot CLI builds it
+   from flags, the serve protocol from request fields, and both lower it
+   through {!mode_of_spec} — so a request and its equivalent CLI
+   invocation run the exact same pipeline by construction. *)
+
+type mode_spec = {
+  ms_mode : [ `Pure | `Seq | `Pluto | `Manual ];
+  ms_sica : bool;
+  ms_tile : int option;  (** tile the permutable band with this size *)
+  ms_schedule : string option;  (** OpenMP schedule clause for emitted pragmas *)
+  ms_inject : bool;  (** fault injection: skip the polyhedral legality check *)
+}
+
+let default_mode_spec =
+  { ms_mode = `Pure; ms_sica = false; ms_tile = None; ms_schedule = None; ms_inject = false }
+
+let mode_of_spec (s : mode_spec) : mode =
+  let adjust (c : Pluto.config) =
+    let c =
+      if s.ms_sica then { c with Pluto.sica = true; sica_cache = scaled_sica_cache } else c
+    in
+    let c =
+      match s.ms_tile with
+      | Some ts -> { c with Pluto.tile = true; tile_sizes = [ ts ] }
+      | None -> c
+    in
+    let c = { c with Pluto.schedule_clause = s.ms_schedule } in
+    if s.ms_inject then { c with Pluto.unsafe_no_legality = true } else c
+  in
+  match s.ms_mode with
+  | `Pure -> Pure_chain adjust
+  | `Seq -> Sequential
+  | `Pluto -> Plain_pluto adjust
+  | `Manual -> Manual_omp
+
+(** Stable plain-text encoding of a spec, for cache keys (serve shards its
+    translation-unit and reply caches by [fingerprint ^ source]). *)
+let mode_spec_fingerprint (s : mode_spec) : string =
+  Printf.sprintf "m=%s;sica=%b;tile=%s;sched=%s;inject=%b"
+    (match s.ms_mode with
+    | `Pure -> "pure"
+    | `Seq -> "seq"
+    | `Pluto -> "pluto"
+    | `Manual -> "manual")
+    s.ms_sica
+    (match s.ms_tile with Some t -> string_of_int t | None -> "-")
+    (match s.ms_schedule with Some c -> c | None -> "-")
+    s.ms_inject
+
+(* ------------------------------------------------------------------ *)
+(* Capturable drivers: everything the one-shot CLI prints for
+   [compile]/[run]/[racecheck], factored onto an explicit formatter so the
+   serve daemon can capture the same bytes into a reply.  [bin/purec.ml]
+   passes [Fmt.stdout]; {!Serve.Server} passes a buffer formatter —
+   byte-identical replies fall out of sharing this code rather than being a
+   property anyone has to maintain by hand. *)
+
+(** Per-scop polyhedral outcome lines ([purec compile]/[run] preamble). *)
+let pp_outcomes ppf (c : compiled) =
+  List.iter
+    (fun (o : Pluto.outcome) ->
+      match o.Pluto.o_result with
+      | Pluto.Transformed { t_units } ->
+        List.iter
+          (fun (u : Pluto.unit_info) ->
+            Fmt.pf ppf "scop at %a: iters [%s], parallel level %s, tiled %d levels%s@."
+              Support.Loc.pp o.Pluto.o_loc
+              (String.concat ", " u.Pluto.ui_iters)
+              (match u.Pluto.ui_parallel with Some l -> string_of_int l | None -> "none")
+              u.Pluto.ui_tiled
+              (if u.Pluto.ui_identity then "" else " (transformed schedule)"))
+          t_units
+      | Pluto.Rejected msg ->
+        Fmt.pf ppf "scop at %a: rejected (%s)@." Support.Loc.pp o.Pluto.o_loc msg)
+    c.c_outcomes
+
+(** What [purec compile] prints: outcomes, then the emitted C (or every
+    stage source under [--dump-stages]). *)
+let pp_compile_result ppf ?(dump = false) (c : compiled) =
+  pp_outcomes ppf c;
+  if dump then
+    List.iter
+      (fun (stage, text) -> Fmt.pf ppf "@.===== stage %s =====@.%s@." stage text)
+      c.c_stage_sources
+  else Fmt.pf ppf "%s@." c.c_emitted
+
+(** What [purec run] prints after the outcome preamble: program output,
+    interpreter exit code, dynamic-cost summary and the simulated sweep. *)
+let pp_run_report ppf ~cores ~backend (profile : Interp.Trace.profile) =
+  Fmt.pf ppf "--- program output ---@.%s--- end output ---@." profile.Interp.Trace.output;
+  Fmt.pf ppf "exit code: %d@." profile.Interp.Trace.return_code;
+  Fmt.pf ppf "parallel regions executed: %d@." (Interp.Trace.n_parallel_segments profile);
+  let cost = Interp.Trace.total_cost profile in
+  Fmt.pf ppf "dynamic ops: %d (flops %d, loads %d, stores %d, calls %d)@."
+    (Interp.Cost.total_ops cost) (Interp.Cost.total_flops cost) cost.Interp.Cost.loads
+    cost.Interp.Cost.stores cost.Interp.Cost.calls;
+  Fmt.pf ppf "simulated %s timing:@." backend.Machine.Config.b_name;
+  List.iter
+    (fun n ->
+      let r = Machine.Model.simulate ~backend ~n profile in
+      Fmt.pf ppf "  %2d cores: %10.6f s@." n r.Machine.Model.r_seconds)
+    cores
+
+(** The full single-target racecheck report of [purec racecheck] — unit
+    table, per-plan verdicts, transform-unit attribution of every racy
+    segment, and the legality/pragma postmortem lines.  Returns [true] when
+    any plan raced or the engines disagreed (the caller maps that to
+    {!exit_race}).  Raises {!Compile_error} like every other driver. *)
+let racecheck_report ppf ~name ~engine ~schedules ~cores ~tile_grain ~inject ~mode
+    source : bool =
+  let c, profile, verdicts =
+    run_racecheck ~mode ~engine ~schedules ~cores ~tile_grain source
+  in
+  (* per-outcome attribution: every [unit N] pragma tag maps back to the
+     polyhedral transform unit that emitted it *)
+  let units = Pluto.unit_table c.c_outcomes in
+  Array.iteri
+    (fun id (loc, u) ->
+      Fmt.pf ppf "%s: unit %d (scop at %a): %s@." name id Support.Loc.pp loc
+        (Pluto.describe_unit u))
+    units;
+  let attribute seg =
+    let tagged =
+      match profile.Interp.Trace.par_traces with
+      | Some traces -> (
+        match List.nth_opt traces seg with
+        | Some pt -> pt.Interp.Trace.pt_unit
+        | None -> None)
+      | None -> None
+    in
+    match tagged with
+    | Some id when id >= 0 && id < Array.length units ->
+      let loc, u = units.(id) in
+      Fmt.str "transform unit %d (scop at %a): %s" id Support.Loc.pp loc
+        (Pluto.describe_unit u)
+    | Some id -> Fmt.str "transform unit %d (no surviving outcome)" id
+    | None -> "a hand-written pragma (no transform unit)"
+  in
+  let racy_verdicts = List.filter Racecheck.verdict_racy verdicts in
+  let disagreements = Racecheck.verdicts_disagreements verdicts in
+  if racy_verdicts = [] && disagreements = [] then
+    Fmt.pf ppf "%s: no races across %d plans (engine %s; %s x cores %s)@." name
+      (List.length verdicts)
+      (Racecheck.engine_choice_name engine)
+      (String.concat ", " (List.map Racecheck.schedule_name schedules))
+      (String.concat ", " (List.map string_of_int cores))
+  else begin
+    List.iter
+      (fun v ->
+        List.iter
+          (fun (r : Racecheck.report) ->
+            if not (Racecheck.clean r) then begin
+              Fmt.pf ppf "%s: %s@." name (Racecheck.describe_report r);
+              List.iter
+                (fun seg ->
+                  Fmt.pf ppf "%s:   segment %d emitted by %s@." name seg (attribute seg))
+                (List.sort_uniq compare (List.map fst r.Racecheck.p_words))
+            end)
+          (Racecheck.verdict_reports v))
+      racy_verdicts;
+    List.iter (fun d -> Fmt.pf ppf "%s: ENGINE DISAGREEMENT: %s@." name d) disagreements;
+    if (not inject) && racy_verdicts <> [] then
+      if Array.length units > 0 then
+        Fmt.pf ppf
+          "%s: LEGALITY DISAGREEMENT: the polyhedral legality analysis approved \
+           this transform, but a dynamic race engine found races — one of the \
+           two is wrong.@."
+          name
+      else
+        Fmt.pf ppf
+          "%s: the hand-written pragmas assert an independence the program \
+           does not have.@."
+          name
+  end;
+  racy_verdicts <> [] || disagreements <> []

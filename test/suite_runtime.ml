@@ -164,6 +164,49 @@ let qcheck_parallel_sum =
           in
           got = !expected))
 
+(* ------------------------------------------------------------------ *)
+(* Streaming lifecycle (the serve daemon's discipline) *)
+
+let test_submit_quiesce () =
+  with_pool 4 (fun pool ->
+      Runtime.Pool.reset_batches pool;
+      let hits = Atomic.make 0 in
+      for _ = 1 to 100 do
+        Runtime.Pool.submit pool (fun () -> Atomic.incr hits)
+      done;
+      Runtime.Pool.quiesce pool;
+      Alcotest.(check int) "all streamed jobs ran" 100 (Atomic.get hits);
+      Alcotest.(check int) "each submit counted" 100 (Runtime.Pool.batches pool);
+      Runtime.Pool.reset_batches pool;
+      Alcotest.(check int) "reset" 0 (Runtime.Pool.batches pool);
+      (* quiesce on an idle pool returns immediately *)
+      Runtime.Pool.quiesce pool)
+
+let test_submit_crash_isolated () =
+  (* a streamed job that raises must neither kill the pool nor leak into a
+     later fork/join batch *)
+  with_pool 3 (fun pool ->
+      Runtime.Pool.submit pool (fun () -> failwith "request crashed");
+      Runtime.Pool.quiesce pool;
+      let ok = Atomic.make 0 in
+      Runtime.Pool.submit pool (fun () -> Atomic.incr ok);
+      Runtime.Pool.quiesce pool;
+      Alcotest.(check int) "pool still streams" 1 (Atomic.get ok);
+      Runtime.Pool.run pool
+        (List.init 8 (fun _ -> fun () -> Atomic.incr ok));
+      Alcotest.(check int) "fork/join unaffected" 9 (Atomic.get ok))
+
+let test_shutdown_idempotent () =
+  let pool = Runtime.Pool.create 4 in
+  Runtime.Pool.shutdown pool;
+  Runtime.Pool.shutdown pool;
+  Alcotest.(check int) "workers joined" 0 (Runtime.Pool.workers pool);
+  (match Runtime.Pool.submit pool (fun () -> ()) with
+  | () -> Alcotest.fail "submit after shutdown must refuse"
+  | exception Invalid_argument _ -> ());
+  (* a shutdown pool guarded by a second Fun.protect finalizer is fine *)
+  Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) (fun () -> ())
+
 let suite =
   [
     Alcotest.test_case "covers all indices once" `Quick test_covers_all_indices;
@@ -180,5 +223,8 @@ let suite =
     Alcotest.test_case "chunk_plan consistent with plan" `Quick
       test_chunk_plan_consistent_with_plan;
     Alcotest.test_case "PUREC_JOBS default" `Quick test_default_jobs_env;
+    Alcotest.test_case "submit/quiesce streaming" `Quick test_submit_quiesce;
+    Alcotest.test_case "streamed crash isolated" `Quick test_submit_crash_isolated;
+    Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
     QCheck_alcotest.to_alcotest qcheck_parallel_sum;
   ]

@@ -1,0 +1,329 @@
+(** Serve daemon tests: reply determinism across --jobs, per-request
+    isolation under concurrency, back-pressure, error survival, batch
+    aggregation, cache sharing, and the JSONL protocol itself. *)
+
+module P = Serve.Protocol
+
+let with_server ?jobs ?queue_depth f =
+  let t = Serve.Server.create ?jobs ?queue_depth () in
+  Fun.protect ~finally:(fun () -> Serve.Server.shutdown t) (fun () -> f t)
+
+let jfield obj key =
+  match P.field obj key with
+  | Some v -> v
+  | None -> Alcotest.failf "reply is missing field %S" key
+
+let jint = function
+  | P.Int n -> n
+  | _ -> Alcotest.fail "expected a JSON integer"
+
+let jstr = function
+  | P.Str s -> s
+  | _ -> Alcotest.fail "expected a JSON string"
+
+let reply_field line key = jfield (P.of_string line) key
+
+let reply_exit line = jint (reply_field line "exit")
+
+let reply_status line = jstr (reply_field line "status")
+
+let reply_stdout line = jstr (reply_field line "stdout")
+
+let reply_id line = match reply_field line "id" with P.Str s -> s | _ -> "<non-string>"
+
+(** id → reply line with elapsed_ms zeroed, for byte comparison. *)
+let normalized_by_id lines =
+  List.map (fun l -> (reply_id l, P.to_string (P.reply_significant (P.of_string l)))) lines
+  |> List.sort compare
+
+let obj fields = P.to_string (P.Obj fields)
+
+let run_req ~id ?(mode = "manual") file =
+  obj [ ("id", P.Str id); ("cmd", P.Str "run"); ("file", P.Str file); ("mode", P.Str mode) ]
+
+let racecheck_req ~id ?(mode = "manual") file =
+  obj
+    [
+      ("id", P.Str id);
+      ("cmd", P.Str "racecheck");
+      ("file", P.Str file);
+      ("mode", P.Str mode);
+      ("cores", P.Arr [ P.Int 4 ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* protocol round-trip + classification *)
+
+let test_json_roundtrip () =
+  let v =
+    P.Obj
+      [
+        ("id", P.Str "x\"y\n\t");
+        ("n", P.Int (-42));
+        ("f", P.Float 1.5);
+        ("b", P.Bool true);
+        ("z", P.Null);
+        ("a", P.Arr [ P.Int 1; P.Str "two"; P.Obj [] ]);
+      ]
+  in
+  Alcotest.(check bool) "roundtrip" true (P.of_string (P.to_string v) = v);
+  (* \u escapes decode *)
+  (match P.of_string "\"a\\u0041b\"" with
+  | P.Str s -> Alcotest.(check string) "unicode escape" "aAb" s
+  | _ -> Alcotest.fail "expected string");
+  (* malformed inputs raise the protocol diag *)
+  List.iter
+    (fun bad ->
+      match P.of_string bad with
+      | exception Support.Diag.Fatal d ->
+        Alcotest.(check string)
+          ("kind of " ^ bad) "protocol"
+          (Support.Diag.kind_to_string (Support.Diag.kind_of d))
+      | _ -> Alcotest.failf "parsed %S" bad)
+    [ "nope"; "{\"a\":}"; "{\"a\":1} trailing"; "\"unterminated"; "[1,]" ]
+
+let test_protocol_exit_code () =
+  (* proto.* codes classify to the new exit 6, ranked below parse *)
+  let d code =
+    { Support.Diag.severity = Support.Diag.Error; code; loc = Support.Loc.dummy; message = "" }
+  in
+  Alcotest.(check int) "protocol alone" 6
+    (Toolchain.Chain.classify_errors [ d "proto.request" ]);
+  Alcotest.(check int) "parse outranks protocol" 2
+    (Toolchain.Chain.classify_errors [ d "proto.request"; d "parse" ]);
+  Alcotest.(check int) "purity outranks protocol" 3
+    (Toolchain.Chain.classify_errors [ d "pure.global-write"; d "proto.unreadable" ])
+
+(* ------------------------------------------------------------------ *)
+(* reply determinism across --jobs *)
+
+let identity_script =
+  [
+    obj
+      [
+        ("id", P.Str "c1");
+        ("cmd", P.Str "compile");
+        ("file", P.Str "reduction_smoke.c");
+        ("mode", P.Str "manual");
+      ];
+    run_req ~id:"r1" "reduction_smoke.c";
+    racecheck_req ~id:"k1" "critical_guarded.c";
+    racecheck_req ~id:"k2" "critical_unguarded.c";
+    run_req ~id:"r2" "critical_guarded.c";
+    obj [ ("id", P.Str "f1"); ("cmd", P.Str "fuzz"); ("seed", P.Int 1); ("count", P.Int 1) ];
+  ]
+
+let test_jobs_identical () =
+  let at jobs = with_server ~jobs (fun t -> Serve.Server.run_script t identity_script) in
+  let one = normalized_by_id (at 1) in
+  let eight = normalized_by_id (at 8) in
+  List.iter2
+    (fun (id1, r1) (id8, r8) ->
+      Alcotest.(check string) "same ids" id1 id8;
+      Alcotest.(check string) ("reply " ^ id1) r1 r8)
+    one eight;
+  Alcotest.(check int) "all replies present" (List.length identity_script) (List.length one)
+
+(* ------------------------------------------------------------------ *)
+(* concurrent interleaving: no cross-contamination *)
+
+let test_interleaved_isolated () =
+  (* references computed alone, outside any server *)
+  let expect_run file =
+    let o =
+      Serve.Driver.run_request
+        ~spec:{ Toolchain.Chain.default_mode_spec with Toolchain.Chain.ms_mode = `Manual }
+        ~cores:[ 1; 2; 4; 8; 16; 32; 64 ] ~backend:"gcc" ~tile_grain:true
+        (Serve.Driver.read_source (P.From_file file))
+    in
+    o.Serve.Driver.o_stdout
+  in
+  let ref_reduction = expect_run "reduction_smoke.c" in
+  let ref_guarded = expect_run "critical_guarded.c" in
+  Alcotest.(check bool) "distinct outputs" false (ref_reduction = ref_guarded);
+  let script =
+    List.concat_map
+      (fun i ->
+        [
+          run_req ~id:(Printf.sprintf "a%d" i) "reduction_smoke.c";
+          run_req ~id:(Printf.sprintf "b%d" i) "critical_guarded.c";
+          racecheck_req ~id:(Printf.sprintf "g%d" i) "critical_guarded.c";
+          racecheck_req ~id:(Printf.sprintf "u%d" i) "critical_unguarded.c";
+        ])
+      [ 0; 1; 2 ]
+  in
+  with_server ~jobs:4 (fun t ->
+      let replies = Serve.Server.run_script t script in
+      Alcotest.(check int) "reply count" (List.length script) (List.length replies);
+      List.iter
+        (fun line ->
+          let id = reply_id line in
+          match id.[0] with
+          | 'a' ->
+            Alcotest.(check string) (id ^ " stdout") ref_reduction (reply_stdout line);
+            Alcotest.(check int) (id ^ " exit") 0 (reply_exit line)
+          | 'b' ->
+            Alcotest.(check string) (id ^ " stdout") ref_guarded (reply_stdout line);
+            Alcotest.(check int) (id ^ " exit") 0 (reply_exit line)
+          | 'g' -> Alcotest.(check int) (id ^ " clean") 0 (reply_exit line)
+          | 'u' -> Alcotest.(check int) (id ^ " racy") 5 (reply_exit line)
+          | _ -> Alcotest.failf "unexpected reply id %s" id)
+        replies)
+
+(* ------------------------------------------------------------------ *)
+(* back-pressure *)
+
+let test_queue_overflow_busy () =
+  (* depth 0: every queued command overflows deterministically; stats
+     bypasses the queue and must still answer *)
+  with_server ~jobs:1 ~queue_depth:0 (fun t ->
+      let replies =
+        Serve.Server.run_script t
+          [ run_req ~id:"x" "reduction_smoke.c"; obj [ ("id", P.Str "s"); ("cmd", P.Str "stats") ] ]
+      in
+      match replies with
+      | [ busy; stats ] ->
+        Alcotest.(check string) "busy status" "busy" (reply_status busy);
+        Alcotest.(check int) "busy exit" 6 (reply_exit busy);
+        Alcotest.(check string) "stats answers" "ok" (reply_status stats);
+        Alcotest.(check int) "busy counted" 1 (jint (reply_field stats "busy"))
+      | _ -> Alcotest.failf "expected 2 replies, got %d" (List.length replies))
+
+(* ------------------------------------------------------------------ *)
+(* error-bearing requests leave the daemon serving *)
+
+let impure_source = "int g;\npure int f(int x) { g = x; return x; }\n"
+
+let test_survives_errors () =
+  with_server ~jobs:2 (fun t ->
+      let script =
+        [
+          (* purity rejection: exit 3 *)
+          obj
+            [
+              ("id", P.Str "bad");
+              ("cmd", P.Str "compile");
+              ("source", P.Str impure_source);
+              ("mode", P.Str "pure");
+            ];
+          (* malformed JSONL: exit 6, id unechoable *)
+          "{\"id\": \"oops\", ";
+          (* unreadable file: exit 6 with the id echoed *)
+          obj [ ("id", P.Str "gone"); ("cmd", P.Str "run"); ("file", P.Str "no-such-file.c") ];
+          (* and the daemon still serves real work afterwards *)
+          run_req ~id:"ok" "reduction_smoke.c";
+        ]
+      in
+      let replies = Serve.Server.run_script t script in
+      let by_id = List.map (fun l -> (reply_id l, l)) replies in
+      let find id = List.assoc id by_id in
+      Alcotest.(check int) "purity exit" 3 (reply_exit (find "bad"));
+      Alcotest.(check string) "purity status" "error" (reply_status (find "bad"));
+      Alcotest.(check int) "malformed exit" 6 (reply_exit (find "<non-string>"));
+      Alcotest.(check int) "unreadable exit" 6 (reply_exit (find "gone"));
+      Alcotest.(check int) "daemon still serves" 0 (reply_exit (find "ok"));
+      (* a second script against the same server also still works *)
+      match Serve.Server.run_script t [ run_req ~id:"again" "reduction_smoke.c" ] with
+      | [ r ] -> Alcotest.(check int) "second script" 0 (reply_exit r)
+      | rs -> Alcotest.failf "expected 1 reply, got %d" (List.length rs))
+
+(* ------------------------------------------------------------------ *)
+(* batch aggregate = sum of the individual runs *)
+
+let test_batch_aggregate () =
+  let files = [ "reduction_smoke.c"; "critical_guarded.c" ] in
+  let individual =
+    with_server ~jobs:2 (fun t ->
+        List.map
+          (fun f ->
+            match Serve.Server.run_script t [ run_req ~id:f ~mode:"pure" f ] with
+            | [ r ] -> (f, reply_exit r, reply_stdout r)
+            | _ -> Alcotest.fail "expected one reply")
+          files)
+  in
+  with_server ~jobs:4 (fun t ->
+      let batch =
+        obj
+          [
+            ("id", P.Str "B");
+            ("cmd", P.Str "batch");
+            ("files", P.Arr (List.map (fun f -> P.Str f) files));
+          ]
+      in
+      match Serve.Server.run_script t [ batch ] with
+      | [ line ] ->
+        let reply = P.of_string line in
+        let per_file =
+          match jfield reply "files" with
+          | P.Arr items -> items
+          | _ -> Alcotest.fail "files must be an array"
+        in
+        Alcotest.(check int) "one entry per file" (List.length files) (List.length per_file);
+        List.iter2
+          (fun (f, exit_code, stdout) entry ->
+            Alcotest.(check string) (f ^ " name") f (jstr (jfield entry "file"));
+            Alcotest.(check int) (f ^ " exit") exit_code (jint (jfield entry "exit"));
+            Alcotest.(check string) (f ^ " stdout") stdout (jstr (jfield entry "stdout")))
+          individual per_file;
+        let agg = jfield reply "aggregate" in
+        let total = jint (jfield agg "total") in
+        let ok = jint (jfield agg "ok") in
+        let failed = jint (jfield agg "failed") in
+        Alcotest.(check int) "total" (List.length files) total;
+        Alcotest.(check int) "ok + failed = total" total (ok + failed);
+        Alcotest.(check int) "ok = individual successes" ok
+          (List.length (List.filter (fun (_, e, _) -> e = 0) individual))
+      | rs -> Alcotest.failf "expected 1 batch reply, got %d" (List.length rs))
+
+(* ------------------------------------------------------------------ *)
+(* cache sharing + isolation observability *)
+
+let test_caches_and_census () =
+  with_server ~jobs:1 (fun t ->
+      let census0 = Interp.Compile.rts_created () in
+      let script =
+        [
+          obj
+            [
+              ("id", P.Str "c");
+              ("cmd", P.Str "compile");
+              ("file", P.Str "reduction_smoke.c");
+              ("mode", P.Str "manual");
+            ];
+          run_req ~id:"r1" "reduction_smoke.c";
+          run_req ~id:"r2" "reduction_smoke.c";
+        ]
+      in
+      let replies = Serve.Server.run_script t script in
+      (* stats in a second script: the reader answers stats inline, so only
+         after run_script has drained is the counter view deterministic *)
+      let stats =
+        match Serve.Server.run_script t [ obj [ ("id", P.Str "s"); ("cmd", P.Str "stats") ] ] with
+        | [ s ] -> s
+        | rs -> Alcotest.failf "expected 1 stats reply, got %d" (List.length rs)
+      in
+      let sub key field = jint (jfield (reply_field stats key) field) in
+      (* compile then run share the parsed TU; the repeated run hits the
+         reply memo outright *)
+      Alcotest.(check bool) "tu cache hit" true (sub "tu_cache" "hits" >= 1);
+      Alcotest.(check bool) "reply memo hit" true (sub "reply_memo" "hits" >= 1);
+      (* the memoized r2 is byte-identical to r1 *)
+      let r1 = List.find (fun l -> reply_id l = "r1") replies in
+      let r2 = List.find (fun l -> reply_id l = "r2") replies in
+      Alcotest.(check string) "memo reply identical" (reply_stdout r1) (reply_stdout r2);
+      (* fresh interpreter state per executed request: exactly one request
+         really executes (compile never interprets; the memoized r2
+         legitimately skips execution), so the census grew by at least 1 *)
+      Alcotest.(check bool) "rt census grew" true (Interp.Compile.rts_created () >= census0 + 1))
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip + malformed classification" `Quick test_json_roundtrip;
+    Alcotest.test_case "protocol exit code 6 ranking" `Quick test_protocol_exit_code;
+    Alcotest.test_case "replies byte-identical at jobs 1 vs 8" `Slow test_jobs_identical;
+    Alcotest.test_case "interleaved run/racecheck stay isolated" `Slow test_interleaved_isolated;
+    Alcotest.test_case "queue overflow answers busy" `Quick test_queue_overflow_busy;
+    Alcotest.test_case "daemon survives error-bearing requests" `Quick test_survives_errors;
+    Alcotest.test_case "batch aggregate = sum of individual runs" `Slow test_batch_aggregate;
+    Alcotest.test_case "warm caches shared, rt census grows" `Quick test_caches_and_census;
+  ]

@@ -22,4 +22,5 @@ let () =
       ("racecheck", Suite_racecheck.suite);
       ("tiled", Suite_tiled.suite);
       ("reduction", Suite_reduction.suite);
+      ("serve", Suite_serve.suite);
     ]
