@@ -226,6 +226,63 @@ int main(void) {
       ])
     rows
 
+(* the fast-path A/B (DESIGN.md §13): each workload goes through the full
+   pure chain once, then [Interp.Exec.run_main] is timed on two pre-loaded
+   interpreter instances — one Modeled, one Fast — so the series isolates
+   raw interpretation speed: compile time is excluded, and every repetition
+   goes through [Compile.reset_rt] exactly like a serve re-run would. *)
+let run_measured_fastpath scale =
+  let module F = Toolchain.Figures in
+  (* single-core steady-state ratio: at the tiny --quick sizes the run is
+     mostly startup (globals, first-touch allocation), which both engines
+     share and which would dilute the interpreter-throughput ratio this
+     series exists to track — so each workload gets a floor that keeps the
+     inner loops dominant while staying CI-cheap *)
+  let workloads =
+    [
+      ("matmul", Workloads.Matmul.pure_source ~n:(max scale.F.matmul_n 64) ());
+      ( "heat",
+        Workloads.Heat.pure_source ~n:(max scale.F.heat_n 64)
+          ~t:(max scale.F.heat_t 8) () );
+      ( "satellite",
+        Workloads.Satellite.pure_source ~w:(max scale.F.sat_w 32)
+          ~h:(max scale.F.sat_h 32)
+          ~bands:(max scale.F.sat_bands 8) () );
+      ( "lama",
+        Workloads.Lama_app.pure_source
+          ~rows:(max scale.F.lama_rows 2048)
+          ~maxnnz:(max scale.F.lama_maxnnz 16)
+          ~reps:(max scale.F.lama_reps 2) () );
+    ]
+  in
+  let reps = 3 in
+  pf "== measured: fast path vs instrumented interpreter, single core (best of %d) ==@."
+    reps;
+  List.concat_map
+    (fun (name, src) ->
+      let c = Toolchain.Chain.compile ~mode:(Toolchain.Chain.Pure_chain (fun x -> x)) src in
+      let time instr =
+        let cenv =
+          Interp.Exec.load ~l1_bytes:Toolchain.Chain.scaled_l1_bytes
+            ~l2_bytes:Toolchain.Chain.scaled_l2_bytes ~instr c.Toolchain.Chain.c_ast
+        in
+        best_of reps (fun () -> ignore (Interp.Exec.run_main cenv))
+      in
+      let tm = time Interp.Compile.Modeled in
+      let tf = time Interp.Compile.Fast in
+      let sp = tm /. tf in
+      pf "  %-10s modeled %10.6f s   fast %10.6f s   speedup %6.2fx@." name tm tf sp;
+      let title = Printf.sprintf "%s: instrumented vs fast interpretation" name in
+      [
+        record ~kind:"measured" ~figure:"measured-fastpath" ~title ~unit:"seconds"
+          ~variant:(name ^ "-modeled") ~cores:1 ~value:tm;
+        record ~kind:"measured" ~figure:"measured-fastpath" ~title ~unit:"seconds"
+          ~variant:(name ^ "-fast") ~cores:1 ~value:tf;
+        record ~kind:"measured" ~figure:"measured-fastpath" ~title ~unit:"speedup"
+          ~variant:(name ^ "-speedup") ~cores:1 ~value:sp;
+      ])
+    workloads
+
 (* the serve daemon's end-to-end throughput (DESIGN.md §12): a fixed
    32-request corpus of distinct inline run requests — distinct sources, so
    neither the TU cache nor the reply memo short-circuits the work — pushed
@@ -322,8 +379,9 @@ let run_figures scale which ~json ~domains ~tile_grain =
     let measured = run_measured scale domains in
     let tiled = run_measured_tiled ~tile_grain scale domains in
     let reduction = run_measured_reduction scale domains in
+    let fastpath = run_measured_fastpath scale in
     let serve = run_measured_serve domains in
-    write_json (figure_records rendered @ measured @ tiled @ reduction @ serve)
+    write_json (figure_records rendered @ measured @ tiled @ reduction @ fastpath @ serve)
   end;
   (* correctness cross-check printed alongside the data *)
   let check name d =
@@ -579,8 +637,9 @@ let () =
     let measured = run_measured scale !domains in
     let tiled = run_measured_tiled ~tile_grain:!tile_grain scale !domains in
     let reduction = run_measured_reduction scale !domains in
+    let fastpath = run_measured_fastpath scale in
     let serve = run_measured_serve !domains in
-    if !json then write_json (measured @ tiled @ reduction @ serve)
+    if !json then write_json (measured @ tiled @ reduction @ fastpath @ serve)
   end
   else if !only_ablations then run_ablations scale !ablation
   else begin

@@ -169,7 +169,18 @@ let run_cmd =
     in
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
-  let run file mode sica tile schedule cores backend jobs tile_grain =
+  let no_model_arg =
+    let doc =
+      "Skip the machine model: execute on the uninstrumented fast variant \
+       (typed unboxed closures, no cost counters, no cache simulation).  \
+       Program output, exit code and faults are byte-identical to the \
+       instrumented run; the dynamic-ops and simulated-timing sections are \
+       omitted.  An order of magnitude faster — the right mode when only \
+       the program's result is wanted."
+    in
+    Arg.(value & flag & info [ "no-model" ] ~doc)
+  in
+  let run file mode sica tile schedule cores backend jobs tile_grain no_model =
     handle_compile_error (fun () ->
         let src = read_file file in
         let spec = make_spec mode sica tile schedule in
@@ -182,21 +193,22 @@ let run_cmd =
               ~finally:(fun () -> Runtime.Pool.shutdown pool)
               (fun () ->
                 let t0 = Unix.gettimeofday () in
-                let p = Toolchain.Chain.execute ~tile_grain ~pool c in
+                let p = Toolchain.Chain.execute ~no_model ~tile_grain ~pool c in
                 let t1 = Unix.gettimeofday () in
                 Fmt.epr "run: %d worker domains, %.6f s wall@."
                   (Runtime.Pool.size pool) (t1 -. t0);
                 p)
           end
-          else Toolchain.Chain.execute ~tile_grain c
+          else Toolchain.Chain.execute ~no_model ~tile_grain c
         in
-        Toolchain.Chain.pp_run_report Fmt.stdout ~cores ~backend profile)
+        Toolchain.Chain.pp_run_report Fmt.stdout ~model:(not no_model) ~cores ~backend
+          profile)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, execute, and simulate timings on the modeled machine.")
     Term.(
       const run $ file_arg $ mode_arg $ sica_arg $ tile_arg $ schedule_arg $ cores_arg
-      $ backend_arg $ run_jobs_arg $ tile_grain_arg)
+      $ backend_arg $ run_jobs_arg $ tile_grain_arg $ no_model_arg)
 
 (* ------------------------------------------------------------------ *)
 (* racecheck *)

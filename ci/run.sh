@@ -11,12 +11,15 @@
 # critical-guarded/unguarded racecheck pair, plus one fuzz seed carrying
 # the reduction and critical-update grammar shapes), and the serve smoke
 # (a 5-request JSONL script — compile/run/racecheck/malformed/stats —
-# piped through the `purec serve` daemon with per-reply assertions).
+# piped through the `purec serve` daemon with per-reply assertions), and
+# the fast-path smoke (`purec run --no-model` over the reduction and
+# tiled workloads on 2 domains plus a 50-program fuzz slice whose oracle
+# cross-checks the fast configurations against the modeled engines).
 #
 # Last comes the benchmark regression gate: a quick bench run must stay
 # inside the per-record tolerance bands of the committed baseline
 # (ci/bench_baseline.json; modeled records +/-30%, measured wall-clock
-# records x8 — see ci/bench_diff.ml).  Refresh the baseline with
+# records x4 — see ci/bench_diff.ml).  Refresh the baseline with
 #   dune exec bench/main.exe -- --quick --json && cp BENCH_results.json ci/bench_baseline.json
 # when a perf change is intentional.
 set -eu
@@ -30,5 +33,6 @@ dune build @lockset-smoke
 dune build @tile-smoke
 dune build @reduction-smoke
 dune build @serve-smoke
+dune build @fastpath-smoke
 dune exec bench/main.exe -- --quick --json > /dev/null
 dune exec ci/bench_diff.exe -- ci/bench_baseline.json BENCH_results.json

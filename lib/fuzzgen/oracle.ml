@@ -82,8 +82,11 @@ let describe = function
 (* ------------------------------------------------------------------ *)
 (* Configurations under test *)
 
+let with_inject ~inject c =
+  if inject then { c with Pluto.unsafe_no_legality = true } else c
+
 let configs ~inject : (string * Toolchain.Chain.mode) list =
-  let with_inject c = if inject then { c with Pluto.unsafe_no_legality = true } else c in
+  let with_inject = with_inject ~inject in
   [
     ("manual-omp", Toolchain.Chain.Manual_omp);
     ("pure-static", Toolchain.Chain.Pure_chain with_inject);
@@ -96,6 +99,22 @@ let configs ~inject : (string * Toolchain.Chain.mode) list =
     ( "pure-sica",
       Toolchain.Chain.Pure_chain
         (fun c -> with_inject { c with Pluto.sica = true; sica_cache = Toolchain.Chain.scaled_sica_cache }) );
+  ]
+
+(** The uninstrumented twin of the matrix: the same source executed on the
+    fast variant ([no_model]).  Compared on output bytes and return code
+    only — the structural checks (unimodularity, plan partitions, model
+    sanity, races) need the instrumented profile, and the modeled twin of
+    each configuration already runs them; a fast profile's counters are
+    all zero by design, so e.g. {!check_model} would reject it vacuously. *)
+let fast_configs ~inject : (string * Toolchain.Chain.mode) list =
+  let with_inject = with_inject ~inject in
+  [
+    ("fast-seq", Toolchain.Chain.Sequential);
+    ("fast-static", Toolchain.Chain.Pure_chain with_inject);
+    ( "fast-tile",
+      Toolchain.Chain.Pure_chain
+        (fun c -> with_inject { c with Pluto.tile = true; tile_sizes = [ 4 ] }) );
   ]
 
 let core_counts = [ 1; 4; 16; 64 ]
@@ -171,8 +190,8 @@ let check_model ~config (profile : Interp.Trace.profile) =
 
 (* ------------------------------------------------------------------ *)
 
-let run_config ?trace_accesses ?shadow_slots mode source =
-  match Toolchain.Chain.run ~mode ?trace_accesses ?shadow_slots source with
+let run_config ?trace_accesses ?no_model ?shadow_slots mode source =
+  match Toolchain.Chain.run ~mode ?trace_accesses ?no_model ?shadow_slots source with
   | c, profile -> Ok (c, profile)
   | exception Toolchain.Chain.Compile_error diags ->
     Error (String.concat "; " (List.map (fun d -> d.Diag.code ^ ": " ^ d.Diag.message) diags))
@@ -252,6 +271,38 @@ let check ?(inject = false) ?(racecheck = false) (source : string) : report =
             @ check_model ~config:name profile))
         cfgs
     in
-    { r_seed = None; r_failures = failures; r_configs = 1 + List.length cfgs }
+    let fasts = fast_configs ~inject in
+    let fast_failures =
+      List.concat_map
+        (fun (name, mode) ->
+          match run_config ~no_model:true mode source with
+          | Error detail ->
+            if Util.string_starts_with ~prefix:"runtime" detail then
+              [ Runtime_failure { config = name; detail } ]
+            else [ Compile_failure { config = name; detail } ]
+          | Ok (_, profile) ->
+            let fs = ref [] in
+            if profile.Interp.Trace.output <> base.Interp.Trace.output then
+              fs :=
+                Output_mismatch
+                  { config = name; expected = base.Interp.Trace.output; got = profile.Interp.Trace.output }
+                :: !fs;
+            if profile.Interp.Trace.return_code <> base.Interp.Trace.return_code then
+              fs :=
+                Return_mismatch
+                  {
+                    config = name;
+                    expected = base.Interp.Trace.return_code;
+                    got = profile.Interp.Trace.return_code;
+                  }
+                :: !fs;
+            List.rev !fs)
+        fasts
+    in
+    {
+      r_seed = None;
+      r_failures = failures @ fast_failures;
+      r_configs = 1 + List.length cfgs + List.length fasts;
+    }
 
 let passed r = r.r_failures = []

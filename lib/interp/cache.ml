@@ -98,6 +98,10 @@ let reset_all t =
 
 let line_bytes t = 1 lsl t.l1.line_shift
 
+(** Total simulated accesses that reached the L1 front end — zero proves a
+    run never touched the cache model (the fast-path engagement witness). *)
+let total_accesses t = t.l1.accesses
+
 (* ------------------------------------------------------------------ *)
 
 (** Per-site register-promotion memo, sharded by execution stream.

@@ -19,6 +19,19 @@ let unsupported fmt = Fmt.kstr (fun m -> raise (Unsupported m)) fmt
 
 type vec_mode = Scalar | Auto_vec | Pragma_vec
 
+(** Execution variant, fixed at plan time — the closure compiler
+    specializes on it once, so the emitted code carries no mode branches:
+
+    - [Modeled]: the instrumented engine.  Every operation bumps {!Cost}
+      counters and every memory access drives the {!Cache} simulator.
+    - [Traced]: [Modeled] plus per-access logs inside parallel loops for
+      the race detector (never dispatches to the pool).
+    - [Fast]: typed unboxed closures with no instrumentation at all —
+      same output, same return code, same faults, same parallel dispatch
+      and reduction merge, an order of magnitude faster.  Selected by
+      [purec run --no-model] and the fuzz oracle's differential configs. *)
+type instr = Modeled | Traced | Fast
+
 (** Per-execution-stream interpreter state.  Stream 0 is the master — the
     sequential instruction stream of the program; streams 1.. belong to the
     domain pool's workers and are only active inside a dispatched
@@ -48,7 +61,12 @@ type rt = {
   mutable segments : Trace.segment list;  (** reversed; master-only *)
   mutable seg_start : Cost.t;
   mutable in_parallel : bool;
-  trace_accesses : bool;  (** record per-access logs inside parallel loops *)
+  instr : instr;
+      (** the execution variant every closure of this runtime was compiled
+          for; immutable, so specialization decisions made at compile time
+          stay valid for the runtime's whole life *)
+  trace_accesses : bool;
+      (** = [instr = Traced]: record per-access logs inside parallel loops *)
   shadow_slots : bool;
       (** shadow function-local frame slots as addressable {!Mem} regions so
           the race detector sees local-scalar accesses too (closes the
@@ -91,9 +109,17 @@ let rt_census = Atomic.make 0
 
 let rts_created () = Atomic.get rt_census
 
-let create_rt ?l1_bytes ?l2_bytes ?(trace_accesses = false) ?(shadow_slots = false)
+(* Fast-variant sub-census: how many of the runtimes above skipped
+   instrumentation entirely.  The serve stats reply reports it so a warm
+   daemon's --no-model traffic is observable separately. *)
+let rt_census_fast = Atomic.make 0
+
+let rts_created_fast () = Atomic.get rt_census_fast
+
+let create_rt ?l1_bytes ?l2_bytes ?(instr = Modeled) ?(shadow_slots = false)
     ?(tile_grain = true) ?pool () =
   Atomic.incr rt_census;
+  if instr = Fast then Atomic.incr rt_census_fast;
   let mk_dstate slot =
     let counters = Cost.create () in
     {
@@ -114,7 +140,8 @@ let create_rt ?l1_bytes ?l2_bytes ?(trace_accesses = false) ?(shadow_slots = fal
     segments = [];
     seg_start = Cost.create ();
     in_parallel = false;
-    trace_accesses;
+    instr;
+    trace_accesses = (instr = Traced);
     shadow_slots;
     access_log = None;
     par_traces = [];
@@ -135,6 +162,31 @@ let n_streams rt = Array.length rt.states
     and a worker state inside a dispatched chunk. *)
 let[@inline] cur rt = Domain.DLS.get rt.dls
 
+let[@inline] is_fast rt = rt.instr = Fast
+
+(** Reset every piece of per-run mutable state so a loaded program can be
+    executed again on the same runtime.  This is the single reset site used
+    by both the one-shot CLI path ([Exec.run_main]) and the serve daemon —
+    a new piece of run state added here cannot be forgotten in one of
+    them. *)
+let reset_rt rt =
+  Array.iter
+    (fun ds ->
+      Cost.reset ds.ds_counters;
+      Cache.reset_all ds.ds_cache;
+      Buffer.clear ds.ds_out;
+      ds.ds_vec_mode <- Scalar)
+    rt.states;
+  rt.segments <- [];
+  rt.seg_start <- Cost.create ();
+  rt.in_parallel <- false;
+  rt.access_log <- None;
+  rt.par_traces <- [];
+  rt.rec_points <- None;
+  rt.rec_depth <- 0;
+  rt.rec_nacc <- 0;
+  rt.held_locks <- []
+
 type frame = Mem.value array
 
 exception Return_v of Mem.value
@@ -153,6 +205,11 @@ type global_cell =
 type func_entry = {
   fe_def : Ast.func;
   mutable fe_run : (Mem.value array -> Mem.value) option;
+  mutable fe_fast : (Mem.value array -> Mem.value) option;
+      (** fast-variant entry point taking the {e callee frame} directly:
+          the caller allocates [fe_nslots] slots and fills the parameter
+          prefix, skipping the argv copy of [fe_run] *)
+  mutable fe_nslots : int;
 }
 
 (** Lexical shadow-slot context, set while compiling the components of a
@@ -506,6 +563,26 @@ let coerce ty (v : Mem.value) : Mem.value =
     | v -> v)
   | _ -> v
 
+(* Syntactic identity over the effect-free address grammar (names,
+   integer literals, subscript chains): used to recognize in-place
+   update statements, A[i][j] = A[i][j] + e. *)
+let rec same_lval a b =
+  match (a.Ast.edesc, b.Ast.edesc) with
+  | Ast.Ident x, Ast.Ident y -> x = y
+  | Ast.IntLit x, Ast.IntLit y -> x = y
+  | Ast.Index (b1, i1), Ast.Index (b2, i2) -> same_lval b1 b2 && same_lval i1 i2
+  | _ -> false
+
+(* No assignment or ++/-- anywhere inside [e], so frame slots cannot
+   change across its evaluation (address-of a register variable is
+   rejected at compile time, so calls cannot reach locals either). *)
+let no_local_writes e =
+  Ast.fold_expr
+    (fun acc x ->
+      acc
+      && match x.Ast.edesc with Ast.Assign _ | Ast.IncDec _ -> false | _ -> true)
+    true e
+
 (* ------------------------------------------------------------------ *)
 (* Call-overhead model: -O2 inlines small leaf functions. *)
 
@@ -556,9 +633,1600 @@ type lval =
 let lval_type = function LSlot (_, t) | LGlobal (_, _, t) | LMem (_, t) -> t
 
 (* ------------------------------------------------------------------ *)
+(* Typed closures for the fast (uninstrumented) variant.
+
+   The modeled compiler produces [frame -> Mem.value] closures: every
+   intermediate result is boxed, which is most of the interpreter's
+   constant factor.  When [rt.instr = Fast] the compiler specializes on
+   the statically known C type instead and emits [frame -> int] /
+   [frame -> float] kernels, converting between representations only at
+   the genuinely polymorphic seams (frame slots, pointer values,
+   user-function boundaries) — exactly the points where the modeled
+   engine applies [Mem.to_int]/[to_float], so conversions and their
+   faults are identical. *)
+
+type fx =
+  | FI of (frame -> int)
+  | FF of (frame -> float)
+  | FV of (frame -> Mem.value)
+  | FS of int  (** symbolic frame-slot read: consumers fuse the conversion *)
+  | FG of Mem.value ref  (** symbolic global-scalar read *)
+
+(* [FS]/[FG] defer the slot read to the consumer, which applies exactly
+   the conversion the boxed path would — one closure instead of a read
+   wrapper plus a conversion wrapper on every scalar variable use. *)
+let fx_value = function
+  | FI f -> fun fr -> Mem.VInt (f fr)
+  | FF f -> fun fr -> Mem.VFloat (f fr)
+  | FV f -> f
+  | FS s -> fun fr -> fr.(s)
+  | FG g -> fun _ -> !g
+
+(* each conversion mirrors Mem.to_int/to_float/to_ptr/truthy arm for arm *)
+let fx_int = function
+  | FI f -> f
+  | FF f -> fun fr -> int_of_float (f fr)
+  | FV f -> fun fr -> Mem.to_int (f fr)
+  | FS s -> fun fr -> Mem.to_int fr.(s)
+  | FG g -> fun _ -> Mem.to_int !g
+
+let fx_float = function
+  | FF f -> f
+  | FI f -> fun fr -> float_of_int (f fr)
+  | FV f -> fun fr -> Mem.to_float (f fr)
+  | FS s -> fun fr -> Mem.to_float fr.(s)
+  | FG g -> fun _ -> Mem.to_float !g
+
+let fx_bool = function
+  | FI f -> fun fr -> f fr <> 0
+  | FF f -> fun fr -> f fr <> 0.0
+  | FV f -> fun fr -> Mem.truthy (f fr)
+  | FS s -> fun fr -> Mem.truthy fr.(s)
+  | FG g -> fun _ -> Mem.truthy !g
+
+let fx_unit = function
+  | FI f -> fun fr -> ignore (f fr)
+  | FF f -> fun fr -> ignore (f fr)
+  | FV f -> fun fr -> ignore (f fr)
+  | FS s -> fun fr -> ignore fr.(s)
+  | FG _ -> fun _ -> ()
+
+(* a typed scalar used where a pointer is required still evaluates its
+   operand first (side-effect parity with [Mem.to_ptr] on the boxed path) *)
+let fx_ptr = function
+  | FV f -> fun fr -> Mem.to_ptr (f fr)
+  | FS s -> fun fr -> Mem.to_ptr fr.(s)
+  | FG g -> fun _ -> Mem.to_ptr !g
+  | FI f ->
+    fun fr ->
+      ignore (f fr);
+      Mem.fault "scalar used as pointer"
+  | FF f ->
+    fun fr ->
+      ignore (f fr);
+      Mem.fault "scalar used as pointer"
+
+(* normalize the symbolic reads away where a consumer needs the raw boxed
+   value (assignment coercion, casts): the raw slot value can be any kind,
+   so only the [FV] arms' semantics are correct there *)
+let fx_norm = function
+  | FS s -> FV (fun fr -> fr.(s))
+  | FG g -> FV (fun _ -> !g)
+  | x -> x
+
+(** Fast-path lvalues.  Memory targets are decomposed into a root pointer
+    closure plus a flat element-offset closure, so nested subscripts
+    compose into one integer offset computation and the hot load/store
+    allocates no intermediate pointer records. *)
+type flv =
+  | FLSlot of int * Ast.ctype
+  | FLGlobal of Mem.value ref * Ast.ctype
+  | FLMem of (frame -> Mem.ptr) * (frame -> int) * Ast.ctype
+
+let flv_type = function FLSlot (_, t) | FLGlobal (_, t) | FLMem (_, _, t) -> t
+
+(* [combine] of the modeled [compile_assign] minus counters: compound
+   assignment on boxed values, used at the polymorphic seams of the fast
+   assignment compiler. *)
+let fast_combine ty op old rv =
+  match (ty, old, op) with
+  | Ast.Ptr _, Mem.VPtr p, Ast.OpAddAssign ->
+    Mem.VPtr (Mem.ptr_add p (Mem.to_int rv))
+  | Ast.Ptr _, Mem.VPtr p, Ast.OpSubAssign ->
+    Mem.VPtr (Mem.ptr_add p (-Mem.to_int rv))
+  | _ -> (
+    match op with
+    | Ast.OpAssign -> coerce ty rv
+    | Ast.OpAddAssign | Ast.OpSubAssign | Ast.OpMulAssign | Ast.OpDivAssign ->
+      if is_floaty ty then begin
+        let a = Mem.to_float old and b = Mem.to_float rv in
+        Mem.VFloat
+          (match op with
+          | Ast.OpAddAssign -> a +. b
+          | Ast.OpSubAssign -> a -. b
+          | Ast.OpMulAssign -> a *. b
+          | _ -> a /. b)
+      end
+      else begin
+        let a = Mem.to_int old and b = Mem.to_int rv in
+        Mem.VInt
+          (match op with
+          | Ast.OpAddAssign -> a + b
+          | Ast.OpSubAssign -> a - b
+          | Ast.OpMulAssign -> a * b
+          | _ -> if b = 0 then Mem.fault "division by zero" else a / b)
+      end
+    | Ast.OpModAssign ->
+      let a = Mem.to_int old and b = Mem.to_int rv in
+      if b = 0 then Mem.fault "modulo by zero" else Mem.VInt (a mod b))
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic (root, offset) descriptors for the fast address path.
+
+   [fast_addr_opt] composes subscript chains symbolically: constant and
+   slot-indexed affine shapes (up to two slots — the [A\[i\]\[k\]] row-major
+   pattern) stay as data until a consumer materializes them, so the hot
+   load [A[i][k]] compiles to ONE closure doing
+   [get_f view (N * to_int fr.(i) + to_int fr.(k))] instead of a chain of
+   index/compose/root calls.  Slot reads use [Mem.to_int] exactly like
+   the boxed path, and the evaluation order inside a fused closure is the
+   composed order of the modeled engine: each new subscript's index
+   before the accumulated offset, offset before root conversion. *)
+
+type froot = RConst of Mem.ptr | RClo of (frame -> Mem.ptr)
+
+type foff =
+  | KConst of int
+  | K1 of int * int * int  (** [K1 (m, s, c)] = m * to_int fr.(s) + c *)
+  | K2 of int * int * int * int * int
+      (** [K2 (m1, s1, m2, s2, c)]: reads [s2] {e before} [s1] — the
+          inner subscript composed after the outer one *)
+  | KClo of (frame -> int)
+
+let froot_clo = function RConst v -> fun _ -> v | RClo f -> f
+
+let foff_clo = function
+  | KConst c -> fun _ -> c
+  | K1 (m, s, c) -> fun fr -> (m * Mem.to_int fr.(s)) + c
+  | K2 (m1, s1, m2, s2, c) ->
+    fun fr ->
+      let b = (m2 * Mem.to_int fr.(s2)) + c in
+      (m1 * Mem.to_int fr.(s1)) + b
+  | KClo f -> f
+
+(* [foff_compose acc cls st]: flat-compose a new subscript (classified as
+   a constant, an int slot, or an opaque closure) scaled by [st] onto the
+   accumulated offset.  The new index always evaluates first. *)
+let foff_compose acc cls st =
+  match (acc, cls) with
+  | KConst a, `Const n -> KConst (a + (st * n))
+  | KConst a, `Slot s -> K1 (st, s, a)
+  | KConst 0, `Clo f when st = 1 -> KClo f
+  | KConst a, `Clo f -> KClo (fun fr -> a + (st * f fr))
+  | K1 (m, s, c), `Const n -> K1 (m, s, c + (st * n))
+  | K1 (m1, s1, c), `Slot s2 -> K2 (m1, s1, st, s2, c)
+  | K1 (m1, s1, c), `Clo f ->
+    KClo (fun fr -> let k = f fr in (m1 * Mem.to_int fr.(s1)) + c + (st * k))
+  | K2 (m1, s1, m2, s2, c), `Const n -> K2 (m1, s1, m2, s2, c + (st * n))
+  | (K2 _ as acc), `Slot s ->
+    let o = foff_clo acc in
+    KClo (fun fr -> let k = Mem.to_int fr.(s) in o fr + (st * k))
+  | (K2 _ as acc), `Clo f ->
+    let o = foff_clo acc in
+    KClo (fun fr -> let k = f fr in o fr + (st * k))
+  | KClo o, `Const n -> KClo (fun fr -> o fr + (st * n))
+  | KClo o, `Slot s ->
+    KClo (fun fr -> let k = Mem.to_int fr.(s) in o fr + (st * k))
+  | KClo o, `Clo f -> KClo (fun fr -> let k = f fr in o fr + (st * k))
+
+(* fused element loads: one closure per access for the affine shapes *)
+let fused_get_f br bo : frame -> float =
+  match (br, bo) with
+  | RConst v, KConst c -> fun _ -> Mem.get_f v c
+  | RConst v, K1 (m, s, c) ->
+    fun fr -> Mem.get_f v ((m * Mem.to_int fr.(s)) + c)
+  | RConst v, K2 (m1, s1, m2, s2, c) ->
+    fun fr ->
+      let b = (m2 * Mem.to_int fr.(s2)) + c in
+      Mem.get_f v ((m1 * Mem.to_int fr.(s1)) + b)
+  | RConst v, KClo o -> fun fr -> Mem.get_f v (o fr)
+  | RClo r, KConst c -> fun fr -> Mem.get_f (r fr) c
+  | RClo r, K1 (m, s, c) ->
+    fun fr ->
+      let j = (m * Mem.to_int fr.(s)) + c in
+      Mem.get_f (r fr) j
+  | RClo r, K2 (m1, s1, m2, s2, c) ->
+    fun fr ->
+      let b = (m2 * Mem.to_int fr.(s2)) + c in
+      let j = (m1 * Mem.to_int fr.(s1)) + b in
+      Mem.get_f (r fr) j
+  | RClo r, KClo o ->
+    fun fr ->
+      let j = o fr in
+      Mem.get_f (r fr) j
+
+let fused_get_i br bo : frame -> int =
+  match (br, bo) with
+  | RConst v, KConst c -> fun _ -> Mem.get_i v c
+  | RConst v, K1 (m, s, c) ->
+    fun fr -> Mem.get_i v ((m * Mem.to_int fr.(s)) + c)
+  | RConst v, K2 (m1, s1, m2, s2, c) ->
+    fun fr ->
+      let b = (m2 * Mem.to_int fr.(s2)) + c in
+      Mem.get_i v ((m1 * Mem.to_int fr.(s1)) + b)
+  | RConst v, KClo o -> fun fr -> Mem.get_i v (o fr)
+  | RClo r, KConst c -> fun fr -> Mem.get_i (r fr) c
+  | RClo r, K1 (m, s, c) ->
+    fun fr ->
+      let j = (m * Mem.to_int fr.(s)) + c in
+      Mem.get_i (r fr) j
+  | RClo r, K2 (m1, s1, m2, s2, c) ->
+    fun fr ->
+      let b = (m2 * Mem.to_int fr.(s2)) + c in
+      let j = (m1 * Mem.to_int fr.(s1)) + b in
+      Mem.get_i (r fr) j
+  | RClo r, KClo o ->
+    fun fr ->
+      let j = o fr in
+      Mem.get_i (r fr) j
+
+(* fused row-pointer fetch, for [A[i][j]] through a pointer-array row *)
+let fused_get_p br bo : frame -> Mem.ptr =
+  match (br, bo) with
+  | RConst v, KConst c -> fun _ -> Mem.get_p v c
+  | RConst v, K1 (m, s, c) ->
+    fun fr -> Mem.get_p v ((m * Mem.to_int fr.(s)) + c)
+  | RConst v, K2 (m1, s1, m2, s2, c) ->
+    fun fr ->
+      let b = (m2 * Mem.to_int fr.(s2)) + c in
+      Mem.get_p v ((m1 * Mem.to_int fr.(s1)) + b)
+  | RConst v, KClo o -> fun fr -> Mem.get_p v (o fr)
+  | RClo r, KConst c -> fun fr -> Mem.get_p (r fr) c
+  | RClo r, K1 (m, s, c) ->
+    fun fr ->
+      let j = (m * Mem.to_int fr.(s)) + c in
+      Mem.get_p (r fr) j
+  | RClo r, K2 (m1, s1, m2, s2, c) ->
+    fun fr ->
+      let b = (m2 * Mem.to_int fr.(s2)) + c in
+      let j = (m1 * Mem.to_int fr.(s1)) + b in
+      Mem.get_p (r fr) j
+  | RClo r, KClo o ->
+    fun fr ->
+      let j = o fr in
+      Mem.get_p (r fr) j
+
+(* fused element stores for statement-level assignments: offset, then
+   root, then the rhs — the modeled assignment order *)
+(* A float operand inside a fused arithmetic node: either a float element
+   load kept symbolic (root and offset closures both return non-allocating
+   values, so the load inlines into the node without a boxed-float
+   crossing), or an opaque [frame -> float] closure. *)
+type fleaf = FlGet of (frame -> Mem.ptr) * (frame -> int) | FlClo of (frame -> float)
+
+let fused_set_f br bo (g : frame -> float) : frame -> unit =
+  match (br, bo) with
+  | RConst v, KConst c -> fun fr -> Mem.set_f v c (g fr)
+  | RConst v, K1 (m, s, c) ->
+    fun fr ->
+      let j = (m * Mem.to_int fr.(s)) + c in
+      let x = g fr in
+      Mem.set_f v j x
+  | RConst v, K2 (m1, s1, m2, s2, c) ->
+    fun fr ->
+      let b = (m2 * Mem.to_int fr.(s2)) + c in
+      let j = (m1 * Mem.to_int fr.(s1)) + b in
+      let x = g fr in
+      Mem.set_f v j x
+  | RConst v, KClo o ->
+    fun fr ->
+      let j = o fr in
+      let x = g fr in
+      Mem.set_f v j x
+  | RClo r, KConst c ->
+    fun fr ->
+      let p = r fr in
+      let x = g fr in
+      Mem.set_f p c x
+  | RClo r, K1 (m, s, c) ->
+    fun fr ->
+      let j = (m * Mem.to_int fr.(s)) + c in
+      let p = r fr in
+      let x = g fr in
+      Mem.set_f p j x
+  | RClo r, K2 (m1, s1, m2, s2, c) ->
+    fun fr ->
+      let b = (m2 * Mem.to_int fr.(s2)) + c in
+      let j = (m1 * Mem.to_int fr.(s1)) + b in
+      let p = r fr in
+      let x = g fr in
+      Mem.set_f p j x
+  | RClo r, KClo o ->
+    fun fr ->
+      let j = o fr in
+      let p = r fr in
+      let x = g fr in
+      Mem.set_f p j x
+
+let fused_set_i br bo (g : frame -> int) : frame -> unit =
+  match (br, bo) with
+  | RConst v, KConst c -> fun fr -> Mem.set_i v c (g fr)
+  | RConst v, K1 (m, s, c) ->
+    fun fr ->
+      let j = (m * Mem.to_int fr.(s)) + c in
+      let x = g fr in
+      Mem.set_i v j x
+  | RConst v, K2 (m1, s1, m2, s2, c) ->
+    fun fr ->
+      let b = (m2 * Mem.to_int fr.(s2)) + c in
+      let j = (m1 * Mem.to_int fr.(s1)) + b in
+      let x = g fr in
+      Mem.set_i v j x
+  | RConst v, KClo o ->
+    fun fr ->
+      let j = o fr in
+      let x = g fr in
+      Mem.set_i v j x
+  | RClo r, KConst c ->
+    fun fr ->
+      let p = r fr in
+      let x = g fr in
+      Mem.set_i p c x
+  | RClo r, K1 (m, s, c) ->
+    fun fr ->
+      let j = (m * Mem.to_int fr.(s)) + c in
+      let p = r fr in
+      let x = g fr in
+      Mem.set_i p j x
+  | RClo r, K2 (m1, s1, m2, s2, c) ->
+    fun fr ->
+      let b = (m2 * Mem.to_int fr.(s2)) + c in
+      let j = (m1 * Mem.to_int fr.(s1)) + b in
+      let p = r fr in
+      let x = g fr in
+      Mem.set_i p j x
+  | RClo r, KClo o ->
+    fun fr ->
+      let j = o fr in
+      let p = r fr in
+      let x = g fr in
+      Mem.set_i p j x
+
+(* ------------------------------------------------------------------ *)
+(* Leaf-kernel specialization.
+
+   A {e leaf} callee — a single [return] preceded only by initialized
+   scalar declarations, whose body is pure arithmetic over its parameters
+   (loads through pointer parameters allowed, no user calls, no
+   assignments) — compiles to an unboxed closure over a typed parameter
+   environment.  The caller fills the environment left-to-right (the
+   modeled argv order) and applies the body directly: no argv array, no
+   callee frame, no [Return_v] unwind, and no value boxing anywhere in
+   the call.  This is where the paper's hot pure functions live (the dot
+   product's [mult], stencils, per-element terms), so it carries most of
+   the fast path's order-of-magnitude win.
+
+   Parity is kept by construction: each node mirrors the corresponding
+   [fast_expr] arm (which in turn mirrors the modeled engine).  A
+   kind-matched argument (float expression into a float parameter) fills
+   an unboxed typed slot; every other argument — including pointers —
+   fills a {e raw} slot holding the boxed value exactly as the modeled
+   argv copy would, and conversions ([to_int]/[to_float]/[to_ptr])
+   happen at each {e use} site inside the body, which is precisely where
+   the modeled engine applies them.  Fills therefore never fault, so no
+   fault can reorder across the call boundary. *)
+
+exception Not_leaf
+
+(* In-place float element update A[...] = A[...] ⊗ e over a shared address
+   decomposition: one closure computes the offset once (inlined per
+   K-form), loads, applies, stores.  Callers guard the decomposition to a
+   constant root and a slot-built offset, so only those forms are
+   specialized; [op] is fixed at plan time and the in-closure dispatch on
+   it is branch-predicted away. *)
+let fused_rmw_f br bo (op : Ast.binop) (g : frame -> float) : frame -> unit =
+  let apply a b =
+    match op with
+    | Ast.Add -> a +. b
+    | Ast.Sub -> a -. b
+    | Ast.Mul -> a *. b
+    | _ -> a /. b
+  in
+  match (br, bo) with
+  | RConst v, KConst c ->
+    fun fr ->
+      let b = g fr in
+      let a = Mem.get_f v c in
+      Mem.set_f v c (apply a b)
+  | RConst v, K1 (m, s, c) ->
+    fun fr ->
+      let j = (m * Mem.to_int fr.(s)) + c in
+      let b = g fr in
+      let a = Mem.get_f v j in
+      Mem.set_f v j (apply a b)
+  | RConst v, K2 (m1, s1, m2, s2, c) ->
+    fun fr ->
+      let j2 = (m2 * Mem.to_int fr.(s2)) + c in
+      let j = (m1 * Mem.to_int fr.(s1)) + j2 in
+      let b = g fr in
+      let a = Mem.get_f v j in
+      Mem.set_f v j (apply a b)
+  | _ ->
+    let root = froot_clo br and off = foff_clo bo in
+    fun fr ->
+      let j = off fr in
+      let p = root fr in
+      let b = g fr in
+      let a = Mem.get_f p j in
+      Mem.set_f p j (apply a b)
+
+type lenv = { le_f : float array; le_i : int array; le_v : Mem.value array }
+
+type lx =
+  | LI of (lenv -> int)
+  | LF of (lenv -> float)
+  | LV of (lenv -> Mem.value)  (** raw slot reads: convert at the use site *)
+
+(* slot * declared type; raw slots keep their static type for strides *)
+type lslot = LSF of int | LSI of int | LSV of int
+
+let lx_int = function
+  | LI f -> f
+  | LF f -> fun env -> int_of_float (f env)
+  | LV f -> fun env -> Mem.to_int (f env)
+
+let lx_float = function
+  | LF f -> f
+  | LI f -> fun env -> float_of_int (f env)
+  | LV f -> fun env -> Mem.to_float (f env)
+
+let lx_bool = function
+  | LI f -> fun env -> f env <> 0
+  | LF f -> fun env -> f env <> 0.0
+  | LV f -> fun env -> Mem.truthy (f env)
+
+let lx_value = function
+  | LI f -> fun env -> Mem.VInt (f env)
+  | LF f -> fun env -> Mem.VFloat (f env)
+  | LV f -> f
+
+let lempty_f : float array = [||]
+let lempty_i : int array = [||]
+let lempty_v : Mem.value array = [||]
+
+let rec leaf_expr cenv (scope : (string * (lslot * Ast.ctype)) list)
+    (e : Ast.expr) : lx * Ast.ctype =
+  match e.Ast.edesc with
+  | Ast.IntLit n -> (LI (fun _ -> n), Ast.Int)
+  | Ast.FloatLit (f, single) ->
+    (LF (fun _ -> f), if single then Ast.Float else Ast.Double)
+  | Ast.CharLit ch ->
+    let c = Char.code ch in
+    (LI (fun _ -> c), Ast.Char)
+  | Ast.Ident name -> (
+    match List.assoc_opt name scope with
+    | Some (LSF k, ty) -> (LF (fun env -> Array.unsafe_get env.le_f k), ty)
+    | Some (LSI k, ty) -> (LI (fun env -> Array.unsafe_get env.le_i k), ty)
+    | Some (LSV k, ty) -> (LV (fun env -> Array.unsafe_get env.le_v k), ty)
+    | None -> (
+      match Hashtbl.find_opt cenv.globals name with
+      | Some (GScalar { cell; _ }, ty) -> (LV (fun _ -> !cell), ty)
+      | _ -> raise Not_leaf))
+  | Ast.Binop (op, a, b) -> leaf_binop cenv scope e op a b
+  | Ast.Unop (op, a) -> (
+    let fa, ta = leaf_expr cenv scope a in
+    let ta = resolve cenv ta in
+    match op with
+    | Ast.Neg ->
+      if is_floaty ta then begin
+        let f = lx_float fa in
+        (LF (fun env -> -.f env), ta)
+      end
+      else begin
+        let f = lx_int fa in
+        (LI (fun env -> -f env), Ast.Int)
+      end
+    | Ast.LNot ->
+      let f = lx_bool fa in
+      (LI (fun env -> if f env then 0 else 1), Ast.Int)
+    | Ast.BNot ->
+      let f = lx_int fa in
+      (LI (fun env -> lnot (f env)), Ast.Int))
+  | Ast.Cond (cond, t, f) -> (
+    let fc = lx_bool (fst (leaf_expr cenv scope cond)) in
+    let ft, tt = leaf_expr cenv scope t in
+    let ff, _tf = leaf_expr cenv scope f in
+    match (ft, ff) with
+    | LI a, LI b -> (LI (fun env -> if fc env then a env else b env), tt)
+    | LF a, LF b -> (LF (fun env -> if fc env then a env else b env), tt)
+    | _ ->
+      (* a mixed-kind join is the modeled engine's uncoerced FV seam *)
+      let a = lx_value ft and b = lx_value ff in
+      (LV (fun env -> if fc env then a env else b env), tt))
+  | Ast.Cast (ty, inner) -> (
+    let ty = resolve cenv ty in
+    let fi, _ti = leaf_expr cenv scope inner in
+    match ty with
+    | Ast.Int | Ast.Char -> (
+      match fi with
+      | LI f -> (LI f, ty)
+      | LF f -> (LI (fun env -> int_of_float (f env)), ty)
+      | LV f ->
+        ( LV
+            (fun env ->
+              match f env with
+              | Mem.VInt i -> Mem.VInt i
+              | Mem.VFloat x -> Mem.VInt (int_of_float x)
+              | v -> v),
+          ty ))
+    | Ast.Float | Ast.Double -> (
+      match fi with
+      | LF f -> (LF f, ty)
+      | LI f -> (LF (fun env -> float_of_int (f env)), ty)
+      | LV f ->
+        ( LV
+            (fun env ->
+              match f env with
+              | Mem.VFloat x -> Mem.VFloat x
+              | Mem.VInt i -> Mem.VFloat (float_of_int i)
+              | v -> v),
+          ty ))
+    | Ast.Ptr _ -> raise Not_leaf
+    | _ -> (fi, ty))
+  | Ast.Index ({ Ast.edesc = Ast.Ident name; _ }, idx) -> (
+    (* index first, then pointer conversion, then the bounds-checked
+       load: the exact modeled order, so every fault lands where the
+       modeled engine raises it *)
+    let subscript base_ty (getp : lenv -> Mem.ptr) =
+      let elt, stride, is_view = subscript_info cenv base_ty in
+      let fi = lx_int (fst (leaf_expr cenv scope idx)) in
+      let off =
+        if is_view && stride <> 1 then fun env -> stride * fi env else fi
+      in
+      match elt with
+      | Ast.Float | Ast.Double ->
+        ( LF
+            (fun env ->
+              let j = off env in
+              Mem.get_f (getp env) j),
+          elt )
+      | Ast.Int | Ast.Char ->
+        ( LI
+            (fun env ->
+              let j = off env in
+              Mem.get_i (getp env) j),
+          elt )
+      | _ -> raise Not_leaf
+    in
+    match List.assoc_opt name scope with
+    | Some (LSV k, pty) -> (
+      match resolve cenv pty with
+      | (Ast.Ptr _ | Ast.Array _) as bt ->
+        subscript bt (fun env -> Mem.to_ptr (Array.unsafe_get env.le_v k))
+      | _ -> raise Not_leaf)
+    | Some ((LSF _ | LSI _), _) -> raise Not_leaf
+    | None -> (
+      match Hashtbl.find_opt cenv.globals name with
+      | Some (GArray { view }, ty) -> subscript (resolve cenv ty) (fun _ -> view)
+      | _ -> raise Not_leaf))
+  | Ast.Call (fname, args) -> (
+    match fname with
+    | "__max" | "__min" -> (
+      match List.map (fun a -> leaf_expr cenv scope a) args with
+      | [ (fa, _); (fb, _) ] ->
+        let x = lx_int fa and y = lx_int fb in
+        let pick_max = fname = "__max" in
+        ( LI
+            (fun env ->
+              let a = x env in
+              let b = y env in
+              if pick_max then max a b else min a b),
+          Ast.Int )
+      | _ -> raise Not_leaf)
+    | "__ceild" | "__floord" -> (
+      match List.map (fun a -> leaf_expr cenv scope a) args with
+      | [ (fa, _); (fb, _) ] ->
+        let x = lx_int fa and y = lx_int fb in
+        let ceil_mode = fname = "__ceild" in
+        ( LI
+            (fun env ->
+              let a = x env in
+              let b = y env in
+              if b = 0 then Mem.fault "division by zero in %s" fname
+              else if ceil_mode then ceild a b
+              else floord a b),
+          Ast.Int )
+      | _ -> raise Not_leaf)
+    | "abs" -> (
+      match List.map (fun a -> lx_int (fst (leaf_expr cenv scope a))) args with
+      | [ fa ] -> (LI (fun env -> abs (fa env)), Ast.Int)
+      | _ -> raise Not_leaf)
+    | _ -> (
+      match List.find_opt (fun (n, _, _) -> n = fname) builtin_math with
+      | Some (_, f, _weight) -> (
+        match List.map (fun a -> lx_float (fst (leaf_expr cenv scope a))) args with
+        | [ fa ] ->
+          let single =
+            String.length fname > 0 && fname.[String.length fname - 1] = 'f'
+          in
+          (LF (fun env -> f (fa env)), if single then Ast.Float else Ast.Double)
+        | _ -> raise Not_leaf)
+      | None -> (
+        match List.find_opt (fun (n, _, _) -> n = fname) builtin_math2 with
+        | Some (_, f, _weight) -> (
+          match
+            List.map (fun a -> lx_float (fst (leaf_expr cenv scope a))) args
+          with
+          | [ fa; fb ] ->
+            ( LF
+                (fun env ->
+                  let b = fb env in
+                  let a = fa env in
+                  f a b),
+              Ast.Double )
+          | _ -> raise Not_leaf)
+        | None -> raise Not_leaf)))
+  | _ -> raise Not_leaf
+
+and leaf_binop cenv scope e op a b : lx * Ast.ctype =
+  let fa, ta = leaf_expr cenv scope a in
+  let fb, tb = leaf_expr cenv scope b in
+  let ta = resolve cenv ta and tb = resolve cenv tb in
+  let arith = promote ta tb in
+  (match (ta, tb) with
+  | (Ast.Ptr _ | Ast.Array _), _ | _, (Ast.Ptr _ | Ast.Array _) -> raise Not_leaf
+  | _ -> ());
+  match op with
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
+    if is_floaty arith then begin
+      let x = lx_float fa and y = lx_float fb in
+      let run =
+        match op with
+        | Ast.Add ->
+          fun env ->
+            let b = y env in
+            x env +. b
+        | Ast.Sub ->
+          fun env ->
+            let b = y env in
+            x env -. b
+        | Ast.Mul ->
+          fun env ->
+            let b = y env in
+            x env *. b
+        | Ast.Div ->
+          fun env ->
+            let b = y env in
+            x env /. b
+        | _ -> assert false
+      in
+      (LF run, arith)
+    end
+    else begin
+      let x = lx_int fa and y = lx_int fb in
+      let run =
+        match op with
+        | Ast.Add ->
+          fun env ->
+            let b = y env in
+            x env + b
+        | Ast.Sub ->
+          fun env ->
+            let b = y env in
+            x env - b
+        | Ast.Mul ->
+          fun env ->
+            let b = y env in
+            x env * b
+        | Ast.Div ->
+          let loc = Loc.to_string e.Ast.eloc in
+          fun env ->
+            let d = y env in
+            if d = 0 then Mem.fault "integer division by zero at %s" loc
+            else x env / d
+        | _ -> assert false
+      in
+      (LI run, Ast.Int)
+    end
+  | Ast.Mod ->
+    let x = lx_int fa and y = lx_int fb in
+    let loc = Loc.to_string e.Ast.eloc in
+    ( LI
+        (fun env ->
+          let d = y env in
+          if d = 0 then Mem.fault "integer modulo by zero at %s" loc
+          else x env mod d),
+      Ast.Int )
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+    let run =
+      if is_floaty arith then begin
+        let x = lx_float fa and y = lx_float fb in
+        match op with
+        | Ast.Lt ->
+          fun env ->
+            let b = y env in
+            if x env < b then 1 else 0
+        | Ast.Le ->
+          fun env ->
+            let b = y env in
+            if x env <= b then 1 else 0
+        | Ast.Gt ->
+          fun env ->
+            let b = y env in
+            if x env > b then 1 else 0
+        | Ast.Ge ->
+          fun env ->
+            let b = y env in
+            if x env >= b then 1 else 0
+        | Ast.Eq ->
+          fun env ->
+            let b = y env in
+            if x env = b then 1 else 0
+        | Ast.Ne ->
+          fun env ->
+            let b = y env in
+            if x env <> b then 1 else 0
+        | _ -> assert false
+      end
+      else begin
+        let x = lx_int fa and y = lx_int fb in
+        match op with
+        | Ast.Lt ->
+          fun env ->
+            let b = y env in
+            if x env < b then 1 else 0
+        | Ast.Le ->
+          fun env ->
+            let b = y env in
+            if x env <= b then 1 else 0
+        | Ast.Gt ->
+          fun env ->
+            let b = y env in
+            if x env > b then 1 else 0
+        | Ast.Ge ->
+          fun env ->
+            let b = y env in
+            if x env >= b then 1 else 0
+        | Ast.Eq ->
+          fun env ->
+            let b = y env in
+            if x env = b then 1 else 0
+        | Ast.Ne ->
+          fun env ->
+            let b = y env in
+            if x env <> b then 1 else 0
+        | _ -> assert false
+      end
+    in
+    (LI run, Ast.Int)
+  | Ast.LAnd ->
+    let x = lx_bool fa and y = lx_bool fb in
+    (LI (fun env -> if x env then (if y env then 1 else 0) else 0), Ast.Int)
+  | Ast.LOr ->
+    let x = lx_bool fa and y = lx_bool fb in
+    (LI (fun env -> if x env then 1 else if y env then 1 else 0), Ast.Int)
+  | Ast.BAnd | Ast.BOr | Ast.BXor | Ast.Shl | Ast.Shr ->
+    let x = lx_int fa and y = lx_int fb in
+    let run =
+      match op with
+      | Ast.BAnd ->
+        fun env ->
+          let b = y env in
+          x env land b
+      | Ast.BOr ->
+        fun env ->
+          let b = y env in
+          x env lor b
+      | Ast.BXor ->
+        fun env ->
+          let b = y env in
+          x env lxor b
+      | Ast.Shl ->
+        fun env ->
+          let b = y env in
+          x env lsl b
+      | Ast.Shr ->
+        fun env ->
+          let b = y env in
+          x env asr b
+      | _ -> assert false
+    in
+    (LI run, Ast.Int)
+
+(* Try to compile a call as a leaf kernel.  [cargs] are the already
+   fast-compiled arguments (shared with the generic path on rejection, so
+   nothing compiles twice).  Kinds must line up exactly: the modeled
+   engine stores raw argument values in the callee frame, so a
+   float-valued argument flowing into an int parameter keeps its
+   fractional part for float-context reads — only kind-matched bindings
+   preserve that. *)
+let fast_leaf_call cenv (entry : func_entry) (cargs : (fx * Ast.ctype) list) :
+    fx option =
+  match entry.fe_def.Ast.f_body with
+  | None -> None
+  | Some body -> (
+    try
+      let rec split acc = function
+        | [ { Ast.sdesc = Ast.SReturn (Some ret); _ } ] -> (List.rev acc, ret)
+        | { Ast.sdesc = Ast.SDecl d; _ } :: rest -> split (d :: acc) rest
+        | _ -> raise Not_leaf
+      in
+      let decls, ret = split [] body in
+      let params = entry.fe_def.Ast.f_params in
+      if List.length cargs <> List.length params then raise Not_leaf;
+      let nf = ref 0 and ni = ref 0 and nv = ref 0 in
+      let scope = ref [] in
+      let fills = ref [] in
+      List.iter2
+        (fun (p : Ast.param) ((afx : fx), _aty) ->
+          let pty = resolve cenv p.Ast.p_type in
+          match (pty, afx) with
+          | (Ast.Float | Ast.Double), FF g ->
+            let k = !nf in
+            incr nf;
+            scope := (p.Ast.p_name, (LSF k, pty)) :: !scope;
+            fills := (fun fr env -> Array.unsafe_set env.le_f k (g fr)) :: !fills
+          | (Ast.Int | Ast.Char), FI g ->
+            let k = !ni in
+            incr ni;
+            scope := (p.Ast.p_name, (LSI k, pty)) :: !scope;
+            fills := (fun fr env -> Array.unsafe_set env.le_i k (g fr)) :: !fills
+          | _ ->
+            (* any other combination fills a raw slot with exactly the
+               value the modeled argv copy would hold; never faults *)
+            let k = !nv in
+            incr nv;
+            scope := (p.Ast.p_name, (LSV k, pty)) :: !scope;
+            let fill =
+              match afx with
+              | FS s -> fun fr env -> Array.unsafe_set env.le_v k fr.(s)
+              | FG g -> fun _ env -> Array.unsafe_set env.le_v k !g
+              | FV g -> fun fr env -> Array.unsafe_set env.le_v k (g fr)
+              | FI g ->
+                fun fr env -> Array.unsafe_set env.le_v k (Mem.VInt (g fr))
+              | FF g ->
+                fun fr env -> Array.unsafe_set env.le_v k (Mem.VFloat (g fr))
+            in
+            fills := fill :: !fills)
+        params cargs;
+      let prologue = ref [] in
+      List.iter
+        (fun (d : Ast.decl) ->
+          let ty = resolve cenv d.Ast.d_type in
+          match (ty, d.Ast.d_init) with
+          | (Ast.Float | Ast.Double), Some ie -> (
+            match fst (leaf_expr cenv !scope ie) with
+            | LF g ->
+              let k = !nf in
+              incr nf;
+              scope := (d.Ast.d_name, (LSF k, ty)) :: !scope;
+              prologue := (fun env -> Array.unsafe_set env.le_f k (g env)) :: !prologue
+            | LI _ | LV _ -> raise Not_leaf)
+          | (Ast.Int | Ast.Char), Some ie -> (
+            match fst (leaf_expr cenv !scope ie) with
+            | LI g ->
+              let k = !ni in
+              incr ni;
+              scope := (d.Ast.d_name, (LSI k, ty)) :: !scope;
+              prologue := (fun env -> Array.unsafe_set env.le_i k (g env)) :: !prologue
+            | LF _ | LV _ -> raise Not_leaf)
+          | _ -> raise Not_leaf)
+        decls;
+      let lbody = fst (leaf_expr cenv !scope ret) in
+      let fills = Array.of_list (List.rev !fills) in
+      let prologue = Array.of_list (List.rev !prologue) in
+      let nf = !nf and ni = !ni and nv = !nv in
+      let build fr =
+        let env =
+          {
+            le_f = (if nf = 0 then lempty_f else Array.make nf 0.0);
+            le_i = (if ni = 0 then lempty_i else Array.make ni 0);
+            le_v = (if nv = 0 then lempty_v else Array.make nv Mem.VNull);
+          }
+        in
+        for i = 0 to Array.length fills - 1 do
+          (Array.unsafe_get fills i) fr env
+        done;
+        for i = 0 to Array.length prologue - 1 do
+          (Array.unsafe_get prologue i) env
+        done;
+        env
+      in
+      Some
+        (match lbody with
+        | LF g -> FF (fun fr -> g (build fr))
+        | LI g -> FI (fun fr -> g (build fr))
+        | LV g -> FV (fun fr -> g (build fr)))
+    with Not_leaf -> None)
+
+(* Typed fast assignment into a frame slot.  Slots store boxed values
+   (they are the polymorphic seam), but the computation of the stored
+   value and the returned expression value stay unboxed when the static
+   type allows. *)
+let fast_assign_slot ty op slot (frhs : fx) : fx =
+  let frhs = fx_norm frhs in
+  match (op, ty) with
+  | Ast.OpAssign, (Ast.Int | Ast.Char) -> (
+    match frhs with
+    | FV f ->
+      FV
+        (fun fr ->
+          let v = coerce ty (f fr) in
+          fr.(slot) <- v;
+          v)
+    | _ ->
+      let f = fx_int frhs in
+      FI
+        (fun fr ->
+          let v = f fr in
+          fr.(slot) <- Mem.VInt v;
+          v))
+  | Ast.OpAssign, (Ast.Float | Ast.Double) -> (
+    match frhs with
+    | FV f ->
+      FV
+        (fun fr ->
+          let v = coerce ty (f fr) in
+          fr.(slot) <- v;
+          v)
+    | _ ->
+      let f = fx_float frhs in
+      FF
+        (fun fr ->
+          let v = f fr in
+          fr.(slot) <- Mem.VFloat v;
+          v))
+  | Ast.OpAssign, _ ->
+    let f = fx_value frhs in
+    FV
+      (fun fr ->
+        let v = coerce ty (f fr) in
+        fr.(slot) <- v;
+        v)
+  | ( (Ast.OpAddAssign | Ast.OpSubAssign | Ast.OpMulAssign | Ast.OpDivAssign),
+      (Ast.Float | Ast.Double) ) ->
+    let f = fx_float frhs in
+    let opf : float -> float -> float =
+      match op with
+      | Ast.OpAddAssign -> ( +. )
+      | Ast.OpSubAssign -> ( -. )
+      | Ast.OpMulAssign -> ( *. )
+      | _ -> ( /. )
+    in
+    FF
+      (fun fr ->
+        let b = f fr in
+        let a = Mem.to_float fr.(slot) in
+        let v = opf a b in
+        fr.(slot) <- Mem.VFloat v;
+        v)
+  | ( (Ast.OpAddAssign | Ast.OpSubAssign | Ast.OpMulAssign | Ast.OpDivAssign
+      | Ast.OpModAssign),
+      (Ast.Int | Ast.Char) ) ->
+    let f = fx_int frhs in
+    FI
+      (fun fr ->
+        let b = f fr in
+        let a = Mem.to_int fr.(slot) in
+        let v =
+          match op with
+          | Ast.OpAddAssign -> a + b
+          | Ast.OpSubAssign -> a - b
+          | Ast.OpMulAssign -> a * b
+          | Ast.OpDivAssign ->
+            if b = 0 then Mem.fault "division by zero" else a / b
+          | _ -> if b = 0 then Mem.fault "modulo by zero" else a mod b
+        in
+        fr.(slot) <- Mem.VInt v;
+        v)
+  | _ ->
+    let f = fx_value frhs in
+    FV
+      (fun fr ->
+        let rv = f fr in
+        let v = fast_combine ty op fr.(slot) rv in
+        fr.(slot) <- v;
+        v)
+
+(* same shapes for a global scalar cell *)
+let fast_assign_global ty op (cell : Mem.value ref) (frhs : fx) : fx =
+  let frhs = fx_norm frhs in
+  match (op, ty) with
+  | Ast.OpAssign, (Ast.Int | Ast.Char) -> (
+    match frhs with
+    | FV f ->
+      FV
+        (fun fr ->
+          let v = coerce ty (f fr) in
+          cell := v;
+          v)
+    | _ ->
+      let f = fx_int frhs in
+      FI
+        (fun fr ->
+          let v = f fr in
+          cell := Mem.VInt v;
+          v))
+  | Ast.OpAssign, (Ast.Float | Ast.Double) -> (
+    match frhs with
+    | FV f ->
+      FV
+        (fun fr ->
+          let v = coerce ty (f fr) in
+          cell := v;
+          v)
+    | _ ->
+      let f = fx_float frhs in
+      FF
+        (fun fr ->
+          let v = f fr in
+          cell := Mem.VFloat v;
+          v))
+  | Ast.OpAssign, _ ->
+    let f = fx_value frhs in
+    FV
+      (fun fr ->
+        let v = coerce ty (f fr) in
+        cell := v;
+        v)
+  | ( (Ast.OpAddAssign | Ast.OpSubAssign | Ast.OpMulAssign | Ast.OpDivAssign),
+      (Ast.Float | Ast.Double) ) ->
+    let f = fx_float frhs in
+    let opf : float -> float -> float =
+      match op with
+      | Ast.OpAddAssign -> ( +. )
+      | Ast.OpSubAssign -> ( -. )
+      | Ast.OpMulAssign -> ( *. )
+      | _ -> ( /. )
+    in
+    FF
+      (fun fr ->
+        let b = f fr in
+        let a = Mem.to_float !cell in
+        let v = opf a b in
+        cell := Mem.VFloat v;
+        v)
+  | ( (Ast.OpAddAssign | Ast.OpSubAssign | Ast.OpMulAssign | Ast.OpDivAssign
+      | Ast.OpModAssign),
+      (Ast.Int | Ast.Char) ) ->
+    let f = fx_int frhs in
+    FI
+      (fun fr ->
+        let b = f fr in
+        let a = Mem.to_int !cell in
+        let v =
+          match op with
+          | Ast.OpAddAssign -> a + b
+          | Ast.OpSubAssign -> a - b
+          | Ast.OpMulAssign -> a * b
+          | Ast.OpDivAssign ->
+            if b = 0 then Mem.fault "division by zero" else a / b
+          | _ -> if b = 0 then Mem.fault "modulo by zero" else a mod b
+        in
+        cell := Mem.VInt v;
+        v)
+  | _ ->
+    let f = fx_value frhs in
+    FV
+      (fun fr ->
+        let rv = f fr in
+        let v = fast_combine ty op !cell rv in
+        cell := v;
+        v)
+
+(* Typed fast assignment through memory: the (root, offset) decomposition
+   plus {!Mem.get_f}/[set_f]/[get_i]/[set_i] keep float/int element stores
+   allocation-free.  Address components evaluate before the rhs, like the
+   modeled [compile_assign]. *)
+let fast_assign_mem ty op (root : frame -> Mem.ptr) (off : frame -> int)
+    (frhs : fx) : fx =
+  let frhs = fx_norm frhs in
+  match (op, ty) with
+  | Ast.OpAssign, (Ast.Float | Ast.Double) -> (
+    match frhs with
+    | FV f ->
+      FV
+        (fun fr ->
+          let k = off fr in
+          let p = root fr in
+          let v = coerce ty (f fr) in
+          Mem.poke_at p k v;
+          v)
+    | _ ->
+      let f = fx_float frhs in
+      FF
+        (fun fr ->
+          let k = off fr in
+          let p = root fr in
+          let x = f fr in
+          Mem.set_f p k x;
+          x))
+  | Ast.OpAssign, (Ast.Int | Ast.Char) -> (
+    match frhs with
+    | FV f ->
+      FV
+        (fun fr ->
+          let k = off fr in
+          let p = root fr in
+          let v = coerce ty (f fr) in
+          Mem.poke_at p k v;
+          v)
+    | _ ->
+      let f = fx_int frhs in
+      FI
+        (fun fr ->
+          let k = off fr in
+          let p = root fr in
+          let x = f fr in
+          Mem.set_i p k x;
+          x))
+  | Ast.OpAssign, _ ->
+    let f = fx_value frhs in
+    FV
+      (fun fr ->
+        let k = off fr in
+        let p = root fr in
+        let v = coerce ty (f fr) in
+        Mem.poke_at p k v;
+        v)
+  | ( (Ast.OpAddAssign | Ast.OpSubAssign | Ast.OpMulAssign | Ast.OpDivAssign),
+      (Ast.Float | Ast.Double) ) ->
+    let f = fx_float frhs in
+    let opf : float -> float -> float =
+      match op with
+      | Ast.OpAddAssign -> ( +. )
+      | Ast.OpSubAssign -> ( -. )
+      | Ast.OpMulAssign -> ( *. )
+      | _ -> ( /. )
+    in
+    FF
+      (fun fr ->
+        let k = off fr in
+        let p = root fr in
+        let a = Mem.get_f p k in
+        let b = f fr in
+        let x = opf a b in
+        Mem.set_f p k x;
+        x)
+  | ( (Ast.OpAddAssign | Ast.OpSubAssign | Ast.OpMulAssign | Ast.OpDivAssign
+      | Ast.OpModAssign),
+      (Ast.Int | Ast.Char) ) ->
+    let f = fx_int frhs in
+    FI
+      (fun fr ->
+        let k = off fr in
+        let p = root fr in
+        let a = Mem.get_i p k in
+        let b = f fr in
+        let x =
+          match op with
+          | Ast.OpAddAssign -> a + b
+          | Ast.OpSubAssign -> a - b
+          | Ast.OpMulAssign -> a * b
+          | Ast.OpDivAssign ->
+            if b = 0 then Mem.fault "division by zero" else a / b
+          | _ -> if b = 0 then Mem.fault "modulo by zero" else a mod b
+        in
+        Mem.set_i p k x;
+        x)
+  | _ ->
+    let f = fx_value frhs in
+    FV
+      (fun fr ->
+        let k = off fr in
+        let p = root fr in
+        let old = Mem.peek_at p k in
+        let rv = f fr in
+        let v = fast_combine ty op old rv in
+        Mem.poke_at p k v;
+        v)
+
+(* ------------------------------------------------------------------ *)
 (* Expression compilation *)
 
+(* Entry point: dispatch on the plan-time variant.  The dispatch happens
+   once, while compiling — the emitted closures contain no instr checks. *)
 let rec compile_expr cenv (e : Ast.expr) : (frame -> Mem.value) * Ast.ctype =
+  if is_fast cenv.rt then begin
+    let fx, ty = fast_expr cenv e in
+    (fx_value fx, ty)
+  end
+  else compile_expr_m cenv e
+
+(* boolean of a condition expression, unboxed when fast *)
+and compile_cond cenv e : frame -> bool =
+  if is_fast cenv.rt then fast_cond cenv e
+  else begin
+    let f, _ = compile_expr_m cenv e in
+    fun fr -> Mem.truthy (f fr)
+  end
+
+(* A condition position compiles comparisons straight to a boolean
+   closure: same operand order and conversions as [fast_binop]'s
+   comparison arms, minus the 0/1 materialization and the [fx_bool]
+   wrapper. *)
+and fast_cond cenv e : frame -> bool =
+  match e.Ast.edesc with
+  | Ast.Binop (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne) as op), a, b)
+    -> (
+    let fa, ta = fast_expr cenv a in
+    let fb, tb = fast_expr cenv b in
+    let ta = resolve cenv ta and tb = resolve cenv tb in
+    let is_ptr t = match t with Ast.Ptr _ | Ast.Array _ -> true | _ -> false in
+    if is_ptr ta || is_ptr tb then begin
+      (* pointer comparisons: by synthetic address; null compares as 0
+         (cf. the matching [fast_binop] arm) *)
+      let va = fx_value fa and vb = fx_value fb in
+      let addr v =
+        match v with
+        | Mem.VPtr p -> Mem.addr_of p
+        | Mem.VNull -> 0
+        | v -> Mem.to_int v
+      in
+      let f =
+        match op with
+        | Ast.Lt -> ( < )
+        | Ast.Le -> ( <= )
+        | Ast.Gt -> ( > )
+        | Ast.Ge -> ( >= )
+        | Ast.Eq -> ( = )
+        | _ -> ( <> )
+      in
+      fun fr ->
+        let b = addr (vb fr) in
+        f (addr (va fr)) b
+    end
+    else if is_floaty (promote ta tb) then begin
+      let x = fx_float fa and y = fx_float fb in
+      match op with
+      | Ast.Lt ->
+        fun fr ->
+          let b = y fr in
+          x fr < b
+      | Ast.Le ->
+        fun fr ->
+          let b = y fr in
+          x fr <= b
+      | Ast.Gt ->
+        fun fr ->
+          let b = y fr in
+          x fr > b
+      | Ast.Ge ->
+        fun fr ->
+          let b = y fr in
+          x fr >= b
+      | Ast.Eq ->
+        fun fr ->
+          let b = y fr in
+          x fr = b
+      | _ ->
+        fun fr ->
+          let b = y fr in
+          x fr <> b
+    end
+    else begin
+      let x = fx_int fa and y = fx_int fb in
+      match op with
+      | Ast.Lt ->
+        fun fr ->
+          let b = y fr in
+          x fr < b
+      | Ast.Le ->
+        fun fr ->
+          let b = y fr in
+          x fr <= b
+      | Ast.Gt ->
+        fun fr ->
+          let b = y fr in
+          x fr > b
+      | Ast.Ge ->
+        fun fr ->
+          let b = y fr in
+          x fr >= b
+      | Ast.Eq ->
+        fun fr ->
+          let b = y fr in
+          x fr = b
+      | _ ->
+        fun fr ->
+          let b = y fr in
+          x fr <> b
+    end)
+  | _ -> fx_bool (fst (fast_expr cenv e))
+
+(* evaluate for effect only *)
+and compile_effect cenv e : frame -> unit =
+  if is_fast cenv.rt then fast_effect cenv e
+  else begin
+    let f, _ = compile_expr_m cenv e in
+    fun fr -> ignore (f fr)
+  end
+
+(* A statement-position expression drops its value, so the hot shapes
+   compile to direct effect closures: slot increments without the result
+   box, element stores fused with the address decomposition.  Every arm
+   mirrors the corresponding value-producing compiler exactly. *)
+and fast_effect cenv e : frame -> unit =
+  match e.Ast.edesc with
+  | Ast.IncDec { arg = { Ast.edesc = Ast.Ident n; _ }; inc; _ } -> (
+    match lookup_local cenv n with
+    | Some (slot, (Ast.Int | Ast.Char)) ->
+      let d = if inc then 1 else -1 in
+      fun fr -> fr.(slot) <- Mem.VInt (Mem.to_int fr.(slot) + d)
+    | Some (slot, (Ast.Float | Ast.Double)) ->
+      let d = if inc then 1.0 else -1.0 in
+      fun fr -> fr.(slot) <- Mem.VFloat (Mem.to_float fr.(slot) +. d)
+    | _ -> fx_unit (fst (fast_expr cenv e)))
+  | Ast.Assign
+      ( Ast.OpAssign,
+        { Ast.edesc = Ast.Ident n; _ },
+        {
+          Ast.edesc =
+            Ast.Binop (((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div) as op2), l2, x);
+          _;
+        } )
+    when (match lookup_local cenv n with
+         | Some (_, (Ast.Float | Ast.Double)) -> true
+         | _ -> false)
+         && (match l2.Ast.edesc with Ast.Ident m -> m = n | _ -> false)
+         && scalar_arith cenv x ->
+    (* in-place slot update s = s ⊗ e: one closure, no boxed result; the
+       slot reads back after [e] exactly as the modeled right-to-left
+       operand order does *)
+    let s = match lookup_local cenv n with Some (s, _) -> s | None -> assert false in
+    let g = fast_fclo_or cenv x in
+    fun fr ->
+      let b = g fr in
+      let a = Mem.to_float fr.(s) in
+      fr.(s) <-
+        Mem.VFloat
+          (match op2 with
+          | Ast.Add -> a +. b
+          | Ast.Sub -> a -. b
+          | Ast.Mul -> a *. b
+          | _ -> a /. b)
+  | Ast.Assign
+      ( ((Ast.OpAddAssign | Ast.OpSubAssign | Ast.OpMulAssign | Ast.OpDivAssign) as op2),
+        { Ast.edesc = Ast.Ident n; _ },
+        rhs )
+    when (match lookup_local cenv n with
+         | Some (_, (Ast.Float | Ast.Double)) -> true
+         | _ -> false)
+         && scalar_arith cenv rhs ->
+    let s = match lookup_local cenv n with Some (s, _) -> s | None -> assert false in
+    let g = fast_fclo_or cenv rhs in
+    fun fr ->
+      let b = g fr in
+      let a = Mem.to_float fr.(s) in
+      fr.(s) <-
+        Mem.VFloat
+          (match op2 with
+          | Ast.OpAddAssign -> a +. b
+          | Ast.OpSubAssign -> a -. b
+          | Ast.OpMulAssign -> a *. b
+          | _ -> a /. b)
+  | Ast.Assign (Ast.OpAssign, ({ Ast.edesc = Ast.Index _; _ } as lhs), rhs) -> (
+    let br, bo, ty = fast_addr_opt cenv lhs in
+    let ty = resolve cenv ty in
+    match ty with
+    | Ast.Float | Ast.Double -> (
+      (* A[...] = A[...] ⊗ e with a constant root and a slot-built offset
+         reuses one address computation for the load and the store: the
+         guards ensure [e] cannot disturb the reused parts (constant root;
+         offsets read only frame slots, unreachable from [e] without a
+         local write). *)
+      let rmw =
+        match (br, bo, rhs.Ast.edesc) with
+        | ( RConst _,
+            (KConst _ | K1 _ | K2 _),
+            Ast.Binop (((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div) as op2), l2, x) )
+          when same_lval lhs l2 && no_local_writes x && scalar_arith cenv x ->
+          Some (op2, x)
+        | _ -> None
+      in
+      match rmw with
+      | Some (op2, x) -> fused_rmw_f br bo op2 (fast_fclo_or cenv x)
+      | None -> (
+        match fast_fclo cenv rhs with
+        | Some g -> fused_set_f br bo g
+        | None -> (
+          match fx_norm (fst (fast_expr cenv rhs)) with
+          | FV f ->
+            let root = froot_clo br and off = foff_clo bo in
+            fun fr ->
+              let k = off fr in
+              let p = root fr in
+              let v = coerce ty (f fr) in
+              Mem.poke_at p k v
+          | frhs -> fused_set_f br bo (fx_float frhs))))
+    | Ast.Int | Ast.Char -> (
+      let rmw =
+        match (br, bo, rhs.Ast.edesc) with
+        | ( RConst _,
+            (KConst _ | K1 _ | K2 _),
+            Ast.Binop (((Ast.Add | Ast.Sub | Ast.Mul) as op2), l2, x) )
+          when same_lval lhs l2 && no_local_writes x
+               && (match resolve cenv (snd (fast_expr_ty cenv x)) with
+                  | Ast.Int | Ast.Char -> true
+                  | _ -> false) ->
+          Some (op2, x)
+        | _ -> None
+      in
+      match rmw with
+      | Some (op2, x) ->
+        let root = froot_clo br and off = foff_clo bo in
+        let g = fx_int (fst (fast_expr cenv x)) in
+        fun fr ->
+          let j = off fr in
+          let p = root fr in
+          let b = g fr in
+          let a = Mem.get_i p j in
+          Mem.set_i p j
+            (match op2 with Ast.Add -> a + b | Ast.Sub -> a - b | _ -> a * b)
+      | None -> (
+        match fx_norm (fst (fast_expr cenv rhs)) with
+        | FV f ->
+          let root = froot_clo br and off = foff_clo bo in
+          fun fr ->
+            let k = off fr in
+            let p = root fr in
+            let v = coerce ty (f fr) in
+            Mem.poke_at p k v
+        | frhs -> fused_set_i br bo (fx_int frhs)))
+    | _ ->
+      let f = fx_value (fst (fast_expr cenv rhs)) in
+      let root = froot_clo br and off = foff_clo bo in
+      fun fr ->
+        let k = off fr in
+        let p = root fr in
+        let v = coerce ty (f fr) in
+        Mem.poke_at p k v)
+  | Ast.Assign
+      ( (( Ast.OpAddAssign | Ast.OpSubAssign | Ast.OpMulAssign | Ast.OpDivAssign
+         | Ast.OpModAssign ) as op2),
+        ({ Ast.edesc = Ast.Index _; _ } as lhs),
+        rhs ) -> (
+    let br, bo, ty = fast_addr_opt cenv lhs in
+    let ty = resolve cenv ty in
+    let root = froot_clo br and off = foff_clo bo in
+    match (ty, op2) with
+    | ( (Ast.Float | Ast.Double),
+        (Ast.OpAddAssign | Ast.OpSubAssign | Ast.OpMulAssign | Ast.OpDivAssign) )
+      when scalar_arith cenv rhs ->
+      let g = fast_fclo_or cenv rhs in
+      fun fr ->
+        let j = off fr in
+        let p = root fr in
+        let a = Mem.get_f p j in
+        let b = g fr in
+        Mem.set_f p j
+          (match op2 with
+          | Ast.OpAddAssign -> a +. b
+          | Ast.OpSubAssign -> a -. b
+          | Ast.OpMulAssign -> a *. b
+          | _ -> a /. b)
+    | _ -> fx_unit (fast_assign_mem ty op2 root off (fst (fast_expr cenv rhs))))
+  | _ -> fx_unit (fst (fast_expr cenv e))
+
+(* [e] has a statically scalar arithmetic type (no pointer semantics can
+   leak into a fused float node). Type probe only: compiles nothing. *)
+and scalar_arith cenv e =
+  match resolve cenv (snd (fast_expr_ty cenv e)) with
+  | Ast.Int | Ast.Char | Ast.Float | Ast.Double -> true
+  | _ -> false
+
+and fast_fclo_or cenv e : frame -> float =
+  match fast_fclo cenv e with
+  | Some g -> g
+  | None -> fx_float (fst (fast_expr cenv e))
+
+(* Unboxed compilation of float arithmetic trees.  A binary node whose
+   operands are statically scalar compiles to ONE closure: float element
+   loads stay symbolic ([fleaf]), so inside the node the offset and root
+   closures return non-allocating values and the loaded floats feed the
+   operation without crossing a closure boundary (each crossing would box
+   its float).  Only the node's own result is boxed.  Nested nodes
+   recurse, so a k-ary chain costs one crossing per node instead of one
+   per node and leaf.  Operand order matches the modeled engine: the
+   right operand runs entirely first; operands are COMPILED left-first
+   (string literals allocate at compile time, in modeled order).
+   Returns [None] — having compiled nothing — when the tree is not
+   statically float arithmetic. *)
+and fast_fclo cenv (e : Ast.expr) : (frame -> float) option =
+  match e.Ast.edesc with
+  | Ast.Binop (((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div) as op), a, b) ->
+    if
+      scalar_arith cenv a && scalar_arith cenv b
+      && is_floaty
+           (promote
+              (resolve cenv (snd (fast_expr_ty cenv a)))
+              (resolve cenv (snd (fast_expr_ty cenv b))))
+    then begin
+      let leaf (x : Ast.expr) : fleaf =
+        match x.Ast.edesc with
+        | Ast.Index _ -> (
+          let r, o, ty = fast_addr_opt cenv x in
+          match resolve cenv ty with
+          | Ast.Float | Ast.Double -> FlGet (froot_clo r, foff_clo o)
+          | _ ->
+            let g = fused_get_i r o in
+            FlClo (fun fr -> float_of_int (g fr)))
+        | Ast.FloatLit (f, _) -> FlClo (fun _ -> f)
+        | Ast.IntLit n ->
+          let f = float_of_int n in
+          FlClo (fun _ -> f)
+        | Ast.Ident n -> (
+          match lookup_local cenv n with
+          | Some (s, _) -> FlClo (fun fr -> Mem.to_float fr.(s))
+          | None -> (
+            match Hashtbl.find_opt cenv.globals n with
+            | Some (GScalar { cell; _ }, _) -> FlClo (fun _ -> Mem.to_float !cell)
+            | _ -> FlClo (fx_float (fst (fast_expr cenv x)))))
+        | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div), _, _) -> (
+          match fast_fclo cenv x with
+          | Some g -> FlClo g
+          | None -> FlClo (fx_float (fst (fast_expr cenv x))))
+        | _ -> FlClo (fx_float (fst (fast_expr cenv x)))
+      in
+      let la = leaf a in
+      let lb = leaf b in
+      match (la, lb) with
+      | FlGet (ra, oa), FlGet (rb, ob) ->
+        Some
+          (fun fr ->
+            let jb = ob fr in
+            let pb = rb fr in
+            let xb = Mem.get_f pb jb in
+            let ja = oa fr in
+            let pa = ra fr in
+            let xa = Mem.get_f pa ja in
+            match op with
+            | Ast.Add -> xa +. xb
+            | Ast.Sub -> xa -. xb
+            | Ast.Mul -> xa *. xb
+            | _ -> xa /. xb)
+      | FlGet (ra, oa), FlClo cb ->
+        Some
+          (fun fr ->
+            let xb = cb fr in
+            let ja = oa fr in
+            let pa = ra fr in
+            let xa = Mem.get_f pa ja in
+            match op with
+            | Ast.Add -> xa +. xb
+            | Ast.Sub -> xa -. xb
+            | Ast.Mul -> xa *. xb
+            | _ -> xa /. xb)
+      | FlClo ca, FlGet (rb, ob) ->
+        Some
+          (fun fr ->
+            let jb = ob fr in
+            let pb = rb fr in
+            let xb = Mem.get_f pb jb in
+            let xa = ca fr in
+            match op with
+            | Ast.Add -> xa +. xb
+            | Ast.Sub -> xa -. xb
+            | Ast.Mul -> xa *. xb
+            | _ -> xa /. xb)
+      | FlClo ca, FlClo cb ->
+        Some
+          (fun fr ->
+            let xb = cb fr in
+            let xa = ca fr in
+            match op with
+            | Ast.Add -> xa +. xb
+            | Ast.Sub -> xa -. xb
+            | Ast.Mul -> xa *. xb
+            | _ -> xa /. xb)
+    end
+    else None
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The modeled/traced expression compiler *)
+
+and compile_expr_m cenv (e : Ast.expr) : (frame -> Mem.value) * Ast.ctype =
   let rt = cenv.rt in
   match e.Ast.edesc with
   | Ast.IntLit n ->
@@ -1121,14 +2789,22 @@ and compile_malloc cenv fn elt args =
       fun fr -> Mem.VInt (Mem.to_int (fn_ fr) * Mem.to_int (fs fr))
     | _ -> unsupported "bad allocation call"
   in
+  let charge =
+    (* the fast variant keeps every counter exactly zero — that invariant
+       is the differential suite's engagement witness *)
+    if is_fast rt then fun _ -> ()
+    else
+      fun bytes ->
+        let counters = (cur rt).ds_counters in
+        counters.Cost.builtin_calls <- counters.Cost.builtin_calls + 1;
+        counters.Cost.malloc_bytes <- counters.Cost.malloc_bytes + bytes;
+        (* allocator + first-touch/page-zeroing cost, the effect behind the
+           paper's parallelized initialization loop (Fig. 3) *)
+        counters.Cost.extra_cycles <- counters.Cost.extra_cycles + 150 + (bytes / 8)
+  in
   let run fr =
     let bytes = Mem.to_int (size_expr fr) in
-    let counters = (cur rt).ds_counters in
-    counters.Cost.builtin_calls <- counters.Cost.builtin_calls + 1;
-    counters.Cost.malloc_bytes <- counters.Cost.malloc_bytes + bytes;
-    (* allocator + first-touch/page-zeroing cost, the effect behind the
-       paper's parallelized initialization loop (Fig. 3) *)
-    counters.Cost.extra_cycles <- counters.Cost.extra_cycles + 150 + (bytes / 8);
+    charge bytes;
     let p =
       match elt with
       | Ast.Float -> Mem.alloc_floats rt.alloc ~elem_bytes:4 (max 1 (bytes / 4))
@@ -1248,6 +2924,775 @@ and compile_call cenv loc fname args =
               | Some run -> run argv
               | None -> Mem.fault "call to undefined function %s" fname),
             resolve cenv entry.fe_def.Ast.f_ret )
+        | None ->
+          unsupported "call to unknown function %s at %s" fname (Loc.to_string loc))))
+
+(* ------------------------------------------------------------------ *)
+(* The fast (uninstrumented) expression compiler.
+
+   Each case mirrors its modeled twin above exactly — same evaluation
+   order, same conversions, same fault messages — minus every counter
+   bump, cache probe, promotion memo and access log, with intermediate
+   results kept unboxed wherever the static C type allows.  Divergence
+   between the two compilers is a bug; the fastpath differential suite
+   pins them byte-identical over the workload gallery and fuzz corpus. *)
+
+and fast_expr cenv (e : Ast.expr) : fx * Ast.ctype =
+  let rt = cenv.rt in
+  match e.Ast.edesc with
+  | Ast.IntLit n -> (FI (fun _ -> n), Ast.Int)
+  | Ast.FloatLit (f, single) ->
+    (FF (fun _ -> f), if single then Ast.Float else Ast.Double)
+  | Ast.CharLit ch ->
+    let c = Char.code ch in
+    (FI (fun _ -> c), Ast.Char)
+  | Ast.StrLit s ->
+    (* C string: int cells with a NUL terminator *)
+    let p = Mem.alloc_ints rt.alloc (String.length s + 1) in
+    (match p.Mem.p_obj with
+    | Mem.OInts a -> String.iteri (fun i ch -> a.(i) <- Char.code ch) s
+    | _ -> ());
+    let p = { p with Mem.p_elem_bytes = 1 } in
+    register_ptr_region rt.alloc "string" p;
+    let v = Mem.VPtr p in
+    (FV (fun _ -> v), Ast.ptr Ast.Char ~const:true)
+  | Ast.Ident name -> (
+    (* slots and global cells hold boxed values — the polymorphic seam.
+       Conversion to int/float happens inside the consuming operator,
+       exactly where the modeled engine applies it, so (int)ptr casts and
+       pointer-in-int-slot programs behave identically. *)
+    match lookup_local cenv name with
+    | Some (slot, ty) -> (FS slot, ty)
+    | None -> (
+      match Hashtbl.find_opt cenv.globals name with
+      | Some (GScalar { cell; _ }, ty) -> (FG cell, ty)
+      | Some (GArray { view }, ty) ->
+        let v = Mem.VPtr view in
+        (FV (fun _ -> v), ty)
+      | None -> unsupported "unbound identifier %s" name))
+  | Ast.Binop (op, a, b) -> fast_binop cenv e op a b
+  | Ast.Unop (op, a) -> (
+    let fa, ta = fast_expr cenv a in
+    let ta = resolve cenv ta in
+    match op with
+    | Ast.Neg ->
+      if is_floaty ta then begin
+        let f = fx_float fa in
+        (FF (fun fr -> -.f fr), ta)
+      end
+      else begin
+        let f = fx_int fa in
+        (FI (fun fr -> -f fr), Ast.Int)
+      end
+    | Ast.LNot ->
+      let f = fx_bool fa in
+      (FI (fun fr -> if f fr then 0 else 1), Ast.Int)
+    | Ast.BNot ->
+      let f = fx_int fa in
+      (FI (fun fr -> lnot (f fr)), Ast.Int))
+  | Ast.Assign (op, lhs, rhs) -> fast_assign cenv op lhs rhs
+  | Ast.Call (fname, args) -> fast_call cenv e.Ast.eloc fname args
+  | Ast.Index _ -> (
+    (* rvalue load, fused with the symbolic address decomposition *)
+    let br, bo, ty = fast_addr_opt cenv e in
+    let ty = resolve cenv ty in
+    match ty with
+    | Ast.Array _ ->
+      (* a view: no load, just the address *)
+      let root = froot_clo br and off = foff_clo bo in
+      ( FV
+          (fun fr ->
+            let k = off fr in
+            Mem.VPtr (Mem.at (root fr) k)),
+        ty )
+    | Ast.Float | Ast.Double -> (FF (fused_get_f br bo), ty)
+    | Ast.Int | Ast.Char -> (FI (fused_get_i br bo), ty)
+    | _ ->
+      let root = froot_clo br and off = foff_clo bo in
+      ( FV
+          (fun fr ->
+            let k = off fr in
+            Mem.peek_at (root fr) k),
+        ty ))
+  | Ast.Deref _ -> (
+    (* rvalue load through the lvalue path *)
+    match fast_lval cenv e with
+    | FLMem (root, off, ty) -> (
+      let ty = resolve cenv ty in
+      match ty with
+      | Ast.Array _ ->
+        ( FV
+            (fun fr ->
+              let k = off fr in
+              Mem.VPtr (Mem.at (root fr) k)),
+          ty )
+      | Ast.Float | Ast.Double ->
+        ( FF
+            (fun fr ->
+              let k = off fr in
+              Mem.get_f (root fr) k),
+          ty )
+      | Ast.Int | Ast.Char ->
+        ( FI
+            (fun fr ->
+              let k = off fr in
+              Mem.get_i (root fr) k),
+          ty )
+      | _ ->
+        ( FV
+            (fun fr ->
+              let k = off fr in
+              Mem.peek_at (root fr) k),
+          ty ))
+    | FLSlot _ | FLGlobal _ -> assert false)
+  | Ast.AddrOf inner -> (
+    match fast_lval cenv inner with
+    | FLMem (root, off, ty) ->
+      ( FV
+          (fun fr ->
+            let k = off fr in
+            Mem.VPtr (Mem.at (root fr) k)),
+        Ast.ptr ty )
+    | FLSlot _ | FLGlobal _ -> unsupported "address-of a register variable")
+  | Ast.Cast (ty, inner) -> (
+    let ty = resolve cenv ty in
+    (* allocation idiom: (T* ) malloc(n) *)
+    match (ty, strip_casts inner) with
+    | Ast.Ptr { elt; _ }, { Ast.edesc = Ast.Call (("malloc" | "calloc") as fn, args); _ }
+      ->
+      let run, rty = compile_malloc cenv fn elt args in
+      (FV run, rty)
+    | _ -> (
+      (* casts pass non-scalar values through unchanged on the modeled
+         path, so a symbolic slot read must surface its raw value here *)
+      let fi, _ti = fast_expr cenv inner in
+      let fi = fx_norm fi in
+      match ty with
+      | Ast.Int | Ast.Char -> (
+        match fi with
+        | FI f -> (FI f, ty)
+        | FF f -> (FI (fun fr -> int_of_float (f fr)), ty)
+        | fv ->
+          let f = fx_value fv in
+          ( FV
+              (fun fr ->
+                match f fr with
+                | Mem.VInt i -> Mem.VInt i
+                | Mem.VFloat x -> Mem.VInt (int_of_float x)
+                | v -> v),
+            ty ))
+      | Ast.Float | Ast.Double -> (
+        match fi with
+        | FF f -> (FF f, ty)
+        | FI f -> (FF (fun fr -> float_of_int (f fr)), ty)
+        | fv ->
+          let f = fx_value fv in
+          ( FV
+              (fun fr ->
+                match f fr with
+                | Mem.VFloat x -> Mem.VFloat x
+                | Mem.VInt i -> Mem.VFloat (float_of_int i)
+                | v -> v),
+            ty ))
+      | Ast.Ptr _ -> (
+        match fi with
+        | FI f ->
+          ( FV (fun fr -> match f fr with 0 -> Mem.VNull | i -> Mem.VInt i),
+            ty )
+        | FF _ -> (FV (fx_value fi), ty)
+        | fv ->
+          let f = fx_value fv in
+          ( FV (fun fr -> match f fr with Mem.VInt 0 -> Mem.VNull | v -> v),
+            ty ))
+      | _ -> (fi, ty)))
+  | Ast.Cond (cond, t, f) -> (
+    let fc = fx_bool (fst (fast_expr cenv cond)) in
+    let ft, tt = fast_expr cenv t in
+    let ff, _tf = fast_expr cenv f in
+    (* the modeled engine returns the branch value uncoerced, so the FV
+       join must not coerce either *)
+    match (ft, ff) with
+    | FI a, FI b -> (FI (fun fr -> if fc fr then a fr else b fr), tt)
+    | FF a, FF b -> (FF (fun fr -> if fc fr then a fr else b fr), tt)
+    | _ ->
+      let a = fx_value ft and b = fx_value ff in
+      (FV (fun fr -> if fc fr then a fr else b fr), tt))
+  | Ast.SizeofType ty ->
+    let n = type_bytes cenv ty in
+    (FI (fun _ -> n), Ast.Int)
+  | Ast.SizeofExpr inner ->
+    (* typeof only: no evaluation *)
+    let _, ti = fast_expr cenv inner in
+    let n = type_bytes cenv ti in
+    (FI (fun _ -> n), Ast.Int)
+  | Ast.IncDec { pre; inc; arg } -> fast_incdec cenv pre inc arg
+  | Ast.Comma (a, b) -> (
+    let fa = fx_unit (fst (fast_expr cenv a)) in
+    let fb, tb = fast_expr cenv b in
+    match fb with
+    | FI f ->
+      ( FI
+          (fun fr ->
+            fa fr;
+            f fr),
+        tb )
+    | FF f ->
+      ( FF
+          (fun fr ->
+            fa fr;
+            f fr),
+        tb )
+    | _ ->
+      let f = fx_value fb in
+      ( FV
+          (fun fr ->
+            fa fr;
+            f fr),
+        tb ))
+  | Ast.Member _ | Ast.Arrow _ ->
+    unsupported "struct member access is not executable in this build"
+
+and fast_binop cenv e op a b : fx * Ast.ctype =
+  let fa, ta = fast_expr cenv a in
+  let fb, tb = fast_expr cenv b in
+  let ta = resolve cenv ta and tb = resolve cenv tb in
+  let arith = promote ta tb in
+  let is_ptr t = match t with Ast.Ptr _ | Ast.Array _ -> true | _ -> false in
+  (* explicit [let b = y fr in x fr <op> b] everywhere: OCaml evaluates
+     application operands right-to-left, so the modeled closures run the
+     right operand first — the fast twins must too *)
+  match op with
+  | Ast.Add when is_ptr ta || is_ptr tb ->
+    let fp, fi, pty = if is_ptr ta then (fa, fb, ta) else (fb, fa, tb) in
+    let _, stride, _ = subscript_info cenv pty in
+    let fp = fx_ptr fp and fi = fx_int fi in
+    ( FV
+        (fun fr ->
+          let k = fi fr in
+          Mem.VPtr (Mem.ptr_add (fp fr) (stride * k))),
+      pty )
+  | Ast.Sub when is_ptr ta && is_ptr tb ->
+    let fpa = fx_ptr fa and fpb = fx_ptr fb in
+    ( FI
+        (fun fr ->
+          let b = (fpb fr).Mem.p_off in
+          (fpa fr).Mem.p_off - b),
+      Ast.Int )
+  | Ast.Sub when is_ptr ta ->
+    let _, stride, _ = subscript_info cenv ta in
+    let fp = fx_ptr fa and fi = fx_int fb in
+    ( FV
+        (fun fr ->
+          let k = fi fr in
+          Mem.VPtr (Mem.ptr_add (fp fr) (-stride * k))),
+      ta )
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
+    if is_floaty arith then begin
+      let x = fx_float fa and y = fx_float fb in
+      let run =
+        match op with
+        | Ast.Add ->
+          fun fr ->
+            let b = y fr in
+            x fr +. b
+        | Ast.Sub ->
+          fun fr ->
+            let b = y fr in
+            x fr -. b
+        | Ast.Mul ->
+          fun fr ->
+            let b = y fr in
+            x fr *. b
+        | Ast.Div ->
+          fun fr ->
+            let b = y fr in
+            x fr /. b
+        | _ -> assert false
+      in
+      (FF run, arith)
+    end
+    else begin
+      let x = fx_int fa and y = fx_int fb in
+      let run =
+        match op with
+        | Ast.Add ->
+          fun fr ->
+            let b = y fr in
+            x fr + b
+        | Ast.Sub ->
+          fun fr ->
+            let b = y fr in
+            x fr - b
+        | Ast.Mul ->
+          fun fr ->
+            let b = y fr in
+            x fr * b
+        | Ast.Div ->
+          let loc = Loc.to_string e.Ast.eloc in
+          fun fr ->
+            let d = y fr in
+            if d = 0 then Mem.fault "integer division by zero at %s" loc
+            else x fr / d
+        | _ -> assert false
+      in
+      (FI run, Ast.Int)
+    end
+  | Ast.Mod ->
+    let x = fx_int fa and y = fx_int fb in
+    let loc = Loc.to_string e.Ast.eloc in
+    ( FI
+        (fun fr ->
+          let d = y fr in
+          if d = 0 then Mem.fault "integer modulo by zero at %s" loc
+          else x fr mod d),
+      Ast.Int )
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+    let run =
+      if is_floaty arith && not (is_ptr ta || is_ptr tb) then begin
+        (* direct float compares: the modeled [cmp_float ( < )] instantiates
+           the polymorphic primitive at float, which compiles to the native
+           IEEE compare — identical NaN behaviour *)
+        let x = fx_float fa and y = fx_float fb in
+        match op with
+        | Ast.Lt ->
+          fun fr ->
+            let b = y fr in
+            if x fr < b then 1 else 0
+        | Ast.Le ->
+          fun fr ->
+            let b = y fr in
+            if x fr <= b then 1 else 0
+        | Ast.Gt ->
+          fun fr ->
+            let b = y fr in
+            if x fr > b then 1 else 0
+        | Ast.Ge ->
+          fun fr ->
+            let b = y fr in
+            if x fr >= b then 1 else 0
+        | Ast.Eq ->
+          fun fr ->
+            let b = y fr in
+            if x fr = b then 1 else 0
+        | Ast.Ne ->
+          fun fr ->
+            let b = y fr in
+            if x fr <> b then 1 else 0
+        | _ -> assert false
+      end
+      else if is_ptr ta || is_ptr tb then begin
+        (* pointer comparisons: by synthetic address; null compares as 0 *)
+        let va = fx_value fa and vb = fx_value fb in
+        let addr v =
+          match v with
+          | Mem.VPtr p -> Mem.addr_of p
+          | Mem.VNull -> 0
+          | v -> Mem.to_int v
+        in
+        let f =
+          match op with
+          | Ast.Lt -> ( < )
+          | Ast.Le -> ( <= )
+          | Ast.Gt -> ( > )
+          | Ast.Ge -> ( >= )
+          | Ast.Eq -> ( = )
+          | Ast.Ne -> ( <> )
+          | _ -> assert false
+        in
+        fun fr ->
+          let b = addr (vb fr) in
+          if f (addr (va fr)) b then 1 else 0
+      end
+      else begin
+        let x = fx_int fa and y = fx_int fb in
+        match op with
+        | Ast.Lt ->
+          fun fr ->
+            let b = y fr in
+            if x fr < b then 1 else 0
+        | Ast.Le ->
+          fun fr ->
+            let b = y fr in
+            if x fr <= b then 1 else 0
+        | Ast.Gt ->
+          fun fr ->
+            let b = y fr in
+            if x fr > b then 1 else 0
+        | Ast.Ge ->
+          fun fr ->
+            let b = y fr in
+            if x fr >= b then 1 else 0
+        | Ast.Eq ->
+          fun fr ->
+            let b = y fr in
+            if x fr = b then 1 else 0
+        | Ast.Ne ->
+          fun fr ->
+            let b = y fr in
+            if x fr <> b then 1 else 0
+        | _ -> assert false
+      end
+    in
+    (FI run, Ast.Int)
+  | Ast.LAnd ->
+    let x = fx_bool fa and y = fx_bool fb in
+    (FI (fun fr -> if x fr then (if y fr then 1 else 0) else 0), Ast.Int)
+  | Ast.LOr ->
+    let x = fx_bool fa and y = fx_bool fb in
+    (FI (fun fr -> if x fr then 1 else if y fr then 1 else 0), Ast.Int)
+  | Ast.BAnd | Ast.BOr | Ast.BXor | Ast.Shl | Ast.Shr ->
+    let x = fx_int fa and y = fx_int fb in
+    let run =
+      match op with
+      | Ast.BAnd ->
+        fun fr ->
+          let b = y fr in
+          x fr land b
+      | Ast.BOr ->
+        fun fr ->
+          let b = y fr in
+          x fr lor b
+      | Ast.BXor ->
+        fun fr ->
+          let b = y fr in
+          x fr lxor b
+      | Ast.Shl ->
+        fun fr ->
+          let b = y fr in
+          x fr lsl b
+      | Ast.Shr ->
+        fun fr ->
+          let b = y fr in
+          x fr asr b
+      | _ -> assert false
+    in
+    (FI run, Ast.Int)
+
+(* (root pointer, flat element offset) decomposition of an address
+   expression.  Nested subscripts over a {e view} chain (multi-dimensional
+   arrays, whose value IS their address) fold into one integer offset, so
+   the consuming load/store allocates no intermediate pointer records.  A
+   [Ptr]-typed base breaks the chain: its value is a pointer possibly
+   loaded from memory (float** rows), so it roots a fresh decomposition —
+   the load happens inside the compiled base closure, exactly where the
+   modeled [compile_lval] performs it.  The index of each subscript level
+   evaluates before its base, matching the modeled right-to-left
+   application order. *)
+and fast_addr cenv (e : Ast.expr) :
+    (frame -> Mem.ptr) * (frame -> int) * Ast.ctype =
+  let root, off, elt = fast_addr_opt cenv e in
+  (froot_clo root, foff_clo off, elt)
+
+and fast_addr_opt cenv (e : Ast.expr) : froot * foff * Ast.ctype =
+  match e.Ast.edesc with
+  | Ast.Index (base, idx) ->
+    let tbase = resolve cenv (snd (fast_expr_ty cenv base)) in
+    let root, off =
+      match tbase with
+      | Ast.Array _ ->
+        (* view: value = address, flat-compose into the same root object
+           (recompiling the base costs only compile time) *)
+        let r, o, _ = fast_addr_opt cenv base in
+        (r, o)
+      | _ -> (
+        (* a pointer-typed base roots a fresh decomposition: its value is
+           loaded here, exactly where the modeled lvalue loads it.  When
+           the base is itself a subscript the row pointer is read with the
+           fused [get_p] (no intermediate boxing); otherwise the base
+           compiles as an ordinary pointer rvalue. *)
+        match base.Ast.edesc with
+        | Ast.Index _ ->
+          let br, bo, _ = fast_addr_opt cenv base in
+          (RClo (fused_get_p br bo), KConst 0)
+        | _ -> (fast_root cenv base, KConst 0))
+    in
+    let elt, stride, is_view = subscript_info cenv tbase in
+    let st = if is_view then stride else 1 in
+    let cls =
+      match idx.Ast.edesc with
+      | Ast.IntLit n -> `Const n
+      | Ast.Ident nm -> (
+        match lookup_local cenv nm with
+        | Some (s, _) -> `Slot s
+        | None -> `Clo (fx_int (fst (fast_expr cenv idx))))
+      | _ -> `Clo (fx_int (fst (fast_expr cenv idx)))
+    in
+    (root, foff_compose off cls st, elt)
+  | Ast.Cast (_, inner) -> fast_addr_opt cenv inner
+  | _ ->
+    let ty = resolve cenv (snd (fast_expr_ty cenv e)) in
+    (fast_root cenv e, KConst 0, ty)
+
+(* pointer-valued base as a root descriptor: a global array view is a
+   compile-time constant; anything else converts its rvalue *)
+and fast_root cenv (e : Ast.expr) : froot =
+  match e.Ast.edesc with
+  | Ast.Ident name when lookup_local cenv name = None -> (
+    match Hashtbl.find_opt cenv.globals name with
+    | Some (GArray { view }, _) -> RConst view
+    | _ -> RClo (fx_ptr (fst (fast_expr cenv e))))
+  | _ -> RClo (fx_ptr (fst (fast_expr cenv e)))
+
+(* static type of an expression under the fast compiler, without emitting
+   (or allocating for) its closure — used where [fast_addr_opt] only needs
+   the base's type to pick a decomposition *)
+and fast_expr_ty cenv (e : Ast.expr) : unit * Ast.ctype =
+  match e.Ast.edesc with
+  | Ast.Ident name -> (
+    match lookup_local cenv name with
+    | Some (_, ty) -> ((), ty)
+    | None -> (
+      match Hashtbl.find_opt cenv.globals name with
+      | Some (_, ty) -> ((), ty)
+      | None -> unsupported "unbound identifier %s" name))
+  | Ast.Index (base, _) ->
+    let tbase = resolve cenv (snd (fast_expr_ty cenv base)) in
+    let elt, _, _ = subscript_info cenv tbase in
+    ((), elt)
+  | Ast.Cast (ty, _) -> ((), resolve cenv ty)
+  | _ -> ((), snd (fast_expr cenv e))
+
+and fast_lval cenv (e : Ast.expr) : flv =
+  match e.Ast.edesc with
+  | Ast.Ident name -> (
+    match lookup_local cenv name with
+    | Some (slot, ty) -> FLSlot (slot, ty)
+    | None -> (
+      match Hashtbl.find_opt cenv.globals name with
+      | Some (GScalar { cell; _ }, ty) -> FLGlobal (cell, ty)
+      | Some (GArray { view }, ty) -> FLMem ((fun _ -> view), (fun _ -> 0), ty)
+      | None -> unsupported "unbound identifier %s" name))
+  | Ast.Index _ ->
+    let root, off, elt = fast_addr cenv e in
+    FLMem (root, off, elt)
+  | Ast.Deref inner ->
+    let fi, ti = fast_expr cenv inner in
+    let elt, _, _ = subscript_info cenv (resolve cenv ti) in
+    FLMem (fx_ptr fi, (fun _ -> 0), elt)
+  | Ast.Cast (_, inner) -> fast_lval cenv inner
+  | _ -> unsupported "unsupported lvalue: %s" (Ast_printer.expr_to_string e)
+
+and fast_assign cenv op lhs rhs : fx * Ast.ctype =
+  let lv = fast_lval cenv lhs in
+  let ty = resolve cenv (flv_type lv) in
+  let frhs, _trhs = fast_expr cenv rhs in
+  let run =
+    match lv with
+    | FLSlot (slot, _) -> fast_assign_slot ty op slot frhs
+    | FLGlobal (cell, _) -> fast_assign_global ty op cell frhs
+    | FLMem (root, off, _) -> fast_assign_mem ty op root off frhs
+  in
+  (run, ty)
+
+and fast_incdec cenv pre inc arg : fx * Ast.ctype =
+  let lv = fast_lval cenv arg in
+  let ty = resolve cenv (flv_type lv) in
+  let delta = if inc then 1 else -1 in
+  let fdelta = float_of_int delta in
+  (* boxed-seam fallback, mirroring the modeled [apply] *)
+  let apply old =
+    match (ty, old) with
+    | (Ast.Float | Ast.Double), v -> Mem.VFloat (Mem.to_float v +. fdelta)
+    | Ast.Ptr _, Mem.VPtr p -> Mem.VPtr (Mem.ptr_add p delta)
+    | _, v -> Mem.VInt (Mem.to_int v + delta)
+  in
+  let run =
+    match lv with
+    | FLSlot (slot, _) -> (
+      match ty with
+      | Ast.Int | Ast.Char ->
+        FI
+          (fun fr ->
+            let o = Mem.to_int fr.(slot) in
+            let nv = o + delta in
+            fr.(slot) <- Mem.VInt nv;
+            if pre then nv else o)
+      | Ast.Float | Ast.Double ->
+        FF
+          (fun fr ->
+            let o = Mem.to_float fr.(slot) in
+            let nv = o +. fdelta in
+            fr.(slot) <- Mem.VFloat nv;
+            if pre then nv else o)
+      | _ ->
+        FV
+          (fun fr ->
+            let old = fr.(slot) in
+            let nv = apply old in
+            fr.(slot) <- nv;
+            if pre then nv else old))
+    | FLGlobal (cell, _) -> (
+      match ty with
+      | Ast.Int | Ast.Char ->
+        FI
+          (fun _ ->
+            let o = Mem.to_int !cell in
+            let nv = o + delta in
+            cell := Mem.VInt nv;
+            if pre then nv else o)
+      | Ast.Float | Ast.Double ->
+        FF
+          (fun _ ->
+            let o = Mem.to_float !cell in
+            let nv = o +. fdelta in
+            cell := Mem.VFloat nv;
+            if pre then nv else o)
+      | _ ->
+        FV
+          (fun _ ->
+            let old = !cell in
+            let nv = apply old in
+            cell := nv;
+            if pre then nv else old))
+    | FLMem (root, off, _) -> (
+      match ty with
+      | Ast.Int | Ast.Char ->
+        FI
+          (fun fr ->
+            let k = off fr in
+            let p = root fr in
+            let o = Mem.get_i p k in
+            let nv = o + delta in
+            Mem.set_i p k nv;
+            if pre then nv else o)
+      | Ast.Float | Ast.Double ->
+        FF
+          (fun fr ->
+            let k = off fr in
+            let p = root fr in
+            let o = Mem.get_f p k in
+            let nv = o +. fdelta in
+            Mem.set_f p k nv;
+            if pre then nv else o)
+      | _ ->
+        FV
+          (fun fr ->
+            let k = off fr in
+            let p = root fr in
+            let old = Mem.peek_at p k in
+            let nv = apply old in
+            Mem.poke_at p k nv;
+            if pre then nv else old))
+  in
+  (run, ty)
+
+and fast_call cenv loc fname args : fx * Ast.ctype =
+  let rt = cenv.rt in
+  match fname with
+  | "malloc" | "calloc" ->
+    (* uncast allocation: treat as bytes of doubles *)
+    let run, ty = compile_malloc cenv fname Ast.Double args in
+    (FV run, ty)
+  | "free" ->
+    let fargs = List.map (fun a -> fx_unit (fst (fast_expr cenv a))) args in
+    ( FV
+        (fun fr ->
+          List.iter (fun f -> f fr) fargs;
+          Mem.VNull),
+      Ast.Void )
+  | "printf" -> (
+    match args with
+    | fmt_e :: rest ->
+      let frest = List.map (fun a -> fx_value (fst (fast_expr cenv a))) rest in
+      let ffmt = fx_value (fst (fast_expr cenv fmt_e)) in
+      ( FI
+          (fun fr ->
+            let fmt =
+              match ffmt fr with
+              | Mem.VPtr p -> decode_c_string p
+              | v -> string_of_value v
+            in
+            run_printf (cur rt).ds_out fmt (List.map (fun f -> f fr) frest);
+            0),
+        Ast.Int )
+    | [] -> unsupported "printf with no arguments")
+  | "exit" ->
+    let fargs = List.map (fun a -> fx_int (fst (fast_expr cenv a))) args in
+    ( FV
+        (fun fr ->
+          let code = match fargs with f :: _ -> f fr | [] -> 0 in
+          raise (Return_v (Mem.VInt code))),
+      Ast.Void )
+  | "__max" | "__min" -> (
+    match List.map (fun a -> fast_expr cenv a) args with
+    | [ (fa, _); (fb, _) ] ->
+      let x = fx_int fa and y = fx_int fb in
+      let pick_max = fname = "__max" in
+      ( FI
+          (fun fr ->
+            let a = x fr in
+            let b = y fr in
+            if pick_max then max a b else min a b),
+        Ast.Int )
+    | _ -> unsupported "%s expects two arguments" fname)
+  | "__ceild" | "__floord" -> (
+    match List.map (fun a -> fast_expr cenv a) args with
+    | [ (fa, _); (fb, _) ] ->
+      let x = fx_int fa and y = fx_int fb in
+      let ceil_mode = fname = "__ceild" in
+      ( FI
+          (fun fr ->
+            let a = x fr in
+            let b = y fr in
+            if b = 0 then Mem.fault "division by zero in %s" fname
+            else if ceil_mode then ceild a b
+            else floord a b),
+        Ast.Int )
+    | _ -> unsupported "%s expects two arguments" fname)
+  | "abs" -> (
+    match List.map (fun a -> fx_int (fst (fast_expr cenv a))) args with
+    | [ fa ] -> (FI (fun fr -> abs (fa fr)), Ast.Int)
+    | _ -> unsupported "abs expects one argument")
+  | _ -> (
+    match List.find_opt (fun (n, _, _) -> n = fname) builtin_math with
+    | Some (_, f, _weight) -> (
+      match List.map (fun a -> fx_float (fst (fast_expr cenv a))) args with
+      | [ fa ] ->
+        let single = String.length fname > 0 && fname.[String.length fname - 1] = 'f' in
+        (FF (fun fr -> f (fa fr)), if single then Ast.Float else Ast.Double)
+      | _ -> unsupported "%s expects one argument" fname)
+    | None -> (
+      match List.find_opt (fun (n, _, _) -> n = fname) builtin_math2 with
+      | Some (_, f, _weight) -> (
+        match List.map (fun a -> fx_float (fst (fast_expr cenv a))) args with
+        | [ fa; fb ] ->
+          ( FF
+              (fun fr ->
+                let b = fb fr in
+                let a = fa fr in
+                f a b),
+            Ast.Double )
+        | _ -> unsupported "%s expects two arguments" fname)
+      | None -> (
+        (* user function: frames are the boxed seam, so argument values box
+           here exactly like the modeled engine *)
+        match Hashtbl.find_opt cenv.funcs fname with
+        | Some entry -> (
+          let cargs = List.map (fun a -> fast_expr cenv a) args in
+          match fast_leaf_call cenv entry cargs with
+          | Some fx -> (fx, resolve cenv entry.fe_def.Ast.f_ret)
+          | None ->
+            let fargs = Array.of_list (List.map (fun (f, _) -> fx_value f) cargs) in
+            let n = Array.length fargs in
+            let nparams = List.length entry.fe_def.Ast.f_params in
+            let m = if n < nparams then n else nparams in
+            ( FV
+                (fun fr ->
+                  match entry.fe_fast with
+                  | Some run ->
+                    (* build the callee frame directly: argument values land
+                       in the parameter prefix (surplus arguments are still
+                       evaluated, in order, like the modeled argv loop) *)
+                    let fr' = Array.make entry.fe_nslots Mem.VNull in
+                    for i = 0 to m - 1 do
+                      fr'.(i) <- fargs.(i) fr
+                    done;
+                    for i = m to n - 1 do
+                      ignore (fargs.(i) fr)
+                    done;
+                    run fr'
+                  | None -> Mem.fault "call to undefined function %s" fname),
+              resolve cenv entry.fe_def.Ast.f_ret ))
         | None ->
           unsupported "call to unknown function %s at %s" fname (Loc.to_string loc))))
 
@@ -1536,6 +3981,18 @@ let rec stmt_has_toplevel_break s =
     || (match b with Some b -> stmt_has_toplevel_break b | None -> false)
   | _ -> false
 
+(* a continue that would bind to this loop (continues inside nested loops
+   bind there); loops whose body has none skip the per-iteration handler
+   on the fast path *)
+let rec stmt_has_toplevel_continue s =
+  match s.Ast.sdesc with
+  | Ast.SContinue -> true
+  | Ast.SBlock ss -> List.exists stmt_has_toplevel_continue ss
+  | Ast.SIf (_, a, b) ->
+    stmt_has_toplevel_continue a
+    || (match b with Some b -> stmt_has_toplevel_continue b | None -> false)
+  | _ -> false
+
 let calls_in_stmt s =
   Ast.fold_stmt
     ~stmt:(fun acc _ -> acc)
@@ -1721,49 +4178,181 @@ let exec_parallel rt pool (sched : Trace.sched_kind) (cn : omp_canon)
   rt.segments <- Trace.Par { sched; iters } :: rt.segments;
   rt.seg_start <- Cost.copy m.ds_counters
 
+(** [exec_parallel]'s fast twin: identical fork/join mechanics — chunk
+    plans, worker DLS binding, private output buffers spliced in ck_lo
+    order, identity-seeded reduction partials merged in ascending chunk
+    order, the final induction value — with every counter snapshot and
+    cost merge removed.  The profile still gains a [Par] segment (with no
+    per-iteration costs) so the parallel-region count a run reports is
+    variant-independent. *)
+let exec_parallel_fast rt pool (sched : Trace.sched_kind) (cn : omp_canon)
+    (fbody : stmt_code) (finit : stmt_code) (fr : frame) =
+  let m = master rt in
+  rt.segments <- Trace.Seq (Cost.create ()) :: rt.segments;
+  rt.in_parallel <- true;
+  finit fr;
+  let lo = Mem.to_int fr.(cn.oc_slot) in
+  let hi_incl =
+    let b = Mem.to_int (cn.oc_bound fr) in
+    if cn.oc_strict then b - 1 else b
+  in
+  let stride = cn.oc_stride in
+  let n = if hi_incl < lo then 0 else ((hi_incl - lo) / stride) + 1 in
+  let workers = min (Runtime.Pool.size pool) (max 1 n) in
+  let results : chunk_rec list array = Array.make workers [] in
+  let run_chunk ds recs lo_idx hi_idx =
+    let buf = Buffer.create 64 in
+    ds.ds_out <- buf;
+    let fr' = Array.copy fr in
+    List.iter (fun rd -> fr'.(rd.rd_slot) <- red_identity rd) cn.oc_reds;
+    for k = lo_idx to hi_idx - 1 do
+      fr'.(cn.oc_slot) <- Mem.VInt (lo + (k * stride));
+      try fbody fr' with Continue_e -> ()
+    done;
+    recs :=
+      {
+        ck_lo = lo_idx;
+        ck_out = buf;
+        ck_iters = [];
+        ck_reds = List.map (fun rd -> fr'.(rd.rd_slot)) cn.oc_reds;
+      }
+      :: !recs
+  in
+  let jobs =
+    match sched with
+    | Trace.Static | Trace.Static_chunk _ ->
+      let sched' =
+        match sched with
+        | Trace.Static -> Runtime.Par_loop.Static
+        | Trace.Static_chunk c -> Runtime.Par_loop.Static_chunk c
+        | Trace.Dynamic c -> Runtime.Par_loop.Dynamic c
+      in
+      let chunks = Runtime.Par_loop.chunk_plan sched' ~workers ~lo:0 ~hi:n in
+      List.init workers (fun w ->
+          fun () ->
+            let ds = rt.states.(w + 1) in
+            Domain.DLS.set rt.dls ds;
+            let recs = ref [] in
+            List.iter (fun (a, b) -> run_chunk ds recs a b) chunks.(w);
+            results.(w) <- List.rev !recs)
+    | Trace.Dynamic chunk ->
+      let chunk = max 1 chunk in
+      let next = Atomic.make 0 in
+      List.init workers (fun w ->
+          fun () ->
+            let ds = rt.states.(w + 1) in
+            Domain.DLS.set rt.dls ds;
+            let recs = ref [] in
+            let rec go () =
+              let start = Atomic.fetch_and_add next chunk in
+              if start < n then begin
+                run_chunk ds recs start (min n (start + chunk));
+                go ()
+              end
+            in
+            go ();
+            results.(w) <- List.rev !recs)
+  in
+  let finish () =
+    Domain.DLS.set rt.dls m;
+    rt.in_parallel <- false
+  in
+  (try Runtime.Pool.run pool jobs
+   with exn ->
+     finish ();
+     raise exn);
+  finish ();
+  let chunks =
+    List.sort
+      (fun a b -> compare a.ck_lo b.ck_lo)
+      (List.concat (Array.to_list results))
+  in
+  List.iter (fun ck -> Buffer.add_buffer m.ds_out ck.ck_out) chunks;
+  List.iteri
+    (fun ri rd ->
+      fr.(rd.rd_slot) <-
+        List.fold_left
+          (fun acc ck -> red_combine rd acc (List.nth ck.ck_reds ri))
+          fr.(rd.rd_slot) chunks)
+    cn.oc_reds;
+  fr.(cn.oc_slot) <- Mem.VInt (lo + (n * stride));
+  rt.segments <- Trace.Par { sched; iters = [||] } :: rt.segments
+
 let rec compile_stmt cenv (s : Ast.stmt) : stmt_code =
   let rt = cenv.rt in
   match s.Ast.sdesc with
-  | Ast.SExpr e ->
-    let f, _ = compile_expr cenv e in
-    fun fr -> ignore (f fr)
+  | Ast.SExpr e -> compile_effect cenv e
   | Ast.SDecl d -> compile_decl cenv d
   | Ast.SIf (cond, th, el) -> (
-    let fc, _ = compile_expr cenv cond in
+    let fc = compile_cond cenv cond in
     let fth = compile_in_scope cenv th in
     match el with
     | None ->
-      fun fr ->
-        bump_branch rt;
-        if Mem.truthy (fc fr) then fth fr
+      if is_fast rt then (fun fr -> if fc fr then fth fr)
+      else
+        fun fr ->
+          bump_branch rt;
+          if fc fr then fth fr
     | Some el ->
       let fel = compile_in_scope cenv el in
-      fun fr ->
-        bump_branch rt;
-        if Mem.truthy (fc fr) then fth fr else fel fr)
+      if is_fast rt then fun fr -> if fc fr then fth fr else fel fr
+      else
+        fun fr ->
+          bump_branch rt;
+          if fc fr then fth fr else fel fr)
   | Ast.SWhile (cond, body) ->
-    let fc, _ = compile_expr cenv cond in
+    let fc = compile_cond cenv cond in
     let fb = compile_in_scope cenv body in
-    fun fr ->
-      (try
-         bump_branch rt;
-         while Mem.truthy (fc fr) do
-           (try fb fr with Continue_e -> ());
-           bump_branch rt
-         done
-       with Break_e -> ())
+    if is_fast rt then begin
+      let fb1 =
+        if stmt_has_toplevel_continue body then fun fr ->
+          (try fb fr with Continue_e -> ())
+        else fb
+      in
+      fun fr ->
+        try
+          while fc fr do
+            fb1 fr
+          done
+        with Break_e -> ()
+    end
+    else
+      fun fr ->
+        (try
+           bump_branch rt;
+           while fc fr do
+             (try fb fr with Continue_e -> ());
+             bump_branch rt
+           done
+         with Break_e -> ())
   | Ast.SDoWhile (body, cond) ->
     let fb = compile_in_scope cenv body in
-    let fc, _ = compile_expr cenv cond in
-    fun fr ->
-      (try
-         let continue_loop = ref true in
-         while !continue_loop do
-           (try fb fr with Continue_e -> ());
-           bump_branch rt;
-           continue_loop := Mem.truthy (fc fr)
-         done
-       with Break_e -> ())
+    let fc = compile_cond cenv cond in
+    if is_fast rt then begin
+      let fb1 =
+        if stmt_has_toplevel_continue body then fun fr ->
+          (try fb fr with Continue_e -> ())
+        else fb
+      in
+      fun fr ->
+        try
+          let continue_loop = ref true in
+          while !continue_loop do
+            fb1 fr;
+            continue_loop := fc fr
+          done
+        with Break_e -> ()
+    end
+    else
+      fun fr ->
+        (try
+           let continue_loop = ref true in
+           while !continue_loop do
+             (try fb fr with Continue_e -> ());
+             bump_branch rt;
+             continue_loop := fc fr
+           done
+         with Break_e -> ())
   | Ast.SFor (init, cond, step, body) -> compile_for cenv ~vec:None init cond step body
   | Ast.SReturn None -> fun _ -> raise (Return_v (Mem.VInt 0))
   | Ast.SReturn (Some e) ->
@@ -1790,9 +4379,7 @@ and compile_loop_cond cenv cond step body =
   let fallback () =
     match cond with
     | None -> (nop_stmt, fun _ -> true)
-    | Some e ->
-      let f, _ = compile_expr cenv e in
-      (nop_stmt, fun fr -> Mem.truthy (f fr))
+    | Some e -> (nop_stmt, compile_cond cenv e)
   in
   match hoistable_bound cond step body with
   | Some (lhs, bound, strict) -> (
@@ -1803,11 +4390,29 @@ and compile_loop_cond cenv cond step body =
       let slot = cenv.nslots in
       cenv.nslots <- cenv.nslots + 1;
       let entry fr = fr.(slot) <- Mem.VInt (Mem.to_int (fbound fr)) in
-      let cond fr =
-        bump_int rt;
-        let v = Mem.to_int (flhs fr) in
-        let b = Mem.to_int fr.(slot) in
-        if strict then v < b else v <= b
+      let cond =
+        if is_fast rt then (
+          (* the common induction shape [i < bound] reads a plain int slot:
+             compare it against the hoisted bound slot directly *)
+          match lhs.Ast.edesc with
+          | Ast.Ident n
+            when match lookup_local cenv n with
+                 | Some (_, (Ast.Int | Ast.Char)) -> true
+                 | _ -> false -> (
+            let s, _ = Option.get (lookup_local cenv n) in
+            if strict then fun fr -> Mem.to_int fr.(s) < Mem.to_int fr.(slot)
+            else fun fr -> Mem.to_int fr.(s) <= Mem.to_int fr.(slot))
+          | _ ->
+            fun fr ->
+              let v = Mem.to_int (flhs fr) in
+              let b = Mem.to_int fr.(slot) in
+              if strict then v < b else v <= b)
+        else
+          fun fr ->
+            bump_int rt;
+            let v = Mem.to_int (flhs fr) in
+            let b = Mem.to_int fr.(slot) in
+            if strict then v < b else v <= b
       in
       (entry, cond)
     | _ -> fallback ())
@@ -1837,11 +4442,17 @@ and compile_decl cenv (d : Ast.decl) : stmt_code =
       | _ -> unsupported "unsupported local array type"
     in
     let name = d.Ast.d_name in
-    fun fr ->
-      bump_extra rt 4;
-      let p = mk () in
-      register_ptr_region rt.alloc name p;
-      fr.(slot) <- Mem.VPtr p
+    if is_fast rt then
+      fun fr ->
+        let p = mk () in
+        register_ptr_region rt.alloc name p;
+        fr.(slot) <- Mem.VPtr p
+    else
+      fun fr ->
+        bump_extra rt 4;
+        let p = mk () in
+        register_ptr_region rt.alloc name p;
+        fr.(slot) <- Mem.VPtr p
   | Ast.Struct _ -> unsupported "struct values are not executable in this build"
   | _ -> (
     match d.Ast.d_init with
@@ -1935,18 +4546,12 @@ and compile_for cenv ~vec init cond step body : stmt_code =
   let finit =
     match init with
     | None -> nop_stmt
-    | Some (Ast.FInitExpr e) ->
-      let f, _ = compile_expr cenv e in
-      fun fr -> ignore (f fr)
+    | Some (Ast.FInitExpr e) -> compile_effect cenv e
     | Some (Ast.FInitDecl d) -> compile_decl cenv d
   in
   let fentry, fcond = compile_loop_cond cenv cond step body in
   let fstep =
-    match step with
-    | None -> nop_stmt
-    | Some e ->
-      let f, _ = compile_expr cenv e in
-      fun fr -> ignore (f fr)
+    match step with None -> nop_stmt | Some e -> compile_effect cenv e
   in
   (* vectorization classification *)
   let vec_flag =
@@ -1973,6 +4578,25 @@ and compile_for cenv ~vec init cond step body : stmt_code =
       rt.rec_depth <- rt.rec_depth - 1
   in
   match vec_flag with
+  | _ when is_fast rt ->
+    (* the fast variant skips vec-mode tracking entirely: flop
+       classification only matters to the (absent) counters.  rec_points
+       is always None here, so the body needs no recording wrapper, and
+       the continue handler is elided when the body cannot continue. *)
+    let fb1 =
+      if stmt_has_toplevel_continue body then fun fr ->
+        (try fbody fr with Continue_e -> ())
+      else fbody
+    in
+    fun fr ->
+      finit fr;
+      fentry fr;
+      (try
+         while fcond fr do
+           fb1 fr;
+           fstep fr
+         done
+       with Break_e -> ())
   | None ->
     fun fr ->
       finit fr;
@@ -2167,18 +4791,12 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
   let finit =
     match init with
     | None -> nop_stmt
-    | Some (Ast.FInitExpr e) ->
-      let f, _ = compile_expr cenv e in
-      fun fr -> ignore (f fr)
+    | Some (Ast.FInitExpr e) -> compile_effect cenv e
     | Some (Ast.FInitDecl d) -> compile_decl cenv d
   in
   let fentry, fcond = compile_loop_cond cenv cond step body in
   let fstep =
-    match step with
-    | None -> nop_stmt
-    | Some e ->
-      let f, _ = compile_expr cenv e in
-      fun fr -> ignore (f fr)
+    match step with None -> nop_stmt | Some e -> compile_effect cenv e
   in
   (* tile_grain admits privatized-name mutation (multi-loop nest bodies);
      off reverts to the single-statement-body dispatch of PR 3 *)
@@ -2190,7 +4808,41 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
   let fbody = compile_stmt cenv body in
   cenv.scope <- saved_scope;
   cenv.shadow_ctx <- saved_ctx;
-  fun fr ->
+  if is_fast rt then
+    (* the fast closure: same dispatch decisions (nested regions run
+       sequentially; the pool takes canonical loops), no recording *)
+    fun fr ->
+      if (cur rt).ds_slot <> 0 || rt.in_parallel then begin
+        finit fr;
+        fentry fr;
+        try
+          while fcond fr do
+            (try fbody fr with Continue_e -> ());
+            fstep fr
+          done
+        with Break_e -> ()
+      end
+      else begin
+        match (rt.pool, canon) with
+        | Some pool, Some cn when Runtime.Pool.size pool > 1 ->
+          exec_parallel_fast rt pool sched cn fbody finit fr
+        | _ ->
+          (* sequential, but still delimited as a parallel region so the
+             reported region count matches the modeled engine *)
+          rt.segments <- Trace.Seq (Cost.create ()) :: rt.segments;
+          rt.in_parallel <- true;
+          finit fr;
+          fentry fr;
+          (try
+             while fcond fr do
+               (try fbody fr with Continue_e -> ());
+               fstep fr
+             done
+           with Break_e -> ());
+          rt.in_parallel <- false;
+          rt.segments <- Trace.Par { sched; iters = [||] } :: rt.segments
+      end
+  else fun fr ->
     if (cur rt).ds_slot <> 0 || rt.in_parallel then begin
       (* nested parallel regions execute sequentially (OpenMP default) *)
       finit fr;

@@ -104,6 +104,15 @@ let add_into ~(into : t) (d : t) =
   into.malloc_bytes <- into.malloc_bytes + d.malloc_bytes;
   into.extra_cycles <- into.extra_cycles + d.extra_cycles
 
+(** True when no counter was ever bumped — the witness that an execution
+    ran on the uninstrumented fast path. *)
+let is_zero c =
+  c.int_ops = 0 && c.float_adds = 0 && c.float_muls = 0 && c.float_divs = 0
+  && c.loads = 0 && c.stores = 0 && c.l1_misses = 0 && c.l2_misses = 0
+  && c.calls = 0 && c.builtin_calls = 0 && c.branches = 0
+  && c.flops_pragma_vec = 0 && c.flops_autovec = 0 && c.malloc_bytes = 0
+  && c.extra_cycles = 0
+
 let total_flops c = c.float_adds + c.float_muls + c.float_divs
 
 (** Total dynamic operations (the perf "instructions" proxy used when

@@ -72,31 +72,46 @@ let compile_function cenv (f : Ast.func) =
         ignore
           (Compile.fresh_slot cenv p.Ast.p_name (Compile.resolve cenv p.Ast.p_type)))
       f.Ast.f_params;
-    (* compile as a block so pragma/loop pairing works at function level *)
-    let code = Compile.compile_block cenv body in
-    let nslots = cenv.Compile.nslots in
+    (* A single-return body on the fast path compiles to its return
+       expression alone: no statement chain and no [Return_v] unwind on
+       the (hot) call exit.  Every other shape compiles as a block so
+       pragma/loop pairing works at function level. *)
+    let body_fn =
+      match body with
+      | [ { Ast.sdesc = Ast.SReturn (Some e); _ } ] when Compile.is_fast cenv.Compile.rt
+        ->
+        let fret, _ = Compile.compile_expr cenv e in
+        fret
+      | _ ->
+        let code = Compile.compile_block cenv body in
+        fun fr ->
+          (try
+             code fr;
+             Mem.VInt 0
+           with Compile.Return_v v -> v)
+    in
+    let nslots = max cenv.Compile.nslots 1 in
     cenv.Compile.scope <- saved_scope;
     cenv.Compile.nslots <- saved_nslots;
     let run (args : Mem.value array) : Mem.value =
-      let fr = Array.make (max nslots 1) Mem.VNull in
+      let fr = Array.make nslots Mem.VNull in
       Array.blit args 0 fr 0 (min (Array.length args) nparams);
-      try
-        code fr;
-        Mem.VInt 0
-      with Compile.Return_v v -> v
+      body_fn fr
     in
     (match Hashtbl.find_opt cenv.Compile.funcs f.Ast.f_name with
-    | Some entry -> entry.Compile.fe_run <- Some run
+    | Some entry ->
+      entry.Compile.fe_run <- Some run;
+      entry.Compile.fe_fast <- Some body_fn;
+      entry.Compile.fe_nslots <- nslots
     | None -> ())
 
 (** Load a program: returns the compile environment, ready to run.
     [l1_bytes]/[l2_bytes] configure the simulated cache hierarchy (scaled
     problem sizes pair with scaled caches, cf. DESIGN.md). *)
-let load ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?tile_grain ?pool
+let load ?l1_bytes ?l2_bytes ?instr ?shadow_slots ?tile_grain ?pool
     (program : Ast.program) : Compile.cenv =
   let rt =
-    Compile.create_rt ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?tile_grain
-      ?pool ()
+    Compile.create_rt ?l1_bytes ?l2_bytes ?instr ?shadow_slots ?tile_grain ?pool ()
   in
   let tenv = Sema.Env.gather program in
   let cenv =
@@ -119,7 +134,7 @@ let load ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?tile_grain ?pool
         if not (Hashtbl.mem cenv.Compile.funcs f.Ast.f_name) || f.Ast.f_body <> None
         then
           Hashtbl.replace cenv.Compile.funcs f.Ast.f_name
-            { Compile.fe_def = f; fe_run = None }
+            { Compile.fe_def = f; fe_run = None; fe_fast = None; fe_nslots = 1 }
       | _ -> ())
     program;
   List.iter (function Ast.GVar d -> setup_global cenv d | _ -> ()) program;
@@ -130,16 +145,7 @@ let load ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?tile_grain ?pool
 (** Run a loaded program's [main] and assemble the profile. *)
 let run_main (cenv : Compile.cenv) : Trace.profile =
   let rt = cenv.Compile.rt in
-  Array.iter
-    (fun (ds : Compile.dstate) ->
-      Cost.reset ds.Compile.ds_counters;
-      Cache.reset_all ds.Compile.ds_cache;
-      Buffer.clear ds.Compile.ds_out;
-      ds.Compile.ds_vec_mode <- Compile.Scalar)
-    rt.Compile.states;
-  rt.Compile.segments <- [];
-  rt.Compile.par_traces <- [];
-  rt.Compile.seg_start <- Cost.create ();
+  Compile.reset_rt rt;
   let m = Compile.master rt in
   let entry =
     match Hashtbl.find_opt cenv.Compile.funcs "main" with
@@ -172,15 +178,17 @@ let run_main (cenv : Compile.cenv) : Trace.profile =
        else None);
   }
 
-(** One-shot: load and run.  [trace_accesses] additionally records every
-    load/store inside parallel loops into {!Trace.profile.par_traces} for
-    the race detector; it does not perturb costs or output.  [pool] attaches
-    a domain pool: canonical [#pragma omp parallel for] loops then really
-    execute in parallel (output stays bit-identical to sequential for
-    race-free programs).  [tile_grain] (default on) dispatches tiled/skewed
-    multi-loop nests at the granularity of the annotated tile loop and
-    records nested point structure when tracing. *)
-let run ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?tile_grain ?pool
+(** One-shot: load and run.  [instr] selects the execution variant
+    ({!Compile.instr}): [Traced] additionally records every load/store
+    inside parallel loops into {!Trace.profile.par_traces} for the race
+    detector without perturbing costs or output; [Fast] compiles
+    uninstrumented typed closures (identical output and faults, empty
+    cost/cache profile).  [pool] attaches a domain pool: canonical
+    [#pragma omp parallel for] loops then really execute in parallel
+    (output stays bit-identical to sequential for race-free programs).
+    [tile_grain] (default on) dispatches tiled/skewed multi-loop nests at
+    the granularity of the annotated tile loop and records nested point
+    structure when tracing. *)
+let run ?l1_bytes ?l2_bytes ?instr ?shadow_slots ?tile_grain ?pool
     (program : Ast.program) : Trace.profile =
-  run_main
-    (load ?l1_bytes ?l2_bytes ?trace_accesses ?shadow_slots ?tile_grain ?pool program)
+  run_main (load ?l1_bytes ?l2_bytes ?instr ?shadow_slots ?tile_grain ?pool program)

@@ -166,3 +166,65 @@ let truthy = function
   | VFloat f -> f <> 0.0
   | VPtr _ -> true
   | VNull -> false
+
+(* ------------------------------------------------------------------ *)
+(* Typed unboxed accessors for the fast (uninstrumented) execution
+   variant: element [p_off + k] of [p]'s object read or written directly
+   as a native OCaml int/float, with exactly the bounds behaviour and the
+   conversion arms of [load]/[store] minus the cache simulation.  The
+   matching arm never allocates; the fallback arms box through
+   [peek]/[poke], but only fire at genuinely polymorphic seams
+   (pointer-element arrays, type-punned objects). *)
+
+let at p k = { p with p_off = p.p_off + k }
+
+let peek_at p k = peek (at p k)
+let poke_at p k v = poke (at p k) v
+
+let[@inline] get_f (p : ptr) k : float =
+  match p.p_obj with
+  | OFloats a ->
+    let j = p.p_off + k in
+    if j < 0 || j >= Array.length a then
+      fault "load out of bounds: offset %d not in [0,%d)" j (Array.length a)
+    else Array.unsafe_get a j
+  | _ -> to_float (peek_at p k)
+
+let[@inline] set_f (p : ptr) k (x : float) : unit =
+  match p.p_obj with
+  | OFloats a ->
+    let j = p.p_off + k in
+    if j < 0 || j >= Array.length a then
+      fault "store out of bounds: offset %d not in [0,%d)" j (Array.length a)
+    else Array.unsafe_set a j x
+  | _ -> poke_at p k (VFloat x)
+
+let[@inline] get_p (p : ptr) k : ptr =
+  match p.p_obj with
+  | OPtrs a -> (
+    let j = p.p_off + k in
+    if j < 0 || j >= Array.length a then
+      fault "load out of bounds: offset %d not in [0,%d)" j (Array.length a)
+    else
+      match Array.unsafe_get a j with
+      | Some q -> q
+      | None -> fault "null pointer dereference")
+  | _ -> to_ptr (peek_at p k)
+
+let[@inline] get_i (p : ptr) k : int =
+  match p.p_obj with
+  | OInts a ->
+    let j = p.p_off + k in
+    if j < 0 || j >= Array.length a then
+      fault "load out of bounds: offset %d not in [0,%d)" j (Array.length a)
+    else Array.unsafe_get a j
+  | _ -> to_int (peek_at p k)
+
+let[@inline] set_i (p : ptr) k (v : int) : unit =
+  match p.p_obj with
+  | OInts a ->
+    let j = p.p_off + k in
+    if j < 0 || j >= Array.length a then
+      fault "store out of bounds: offset %d not in [0,%d)" j (Array.length a)
+    else Array.unsafe_set a j v
+  | _ -> poke_at p k (VInt v)

@@ -100,15 +100,17 @@ let backend_of_string = function
   | "icc" -> Machine.Config.icc
   | _ -> Machine.Config.gcc
 
-let run_request ?tu ~spec ~cores ~backend ~tile_grain source : outcome =
+let run_request ?tu ~spec ~cores ~backend ~tile_grain ?(no_model = false) source :
+    outcome =
   capture (fun ppf ->
       let c = compile ?tu ~spec source in
       Toolchain.Chain.pp_outcomes ppf c;
       (* sequential execution, as the CLI defaults to: the daemon's
          parallelism is across requests, and per-request determinism is
          what makes replies cacheable and byte-comparable *)
-      let profile = Toolchain.Chain.execute ~tile_grain c in
-      Toolchain.Chain.pp_run_report ppf ~cores ~backend:(backend_of_string backend) profile;
+      let profile = Toolchain.Chain.execute ~no_model ~tile_grain c in
+      Toolchain.Chain.pp_run_report ppf ~model:(not no_model) ~cores
+        ~backend:(backend_of_string backend) profile;
       Toolchain.Chain.exit_ok)
 
 let racecheck_request ~name ~spec ~engine ~schedules ~rc_cores ~inject ~tile_grain source :

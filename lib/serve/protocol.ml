@@ -317,7 +317,7 @@ type source = From_file of string | Inline of string
 
 type cmd =
   | Compile of { dump : bool }
-  | Run of { cores : int list; backend : string }
+  | Run of { cores : int list; backend : string; no_model : bool }
   | Racecheck of {
       engine : string;
       schedules : string list;
@@ -392,6 +392,7 @@ let request_of_json (j : json) : request =
             | Some ("gcc" | "icc") as b -> Option.get b
             | Some other -> proto_error "unknown backend %S (expected gcc|icc)" other
             | None -> "gcc");
+          no_model = opt_bool ~default:false "no_model" (field j "no_model");
         }
     | "racecheck" ->
       Racecheck

@@ -99,11 +99,15 @@ let cmd_fingerprint (rq : Protocol.request) : string option =
   let spec_fp = Toolchain.Chain.mode_spec_fingerprint rq.Protocol.rq_spec in
   match rq.Protocol.rq_cmd with
   | Protocol.Compile { dump } -> Some (Printf.sprintf "compile;dump=%b;%s" dump spec_fp)
-  | Protocol.Run { cores; backend } ->
+  | Protocol.Run { cores; backend; no_model } ->
+    (* the reply memo must distinguish the fast variant (its stdout omits
+       the model sections); the TU cache underneath still shares the
+       compiled AST because [compile]'s fingerprint never includes it *)
     Some
       (Printf.sprintf "run;cores=%s;backend=%s;tg=%b;%s"
          (String.concat "," (List.map string_of_int cores))
-         backend rq.Protocol.rq_tile_grain spec_fp)
+         backend rq.Protocol.rq_tile_grain
+         (Toolchain.Chain.mode_spec_fingerprint ~no_model rq.Protocol.rq_spec))
   | Protocol.Racecheck { engine; schedules; rc_cores; inject } ->
     Some
       (Printf.sprintf "rc;engine=%s;scheds=%s;cores=%s;inject=%b;tg=%b;%s" engine
@@ -128,12 +132,12 @@ let execute_request t (rq : Protocol.request) : Driver.outcome =
     | Protocol.Compile { dump } ->
       let source = Driver.read_source (Option.get rq.Protocol.rq_source) in
       (source, fun () -> Driver.compile_request ~tu:t.tu ~spec ~dump source)
-    | Protocol.Run { cores; backend } ->
+    | Protocol.Run { cores; backend; no_model } ->
       let source = Driver.read_source (Option.get rq.Protocol.rq_source) in
       ( source,
         fun () ->
           Driver.run_request ~tu:t.tu ~spec ~cores ~backend
-            ~tile_grain:rq.Protocol.rq_tile_grain source )
+            ~tile_grain:rq.Protocol.rq_tile_grain ~no_model source )
     | Protocol.Racecheck { engine; schedules; rc_cores; inject } ->
       let src = Option.get rq.Protocol.rq_source in
       let source = Driver.read_source src in
@@ -221,6 +225,7 @@ let stats_reply t ~id ~t0 : Protocol.reply =
       ("tu_cache", cache_stats_json t.tu ~entries:(Cache.length t.tu));
       ("reply_memo", cache_stats_json t.memo ~entries:(Cache.length t.memo));
       ("interp_instances", Protocol.Int (Interp.Compile.rts_created ()));
+      ("interp_instances_fast", Protocol.Int (Interp.Compile.rts_created_fast ()));
     ]
   in
   Protocol.make_reply ~extra ~id ~status:Protocol.Ok_ ~exit_code:Toolchain.Chain.exit_ok
@@ -292,7 +297,8 @@ let handle_batch t ~emit (rq : Protocol.request) (files : string list) ~t0 =
             {
               rq with
               Protocol.rq_cmd =
-                Protocol.Run { cores = Protocol.cli_default_cores; backend = "gcc" };
+                Protocol.Run
+                  { cores = Protocol.cli_default_cores; backend = "gcc"; no_model = false };
               rq_source = Some (Protocol.From_file file);
             }
           in

@@ -176,19 +176,28 @@ let scaled_sica_cache =
 (** Execute a compiled program on the instrumented interpreter.
     [trace_accesses] additionally logs every load/store inside parallel
     loops (for {!Racecheck}); it perturbs neither costs nor output.
-    [pool] attaches a domain pool so parallelized loops really execute on
-    OCaml domains (output bit-identical to sequential for race-free
-    programs). *)
-let execute ?(trace_accesses = false) ?(shadow_slots = false) ?tile_grain ?pool
-    (c : compiled) : Interp.Trace.profile =
-  Interp.Exec.run ~l1_bytes:scaled_l1_bytes ~l2_bytes:scaled_l2_bytes ~trace_accesses
+    [no_model] selects the uninstrumented fast execution variant instead:
+    identical output, exit code and faults, but no cost/cache model (the
+    profile's counters stay zero), so nothing downstream can simulate
+    timing from it.  [trace_accesses] wins over [no_model] — the race
+    detector always needs the instrumented build.  [pool] attaches a
+    domain pool so parallelized loops really execute on OCaml domains
+    (output bit-identical to sequential for race-free programs). *)
+let execute ?(trace_accesses = false) ?(no_model = false) ?(shadow_slots = false)
+    ?tile_grain ?pool (c : compiled) : Interp.Trace.profile =
+  let instr =
+    if trace_accesses then Interp.Compile.Traced
+    else if no_model then Interp.Compile.Fast
+    else Interp.Compile.Modeled
+  in
+  Interp.Exec.run ~l1_bytes:scaled_l1_bytes ~l2_bytes:scaled_l2_bytes ~instr
     ~shadow_slots ?tile_grain ?pool c.c_ast
 
 (** Compile and execute in one go. *)
-let run ?mode ?trace_accesses ?shadow_slots ?tile_grain ?pool source :
+let run ?mode ?trace_accesses ?no_model ?shadow_slots ?tile_grain ?pool source :
     compiled * Interp.Trace.profile =
   let c = compile ?mode source in
-  (c, execute ?trace_accesses ?shadow_slots ?tile_grain ?pool c)
+  (c, execute ?trace_accesses ?no_model ?shadow_slots ?tile_grain ?pool c)
 
 (** Optional racecheck pass: compile, execute with access tracing (and
     scalar-slot shadowing, so shared local scalars are visible too), then
@@ -248,9 +257,14 @@ let mode_of_spec (s : mode_spec) : mode =
   | `Manual -> Manual_omp
 
 (** Stable plain-text encoding of a spec, for cache keys (serve shards its
-    translation-unit and reply caches by [fingerprint ^ source]). *)
-let mode_spec_fingerprint (s : mode_spec) : string =
-  Printf.sprintf "m=%s;sica=%b;tile=%s;sched=%s;inject=%b"
+    translation-unit and reply caches by [fingerprint ^ source]).
+    [no_model] marks a fast-variant execution; the marker is only appended
+    when set so every pre-existing fingerprint stays byte-stable.  Note the
+    translation-unit cache deliberately does {e not} key on it — the
+    compiled AST is variant-independent — only reply memoization does. *)
+let mode_spec_fingerprint ?(no_model = false) (s : mode_spec) : string =
+  (if no_model then "nm=1;" else "")
+  ^ Printf.sprintf "m=%s;sica=%b;tile=%s;sched=%s;inject=%b"
     (match s.ms_mode with
     | `Pure -> "pure"
     | `Seq -> "seq"
@@ -299,21 +313,26 @@ let pp_compile_result ppf ?(dump = false) (c : compiled) =
   else Fmt.pf ppf "%s@." c.c_emitted
 
 (** What [purec run] prints after the outcome preamble: program output,
-    interpreter exit code, dynamic-cost summary and the simulated sweep. *)
-let pp_run_report ppf ~cores ~backend (profile : Interp.Trace.profile) =
+    interpreter exit code, dynamic-cost summary and the simulated sweep.
+    [model=false] ([purec run --no-model]) drops the two model-derived
+    sections — the counters are all zero on the fast variant, so printing
+    them would be noise at best and a lie at worst. *)
+let pp_run_report ppf ?(model = true) ~cores ~backend (profile : Interp.Trace.profile) =
   Fmt.pf ppf "--- program output ---@.%s--- end output ---@." profile.Interp.Trace.output;
   Fmt.pf ppf "exit code: %d@." profile.Interp.Trace.return_code;
   Fmt.pf ppf "parallel regions executed: %d@." (Interp.Trace.n_parallel_segments profile);
-  let cost = Interp.Trace.total_cost profile in
-  Fmt.pf ppf "dynamic ops: %d (flops %d, loads %d, stores %d, calls %d)@."
-    (Interp.Cost.total_ops cost) (Interp.Cost.total_flops cost) cost.Interp.Cost.loads
-    cost.Interp.Cost.stores cost.Interp.Cost.calls;
-  Fmt.pf ppf "simulated %s timing:@." backend.Machine.Config.b_name;
-  List.iter
-    (fun n ->
-      let r = Machine.Model.simulate ~backend ~n profile in
-      Fmt.pf ppf "  %2d cores: %10.6f s@." n r.Machine.Model.r_seconds)
-    cores
+  if model then begin
+    let cost = Interp.Trace.total_cost profile in
+    Fmt.pf ppf "dynamic ops: %d (flops %d, loads %d, stores %d, calls %d)@."
+      (Interp.Cost.total_ops cost) (Interp.Cost.total_flops cost) cost.Interp.Cost.loads
+      cost.Interp.Cost.stores cost.Interp.Cost.calls;
+    Fmt.pf ppf "simulated %s timing:@." backend.Machine.Config.b_name;
+    List.iter
+      (fun n ->
+        let r = Machine.Model.simulate ~backend ~n profile in
+        Fmt.pf ppf "  %2d cores: %10.6f s@." n r.Machine.Model.r_seconds)
+      cores
+  end
 
 (** The full single-target racecheck report of [purec racecheck] — unit
     table, per-plan verdicts, transform-unit attribution of every racy

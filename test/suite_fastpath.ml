@@ -1,0 +1,236 @@
+(** Differential battery for the fast (uninstrumented) execution variant.
+
+    Plan-time selection of {!Interp.Compile.Fast} must be observationally
+    invisible: for every program, plan, and pool size, the output bytes,
+    return code, and fault text match the modeled engine exactly — only
+    the cost/cache profile disappears.  The battery sweeps
+
+    - the golden-gallery workloads and kernels under the sequential and
+      full pure chains at --jobs 1/2/4/8,
+    - 32 fuzz seeds at --jobs 1/2/8,
+    - the reduction / critical / atomic lowerings on real domain pools,
+    - a PluTo-tiled nest dispatched at tile granularity,
+    - runtime fault texts (bounds, null deref, division by zero),
+    - repeated execution of one compiled program (the shared
+      {!Interp.Compile.reset_rt} reset path), and
+    - the engagement witness: a fast profile's counters are all zero
+      while the modeled twin's are not, proving the comparison really
+      crossed engines. *)
+
+module C = Toolchain.Chain
+
+type outcome = Finished of string * int | Faulted of string
+
+let show_outcome = function
+  | Finished (out, rc) -> Printf.sprintf "exit %d\n%s" rc out
+  | Faulted m -> "fault: " ^ m
+
+let outcome ?pool ~no_model c =
+  match C.execute ?pool ~no_model c with
+  | p -> Finished (p.Interp.Trace.output, p.Interp.Trace.return_code)
+  | exception Interp.Exec.Runtime_error m -> Faulted m
+
+(* the check at the heart of the battery: same compiled program, same
+   pool, both instrumentation variants, identical observable outcome *)
+let check_pair name ?pool c =
+  let m = outcome ?pool ~no_model:false c in
+  let f = outcome ?pool ~no_model:true c in
+  Alcotest.(check string) name (show_outcome m) (show_outcome f)
+
+let with_pool jobs f =
+  if jobs <= 1 then f None
+  else begin
+    let pool = Runtime.Pool.create jobs in
+    Fun.protect
+      ~finally:(fun () -> Runtime.Pool.shutdown pool)
+      (fun () -> f (Some pool))
+  end
+
+let check_at_jobs name jobs_list c =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          check_pair (Printf.sprintf "%s --jobs %d" name jobs) ?pool c))
+    jobs_list
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Golden gallery: the same case list the golden suite pins, executed
+   under the sequential baseline and the full pure chain. *)
+
+let gallery =
+  [
+    ("matmul_pure", Workloads.Matmul.pure_source ~n:8 ());
+    ("matmul_inlined", Workloads.Matmul.inlined_source ~n:8 ());
+    ("matmul_pure_noinit", Workloads.Matmul.pure_noinit_source ~n:8 ());
+    ("heat_pure", Workloads.Heat.pure_source ~n:8 ~t:2 ());
+    ("heat_inlined", Workloads.Heat.inlined_source ~n:8 ~t:2 ());
+    ("satellite_pure", Workloads.Satellite.pure_source ~w:6 ~h:4 ~bands:3 ());
+    ("satellite_manual", Workloads.Satellite.manual_source ~w:6 ~h:4 ~bands:3 ());
+    ("lama_pure", Workloads.Lama_app.pure_source ~rows:8 ~maxnnz:3 ~reps:2 ());
+    ("lama_manual", Workloads.Lama_app.manual_source ~rows:8 ~maxnnz:3 ~reps:2 ());
+  ]
+  @ List.map
+      (fun k -> ("kernel_" ^ k.Workloads.Kernels.k_name, k.Workloads.Kernels.k_source))
+      Workloads.Kernels.all
+
+let test_gallery_sequential () =
+  List.iter
+    (fun (name, src) -> check_pair name (C.compile ~mode:C.Sequential src))
+    gallery
+
+let test_gallery_pure_chain () =
+  List.iter
+    (fun (name, src) ->
+      let c = C.compile ~mode:(C.Pure_chain (fun cfg -> cfg)) src in
+      check_at_jobs name [ 1; 2; 4; 8 ] c)
+    gallery
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzed programs: 32 seeds through the pure chain at three pool sizes.
+   Seeds are shared with the oracle campaigns, so every grammar stress
+   (indirection, triangular bounds, reductions, tiles) rotates through. *)
+
+let test_fuzz_seeds () =
+  for seed = 1 to 32 do
+    let src = Fuzzgen.Gen.source_of_seed seed in
+    let c = C.compile ~mode:(C.Pure_chain (fun cfg -> cfg)) src in
+    List.iter
+      (fun jobs ->
+        with_pool jobs (fun pool ->
+            check_pair (Printf.sprintf "seed %d --jobs %d" seed jobs) ?pool c))
+      [ 1; 2; 8 ]
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The synchronization lowerings.  Operands are exact multiples of 1/8
+   (or integers), so accumulation is order-independent and the output is
+   byte-identical no matter how domains interleave. *)
+
+let reduction_source =
+  {|
+#include <stdio.h>
+double a[256];
+double b[256];
+int main(void) {
+  double s = 0.0;
+  for (int i = 0; i < 256; i++) {
+    a[i] = (i * 13 % 101) * 0.5;
+    b[i] = (i * 7 % 97) * 0.25;
+  }
+#pragma omp parallel for reduction(+:s)
+  for (int i = 0; i < 256; i++) {
+    s += a[i] * b[i];
+  }
+  printf("dot %.17g\n", s);
+  return 0;
+}
+|}
+
+let atomic_source =
+  {|
+#include <stdio.h>
+int v[128];
+int total;
+int main(void) {
+  total = 0;
+  for (int i = 0; i < 128; i++) v[i] = i * 7 % 23;
+#pragma omp parallel for
+  for (int i = 0; i < 128; i++) {
+#pragma omp atomic
+    total += v[i];
+  }
+  printf("total %d\n", total);
+  return 0;
+}
+|}
+
+let test_lowerings () =
+  List.iter
+    (fun (name, src) ->
+      let c = C.compile ~mode:C.Manual_omp src in
+      check_at_jobs name [ 1; 2; 8 ] c)
+    [
+      ("reduction dot", reduction_source);
+      ("critical sum", read_file "critical_guarded.c");
+      ("atomic count", atomic_source);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* A PluTo-tiled nest: tile-granular pool dispatch must stay invisible *)
+
+let test_tiled_nest () =
+  let spec = { C.default_mode_spec with C.ms_mode = `Pluto; ms_tile = Some 4 } in
+  let c = C.compile ~mode:(C.mode_of_spec spec) (read_file "tiled_smoke.c") in
+  check_at_jobs "tiled matmul" [ 1; 2; 8 ] c
+
+(* ------------------------------------------------------------------ *)
+(* Fault texts: the fast engine keeps the exact modeled fault messages *)
+
+let fault_cases =
+  [
+    ( "store out of bounds",
+      "int a[4];\nint main(void) { int i = 7; a[i] = 1; return 0; }" );
+    ("null pointer deref", "double *p;\nint main(void) { return (int) p[2]; }");
+    ("division by zero", "int main(void) { int z = 0; return 7 / z; }");
+  ]
+
+let test_fault_parity () =
+  List.iter
+    (fun (name, src) ->
+      let c = C.compile ~mode:C.Sequential src in
+      (match outcome ~no_model:true c with
+      | Faulted _ -> ()
+      | Finished _ -> Alcotest.failf "%s: fast variant did not fault" name);
+      check_pair name c)
+    fault_cases
+
+(* ------------------------------------------------------------------ *)
+(* Executing one compiled program repeatedly goes through the shared
+   [reset_rt] path (the serve daemon's reuse pattern): runs stay
+   byte-identical in both variants. *)
+
+let test_repeat_execution () =
+  let c = C.compile ~mode:C.Manual_omp reduction_source in
+  let f1 = outcome ~no_model:true c in
+  let f2 = outcome ~no_model:true c in
+  Alcotest.(check string) "fast repeat" (show_outcome f1) (show_outcome f2);
+  let m1 = outcome ~no_model:false c in
+  let m2 = outcome ~no_model:false c in
+  Alcotest.(check string) "modeled repeat" (show_outcome m1) (show_outcome m2);
+  Alcotest.(check string) "variants agree after reuse" (show_outcome m2)
+    (show_outcome f2)
+
+(* ------------------------------------------------------------------ *)
+(* Engagement witness: same bytes, but only the modeled run has a cost
+   profile — so the equalities above really compared different engines. *)
+
+let test_engagement_witness () =
+  let c = C.compile ~mode:C.Sequential (snd (List.hd gallery)) in
+  let pm = C.execute c in
+  let pf = C.execute ~no_model:true c in
+  Alcotest.(check string) "same bytes" pm.Interp.Trace.output pf.Interp.Trace.output;
+  Alcotest.(check bool) "modeled counters engaged" false
+    (Interp.Cost.is_zero (Interp.Trace.total_cost pm));
+  Alcotest.(check bool) "fast counters all zero" true
+    (Interp.Cost.is_zero (Interp.Trace.total_cost pf))
+
+let suite =
+  [
+    Alcotest.test_case "gallery parity, sequential" `Quick test_gallery_sequential;
+    Alcotest.test_case "gallery parity, pure chain at jobs 1/2/4/8" `Slow
+      test_gallery_pure_chain;
+    Alcotest.test_case "32 fuzz seeds at jobs 1/2/8" `Slow test_fuzz_seeds;
+    Alcotest.test_case "reduction/critical/atomic parity" `Quick test_lowerings;
+    Alcotest.test_case "tiled nest parity" `Quick test_tiled_nest;
+    Alcotest.test_case "fault text parity" `Quick test_fault_parity;
+    Alcotest.test_case "repeat execution via reset_rt" `Quick test_repeat_execution;
+    Alcotest.test_case "engagement witness: counters zero only in fast" `Quick
+      test_engagement_witness;
+  ]

@@ -23,4 +23,5 @@ let () =
       ("tiled", Suite_tiled.suite);
       ("reduction", Suite_reduction.suite);
       ("serve", Suite_serve.suite);
+      ("fastpath", Suite_fastpath.suite);
     ]
