@@ -344,6 +344,111 @@ let run_measured_serve domains =
       ])
     rows
 
+(* the work-stealing scheduler on a skewed load (DESIGN.md §14): a
+   triangular nest whose iteration i does ~i*i/n units of work, executed by
+   the uninstrumented fast engine.  Under schedule(static) the last
+   contiguous block carries over twice the mean load, so the makespan is
+   pinned to whichever stream drew it; under schedule(guided,1) the
+   decaying grants sit in the deques, where the streams that drain early
+   steal the loaded deque's pending grants.  The guided-over-static ratio
+   at several domain counts is the scheduler's reason to exist;
+   ci/bench_diff keeps it from regressing.  Output bytes are identical
+   between the two clauses (each cell is written once), so the series
+   times the schedule alone. *)
+let run_measured_steal scale domains =
+  let module F = Toolchain.Figures in
+  let n = scale.F.matmul_n * 8 in
+  let source clause =
+    Printf.sprintf
+      {|
+#include <stdio.h>
+double S[%d];
+double W[%d];
+int main(void) {
+  for (int i = 0; i < %d; i++) {
+    S[i] = ((i * 3) %% 17) * 0.5;
+    W[i] = ((i * 11) %% 23) * 0.25;
+  }
+#pragma omp parallel for%s
+  for (int i = 0; i < %d; i++) {
+    double acc = S[i];
+    for (int j = 0; j < (i * i) / %d; j++) {
+      acc = acc * 0.5 + W[j %% %d] * 0.25;
+    }
+    S[i] = acc;
+  }
+  double s = 0.0;
+  for (int i = 0; i < %d; i++) {
+    s += S[i] * ((i %% 7) + 1);
+  }
+  printf("skew %%.17g\n", s);
+  return 0;
+}
+|}
+      n n n clause n n n n
+  in
+  let compile clause = Toolchain.Chain.compile ~mode:Toolchain.Chain.Manual_omp (source clause) in
+  let c_static = compile "" in
+  let c_guided = compile " schedule(guided,1)" in
+  let reps = 3 in
+  pf "== measured: skewed triangular nest n=%d, static vs guided stealing (best of %d) ==@."
+    n reps;
+  (* one modeled run per clause: the profile's Par segment carries the
+     per-iteration costs and the schedule, so the machine model can give
+     the deterministic d-core makespan of each clause — the speedup line
+     below is a model evaluation, immune to the host's real core count
+     (CI may be running on a single core, where wall-clock parallel
+     speedup is physically unobservable) *)
+  let prof_static = Toolchain.Chain.execute c_static in
+  let prof_guided = Toolchain.Chain.execute c_guided in
+  let sim prof d =
+    (Machine.Model.simulate ~backend:Machine.Config.gcc ~n:d prof)
+      .Machine.Model.r_seconds
+  in
+  let rows =
+    List.map
+      (fun d ->
+        let time c =
+          if d <= 1 then
+            best_of reps (fun () -> ignore (Toolchain.Chain.execute ~no_model:true c))
+          else begin
+            let pool = Runtime.Pool.create d in
+            Fun.protect
+              ~finally:(fun () -> Runtime.Pool.shutdown pool)
+              (fun () ->
+                best_of reps (fun () ->
+                    ignore (Toolchain.Chain.execute ~no_model:true ~pool c)))
+          end
+        in
+        let ts = time c_static in
+        let tg = time c_guided in
+        let ss = sim prof_static d in
+        let sg = sim prof_guided d in
+        let sp = ss /. sg in
+        pf
+          "  %2d domain(s): wall static %8.6f s guided %8.6f s | simulated static \
+           %.4g s guided %.4g s -> guided-over-static %5.2fx@."
+          d ts tg ss sg sp;
+        (d, ts, tg, ss, sg, sp))
+      domains
+  in
+  let title = Printf.sprintf "skewed triangular nest n=%d: static vs guided" n in
+  List.concat_map
+    (fun (d, ts, tg, ss, sg, sp) ->
+      [
+        record ~kind:"measured" ~figure:"measured-steal-skew" ~title ~unit:"seconds"
+          ~variant:"static" ~cores:d ~value:ts;
+        record ~kind:"measured" ~figure:"measured-steal-skew" ~title ~unit:"seconds"
+          ~variant:"guided" ~cores:d ~value:tg;
+        record ~kind:"modeled" ~figure:"measured-steal-skew" ~title ~unit:"s"
+          ~variant:"static-simulated" ~cores:d ~value:ss;
+        record ~kind:"modeled" ~figure:"measured-steal-skew" ~title ~unit:"s"
+          ~variant:"guided-simulated" ~cores:d ~value:sg;
+        record ~kind:"modeled" ~figure:"measured-steal-skew" ~title ~unit:"speedup"
+          ~variant:"guided-over-static" ~cores:d ~value:sp;
+      ])
+    rows
+
 let run_figures scale which ~json ~domains ~tile_grain =
   let module F = Toolchain.Figures in
   let wants id = match which with None -> true | Some w -> w = id in
@@ -381,7 +486,9 @@ let run_figures scale which ~json ~domains ~tile_grain =
     let reduction = run_measured_reduction scale domains in
     let fastpath = run_measured_fastpath scale in
     let serve = run_measured_serve domains in
-    write_json (figure_records rendered @ measured @ tiled @ reduction @ fastpath @ serve)
+    let steal = run_measured_steal scale domains in
+    write_json
+      (figure_records rendered @ measured @ tiled @ reduction @ fastpath @ serve @ steal)
   end;
   (* correctness cross-check printed alongside the data *)
   let check name d =
@@ -639,7 +746,8 @@ let () =
     let reduction = run_measured_reduction scale !domains in
     let fastpath = run_measured_fastpath scale in
     let serve = run_measured_serve !domains in
-    if !json then write_json (measured @ tiled @ reduction @ fastpath @ serve)
+    let steal = run_measured_steal scale !domains in
+    if !json then write_json (measured @ tiled @ reduction @ fastpath @ serve @ steal)
   end
   else if !only_ablations then run_ablations scale !ablation
   else begin

@@ -14,7 +14,11 @@
 # piped through the `purec serve` daemon with per-reply assertions), and
 # the fast-path smoke (`purec run --no-model` over the reduction and
 # tiled workloads on 2 domains plus a 50-program fuzz slice whose oracle
-# cross-checks the fast configurations against the modeled engines).
+# cross-checks the fast configurations against the modeled engines), and
+# the steal smoke (the skewed triangular nest executed on 2 and 4
+# domains under schedule(guided,1) through the work-stealing deques,
+# racechecked clean under a guided plan, plus one fuzz seed carrying the
+# skewed-nest grammar shape and the oracle's guided twins).
 #
 # Last comes the benchmark regression gate: a quick bench run must stay
 # inside the per-record tolerance bands of the committed baseline
@@ -34,5 +38,6 @@ dune build @tile-smoke
 dune build @reduction-smoke
 dune build @serve-smoke
 dune build @fastpath-smoke
+dune build @steal-smoke
 dune exec bench/main.exe -- --quick --json > /dev/null
 dune exec ci/bench_diff.exe -- ci/bench_baseline.json BENCH_results.json

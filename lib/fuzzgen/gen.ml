@@ -594,6 +594,49 @@ let program_info rng : program_info =
     end
     else []
   in
+  (* One program in two carries a skewed triangular-bound pragma'd loop:
+     outer iteration i updates S's row i over columns [1, i], so the work
+     per iteration grows linearly — the load-imbalance shape the
+     work-stealing scheduler exists for.  The pragma's schedule clause is
+     drawn from the full matrix (including guided), so clause parsing, the
+     guided grant plan and the stealing dispatch all see fuzzed workloads.
+     Iteration i touches only row i (the term reads other arrays), so the
+     loop is race-free by construction and must stay oracle-clean.  Drawn
+     after every other rng decision — including the reduction and critical
+     shapes — so the full text of every pre-existing seed survives as a
+     prefix. *)
+  let skew_arrays =
+    if Rng.int rng 2 = 0 then begin
+      let s2 = { a_name = "S"; a_rank = 2; a_elt = D; a_dim = dim; a_heap = false } in
+      push [ init_nest rng ~dim s2 ];
+      let clause =
+        match Rng.int rng 5 with
+        | 0 -> ""
+        | 1 -> " schedule(static,2)"
+        | 2 -> " schedule(dynamic,1)"
+        | 3 -> " schedule(guided,1)"
+        | _ -> " schedule(guided,2)"
+      in
+      let term = gen_dbl_term rng ~iters:[ "i"; "j" ] ~n ~arrays ~readable:arrays ~dfns ~target:None in
+      push
+        [
+          st (Ast.SPragma (Printf.sprintf "omp parallel for%s" clause));
+          sfor "i" 1 n
+            [
+              sfor_ub "j" 1 (id "i")
+                [
+                  assign (idx2 "S" (id "i") (id "j"))
+                    (badd
+                       (bmul (idx2 "S" (id "i") (id "j")) (flit (Rng.choose rng dbl_pool)))
+                       term);
+                ];
+            ];
+        ];
+      push (checksum_segment 77 s2);
+      [ s2 ]
+    end
+    else []
+  in
   List.iter (fun (a : arr) -> if a.a_heap then push (free_segment ~dim a.a_name)) arrays;
   push [ sreturn (ilit 0) ];
   let main =
@@ -610,11 +653,11 @@ let program_info rng : program_info =
   in
   let prog =
     [ Ast.GInclude ("<stdio.h>", Loc.dummy); Ast.GInclude ("<stdlib.h>", Loc.dummy) ]
-    @ List.map global_array (globals_arrs @ csr_arrays @ tile_arrays)
+    @ List.map global_array (globals_arrs @ csr_arrays @ tile_arrays @ skew_arrays)
     @ crit_globals
     @ [ fillf; filli ] @ dfn_globals @ ifn_globals @ [ main ]
   in
-  { pi_prog = prog; pi_n = n; pi_arrays = arrays @ csr_arrays @ tile_arrays }
+  { pi_prog = prog; pi_n = n; pi_arrays = arrays @ csr_arrays @ tile_arrays @ skew_arrays }
 
 (** Generate the program for [seed] and print it to C source text. *)
 let program_of_seed seed : Ast.program =

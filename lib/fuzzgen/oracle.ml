@@ -94,6 +94,8 @@ let configs ~inject : (string * Toolchain.Chain.mode) list =
       Toolchain.Chain.Pure_chain (fun c -> with_inject { c with Pluto.schedule_clause = Some "static,4" }) );
     ( "pure-dyn1",
       Toolchain.Chain.Pure_chain (fun c -> with_inject { c with Pluto.schedule_clause = Some "dynamic,1" }) );
+    ( "pure-guided1",
+      Toolchain.Chain.Pure_chain (fun c -> with_inject { c with Pluto.schedule_clause = Some "guided,1" }) );
     ( "pure-tile",
       Toolchain.Chain.Pure_chain (fun c -> with_inject { c with Pluto.tile = true; tile_sizes = [ 4 ] }) );
     ( "pure-sica",
@@ -112,6 +114,9 @@ let fast_configs ~inject : (string * Toolchain.Chain.mode) list =
   [
     ("fast-seq", Toolchain.Chain.Sequential);
     ("fast-static", Toolchain.Chain.Pure_chain with_inject);
+    ( "fast-guided1",
+      Toolchain.Chain.Pure_chain
+        (fun c -> with_inject { c with Pluto.schedule_clause = Some "guided,1" }) );
     ( "fast-tile",
       Toolchain.Chain.Pure_chain
         (fun c -> with_inject { c with Pluto.tile = true; tile_sizes = [ 4 ] }) );
@@ -119,12 +124,19 @@ let fast_configs ~inject : (string * Toolchain.Chain.mode) list =
 
 let core_counts = [ 1; 4; 16; 64 ]
 
-let plan_schedules = [ Runtime.Par_loop.Static; Runtime.Par_loop.Static_chunk 4; Runtime.Par_loop.Dynamic 1 ]
+let plan_schedules =
+  [
+    Runtime.Par_loop.Static;
+    Runtime.Par_loop.Static_chunk 4;
+    Runtime.Par_loop.Dynamic 1;
+    Runtime.Par_loop.Guided 1;
+  ]
 
 let sched_name = function
   | Runtime.Par_loop.Static -> "static"
   | Runtime.Par_loop.Static_chunk c -> Printf.sprintf "static,%d" c
   | Runtime.Par_loop.Dynamic c -> Printf.sprintf "dynamic,%d" c
+  | Runtime.Par_loop.Guided c -> Printf.sprintf "guided,%d" c
 
 (* ------------------------------------------------------------------ *)
 (* Structural checks *)

@@ -4046,6 +4046,56 @@ type chunk_rec = {
           accumulators, in [oc_reds] order *)
 }
 
+(* the pool-facing rendering of a pragma schedule *)
+let par_sched_of : Trace.sched_kind -> Runtime.Par_loop.schedule = function
+  | Trace.Static -> Runtime.Par_loop.Static
+  | Trace.Static_chunk c -> Runtime.Par_loop.Static_chunk c
+  | Trace.Dynamic c -> Runtime.Par_loop.Dynamic c
+  | Trace.Guided c -> Runtime.Par_loop.Guided c
+
+(* Deterministic fault selection at the join.  The pool reports whichever
+   chunk faulted first in wall-clock order — a race when two chunks fault
+   concurrently.  Each job records its first failure with the iteration
+   index it belongs to; re-raising the failure earliest in iteration order
+   makes the reported fault independent of stealing — provided every chunk
+   got to run, which {!run_unstarted} guarantees on the fault path. *)
+let earliest_fail (fails : (int * exn) option array) (fallback : exn) =
+  let best =
+    Array.fold_left
+      (fun best f ->
+        match (best, f) with
+        | Some (bl, _), Some (fl, _) -> if fl < bl then f else best
+        | None, f -> f
+        | best, None -> best)
+      None fails
+  in
+  match best with Some (_, e) -> e | None -> fallback
+
+(* Early termination discards a cancelled batch's not-yet-started items —
+   possibly including the chunk that holds the earliest faulting iteration,
+   whose text the sequential interpreter would have reported.  The profile
+   and partial output are being discarded anyway once a fault surfaces, so
+   the join runs the unstarted jobs inline on the caller (each records its
+   own failure into [fails]) before {!earliest_fail} picks the survivor.
+   [with_started] wraps each job to note, per position, that it really ran. *)
+let with_started (jobs : (int * (int -> unit)) list) =
+  let started = Array.make (max 1 (List.length jobs)) false in
+  let jobs =
+    List.mapi
+      (fun i (w, f) ->
+        ( w,
+          fun sid ->
+            started.(i) <- true;
+            f sid ))
+      jobs
+  in
+  (started, jobs)
+
+let run_unstarted started (jobs : (int * (int -> unit)) list) =
+  List.iteri
+    (fun i (_, f) -> if not started.(i) then try f 0 with _ -> ())
+    jobs
+
 let exec_parallel rt pool (sched : Trace.sched_kind) (cn : omp_canon)
     (fbody : stmt_code) (finit : stmt_code) (fr : frame) =
   let m = master rt in
@@ -4099,53 +4149,71 @@ let exec_parallel rt pool (sched : Trace.sched_kind) (cn : omp_canon)
       }
       :: !recs
   in
+  let fails : (int * exn) option array = Array.make workers None in
+  (* The stealable unit here is one whole plan-worker: instrumentation binds
+     interpreter state by PLAN index (state w+1 accrues exactly plan-worker
+     w's counters and cache history, wherever the job executes), so the
+     per-iteration cost snapshots — and through them the simulated timings —
+     are a pure function of (schedule, workers, n), never of who stole
+     what.  Seeding job w on deque w keeps the static distribution when
+     nothing steals; an idle stream relieves a loaded one of whole jobs. *)
   let jobs =
     match sched with
-    | Trace.Static | Trace.Static_chunk _ ->
-      let sched' =
-        match sched with
-        | Trace.Static -> Runtime.Par_loop.Static
-        | Trace.Static_chunk c -> Runtime.Par_loop.Static_chunk c
-        | Trace.Dynamic c -> Runtime.Par_loop.Dynamic c
-      in
+    | Trace.Static | Trace.Static_chunk _ | Trace.Guided _ ->
+      let sched' = par_sched_of sched in
       let chunks = Runtime.Par_loop.chunk_plan sched' ~workers ~lo:0 ~hi:n in
       List.init workers (fun w ->
-          fun () ->
-            let ds = rt.states.(w + 1) in
-            Domain.DLS.set rt.dls ds;
-            let recs = ref [] in
-            List.iter (fun (a, b) -> run_chunk ds recs a b) chunks.(w);
-            results.(w) <- List.rev !recs)
+          ( w,
+            fun _sid ->
+              let ds = rt.states.(w + 1) in
+              Domain.DLS.set rt.dls ds;
+              let recs = ref [] in
+              List.iter
+                (fun (a, b) ->
+                  try run_chunk ds recs a b
+                  with exn ->
+                    fails.(w) <- Some (a, exn);
+                    raise exn)
+                chunks.(w);
+              results.(w) <- List.rev !recs ))
     | Trace.Dynamic chunk ->
       let chunk = max 1 chunk in
       let next = Atomic.make 0 in
       List.init workers (fun w ->
-          fun () ->
-            let ds = rt.states.(w + 1) in
-            Domain.DLS.set rt.dls ds;
-            let recs = ref [] in
-            let rec go () =
-              let start = Atomic.fetch_and_add next chunk in
-              if start < n then begin
-                run_chunk ds recs start (min n (start + chunk));
-                go ()
-              end
-            in
-            go ();
-            results.(w) <- List.rev !recs)
+          ( w,
+            fun _sid ->
+              let ds = rt.states.(w + 1) in
+              Domain.DLS.set rt.dls ds;
+              let recs = ref [] in
+              let rec go () =
+                let start = Atomic.fetch_and_add next chunk in
+                if start < n then begin
+                  (try run_chunk ds recs start (min n (start + chunk))
+                   with exn ->
+                     fails.(w) <- Some (start, exn);
+                     raise exn);
+                  go ()
+                end
+              in
+              go ();
+              results.(w) <- List.rev !recs ))
   in
+  let started, jobs = with_started jobs in
   let finish () =
     Domain.DLS.set rt.dls m;
     rt.in_parallel <- false
   in
-  (try Runtime.Pool.run pool jobs
+  (try Runtime.Pool.run_sharded pool jobs
    with exn ->
-     (* a faulting iteration: partial worker output is dropped (the program
-        is failing anyway); leave the profile state consistent and re-raise
-        toward run_main *)
+     (* a faulting iteration: the pool cancelled the rest of the batch, so
+        partial worker output is dropped (the program is failing anyway);
+        run the discarded jobs to find the fault earliest in iteration
+        order, leave the profile state consistent, and re-raise that
+        failure toward run_main *)
+     run_unstarted started jobs;
      finish ();
      rt.seg_start <- Cost.copy m.ds_counters;
-     raise exn);
+     raise (earliest_fail fails exn));
   finish ();
   (* join: fold worker counter deltas into the master (fieldwise sums,
      order-independent), then splice chunk outputs and per-iteration costs
@@ -4179,12 +4247,18 @@ let exec_parallel rt pool (sched : Trace.sched_kind) (cn : omp_canon)
   rt.seg_start <- Cost.copy m.ds_counters
 
 (** [exec_parallel]'s fast twin: identical fork/join mechanics — chunk
-    plans, worker DLS binding, private output buffers spliced in ck_lo
-    order, identity-seeded reduction partials merged in ascending chunk
-    order, the final induction value — with every counter snapshot and
-    cost merge removed.  The profile still gains a [Par] segment (with no
-    per-iteration costs) so the parallel-region count a run reports is
-    variant-independent. *)
+    plans, private output buffers spliced in ck_lo order, identity-seeded
+    reduction partials merged in ascending chunk order, the final induction
+    value — with every counter snapshot and cost merge removed.  Because no
+    instrumented state has to follow the plan, the stealable unit shrinks
+    from a whole plan-worker to ONE CHUNK: every contiguous run of the plan
+    becomes its own pool item, seeded on its plan-worker's deque (so the
+    distribution is the static one when nothing steals) but free to execute
+    on whichever stream takes it, bound to that stream's scratch state.
+    Chunk boundaries still come from the plan and the join still sorts by
+    ck_lo, so output bytes and merge order are independent of stealing.
+    The profile still gains a [Par] segment (with no per-iteration costs)
+    so the parallel-region count a run reports is variant-independent. *)
 let exec_parallel_fast rt pool (sched : Trace.sched_kind) (cn : omp_canon)
     (fbody : stmt_code) (finit : stmt_code) (fr : frame) =
   let m = master rt in
@@ -4199,73 +4273,93 @@ let exec_parallel_fast rt pool (sched : Trace.sched_kind) (cn : omp_canon)
   let stride = cn.oc_stride in
   let n = if hi_incl < lo then 0 else ((hi_incl - lo) / stride) + 1 in
   let workers = min (Runtime.Pool.size pool) (max 1 n) in
-  let results : chunk_rec list array = Array.make workers [] in
-  let run_chunk ds recs lo_idx hi_idx =
+  (* one cell per pool item, written exactly once by its executor *)
+  let run_chunk sid cell lo_idx hi_idx =
+    let ds = rt.states.(sid + 1) in
+    Domain.DLS.set rt.dls ds;
+    let saved = ds.ds_out in
     let buf = Buffer.create 64 in
     ds.ds_out <- buf;
     let fr' = Array.copy fr in
     List.iter (fun rd -> fr'.(rd.rd_slot) <- red_identity rd) cn.oc_reds;
-    for k = lo_idx to hi_idx - 1 do
-      fr'.(cn.oc_slot) <- Mem.VInt (lo + (k * stride));
-      try fbody fr' with Continue_e -> ()
-    done;
-    recs :=
+    (try
+       for k = lo_idx to hi_idx - 1 do
+         fr'.(cn.oc_slot) <- Mem.VInt (lo + (k * stride));
+         try fbody fr' with Continue_e -> ()
+       done
+     with exn ->
+       ds.ds_out <- saved;
+       raise exn);
+    ds.ds_out <- saved;
+    cell :=
       {
         ck_lo = lo_idx;
         ck_out = buf;
         ck_iters = [];
         ck_reds = List.map (fun rd -> fr'.(rd.rd_slot)) cn.oc_reds;
       }
-      :: !recs
+      :: !cell
   in
-  let jobs =
+  let jobs, cells, fails =
     match sched with
-    | Trace.Static | Trace.Static_chunk _ ->
-      let sched' =
-        match sched with
-        | Trace.Static -> Runtime.Par_loop.Static
-        | Trace.Static_chunk c -> Runtime.Par_loop.Static_chunk c
-        | Trace.Dynamic c -> Runtime.Par_loop.Dynamic c
-      in
+    | Trace.Static | Trace.Static_chunk _ | Trace.Guided _ ->
+      let sched' = par_sched_of sched in
       let chunks = Runtime.Par_loop.chunk_plan sched' ~workers ~lo:0 ~hi:n in
-      List.init workers (fun w ->
-          fun () ->
-            let ds = rt.states.(w + 1) in
-            Domain.DLS.set rt.dls ds;
-            let recs = ref [] in
-            List.iter (fun (a, b) -> run_chunk ds recs a b) chunks.(w);
-            results.(w) <- List.rev !recs)
+      let flat =
+        List.concat
+          (Array.to_list
+             (Array.mapi (fun w runs -> List.map (fun c -> (w, c)) runs) chunks))
+      in
+      let cells = Array.init (List.length flat) (fun _ -> ref []) in
+      let fails = Array.make (max 1 (List.length flat)) None in
+      ( List.mapi
+          (fun ci (w, (a, b)) ->
+            ( w,
+              fun sid ->
+                try run_chunk sid cells.(ci) a b
+                with exn ->
+                  fails.(ci) <- Some (a, exn);
+                  raise exn ))
+          flat,
+        cells,
+        fails )
     | Trace.Dynamic chunk ->
       let chunk = max 1 chunk in
       let next = Atomic.make 0 in
-      List.init workers (fun w ->
-          fun () ->
-            let ds = rt.states.(w + 1) in
-            Domain.DLS.set rt.dls ds;
-            let recs = ref [] in
-            let rec go () =
-              let start = Atomic.fetch_and_add next chunk in
-              if start < n then begin
-                run_chunk ds recs start (min n (start + chunk));
-                go ()
-              end
-            in
-            go ();
-            results.(w) <- List.rev !recs)
+      let cells = Array.init workers (fun _ -> ref []) in
+      let fails = Array.make workers None in
+      ( List.init workers (fun w ->
+            ( w,
+              fun sid ->
+                let rec go () =
+                  let start = Atomic.fetch_and_add next chunk in
+                  if start < n then begin
+                    (try run_chunk sid cells.(w) start (min n (start + chunk))
+                     with exn ->
+                       fails.(w) <- Some (start, exn);
+                       raise exn);
+                    go ()
+                  end
+                in
+                go () )),
+        cells,
+        fails )
   in
+  let started, jobs = with_started jobs in
   let finish () =
     Domain.DLS.set rt.dls m;
     rt.in_parallel <- false
   in
-  (try Runtime.Pool.run pool jobs
+  (try Runtime.Pool.run_sharded pool jobs
    with exn ->
+     run_unstarted started jobs;
      finish ();
-     raise exn);
+     raise (earliest_fail fails exn));
   finish ();
   let chunks =
     List.sort
       (fun a b -> compare a.ck_lo b.ck_lo)
-      (List.concat (Array.to_list results))
+      (List.concat (Array.to_list (Array.map (fun c -> !c) cells)))
   in
   List.iter (fun ck -> Buffer.add_buffer m.ds_out ck.ck_out) chunks;
   List.iteri
@@ -4277,6 +4371,127 @@ let exec_parallel_fast rt pool (sched : Trace.sched_kind) (cn : omp_canon)
     cn.oc_reds;
   fr.(cn.oc_slot) <- Mem.VInt (lo + (n * stride));
   rt.segments <- Trace.Par { sched; iters = [||] } :: rt.segments
+
+(** A nested [parallel for] reached from inside a dispatched (modeled)
+    chunk: a yield-sliced sequential chain through the pool's deques.  The
+    enclosing chunk's instrumented state — cost counters, cache history,
+    and the per-iteration snapshots being taken around it — must evolve on
+    that one state in program order, so the links execute one at a time on
+    it; but between links the rest of the loop sits exposed at the bottom
+    of the executor's deque, where an idle stream can relieve a loaded one
+    of it (the chain migrates to whoever steals it).  Costs are charged
+    exactly as the sequential nested branch charges them: the entry branch
+    once, then per iteration condition + body + step + back-branch, and
+    finally the failing condition — so output bytes, counters and faults
+    are byte-identical to the inline execution at every pool size. *)
+let exec_parallel_nested rt pool ~(fentry : stmt_code) ~(fcond : frame -> bool)
+    ~(fstep : stmt_code) ~(grain : int) (fbody : stmt_code)
+    (finit : stmt_code) (fr : frame) =
+  let ds = cur rt in
+  finit fr;
+  fentry fr;
+  bump_branch rt;
+  let stop = ref false in
+  let step _sid =
+    (* a stolen link continues on the ENCLOSING chunk's state, not the
+       thief's scratch state: the migration moves execution, never the
+       instrumentation *)
+    Domain.DLS.set rt.dls ds;
+    let budget = ref grain in
+    while !budget > 0 && not !stop do
+      if fcond fr then begin
+        (try fbody fr with Continue_e -> ());
+        fstep fr;
+        bump_branch rt;
+        decr budget
+      end
+      else stop := true
+    done;
+    not !stop
+  in
+  (try Runtime.Pool.run_chain pool step with Break_e -> ());
+  Domain.DLS.set rt.dls ds
+
+(** A nested [parallel for] reached from inside a dispatched (fast) chunk:
+    genuinely parallel sub-chunks through {!Runtime.Pool.run_nested}.  The
+    sub-chunks of the nested plan are pushed onto the executing stream's
+    own deque (the owner pops them LIFO; idle streams steal FIFO), each
+    runs on its executor's scratch state with a private output buffer and
+    identity-seeded reduction partials, and the join splices both back into
+    the enclosing chunk in ascending ck_lo order — so the enclosing chunk's
+    bytes are independent of who stole what. *)
+let exec_parallel_nested_fast rt pool (sched : Trace.sched_kind)
+    (cn : omp_canon) (fbody : stmt_code) (finit : stmt_code) (fr : frame) =
+  let ds0 = cur rt in
+  finit fr;
+  let lo = Mem.to_int fr.(cn.oc_slot) in
+  let hi_incl =
+    let b = Mem.to_int (cn.oc_bound fr) in
+    if cn.oc_strict then b - 1 else b
+  in
+  let stride = cn.oc_stride in
+  let n = if hi_incl < lo then 0 else ((hi_incl - lo) / stride) + 1 in
+  if n > 0 then begin
+    let workers = min (Runtime.Pool.size pool) n in
+    let subs =
+      Array.of_list
+        (List.sort compare
+           (List.concat
+              (Array.to_list
+                 (Runtime.Par_loop.chunk_plan (par_sched_of sched) ~workers
+                    ~lo:0 ~hi:n))))
+    in
+    let cells : chunk_rec option array = Array.make (Array.length subs) None in
+    let run_sub ci a b sid =
+      let ds = rt.states.(sid + 1) in
+      Domain.DLS.set rt.dls ds;
+      let saved = ds.ds_out in
+      let buf = Buffer.create 64 in
+      ds.ds_out <- buf;
+      let fr' = Array.copy fr in
+      List.iter (fun rd -> fr'.(rd.rd_slot) <- red_identity rd) cn.oc_reds;
+      (try
+         for k = a to b - 1 do
+           fr'.(cn.oc_slot) <- Mem.VInt (lo + (k * stride));
+           try fbody fr' with Continue_e -> ()
+         done
+       with exn ->
+         ds.ds_out <- saved;
+         raise exn);
+      ds.ds_out <- saved;
+      cells.(ci) <-
+        Some
+          {
+            ck_lo = a;
+            ck_out = buf;
+            ck_iters = [];
+            ck_reds = List.map (fun rd -> fr'.(rd.rd_slot)) cn.oc_reds;
+          }
+    in
+    (try
+       Runtime.Pool.run_nested pool
+         (List.mapi
+            (fun ci (a, b) -> fun sid -> run_sub ci a b sid)
+            (Array.to_list subs))
+     with exn ->
+       Domain.DLS.set rt.dls ds0;
+       raise exn);
+    Domain.DLS.set rt.dls ds0;
+    let recs =
+      List.sort
+        (fun a b -> compare a.ck_lo b.ck_lo)
+        (List.filter_map Fun.id (Array.to_list cells))
+    in
+    List.iter (fun ck -> Buffer.add_buffer ds0.ds_out ck.ck_out) recs;
+    List.iteri
+      (fun ri rd ->
+        fr.(rd.rd_slot) <-
+          List.fold_left
+            (fun acc ck -> red_combine rd acc (List.nth ck.ck_reds ri))
+            fr.(rd.rd_slot) recs)
+      cn.oc_reds
+  end;
+  fr.(cn.oc_slot) <- Mem.VInt (lo + (n * stride))
 
 let rec compile_stmt cenv (s : Ast.stmt) : stmt_code =
   let rt = cenv.rt in
@@ -4808,19 +5023,52 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
   let fbody = compile_stmt cenv body in
   cenv.scope <- saved_scope;
   cenv.shadow_ctx <- saved_ctx;
+  (* One iteration of the nested-pragma sequential path.  During traced
+     recording at tile granularity this mirrors [compile_for]'s body
+     wrapper: the pragma'd inner loop marks where each of its iterations
+     begins in the outer iteration's access log, so the race engines
+     attribute accesses through a nested pragma exactly as through a plain
+     nested loop. *)
+  let run_body_marked fr =
+    match rt.rec_points with
+    | None -> ( try fbody fr with Continue_e -> ())
+    | Some pts ->
+      if rt.rec_depth = 0 then pts := rt.rec_nacc :: !pts;
+      rt.rec_depth <- rt.rec_depth + 1;
+      (try (try fbody fr with Continue_e -> ())
+       with e ->
+         rt.rec_depth <- rt.rec_depth - 1;
+         raise e);
+      rt.rec_depth <- rt.rec_depth - 1
+  in
+  (* chain-slicing quantum of the modeled nested dispatch: the schedule's
+     chunk parameter, or a fixed quantum for plain static (slicing has no
+     cost or output effect — it only sets the stealable granularity) *)
+  let nested_grain =
+    match sched with
+    | Trace.Static -> 16
+    | Trace.Static_chunk c | Trace.Dynamic c | Trace.Guided c -> max 1 c
+  in
   if is_fast rt then
-    (* the fast closure: same dispatch decisions (nested regions run
-       sequentially; the pool takes canonical loops), no recording *)
+    (* the fast closure: same dispatch decisions (nested regions fork onto
+       the executing stream's deque when reached from inside a dispatched
+       chunk, and run sequentially otherwise; the pool takes canonical
+       top-level loops), no recording *)
     fun fr ->
       if (cur rt).ds_slot <> 0 || rt.in_parallel then begin
-        finit fr;
-        fentry fr;
-        try
-          while fcond fr do
-            (try fbody fr with Continue_e -> ());
-            fstep fr
-          done
-        with Break_e -> ()
+        match (rt.pool, canon) with
+        | Some pool, Some cn
+          when Runtime.Pool.size pool > 1 && Runtime.Pool.in_chunk pool ->
+          exec_parallel_nested_fast rt pool sched cn fbody finit fr
+        | _ ->
+          finit fr;
+          fentry fr;
+          (try
+             while fcond fr do
+               (try fbody fr with Continue_e -> ());
+               fstep fr
+             done
+           with Break_e -> ())
       end
       else begin
         match (rt.pool, canon) with
@@ -4844,17 +5092,29 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
       end
   else fun fr ->
     if (cur rt).ds_slot <> 0 || rt.in_parallel then begin
-      (* nested parallel regions execute sequentially (OpenMP default) *)
-      finit fr;
-      fentry fr;
-      try
-        bump_branch rt;
-        while fcond fr do
-          (try fbody fr with Continue_e -> ());
-          fstep fr;
-          bump_branch rt
-        done
-      with Break_e -> ()
+      match rt.pool with
+      | Some pool
+        when Runtime.Pool.size pool > 1
+             && Runtime.Pool.in_chunk pool
+             && not rt.trace_accesses ->
+        (* nested region inside a dispatched chunk: a yield-sliced chain
+           through the deques (see [exec_parallel_nested]); canonicity is
+           irrelevant because the chain replays the real loop control *)
+        exec_parallel_nested rt pool ~fentry ~fcond ~fstep ~grain:nested_grain
+          fbody finit fr
+      | _ -> (
+        (* nested parallel regions otherwise execute sequentially (OpenMP
+           default), with point-iteration marks during traced recording *)
+        finit fr;
+        fentry fr;
+        try
+          bump_branch rt;
+          while fcond fr do
+            run_body_marked fr;
+            fstep fr;
+            bump_branch rt
+          done
+        with Break_e -> ())
     end
     else begin
       match (rt.pool, canon) with

@@ -11,6 +11,10 @@ type sched_kind =
   | Static  (** contiguous blocks, the OpenMP default *)
   | Static_chunk of int
   | Dynamic of int
+  | Guided of int
+      (** exponentially decaying grants down to a floor (the argument);
+          executed by the work-stealing pool, replayed deterministically by
+          the race engines via {!Runtime.Par_loop.plan} *)
 
 type segment =
   | Seq of Cost.t
@@ -163,6 +167,7 @@ let sched_of_pragma text =
     match find_sub text needle with exception Not_found -> false | _ -> true
   in
   if contains "schedule(dynamic" then Dynamic (int_after text "schedule(dynamic," 1)
+  else if contains "schedule(guided" then Guided (int_after text "schedule(guided," 1)
   else if contains "schedule(static," then Static_chunk (int_after text "schedule(static," 1)
   else Static
 

@@ -137,6 +137,26 @@ let makespan machine n (sched : Trace.sched_kind) (iter_cycles : float array) :
       ( Support.Util.float_array_max loads,
         float_of_int !n_chunks /. float_of_int n *. machine.Config.m_dynamic_chunk_cycles
       )
+    | Trace.Guided floor ->
+      (* online greedy over the deterministic decaying grant sequence: each
+         free core takes the next grant (the work-stealing runtime's
+         first-come order); per-grant dispatch overhead as for dynamic *)
+      let loads = Array.make n 0.0 in
+      let grants =
+        Runtime.Par_loop.guided_grants ~floor ~workers:n ~lo:0 ~hi:m
+      in
+      let n_chunks = ref 0 in
+      List.iter
+        (fun (start, stop) ->
+          let core = Support.Util.argmin_array compare loads in
+          for k = start to stop - 1 do
+            loads.(core) <- loads.(core) +. iter_cycles.(k)
+          done;
+          incr n_chunks)
+        grants;
+      ( Support.Util.float_array_max loads,
+        float_of_int !n_chunks /. float_of_int m *. machine.Config.m_dynamic_chunk_cycles
+      )
   end
 
 (* ------------------------------------------------------------------ *)

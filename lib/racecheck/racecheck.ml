@@ -96,18 +96,24 @@ let schedule_name = function
   | Runtime.Par_loop.Static -> "static"
   | Runtime.Par_loop.Static_chunk c -> Printf.sprintf "static,%d" c
   | Runtime.Par_loop.Dynamic c -> Printf.sprintf "dynamic,%d" c
+  | Runtime.Par_loop.Guided c -> Printf.sprintf "guided,%d" c
 
-(** Parse "static", "static,C" or "dynamic,C" (the pragma clause syntax). *)
+(** Parse "static", "static,C", "dynamic,C" or "guided,C" (the pragma
+    clause syntax). *)
 let schedule_of_string s : (Runtime.Par_loop.schedule, string) result =
   let s = String.trim (String.lowercase_ascii s) in
   let bad () =
-    Error (Printf.sprintf "unknown schedule %S (expected static, static,C or dynamic,C)" s)
+    Error
+      (Printf.sprintf
+         "unknown schedule %S (expected static, static,C, dynamic,C or guided,C)"
+         s)
   in
   match String.index_opt s ',' with
   | None -> (
     match s with
     | "static" -> Ok Runtime.Par_loop.Static
     | "dynamic" -> Ok (Runtime.Par_loop.Dynamic 1)
+    | "guided" -> Ok (Runtime.Par_loop.Guided 1)
     | _ -> bad ())
   | Some i -> (
     let kind = String.trim (String.sub s 0 i) in
@@ -115,13 +121,23 @@ let schedule_of_string s : (Runtime.Par_loop.schedule, string) result =
     match (kind, int_of_string_opt (String.trim chunk)) with
     | "static", Some c when c > 0 -> Ok (Runtime.Par_loop.Static_chunk c)
     | "dynamic", Some c when c > 0 -> Ok (Runtime.Par_loop.Dynamic c)
+    | "guided", Some c when c > 0 -> Ok (Runtime.Par_loop.Guided c)
     | _ -> bad ())
 
-(** The plan matrix the oracle and CLI default to. *)
+(** The plan matrix the oracle and CLI default to.  Guided's grant
+    boundaries are a pure function of (floor, workers, n) — see
+    {!Runtime.Par_loop.guided_grants} — so its plan replays exactly like
+    the static ones; like [Static_chunk], it gets no inter-chunk ordering
+    edges (the work-stealing runtime provides none). *)
 let default_cores = [ 1; 4; 16; 64 ]
 
 let default_schedules =
-  [ Runtime.Par_loop.Static; Runtime.Par_loop.Static_chunk 4; Runtime.Par_loop.Dynamic 1 ]
+  [
+    Runtime.Par_loop.Static;
+    Runtime.Par_loop.Static_chunk 4;
+    Runtime.Par_loop.Dynamic 1;
+    Runtime.Par_loop.Guided 1;
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Vector-clock engine *)

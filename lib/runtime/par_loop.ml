@@ -1,11 +1,35 @@
 (** OpenMP-style worksharing loops over a {!Pool}.
 
-    Implements the three schedules the evaluation codes use —
+    Implements the four schedules the evaluation codes use —
     [schedule(static)] (contiguous blocks, the default), [schedule(static,c)]
-    (round-robin chunks) and [schedule(dynamic,c)] (first-come first-served
-    chunks off a shared counter) — with OpenMP's fork/join semantics. *)
+    (round-robin chunks), [schedule(dynamic,c)] (first-come first-served
+    chunks off a shared counter) and [schedule(guided,c)] (exponentially
+    decaying grants down to a floor of [c]) — with OpenMP's fork/join
+    semantics. *)
 
-type schedule = Static | Static_chunk of int | Dynamic of int
+type schedule = Static | Static_chunk of int | Dynamic of int | Guided of int
+
+(** The [(start, stop)] half-open grant sequence of [schedule(guided,floor)]
+    over [lo, hi) with [workers] execution streams: each grant takes
+    [remaining / max(2, workers)] iterations (rounded up, halving with two
+    streams, decaying geometrically in general), never less than [floor].
+    The sequence is a pure function of [(floor, workers, lo, hi)] — no
+    runtime counter feeds it — so consumers that must stay deterministic
+    under work stealing (the interpreter's chunk merge, the race engines'
+    replays) can rely on identical chunk boundaries at a fixed worker
+    count no matter which stream executes which grant. *)
+let guided_grants ~floor ~workers ~lo ~hi : (int * int) list =
+  let floor = max 1 floor in
+  let div = max 2 workers in
+  let rec go at acc =
+    if at >= hi then List.rev acc
+    else
+      let remaining = hi - at in
+      let grant = max floor ((remaining + div - 1) / div) in
+      let stop = min hi (at + grant) in
+      go stop ((at, stop) :: acc)
+  in
+  go lo []
 
 (** [plan schedule ~workers ~lo ~hi] is the iteration set each worker
     executes, as an array of [workers] lists of ascending indices.
@@ -43,7 +67,20 @@ let plan (schedule : schedule) ~workers ~lo ~hi : int list array =
             go (c + workers) (List.rev_append (List.init (stop - start) (fun k -> start + k)) acc)
         in
         out.(w) <- go w []
-      done)
+      done
+    | Guided floor ->
+      (* grant g goes to worker g mod workers: the canonical first-come
+         order of identical workers, exactly as Dynamic above; the grant
+         boundaries themselves are deterministic (see guided_grants) *)
+      let grants = Array.of_list (guided_grants ~floor ~workers ~lo ~hi) in
+      let acc = Array.make workers [] in
+      Array.iteri
+        (fun g (start, stop) ->
+          let w = g mod workers in
+          acc.(w) <-
+            List.rev_append (List.init (stop - start) (fun k -> start + k)) acc.(w))
+        grants;
+      Array.iteri (fun w l -> out.(w) <- List.rev l) acc)
   end;
   out
 
@@ -81,8 +118,10 @@ let parallel_for pool ?(schedule = Static) ~lo ~hi (body : int -> unit) =
       done
     else begin
       match schedule with
-      | Static | Static_chunk _ ->
-        (* deterministic schedules execute exactly their plan *)
+      | Static | Static_chunk _ | Guided _ ->
+        (* deterministic schedules execute exactly their plan (guided's
+           grant sequence is deterministic too; the pool's stealing only
+           moves whole grants between streams) *)
         let assignment = plan schedule ~workers ~lo ~hi in
         let jobs =
           List.init workers (fun w -> fun () -> List.iter body assignment.(w))

@@ -1,150 +1,560 @@
-(** A small domain pool: the execution substrate standing in for the OpenMP
-    runtime when generated code is run for real (as opposed to being
+(** A work-stealing domain pool: the execution substrate standing in for the
+    OpenMP runtime when generated code is run for real (as opposed to being
     simulated by the {!Machine} model).
 
-    The pool spawns [size - 1] worker domains once and supports two dispatch
-    disciplines on the same worker set:
+    The pool spawns [size - 1] worker domains once.  Each execution stream
+    (the caller plus every worker) owns a {e chunk deque}: the owner pushes
+    and pops at the bottom (LIFO — freshly forked work first, while it is
+    hot), idle streams steal from the top (FIFO — the oldest, typically
+    largest outstanding piece, following the ACL2 parallelism engine's
+    bounded work-queue design).  Three dispatch disciplines share the
+    worker set:
 
-    - {!run}: fork/join — a batch of thunks is distributed and the caller
-      helps until every one has finished ([#pragma omp parallel for]
-      semantics).  Batches must not overlap.
-    - {!submit}: streaming — one fire-and-forget job is enqueued and picked
-      up by whichever worker is free; {!quiesce} waits for the queue to
-      drain.  This is the serve daemon's discipline: one long-lived pool
-      multiplexes many independent requests instead of paying domain-spawn
-      cost per request.
+    - {!run} / {!run_sharded}: fork/join — a batch of jobs is seeded across
+      the deques per its worksharing plan and the caller helps until every
+      one has finished ([#pragma omp parallel for] semantics).  A stream
+      that drains its own deque steals the rest, so a skewed plan no longer
+      leaves domains idle.  Concurrent batches are serialized on an
+      internal ownership flag, so a batch started from inside a streamed
+      serve request cannot interleave its accounting with another
+      request's.
+    - {!run_nested} / {!run_chained}: nested fork — a job {e already
+      executing} on some stream forks sub-chunks onto that stream's own
+      deque (instead of sequentializing, the PR 3/PR 5 leftover); idle
+      streams steal them.  Enqueueing is throttled by a bounded
+      unassigned-work count (see {!create}): past the bound, nested forks
+      run inline — boundless recursive forking would otherwise flood the
+      deques with chunks no one is free to steal.
+    - {!submit}: streaming — one fire-and-forget job is enqueued on a
+      separate queue and picked up by whichever worker is free; {!quiesce}
+      waits for the streaming side only.  This is the serve daemon's
+      discipline: one long-lived pool multiplexes many independent
+      requests.  Streamed jobs and fork/join chunks are accounted
+      separately ({!batches} vs {!streamed}), so neither discipline's join
+      can be confused by the other's in-flight work.
 
-    The two disciplines share the queue but must not be interleaved (a
-    concurrent [run] would join on streaming jobs too); the serve daemon
-    uses [submit]/[quiesce] exclusively. *)
+    Exceptions terminate a batch early: the first failing chunk is
+    recorded, every not-yet-started chunk of the batch is discarded at pop
+    time, and the recorded exception is re-raised at the join point.  The
+    scheduler only ever decides {e where} a chunk executes — chunk
+    boundaries, merge order and every other observable output are fixed by
+    the caller's plan, which is why outputs stay byte-identical no matter
+    who stole what (DESIGN.md §14). *)
 
 type job = unit -> unit
 
+type sjob = int -> unit
+(** A fork/join job; its argument is the id of the execution stream that
+    actually runs it ([0] = the batch owner's slot, [1..] = worker
+    domains), which is {e not} the plan position it was seeded at — a
+    stolen chunk executes with the thief's stream id. *)
+
+(* A nested fork in flight.  [g_left] counts outstanding members for a
+   parallel group; a sequential chain (run_chained) holds it at 1 until the
+   chain ends or dies.  [g_fail] is the group's first exception — once set,
+   remaining members are discarded at pop time (early termination). *)
+type group = {
+  mutable g_left : int;
+  mutable g_fail : exn option;
+  g_chain : bool;
+}
+
+type item = { it_group : group option; it_fn : sjob }
+
+(* Owner-LIFO / thief-FIFO deque (amortized O(1), two-list representation).
+   All operations run under the pool mutex — chunk granularity is coarse
+   enough that a lock-free deque would buy nothing measurable here. *)
+module Dq = struct
+  type 'a t = {
+    mutable top : 'a list;  (** oldest first — thieves take from here *)
+    mutable bottom : 'a list;  (** newest first — the owner's end *)
+  }
+
+  let create () = { top = []; bottom = [] }
+  let push_bottom d x = d.bottom <- x :: d.bottom
+
+  let pop_bottom d =
+    match d.bottom with
+    | x :: tl ->
+      d.bottom <- tl;
+      Some x
+    | [] -> (
+      match List.rev d.top with
+      | [] -> None
+      | x :: tl ->
+        (* newest-first after the reversal: x is the newest *)
+        d.top <- [];
+        d.bottom <- tl;
+        Some x)
+
+  (* pop the bottom element only if it satisfies [p] (run_nested helps its
+     own group without disturbing unrelated work below it) *)
+  let pop_bottom_if d p =
+    match pop_bottom d with
+    | Some x when p x -> Some x
+    | Some x ->
+      d.bottom <- x :: d.bottom;
+      None
+    | None -> None
+
+  let steal_top d =
+    match d.top with
+    | x :: tl ->
+      d.top <- tl;
+      Some x
+    | [] -> (
+      match List.rev d.bottom with
+      | [] -> None
+      | x :: tl ->
+        (* oldest-first after the reversal: x is the oldest *)
+        d.bottom <- [];
+        d.top <- tl;
+        Some x)
+end
+
 type t = {
   size : int;
-  queue : job Queue.t;
+  streams : int;  (** caller slot + spawned workers = number of deques *)
+  deques : item Dq.t array;
+  stream_queue : job Queue.t;  (** streamed ({!submit}) jobs, FIFO *)
   mutex : Mutex.t;
   work_available : Condition.t;
   work_done : Condition.t;
-  mutable outstanding : int;
+  batch_idle : Condition.t;
+  mutable batch_active : bool;
+      (** a fork/join batch owns the deques; competing batches wait *)
+  mutable batch_left : int;
+      (** items of the active batch (seeded + nested) not yet completed *)
+  mutable cancelled : bool;
+      (** the active batch died: discard its remaining items at pop time *)
   mutable failure : exn option;
-      (** first exception a job of the current batch raised; re-raised at the
-          join point in {!run}.  Streaming jobs ({!submit}) must catch their
-          own exceptions — anything recorded here from a streamed job is
-          cleared at the next batch, never re-raised to anyone, so a serve
-          request that crashes can only fail its own client *)
+      (** first exception a chunk of the active batch raised; re-raised at
+          the join point in {!run_sharded} *)
+  mutable streaming : int;  (** streamed jobs queued or running *)
+  mutable unassigned : int;
+      (** batch items sitting in deques, not yet picked up; {!run_nested}
+          and {!run_chained} refuse to enqueue past [throttle] *)
+  throttle : int;
   mutable shutdown : bool;
   mutable domains : unit Domain.t list;
   batches : int Atomic.t;
-      (** dispatches observed by the pool: fork/join batches through {!run}
-          (single-job batches included) plus streamed jobs through
-          {!submit}; lets callers observe that work really reached the
-          pool.  Atomic because streaming submits race with readers. *)
+      (** fork/join dispatches observed: {!run}/{!run_sharded} batches plus
+          nested forks that really reached the deques.  Streamed jobs are
+          deliberately NOT counted here — see {!streamed}. *)
+  streamed : int Atomic.t;  (** jobs accepted by {!submit} *)
+  steals : int Atomic.t;
+      (** batch items executed by a stream other than the one they were
+          seeded on (or pushed to, for nested forks) *)
+  self : int Domain.DLS.key;
+      (** this domain's stream id; workers set it at spawn, everyone else
+          reads the [-1] default and owns batches as stream 0 *)
+  in_chunk : bool Domain.DLS.key;
+      (** is this domain currently executing a fork/join item?  Gates
+          nested-fork dispatch and makes a re-entrant {!run} degrade to
+          inline execution instead of deadlocking on batch ownership. *)
 }
 
-(* Record the first failing job of the batch; later failures are dropped
-   (fork/join semantics: one crash fails the whole region). *)
-let record_failure pool exn =
-  Mutex.lock pool.mutex;
-  if pool.failure = None then pool.failure <- Some exn;
-  Mutex.unlock pool.mutex
+let[@inline] self_stream pool = max 0 (Domain.DLS.get pool.self)
 
-let worker pool () =
+(** Is the calling domain inside a fork/join chunk of this pool right now?
+    The interpreter uses this to route a nested [parallel for] to
+    {!run_nested}/{!run_chained} rather than a second top-level batch. *)
+let in_chunk pool = Domain.DLS.get pool.in_chunk
+
+(* ------------------------------------------------------------------ *)
+(* item execution (shared by workers, the batch owner and group helpers) *)
+
+(* Mutex held on entry and exit; executes [it] (or discards it if its batch
+   or group already died) and updates completion counters. *)
+let run_item pool sid it =
+  pool.unassigned <- pool.unassigned - 1;
+  let dead =
+    pool.cancelled
+    || match it.it_group with Some g -> g.g_fail <> None | None -> false
+  in
+  if dead then (
+    match it.it_group with
+    | Some g ->
+      if g.g_fail = None then g.g_fail <- pool.failure;
+      if g.g_chain then g.g_left <- 0
+    | None -> ())
+  else begin
+    Mutex.unlock pool.mutex;
+    let prev = Domain.DLS.get pool.in_chunk in
+    Domain.DLS.set pool.in_chunk true;
+    (try it.it_fn sid
+     with exn ->
+       Mutex.lock pool.mutex;
+       (match it.it_group with
+       | Some g ->
+         if g.g_fail = None then g.g_fail <- Some exn;
+         if g.g_chain then g.g_left <- 0
+       | None ->
+         if pool.failure = None then pool.failure <- Some exn;
+         (* early termination: remaining chunks of this batch are dead *)
+         pool.cancelled <- true);
+       Mutex.unlock pool.mutex);
+    Domain.DLS.set pool.in_chunk prev;
+    Mutex.lock pool.mutex
+  end;
+  pool.batch_left <- pool.batch_left - 1;
+  (match it.it_group with
+  | Some g when not g.g_chain -> g.g_left <- g.g_left - 1
+  | _ -> ());
+  Condition.broadcast pool.work_done
+
+(* Mutex held.  Take a batch item for stream [sid]: own deque bottom first
+   (LIFO), then steal the top of everyone else's (FIFO). *)
+let obtain_batch pool sid =
+  match Dq.pop_bottom pool.deques.(sid) with
+  | Some _ as r -> r
+  | None ->
+    let n = pool.streams in
+    let rec scan k =
+      if k >= n then None
+      else
+        let t = (sid + k) mod n in
+        match Dq.steal_top pool.deques.(t) with
+        | Some _ as r ->
+          Atomic.incr pool.steals;
+          r
+        | None -> scan (k + 1)
+    in
+    scan 1
+
+let worker pool id () =
+  Domain.DLS.set pool.self id;
+  Mutex.lock pool.mutex;
   let rec loop () =
-    Mutex.lock pool.mutex;
-    while Queue.is_empty pool.queue && not pool.shutdown do
-      Condition.wait pool.work_available pool.mutex
-    done;
-    if pool.shutdown && Queue.is_empty pool.queue then begin
-      Mutex.unlock pool.mutex;
-      ()
-    end
-    else begin
-      let job = Queue.pop pool.queue in
-      Mutex.unlock pool.mutex;
-      (try job () with exn -> record_failure pool exn);
-      Mutex.lock pool.mutex;
-      pool.outstanding <- pool.outstanding - 1;
-      if pool.outstanding = 0 then Condition.broadcast pool.work_done;
-      Mutex.unlock pool.mutex;
+    match obtain_batch pool id with
+    | Some it ->
+      run_item pool id it;
       loop ()
-    end
+    | None ->
+      if not (Queue.is_empty pool.stream_queue) then begin
+        let job = Queue.pop pool.stream_queue in
+        Mutex.unlock pool.mutex;
+        (* streamed jobs own their failures: a crashing serve request must
+           only fail its own client, never a later batch's join *)
+        (try job () with _ -> ());
+        Mutex.lock pool.mutex;
+        pool.streaming <- pool.streaming - 1;
+        if pool.streaming = 0 then Condition.broadcast pool.work_done;
+        loop ()
+      end
+      else if pool.shutdown then Mutex.unlock pool.mutex
+      else begin
+        Condition.wait pool.work_available pool.mutex;
+        loop ()
+      end
   in
   loop ()
 
 (** Create a pool that runs jobs on [size] execution streams ([size - 1]
-    worker domains plus the caller). *)
+    worker domains plus the caller).  The unassigned-work throttle is
+    [4 x streams]: nested forks past that bound run inline, so the deques
+    hold at most one batch's seed plus a core-count-proportional backlog
+    (the ACL2 engine's "bounded unassigned work" rule). *)
 let create size =
   let size = max 1 size in
+  let workers =
+    max 0 (min (size - 1) (Domain.recommended_domain_count () * 4))
+  in
+  let streams = workers + 1 in
   let pool =
     {
       size;
-      queue = Queue.create ();
+      streams;
+      deques = Array.init streams (fun _ -> Dq.create ());
+      stream_queue = Queue.create ();
       mutex = Mutex.create ();
       work_available = Condition.create ();
       work_done = Condition.create ();
-      outstanding = 0;
+      batch_idle = Condition.create ();
+      batch_active = false;
+      batch_left = 0;
+      cancelled = false;
       failure = None;
+      streaming = 0;
+      unassigned = 0;
+      throttle = 4 * streams;
       shutdown = false;
       domains = [];
       batches = Atomic.make 0;
+      streamed = Atomic.make 0;
+      steals = Atomic.make 0;
+      self = Domain.DLS.new_key (fun () -> -1);
+      in_chunk = Domain.DLS.new_key (fun () -> false);
     }
   in
-  let workers = max 0 (min (size - 1) (Domain.recommended_domain_count () * 4)) in
-  pool.domains <- List.init workers (fun _ -> Domain.spawn (worker pool));
+  pool.domains <- List.init workers (fun i -> Domain.spawn (worker pool (i + 1)));
   pool
 
-(** Run all jobs, returning when every one has finished.  The caller also
-    executes jobs, so a pool of size 1 degenerates to a plain loop.  If any
-    job raised, the first such exception is re-raised here at the join point
-    (after every job of the batch has completed, so the pool stays
-    reusable).  Batches must not overlap: [run] is fork/join, called from
-    one domain at a time, and must not be interleaved with {!submit}. *)
-let run pool (jobs : job list) =
+(* Mutex held.  Help the active batch until it fully completes. *)
+let rec help_batch pool sid =
+  if pool.batch_left > 0 then begin
+    match obtain_batch pool sid with
+    | Some it ->
+      run_item pool sid it;
+      help_batch pool sid
+    | None ->
+      Condition.wait pool.work_done pool.mutex;
+      help_batch pool sid
+  end
+
+(** Run a fork/join batch.  Each [(seed, job)] is pushed onto the deque of
+    stream [seed mod streams]; the caller helps (own deque first, stealing
+    after) until every item has finished, and each job receives the id of
+    the stream that actually executes it.  If any job raised, the batch is
+    terminated early — not-yet-started items are discarded — and the first
+    exception is re-raised here at the join point, leaving the pool
+    reusable.  Batches serialize on an ownership flag, so calling this
+    from inside a streamed serve request is safe; calling it from inside a
+    batch item falls back to inline execution (fork a nested region with
+    {!run_nested}/{!run_chained} instead). *)
+let run_sharded pool (jobs : (int * sjob) list) =
   match jobs with
   | [] -> ()
-  | [ j ] ->
-    Atomic.incr pool.batches;
-    j ()
   | jobs ->
-    Atomic.incr pool.batches;
-    Mutex.lock pool.mutex;
-    pool.failure <- None;
-    List.iter (fun j -> Queue.push j pool.queue) jobs;
-    pool.outstanding <- pool.outstanding + List.length jobs;
-    Condition.broadcast pool.work_available;
-    Mutex.unlock pool.mutex;
-    (* the caller helps *)
-    let rec help () =
-      Mutex.lock pool.mutex;
-      if Queue.is_empty pool.queue then begin
-        while pool.outstanding > 0 do
-          Condition.wait pool.work_done pool.mutex
-        done;
-        Mutex.unlock pool.mutex
+    if Domain.DLS.get pool.in_chunk then begin
+      (* re-entrant fork/join: degrade to inline rather than deadlock on
+         batch ownership (the enclosing batch cannot finish while we wait) *)
+      let s = self_stream pool in
+      List.iter (fun (_, f) -> f s) jobs
+    end
+    else begin
+      Atomic.incr pool.batches;
+      let s = self_stream pool in
+      if pool.streams = 1 then begin
+        (* no worker domains: a plain loop, but delimited as chunk context
+           so nested forks know they are inside a dispatched region *)
+        Domain.DLS.set pool.in_chunk true;
+        let fin () = Domain.DLS.set pool.in_chunk false in
+        (try List.iter (fun (_, f) -> f s) jobs
+         with exn ->
+           fin ();
+           raise exn);
+        fin ()
       end
       else begin
-        let job = Queue.pop pool.queue in
-        Mutex.unlock pool.mutex;
-        (try job () with exn -> record_failure pool exn);
         Mutex.lock pool.mutex;
-        pool.outstanding <- pool.outstanding - 1;
-        if pool.outstanding = 0 then Condition.broadcast pool.work_done;
+        while pool.batch_active do
+          Condition.wait pool.batch_idle pool.mutex
+        done;
+        pool.batch_active <- true;
+        pool.failure <- None;
+        pool.cancelled <- false;
+        List.iter
+          (fun (seed, f) ->
+            let d = pool.deques.(((seed mod pool.streams) + pool.streams) mod pool.streams) in
+            Dq.push_bottom d { it_group = None; it_fn = f };
+            pool.batch_left <- pool.batch_left + 1;
+            pool.unassigned <- pool.unassigned + 1)
+          jobs;
+        Condition.broadcast pool.work_available;
+        help_batch pool s;
+        let fail = pool.failure in
+        pool.failure <- None;
+        pool.cancelled <- false;
+        pool.batch_active <- false;
+        Condition.broadcast pool.batch_idle;
         Mutex.unlock pool.mutex;
-        help ()
+        match fail with Some exn -> raise exn | None -> ()
       end
-    in
-    help ();
-    match pool.failure with
-    | Some exn ->
-      pool.failure <- None;
-      raise exn
-    | None -> ()
+    end
 
-(** Enqueue one fire-and-forget job; whichever worker domain is free picks
-    it up.  Unlike {!run} there is no join — pair with {!quiesce} to wait
-    for the queue to drain.  The job must catch its own exceptions (a crash
-    is recorded but never re-raised; see {!t.failure}).  Raises
+(** Run all jobs, returning when every one has finished — {!run_sharded}
+    with round-robin seeding for callers that don't care which stream
+    executes what (campaign fan-out, {!Par_loop}). *)
+let run pool (jobs : job list) =
+  run_sharded pool (List.mapi (fun i j -> (i, fun _ -> j ())) jobs)
+
+(* Mutex held.  Help group [g] to completion: execute its members off the
+   bottom of our own deque (they were pushed there; anything below them is
+   unrelated and stays put) and wait for stolen members to finish
+   elsewhere.  Deliberately does NOT pick up foreign work: the caller is
+   midway through a chunk whose interpreter state a foreign chunk must not
+   interleave with. *)
+let rec help_group pool sid g =
+  if g.g_left > 0 then begin
+    match
+      Dq.pop_bottom_if pool.deques.(sid) (fun it ->
+          match it.it_group with Some g' -> g' == g | None -> false)
+    with
+    | Some it ->
+      run_item pool sid it;
+      help_group pool sid g
+    | None ->
+      if g.g_left > 0 then Condition.wait pool.work_done pool.mutex;
+      help_group pool sid g
+  end
+
+(* Mutex held: may this nested fork enqueue?  Requires a live batch (we
+   are a chunk of it), a stream to steal with, and headroom under the
+   unassigned-work throttle. *)
+let may_enqueue pool =
+  pool.streams > 1 && pool.batch_active
+  && (not pool.shutdown)
+  && pool.unassigned < pool.throttle
+
+(** Fork [jobs] from inside an executing chunk: push them onto the calling
+    stream's own deque (bottom — the owner pops them LIFO, idle streams
+    steal them FIFO) and help/wait until all of them — and only them —
+    have completed.  The first member exception discards the group's
+    remaining members and is re-raised here.  Outside a chunk, over the
+    unassigned-work throttle, or on a single-stream pool the jobs simply
+    run inline, in order. *)
+let run_nested pool (jobs : sjob list) =
+  match jobs with
+  | [] -> ()
+  | jobs ->
+    let s = self_stream pool in
+    let enqueue =
+      Domain.DLS.get pool.in_chunk
+      &&
+      (Mutex.lock pool.mutex;
+       let ok = may_enqueue pool in
+       if not ok then Mutex.unlock pool.mutex;
+       ok)
+    in
+    if not enqueue then List.iter (fun f -> f s) jobs
+    else begin
+      (* mutex held *)
+      Atomic.incr pool.batches;
+      let g = { g_left = List.length jobs; g_fail = None; g_chain = false } in
+      List.iter
+        (fun f ->
+          Dq.push_bottom pool.deques.(s) { it_group = Some g; it_fn = f };
+          pool.batch_left <- pool.batch_left + 1;
+          pool.unassigned <- pool.unassigned + 1)
+        jobs;
+      Condition.broadcast pool.work_available;
+      help_group pool s g;
+      Mutex.unlock pool.mutex;
+      match g.g_fail with Some exn -> raise exn | None -> ()
+    end
+
+(** Fork [jobs] from inside an executing chunk as a {e sequential chain}:
+    link [i+1] enters the deques only when link [i] has finished, on
+    whichever stream finished it, so at most one link runs at a time but
+    the chain migrates to whoever steals it.  This is the instrumented
+    interpreter's nested dispatch: its cost counters and cache simulation
+    evolve on one state in program order, so execution must stay
+    sequential — but the chunks still flow through the deques, where an
+    idle stream can relieve a loaded one of the rest of the loop.  A link
+    exception (or the enclosing batch dying) kills the chain: later links
+    never run, and the exception is re-raised here.  Inline fallbacks as
+    {!run_nested}. *)
+let run_chained pool (jobs : sjob array) =
+  let len = Array.length jobs in
+  if len > 0 then begin
+    let s = self_stream pool in
+    let enqueue =
+      Domain.DLS.get pool.in_chunk
+      &&
+      (Mutex.lock pool.mutex;
+       let ok = may_enqueue pool in
+       if not ok then Mutex.unlock pool.mutex;
+       ok)
+    in
+    if not enqueue then Array.iter (fun f -> f s) jobs
+    else begin
+      (* mutex held *)
+      Atomic.incr pool.batches;
+      let g = { g_left = 1; g_fail = None; g_chain = true } in
+      let push_locked it =
+        Dq.push_bottom pool.deques.(self_stream pool) it;
+        pool.batch_left <- pool.batch_left + 1;
+        pool.unassigned <- pool.unassigned + 1;
+        Condition.broadcast pool.work_available
+      in
+      let rec link i =
+        {
+          it_group = Some g;
+          it_fn =
+            (fun sid ->
+              jobs.(i) sid;
+              if i + 1 < len then begin
+                Mutex.lock pool.mutex;
+                if pool.cancelled || g.g_fail <> None then begin
+                  if g.g_fail = None then g.g_fail <- pool.failure;
+                  g.g_left <- 0;
+                  Condition.broadcast pool.work_done
+                end
+                else push_locked (link (i + 1));
+                Mutex.unlock pool.mutex
+              end
+              else begin
+                Mutex.lock pool.mutex;
+                g.g_left <- 0;
+                Condition.broadcast pool.work_done;
+                Mutex.unlock pool.mutex
+              end);
+        }
+      in
+      push_locked (link 0);
+      help_group pool s g;
+      Mutex.unlock pool.mutex;
+      match g.g_fail with Some exn -> raise exn | None -> ()
+    end
+  end
+
+(** Open-ended {!run_chained}: [step sid] runs as a chain link, and its
+    result decides whether another link is scheduled ([true]) or the chain
+    is complete ([false]).  For sequential work whose length is not known
+    up front — the instrumented interpreter slices a nested loop of
+    unknown trip count this way, yielding to the deques between slices.
+    Inline fallback loops [step] to completion on the calling stream. *)
+let run_chain pool (step : int -> bool) =
+  let s = self_stream pool in
+  let enqueue =
+    Domain.DLS.get pool.in_chunk
+    &&
+    (Mutex.lock pool.mutex;
+     let ok = may_enqueue pool in
+     if not ok then Mutex.unlock pool.mutex;
+     ok)
+  in
+  if not enqueue then
+    let rec go () = if step s then go () in
+    go ()
+  else begin
+    (* mutex held *)
+    Atomic.incr pool.batches;
+    let g = { g_left = 1; g_fail = None; g_chain = true } in
+    let push_locked it =
+      Dq.push_bottom pool.deques.(self_stream pool) it;
+      pool.batch_left <- pool.batch_left + 1;
+      pool.unassigned <- pool.unassigned + 1;
+      Condition.broadcast pool.work_available
+    in
+    let rec link () =
+      {
+        it_group = Some g;
+        it_fn =
+          (fun sid ->
+            let more = step sid in
+            Mutex.lock pool.mutex;
+            if (not more) || pool.cancelled || g.g_fail <> None then begin
+              if g.g_fail = None && pool.cancelled then g.g_fail <- pool.failure;
+              g.g_left <- 0;
+              Condition.broadcast pool.work_done
+            end
+            else push_locked (link ());
+            Mutex.unlock pool.mutex);
+      }
+    in
+    push_locked (link ());
+    help_group pool s g;
+    Mutex.unlock pool.mutex;
+    match g.g_fail with Some exn -> raise exn | None -> ()
+  end
+
+(** Enqueue one fire-and-forget job on the streaming side; whichever worker
+    domain is free picks it up.  Unlike {!run} there is no join — pair with
+    {!quiesce} to wait for the streaming side to drain.  The job must catch
+    its own exceptions (a crash is swallowed, never re-raised to anyone, so
+    a serve request that dies can only fail its own client).  Raises
     [Invalid_argument] after {!shutdown}: a torn-down pool silently
     dropping work would be indistinguishable from a hang. *)
 let submit pool (job : job) =
@@ -153,18 +563,20 @@ let submit pool (job : job) =
     Mutex.unlock pool.mutex;
     invalid_arg "Pool.submit: pool is shut down"
   end;
-  Atomic.incr pool.batches;
-  Queue.push job pool.queue;
-  pool.outstanding <- pool.outstanding + 1;
+  Atomic.incr pool.streamed;
+  Queue.push job pool.stream_queue;
+  pool.streaming <- pool.streaming + 1;
   Condition.signal pool.work_available;
   Mutex.unlock pool.mutex
 
-(** Wait until every queued and in-flight job (from {!submit}) has
-    finished.  Safe to call repeatedly; returns immediately when the pool
-    is idle. *)
+(** Wait until every queued and in-flight streamed job (from {!submit}) has
+    finished.  Fork/join batches are not waited on — they have their own
+    join — so a batch running concurrently cannot stall a serve drain.
+    Safe to call repeatedly; returns immediately when the streaming side is
+    idle. *)
 let quiesce pool =
   Mutex.lock pool.mutex;
-  while pool.outstanding > 0 do
+  while pool.streaming > 0 do
     Condition.wait pool.work_done pool.mutex
   done;
   Mutex.unlock pool.mutex
@@ -191,14 +603,30 @@ let size pool = pool.size
     this to fall back to inline execution (nobody would ever pop). *)
 let workers pool = List.length pool.domains
 
-(** Dispatches observed so far (see {!t.batches}): fork/join batches plus
-    streamed jobs.  Safe to read concurrently. *)
+(** Fork/join dispatches observed so far (see {!t.batches}): top-level
+    batches plus nested forks that reached the deques.  Streamed jobs are
+    counted by {!streamed} instead, so the two disciplines cannot
+    interleave each other's censuses.  Safe to read concurrently. *)
 let batches pool = Atomic.get pool.batches
 
-(** Reset the {!batches} observability counter (e.g. between requests or
-    test phases, so each can assert on the dispatches it alone caused).
-    Does not affect queued or running work. *)
-let reset_batches pool = Atomic.set pool.batches 0
+(** Streamed jobs accepted by {!submit} so far.  Safe to read
+    concurrently. *)
+let streamed pool = Atomic.get pool.streamed
+
+(** Batch items executed by a stream other than the one they were seeded
+    on: > 0 proves work really migrated (the steal-witness tests); 0 on a
+    balanced plan is normal.  Safe to read concurrently. *)
+let steals pool = Atomic.get pool.steals
+
+(** Reset the {!batches} and {!streamed} observability counters (e.g.
+    between requests or test phases, so each can assert on the dispatches
+    it alone caused).  Does not affect queued or running work. *)
+let reset_batches pool =
+  Atomic.set pool.batches 0;
+  Atomic.set pool.streamed 0
+
+(** Reset the {!steals} counter. *)
+let reset_steals pool = Atomic.set pool.steals 0
 
 (** Default worker count for [--jobs] flags: the [PUREC_JOBS] environment
     variable when set to a positive integer, otherwise

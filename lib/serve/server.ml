@@ -221,7 +221,11 @@ let stats_reply t ~id ~t0 : Protocol.reply =
       ("jobs", Protocol.Int t.jobs);
       ("queue_depth", Protocol.Int t.queue_depth);
       ("queue_high_water", Protocol.Int (Queue.high_water t.queue));
+      (* fork/join batches (run + nested forks) and streamed submissions
+         count on separate channels — see Runtime.Pool *)
       ("pool_batches", Protocol.Int (Runtime.Pool.batches t.pool));
+      ("pool_streamed", Protocol.Int (Runtime.Pool.streamed t.pool));
+      ("pool_steals", Protocol.Int (Runtime.Pool.steals t.pool));
       ("tu_cache", cache_stats_json t.tu ~entries:(Cache.length t.tu));
       ("reply_memo", cache_stats_json t.memo ~entries:(Cache.length t.memo));
       ("interp_instances", Protocol.Int (Interp.Compile.rts_created ()));

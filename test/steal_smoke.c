@@ -1,0 +1,32 @@
+/* Skewed triangular nest under schedule(guided,1): iteration i does i
+   units of work, so static partitions are maximally imbalanced and the
+   guided grants really flow through the work-stealing deques.  Every
+   operand is a dyadic rational and each cell is written exactly once,
+   so the checksum is byte-identical at every --jobs and schedule. */
+#include <stdio.h>
+
+double S[48][48];
+double W[48];
+
+int main(void) {
+  for (int i = 0; i < 48; i++) {
+    W[i] = (i * 11 % 23) * 0.25;
+    for (int j = 0; j < 48; j++) {
+      S[i][j] = ((i + j) % 17) * 0.5;
+    }
+  }
+#pragma omp parallel for schedule(guided,1)
+  for (int i = 1; i < 48; i++) {
+    for (int j = 0; j < i; j++) {
+      S[i][j] = S[i][j] * 0.5 + W[j] * 0.25;
+    }
+  }
+  double s = 0.0;
+  for (int i = 0; i < 48; i++) {
+    for (int j = 0; j < 48; j++) {
+      s += S[i][j] * ((i + j) % 7);
+    }
+  }
+  printf("tri %.17g\n", s);
+  return 0;
+}

@@ -355,7 +355,7 @@ let test_reduction_shrinker_replay () =
 let test_oracle_clean_campaign () =
   let result = Fuzzgen.Fuzz.campaign ~seed:1 ~count:10 () in
   Alcotest.(check int) "no mismatches on 10 seeds" 0 (List.length result.Fuzzgen.Fuzz.k_failed);
-  Alcotest.(check int) "ten configurations compared" 10 result.Fuzzgen.Fuzz.k_configs
+  Alcotest.(check int) "twelve configurations compared" 12 result.Fuzzgen.Fuzz.k_configs
 
 (* disabling the legality check must produce an output mismatch the oracle
    catches on some seed, and the shrinker must minimize it while the seed

@@ -136,6 +136,24 @@ let test_racecheck_critical_unguarded =
     ~name:"racecheck_critical_unguarded"
     ~args:"racecheck critical_unguarded.c --mode manual --engine both --cores 4"
 
+(* The work-stealing linearizations, pinned explicitly under guided: the
+   tiled wavefront replays clean (guided's grant boundaries are a pure
+   function of the plan, so both engines see identical chunking), and the
+   unguarded critical pair is racy under guided exactly as under static —
+   stealing moves grants between streams but never changes the verdict. *)
+let test_racecheck_wavefront_guided =
+  golden_of_command ~name:"racecheck_wavefront_guided"
+    ~args:
+      "racecheck --workload pure-wavefront --workload antidiag --tile 4 \
+       --schedule guided,2 --cores 4"
+
+let test_racecheck_critical_unguarded_guided =
+  golden_of_command ~expect_code:Toolchain.Chain.exit_race
+    ~name:"racecheck_critical_unguarded_guided"
+    ~args:
+      "racecheck critical_unguarded.c --mode manual --engine both \
+       --schedule guided,1 --cores 4"
+
 let suite =
   List.map (fun (name, src) -> Alcotest.test_case name `Quick (test_case_for (name, src))) cases
   @ [
@@ -147,4 +165,8 @@ let suite =
         test_racecheck_critical_guarded;
       Alcotest.test_case "racecheck_critical_unguarded" `Quick
         test_racecheck_critical_unguarded;
+      Alcotest.test_case "racecheck_wavefront_guided" `Quick
+        test_racecheck_wavefront_guided;
+      Alcotest.test_case "racecheck_critical_unguarded_guided" `Quick
+        test_racecheck_critical_unguarded_guided;
     ]

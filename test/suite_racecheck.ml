@@ -162,12 +162,14 @@ let test_schedule_of_string () =
   ok "dynamic" (Runtime.Par_loop.Dynamic 1);
   ok "DYNAMIC,3" (Runtime.Par_loop.Dynamic 3);
   ok " static , 2 " (Runtime.Par_loop.Static_chunk 2);
+  ok "guided" (Runtime.Par_loop.Guided 1);
+  ok "guided,7" (Runtime.Par_loop.Guided 7);
   List.iter
     (fun s ->
       match R.schedule_of_string s with
       | Ok _ -> Alcotest.failf "%S must be rejected" s
       | Error _ -> ())
-    [ "guided"; "static,0"; "dynamic,-1"; "static,x"; "" ]
+    [ "guided,0"; "static,0"; "dynamic,-1"; "static,x"; "" ]
 
 (* ------------------------------------------------------------------ *)
 (* Exit-code classification (Diag.kind is total) *)

@@ -165,6 +165,99 @@ let qcheck_parallel_sum =
           got = !expected))
 
 (* ------------------------------------------------------------------ *)
+(* Nested fork primitives: the work-stealing deque side entrances *)
+
+let test_nested_fork_inside_chunk () =
+  with_pool 4 (fun pool ->
+      Runtime.Pool.reset_batches pool;
+      let total = Atomic.make 0 in
+      Runtime.Pool.run pool
+        (List.init 4 (fun _ ->
+             fun () ->
+               Runtime.Pool.run_nested pool
+                 (List.init 8 (fun _ -> fun _sid -> Atomic.incr total))));
+      Alcotest.(check int) "every nested job ran once" 32 (Atomic.get total);
+      if Runtime.Pool.workers pool > 0 then
+        (* the top-level batch plus at least one nested enqueue *)
+        Alcotest.(check bool) "nested forks counted as batches" true
+          (Runtime.Pool.batches pool >= 2);
+      (* outside a chunk the same call runs inline, in order *)
+      let acc = ref [] in
+      Runtime.Pool.run_nested pool (List.init 3 (fun i -> fun _sid -> acc := i :: !acc));
+      Alcotest.(check (list int)) "inline fallback order" [ 2; 1; 0 ] !acc)
+
+let test_chain_strict_order () =
+  with_pool 4 (fun pool ->
+      (* inline fallback: outside a chunk, run_chain loops on the caller *)
+      let seen = ref [] in
+      let i = ref 0 in
+      Runtime.Pool.run_chain pool (fun _sid ->
+          seen := !i :: !seen;
+          incr i;
+          !i < 5);
+      Alcotest.(check (list int)) "inline chain order" [ 4; 3; 2; 1; 0 ] !seen;
+      (* through the deques: links run strictly one at a time, in order,
+         no matter which stream picks each one up *)
+      let order = ref [] in
+      Runtime.Pool.run pool
+        [
+          (fun () ->
+            let k = ref 0 in
+            Runtime.Pool.run_chain pool (fun _sid ->
+                order := !k :: !order;
+                incr k;
+                !k < 30));
+        ];
+      Alcotest.(check (list int))
+        "chain order through deques"
+        (List.init 30 (fun j -> 29 - j))
+        !order;
+      (* the fixed-length chain keeps the same discipline *)
+      let corder = ref [] in
+      Runtime.Pool.run pool
+        [
+          (fun () ->
+            Runtime.Pool.run_chained pool
+              (Array.init 10 (fun j -> fun _sid -> corder := j :: !corder)));
+        ];
+      Alcotest.(check (list int)) "chained order" [ 9; 8; 7; 6; 5; 4; 3; 2; 1; 0 ] !corder)
+
+let test_nested_exception_propagates () =
+  with_pool 4 (fun pool ->
+      let raised =
+        try
+          Runtime.Pool.run pool
+            [
+              (fun () ->
+                Runtime.Pool.run_nested pool
+                  (List.init 8 (fun i -> fun _sid -> if i = 3 then raise (Boom i))));
+            ];
+          false
+        with Boom 3 -> true
+      in
+      Alcotest.(check bool) "nested exception re-raised at outer join" true raised;
+      let n = Atomic.make 0 in
+      Runtime.Pool.run pool (List.init 8 (fun _ -> fun () -> Atomic.incr n));
+      Alcotest.(check int) "pool reusable after nested failure" 8 (Atomic.get n))
+
+let test_streaming_batch_accounting () =
+  (* the serve daemon's streaming channel and fork/join batches interleave
+     on one pool: both accountings stay exact and separate *)
+  with_pool 4 (fun pool ->
+      Runtime.Pool.reset_batches pool;
+      let s = Atomic.make 0 and b = Atomic.make 0 in
+      for _ = 1 to 10 do
+        Runtime.Pool.submit pool (fun () -> Atomic.incr s);
+        Runtime.Pool.run pool (List.init 4 (fun _ -> fun () -> Atomic.incr b))
+      done;
+      Runtime.Pool.quiesce pool;
+      Alcotest.(check int) "streamed jobs ran" 10 (Atomic.get s);
+      Alcotest.(check int) "batch jobs ran" 40 (Atomic.get b);
+      Alcotest.(check int) "streamed counted on its own channel" 10
+        (Runtime.Pool.streamed pool);
+      Alcotest.(check int) "batches counted once each" 10 (Runtime.Pool.batches pool))
+
+(* ------------------------------------------------------------------ *)
 (* Streaming lifecycle (the serve daemon's discipline) *)
 
 let test_submit_quiesce () =
@@ -176,9 +269,12 @@ let test_submit_quiesce () =
       done;
       Runtime.Pool.quiesce pool;
       Alcotest.(check int) "all streamed jobs ran" 100 (Atomic.get hits);
-      Alcotest.(check int) "each submit counted" 100 (Runtime.Pool.batches pool);
+      (* streamed submissions count on their own channel, never as batches:
+         the two accountings must not interleave *)
+      Alcotest.(check int) "each submit counted" 100 (Runtime.Pool.streamed pool);
+      Alcotest.(check int) "no batch counted" 0 (Runtime.Pool.batches pool);
       Runtime.Pool.reset_batches pool;
-      Alcotest.(check int) "reset" 0 (Runtime.Pool.batches pool);
+      Alcotest.(check int) "reset" 0 (Runtime.Pool.streamed pool);
       (* quiesce on an idle pool returns immediately *)
       Runtime.Pool.quiesce pool)
 
@@ -223,6 +319,12 @@ let suite =
     Alcotest.test_case "chunk_plan consistent with plan" `Quick
       test_chunk_plan_consistent_with_plan;
     Alcotest.test_case "PUREC_JOBS default" `Quick test_default_jobs_env;
+    Alcotest.test_case "nested fork inside chunk" `Quick test_nested_fork_inside_chunk;
+    Alcotest.test_case "chain strict order" `Quick test_chain_strict_order;
+    Alcotest.test_case "nested exception propagation" `Quick
+      test_nested_exception_propagates;
+    Alcotest.test_case "streaming vs batch accounting" `Quick
+      test_streaming_batch_accounting;
     Alcotest.test_case "submit/quiesce streaming" `Quick test_submit_quiesce;
     Alcotest.test_case "streamed crash isolated" `Quick test_submit_crash_isolated;
     Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;

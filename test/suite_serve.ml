@@ -305,6 +305,12 @@ let test_caches_and_census () =
       let sub key field = jint (jfield (reply_field stats key) field) in
       (* compile then run share the parsed TU; the repeated run hits the
          reply memo outright *)
+      (* the scheduler's channels are reported separately: batches,
+         streamed submissions, and steals each have their own counter *)
+      Alcotest.(check bool) "pool_streamed reported" true
+        (jint (reply_field stats "pool_streamed") >= 0);
+      Alcotest.(check bool) "pool_steals reported" true
+        (jint (reply_field stats "pool_steals") >= 0);
       Alcotest.(check bool) "tu cache hit" true (sub "tu_cache" "hits" >= 1);
       Alcotest.(check bool) "reply memo hit" true (sub "reply_memo" "hits" >= 1);
       (* the memoized r2 is byte-identical to r1 *)

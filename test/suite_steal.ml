@@ -1,0 +1,377 @@
+(** Work-stealing scheduler battery.
+
+    The deque scheduler (owner pops LIFO, thieves steal FIFO) and the
+    [schedule(guided)] decaying-grant plan must be observationally
+    invisible: for every program, schedule clause, pool size, and
+    steal interleaving, the output bytes, return code, and fault text
+    match the sequential interpreter exactly.  The battery sweeps
+
+    - a skewed triangular nest and the wavefront gallery kernels under
+      static / static,C / dynamic,C / guided,C at --jobs 1/2/4/8, in
+      both instrumentation variants, against the sequential baseline,
+    - a deterministic steal witness: a two-item handshake on one deque
+      that can only complete if an idle stream steals,
+    - guided stealing really happening on the skewed nest (the
+      [Pool.steals] counter moves while bytes stay fixed),
+    - nested pragmas inside a dispatched chunk reaching the deques
+      (batch census via [Pool.batches]),
+    - earliest-iteration fault selection when many stolen chunks fault
+      concurrently, pool reuse after the fault, idempotent shutdown,
+    - a 200-run determinism soak at fixed jobs. *)
+
+module C = Toolchain.Chain
+
+type outcome = Finished of string * int | Faulted of string
+
+let show_outcome = function
+  | Finished (out, rc) -> Printf.sprintf "exit %d\n%s" rc out
+  | Faulted m -> "fault: " ^ m
+
+let outcome ?pool ~no_model c =
+  match C.execute ?pool ~no_model c with
+  | p -> Finished (p.Interp.Trace.output, p.Interp.Trace.return_code)
+  | exception Interp.Exec.Runtime_error m -> Faulted m
+
+let with_pool jobs f =
+  if jobs <= 1 then f None
+  else begin
+    let pool = Runtime.Pool.create jobs in
+    Fun.protect
+      ~finally:(fun () -> Runtime.Pool.shutdown pool)
+      (fun () -> f (Some pool))
+  end
+
+(* the check at the heart of the battery: whatever was stolen by whom,
+   both variants reproduce the sequential bytes *)
+let check_against_baseline name baseline ?pool c =
+  let m = outcome ?pool ~no_model:false c in
+  let f = outcome ?pool ~no_model:true c in
+  Alcotest.(check string) (name ^ " modeled") (show_outcome baseline) (show_outcome m);
+  Alcotest.(check string) (name ^ " fast") (show_outcome baseline) (show_outcome f)
+
+let check_at_jobs name baseline jobs_list c =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          check_against_baseline (Printf.sprintf "%s --jobs %d" name jobs) baseline
+            ?pool c))
+    jobs_list
+
+(* ------------------------------------------------------------------ *)
+(* A skewed triangular nest: iteration i does i units of work, so static
+   partitions are maximally imbalanced and guided/stealing really moves
+   chunks between streams.  Every operand is a dyadic rational and each
+   cell is written exactly once, so the bytes are schedule-independent. *)
+
+let skew_source ?(clause = "") ?(n = 48) () =
+  Printf.sprintf
+    {|
+#include <stdio.h>
+double S[%d][%d];
+double W[%d];
+int main(void) {
+  for (int i = 0; i < %d; i++) {
+    W[i] = (i * 11 %% 23) * 0.25;
+    for (int j = 0; j < %d; j++) {
+      S[i][j] = ((i + j) %% 17) * 0.5;
+    }
+  }
+#pragma omp parallel for%s
+  for (int i = 1; i < %d; i++) {
+    for (int j = 0; j < i; j++) {
+      S[i][j] = S[i][j] * 0.5 + W[j] * 0.25;
+    }
+  }
+  double s = 0.0;
+  for (int i = 0; i < %d; i++) {
+    for (int j = 0; j < %d; j++) {
+      s += S[i][j] * ((i + j) %% 7);
+    }
+  }
+  printf("tri %%.17g\n", s);
+  return 0;
+}
+|}
+    n n n n n clause n n n
+
+let clauses =
+  [ ""; " schedule(static,2)"; " schedule(dynamic,1)"; " schedule(guided,1)";
+    " schedule(guided,3)" ]
+
+let test_skew_identical_across_schedules () =
+  let baseline = outcome ~no_model:false (C.compile ~mode:C.Sequential (skew_source ())) in
+  (match baseline with
+  | Finished _ -> ()
+  | Faulted m -> Alcotest.failf "skew baseline faulted: %s" m);
+  List.iter
+    (fun clause ->
+      let c = C.compile ~mode:C.Manual_omp (skew_source ~clause ()) in
+      check_at_jobs (Printf.sprintf "skew%s" clause) baseline [ 1; 2; 4; 8 ] c)
+    clauses
+
+(* the wavefront kernels under guided: the same twins the racecheck
+   goldens pin, really executed on domain pools *)
+
+let guided_chain c0 =
+  C.Pure_chain (fun cfg -> { cfg with Pluto.schedule_clause = Some c0 })
+
+let test_gallery_guided () =
+  let subset =
+    [
+      ("matmul_pure", Workloads.Matmul.pure_source ~n:8 ());
+      ("heat_pure", Workloads.Heat.pure_source ~n:8 ~t:2 ());
+      ("lama_pure", Workloads.Lama_app.pure_source ~rows:8 ~maxnnz:3 ~reps:2 ());
+    ]
+    @ List.filter_map
+        (fun name ->
+          Option.map
+            (fun k -> ("kernel_" ^ name, k.Workloads.Kernels.k_source))
+            (Workloads.Kernels.find name))
+        [ "pure-wavefront"; "antidiag"; "seidel-2d" ]
+  in
+  List.iter
+    (fun (name, src) ->
+      let baseline = outcome ~no_model:false (C.compile ~mode:C.Sequential src) in
+      List.iter
+        (fun sched ->
+          let c = C.compile ~mode:(guided_chain sched) src in
+          check_at_jobs
+            (Printf.sprintf "%s schedule(%s)" name sched)
+            baseline [ 1; 2; 4; 8 ] c)
+        [ "guided,1"; "guided,3" ])
+    subset
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic steal witness.  Both items are seeded onto stream 0's
+   deque.  The owner pops LIFO, so it takes the spinner and blocks; the
+   setter is left at the top of the deque, where only a FIFO thief can
+   reach it.  The handshake therefore completes only via a steal. *)
+
+let test_steal_witness_handshake () =
+  with_pool 4 (fun pool ->
+      match pool with
+      | None -> ()
+      | Some pool ->
+        if Runtime.Pool.workers pool = 0 then () (* no thief exists: vacuous *)
+        else begin
+          Runtime.Pool.reset_steals pool;
+          let stolen = Atomic.make false in
+          let jobs =
+            [
+              (* pushed first: becomes the deque top, the thief's end *)
+              (0, fun _sid -> Atomic.set stolen true);
+              (* pushed last: the owner pops this one and spins until the
+                 other item has run on some other stream (bounded, so a
+                 scheduler bug fails the test instead of hanging it) *)
+              ( 0,
+                fun _sid ->
+                  let spins = ref 0 in
+                  while (not (Atomic.get stolen)) && !spins < 2_000_000_000 do
+                    incr spins;
+                    Domain.cpu_relax ()
+                  done );
+            ]
+          in
+          Runtime.Pool.run_sharded pool jobs;
+          Alcotest.(check bool) "handshake completed via steal" true
+            (Atomic.get stolen);
+          Alcotest.(check bool) "steal counted" true (Runtime.Pool.steals pool >= 1)
+        end)
+
+(* guided grants on the skewed nest really migrate: the early grants are
+   huge, so the streams whose deques drain first steal the loaded one's
+   pending grants.  Retried because a single run's interleaving is
+   timing-dependent; the bytes are checked on every attempt. *)
+
+let test_steals_on_skewed_guided () =
+  let src = skew_source ~clause:" schedule(guided,1)" ~n:96 () in
+  let baseline = outcome ~no_model:false (C.compile ~mode:C.Sequential src) in
+  let c = C.compile ~mode:C.Manual_omp src in
+  with_pool 4 (fun pool ->
+      match pool with
+      | None -> ()
+      | Some pool ->
+        if Runtime.Pool.workers pool = 0 then ()
+        else begin
+          Runtime.Pool.reset_steals pool;
+          let attempts = ref 0 in
+          while Runtime.Pool.steals pool = 0 && !attempts < 50 do
+            incr attempts;
+            let f = outcome ~pool ~no_model:true c in
+            Alcotest.(check string)
+              (Printf.sprintf "skew guided bytes, attempt %d" !attempts)
+              (show_outcome baseline) (show_outcome f)
+          done;
+          Alcotest.(check bool)
+            (Printf.sprintf "steals observed within %d attempts" !attempts)
+            true
+            (Runtime.Pool.steals pool > 0)
+        end)
+
+(* ------------------------------------------------------------------ *)
+(* Nested parallel pragmas inside a dispatched chunk must reach the
+   deques (not silently sequentialize): the batch census counts the
+   top-level dispatch plus at least one nested enqueue. *)
+
+let nested_source =
+  {|
+#include <stdio.h>
+double A[40][40];
+int main(void) {
+  for (int i = 0; i < 40; i++) {
+    for (int j = 0; j < 40; j++) {
+      A[i][j] = ((i * 40 + j) % 17) * 0.5;
+    }
+  }
+#pragma omp parallel for
+  for (int i = 0; i < 40; i++) {
+#pragma omp parallel for schedule(guided,2)
+    for (int j = 0; j < 40; j++) {
+      A[i][j] = A[i][j] * 0.5 + 1.25;
+    }
+  }
+  double s = 0.0;
+  for (int i = 0; i < 40; i++) {
+    for (int j = 0; j < 40; j++) {
+      s += A[i][j] * ((i + j) % 5);
+    }
+  }
+  printf("sum %.17g\n", s);
+  return 0;
+}
+|}
+
+let test_nested_dispatch_census () =
+  let baseline = outcome ~no_model:false (C.compile ~mode:C.Sequential nested_source) in
+  let c = C.compile ~mode:C.Manual_omp nested_source in
+  (* identity first, at every pool size *)
+  check_at_jobs "nested pragma" baseline [ 1; 2; 4; 8 ] c;
+  (* census: at jobs 4 both variants enqueue nested batches beyond the
+     single top-level dispatch *)
+  with_pool 4 (fun pool ->
+      match pool with
+      | None -> ()
+      | Some pool ->
+        Runtime.Pool.reset_batches pool;
+        let f = outcome ~pool ~no_model:true c in
+        Alcotest.(check string) "nested fast bytes" (show_outcome baseline)
+          (show_outcome f);
+        let fast_batches = Runtime.Pool.batches pool in
+        Alcotest.(check bool)
+          (Printf.sprintf "fast nested dispatch reached the deques (%d batches)"
+             fast_batches)
+          true (fast_batches >= 2);
+        Runtime.Pool.reset_batches pool;
+        let m = outcome ~pool ~no_model:false c in
+        Alcotest.(check string) "nested modeled bytes" (show_outcome baseline)
+          (show_outcome m);
+        let modeled_batches = Runtime.Pool.batches pool in
+        Alcotest.(check bool)
+          (Printf.sprintf "modeled nested chain reached the deques (%d batches)"
+             modeled_batches)
+          true (modeled_batches >= 2))
+
+(* ------------------------------------------------------------------ *)
+(* Fault determinism under stealing: every iteration from 37 on faults,
+   each at a different out-of-bounds index, so the surfaced text is only
+   right if the join picks the earliest iteration — not whichever stolen
+   chunk crashed first on the wall clock. *)
+
+let faulting_source ~clause =
+  Printf.sprintf
+    {|
+#include <stdio.h>
+double A[64];
+int main(void) {
+  for (int i = 0; i < 64; i++) {
+    A[i] = i * 0.5;
+  }
+#pragma omp parallel for%s
+  for (int i = 0; i < 64; i++) {
+    int k = i;
+    if (i >= 37) {
+      k = i + 63;
+    }
+    A[k] = A[k] + 1.0;
+  }
+  printf("done %%.17g\n", A[12]);
+  return 0;
+}
+|}
+    clause
+
+let test_fault_earliest_iteration () =
+  List.iter
+    (fun clause ->
+      let src = faulting_source ~clause in
+      let baseline = outcome ~no_model:false (C.compile ~mode:C.Sequential src) in
+      (match baseline with
+      | Faulted _ -> ()
+      | Finished _ -> Alcotest.fail "fault program did not fault sequentially");
+      let c = C.compile ~mode:C.Manual_omp src in
+      check_at_jobs (Printf.sprintf "fault%s" clause) baseline [ 1; 2; 4; 8 ] c)
+    [ ""; " schedule(dynamic,1)"; " schedule(guided,1)" ]
+
+let test_pool_survives_fault_and_shutdown () =
+  let faulty = C.compile ~mode:C.Manual_omp (faulting_source ~clause:" schedule(guided,1)") in
+  let clean_src = skew_source ~clause:" schedule(guided,1)" () in
+  let clean_baseline = outcome ~no_model:false (C.compile ~mode:C.Sequential clean_src) in
+  let clean = C.compile ~mode:C.Manual_omp clean_src in
+  let pool = Runtime.Pool.create 4 in
+  Fun.protect
+    ~finally:(fun () -> Runtime.Pool.shutdown pool)
+    (fun () ->
+      (match outcome ~pool ~no_model:true faulty with
+      | Faulted _ -> ()
+      | Finished _ -> Alcotest.fail "faulty program finished");
+      (* the cancelled flag and failure slot were cleared: the same pool
+         runs a clean batch and produces the exact baseline bytes *)
+      check_against_baseline "pool reused after fault" clean_baseline
+        ~pool clean);
+  (* Fun.protect already shut the pool down once; shutdown again, then a
+     third time via another finalizer — all no-ops *)
+  Runtime.Pool.shutdown pool;
+  Alcotest.(check int) "workers joined" 0 (Runtime.Pool.workers pool);
+  Fun.protect ~finally:(fun () -> Runtime.Pool.shutdown pool) (fun () -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Determinism soak: the same compiled skewed program, the same pool,
+   200 fast runs (and 10 modeled runs) at jobs 4.  Every run must
+   produce the bytes of the first — any schedule-dependent merge order,
+   leaked scratch state, or cross-run contamination shows up here. *)
+
+let test_determinism_soak () =
+  let c = C.compile ~mode:C.Manual_omp (skew_source ~clause:" schedule(guided,1)" ~n:64 ()) in
+  with_pool 4 (fun pool ->
+      let first = show_outcome (outcome ?pool ~no_model:true c) in
+      for run = 2 to 200 do
+        let got = show_outcome (outcome ?pool ~no_model:true c) in
+        if got <> first then
+          Alcotest.failf "fast soak diverged on run %d:\n%s\nvs first:\n%s" run got
+            first
+      done;
+      let first_m = show_outcome (outcome ?pool ~no_model:false c) in
+      Alcotest.(check string) "modeled agrees with fast" first first_m;
+      for run = 2 to 10 do
+        let got = show_outcome (outcome ?pool ~no_model:false c) in
+        if got <> first_m then Alcotest.failf "modeled soak diverged on run %d" run
+      done)
+
+let suite =
+  [
+    Alcotest.test_case "skew identical across schedules at jobs 1/2/4/8" `Slow
+      test_skew_identical_across_schedules;
+    Alcotest.test_case "gallery under guided at jobs 1/2/4/8" `Slow
+      test_gallery_guided;
+    Alcotest.test_case "steal witness handshake" `Quick test_steal_witness_handshake;
+    Alcotest.test_case "steals observed on skewed guided nest" `Quick
+      test_steals_on_skewed_guided;
+    Alcotest.test_case "nested dispatch reaches the deques" `Quick
+      test_nested_dispatch_census;
+    Alcotest.test_case "fault picks earliest iteration" `Quick
+      test_fault_earliest_iteration;
+    Alcotest.test_case "pool survives fault; shutdown idempotent" `Quick
+      test_pool_survives_fault_and_shutdown;
+    Alcotest.test_case "200-run determinism soak at jobs 4" `Slow
+      test_determinism_soak;
+  ]

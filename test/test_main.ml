@@ -24,4 +24,5 @@ let () =
       ("reduction", Suite_reduction.suite);
       ("serve", Suite_serve.suite);
       ("fastpath", Suite_fastpath.suite);
+      ("steal", Suite_steal.suite);
     ]
