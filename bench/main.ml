@@ -449,6 +449,124 @@ int main(void) {
       ])
     rows
 
+(* the inspector/executor runtime check on the irregular gathers: the
+   inlined LAMA ELL SpMV (indirection only on reads, so the probe set is
+   empty and the parallel executor dispatches) against a duplicate-write
+   scatter of the same y[col[j]] shape (the probe finds the conflict and
+   the run falls back to the byte-identical sequential order).  For each
+   domain count we record the wall-clock of both, the machine-model
+   makespan with the inspector charged into the critical path, and — for
+   the conflicting scatter — the inspector overhead in percent: the
+   conflicting run pays for the probe and then executes sequentially
+   anyway, so its slowdown over the uninstrumented sequential run IS the
+   cost of the check. *)
+let run_measured_inspector scale domains =
+  let module F = Toolchain.Figures in
+  let rows = scale.F.lama_rows * 2 in
+  let maxnnz = scale.F.lama_maxnnz in
+  let spmv = Workloads.Lama_app.inspector_source ~rows ~maxnnz ~reps:1 () in
+  let n = scale.F.matmul_n * 32 in
+  let scatter =
+    Printf.sprintf
+      {|
+#include <stdio.h>
+int col[%d];
+double y[%d];
+double v[%d];
+int main(void) {
+  for (int i = 0; i < %d; i++) {
+    col[i] = (i * 2) %% %d;
+    v[i] = ((i * 3) %% 7) * 0.5;
+    y[i] = 0.0;
+  }
+#pragma scop
+  for (int j = 0; j < %d; j++) {
+    y[col[j]] += v[j] * 2.0;
+  }
+#pragma endscop
+  double s = 0.0;
+  for (int i = 0; i < %d; i++) {
+    s += y[i] * ((i %% 7) + 1);
+  }
+  printf("scatter %%.17g\n", s);
+  return 0;
+}
+|}
+      n n n n (n / 2) n n
+  in
+  let mode = Toolchain.Chain.Plain_pluto (fun x -> x) in
+  let c_spmv = Toolchain.Chain.compile ~mode spmv in
+  let c_scat = Toolchain.Chain.compile ~mode scatter in
+  let c_spmv_seq = Toolchain.Chain.compile ~mode:Toolchain.Chain.Sequential spmv in
+  let c_scat_seq = Toolchain.Chain.compile ~mode:Toolchain.Chain.Sequential scatter in
+  let reps = 3 in
+  pf
+    "== measured: inspector/executor — ELL SpMV rows=%d (disjoint) vs scatter n=%d \
+     (conflict), best of %d ==@."
+    rows n reps;
+  (* the modeled profiles carry the runtime-check verdicts, so the
+     simulated makespans below include the inspector cycles on the
+     critical path — disjoint pays the check once and then forks, the
+     conflict pays it and stays sequential *)
+  let prof_spmv = Toolchain.Chain.execute c_spmv in
+  let prof_scat = Toolchain.Chain.execute c_scat in
+  let sim prof d =
+    (Machine.Model.simulate ~backend:Machine.Config.gcc ~n:d prof)
+      .Machine.Model.r_seconds
+  in
+  let seq_spmv =
+    best_of reps (fun () -> ignore (Toolchain.Chain.execute ~no_model:true c_spmv_seq))
+  in
+  let seq_scat =
+    best_of reps (fun () -> ignore (Toolchain.Chain.execute ~no_model:true c_scat_seq))
+  in
+  let rows_out =
+    List.map
+      (fun d ->
+        let time c =
+          if d <= 1 then
+            best_of reps (fun () -> ignore (Toolchain.Chain.execute ~no_model:true c))
+          else begin
+            let pool = Runtime.Pool.create d in
+            Fun.protect
+              ~finally:(fun () -> Runtime.Pool.shutdown pool)
+              (fun () ->
+                best_of reps (fun () ->
+                    ignore (Toolchain.Chain.execute ~no_model:true ~pool c)))
+          end
+        in
+        let ts = time c_spmv in
+        let tc = time c_scat in
+        let ms = sim prof_spmv d in
+        let mc = sim prof_scat d in
+        let overhead = (tc /. seq_scat -. 1.0) *. 100.0 in
+        pf
+          "  %2d domain(s): spmv wall %8.6f s (seq %8.6f) scatter wall %8.6f s (seq \
+           %8.6f, inspector overhead %5.1f%%) | simulated spmv %.4g s scatter %.4g s@."
+          d ts seq_spmv tc seq_scat overhead ms mc;
+        (d, ts, tc, ms, mc, overhead))
+      domains
+  in
+  let title =
+    Printf.sprintf "inspector/executor: ELL SpMV rows=%d vs conflicting scatter n=%d"
+      rows n
+  in
+  List.concat_map
+    (fun (d, ts, tc, ms, mc, overhead) ->
+      [
+        record ~kind:"measured" ~figure:"measured-inspector" ~title ~unit:"seconds"
+          ~variant:"spmv-disjoint" ~cores:d ~value:ts;
+        record ~kind:"measured" ~figure:"measured-inspector" ~title ~unit:"seconds"
+          ~variant:"scatter-conflict" ~cores:d ~value:tc;
+        record ~kind:"modeled" ~figure:"measured-inspector" ~title ~unit:"s"
+          ~variant:"spmv-simulated" ~cores:d ~value:ms;
+        record ~kind:"modeled" ~figure:"measured-inspector" ~title ~unit:"s"
+          ~variant:"scatter-simulated" ~cores:d ~value:mc;
+        record ~kind:"measured" ~figure:"measured-inspector" ~title ~unit:"percent"
+          ~variant:"inspector-overhead" ~cores:d ~value:overhead;
+      ])
+    rows_out
+
 let run_figures scale which ~json ~domains ~tile_grain =
   let module F = Toolchain.Figures in
   let wants id = match which with None -> true | Some w -> w = id in
@@ -487,8 +605,10 @@ let run_figures scale which ~json ~domains ~tile_grain =
     let fastpath = run_measured_fastpath scale in
     let serve = run_measured_serve domains in
     let steal = run_measured_steal scale domains in
+    let inspector = run_measured_inspector scale domains in
     write_json
-      (figure_records rendered @ measured @ tiled @ reduction @ fastpath @ serve @ steal)
+      (figure_records rendered @ measured @ tiled @ reduction @ fastpath @ serve @ steal
+      @ inspector)
   end;
   (* correctness cross-check printed alongside the data *)
   let check name d =
@@ -747,7 +867,9 @@ let () =
     let fastpath = run_measured_fastpath scale in
     let serve = run_measured_serve !domains in
     let steal = run_measured_steal scale !domains in
-    if !json then write_json (measured @ tiled @ reduction @ fastpath @ serve @ steal)
+    let inspector = run_measured_inspector scale !domains in
+    if !json then
+      write_json (measured @ tiled @ reduction @ fastpath @ serve @ steal @ inspector)
   end
   else if !only_ablations then run_ablations scale !ablation
   else begin

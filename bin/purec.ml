@@ -72,6 +72,17 @@ let tile_grain_arg =
   in
   Arg.(value & opt bool true & info [ "tile-grain" ] ~docv:"BOOL" ~doc)
 
+let inspector_arg =
+  let doc =
+    "Runtime-checked parallelization of index-array gathers (inspector/\
+     executor).  When a nest fails dependence analysis only because a \
+     subscript goes through an index array, an inspector probes the \
+     iterations' write/read footprints at runtime and dispatches the \
+     parallel executor when they are pairwise disjoint (sequential \
+     fallback otherwise).  $(b,false) rejects such nests as before."
+  in
+  Arg.(value & opt bool true & info [ "inspector" ] ~docv:"BOOL" ~doc)
+
 let jobs_arg =
   let doc =
     "OCaml domains to fan work across.  Defaults to $(b,PUREC_JOBS) when \
@@ -92,13 +103,14 @@ let read_file path =
   close_in ic;
   s
 
-let make_spec mode sica tile schedule =
+let make_spec ?(inspector = true) mode sica tile schedule =
   {
     Toolchain.Chain.ms_mode = mode;
     ms_sica = sica;
     ms_tile = tile;
     ms_schedule = schedule;
     ms_inject = false;
+    ms_inspector = inspector;
   }
 
 (* exit with a code that tells the failure stages apart (see
@@ -143,16 +155,18 @@ let check_cmd =
 (* compile *)
 
 let compile_cmd =
-  let run file mode sica tile schedule dump =
+  let run file mode sica tile schedule inspector dump =
     handle_compile_error (fun () ->
         let src = read_file file in
-        let spec = make_spec mode sica tile schedule in
+        let spec = make_spec ~inspector mode sica tile schedule in
         let c = Toolchain.Chain.compile ~mode:(Toolchain.Chain.mode_of_spec spec) src in
         Toolchain.Chain.pp_compile_result Fmt.stdout ~dump c)
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Run the source-to-source chain and print the result.")
-    Term.(const run $ file_arg $ mode_arg $ sica_arg $ tile_arg $ schedule_arg $ dump_stages_arg)
+    Term.(
+      const run $ file_arg $ mode_arg $ sica_arg $ tile_arg $ schedule_arg
+      $ inspector_arg $ dump_stages_arg)
 
 (* ------------------------------------------------------------------ *)
 (* run *)
@@ -180,10 +194,11 @@ let run_cmd =
     in
     Arg.(value & flag & info [ "no-model" ] ~doc)
   in
-  let run file mode sica tile schedule cores backend jobs tile_grain no_model =
+  let run file mode sica tile schedule inspector cores backend jobs tile_grain no_model
+      =
     handle_compile_error (fun () ->
         let src = read_file file in
-        let spec = make_spec mode sica tile schedule in
+        let spec = make_spec ~inspector mode sica tile schedule in
         let c = Toolchain.Chain.compile ~mode:(Toolchain.Chain.mode_of_spec spec) src in
         Toolchain.Chain.pp_outcomes Fmt.stdout c;
         let profile =
@@ -207,8 +222,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, execute, and simulate timings on the modeled machine.")
     Term.(
-      const run $ file_arg $ mode_arg $ sica_arg $ tile_arg $ schedule_arg $ cores_arg
-      $ backend_arg $ run_jobs_arg $ tile_grain_arg $ no_model_arg)
+      const run $ file_arg $ mode_arg $ sica_arg $ tile_arg $ schedule_arg
+      $ inspector_arg $ cores_arg $ backend_arg $ run_jobs_arg $ tile_grain_arg
+      $ no_model_arg)
 
 (* ------------------------------------------------------------------ *)
 (* racecheck *)
@@ -262,7 +278,7 @@ let racecheck_cmd =
      full pure chain marks scops itself (same rule as the test suite).
      [--tile]/[--sica] apply to workloads too, so the gallery can be
      racechecked under tiled/skewed schedules. *)
-  let workload_mode ~inject ~sica ~tile source =
+  let workload_mode ~inject ~sica ~tile ~inspector source =
     let adjust (c : Pluto.config) =
       let c =
         if sica then
@@ -274,6 +290,7 @@ let racecheck_cmd =
         | Some ts -> { c with Pluto.tile = true; tile_sizes = [ ts ] }
         | None -> c
       in
+      let c = { c with Pluto.inspector } in
       if inject then { c with Pluto.unsafe_no_legality = true } else c
     in
     if Support.Util.string_contains ~needle:"#pragma scop" source then
@@ -293,6 +310,10 @@ let racecheck_cmd =
             ~h:scale.Toolchain.Figures.sat_h ~bands:scale.Toolchain.Figures.sat_bands () );
         ( "lama",
           Workloads.Lama_app.pure_source ~rows:scale.Toolchain.Figures.lama_rows
+            ~maxnnz:scale.Toolchain.Figures.lama_maxnnz
+            ~reps:scale.Toolchain.Figures.lama_reps () );
+        ( "lama-inspector",
+          Workloads.Lama_app.inspector_source ~rows:scale.Toolchain.Figures.lama_rows
             ~maxnnz:scale.Toolchain.Figures.lama_maxnnz
             ~reps:scale.Toolchain.Figures.lama_reps () );
       ]
@@ -325,7 +346,8 @@ let racecheck_cmd =
   (* [--schedule] here selects the replay plans; the pragma clause the
      compiler would emit is irrelevant because the replay matrix covers
      every clause anyway *)
-  let run file workloads cores scheds inject engine_s mode sica tile jobs tile_grain =
+  let run file workloads cores scheds inject engine_s mode sica tile inspector jobs
+      tile_grain =
     let engine =
       match Racecheck.engine_choice_of_string engine_s with
       | Ok e -> e
@@ -365,8 +387,11 @@ let racecheck_cmd =
         let source, chosen_mode =
           match target with
           | `File src ->
-            (src, Toolchain.Chain.mode_of_spec { (make_spec mode sica tile None) with ms_inject = inject })
-          | `Workload src -> (src, workload_mode ~inject ~sica ~tile src)
+            ( src,
+              Toolchain.Chain.mode_of_spec
+                { (make_spec ~inspector mode sica tile None) with ms_inject = inject }
+            )
+          | `Workload src -> (src, workload_mode ~inject ~sica ~tile ~inspector src)
         in
         let racy =
           Toolchain.Chain.racecheck_report ppf ~name ~engine ~schedules ~cores ~tile_grain
@@ -433,7 +458,8 @@ let racecheck_cmd =
           verdicts.  Exits 5 if any plan races or the engines disagree.")
     Term.(
       const run $ file_arg $ workload_arg $ rc_cores_arg $ rc_sched_arg $ inject_arg
-      $ engine_arg $ mode_arg $ sica_arg $ tile_arg $ jobs_arg $ tile_grain_arg)
+      $ engine_arg $ mode_arg $ sica_arg $ tile_arg $ inspector_arg $ jobs_arg
+      $ tile_grain_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz *)

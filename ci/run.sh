@@ -18,7 +18,12 @@
 # the steal smoke (the skewed triangular nest executed on 2 and 4
 # domains under schedule(guided,1) through the work-stealing deques,
 # racechecked clean under a guided plan, plus one fuzz seed carrying the
-# skewed-nest grammar shape and the oracle's guided twins).
+# skewed-nest grammar shape and the oracle's guided twins), and the
+# inspector smoke (the permutation gather executed on 2 domains through
+# the runtime disjointness check, the duplicate-write gather falling
+# back to the sequential order, the gather gallery and LAMA ELL SpMV
+# racechecked clean, plus one fuzz seed carrying the indirect-write
+# gather grammar shape through the oracle).
 #
 # Last comes the benchmark regression gate: a quick bench run must stay
 # inside the per-record tolerance bands of the committed baseline
@@ -39,5 +44,6 @@ dune build @reduction-smoke
 dune build @serve-smoke
 dune build @fastpath-smoke
 dune build @steal-smoke
+dune build @inspector-smoke
 dune exec bench/main.exe -- --quick --json > /dev/null
 dune exec ci/bench_diff.exe -- ci/bench_baseline.json BENCH_results.json

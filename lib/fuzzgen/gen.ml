@@ -335,10 +335,13 @@ let gen_triangular_nest rng ~n ~arrays ~dfns =
   sfor "i" 1 n [ sfor_ub "j" 1 (id "i") body ]
 
 (* CSR-style gather: [w[i] += A[i][col[k]] * weight].  The indirect
-   subscript is deliberately not affine — the scop detector must reject the
-   nest (it runs sequentially everywhere) rather than misparallelize it.
-   [col] is populated with an affine congruence whose values stay in
-   [1, n], so every gather is in bounds by construction. *)
+   subscript is deliberately not affine, so static dependence analysis
+   fails — with the inspector on, the nest is runtime-checked instead of
+   rejected (the write w[i] is affine, so the check is vacuous and the
+   loop parallelizes); with the inspector off it is rejected and runs
+   sequentially everywhere.  [col] is populated with an affine congruence
+   whose values stay in [1, n], so every gather is in bounds by
+   construction. *)
 let gen_csr_nest rng ~n ~dim (matrix : arr) =
   let col = { a_name = "col"; a_rank = 1; a_elt = I; a_dim = dim; a_heap = false } in
   let w = { a_name = "w"; a_rank = 1; a_elt = D; a_dim = dim; a_heap = false } in
@@ -637,6 +640,59 @@ let program_info rng : program_info =
     end
     else []
   in
+  (* One program in two carries an indirect-WRITE gather [G[gx[i]] += t]:
+     the subscript through the index array [gx] defeats static dependence
+     analysis, so the nest reaches the inspector/executor path.  [gx] is
+     drawn as a rotation permutation (runtime-disjoint, parallelized), a
+     duplicating congruence (runtime conflict, sequential fallback), or a
+     data-dependent filli image (either verdict, seed-dependent) — so the
+     differential oracle exercises both runtime verdicts across all its
+     configurations.  The update term is call-free, keeping the compiled
+     footprint probe applicable.  Drawn after every other rng decision, so
+     the full text of every pre-existing seed survives as a prefix. *)
+  let igather_arrays =
+    if Rng.int rng 2 = 0 then begin
+      let g = { a_name = "G"; a_rank = 1; a_elt = D; a_dim = dim; a_heap = false } in
+      let gx = { a_name = "gx"; a_rank = 1; a_elt = I; a_dim = dim; a_heap = false } in
+      push [ init_nest rng ~dim g ];
+      let fill_rhs =
+        match Rng.int rng 3 with
+        | 0 ->
+          (* rotation permutation: stride coprime with n, values in [1, n] *)
+          let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+          let rec coprime a = if gcd a n = 1 then a else coprime (a - 1) in
+          let a = coprime (1 + Rng.int rng (n - 1)) in
+          let b = Rng.int rng n in
+          badd (bmod (badd (bmul (id "k") (ilit a)) (ilit b)) (ilit n)) (ilit 1)
+        | 1 ->
+          (* duplicating congruence: n iterations land on n-1 cells *)
+          badd (bmod (id "k") (ilit (n - 1))) (ilit 1)
+        | _ ->
+          (* data-dependent: the filli image folded into [1, n] *)
+          badd (bmod (call "filli" [ id "k"; ilit (1 + Rng.int rng 5) ]) (ilit n)) (ilit 1)
+      in
+      push [ sfor "k" 0 (dim - 1) [ assign (idx1 "gx" (id "k")) fill_rhs ] ];
+      let term =
+        match List.filter (fun (a : arr) -> a.a_elt = D && not a.a_heap) arrays with
+        | [] -> flit (Rng.choose rng dbl_pool)
+        | darrs ->
+          bmul (gen_read rng ~iters:[ "i" ] ~n (Rng.choose rng darrs)) (flit (Rng.choose rng dbl_pool))
+      in
+      push
+        [
+          sfor "i" 1 n
+            [
+              assign
+                (idx1 "G" (idx1 "gx" (id "i")))
+                (badd (idx1 "G" (idx1 "gx" (id "i"))) term);
+            ];
+        ];
+      push (checksum_segment 88 g);
+      push (checksum_segment 89 gx);
+      [ g; gx ]
+    end
+    else []
+  in
   List.iter (fun (a : arr) -> if a.a_heap then push (free_segment ~dim a.a_name)) arrays;
   push [ sreturn (ilit 0) ];
   let main =
@@ -653,11 +709,16 @@ let program_info rng : program_info =
   in
   let prog =
     [ Ast.GInclude ("<stdio.h>", Loc.dummy); Ast.GInclude ("<stdlib.h>", Loc.dummy) ]
-    @ List.map global_array (globals_arrs @ csr_arrays @ tile_arrays @ skew_arrays)
+    @ List.map global_array
+        (globals_arrs @ csr_arrays @ tile_arrays @ skew_arrays @ igather_arrays)
     @ crit_globals
     @ [ fillf; filli ] @ dfn_globals @ ifn_globals @ [ main ]
   in
-  { pi_prog = prog; pi_n = n; pi_arrays = arrays @ csr_arrays @ tile_arrays @ skew_arrays }
+  {
+    pi_prog = prog;
+    pi_n = n;
+    pi_arrays = arrays @ csr_arrays @ tile_arrays @ skew_arrays @ igather_arrays;
+  }
 
 (** Generate the program for [seed] and print it to C source text. *)
 let program_of_seed seed : Ast.program =

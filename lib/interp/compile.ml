@@ -97,6 +97,9 @@ type rt = {
           when [trace_accesses] — traced runs never dispatch to the pool,
           so a single field is race-free — while real parallel execution
           relies on the actual mutexes instead. *)
+  mutable insp_log : Trace.insp_verdict list;
+      (** reversed inspector verdicts, one per execution of a
+          runtime-checked parallel loop; master-only like [segments] *)
 }
 
 (* Census of runtimes ever created.  Every [rt] owns its DLS key, allocator,
@@ -115,6 +118,19 @@ let rts_created () = Atomic.get rt_census
 let rt_census_fast = Atomic.make 0
 
 let rts_created_fast () = Atomic.get rt_census_fast
+
+(* Inspector verdict census across every runtime ever created: how many
+   runtime-checked loop executions found their footprints disjoint (and
+   were eligible for parallel dispatch) vs conflicting (and fell back to
+   sequential execution).  The serve daemon's [stats] reply reports both,
+   and the inspector suite asserts on their movement. *)
+let insp_disjoint_census = Atomic.make 0
+
+let insp_conflict_census = Atomic.make 0
+
+let insp_disjoint_total () = Atomic.get insp_disjoint_census
+
+let insp_conflict_total () = Atomic.get insp_conflict_census
 
 let create_rt ?l1_bytes ?l2_bytes ?(instr = Modeled) ?(shadow_slots = false)
     ?(tile_grain = true) ?pool () =
@@ -150,6 +166,7 @@ let create_rt ?l1_bytes ?l2_bytes ?(instr = Modeled) ?(shadow_slots = false)
     rec_depth = 0;
     rec_nacc = 0;
     held_locks = [];
+    insp_log = [];
   }
 
 let master rt = rt.states.(0)
@@ -185,7 +202,8 @@ let reset_rt rt =
   rt.rec_points <- None;
   rt.rec_depth <- 0;
   rt.rec_nacc <- 0;
-  rt.held_locks <- []
+  rt.held_locks <- [];
+  rt.insp_log <- []
 
 type frame = Mem.value array
 
@@ -4493,6 +4511,222 @@ let exec_parallel_nested_fast rt pool (sched : Trace.sched_kind)
   end;
   fr.(cn.oc_slot) <- Mem.VInt (lo + (n * stride))
 
+(* ------------------------------------------------------------------ *)
+(* The inspector of the inspector/executor path.  A pragma carrying an
+   [[inspector:…]] marker (emitted by the gather path of [Pluto]) names
+   the {e checked} arrays: the static analysis proved every OTHER access
+   parallel, so the loop may dispatch iff the checked arrays' footprints
+   are pairwise disjoint across iterations.  At compile time every access
+   to a checked array in the body is turned into an uninstrumented address
+   evaluator (the fast path's fused (root, offset) descriptors — no cost
+   counters, no cache traffic, no access logging, identical across the
+   three variants); at run time the probe sweeps the iteration space on a
+   scratch frame, hashing each address to its last touching iteration.  A
+   cross-iteration write/write or write/read collision — or any shape the
+   probe cannot compile or evaluate (an index expression reading state the
+   body mutates, an out-of-range index) — is a CONFLICT, and the loop runs
+   on the byte-identical sequential path instead, which also reproduces
+   any fault exactly where the uninspected run would have raised it. *)
+
+exception Probe_unsupported
+
+(* names declared anywhere inside the body: a probe index expression must
+   not read them (their slots are dead on the probe's scratch frame) *)
+let rec probe_locals acc (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.SDecl d -> d.Ast.d_name :: acc
+  | Ast.SBlock ss -> List.fold_left probe_locals acc ss
+  | Ast.SIf (_, t, e) -> (
+    let acc = probe_locals acc t in
+    match e with None -> acc | Some e -> probe_locals acc e)
+  | Ast.SWhile (_, b) | Ast.SDoWhile (b, _) -> probe_locals acc b
+  | Ast.SFor (i, _, _, b) ->
+    let acc =
+      match i with Some (Ast.FInitDecl d) -> d.Ast.d_name :: acc | _ -> acc
+    in
+    probe_locals acc b
+  | _ -> acc
+
+(* Only expressions whose every identifier is stable across the loop body
+   (not assigned, not declared inside it — the induction variable is
+   excluded by the caller, the probe sets it per iteration) may feed an
+   address evaluator; anything else makes the footprint unknowable at
+   probe time. *)
+let rec probe_expr_ok ~unstable (e : Ast.expr) =
+  match e.Ast.edesc with
+  | Ast.IntLit _ -> true
+  | Ast.Ident n -> not (List.mem n unstable)
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul), a, b) ->
+    probe_expr_ok ~unstable a && probe_expr_ok ~unstable b
+  | Ast.Unop (Ast.Neg, a) | Ast.Cast (_, a) -> probe_expr_ok ~unstable a
+  | Ast.Index (b, i) -> probe_expr_ok ~unstable b && probe_expr_ok ~unstable i
+  | _ -> false
+
+type insp_probe = {
+  ip_writes : (frame -> int) array;  (** checked-array write addresses *)
+  ip_reads : (frame -> int) array;  (** checked-array read addresses *)
+}
+
+(* base array name of an access expression, [None] for non-index shapes *)
+let rec probe_base_name (e : Ast.expr) =
+  match e.Ast.edesc with
+  | Ast.Ident n -> Some n
+  | Ast.Index (b, _) -> probe_base_name b
+  | Ast.Cast (_, b) -> probe_base_name b
+  | _ -> None
+
+(* Collect every access to a checked array in the loop body and compile it
+   to a byte-address evaluator over the fused (root, offset) descriptors.
+   Raises [Probe_unsupported] (or the fast compiler's [Unsupported]) on any
+   shape whose footprint cannot be known before the loop runs — the caller
+   maps that to a conservative conflict verdict. *)
+let probe_of_body cenv ~checked ~unstable body : insp_probe =
+  let writes = ref [] and reads = ref [] in
+  let addr_of e =
+    if not (probe_expr_ok ~unstable e) then raise Probe_unsupported;
+    let root, off, _ = fast_addr cenv e in
+    fun fr -> Mem.addr_of (Mem.at (root fr) (off fr))
+  in
+  let record ~write e =
+    match probe_base_name e with
+    | Some b when List.mem b checked ->
+      let a = addr_of e in
+      if write then writes := a :: !writes else reads := a :: !reads
+    | _ -> ()
+  in
+  let rec expr ?(store = false) (e : Ast.expr) =
+    match e.Ast.edesc with
+    | Ast.IntLit _ | Ast.FloatLit _ | Ast.StrLit _ | Ast.CharLit _
+    | Ast.SizeofType _ | Ast.SizeofExpr _ | Ast.Ident _ ->
+      ()
+    | Ast.Index (b, i) ->
+      record ~write:store e;
+      subs b;
+      expr i
+    | Ast.Binop (_, a, b) ->
+      expr a;
+      expr b
+    | Ast.Unop (_, a) | Ast.Cast (_, a) -> expr a
+    | Ast.Cond (c, t, f) ->
+      expr c;
+      expr t;
+      expr f
+    | Ast.Assign (_, lhs, rhs) ->
+      (* a compound assignment's implicit read shares the write's address:
+         the write entry alone covers both collision directions *)
+      expr ~store:true lhs;
+      expr rhs
+    | Ast.IncDec { arg; _ } -> expr ~store:true arg
+    | Ast.Comma (a, b) ->
+      expr a;
+      expr b
+    | Ast.Call _ ->
+      (* an opaque callee could touch a checked array unprobed *)
+      raise Probe_unsupported
+    | Ast.Deref _ | Ast.Member _ | Ast.Arrow _ | Ast.AddrOf _ ->
+      raise Probe_unsupported
+  and subs (b : Ast.expr) =
+    (* subscript-chain bases: only the inner index expressions are reads *)
+    match b.Ast.edesc with
+    | Ast.Ident _ -> ()
+    | Ast.Index (b', i) ->
+      record ~write:false b;
+      subs b';
+      expr i
+    | Ast.Cast (_, b') -> subs b'
+    | _ -> raise Probe_unsupported
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s.Ast.sdesc with
+    | Ast.SExpr e -> expr e
+    | Ast.SBlock ss -> List.iter stmt ss
+    | Ast.SIf (c, t, e) ->
+      expr c;
+      stmt t;
+      Option.iter stmt e
+    | Ast.SDecl d -> Option.iter (fun e -> expr e) d.Ast.d_init
+    | Ast.SFor (i, c, st, b) ->
+      (match i with
+      | Some (Ast.FInitExpr e) -> expr e
+      | Some (Ast.FInitDecl d) -> Option.iter (fun e -> expr e) d.Ast.d_init
+      | None -> ());
+      Option.iter (fun e -> expr e) c;
+      Option.iter (fun e -> expr e) st;
+      stmt b
+    | Ast.SWhile (c, b) ->
+      expr c;
+      stmt b
+    | Ast.SDoWhile (b, c) ->
+      stmt b;
+      expr c
+    | Ast.SBreak | Ast.SContinue | Ast.SPragma _ -> ()
+    | Ast.SReturn _ -> raise Probe_unsupported
+  in
+  stmt body;
+  {
+    ip_writes = Array.of_list (List.rev !writes);
+    ip_reads = Array.of_list (List.rev !reads);
+  }
+
+let run_probe (probe : insp_probe) (cn : omp_canon) ~lo ~stride ~n fr :
+    bool * int =
+  if Array.length probe.ip_writes = 0 then (true, 0)
+  else begin
+    let wlast = Hashtbl.create 64 and rlast = Hashtbl.create 64 in
+    let checks = ref 0 in
+    let conflict = ref false in
+    let fr' = Array.copy fr in
+    (try
+       let k = ref 0 in
+       while (not !conflict) && !k < n do
+         fr'.(cn.oc_slot) <- Mem.VInt (lo + (!k * stride));
+         Array.iter
+           (fun eval ->
+             let a = eval fr' in
+             incr checks;
+             (match Hashtbl.find_opt wlast a with
+             | Some j when j <> !k -> conflict := true
+             | _ -> ());
+             (match Hashtbl.find_opt rlast a with
+             | Some j when j <> !k -> conflict := true
+             | _ -> ());
+             Hashtbl.replace wlast a !k)
+           probe.ip_writes;
+         Array.iter
+           (fun eval ->
+             let a = eval fr' in
+             incr checks;
+             (match Hashtbl.find_opt wlast a with
+             | Some j when j <> !k -> conflict := true
+             | _ -> ());
+             Hashtbl.replace rlast a !k)
+           probe.ip_reads;
+         incr k
+       done
+     with _ -> conflict := true);
+    (not !conflict, !checks)
+  end
+
+(* the ordinal the NEXT [Par] segment pushed on [rt] will have — verdicts
+   are logged before their loop's segment lands, so this is the guarded
+   segment's index among the profile's [Par] segments *)
+let par_ordinal rt =
+  List.fold_left
+    (fun acc s -> match s with Trace.Par _ -> acc + 1 | Trace.Seq _ -> acc)
+    0 rt.segments
+
+let log_verdict rt pragma ~disjoint ~checks =
+  if disjoint then Atomic.incr insp_disjoint_census
+  else Atomic.incr insp_conflict_census;
+  rt.insp_log <-
+    {
+      Trace.iv_par = par_ordinal rt;
+      iv_unit = Trace.unit_of_pragma pragma;
+      iv_disjoint = disjoint;
+      iv_checks = checks;
+    }
+    :: rt.insp_log
+
 let rec compile_stmt cenv (s : Ast.stmt) : stmt_code =
   let rt = cenv.rt in
   match s.Ast.sdesc with
@@ -5020,6 +5254,36 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
       ~privatized:(if rt.tile_grain then clause_private else [])
       ~reductions:clause_reds init cond step body
   in
+  (* Inspector probe, for runtime-checked pragmas ([[inspector:…]] marker
+     from [Pluto]'s gather path).  Compiled here — after the init
+     declaration entered the scope, before body compilation pollutes it —
+     so every address evaluator resolves names at pragma time.  A probe
+     that cannot be built ([None]) conservatively forces the sequential
+     fallback; the disjointness verdict is then [false] with zero checks. *)
+  let insp = Trace.inspector_of_pragma pragma in
+  let probe =
+    match insp with
+    | None -> None
+    | Some checked ->
+      let ind_name =
+        match init with
+        | Some
+            (Ast.FInitExpr
+              { Ast.edesc = Ast.Assign (_, { Ast.edesc = Ast.Ident n; _ }, _);
+                _
+              }) ->
+          Some n
+        | Some (Ast.FInitDecl d) -> Some d.Ast.d_name
+        | _ -> None
+      in
+      let unstable =
+        List.filter
+          (fun n -> Some n <> ind_name)
+          (probe_locals [] body @ mutated_in_stmt body)
+      in
+      (try Some (probe_of_body cenv ~checked ~unstable body)
+       with Probe_unsupported | Unsupported _ -> None)
+  in
   let fbody = compile_stmt cenv body in
   cenv.scope <- saved_scope;
   cenv.shadow_ctx <- saved_ctx;
@@ -5049,6 +5313,27 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
     | Trace.Static -> 16
     | Trace.Static_chunk c | Trace.Dynamic c | Trace.Guided c -> max 1 c
   in
+  (* Run the inspector over the canonical trip space (after the real init
+     has executed, so the induction slot holds the lower bound) and log the
+     verdict.  The bound closure is re-evaluated by the executor afterwards;
+     [canon_induction] only admits side-effect-free bounds, so the double
+     evaluation is invisible. *)
+  let inspect (cn : omp_canon) fr =
+    let lo = Mem.to_int fr.(cn.oc_slot) in
+    let hi_incl =
+      let b = Mem.to_int (cn.oc_bound fr) in
+      if cn.oc_strict then b - 1 else b
+    in
+    let stride = cn.oc_stride in
+    let n = if hi_incl < lo then 0 else ((hi_incl - lo) / stride) + 1 in
+    let disjoint, checks =
+      match probe with
+      | Some p -> run_probe p cn ~lo ~stride ~n fr
+      | None -> (false, 0)
+    in
+    log_verdict rt pragma ~disjoint ~checks;
+    disjoint
+  in
   if is_fast rt then
     (* the fast closure: same dispatch decisions (nested regions fork onto
        the executing stream's deque when reached from inside a dispatched
@@ -5058,7 +5343,12 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
       if (cur rt).ds_slot <> 0 || rt.in_parallel then begin
         match (rt.pool, canon) with
         | Some pool, Some cn
-          when Runtime.Pool.size pool > 1 && Runtime.Pool.in_chunk pool ->
+          when insp = None
+               && Runtime.Pool.size pool > 1
+               && Runtime.Pool.in_chunk pool ->
+          (* a runtime-checked pragma never forks from inside a dispatched
+             chunk: the inspector verdict is a whole-loop property and the
+             nested sequential path below is always sound *)
           exec_parallel_nested_fast rt pool sched cn fbody finit fr
         | _ ->
           finit fr;
@@ -5071,15 +5361,12 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
            with Break_e -> ())
       end
       else begin
-        match (rt.pool, canon) with
-        | Some pool, Some cn when Runtime.Pool.size pool > 1 ->
-          exec_parallel_fast rt pool sched cn fbody finit fr
-        | _ ->
-          (* sequential, but still delimited as a parallel region so the
-             reported region count matches the modeled engine *)
+        (* sequential, but still delimited as a parallel region so the
+           reported region count matches the modeled engine *)
+        let seq_region ~init =
           rt.segments <- Trace.Seq (Cost.create ()) :: rt.segments;
           rt.in_parallel <- true;
-          finit fr;
+          init fr;
           fentry fr;
           (try
              while fcond fr do
@@ -5089,6 +5376,30 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
            with Break_e -> ());
           rt.in_parallel <- false;
           rt.segments <- Trace.Par { sched; iters = [||] } :: rt.segments
+        in
+        match (rt.pool, canon) with
+        | Some pool, Some cn when Runtime.Pool.size pool > 1 -> (
+          match insp with
+          | None -> exec_parallel_fast rt pool sched cn fbody finit fr
+          | Some _ ->
+            (* init once on the master, then inspect; the executor (or the
+               conflict fallback) must not re-run it *)
+            finit fr;
+            if inspect cn fr then
+              exec_parallel_fast rt pool sched cn fbody nop_stmt fr
+            else seq_region ~init:nop_stmt)
+        | _ -> (
+          match (canon, insp) with
+          | Some cn, Some _ ->
+            (* no pool to dispatch to, but the verdict is still logged so
+               diagnostics and the race engines see it in every variant *)
+            finit fr;
+            ignore (inspect cn fr : bool);
+            seq_region ~init:nop_stmt
+          | None, Some _ ->
+            log_verdict rt pragma ~disjoint:false ~checks:0;
+            seq_region ~init:finit
+          | _, None -> seq_region ~init:finit)
       end
   else fun fr ->
     if (cur rt).ds_slot <> 0 || rt.in_parallel then begin
@@ -5117,20 +5428,16 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
         with Break_e -> ())
     end
     else begin
-      match (rt.pool, canon) with
-      | Some pool, Some cn when Runtime.Pool.size pool > 1 && not rt.trace_accesses ->
-        (* real fork/join over the domain pool; access tracing stays on the
-           sequential path (the race detector replays schedules itself) *)
-        exec_parallel rt pool sched cn fbody finit fr
-      | _ ->
-        (* sequential recording path *)
+      (* sequential recording path; [init] is the loop init, or a nop when
+         the inspector wrapper already ran it *)
+      let seq_record ~init =
         let counters = (master rt).ds_counters in
         rt.segments <- Trace.Seq (Cost.diff counters rt.seg_start) :: rt.segments;
         rt.in_parallel <- true;
         let iters = ref [] in
         let iter_accs = ref [] in
         let iter_points = ref [] in
-        finit fr;
+        init fr;
         fentry fr;
         (try
            bump_branch rt;
@@ -5178,4 +5485,28 @@ and compile_omp_for cenv pragma init cond step body : stmt_code =
               pt_points = Array.of_list (List.rev !iter_points) }
             :: rt.par_traces;
         rt.seg_start <- Cost.copy counters
+      in
+      match (rt.pool, canon) with
+      | Some pool, Some cn when Runtime.Pool.size pool > 1 && not rt.trace_accesses
+        -> (
+        (* real fork/join over the domain pool; access tracing stays on the
+           sequential path (the race detector replays schedules itself) *)
+        match insp with
+        | None -> exec_parallel rt pool sched cn fbody finit fr
+        | Some _ ->
+          finit fr;
+          if inspect cn fr then exec_parallel rt pool sched cn fbody nop_stmt fr
+          else seq_record ~init:nop_stmt)
+      | _ -> (
+        match (canon, insp) with
+        | Some cn, Some _ ->
+          (* jobs=1 or traced: no dispatch either way, but the verdict is
+             logged so diagnostics and the racecheck cross-check see it *)
+          finit fr;
+          ignore (inspect cn fr : bool);
+          seq_record ~init:nop_stmt
+        | None, Some _ ->
+          log_verdict rt pragma ~disjoint:false ~checks:0;
+          seq_record ~init:finit
+        | _, None -> seq_record ~init:finit)
     end

@@ -176,6 +176,7 @@ let run_main (cenv : Compile.cenv) : Trace.profile =
     par_traces =
       (if rt.Compile.trace_accesses then Some (List.rev rt.Compile.par_traces)
        else None);
+    insp = List.rev rt.Compile.insp_log;
   }
 
 (** One-shot: load and run.  [instr] selects the execution variant

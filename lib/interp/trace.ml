@@ -56,6 +56,21 @@ type par_trace = {
           tracing off). *)
 }
 
+(** The inspector's runtime verdict for one execution of a runtime-checked
+    parallel loop (a pragma carrying an [[inspector:…]] marker).  Logged in
+    every instrumentation variant, whether or not the loop dispatched. *)
+type insp_verdict = {
+  iv_par : int;
+      (** ordinal of the [Par] segment this verdict guards (its index among
+          the profile's [Par] segments, in order) *)
+  iv_unit : int option;  (** the pragma's [unit N] tag, as in {!par_trace} *)
+  iv_disjoint : bool;
+      (** [true]: footprints pairwise disjoint across iterations — the loop
+          was eligible for parallel dispatch; [false]: a conflict (or an
+          unprobeable shape) forced the byte-identical sequential fallback *)
+  iv_checks : int;  (** addresses probed by the inspector loop *)
+}
+
 type profile = {
   segments : segment list;
   output : string;  (** everything the program printed *)
@@ -63,6 +78,9 @@ type profile = {
   regions : Mem.region list;  (** address-range labels for provenance *)
   par_traces : par_trace list option;  (** [None] unless traced (one entry
                                            per [Par] segment, in order) *)
+  insp : insp_verdict list;
+      (** inspector verdicts, in execution order; [[]] when no
+          runtime-checked loop ran *)
 }
 
 (** Point-iteration marks of parallel iteration [i], tolerant of hand-built
@@ -114,6 +132,31 @@ let unit_of_pragma text =
   | exception Not_found -> None
   | _ -> (
     match int_after text "[unit " (-1) with -1 -> None | n -> Some n)
+
+(** Parse the [[inspector]] / [[inspector:a,b]] marker the gather path of
+    [Pluto] appends to runtime-checked pragmas: [None] = no marker (a
+    statically proven loop), [Some arrays] = the checked arrays whose
+    footprints the inspector must probe ([[]] = nothing can conflict, the
+    check is vacuous but the dispatch is still inspector-gated). *)
+let inspector_of_pragma text =
+  match find_sub text "[inspector" with
+  | exception Not_found -> None
+  | start -> (
+    let i = start + String.length "[inspector" in
+    match String.index_from_opt text i ']' with
+    | None -> Some []
+    | Some j ->
+      let body = String.sub text i (j - i) in
+      let names =
+        match String.index_opt body ':' with
+        | None -> []
+        | Some c ->
+          String.sub body (c + 1) (String.length body - c - 1)
+          |> String.split_on_char ','
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+      in
+      Some names)
 
 (** Names listed in the [private(...)] clause of an [omp parallel for]
     pragma ([[]] when absent). *)

@@ -77,6 +77,12 @@ type machine = {
   m_fork_base_cycles : float;  (** parallel-region fork/join fixed cost *)
   m_fork_per_core_cycles : float;  (** additional per participating core *)
   m_dynamic_chunk_cycles : float;  (** dequeue cost per dynamic chunk *)
+  m_insp_base_cycles : float;
+      (** inspector invocation fixed cost (scratch-frame setup, hash-table
+          allocation), charged on the master before a runtime-checked loop
+          forks or falls back *)
+  m_insp_per_check_cycles : float;
+      (** per probed address: subscript evaluation + hash lookup/insert *)
 }
 
 (** The paper's 4-socket Opteron 6272 node (§4.2). *)
@@ -92,6 +98,8 @@ let opteron64 =
     m_fork_base_cycles = 8_000.0;
     m_fork_per_core_cycles = 600.0;
     m_dynamic_chunk_cycles = 180.0;
+    m_insp_base_cycles = 400.0;
+    m_insp_per_check_cycles = 14.0;
   }
 
 (** Effective aggregate bandwidth with [n] active cores (GB/s). *)

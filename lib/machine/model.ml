@@ -161,7 +161,20 @@ let makespan machine n (sched : Trace.sched_kind) (iter_cycles : float array) :
 
 (* ------------------------------------------------------------------ *)
 
-let segment_time machine backend n (seg : Trace.segment) : seg_breakdown =
+(** [insp] is the inspector verdict guarding a runtime-checked parallel
+    segment.  The check itself (base + per-probed-address cycles) is
+    charged as master-side overhead either way; a conflict verdict
+    additionally demotes the segment to sequential execution — every
+    iteration on one core, no fork/join, single-core bandwidth — exactly
+    what the interpreter's fallback path does. *)
+let segment_time ?insp machine backend n (seg : Trace.segment) : seg_breakdown =
+  let insp_cycles =
+    match insp with
+    | Some (v : Trace.insp_verdict) ->
+      machine.Config.m_insp_base_cycles
+      +. (float_of_int v.Trace.iv_checks *. machine.Config.m_insp_per_check_cycles)
+    | None -> 0.0
+  in
   match seg with
   | Trace.Seq c ->
     let comp = Config.cycles_to_seconds machine (cycles machine backend c) in
@@ -169,17 +182,23 @@ let segment_time machine backend n (seg : Trace.segment) : seg_breakdown =
     let t = Float.max comp mem in
     { sb_parallel = false; sb_compute_s = comp; sb_memory_s = mem; sb_overhead_s = 0.0; sb_time_s = t }
   | Trace.Par { sched; iters } ->
-    let n = max 1 n in
+    let conflicted =
+      match insp with Some v -> not v.Trace.iv_disjoint | None -> false
+    in
+    let n = if conflicted then 1 else max 1 n in
     let iter_cycles = Array.map (cycles machine backend) iters in
     let span_cycles, sched_overhead = makespan machine n sched iter_cycles in
     let comp = Config.cycles_to_seconds machine span_cycles in
     let bytes = Array.fold_left (fun acc c -> acc +. dram_bytes machine c) 0.0 iters in
     let mem = bytes /. (Config.bandwidth machine n *. 1e9) in
-    let overhead =
-      Config.cycles_to_seconds machine
-        (machine.Config.m_fork_base_cycles
+    let fork_cycles =
+      if conflicted then 0.0
+      else
+        machine.Config.m_fork_base_cycles
         +. (float_of_int n *. machine.Config.m_fork_per_core_cycles)
-        +. sched_overhead)
+    in
+    let overhead =
+      Config.cycles_to_seconds machine (fork_cycles +. sched_overhead +. insp_cycles)
     in
     let t = Float.max comp mem +. overhead in
     { sb_parallel = true; sb_compute_s = comp; sb_memory_s = mem; sb_overhead_s = overhead; sb_time_s = t }
@@ -187,7 +206,24 @@ let segment_time machine backend n (seg : Trace.segment) : seg_breakdown =
 (** Simulated wall-clock seconds of [profile] on [n] cores. *)
 let simulate ?(machine = Config.opteron64) ~(backend : Config.backend) ~n
     (profile : Trace.profile) : result =
-  let segs = List.map (segment_time machine backend n) profile.Trace.segments in
+  (* pair each Par segment with its inspector verdict (if any), by the
+     verdict's ordinal among the profile's Par segments *)
+  let par_ord = ref (-1) in
+  let segs =
+    List.map
+      (fun seg ->
+        let insp =
+          match seg with
+          | Trace.Seq _ -> None
+          | Trace.Par _ ->
+            incr par_ord;
+            List.find_opt
+              (fun (v : Trace.insp_verdict) -> v.Trace.iv_par = !par_ord)
+              profile.Trace.insp
+        in
+        segment_time ?insp machine backend n seg)
+      profile.Trace.segments
+  in
   {
     r_seconds = List.fold_left (fun acc s -> acc +. s.sb_time_s) 0.0 segs;
     r_segments = segs;

@@ -35,6 +35,18 @@ type config = {
       (** fault injection for the fuzz oracle: skip the dependence legality
           check and force an arbitrary permutation (see
           {!Poly.Transform.find_schedule}); never set outside testing *)
+  inspector : bool;
+      (** inspector/executor path for index-array gathers: a nest that
+          fails extraction {e only} because of indirect subscripts
+          ({!Poly.Gather.classify}) is emitted as a runtime-checked
+          parallel loop instead of being rejected.  The emitted pragma
+          carries an [[inspector:…]] marker naming the checked arrays;
+          the interpreter probes their footprints for disjointness before
+          every dispatch and falls back to sequential execution on
+          conflict.  Off reverts to the static rejection — unless
+          [unsafe_no_legality] also holds, in which case the pragma is
+          emitted {e without} the marker (a forced-parallel gather, the
+          race detector's inject witness for this subsystem). *)
 }
 
 let default_config =
@@ -49,6 +61,7 @@ let default_config =
     sica_cache = Sica.opteron_6272;
     fn_summaries = [];
     unsafe_no_legality = false;
+    inspector = true;
   }
 
 type outcome = {
@@ -70,6 +83,11 @@ and unit_info = {
   ui_parallel : int option;
   ui_tiled : int;
   ui_identity : bool;
+  ui_runtime_check : string list option;
+      (** [Some arrays]: the unit parallelizes only under the inspector's
+          runtime disjointness verdict over these arrays' footprints
+          ([[]] = read-only gathers, vacuously disjoint); [None]: the
+          dependence analysis proved it statically *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -153,6 +171,66 @@ let strip_unit_tags text =
   go 0;
   Buffer.contents buf
 
+(* The inspector/executor fallback for a nest that failed extraction: if
+   the only obstacle is index-array indirection ([Poly.Gather.classify]),
+   emit the ORIGINAL nest under an [omp parallel for] pragma carrying an
+   [inspector:…] marker naming the checked arrays; the interpreter probes
+   their runtime footprints before dispatching (see [Interp.Compile]).
+   Anything genuinely un-analyzable re-raises the original [Not_affine] so
+   the region is rejected exactly as before.  With [inspector] off the
+   marker path is closed: the nest is rejected — unless
+   [unsafe_no_legality] forces the pragma WITHOUT the marker (the race
+   detector's forced-parallel gather witness). *)
+let runtime_check_nest config ~uid ~reveal ~enclosing ~msg ~loc (s : Ast.stmt) :
+    Ast.stmt list * unit_info list =
+  let reject () = raise (Poly.Scop_ir.Not_affine (msg, loc)) in
+  if not (config.parallelize && (config.inspector || config.unsafe_no_legality))
+  then reject ();
+  match Poly.Gather.classify ~enclosing s with
+  | Poly.Gather.Unanalyzable _ -> reject ()
+  | Poly.Gather.Checkable g ->
+    let depth = List.length g.Poly.Gather.g_unit.Poly.Scop_ir.u_iters in
+    (* inner iterators driven through pre-declared variables must be
+       privatized for the executor, like any multi-loop nest body *)
+    let privates =
+      match g.Poly.Gather.g_headers with
+      | [] | [ _ ] -> []
+      | _ :: inner ->
+        List.filter_map
+          (fun (h : Poly.Scop_ir.loop_header) ->
+            if h.Poly.Scop_ir.h_decl = None then Some h.Poly.Scop_ir.h_iter
+            else None)
+          inner
+    in
+    let pragma =
+      omp_prefix
+      ^ (if privates = [] then ""
+         else Printf.sprintf " private(%s)" (String.concat "," privates))
+      ^ (match config.schedule_clause with
+        | Some c -> Printf.sprintf " schedule(%s)" c
+        | None -> "")
+      ^
+      if config.inspector then
+        match g.Poly.Gather.g_checked with
+        | [] -> " [inspector]"
+        | checked -> Printf.sprintf " [inspector:%s]" (String.concat "," checked)
+      else ""
+    in
+    let info =
+      {
+        ui_iters = g.Poly.Gather.g_unit.Poly.Scop_ir.u_iters;
+        ui_matrix = Poly.Transform.identity_matrix depth;
+        ui_parallel = Some 1;
+        ui_tiled = 0;
+        ui_identity = true;
+        ui_runtime_check = Some g.Poly.Gather.g_checked;
+      }
+    in
+    let id = !uid in
+    incr uid;
+    ( List.map (tag_stmt id) [ Ast.mk_stmt (Ast.SPragma pragma); reveal s ],
+      [ info ] )
+
 (* Transform one marked nest (recursive for imperfect nests).  [reveal]
    swaps hidden pure calls back into body statements before code
    generation, so the iterator substitution also reaches call arguments.
@@ -200,7 +278,10 @@ let rec transform_nest config ~uid ~reveal ~enclosing (s : Ast.stmt) :
          bars); hidden calls must still be revealed *)
       ([ reveal s ], [])
     else begin
-      let unit = Poly.Scop_ir.extract_unit ~enclosing s in
+      match Poly.Scop_ir.extract_unit ~enclosing s with
+      | exception Poly.Scop_ir.Not_affine (msg, loc) ->
+        runtime_check_nest config ~uid ~reveal ~enclosing ~msg ~loc s
+      | unit ->
       let unit =
         {
           unit with
@@ -245,6 +326,7 @@ let rec transform_nest config ~uid ~reveal ~enclosing (s : Ast.stmt) :
           ui_parallel = gen.Poly.Codegen.g_parallel_level;
           ui_tiled = gen.Poly.Codegen.g_tiled_levels;
           ui_identity = sched.Poly.Transform.sched_is_identity;
+          ui_runtime_check = None;
         }
       in
       (* number EVERY unit (parallel or not): the id is the unit's index in
@@ -348,7 +430,7 @@ let matrix_string (m : int array array) =
 (** One-line description of a transform unit, naming its schedule matrix —
     the attribution line race reports point at. *)
 let describe_unit (u : unit_info) =
-  Printf.sprintf "iters (%s), schedule matrix %s%s%s%s"
+  Printf.sprintf "iters (%s), schedule matrix %s%s%s%s%s"
     (String.concat "," u.ui_iters)
     (matrix_string u.ui_matrix)
     (if u.ui_identity then " (identity)" else "")
@@ -356,6 +438,11 @@ let describe_unit (u : unit_info) =
     | Some l -> Printf.sprintf ", parallel level %d" l
     | None -> ", sequential")
     (if u.ui_tiled > 0 then Printf.sprintf ", %d tiled levels" u.ui_tiled else "")
+    (match u.ui_runtime_check with
+    | None -> ""
+    | Some [] -> ", runtime-checked (no conflicting arrays)"
+    | Some arrays ->
+      Printf.sprintf ", runtime-checked on %s" (String.concat "," arrays))
 
 (** Convenience: (regions with at least one parallel loop, rejected
     regions).  A region transformed without any parallel loop (e.g. a pure

@@ -1,0 +1,287 @@
+(** Classification of index-array gather nests for the inspector/executor.
+
+    [Scop_ir.extract_unit] fails on any subscript that is not affine in the
+    iterators — in particular on one level of indirection through an index
+    array ([y\[col\[j\]\]], [A\[ia\[i\]\]]), the CSR/ELL access pattern.
+    Such a nest is not necessarily sequential: it is parallel whenever the
+    runtime contents of the index arrays happen to make the touched
+    elements disjoint across outer iterations.  [classify] decides whether
+    indirection is the {e only} obstacle:
+
+    - every subscript must be affine, or exactly [idx\[affine\]] where
+      [idx] is an index array never written in the nest;
+    - the {e abstract unit} — the nest with every access to a {e checked}
+      array removed (checked = written in the nest and subscripted through
+      an index array somewhere), all remaining affine accesses kept, and
+      the index-array reads added — must carry no dependence on the
+      outermost loop.
+
+    Then the nest is [Checkable]: its only possible cross-iteration
+    conflicts flow through the checked arrays' runtime footprints, which an
+    inspector loop can test for pairwise disjointness before dispatch (see
+    [Interp.Compile]).  Anything else — an index array itself written in
+    the nest, deeper indirection, calls, a residual affine dependence —
+    stays [Unanalyzable] and the region is rejected exactly as before. *)
+
+open Cfront
+
+type info = {
+  g_unit : Scop_ir.unit_nest;
+      (** the abstract unit whose dependences prove every non-checked
+          access parallel on the outer loop *)
+  g_checked : string list;
+      (** arrays whose footprints need the runtime disjointness check;
+          may be empty (read-only gathers conflict with nothing) *)
+  g_index_arrays : string list;  (** the index arrays driving the gathers *)
+  g_headers : Scop_ir.loop_header list;  (** nest headers, outer→inner *)
+}
+
+type verdict =
+  | Checkable of info
+  | Unanalyzable of string
+
+(* local failure carrier for the tolerant walkers below *)
+exception Refuse of string
+
+let refuse fmt = Fmt.kstr (fun m -> raise (Refuse m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tolerant access collection: like [Scop_ir.collect_expr], but a subscript
+   may also be one indirection level [idx[affine]].  Each collected access
+   carries its affine subscripts where they exist and the index arrays its
+   indirect subscripts read. *)
+
+type raw_sub = Sub_affine of Affine.t | Sub_indirect of string * Affine.t
+
+type raw_access = {
+  r_array : string;
+  r_subs : raw_sub list;  (** [] for scalars *)
+  r_write : bool;
+}
+
+let rec strip_cast (e : Ast.expr) =
+  match e.Ast.edesc with Ast.Cast (_, inner) -> strip_cast inner | _ -> e
+
+(* classify one subscript expression *)
+let classify_sub env space (e : Ast.expr) : raw_sub =
+  match Scop_ir.to_affine env space e with
+  | a -> Sub_affine a
+  | exception Scop_ir.Not_affine _ -> (
+    match (strip_cast e).Ast.edesc with
+    | Ast.Index (base, idx) -> (
+      match (strip_cast base).Ast.edesc with
+      | Ast.Ident arr -> (
+        match Scop_ir.to_affine env space idx with
+        | a -> Sub_indirect (arr, a)
+        | exception Scop_ir.Not_affine _ ->
+          refuse "subscript of index array %s is not affine" arr)
+      | _ -> refuse "indirect subscript through a non-array base")
+    | _ -> refuse "non-affine subscript: %s" (Ast_printer.expr_to_string e))
+
+let rec collect env space acc ~(is_read : bool) (e : Ast.expr) =
+  match e.Ast.edesc with
+  | Ast.IntLit _ | Ast.FloatLit _ | Ast.StrLit _ | Ast.CharLit _ | Ast.SizeofType _
+  | Ast.SizeofExpr _ ->
+    ()
+  | Ast.Ident x ->
+    if List.mem x env.Scop_ir.iters || Scop_ir.is_tmp_const x then ()
+    else if is_read && not (List.mem x env.Scop_ir.forbidden) then ()
+    else
+      (* mutated scalar: a 0-dimensional access, exactly as in extraction *)
+      acc := { r_array = x; r_subs = []; r_write = not is_read } :: !acc
+  | Ast.Index _ | Ast.Deref _ -> (
+    match Scop_ir.array_base e [] with
+    | Some (base, subs) ->
+      let rs = List.map (classify_sub env space) subs in
+      acc := { r_array = base; r_subs = rs; r_write = not is_read } :: !acc
+    | None -> refuse "unanalyzable memory access")
+  | Ast.Binop (_, a, b) ->
+    collect env space acc ~is_read:true a;
+    collect env space acc ~is_read:true b
+  | Ast.Unop (_, a) | Ast.Cast (_, a) -> collect env space acc ~is_read:true a
+  | Ast.Cond (c, t, f) ->
+    collect env space acc ~is_read:true c;
+    collect env space acc ~is_read:true t;
+    collect env space acc ~is_read:true f
+  | Ast.Assign (op, lhs, rhs) ->
+    collect env space acc ~is_read:false lhs;
+    if op <> Ast.OpAssign then collect env space acc ~is_read:true lhs;
+    collect env space acc ~is_read:true rhs
+  | Ast.IncDec { arg; _ } ->
+    collect env space acc ~is_read:false arg;
+    collect env space acc ~is_read:true arg
+  | Ast.Comma (a, b) ->
+    collect env space acc ~is_read:true a;
+    collect env space acc ~is_read:true b
+  | Ast.Call (f, _) -> refuse "function call to %s inside the nest" f
+  | Ast.Member _ | Ast.Arrow _ -> refuse "struct access inside the nest"
+  | Ast.AddrOf _ -> refuse "address-of inside the nest"
+
+(* parameter pre-scan tolerant of indirection: reuse [Scop_ir.scan_expr],
+   which already treats array-base identifiers as arrays, not parameters *)
+let scan_stmt env (st : Ast.stmt) =
+  match st.Ast.sdesc with
+  | Ast.SExpr e -> Scop_ir.scan_expr env e
+  | _ -> refuse "unsupported statement in the nest"
+
+(* ------------------------------------------------------------------ *)
+
+let classify ?(enclosing = []) ?(enclosing_params = []) (s : Ast.stmt) : verdict =
+  try
+    let headers, body = Scop_ir.perfect_nest s in
+    if headers = [] then refuse "not a recognizable for-loop";
+    let iters = List.map (fun h -> h.Scop_ir.h_iter) headers in
+    let forbidden =
+      List.filter (fun n -> not (List.mem n iters)) (Scop_ir.mutated_names s)
+    in
+    let env =
+      { Scop_ir.iters; params = enclosing_params @ enclosing; forbidden }
+    in
+    List.iter
+      (fun h ->
+        Scop_ir.scan_expr env h.Scop_ir.h_lb;
+        Scop_ir.scan_expr env h.Scop_ir.h_ub)
+      headers;
+    List.iter (scan_stmt env) body;
+    let space = Affine.space ~iters ~params:(List.rev env.Scop_ir.params) in
+    let domain =
+      try
+        List.fold_left
+          (fun p h ->
+            let lb = Scop_ir.to_affine env space h.Scop_ir.h_lb in
+            let ub = Scop_ir.to_affine env space h.Scop_ir.h_ub in
+            let iter = Affine.of_iter space h.Scop_ir.h_iter in
+            let p = Polyhedron.ge2 p iter lb in
+            if h.Scop_ir.h_ub_incl then Polyhedron.le2 p iter ub
+            else Polyhedron.lt2 p iter ub)
+          (Polyhedron.universe space) headers
+      with Scop_ir.Not_affine (m, _) -> refuse "%s" m
+    in
+    (* raw accesses per body statement *)
+    let raw_stmts =
+      List.map
+        (fun st ->
+          match st.Ast.sdesc with
+          | Ast.SExpr e ->
+            let acc = ref [] in
+            collect env space acc ~is_read:true e;
+            (st, List.rev !acc)
+          | _ -> refuse "unsupported statement in the nest")
+        body
+    in
+    let all_raw = List.concat_map snd raw_stmts in
+    let index_arrays =
+      List.concat_map
+        (fun r ->
+          List.filter_map
+            (function Sub_indirect (a, _) -> Some a | Sub_affine _ -> None)
+            r.r_subs)
+        all_raw
+      |> List.sort_uniq compare
+    in
+    let written a =
+      List.exists (fun r -> r.r_write && r.r_array = a) all_raw
+      || List.mem a forbidden
+    in
+    (* the runtime check can only reason about index arrays whose contents
+       are fixed across the nest *)
+    List.iter
+      (fun a ->
+        if written a then refuse "index array %s is written in the nest" a)
+      index_arrays;
+    let indirect a =
+      List.exists
+        (fun r ->
+          r.r_array = a
+          && List.exists (function Sub_indirect _ -> true | _ -> false) r.r_subs)
+        all_raw
+    in
+    let checked =
+      List.filter_map
+        (fun r ->
+          if indirect r.r_array && written r.r_array then Some r.r_array else None)
+        all_raw
+      |> List.sort_uniq compare
+    in
+    (* abstract unit: drop every access to a checked array (the inspector
+       owns them), keep fully-affine accesses of everything else, and add
+       the index-array reads.  An access with an indirect subscript that is
+       NOT checked is a read of an unwritten array — it can pair with no
+       write, so dropping it is sound. *)
+    let abstract (r : raw_access) : Scop_ir.access list =
+      let idx_reads =
+        if r.r_write then []
+        else
+          List.filter_map
+            (function
+              | Sub_indirect (a, aff) ->
+                Some { Scop_ir.a_array = a; a_indices = [ aff ] }
+              | Sub_affine _ -> None)
+            r.r_subs
+      in
+      if List.mem r.r_array checked then idx_reads
+      else if List.exists (function Sub_indirect _ -> true | _ -> false) r.r_subs
+      then idx_reads
+      else
+        { Scop_ir.a_array = r.r_array;
+          a_indices =
+            List.map
+              (function Sub_affine a -> a | Sub_indirect _ -> assert false)
+              r.r_subs }
+        :: idx_reads
+    in
+    (* index-array reads of write accesses still happen; collect them too *)
+    let idx_reads_of (r : raw_access) =
+      List.filter_map
+        (function
+          | Sub_indirect (a, aff) -> Some { Scop_ir.a_array = a; a_indices = [ aff ] }
+          | Sub_affine _ -> None)
+        r.r_subs
+    in
+    let body_stmts =
+      List.map
+        (fun (st, raws) ->
+          let writes, reads =
+            List.fold_left
+              (fun (ws, rs) r ->
+                if r.r_write then
+                  let ws' =
+                    if List.mem r.r_array checked then ws else abstract r @ ws
+                  in
+                  (ws', idx_reads_of r @ rs)
+                else (ws, abstract r @ rs))
+              ([], []) raws
+          in
+          { Scop_ir.b_ast = st; b_writes = List.rev writes; b_reads = List.rev reads })
+        raw_stmts
+    in
+    let decls =
+      List.filter_map
+        (fun h ->
+          match h.Scop_ir.h_decl with
+          | Some ty -> Some (h.Scop_ir.h_iter, ty)
+          | None -> None)
+        headers
+    in
+    let unit =
+      {
+        Scop_ir.u_iters = iters;
+        u_space = space;
+        u_domain = domain;
+        u_body = body_stmts;
+        u_enclosing = enclosing;
+        u_decls = decls;
+      }
+    in
+    if index_arrays = [] then
+      (* no indirection at all: the static pipeline's rejection stands *)
+      refuse "no index-array subscript in the nest"
+    else if List.mem 1 (Dependence.parallel_levels unit) then
+      Checkable { g_unit = unit; g_checked = checked; g_index_arrays = index_arrays; g_headers = headers }
+    else
+      refuse
+        "the outer loop carries a dependence besides the index-array accesses"
+  with
+  | Refuse m -> Unanalyzable m
+  | Scop_ir.Not_affine (m, _) -> Unanalyzable m
+  | Invalid_argument m -> Unanalyzable m

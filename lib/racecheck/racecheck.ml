@@ -163,11 +163,56 @@ let untraced_error =
   "profile has no access trace: execute with access tracing enabled \
    (Interp.Exec.run ~trace_accesses:true)"
 
+(* ------------------------------------------------------------------ *)
+(* Inspector verdicts.  A runtime-checked loop (see [Poly.Gather] and the
+   [[inspector:…]] pragma marker) logs one {!Interp.Trace.insp_verdict} per
+   execution, keyed by the ordinal of its parallel segment. *)
+
+(** Ordinals of the parallel segments whose inspector verdict was a
+    conflict: the runtime check forced those loops onto the sequential
+    fallback. *)
+let conflict_segments (profile : Interp.Trace.profile) : int list =
+  List.filter_map
+    (fun (v : Interp.Trace.insp_verdict) ->
+      if v.Interp.Trace.iv_disjoint then None else Some v.Interp.Trace.iv_par)
+    profile.Interp.Trace.insp
+
+(** Ordinals of the segments the inspector declared runtime-disjoint (and
+    therefore eligible for parallel dispatch). *)
+let disjoint_segments (profile : Interp.Trace.profile) : int list =
+  List.filter_map
+    (fun (v : Interp.Trace.insp_verdict) ->
+      if v.Interp.Trace.iv_disjoint then Some v.Interp.Trace.iv_par else None)
+    profile.Interp.Trace.insp
+
+(** Blank the access logs of conflict-verdict segments: those loops really
+    executed sequentially (the fallback), so replaying their iterations
+    under a parallel plan would report races that cannot happen.  Segment
+    ordinals and the trace list structure are kept, so per-segment
+    attribution downstream stays aligned.  Disjoint-verdict segments are
+    deliberately {e not} masked — they dispatched (or were eligible to),
+    and a race found in one is exactly the inspector/HB engine
+    disagreement {!verdict} reports. *)
+let mask_conflicts (profile : Interp.Trace.profile) : Interp.Trace.profile =
+  match (profile.Interp.Trace.par_traces, conflict_segments profile) with
+  | None, _ | _, [] -> profile
+  | Some traces, conflicted ->
+    let traces =
+      List.mapi
+        (fun seg (pt : Interp.Trace.par_trace) ->
+          if List.mem seg conflicted then
+            { pt with Interp.Trace.pt_accesses = [||]; pt_points = [||] }
+          else pt)
+        traces
+    in
+    { profile with Interp.Trace.par_traces = Some traces }
+
 (** Replay [profile]'s parallel access logs under the worksharing plan of
     [schedule] × [workers] and report all data races.  [Error] only when the
     profile was produced without access tracing. *)
 let analyze ~(schedule : Runtime.Par_loop.schedule) ~workers
     (profile : Interp.Trace.profile) : (report, string) result =
+  let profile = mask_conflicts profile in
   match profile.Interp.Trace.par_traces with
   | None -> Error untraced_error
   | Some traces ->
@@ -375,6 +420,7 @@ let ref_of_site (s : Lockset.site) =
     consumers (CLI, oracle, diagnostics) are engine-agnostic. *)
 let analyze_lockset ~(schedule : Runtime.Par_loop.schedule) ~workers
     (profile : Interp.Trace.profile) : (report, string) result =
+  let profile = mask_conflicts profile in
   match Lockset.analyze ~schedule ~workers profile with
   | Error e -> Error e
   | Ok res ->
@@ -498,6 +544,27 @@ let cross_check ?(locked = []) ~regions ~(hb : report) ~(lockset : report) () :
                plan (describe_word regions w)))
       ls_only
 
+(** Inspector/HB cross-check for one happens-before report: a racy shadow
+    word inside a segment the inspector declared runtime-disjoint means one
+    of the two dynamic models is wrong — the inspector proved the
+    iterations' footprints pairwise disjoint, so no unordered conflicting
+    pair can exist.  Same hard-failure severity as an hb/lockset split. *)
+let inspector_check (profile : Interp.Trace.profile) (hb : report) : string list =
+  match disjoint_segments profile with
+  | [] -> []
+  | disjoint ->
+    List.filter_map
+      (fun ((seg, _) as w) ->
+        if List.mem seg disjoint then
+          Some
+            (Printf.sprintf
+               "engine disagreement [schedule(%s) x %d threads]: the inspector \
+                declared segment %d runtime-disjoint but hb flags %s as racy"
+               (schedule_name hb.p_schedule) hb.p_workers seg
+               (describe_word profile.Interp.Trace.regions w))
+        else None)
+      (List.sort_uniq compare hb.p_words)
+
 (** Which engine(s) a racecheck run consults. *)
 type engine_choice = Only of engine | Both
 
@@ -544,7 +611,8 @@ let verdict ?(engine = Both) ~schedule ~workers profile : (verdict, string) resu
         v_workers = workers;
         v_hb = hb;
         v_lockset = ls;
-        v_disagreements = [];
+        v_disagreements =
+          (match hb with Some r -> inspector_check profile r | None -> []);
       }
   | Both ->
     let* hb = run Hb in
@@ -558,7 +626,8 @@ let verdict ?(engine = Both) ~schedule ~workers profile : (verdict, string) resu
         v_disagreements =
           cross_check
             ~locked:(locked_segments profile)
-            ~regions:profile.Interp.Trace.regions ~hb ~lockset:ls ();
+            ~regions:profile.Interp.Trace.regions ~hb ~lockset:ls ()
+          @ inspector_check profile hb;
       }
 
 (** The whole plan matrix through {!verdict}. *)

@@ -364,6 +364,7 @@ let spec_of_obj obj : Toolchain.Chain.mode_spec =
     ms_tile = opt_int "tile" (field obj "tile");
     ms_schedule = opt_string "schedule" (field obj "schedule");
     ms_inject = opt_bool ~default:false "inject" (field obj "inject");
+    ms_inspector = opt_bool ~default:true "inspector" (field obj "inspector");
   }
 
 let source_of_obj obj : source option =

@@ -230,6 +230,9 @@ let stats_reply t ~id ~t0 : Protocol.reply =
       ("reply_memo", cache_stats_json t.memo ~entries:(Cache.length t.memo));
       ("interp_instances", Protocol.Int (Interp.Compile.rts_created ()));
       ("interp_instances_fast", Protocol.Int (Interp.Compile.rts_created_fast ()));
+      (* runtime-check verdicts across every execution this daemon ran *)
+      ("inspector_disjoint", Protocol.Int (Interp.Compile.insp_disjoint_total ()));
+      ("inspector_conflict", Protocol.Int (Interp.Compile.insp_conflict_total ()));
     ]
   in
   Protocol.make_reply ~extra ~id ~status:Protocol.Ok_ ~exit_code:Toolchain.Chain.exit_ok

@@ -232,10 +232,16 @@ type mode_spec = {
   ms_tile : int option;  (** tile the permutable band with this size *)
   ms_schedule : string option;  (** OpenMP schedule clause for emitted pragmas *)
   ms_inject : bool;  (** fault injection: skip the polyhedral legality check *)
+  ms_inspector : bool;
+      (** runtime-checked parallelization of index-array gathers (default
+          on); off drops the [[inspector]] marker from emitted pragmas, so
+          with [ms_inject] a gather loop runs forced-parallel — the
+          racecheck witness configuration *)
 }
 
 let default_mode_spec =
-  { ms_mode = `Pure; ms_sica = false; ms_tile = None; ms_schedule = None; ms_inject = false }
+  { ms_mode = `Pure; ms_sica = false; ms_tile = None; ms_schedule = None;
+    ms_inject = false; ms_inspector = true }
 
 let mode_of_spec (s : mode_spec) : mode =
   let adjust (c : Pluto.config) =
@@ -248,6 +254,7 @@ let mode_of_spec (s : mode_spec) : mode =
       | None -> c
     in
     let c = { c with Pluto.schedule_clause = s.ms_schedule } in
+    let c = { c with Pluto.inspector = s.ms_inspector } in
     if s.ms_inject then { c with Pluto.unsafe_no_legality = true } else c
   in
   match s.ms_mode with
@@ -264,6 +271,8 @@ let mode_of_spec (s : mode_spec) : mode =
     compiled AST is variant-independent — only reply memoization does. *)
 let mode_spec_fingerprint ?(no_model = false) (s : mode_spec) : string =
   (if no_model then "nm=1;" else "")
+  (* non-default only, so every pre-existing fingerprint stays byte-stable *)
+  ^ (if not s.ms_inspector then "insp=0;" else "")
   ^ Printf.sprintf "m=%s;sica=%b;tile=%s;sched=%s;inject=%b"
     (match s.ms_mode with
     | `Pure -> "pure"
@@ -321,6 +330,18 @@ let pp_run_report ppf ?(model = true) ~cores ~backend (profile : Interp.Trace.pr
   Fmt.pf ppf "--- program output ---@.%s--- end output ---@." profile.Interp.Trace.output;
   Fmt.pf ppf "exit code: %d@." profile.Interp.Trace.return_code;
   Fmt.pf ppf "parallel regions executed: %d@." (Interp.Trace.n_parallel_segments profile);
+  (* inspector verdicts, in execution order: which runtime-checked loops
+     were eligible for dispatch and which fell back to sequential *)
+  List.iter
+    (fun (v : Interp.Trace.insp_verdict) ->
+      Fmt.pf ppf "%s runtime-check: %s (%d addresses inspected)@."
+        (match v.Interp.Trace.iv_unit with
+        | Some id -> Printf.sprintf "[unit %d]" id
+        | None -> Printf.sprintf "[region %d]" v.Interp.Trace.iv_par)
+        (if v.Interp.Trace.iv_disjoint then "disjoint (parallelized)"
+         else "conflict (sequential fallback)")
+        v.Interp.Trace.iv_checks)
+    profile.Interp.Trace.insp;
   if model then begin
     let cost = Interp.Trace.total_cost profile in
     Fmt.pf ppf "dynamic ops: %d (flops %d, loads %d, stores %d, calls %d)@."
@@ -352,6 +373,15 @@ let racecheck_report ppf ~name ~engine ~schedules ~cores ~tile_grain ~inject ~mo
       Fmt.pf ppf "%s: unit %d (scop at %a): %s@." name id Support.Loc.pp loc
         (Pluto.describe_unit u))
     units;
+  List.iter
+    (fun (v : Interp.Trace.insp_verdict) ->
+      Fmt.pf ppf "%s: %s runtime-check: %s@." name
+        (match v.Interp.Trace.iv_unit with
+        | Some id -> Printf.sprintf "[unit %d]" id
+        | None -> Printf.sprintf "[region %d]" v.Interp.Trace.iv_par)
+        (if v.Interp.Trace.iv_disjoint then "disjoint (parallelized)"
+         else "conflict (sequential fallback)"))
+    profile.Interp.Trace.insp;
   let attribute seg =
     let tagged =
       match profile.Interp.Trace.par_traces with

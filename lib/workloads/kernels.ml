@@ -279,6 +279,80 @@ int main() {
 |};
   }
 
-let all = [ gemver; syrk; jacobi1d; seidel2d; floyd; pure_wavefront; antidiag; doitgen ]
+(* Irregular scatter through a permutation index array: y[col[j]] defeats
+   the polyhedral dependence test, but col is a permutation (13 is coprime
+   with 64), so the write footprints are pairwise disjoint and the
+   inspector's runtime check parallelizes the loop.  The transform unit is
+   the identity nest under the runtime-checked pragma. *)
+let gather_disjoint =
+  {
+    k_name = "gather-disjoint";
+    k_expect =
+      { x_parallel = true; x_outer_parallel = true; x_identity = true; x_band = 0 };
+    k_source =
+      {|
+double y[64]; double v[64]; int col[64];
+int main() {
+  for (int i = 0; i < 64; i++) {
+    col[i] = (i * 13 + 5) % 64;
+    v[i] = (i % 9) * 0.5 + 1.0;
+    y[i] = 0.0;
+  }
+#pragma scop
+  for (int j = 0; j < 64; j++)
+    y[col[j]] += v[j] * 2.0;
+#pragma endscop
+  double s = 0.0;
+  for (int i = 0; i < 64; i++) s += y[i] * (i % 7 + 1);
+  printf("checksum %.6f\n", s);
+  return 0;
+}
+|};
+  }
+
+(* The same scatter with a duplicating index map: every target cell is hit
+   twice, so the inspector finds a write-write conflict at runtime and the
+   loop falls back to the byte-identical sequential path.  The static
+   transform properties are those of gather-disjoint — the conflict is a
+   value property no compile-time analysis can see. *)
+let gather_conflict =
+  {
+    k_name = "gather-conflict";
+    k_expect =
+      { x_parallel = true; x_outer_parallel = true; x_identity = true; x_band = 0 };
+    k_source =
+      {|
+double y[64]; double v[64]; int col[64];
+int main() {
+  for (int i = 0; i < 64; i++) {
+    col[i] = (i * 2) % 64;
+    v[i] = (i % 9) * 0.5 + 1.0;
+    y[i] = 0.0;
+  }
+#pragma scop
+  for (int j = 0; j < 64; j++)
+    y[col[j]] += v[j] * 2.0;
+#pragma endscop
+  double s = 0.0;
+  for (int i = 0; i < 64; i++) s += y[i] * (i % 7 + 1);
+  printf("checksum %.6f\n", s);
+  return 0;
+}
+|};
+  }
+
+let all =
+  [
+    gemver;
+    syrk;
+    jacobi1d;
+    seidel2d;
+    floyd;
+    pure_wavefront;
+    antidiag;
+    doitgen;
+    gather_disjoint;
+    gather_conflict;
+  ]
 
 let find name = List.find_opt (fun k -> k.k_name = name) all

@@ -134,6 +134,31 @@ int main() {
 |}
   ^ checksum_code
 
+(** Inlined-gather variant for the inspector/executor path: the ELL dot
+    product written directly in the loop nest — no pure call to hide, no
+    hand-written pragma — so static dependence analysis fails on the
+    [x\[cols\[..\]\]] indirection and only the runtime disjointness check
+    can parallelize it.  [vals] is zero beyond each row's [nnz], so the
+    checksum matches {!pure_source} at [reps = 1].  The scop is marked
+    manually (the purity stage has nothing to verify here). *)
+let inspector_source ?(rows = default_rows) ?(maxnnz = default_maxnnz)
+    ?(reps = default_reps) () =
+  header rows maxnnz reps ^ common_decls
+  ^ {|
+int main() {
+|}
+  ^ fill_code
+  ^ {|
+  for (int rep = 0; rep < REPS; rep++) {
+#pragma scop
+    for (int r = 0; r < ROWS; r++)
+      for (int k = 0; k < MAXNNZ; k++)
+        y[r] += vals[r * MAXNNZ + k] * x[cols[r * MAXNNZ + k]];
+#pragma endscop
+  }
+|}
+  ^ checksum_code
+
 (** Hand-parallelized variant: inlined kernel with an explicit OpenMP
     directive and [schedule(static)] (§4.3.4). *)
 let manual_source ?(rows = default_rows) ?(maxnnz = default_maxnnz)

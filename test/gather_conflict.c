@@ -1,0 +1,24 @@
+#include <stdio.h>
+
+int col[16];
+double y[16];
+double v[16];
+
+int main(void) {
+  for (int i = 0; i < 16; i++) {
+    col[i] = (i * 2) % 8;
+    v[i] = (i * 3 % 7) * 0.5;
+    y[i] = 0.0;
+  }
+#pragma scop
+  for (int j = 0; j < 16; j++) {
+    y[col[j]] += v[j] * 2.0;
+  }
+#pragma endscop
+  double s = 0.0;
+  for (int i = 0; i < 16; i++) {
+    s += y[i] * (i + 1);
+  }
+  printf("sum %.17g\n", s);
+  return 0;
+}

@@ -113,25 +113,47 @@ let test_grammar_presence () =
     Alcotest.(check string) "triangular seed deterministic"
       (Fuzzgen.Gen.source_of_seed s) (Fuzzgen.Gen.source_of_seed s)
 
-(* the gather subscript [A[i][col[k]]] is not affine: the scop detector
-   must reject that nest (sequential fallback), never misparallelize it *)
-let test_csr_gather_rejected_not_misparallelized () =
+(* the gather subscript [A[i][col[k]]] is not affine, so static dependence
+   analysis fails — since PR 10 the nest is runtime-checked instead of
+   rejected: the pragma carries the [inspector] marker, and with the
+   inspector off the old rejection (sequential fallback) returns *)
+let test_csr_gather_runtime_checked () =
   let seed =
     match find_seed has_csr with
     | Some s -> s
     | None -> Alcotest.fail "no CSR seed"
   in
   let src = Fuzzgen.Gen.source_of_seed seed in
-  match Toolchain.Chain.compile ~mode:(Toolchain.Chain.Pure_chain (fun c -> c)) src with
+  (match Toolchain.Chain.compile ~mode:(Toolchain.Chain.Pure_chain (fun c -> c)) src with
   | c ->
-    Alcotest.(check bool) "the indirect nest is rejected" true
+    let units =
+      List.concat_map
+        (fun (o : Pluto.outcome) ->
+          match o.Pluto.o_result with
+          | Pluto.Transformed { t_units } -> t_units
+          | Pluto.Rejected _ -> [])
+        c.Toolchain.Chain.c_outcomes
+    in
+    Alcotest.(check bool) "a runtime-checked unit exists" true
+      (List.exists (fun (u : Pluto.unit_info) -> u.Pluto.ui_runtime_check <> None) units);
+    Alcotest.(check bool) "the pragma carries the inspector marker" true
+      (Support.Util.string_contains ~needle:"[inspector" c.Toolchain.Chain.c_emitted)
+  | exception Toolchain.Chain.Compile_error diags ->
+    Alcotest.failf "CSR seed %d does not compile: %s" seed
+      (String.concat "; " (List.map (fun d -> d.Support.Diag.message) diags)));
+  (* with the inspector off the nest is rejected and the gather never sits
+     under a pragma, exactly the pre-inspector behaviour *)
+  match
+    Toolchain.Chain.compile
+      ~mode:(Toolchain.Chain.Pure_chain (fun c -> { c with Pluto.inspector = false }))
+      src
+  with
+  | c ->
+    Alcotest.(check bool) "the indirect nest is rejected with the inspector off" true
       (List.exists
          (fun (o : Pluto.outcome) ->
            match o.Pluto.o_result with Pluto.Rejected _ -> true | _ -> false)
          c.Toolchain.Chain.c_outcomes);
-    (* and the emitted text never parallelizes the gather: the indirect
-       read "[col[" must not sit under an omp pragma (the gather nest is
-       two loops deep, so a pragma on either loop is within 3 lines) *)
     let lines = Array.of_list (String.split_on_char '\n' c.Toolchain.Chain.c_emitted) in
     Array.iteri
       (fun k l ->
@@ -142,7 +164,42 @@ let test_csr_gather_rejected_not_misparallelized () =
           done)
       lines
   | exception Toolchain.Chain.Compile_error diags ->
-    Alcotest.failf "CSR seed %d does not compile: %s" seed
+    Alcotest.failf "CSR seed %d does not compile with the inspector off: %s" seed
+      (String.concat "; " (List.map (fun d -> d.Support.Diag.message) diags))
+
+(* a genuinely un-analyzable shape still rejects even with the inspector
+   on: when the index array itself is written in the nest, no runtime
+   footprint probe evaluated before the loop can be trusted *)
+let test_written_index_array_still_rejected () =
+  let src =
+    {|
+double w[16]; int col[16];
+int main() {
+  for (int i = 0; i < 16; i++) { col[i] = i; w[i] = i * 0.5; }
+#pragma scop
+  for (int i = 1; i < 15; i++) {
+    col[i] = col[i + 1];
+    w[col[i]] = w[col[i]] + 1.0;
+  }
+#pragma endscop
+  double s = 0.0;
+  for (int i = 0; i < 16; i++) s += w[i];
+  printf("checksum %.6f\n", s);
+  return 0;
+}
+|}
+  in
+  match Toolchain.Chain.compile ~mode:(Toolchain.Chain.Plain_pluto (fun c -> c)) src with
+  | c ->
+    Alcotest.(check bool) "the self-mutating gather is rejected" true
+      (List.exists
+         (fun (o : Pluto.outcome) ->
+           match o.Pluto.o_result with Pluto.Rejected _ -> true | _ -> false)
+         c.Toolchain.Chain.c_outcomes);
+    Alcotest.(check bool) "no inspector marker emitted" false
+      (Support.Util.string_contains ~needle:"[inspector" c.Toolchain.Chain.c_emitted)
+  | exception Toolchain.Chain.Compile_error diags ->
+    Alcotest.failf "written-index witness does not compile: %s"
       (String.concat "; " (List.map (fun d -> d.Support.Diag.message) diags))
 
 (* a triangular nest still passes the whole differential oracle (the
@@ -321,6 +378,102 @@ let test_reduction_shrinker_replay () =
   let rec find s =
     if s > 40 then None
     else if has_reduction (Fuzzgen.Gen.source_of_seed s) then begin
+      let case = Fuzzgen.Fuzz.run_one ~inject:true ~shrink:false s in
+      let kinds =
+        List.map Fuzzgen.Oracle.kind_tag case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures
+      in
+      if List.mem "output-mismatch" kinds then Some (s, case) else find (s + 1)
+    end
+    else find (s + 1)
+  in
+  match find 1 with
+  | None -> Alcotest.skip ()  (* no injectable failure among the early seeds *)
+  | Some (seed, case) ->
+    let replay = Fuzzgen.Fuzz.run_one ~inject:true ~shrink:false seed in
+    Alcotest.(check bool) "seed replays the same failure kinds" true
+      (List.map Fuzzgen.Oracle.kind_tag
+         replay.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures
+      = List.map Fuzzgen.Oracle.kind_tag
+          case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures);
+    let prog = Fuzzgen.Gen.program_of_seed seed in
+    let minimized, _ = Fuzzgen.Shrink.minimize ~inject:true ~kind:"output-mismatch" prog in
+    let shrunk = Ast_printer.program_to_string minimized in
+    Alcotest.(check bool) "minimized is smaller" true
+      (String.length shrunk < String.length case.Fuzzgen.Fuzz.c_source);
+    let report = Fuzzgen.Oracle.check ~inject:true shrunk in
+    Alcotest.(check bool) "minimized still fails the same way" true
+      (List.exists
+         (fun f -> Fuzzgen.Oracle.kind_tag f = "output-mismatch")
+         report.Fuzzgen.Oracle.r_failures)
+
+(* ------------------------------------------------------------------ *)
+(* The indirect-write gather shape [G[gx[i]] += t]: the index array [gx]
+   is drawn as a permutation, a duplicating congruence, or a
+   data-dependent image, so across seeds the inspector issues both
+   runtime verdicts — disjoint (parallelized) and conflict (sequential
+   fallback) — and the oracle must stay clean under both *)
+
+let has_igather src = Support.Util.string_contains ~needle:"G[gx[" src
+
+let test_igather_presence () =
+  match find_seed has_igather with
+  | None -> Alcotest.fail "no indirect-write gather program in seeds 1-60"
+  | Some s ->
+    Alcotest.(check string) "igather seed deterministic"
+      (Fuzzgen.Gen.source_of_seed s) (Fuzzgen.Gen.source_of_seed s);
+    Alcotest.(check bool) "the index array is checksummed" true
+      (Support.Util.string_contains ~needle:"gx %d" (Fuzzgen.Gen.source_of_seed s))
+
+(* scan the early seeds for one program per verdict, run under the pure
+   chain: the inspector must reach both outcomes on fuzzed inputs *)
+let igather_verdicts seed =
+  let src = Fuzzgen.Gen.source_of_seed seed in
+  if not (has_igather src) then []
+  else
+    match Toolchain.Chain.run ~mode:(Toolchain.Chain.Pure_chain (fun c -> c)) src with
+    | _, p -> List.map (fun (v : Interp.Trace.insp_verdict) -> v.Interp.Trace.iv_disjoint) p.Interp.Trace.insp
+    | exception _ -> []
+
+let test_igather_both_verdicts () =
+  let rec scan s found_dis found_con =
+    if found_dis && found_con then (found_dis, found_con)
+    else if s > 40 then (found_dis, found_con)
+    else
+      let vs = igather_verdicts s in
+      scan (s + 1) (found_dis || List.mem true vs) (found_con || List.mem false vs)
+  in
+  let dis, con = scan 1 false false in
+  Alcotest.(check bool) "a disjoint-verdict gather seed exists" true dis;
+  Alcotest.(check bool) "a conflict-verdict gather seed exists" true con
+
+(* one seed per verdict through the whole differential oracle with the
+   racecheck stage: the parallelized gather replays race-free, and the
+   conflict verdict masks the fallback's sequential accesses *)
+let test_igather_oracle_clean () =
+  let rec find s want =
+    if s > 40 then None
+    else if List.mem want (igather_verdicts s) then Some s
+    else find (s + 1) want
+  in
+  List.iter
+    (fun (tag, want) ->
+      match find 1 want with
+      | None -> Alcotest.failf "no %s-verdict gather seed in 1-40" tag
+      | Some seed ->
+        let case = Fuzzgen.Fuzz.run_one ~racecheck:true ~shrink:false seed in
+        if not (Fuzzgen.Oracle.passed case.Fuzzgen.Fuzz.c_report) then
+          Alcotest.failf "%s gather seed %d fails the oracle: %s" tag seed
+            (String.concat "; "
+               (List.map Fuzzgen.Oracle.describe
+                  case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures)))
+    [ ("disjoint", true); ("conflict", false) ]
+
+(* shrinker replay on a seed carrying the gather shape: inject an illegal
+   transform, shrink, and replay from the seed *)
+let test_igather_shrinker_replay () =
+  let rec find s =
+    if s > 40 then None
+    else if has_igather (Fuzzgen.Gen.source_of_seed s) then begin
       let case = Fuzzgen.Fuzz.run_one ~inject:true ~shrink:false s in
       let kinds =
         List.map Fuzzgen.Oracle.kind_tag case.Fuzzgen.Fuzz.c_report.Fuzzgen.Oracle.r_failures
@@ -603,8 +756,18 @@ let suite =
     Alcotest.test_case "cli exit codes" `Quick test_cli_exit_codes;
     Alcotest.test_case "stress grammars present and deterministic" `Quick
       test_grammar_presence;
-    Alcotest.test_case "csr gather rejected" `Quick
-      test_csr_gather_rejected_not_misparallelized;
+    Alcotest.test_case "csr gather runtime-checked" `Quick
+      test_csr_gather_runtime_checked;
+    Alcotest.test_case "written index array still rejected" `Quick
+      test_written_index_array_still_rejected;
+    Alcotest.test_case "indirect-write gather present and deterministic" `Quick
+      test_igather_presence;
+    Alcotest.test_case "indirect-write gather both verdicts" `Quick
+      test_igather_both_verdicts;
+    Alcotest.test_case "indirect-write gather oracle-clean" `Quick
+      test_igather_oracle_clean;
+    Alcotest.test_case "indirect-write gather shrinker replay" `Slow
+      test_igather_shrinker_replay;
     Alcotest.test_case "triangular nest oracle-clean" `Quick test_triangular_oracle_clean;
     Alcotest.test_case "stress-grammar shrinker replay" `Slow
       test_stress_grammar_shrinker_replay;

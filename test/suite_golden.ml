@@ -154,6 +154,21 @@ let test_racecheck_critical_unguarded_guided =
       "racecheck critical_unguarded.c --mode manual --engine both \
        --schedule guided,1 --cores 4"
 
+(* The inspector/executor pair.  The runtime-disjoint and conflicting
+   gathers replay clean under the full plan matrix with their verdict
+   lines pinned inside racecheck_kernels above; here the duplicate-write
+   gather is additionally forced parallel — inspector off plus the
+   injected legality skip — and must race under both engines, with the
+   [unit N] schedule-matrix attribution and iteration-vector witnesses
+   pinned byte for byte — exit 5, the same contract as every other racy
+   golden. *)
+let test_racecheck_gather_forced =
+  golden_of_command ~expect_code:Toolchain.Chain.exit_race
+    ~name:"racecheck_gather_forced"
+    ~args:
+      "racecheck --workload gather-conflict --inspector false \
+       --inject-illegal --engine both --cores 4"
+
 let suite =
   List.map (fun (name, src) -> Alcotest.test_case name `Quick (test_case_for (name, src))) cases
   @ [
@@ -169,4 +184,6 @@ let suite =
         test_racecheck_wavefront_guided;
       Alcotest.test_case "racecheck_critical_unguarded_guided" `Quick
         test_racecheck_critical_unguarded_guided;
+      Alcotest.test_case "racecheck_gather_forced" `Quick
+        test_racecheck_gather_forced;
     ]

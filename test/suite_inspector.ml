@@ -1,0 +1,202 @@
+(** Inspector/executor differential battery.
+
+    Index-array gather kernels — one whose runtime write footprints are
+    pairwise disjoint (a permutation), one that conflicts (a duplicating
+    index map), and the inlined LAMA ELL SpMV — are executed across the
+    full plan matrix: --jobs 1/2/4/8, all three instrumentation variants
+    (Modeled / Traced / Fast), and schedule(static/static,4/dynamic,1/
+    guided,1).  Every configuration must reproduce the sequential bytes:
+    the disjoint kernels because the parallel executor is legal, the
+    conflicting kernel because the inspector's verdict forces the
+    byte-identical sequential fallback.
+
+    The counters witness that the dispatch decision is real: on the
+    disjoint path [Pool.batches] moves and the global disjoint census
+    ticks; on the conflict path the conflict census ticks while the pool
+    sees no batch at all. *)
+
+module C = Toolchain.Chain
+
+let with_pool jobs f =
+  if jobs <= 1 then f None
+  else begin
+    let pool = Runtime.Pool.create jobs in
+    Fun.protect
+      ~finally:(fun () -> Runtime.Pool.shutdown pool)
+      (fun () -> f (Some pool))
+  end
+
+type outcome = Finished of string * int | Faulted of string
+
+let show_outcome = function
+  | Finished (out, rc) -> Printf.sprintf "exit %d\n%s" rc out
+  | Faulted m -> "fault: " ^ m
+
+let outcome ?pool ?(trace_accesses = false) ?(no_model = false) c =
+  match C.execute ?pool ~trace_accesses ~no_model c with
+  | p -> Finished (p.Interp.Trace.output, p.Interp.Trace.return_code)
+  | exception Interp.Exec.Runtime_error m -> Faulted m
+
+let kernel_source name =
+  match Workloads.Kernels.find name with
+  | Some k -> k.Workloads.Kernels.k_source
+  | None -> Alcotest.failf "gallery kernel %s missing" name
+
+let lama_source = Workloads.Lama_app.inspector_source ~rows:96 ~maxnnz:6 ~reps:2 ()
+
+let sources () =
+  [
+    ("gather-disjoint", kernel_source "gather-disjoint");
+    ("gather-conflict", kernel_source "gather-conflict");
+    ("lama-inspector", lama_source);
+  ]
+
+let clauses = [ None; Some "static,4"; Some "dynamic,1"; Some "guided,1" ]
+
+let clause_name = function None -> "static" | Some c -> c
+
+let mode clause = C.Plain_pluto (fun c -> { c with Pluto.schedule_clause = clause })
+
+(* the heart of the battery: 3 sources x 4 schedules x 4 pool sizes x 3
+   instrumentation variants, every cell against the sequential baseline *)
+let test_differential () =
+  List.iter
+    (fun (name, src) ->
+      let baseline = outcome (C.compile ~mode:C.Sequential src) in
+      (match baseline with
+      | Finished _ -> ()
+      | Faulted m -> Alcotest.failf "%s baseline faulted: %s" name m);
+      List.iter
+        (fun clause ->
+          let c = C.compile ~mode:(mode clause) src in
+          List.iter
+            (fun jobs ->
+              with_pool jobs (fun pool ->
+                  let tag variant =
+                    Printf.sprintf "%s schedule(%s) --jobs %d %s" name
+                      (clause_name clause) jobs variant
+                  in
+                  Alcotest.(check string) (tag "modeled") (show_outcome baseline)
+                    (show_outcome (outcome ?pool c));
+                  Alcotest.(check string) (tag "traced") (show_outcome baseline)
+                    (show_outcome (outcome ?pool ~trace_accesses:true c));
+                  Alcotest.(check string) (tag "fast") (show_outcome baseline)
+                    (show_outcome (outcome ?pool ~no_model:true c))))
+            [ 1; 2; 4; 8 ])
+        clauses)
+    (sources ())
+
+(* the modeled profile carries the verdict the diagnostics print *)
+let verdicts src =
+  let _, p = C.run ~mode:(mode None) src in
+  p.Interp.Trace.insp
+
+let test_verdict_disjoint () =
+  match verdicts (kernel_source "gather-disjoint") with
+  | [ v ] ->
+    Alcotest.(check bool) "disjoint verdict" true v.Interp.Trace.iv_disjoint;
+    Alcotest.(check bool) "addresses probed" true (v.Interp.Trace.iv_checks > 0)
+  | l -> Alcotest.failf "expected one verdict, got %d" (List.length l)
+
+let test_verdict_conflict () =
+  match verdicts (kernel_source "gather-conflict") with
+  | [ v ] ->
+    Alcotest.(check bool) "conflict verdict" false v.Interp.Trace.iv_disjoint;
+    Alcotest.(check bool) "addresses probed" true (v.Interp.Trace.iv_checks > 0)
+  | l -> Alcotest.failf "expected one verdict, got %d" (List.length l)
+
+(* the inlined LAMA gather's only indirection is a read, so the check is
+   vacuous (no array to probe) and the verdict is disjoint by construction;
+   the scop sits inside the repetition loop, so one verdict per rep *)
+let test_verdict_lama () =
+  match verdicts lama_source with
+  | [] -> Alcotest.fail "no verdicts logged"
+  | l ->
+    Alcotest.(check int) "one verdict per rep" 2 (List.length l);
+    List.iter
+      (fun (v : Interp.Trace.insp_verdict) ->
+        Alcotest.(check bool) "lama disjoint" true v.Interp.Trace.iv_disjoint;
+        Alcotest.(check int) "no probed addresses" 0 v.Interp.Trace.iv_checks)
+      l
+
+(* disjoint path: the pool really forks (batch census moves, disjoint
+   census ticks); conflict path: the census ticks while the pool never
+   sees a batch *)
+let test_dispatch_witness () =
+  with_pool 4 (fun pool ->
+      let pool = Option.get pool in
+      let c_dis = C.compile ~mode:(mode None) (kernel_source "gather-disjoint") in
+      let c_con = C.compile ~mode:(mode None) (kernel_source "gather-conflict") in
+      Runtime.Pool.reset_batches pool;
+      let d0 = Interp.Compile.insp_disjoint_total () in
+      (match outcome ~pool ~no_model:true c_dis with
+      | Finished _ -> ()
+      | Faulted m -> Alcotest.failf "disjoint run faulted: %s" m);
+      Alcotest.(check bool) "disjoint census ticked" true
+        (Interp.Compile.insp_disjoint_total () > d0);
+      Alcotest.(check bool) "pool dispatched the gather" true
+        (Runtime.Pool.batches pool > 0);
+      Runtime.Pool.reset_batches pool;
+      let k0 = Interp.Compile.insp_conflict_total () in
+      (match outcome ~pool ~no_model:true c_con with
+      | Finished _ -> ()
+      | Faulted m -> Alcotest.failf "conflict run faulted: %s" m);
+      Alcotest.(check bool) "conflict census ticked" true
+        (Interp.Compile.insp_conflict_total () > k0);
+      Alcotest.(check int) "no dispatch on the fallback path" 0
+        (Runtime.Pool.batches pool))
+
+(* acceptance: the ELL SpMV finally parallelizes — through the inspector
+   path, on a real pool, with the sequential bytes *)
+let test_lama_parallelizes () =
+  let seq = outcome (C.compile ~mode:C.Sequential lama_source) in
+  let c = C.compile ~mode:(mode None) lama_source in
+  let d0 = Interp.Compile.insp_disjoint_total () in
+  let _, p = C.run ~mode:(mode None) lama_source in
+  Alcotest.(check bool) "inspector census ticked" true
+    (Interp.Compile.insp_disjoint_total () > d0);
+  Alcotest.(check bool) "parallel segments recorded" true
+    (Interp.Trace.n_parallel_segments p > 0);
+  with_pool 4 (fun pool ->
+      let pool = Option.get pool in
+      Runtime.Pool.reset_batches pool;
+      Alcotest.(check string) "lama --jobs 4 fast bytes" (show_outcome seq)
+        (show_outcome (outcome ~pool ~no_model:true c));
+      Alcotest.(check bool) "lama really dispatched" true
+        (Runtime.Pool.batches pool > 0))
+
+(* turning the inspector off restores the old rejection: no parallel
+   segments, same bytes *)
+let test_inspector_off_rejects () =
+  let off = C.Plain_pluto (fun c -> { c with Pluto.inspector = false }) in
+  List.iter
+    (fun (name, src) ->
+      let seq = outcome (C.compile ~mode:C.Sequential src) in
+      let compiled = C.compile ~mode:off src in
+      Alcotest.(check bool)
+        (name ^ ": rejected with the inspector off")
+        true
+        (List.exists
+           (fun (o : Pluto.outcome) ->
+             match o.Pluto.o_result with Pluto.Rejected _ -> true | _ -> false)
+           compiled.C.c_outcomes);
+      let _, p = C.run ~mode:off src in
+      Alcotest.(check int) (name ^ ": nothing parallel") 0
+        (Interp.Trace.n_parallel_segments p);
+      Alcotest.(check string) (name ^ ": bytes unchanged") (show_outcome seq)
+        (show_outcome (Finished (p.Interp.Trace.output, p.Interp.Trace.return_code))))
+    [
+      ("gather-disjoint", kernel_source "gather-disjoint");
+      ("gather-conflict", kernel_source "gather-conflict");
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "differential battery" `Quick test_differential;
+    Alcotest.test_case "disjoint verdict" `Quick test_verdict_disjoint;
+    Alcotest.test_case "conflict verdict" `Quick test_verdict_conflict;
+    Alcotest.test_case "lama vacuous verdict" `Quick test_verdict_lama;
+    Alcotest.test_case "dispatch witness" `Quick test_dispatch_witness;
+    Alcotest.test_case "lama parallelizes" `Quick test_lama_parallelizes;
+    Alcotest.test_case "inspector off rejects" `Quick test_inspector_off_rejects;
+  ]

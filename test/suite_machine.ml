@@ -19,6 +19,7 @@ let seconds ?(backend = Machine.Config.gcc) n segs =
        return_code = 0;
        regions = [];
        par_traces = None;
+       insp = [];
      })
     .Machine.Model.r_seconds
 

@@ -41,6 +41,7 @@ let mk_profile_locked ?(sched = Interp.Trace.Static) ?(points = [||]) iters :
             pt_accesses = accesses;
             pt_points = points };
         ];
+    insp = [];
   }
 
 let mk_profile ?sched ?points iters =

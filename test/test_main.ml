@@ -25,4 +25,5 @@ let () =
       ("serve", Suite_serve.suite);
       ("fastpath", Suite_fastpath.suite);
       ("steal", Suite_steal.suite);
+      ("inspector", Suite_inspector.suite);
     ]
